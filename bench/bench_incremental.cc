@@ -1,0 +1,180 @@
+// E3 — incremental solving via snapshots (§2, §3.2):
+//
+//   "an incremental solver given formula p immediately followed by formula
+//    p∧q can solve both in less time than solving p and then solving p∧q
+//    from scratch"
+//
+// Rows solve a fixed random-3SAT base p (150 vars @ r=4.0) and then a chain of
+// increments q1..qm (each `k` clauses):
+//
+//   Scratch/k            — every step rebuilds p∧q1..qi in a fresh solver
+//   NativeIncremental/k  — one live solver, AddClause between Solve calls
+//   SnapshotService/k    — the §3.2 service: each step resumes the parent
+//                          problem's immutable snapshot and extends it
+//
+// Expected shape: Scratch ≫ NativeIncremental ≈ SnapshotService (the snapshot
+// tax is page-copy work, bounded and independent of the base problem's size).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "src/solver/cnf.h"
+#include "src/solver/sat.h"
+#include "src/solver/service.h"
+#include "src/util/rng.h"
+
+namespace {
+
+constexpr int kVars = 150;
+constexpr double kRatio = 4.0;
+constexpr int kChain = 6;  // increments per measured episode
+
+struct Workload {
+  lw::Cnf base;
+  std::vector<std::vector<std::vector<lw::Lit>>> increments;  // [step][clause][lit]
+};
+
+const Workload& GetWorkload(int k) {
+  static std::map<int, Workload>* cache = new std::map<int, Workload>();
+  auto it = cache->find(k);
+  if (it != cache->end()) {
+    return it->second;
+  }
+  lw::Rng rng(4242 + static_cast<uint64_t>(k));
+  Workload w;
+  w.base = lw::RandomKSat(&rng, kVars, static_cast<size_t>(kVars * kRatio), 3);
+  for (int step = 0; step < kChain; ++step) {
+    lw::Cnf q = lw::RandomKSat(&rng, kVars, static_cast<size_t>(k), 3);
+    w.increments.emplace_back(q.clauses.begin(), q.clauses.end());
+  }
+  return cache->emplace(k, std::move(w)).first->second;
+}
+
+void LoadInto(lw::Solver* solver, const lw::Cnf& cnf) {
+  solver->EnsureVars(cnf.num_vars);
+  for (const auto& clause : cnf.clauses) {
+    solver->AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+  }
+}
+
+void BM_Scratch(benchmark::State& state) {
+  const Workload& w = GetWorkload(static_cast<int>(state.range(0)));
+  uint64_t conflicts = 0;
+  for (auto _ : state) {
+    // Step i re-solves base ∧ q1..qi from zero.
+    for (int step = 0; step < kChain; ++step) {
+      lw::Solver solver;
+      LoadInto(&solver, w.base);
+      for (int i = 0; i <= step; ++i) {
+        for (const auto& clause : w.increments[static_cast<size_t>(i)]) {
+          solver.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+        }
+      }
+      benchmark::DoNotOptimize(solver.Solve());
+      conflicts += solver.stats().conflicts;
+    }
+  }
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+  state.SetItemsProcessed(state.iterations() * kChain);
+}
+BENCHMARK(BM_Scratch)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_NativeIncremental(benchmark::State& state) {
+  const Workload& w = GetWorkload(static_cast<int>(state.range(0)));
+  uint64_t conflicts = 0;
+  for (auto _ : state) {
+    lw::Solver solver;
+    LoadInto(&solver, w.base);
+    benchmark::DoNotOptimize(solver.Solve());
+    for (int step = 0; step < kChain; ++step) {
+      for (const auto& clause : w.increments[static_cast<size_t>(step)]) {
+        solver.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+      }
+      benchmark::DoNotOptimize(solver.Solve());
+    }
+    conflicts += solver.stats().conflicts;
+  }
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+  state.SetItemsProcessed(state.iterations() * kChain);
+}
+BENCHMARK(BM_NativeIncremental)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotService(benchmark::State& state) {
+  const Workload& w = GetWorkload(static_cast<int>(state.range(0)));
+  uint64_t restores = 0;
+  for (auto _ : state) {
+    lw::SolverServiceOptions options;
+    options.arena_bytes = 32ull << 20;
+    lw::SolverService service(options);
+    auto node = service.SolveRoot(w.base);
+    if (!node.ok()) {
+      state.SkipWithError(node.status().ToString().c_str());
+      return;
+    }
+    lw::SolverService::Token cur = node->token;
+    for (int step = 0; step < kChain; ++step) {
+      auto next = service.Extend(cur, w.increments[static_cast<size_t>(step)]);
+      if (!next.ok()) {
+        state.SkipWithError(next.status().ToString().c_str());
+        return;
+      }
+      cur = next->token;
+    }
+    restores = service.session_stats().restores;
+  }
+  state.counters["restores"] = static_cast<double>(restores);
+  state.SetItemsProcessed(state.iterations() * kChain);
+}
+BENCHMARK(BM_SnapshotService)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// The §3.2 branching case no scratch/native solver can do cheaply: extend the
+// SAME parent with F divergent increments. Native incremental must either
+// re-solve (scratch per branch) or pollute one solver with all branches; the
+// service just resumes the parent snapshot F times.
+void BM_SnapshotBranching(benchmark::State& state) {
+  const Workload& w = GetWorkload(4);
+  int fanout = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    lw::SolverServiceOptions options;
+    options.arena_bytes = 32ull << 20;
+    lw::SolverService service(options);
+    auto root = service.SolveRoot(w.base);
+    if (!root.ok()) {
+      state.SkipWithError(root.status().ToString().c_str());
+      return;
+    }
+    for (int branch = 0; branch < fanout; ++branch) {
+      auto child =
+          service.Extend(root->token, w.increments[static_cast<size_t>(branch % kChain)]);
+      if (!child.ok()) {
+        state.SkipWithError(child.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_SnapshotBranching)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_ScratchBranching(benchmark::State& state) {
+  const Workload& w = GetWorkload(4);
+  int fanout = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int branch = 0; branch < fanout; ++branch) {
+      lw::Solver solver;
+      LoadInto(&solver, w.base);
+      for (const auto& clause : w.increments[static_cast<size_t>(branch % kChain)]) {
+        solver.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+      }
+      benchmark::DoNotOptimize(solver.Solve());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_ScratchBranching)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

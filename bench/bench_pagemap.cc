@@ -1,0 +1,134 @@
+// E7 — the parent-relationship encoding ablation (§3.1):
+//
+//   "Each partial candidate also has an immutable relationship with its
+//    parent, which can be leveraged to encode the state in a space-efficient
+//    manner."
+//
+// Compares the two PageMap representations across snapshot-tree shapes:
+//
+//   Share/kind/dirty   — publishing a snapshot's map (flat = O(pages) vector
+//                        copy; radix = O(1) root copy after O(dirty) path
+//                        copies during the mutation phase)
+//   Diff/kind/dirty    — restore-time page diff between sibling snapshots
+//                        (flat = O(pages) scan; radix skips shared subtrees)
+//   TreeBytes/kind     — map structure bytes across a 256-snapshot chain
+//
+// Expected shape: flat wins share/diff for small maps or huge dirty ratios;
+// radix wins asymptotically on big, sparsely-dirtied address spaces — the
+// GB-scale address spaces the paper targets.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/snapshot/page_map.h"
+#include "src/snapshot/page_pool.h"
+#include "src/util/rng.h"
+
+namespace {
+
+constexpr uint32_t kPages = 16384;  // a 64 MiB arena's worth of 4 KiB pages
+
+lw::PageMap MakeBase(lw::PageMapKind kind, lw::PagePool* pool) {
+  lw::PageMap map(kind, kPages);
+  lw::PageRef zero = pool->ZeroPage();
+  for (uint32_t page = 0; page < kPages; ++page) {
+    map.Set(page, zero);
+  }
+  return map;
+}
+
+void BM_Share(benchmark::State& state) {
+  auto kind = state.range(0) == 0 ? lw::PageMapKind::kFlat : lw::PageMapKind::kRadix;
+  uint32_t dirty = static_cast<uint32_t>(state.range(1));
+  lw::PagePool pool;
+  lw::PageMap base = MakeBase(kind, &pool);
+  uint8_t page_bytes[lw::kPageSize] = {1};
+  lw::Rng rng(7);
+
+  for (auto _ : state) {
+    // One snapshot step: dirty `dirty` random pages in a working copy, then
+    // publish (share) the result the way the session does.
+    lw::PageMap working = base;
+    for (uint32_t i = 0; i < dirty; ++i) {
+      working.Set(rng.Next() % kPages, pool.Publish(page_bytes));
+    }
+    lw::PageMap published = working;  // the share
+    benchmark::DoNotOptimize(published.Get(0));
+  }
+  state.SetLabel(kind == lw::PageMapKind::kFlat ? "flat" : "radix");
+}
+BENCHMARK(BM_Share)
+    ->Args({0, 1})
+    ->Args({0, 64})
+    ->Args({0, 4096})
+    ->Args({1, 1})
+    ->Args({1, 64})
+    ->Args({1, 4096});
+
+void BM_Diff(benchmark::State& state) {
+  auto kind = state.range(0) == 0 ? lw::PageMapKind::kFlat : lw::PageMapKind::kRadix;
+  uint32_t dirty = static_cast<uint32_t>(state.range(1));
+  lw::PagePool pool;
+  lw::PageMap base = MakeBase(kind, &pool);
+  uint8_t page_bytes[lw::kPageSize] = {1};
+  lw::Rng rng(8);
+
+  lw::PageMap sibling = base;
+  for (uint32_t i = 0; i < dirty; ++i) {
+    sibling.Set(rng.Next() % kPages, pool.Publish(page_bytes));
+  }
+
+  uint64_t differing = 0;
+  for (auto _ : state) {
+    differing = 0;
+    base.Diff(sibling, [&differing](uint32_t, const lw::PageRef&, const lw::PageRef&) {
+      ++differing;
+    });
+    benchmark::DoNotOptimize(differing);
+  }
+  state.SetLabel(kind == lw::PageMapKind::kFlat ? "flat" : "radix");
+  state.counters["differing_pages"] = static_cast<double>(differing);
+}
+BENCHMARK(BM_Diff)
+    ->Args({0, 1})
+    ->Args({0, 64})
+    ->Args({0, 4096})
+    ->Args({1, 1})
+    ->Args({1, 64})
+    ->Args({1, 4096});
+
+// Retained-structure bytes across a chain of snapshots, each dirtying 16 pages:
+// flat duplicates the whole table per snapshot; radix shares spines.
+void BM_TreeBytes(benchmark::State& state) {
+  auto kind = state.range(0) == 0 ? lw::PageMapKind::kFlat : lw::PageMapKind::kRadix;
+  lw::PagePool pool;
+  uint8_t page_bytes[lw::kPageSize] = {1};
+  lw::Rng rng(9);
+
+  size_t retained = 0;
+  for (auto _ : state) {
+    std::vector<lw::PageMap> chain;
+    lw::PageMap working = MakeBase(kind, &pool);
+    for (int snapshot = 0; snapshot < 256; ++snapshot) {
+      for (int i = 0; i < 16; ++i) {
+        working.Set(rng.Next() % kPages, pool.Publish(page_bytes));
+      }
+      chain.push_back(working);
+    }
+    retained = 0;
+    std::unordered_set<const void*> seen;  // dedupes radix nodes shared across maps
+    for (const lw::PageMap& map : chain) {
+      retained += map.UniqueStructureBytes(&seen);
+    }
+    benchmark::DoNotOptimize(retained);
+  }
+  state.SetLabel(kind == lw::PageMapKind::kFlat ? "flat" : "radix");
+  state.counters["retained_map_bytes"] = static_cast<double>(retained);
+}
+BENCHMARK(BM_TreeBytes)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// E8 — immutable files (§3.1) and sound interposition (§5): simfs costs.
+//
+//   WriteOp/size_kb       — chunk-CoW write into a file of `size_kb` (cost is
+//                           per touched chunk, not per file size)
+//   SnapshotFs/files      — whole-FS snapshot with N live files (O(1): a
+//                           persistent-map root copy)
+//   RestoreFs/files       — whole-FS restore (also O(1) swap)
+//   SnapshotChurn/files   — snapshot → mutate 1 file → restore cycles (the
+//                           per-extension pattern of the interposition layer)
+//   InterposedWrite       — the full io_* dispatcher path (policy + fd table)
+//                           over the bare SimFs::WriteAt cost
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/interpose/guest_io.h"
+#include "src/simfs/fs.h"
+
+namespace {
+
+void BM_WriteOp(benchmark::State& state) {
+  size_t size_kb = static_cast<size_t>(state.range(0));
+  lw::SimFs fs;
+  auto ino = fs.Create("/f");
+  std::string fill(size_kb * 1024, 'x');
+  (void)fs.WriteAt(*ino, 0, fill.data(), fill.size());
+
+  char payload[256] = {1};
+  uint64_t offset = 0;
+  for (auto _ : state) {
+    // Overwrite a rotating 256-byte window: one or two chunk copies per op.
+    auto n = fs.WriteAt(*ino, offset % (size_kb * 1024), payload, sizeof payload);
+    benchmark::DoNotOptimize(n.ok());
+    offset += 4096;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * sizeof(payload)));
+}
+BENCHMARK(BM_WriteOp)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
+
+lw::SimFs* PopulatedFs(int files) {
+  auto* fs = new lw::SimFs();
+  std::string data(2048, 'd');
+  for (int i = 0; i < files; ++i) {
+    std::string path = "/f" + std::to_string(i);
+    auto ino = fs->Create(path);
+    (void)fs->WriteAt(*ino, 0, data.data(), data.size());
+  }
+  return fs;
+}
+
+void BM_SnapshotFs(benchmark::State& state) {
+  lw::SimFs* fs = PopulatedFs(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    lw::SimFs::State snap = fs->TakeSnapshot();
+    benchmark::DoNotOptimize(snap.valid());
+  }
+  delete fs;
+}
+BENCHMARK(BM_SnapshotFs)->Arg(1)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_RestoreFs(benchmark::State& state) {
+  lw::SimFs* fs = PopulatedFs(static_cast<int>(state.range(0)));
+  lw::SimFs::State snap = fs->TakeSnapshot();
+  for (auto _ : state) {
+    fs->Restore(snap);
+  }
+  delete fs;
+}
+BENCHMARK(BM_RestoreFs)->Arg(1)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_SnapshotChurn(benchmark::State& state) {
+  lw::SimFs* fs = PopulatedFs(static_cast<int>(state.range(0)));
+  auto ino = fs->Lookup("/f0");
+  char payload[64] = {7};
+  for (auto _ : state) {
+    lw::SimFs::State snap = fs->TakeSnapshot();
+    (void)fs->WriteAt(*ino, 0, payload, sizeof payload);
+    fs->Restore(snap);
+  }
+  delete fs;
+}
+BENCHMARK(BM_SnapshotChurn)->Arg(64)->Arg(8192);
+
+void BM_BareWriteAt(benchmark::State& state) {
+  lw::SimFs fs;
+  auto ino = fs.Create("/f");
+  char payload[64] = {3};
+  for (auto _ : state) {
+    auto n = fs.WriteAt(*ino, 0, payload, sizeof payload);
+    benchmark::DoNotOptimize(n.ok());
+  }
+}
+BENCHMARK(BM_BareWriteAt);
+
+void BM_InterposedWrite(benchmark::State& state) {
+  lw::SimFs fs;
+  lw::GuestIo io(&fs, lw::InterposePolicy::SoundMinimal());
+  lw::ScopedGuestIo scoped(&io);
+  int fd = lw::io_open("/f", lw::kOpenRead | lw::kOpenWrite | lw::kOpenCreate);
+  char payload[64] = {3};
+  for (auto _ : state) {
+    (void)lw::io_pwrite(fd, payload, sizeof payload, 0);
+  }
+  state.counters["denied"] = static_cast<double>(io.stats().TotalDenied());
+}
+BENCHMARK(BM_InterposedWrite);
+
+void BM_DeniedSyscall(benchmark::State& state) {
+  lw::SimFs fs;
+  lw::GuestIo io(&fs, lw::InterposePolicy::SoundMinimal());
+  lw::ScopedGuestIo scoped(&io);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lw::io_socket());  // fail-closed path cost
+  }
+}
+BENCHMARK(BM_DeniedSyscall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

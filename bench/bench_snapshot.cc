@@ -1,0 +1,135 @@
+// E2 — snapshot/restore primitive costs vs the classic alternatives.
+//
+// The Dune paper (and §4 here) claims an order of magnitude over Linux
+// process abstractions for memory-protection-heavy operations. Rows:
+//
+//   CowSnapshot/D/A    — CoW engine, D pages dirtied per snapshot, A MiB arena:
+//                        cost ∝ dirty pages, independent of arena size
+//   FullCopySnapshot/A — classic checkpoint [libckpt]: cost ∝ arena size
+//   ForkSnapshot/D     — fork+dirty+exit+wait per "snapshot" (the §3 strawman)
+//
+// Counters report the engine's own ns/snapshot and ns/restore so the
+// comparison is invariant to the harness loop.
+
+#include <benchmark/benchmark.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/core/backtrack.h"
+
+namespace {
+
+struct DirtyArgs {
+  uint32_t dirty_pages = 1;
+  uint32_t rounds = 64;
+};
+
+// Guest: each round dirties `dirty_pages` distinct pages of a large guest
+// buffer, then guesses over a single extension — forcing one snapshot and one
+// restore per round with a precisely controlled dirty set.
+void DirtyGuest(void* arg) {
+  auto* args = static_cast<DirtyArgs*>(arg);
+  auto* session = static_cast<lw::BacktrackSession*>(lw::CurrentExecutor());
+  const size_t page = 4096;
+  const size_t buffer_bytes = static_cast<size_t>(args->dirty_pages + 1) * page;
+  auto* buffer = static_cast<uint8_t*>(session->heap()->Alloc(buffer_bytes));
+  if (buffer == nullptr) {
+    return;
+  }
+  if (!lw::sys_guess_strategy(lw::StrategyKind::kDfs)) {
+    return;
+  }
+  for (uint32_t round = 0; round < args->rounds; ++round) {
+    for (uint32_t p = 0; p < args->dirty_pages; ++p) {
+      buffer[p * page + (round % page)] = static_cast<uint8_t>(round);
+    }
+    (void)lw::sys_guess(1);
+  }
+}
+
+void RunEngine(benchmark::State& state, lw::SnapshotMode mode) {
+  DirtyArgs args;
+  args.dirty_pages = static_cast<uint32_t>(state.range(0));
+  size_t arena_mb = static_cast<size_t>(state.range(1));
+
+  uint64_t snap_ns = 0;
+  uint64_t restore_ns = 0;
+  uint64_t snapshots = 0;
+  uint64_t pages = 0;
+  for (auto _ : state) {
+    lw::SessionOptions options;
+    options.arena_bytes = arena_mb << 20;
+    options.snapshot_mode = mode;
+    options.output = [](std::string_view) {};
+    lw::BacktrackSession session(options);
+    lw::Status status = session.Run(&DirtyGuest, &args);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    snap_ns = session.stats().snapshot_ns;
+    restore_ns = session.stats().restore_ns;
+    snapshots = session.stats().snapshots;
+    pages = session.stats().pages_materialized;
+  }
+  if (snapshots != 0) {
+    state.counters["ns/snapshot"] = static_cast<double>(snap_ns) / snapshots;
+    state.counters["ns/restore"] = static_cast<double>(restore_ns) / snapshots;
+    state.counters["pages/snapshot"] = static_cast<double>(pages) / snapshots;
+  }
+}
+
+void BM_CowSnapshot(benchmark::State& state) { RunEngine(state, lw::SnapshotMode::kCow); }
+BENCHMARK(BM_CowSnapshot)
+    ->Args({1, 16})
+    ->Args({8, 16})
+    ->Args({64, 16})
+    ->Args({512, 16})
+    ->Args({1, 64})
+    ->Args({8, 64})
+    ->Args({64, 64})
+    ->Args({512, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullCopySnapshot(benchmark::State& state) {
+  RunEngine(state, lw::SnapshotMode::kFullCopy);
+}
+// One iteration each: whole-arena copies are the point being demonstrated, and
+// a 64 MiB arena pays for it on every one of the 64 rounds.
+BENCHMARK(BM_FullCopySnapshot)
+    ->Args({8, 16})
+    ->Args({8, 64})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The fork strawman: one fork()+dirty+_exit+waitpid cycle per "snapshot".
+void BM_ForkSnapshot(benchmark::State& state) {
+  uint32_t dirty_pages = static_cast<uint32_t>(state.range(0));
+  const size_t page = 4096;
+  static uint8_t* buffer = nullptr;
+  const size_t buffer_bytes = 1024 * page;
+  if (buffer == nullptr) {
+    buffer = new uint8_t[buffer_bytes];
+    std::memset(buffer, 1, buffer_bytes);
+  }
+  for (auto _ : state) {
+    pid_t pid = fork();
+    if (pid == 0) {
+      for (uint32_t p = 0; p < dirty_pages; ++p) {
+        buffer[p * page] = 2;  // CoW break in the child
+      }
+      _exit(0);
+    }
+    int wstatus = 0;
+    waitpid(pid, &wstatus, 0);
+  }
+  state.counters["dirty_pages"] = dirty_pages;
+}
+BENCHMARK(BM_ForkSnapshot)->Arg(1)->Arg(8)->Arg(64)->Arg(512)->Iterations(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,214 @@
+// E5 — flexible search strategies (§3.1): the same 8-puzzle guest scheduled by
+// DFS, BFS, A*, SM-A*, IDDFS and Random. The strategy is pure policy — the
+// guest program never changes — and A*'s goal-distance information flows
+// through sys_guess_weighted, the paper's extended guess call.
+//
+// Expected shape: A* evaluates the fewest extensions and finds the optimal
+// depth; BFS matches the depth at a much higher node count; SM-A* tracks A*
+// under a bounded frontier; DFS finds deep non-optimal solutions.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "src/core/backtrack.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using BoardCode = uint64_t;
+
+struct Puzzle {
+  int cells[9];
+  int depth;
+};
+
+BoardCode Encode(const int cells[9]) {
+  BoardCode code = 0;
+  for (int i = 0; i < 9; ++i) {
+    code |= static_cast<BoardCode>(cells[i]) << (4 * i);
+  }
+  return code;
+}
+
+BoardCode GoalCode() {
+  const int goal[9] = {1, 2, 3, 4, 5, 6, 7, 8, 0};
+  return Encode(goal);
+}
+
+int BlankAt(const int cells[9]) {
+  for (int i = 0; i < 9; ++i) {
+    if (cells[i] == 0) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int Moves(int pos, int out[4]) {
+  int n = 0;
+  if (pos / 3 > 0) {
+    out[n++] = pos - 3;
+  }
+  if (pos / 3 < 2) {
+    out[n++] = pos + 3;
+  }
+  if (pos % 3 > 0) {
+    out[n++] = pos - 1;
+  }
+  if (pos % 3 < 2) {
+    out[n++] = pos + 1;
+  }
+  return n;
+}
+
+int Manhattan(const int cells[9]) {
+  int total = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (cells[i] == 0) {
+      continue;
+    }
+    int goal = cells[i] - 1;
+    total += std::abs(i / 3 - goal / 3) + std::abs(i % 3 - goal % 3);
+  }
+  return total;
+}
+
+struct HostSide {
+  BoardCode start;
+  lw::StrategyKind strategy;
+  std::unordered_set<BoardCode>* closed;
+  bool* solved;
+  int* depth;
+};
+
+void PuzzleGuest(void* arg) {
+  auto* host = static_cast<HostSide*>(arg);
+  auto* session = static_cast<lw::BacktrackSession*>(lw::CurrentExecutor());
+  auto* puzzle = lw::GuestNew<Puzzle>(session->heap());
+  for (int i = 0; i < 9; ++i) {
+    puzzle->cells[i] = static_cast<int>((host->start >> (4 * i)) & 0xf);
+  }
+  puzzle->depth = 0;
+
+  if (!lw::sys_guess_strategy(host->strategy)) {
+    return;
+  }
+  while (true) {
+    if (*host->solved) {
+      lw::sys_guess_fail();
+    }
+    BoardCode code = Encode(puzzle->cells);
+    if (code == GoalCode()) {
+      *host->solved = true;
+      *host->depth = puzzle->depth;
+      lw::sys_guess_fail();
+    }
+    if (!host->closed->insert(code).second) {
+      lw::sys_guess_fail();
+    }
+    int blank = BlankAt(puzzle->cells);
+    int moves[4];
+    int n = Moves(blank, moves);
+
+    int choice;
+    bool weighted = host->strategy == lw::StrategyKind::kAstar ||
+                    host->strategy == lw::StrategyKind::kSmaStar;
+    if (weighted) {
+      lw::GuessCost costs[4];
+      for (int i = 0; i < n; ++i) {
+        int next[9];
+        for (int j = 0; j < 9; ++j) {
+          next[j] = puzzle->cells[j];
+        }
+        next[blank] = next[moves[i]];
+        next[moves[i]] = 0;
+        costs[i].g = puzzle->depth + 1;
+        costs[i].h = Manhattan(next);
+      }
+      choice = lw::sys_guess_weighted(n, costs);
+    } else {
+      choice = lw::sys_guess(n);
+    }
+    puzzle->cells[blank] = puzzle->cells[moves[choice]];
+    puzzle->cells[moves[choice]] = 0;
+    puzzle->depth++;
+  }
+}
+
+BoardCode ScrambledBoard(int scramble_moves) {
+  int cells[9] = {1, 2, 3, 4, 5, 6, 7, 8, 0};
+  lw::Rng rng(99);
+  int prev = -1;
+  for (int i = 0; i < scramble_moves; ++i) {
+    int blank = BlankAt(cells);
+    int moves[4];
+    int n = Moves(blank, moves);
+    int pick;
+    do {
+      pick = moves[rng.Next() % static_cast<uint64_t>(n)];
+    } while (pick == prev && n > 1);
+    prev = blank;
+    cells[blank] = cells[pick];
+    cells[pick] = 0;
+  }
+  return Encode(cells);
+}
+
+void RunStrategy(benchmark::State& state, lw::StrategyKind kind, size_t max_frontier = 0) {
+  int scramble = static_cast<int>(state.range(0));
+  BoardCode start = ScrambledBoard(scramble);
+
+  uint64_t extensions = 0;
+  uint64_t snapshots = 0;
+  int depth = -1;
+  for (auto _ : state) {
+    std::unordered_set<BoardCode> closed;
+    bool solved = false;
+    depth = -1;
+
+    lw::SessionOptions options;
+    options.arena_bytes = 8ull << 20;
+    options.strategy.kind = kind;
+    options.strategy.max_frontier = max_frontier;
+    if (kind == lw::StrategyKind::kIddfs) {
+      options.strategy.iddfs_initial_limit = 4;
+      options.strategy.iddfs_step = 4;
+    }
+    options.output = [](std::string_view) {};
+
+    lw::BacktrackSession session(options);
+    HostSide host{start, kind, &closed, &solved, &depth};
+    lw::Status status = session.Run(&PuzzleGuest, &host);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    extensions = session.stats().extensions_evaluated;
+    snapshots = session.stats().snapshots;
+  }
+  state.counters["extensions"] = static_cast<double>(extensions);
+  state.counters["snapshots"] = static_cast<double>(snapshots);
+  state.counters["depth"] = depth;
+}
+
+void BM_Astar(benchmark::State& state) { RunStrategy(state, lw::StrategyKind::kAstar); }
+void BM_Bfs(benchmark::State& state) { RunStrategy(state, lw::StrategyKind::kBfs); }
+void BM_Dfs(benchmark::State& state) { RunStrategy(state, lw::StrategyKind::kDfs); }
+void BM_SmaStar(benchmark::State& state) {
+  RunStrategy(state, lw::StrategyKind::kSmaStar, /*max_frontier=*/256);
+}
+void BM_Iddfs(benchmark::State& state) { RunStrategy(state, lw::StrategyKind::kIddfs); }
+void BM_Random(benchmark::State& state) { RunStrategy(state, lw::StrategyKind::kRandom); }
+
+BENCHMARK(BM_Astar)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bfs)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SmaStar)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Iddfs)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Random)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dfs)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// E6 — multi-path symbolic execution: software state copying vs system-level
+// snapshots (§2's S2E argument).
+//
+// Workload: BranchTreeProgram(depth, words) — 2^depth paths, each level
+// dirtying `words` memory words (the per-path state-size knob). Rows:
+//
+//   Explicit/depth/words        — deep-copy-per-fork baseline (S2E-style
+//                                 software state management)
+//   Snapshot/depth/words        — lwsnap CoW backend (the paper's proposal)
+//   SnapshotFullCopy/depth/words— lwsnap with whole-arena checkpoints
+//
+// Expected shape: Explicit degrades as `words` (state size) grows; Snapshot's
+// cost follows dirtied pages, not total state; FullCopy is uniformly worst.
+// items_processed = completed paths, so compare paths/second.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "src/symx/explorer.h"
+#include "src/symx/programs.h"
+
+namespace {
+
+// range(0)=tree depth, range(1)=words written per level (the dirty footprint),
+// range(2)=total VM memory in KiB (the state size a software copy must pay for).
+void Configure(lw::ExploreOptions* options, const benchmark::State& state) {
+  uint32_t needed = static_cast<uint32_t>(state.range(0) * state.range(1) + 64);
+  uint32_t from_kb = static_cast<uint32_t>(state.range(2)) * 1024u / 8u;
+  options->vm.mem_words = std::max(needed, from_kb);
+  options->arena_bytes = 64ull << 20;
+}
+
+void BM_Explicit(benchmark::State& state) {
+  lw::Program program =
+      lw::BranchTreeProgram(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  lw::ExploreOptions options;
+  Configure(&options, state);
+  lw::ExploreStats stats;
+  for (auto _ : state) {
+    lw::ExplicitExplorer explorer(options);
+    lw::Status status = explorer.Explore(program, &stats, nullptr);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(stats.paths_completed));
+  state.counters["paths"] = static_cast<double>(stats.paths_completed);
+  state.counters["copied_bytes"] = static_cast<double>(stats.state_bytes_copied);
+}
+
+void BM_Snapshot(benchmark::State& state) {
+  lw::Program program =
+      lw::BranchTreeProgram(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  lw::ExploreOptions options;
+  Configure(&options, state);
+  lw::ExploreStats stats;
+  lw::SessionStats session;
+  for (auto _ : state) {
+    lw::SnapshotExplorer explorer(options);
+    lw::Status status = explorer.Explore(program, &stats, nullptr);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    session = explorer.session_stats();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(stats.paths_completed));
+  state.counters["paths"] = static_cast<double>(stats.paths_completed);
+  state.counters["pages_materialized"] = static_cast<double>(session.pages_materialized);
+}
+
+void BM_SnapshotFullCopy(benchmark::State& state) {
+  lw::Program program =
+      lw::BranchTreeProgram(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  lw::ExploreOptions options;
+  Configure(&options, state);
+  options.snapshot_mode = lw::SnapshotMode::kFullCopy;
+  options.arena_bytes = 8ull << 20;  // keep whole-arena copies tractable
+  lw::ExploreStats stats;
+  for (auto _ : state) {
+    lw::SnapshotExplorer explorer(options);
+    lw::Status status = explorer.Explore(program, &stats, nullptr);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(stats.paths_completed));
+  state.counters["paths"] = static_cast<double>(stats.paths_completed);
+}
+
+// The big-state rows are the paper's regime: per-path state (up to 8 MiB) far
+// exceeds the per-fork dirty footprint, so copying whole states loses to CoW.
+#define SYMX_ARGS(B)                                                                     \
+  B->Args({6, 1, 0})->Args({6, 64, 0})->Args({8, 64, 64})->Args({8, 64, 512})            \
+      ->Args({8, 64, 2048})->Args({8, 64, 8192})->Unit(benchmark::kMillisecond)
+
+SYMX_ARGS(BENCHMARK(BM_Explicit));
+SYMX_ARGS(BENCHMARK(BM_Snapshot));
+BENCHMARK(BM_SnapshotFullCopy)
+    ->Args({6, 64, 0})
+    ->Args({8, 64, 0})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The bug-finding episode end-to-end (password + checksum): dominated by
+// solver queries, so backend differences should mostly vanish — a control.
+void BM_PasswordEpisode(benchmark::State& state) {
+  lw::Program program = lw::PasswordProgram({0xfeedface, 0x8badf00d, 0x1337, 0x42});
+  lw::ExploreOptions options;
+  options.vm.mem_words = 64;
+  options.arena_bytes = 32ull << 20;
+  bool snapshots = state.range(0) == 1;
+  uint64_t violations = 0;
+  for (auto _ : state) {
+    lw::ExploreStats stats;
+    lw::Status status;
+    if (snapshots) {
+      lw::SnapshotExplorer explorer(options);
+      status = explorer.Explore(program, &stats, nullptr);
+    } else {
+      lw::ExplicitExplorer explorer(options);
+      status = explorer.Explore(program, &stats, nullptr);
+    }
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    violations = stats.violations;
+  }
+  state.SetLabel(snapshots ? "snapshot" : "explicit");
+  state.counters["violations"] = static_cast<double>(violations);
+}
+BENCHMARK(BM_PasswordEpisode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// lwprolog demo: the paper's §5 comparison point, run standalone.
+//
+// Loads the n-queens program (the same source the E1 bench uses), enumerates
+// all solutions, and prints the runtime's trail/choice-point statistics — the
+// bookkeeping a language runtime pays for backtracking, which system-level
+// snapshots make disappear from the application.
+//
+// Run: ./prolog_queens [N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/prolog/machine.h"
+
+namespace {
+
+constexpr char kQueensProgram[] = R"(
+range(N, N, [N]) :- !.
+range(M, N, [M|T]) :- M < N, M1 is M + 1, range(M1, N, T).
+
+select_(X, [X|T], T).
+select_(X, [H|T], [H|R]) :- select_(X, T, R).
+
+attack(X, Xs) :- attack_(X, 1, Xs).
+attack_(X, N, [Y|_]) :- X =:= Y + N.
+attack_(X, N, [Y|_]) :- X =:= Y - N.
+attack_(X, N, [_|Ys]) :- N1 is N + 1, attack_(X, N1, Ys).
+
+queens_(Unplaced, Placed, Qs) :-
+  select_(Q, Unplaced, Rest),
+  \+ attack(Q, Placed),
+  queens_(Rest, [Q|Placed], Qs).
+queens_([], Qs, Qs).
+
+queens(N, Qs) :- range(1, N, Ns), queens_(Ns, [], Qs).
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 8;
+  if (n < 1 || n > 12) {
+    std::fprintf(stderr, "usage: %s [N in 1..12]\n", argv[0]);
+    return 1;
+  }
+
+  lw::PrologMachine machine;
+  lw::Status status = machine.Consult(kQueensProgram);
+  if (!status.ok()) {
+    std::fprintf(stderr, "consult failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  int printed = 0;
+  auto result = machine.Query(
+      "queens(" + std::to_string(n) + ", Qs).",
+      [&printed](const lw::PrologMachine::Bindings& bindings) {
+        if (printed < 4) {
+          std::printf("Qs = %s\n", bindings[0].second.c_str());
+        } else if (printed == 4) {
+          std::printf("... (remaining solutions elided)\n");
+        }
+        ++printed;
+        return true;
+      });
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%d-queens: %llu solutions\n", n, static_cast<unsigned long long>(*result));
+  std::printf("runtime bookkeeping: %s\n", machine.stats().ToString().c_str());
+  return 0;
+}

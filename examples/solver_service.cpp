@@ -1,0 +1,109 @@
+// The §3.2 multi-path incremental solver service, end to end.
+//
+// A single-path CDCL solver runs inside a snapshot arena. We solve a base
+// graph-coloring problem once, then branch the *same* solved problem into
+// divergent what-if constraint sets — each Extend(parent, q) resumes the
+// parent's immutable snapshot, so no branch ever pays for another branch's
+// constraints, and no solver state is ever copied.
+//
+// Run: ./solver_service [nodes] [edges] [colors]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/solver/cnf.h"
+#include "src/solver/service.h"
+#include "src/util/rng.h"
+
+namespace {
+
+void PrintOutcome(const char* label, const lw::SolverService::Outcome& outcome) {
+  std::printf("%-28s %-6s conflicts(total)=%-7llu token=%llu\n", label,
+              outcome.result.IsTrue()    ? "SAT"
+              : outcome.result.IsFalse() ? "UNSAT"
+                                         : "UNKNOWN",
+              static_cast<unsigned long long>(outcome.conflicts),
+              static_cast<unsigned long long>(outcome.token));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nodes = argc > 1 ? std::atoi(argv[1]) : 40;
+  int edges = argc > 2 ? std::atoi(argv[2]) : 90;
+  int colors = argc > 3 ? std::atoi(argv[3]) : 3;
+  if (nodes < 2 || edges < 1 || colors < 2) {
+    std::fprintf(stderr, "usage: %s [nodes>=2] [edges>=1] [colors>=2]\n", argv[0]);
+    return 1;
+  }
+
+  lw::Rng rng(2024);
+  lw::Cnf base = lw::GraphColoring(&rng, nodes, edges, colors);
+  std::printf("base problem: %d-coloring of a %d-node/%d-edge graph (%zu clauses)\n\n", colors,
+              nodes, edges, base.clause_count());
+
+  lw::SolverServiceOptions options;
+  options.arena_bytes = 32ull << 20;
+  lw::SolverService service(options);
+
+  auto root = service.SolveRoot(base);
+  if (!root.ok()) {
+    std::fprintf(stderr, "root solve failed: %s\n", root.status().ToString().c_str());
+    return 1;
+  }
+  PrintOutcome("p  (base coloring)", *root);
+  if (!root->result.IsTrue()) {
+    std::printf("base instance unsatisfiable; rerun with more colors\n");
+    return 0;
+  }
+
+  // Branch 1: pin node 0 to each color in turn — all extensions of the SAME
+  // solved parent.
+  auto var_of = [colors](int node, int color) { return lw::MakeLit(node * colors + color); };
+  std::printf("\nbranching p with divergent what-if constraints:\n");
+  std::vector<lw::SolverService::Token> children;
+  for (int c = 0; c < colors; ++c) {
+    auto child = service.Extend(root->token, {{var_of(0, c)}});
+    if (!child.ok()) {
+      std::fprintf(stderr, "extend failed: %s\n", child.status().ToString().c_str());
+      return 1;
+    }
+    char label[64];
+    std::snprintf(label, sizeof label, "p ∧ color(n0)=%d", c);
+    PrintOutcome(label, *child);
+    children.push_back(child->token);
+  }
+
+  // Branch 2: deepen one child — force nodes 0 and 1 to the same color, which
+  // is UNSAT whenever they are adjacent, then recover on a sibling branch.
+  std::printf("\ndeepening the first child:\n");
+  std::vector<std::vector<lw::Lit>> same_color;
+  for (int c = 0; c < colors; ++c) {
+    // same(c): node0=c → node1=c  … together with "node1 has exactly one color"
+    same_color.push_back({~var_of(0, c), var_of(1, c)});
+  }
+  auto forced = service.Extend(children[0], same_color);
+  if (!forced.ok()) {
+    std::fprintf(stderr, "extend failed: %s\n", forced.status().ToString().c_str());
+    return 1;
+  }
+  PrintOutcome("child0 ∧ same(n0,n1)", *forced);
+
+  auto sibling = service.Extend(children[1], {{var_of(2, 0), var_of(2, 1)}});
+  if (!sibling.ok()) {
+    std::fprintf(stderr, "extend failed: %s\n", sibling.status().ToString().c_str());
+    return 1;
+  }
+  PrintOutcome("child1 ∧ n2∈{0,1}", *sibling);
+
+  const lw::SessionStats& stats = service.session_stats();
+  std::printf(
+      "\nsession: snapshots=%llu restores=%llu pages_materialized=%llu pages_restored=%llu\n",
+      static_cast<unsigned long long>(stats.snapshots),
+      static_cast<unsigned long long>(stats.restores),
+      static_cast<unsigned long long>(stats.pages_materialized),
+      static_cast<unsigned long long>(stats.pages_restored));
+  std::printf("every Extend() resumed an immutable parent — zero solver-state copies\n");
+  return 0;
+}

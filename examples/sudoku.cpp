@@ -1,0 +1,166 @@
+// Sudoku with system-level backtracking: the "single path to solution" style of
+// Figure 1 applied to a richer constraint problem. The guest fills empty cells
+// in most-constrained-first order; every cell choice is one sys_guess, every
+// dead end one sys_guess_fail. No undo code exists anywhere — restoring the
+// parent snapshot rewinds the whole board.
+//
+// Run: ./sudoku [puzzle-string]
+//   puzzle-string: 81 chars, '1'..'9' for givens, '.' or '0' for blanks
+//   (default: a 24-given "hard" instance).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/backtrack.h"
+
+namespace {
+
+// The canonical "AI Escargot"-style hard instance (23 givens, unique solution).
+constexpr char kDefaultPuzzle[] =
+    "1....7.9..3..2...8..96..5....53..9...1..8...26....4...3......1..4......7..7...3..";
+
+struct Board {
+  int cell[9][9] = {};  // 0 = empty
+
+  bool Legal(int row, int col, int digit) const {
+    for (int i = 0; i < 9; ++i) {
+      if (cell[row][i] == digit || cell[i][col] == digit) {
+        return false;
+      }
+    }
+    int br = row / 3 * 3;
+    int bc = col / 3 * 3;
+    for (int r = br; r < br + 3; ++r) {
+      for (int c = bc; c < bc + 3; ++c) {
+        if (cell[r][c] == digit) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  int CandidateCount(int row, int col) const {
+    int n = 0;
+    for (int d = 1; d <= 9; ++d) {
+      n += Legal(row, col, d) ? 1 : 0;
+    }
+    return n;
+  }
+
+  // Most-constrained empty cell; false when the board is full.
+  bool NextCell(int* row, int* col) const {
+    int best = 10;
+    bool found = false;
+    for (int r = 0; r < 9; ++r) {
+      for (int c = 0; c < 9; ++c) {
+        if (cell[r][c] != 0) {
+          continue;
+        }
+        int n = CandidateCount(r, c);
+        if (n < best) {
+          best = n;
+          *row = r;
+          *col = c;
+          found = true;
+        }
+      }
+    }
+    return found;
+  }
+
+  void Emit() const {
+    char text[1024];
+    int len = 0;
+    for (int r = 0; r < 9; ++r) {
+      for (int c = 0; c < 9; ++c) {
+        text[len++] = static_cast<char>('0' + cell[r][c]);
+        text[len++] = c == 8 ? '\n' : ' ';
+      }
+      if (r % 3 == 2 && r != 8) {
+        len += std::snprintf(text + len, sizeof(text) - static_cast<size_t>(len), "\n");
+      }
+    }
+    text[len++] = '\n';
+    lw::sys_emit(text, static_cast<size_t>(len));
+  }
+};
+
+struct GuestArgs {
+  const char* puzzle;
+};
+
+void Solve(Board* board) {
+  int row = 0;
+  int col = 0;
+  while (board->NextCell(&row, &col)) {
+    // Collect the legal digits, then let the OS "guess" among them.
+    int candidates[9];
+    int n = 0;
+    for (int d = 1; d <= 9; ++d) {
+      if (board->Legal(row, col, d)) {
+        candidates[n++] = d;
+      }
+    }
+    if (n == 0) {
+      lw::sys_guess_fail();  // dead end; snapshot restore undoes everything
+    }
+    board->cell[row][col] = candidates[lw::sys_guess(n)];
+  }
+  board->Emit();
+  lw::sys_note_solution();
+}
+
+void GuestMain(void* arg) {
+  auto* args = static_cast<GuestArgs*>(arg);
+  auto* session = static_cast<lw::BacktrackSession*>(lw::CurrentExecutor());
+  Board* board = lw::GuestNew<Board>(session->heap());
+  for (int i = 0; i < 81; ++i) {
+    char ch = args->puzzle[i];
+    board->cell[i / 9][i % 9] = (ch >= '1' && ch <= '9') ? ch - '0' : 0;
+  }
+  if (lw::sys_guess_strategy(lw::StrategyKind::kDfs)) {
+    Solve(board);
+    // Stop at the first solution: a well-posed sudoku has exactly one, so
+    // keep going only to *prove* uniqueness.
+    lw::sys_guess_fail();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* puzzle = argc > 1 ? argv[1] : kDefaultPuzzle;
+  if (std::strlen(puzzle) != 81) {
+    std::fprintf(stderr, "usage: %s [81-char puzzle, '.'=blank]\n", argv[0]);
+    return 1;
+  }
+
+  int solutions = 0;
+  lw::SessionOptions options;
+  options.arena_bytes = 16ull << 20;
+  options.output = [&solutions](std::string_view text) {
+    ++solutions;
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  };
+
+  lw::BacktrackSession session(options);
+  GuestArgs args{puzzle};
+  lw::Status status = session.Run(&GuestMain, &args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "session failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const lw::SessionStats& stats = session.stats();
+  std::printf("%d solution(s); guesses=%llu snapshots=%llu restores=%llu failures=%llu\n",
+              solutions, static_cast<unsigned long long>(stats.guesses),
+              static_cast<unsigned long long>(stats.snapshots),
+              static_cast<unsigned long long>(stats.restores),
+              static_cast<unsigned long long>(stats.failures));
+  if (solutions == 1) {
+    std::printf("uniqueness proven by exhausting the remaining search space\n");
+  }
+  return solutions >= 1 ? 0 : 2;
+}

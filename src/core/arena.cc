@@ -1,0 +1,234 @@
+#include "src/core/arena.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace lw {
+namespace {
+
+// Process-global registry mapping fault addresses to arenas. Sessions are
+// single-threaded (§5 of the paper) but multiple sessions may coexist in one
+// process (e.g., tests), so the registry holds a small fixed set.
+constexpr int kMaxArenas = 32;
+
+struct ArenaSlot {
+  volatile uint8_t* base;
+  volatile size_t size;
+  GuestArena* volatile arena;
+};
+
+ArenaSlot g_arenas[kMaxArenas];
+bool g_handler_installed = false;
+struct sigaction g_previous_action;
+char* g_alt_stack = nullptr;
+
+void RegisterArena(GuestArena* arena, uint8_t* base, size_t size) {
+  for (auto& slot : g_arenas) {
+    if (slot.arena == nullptr) {
+      slot.base = base;
+      slot.size = size;
+      slot.arena = arena;
+      return;
+    }
+  }
+  LW_CHECK_MSG(false, "too many concurrent GuestArenas");
+}
+
+void UnregisterArena(GuestArena* arena) {
+  for (auto& slot : g_arenas) {
+    if (slot.arena == arena) {
+      slot.arena = nullptr;
+      slot.base = nullptr;
+      slot.size = 0;
+      return;
+    }
+  }
+}
+
+GuestArena* FindArena(const void* addr) {
+  const uint8_t* p = static_cast<const uint8_t*>(addr);
+  for (auto& slot : g_arenas) {
+    GuestArena* arena = slot.arena;
+    if (arena != nullptr && p >= slot.base && p < slot.base + slot.size) {
+      return arena;
+    }
+  }
+  return nullptr;
+}
+
+[[noreturn]] void DieInHandler(const char* msg) {
+  // Async-signal-safe reporting only.
+  ssize_t ignored = write(STDERR_FILENO, msg, strlen(msg));
+  (void)ignored;
+  _exit(139);
+}
+
+void SegvHandler(int signo, siginfo_t* info, void* ucontext) {
+  GuestArena* arena = info != nullptr ? FindArena(info->si_addr) : nullptr;
+  if (arena == nullptr) {
+    // Not ours: restore the previous disposition and re-raise so the crash is
+    // reported normally.
+    sigaction(SIGSEGV, &g_previous_action, nullptr);
+    raise(signo);
+    (void)ucontext;
+    return;
+  }
+  arena->HandleWriteFault(info->si_addr);
+}
+
+}  // namespace
+
+void GuestArena::EnsureGlobalHandlerInstalled() {
+  if (g_handler_installed) {
+    return;
+  }
+  // SIGSTKSZ is not a constant on modern glibc; size generously.
+  const size_t alt_size = 256 * 1024;
+  g_alt_stack = static_cast<char*>(std::malloc(alt_size));
+  LW_CHECK(g_alt_stack != nullptr);
+  stack_t ss{};
+  ss.ss_sp = g_alt_stack;
+  ss.ss_size = alt_size;
+  ss.ss_flags = 0;
+  LW_CHECK(sigaltstack(&ss, nullptr) == 0);
+
+  struct sigaction sa{};
+  sa.sa_sigaction = &SegvHandler;
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  LW_CHECK(sigaction(SIGSEGV, &sa, &g_previous_action) == 0);
+  g_handler_installed = true;
+}
+
+GuestArena::GuestArena(const Layout& layout)
+    : dirty_(static_cast<uint32_t>((layout.arena_bytes + kPageSize - 1) / kPageSize)) {
+  LW_CHECK_MSG(layout.arena_bytes % kPageSize == 0, "arena size must be page-aligned");
+  LW_CHECK_MSG(layout.stack_bytes % kPageSize == 0, "stack size must be page-aligned");
+  LW_CHECK_MSG(layout.guard_bytes % kPageSize == 0, "guard size must be page-aligned");
+  LW_CHECK(layout.arena_bytes > layout.stack_bytes + layout.guard_bytes + 16 * kPageSize);
+
+  size_ = layout.arena_bytes;
+  stack_bytes_ = layout.stack_bytes;
+  heap_bytes_ = size_ - stack_bytes_ - layout.guard_bytes;
+  num_pages_ = static_cast<uint32_t>(size_ / kPageSize);
+  guard_lo_ = static_cast<uint32_t>(heap_bytes_ / kPageSize);
+  guard_hi_ = guard_lo_ + static_cast<uint32_t>(layout.guard_bytes / kPageSize);
+
+  void* mem = mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  LW_CHECK_MSG(mem != MAP_FAILED, "guest arena mmap failed");
+  base_ = static_cast<uint8_t*>(mem);
+
+  // Guard pages are permanently inaccessible.
+  LW_CHECK(mprotect(base_ + static_cast<size_t>(guard_lo_) * kPageSize,
+                    static_cast<size_t>(guard_hi_ - guard_lo_) * kPageSize, PROT_NONE) == 0);
+
+  EnsureGlobalHandlerInstalled();
+  RegisterArena(this, base_, size_);
+}
+
+GuestArena::~GuestArena() {
+  UnregisterArena(this);
+  if (base_ != nullptr) {
+    munmap(base_, size_);
+  }
+}
+
+void GuestArena::SetCowEnabled(bool enabled) {
+  if (enabled == cow_enabled_) {
+    return;
+  }
+  cow_enabled_ = enabled;
+  if (!enabled) {
+    // Everything writable; dirty tracking is meaningless from here on.
+    LW_CHECK(mprotect(base_, static_cast<size_t>(guard_lo_) * kPageSize,
+                      PROT_READ | PROT_WRITE) == 0);
+    LW_CHECK(mprotect(base_ + static_cast<size_t>(guard_hi_) * kPageSize,
+                      size_ - static_cast<size_t>(guard_hi_) * kPageSize,
+                      PROT_READ | PROT_WRITE) == 0);
+    dirty_.Clear();
+  } else {
+    ProtectAll();
+  }
+}
+
+void GuestArena::ProtectAll() {
+  LW_CHECK(cow_enabled_);
+  LW_CHECK(mprotect(base_, static_cast<size_t>(guard_lo_) * kPageSize, PROT_READ) == 0);
+  LW_CHECK(mprotect(base_ + static_cast<size_t>(guard_hi_) * kPageSize,
+                    size_ - static_cast<size_t>(guard_hi_) * kPageSize, PROT_READ) == 0);
+  dirty_.Clear();
+}
+
+void GuestArena::ReprotectDirty() {
+  LW_CHECK(cow_enabled_);
+  const uint32_t* pages = dirty_.pages();
+  const uint32_t n = dirty_.count();
+  // Coalesce consecutive pages into single mprotect calls: dirty lists are
+  // generated in fault order, which for sequential writes is ascending.
+  uint32_t i = 0;
+  while (i < n) {
+    uint32_t run_start = pages[i];
+    uint32_t run_len = 1;
+    while (i + run_len < n && pages[i + run_len] == run_start + run_len) {
+      ++run_len;
+    }
+    LW_CHECK(mprotect(PageAddr(run_start), static_cast<size_t>(run_len) * kPageSize,
+                      PROT_READ) == 0);
+    i += run_len;
+  }
+  dirty_.Clear();
+}
+
+void GuestArena::ReprotectDirtyExcept(const uint8_t* skip) {
+  LW_CHECK(cow_enabled_);
+  const uint32_t* pages = dirty_.pages();
+  const uint32_t n = dirty_.count();
+  uint32_t i = 0;
+  while (i < n) {
+    if (skip[pages[i]] != 0) {
+      ++i;
+      continue;
+    }
+    uint32_t run_start = pages[i];
+    uint32_t run_len = 1;
+    while (i + run_len < n && pages[i + run_len] == run_start + run_len &&
+           skip[pages[i + run_len]] == 0) {
+      ++run_len;
+    }
+    LW_CHECK(mprotect(PageAddr(run_start), static_cast<size_t>(run_len) * kPageSize,
+                      PROT_READ) == 0);
+    i += run_len;
+  }
+  dirty_.Clear();
+}
+
+void GuestArena::UnprotectPage(uint32_t page) {
+  LW_CHECK(!InGuard(page));
+  LW_CHECK(mprotect(PageAddr(page), kPageSize, PROT_READ | PROT_WRITE) == 0);
+}
+
+void GuestArena::ProtectPage(uint32_t page) {
+  LW_CHECK(!InGuard(page));
+  LW_CHECK(mprotect(PageAddr(page), kPageSize, PROT_READ) == 0);
+}
+
+void GuestArena::HandleWriteFault(void* addr) {
+  // Async-signal-safe path: bounded work, no allocation.
+  uint32_t page = PageOf(addr);
+  if (InGuard(page)) {
+    DieInHandler("lwsnap: guest stack overflow (guard page hit)\n");
+  }
+  if (!cow_enabled_) {
+    DieInHandler("lwsnap: unexpected fault in non-CoW arena\n");
+  }
+  ++cow_faults_;
+  dirty_.MarkDirty(page);
+  if (mprotect(PageAddr(page), kPageSize, PROT_READ | PROT_WRITE) != 0) {
+    DieInHandler("lwsnap: mprotect failed in fault handler\n");
+  }
+}
+
+}  // namespace lw

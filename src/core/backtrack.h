@@ -1,0 +1,34 @@
+// Umbrella header: the public API of liblwsnap.
+//
+// Quickstart (the paper's Figure 1):
+//
+//   #include "src/core/backtrack.h"
+//
+//   void nqueens_guest(void* arg) {
+//     int n = *static_cast<int*>(arg);
+//     ...allocate state with lw::GuestNew / lw::Vec...
+//     if (lw::sys_guess_strategy(lw::StrategyKind::kDfs)) {
+//       nqueens(n);            // uses lw::sys_guess / lw::sys_guess_fail
+//       lw::sys_guess_fail();  // enumerate all answers
+//     }
+//   }
+//
+//   int main() {
+//     lw::SessionOptions options;
+//     lw::BacktrackSession session(options);
+//     int n = 8;
+//     LW_CHECK(session.Run(&nqueens_guest, &n).ok());
+//   }
+
+#ifndef LWSNAP_SRC_CORE_BACKTRACK_H_
+#define LWSNAP_SRC_CORE_BACKTRACK_H_
+
+#include "src/core/fork_engine.h"
+#include "src/core/guest_api.h"
+#include "src/core/guest_heap.h"
+#include "src/core/search_graph.h"
+#include "src/core/session.h"
+#include "src/core/strategy.h"
+#include "src/core/types.h"
+
+#endif  // LWSNAP_SRC_CORE_BACKTRACK_H_

@@ -1,0 +1,53 @@
+#include "src/core/guest_api.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/status.h"
+
+namespace lw {
+namespace {
+
+GuessExecutor* RequireExecutor() {
+  GuessExecutor* executor = CurrentExecutor();
+  LW_CHECK_MSG(executor != nullptr, "guest system call outside a backtracking session");
+  return executor;
+}
+
+}  // namespace
+
+int sys_guess(int n) { return RequireExecutor()->OnGuess(n, nullptr); }
+
+int sys_guess_weighted(int n, const GuessCost* costs) {
+  return RequireExecutor()->OnGuess(n, costs);
+}
+
+void sys_guess_fail() {
+  RequireExecutor()->OnFail();
+  __builtin_unreachable();
+}
+
+bool sys_guess_strategy(StrategyKind kind) { return RequireExecutor()->OnStrategyScope(kind); }
+
+size_t sys_yield(void* mailbox, size_t cap) { return RequireExecutor()->OnYield(mailbox, cap); }
+
+void sys_note_solution() { RequireExecutor()->OnNoteSolution(); }
+
+void sys_emit(const void* data, size_t len) { RequireExecutor()->OnEmit(data, len); }
+
+void sys_emit_str(const char* s) { RequireExecutor()->OnEmit(s, std::strlen(s)); }
+
+void sys_emitf(const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n < 0) {
+    return;
+  }
+  size_t len = static_cast<size_t>(n) < sizeof(buf) ? static_cast<size_t>(n) : sizeof(buf) - 1;
+  RequireExecutor()->OnEmit(buf, len);
+}
+
+}  // namespace lw

@@ -1,0 +1,42 @@
+// The guest-visible system-call surface — the paper's new system calls (§3.1).
+//
+//   int  sys_guess(int n)                 — "a little magic": returns 0..n-1 with
+//                                           the illusion the OS guessed the path
+//   void sys_guess_fail()                 — Prolog-style fail; never returns
+//   bool sys_guess_strategy(kind)         — selects the strategy and opens the
+//                                           search scope (Figure 1's main())
+//   int  sys_guess_weighted(n, costs)     — the extended guess carrying the
+//                                           goal-distance vector for A*/SM-A*
+//   size_t sys_yield(mailbox, cap)        — checkpoint-and-park (the multi-path
+//                                           service primitive of §3.2)
+//   void sys_emit / sys_emitf             — interposed stdout
+//   void sys_note_solution()              — bookkeeping marker (extension)
+//
+// These free functions forward to the thread-current GuessExecutor, so the same
+// guest program runs unmodified under the CoW snapshot engine, the fork engine,
+// or any future engine — the paper's "extension steps can be implemented in any
+// language and run as arbitrary code".
+
+#ifndef LWSNAP_SRC_CORE_GUEST_API_H_
+#define LWSNAP_SRC_CORE_GUEST_API_H_
+
+#include <cstdarg>
+#include <cstddef>
+
+#include "src/core/types.h"
+
+namespace lw {
+
+int sys_guess(int n);
+int sys_guess_weighted(int n, const GuessCost* costs);
+[[noreturn]] void sys_guess_fail();
+bool sys_guess_strategy(StrategyKind kind);
+size_t sys_yield(void* mailbox, size_t cap);
+void sys_note_solution();
+void sys_emit(const void* data, size_t len);
+void sys_emit_str(const char* s);
+void sys_emitf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_CORE_GUEST_API_H_

@@ -1,0 +1,171 @@
+#include "src/core/guest_heap.h"
+
+#include <cstring>
+
+namespace lw {
+namespace {
+
+constexpr uint64_t kHeapMagic = 0x4c57534e41503031ull;  // "LWSNAP01"
+
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) & ~(a - 1); }
+
+void* HookAlloc(void* ctx, size_t bytes) { return static_cast<GuestHeap*>(ctx)->Alloc(bytes); }
+void HookDealloc(void* ctx, void* ptr, size_t /*bytes*/) {
+  static_cast<GuestHeap*>(ctx)->Free(ptr);
+}
+
+}  // namespace
+
+GuestHeap* GuestHeap::Init(void* mem, size_t bytes) {
+  LW_CHECK(reinterpret_cast<uintptr_t>(mem) % kAlign == 0);
+  uint64_t control = AlignUp(sizeof(GuestHeap), kAlign);
+  LW_CHECK_MSG(bytes > control + kMinBlock, "guest heap region too small");
+
+  GuestHeap* heap = new (mem) GuestHeap();
+  heap->magic_ = kHeapMagic;
+  heap->lo_ = static_cast<uint8_t*>(mem) + control;
+  uint64_t block_bytes = (bytes - control) & ~(kAlign - 1);
+  heap->hi_ = heap->lo_ + block_bytes;
+  heap->stats_.capacity = block_bytes;
+
+  Block* first = reinterpret_cast<Block*>(heap->lo_);
+  first->set(block_bytes, /*alloc=*/false);
+  first->prev_size = 0;
+  heap->free_head_ = nullptr;
+  heap->PushFree(first);
+  return heap;
+}
+
+void GuestHeap::PushFree(Block* b) {
+  FreeLinks* links = LinksOf(b);
+  links->next = free_head_;
+  links->prev = nullptr;
+  if (free_head_ != nullptr) {
+    LinksOf(free_head_)->prev = b;
+  }
+  free_head_ = b;
+}
+
+void GuestHeap::RemoveFree(Block* b) {
+  FreeLinks* links = LinksOf(b);
+  if (links->prev != nullptr) {
+    LinksOf(links->prev)->next = links->next;
+  } else {
+    free_head_ = links->next;
+  }
+  if (links->next != nullptr) {
+    LinksOf(links->next)->prev = links->prev;
+  }
+}
+
+void* GuestHeap::Alloc(size_t bytes) {
+  LW_CHECK_MSG(magic_ == kHeapMagic, "guest heap corrupted or uninitialized");
+  ++stats_.alloc_calls;
+  uint64_t need = AlignUp(bytes + kHeaderSize, kAlign);
+  if (need < kMinBlock) {
+    need = kMinBlock;
+  }
+
+  // First fit.
+  for (Block* b = free_head_; b != nullptr; b = LinksOf(b)->next) {
+    if (b->size() < need) {
+      continue;
+    }
+    RemoveFree(b);
+    uint64_t remainder = b->size() - need;
+    if (remainder >= kMinBlock) {
+      b->set(need, /*alloc=*/true);
+      Block* rest = reinterpret_cast<Block*>(reinterpret_cast<uint8_t*>(b) + need);
+      rest->set(remainder, /*alloc=*/false);
+      rest->prev_size = need;
+      Block* after = NextBlock(rest);
+      if (after != nullptr) {
+        after->prev_size = remainder;
+      }
+      PushFree(rest);
+    } else {
+      b->set(b->size(), /*alloc=*/true);
+    }
+    stats_.bytes_in_use += b->size();
+    if (stats_.bytes_in_use > stats_.peak_bytes) {
+      stats_.peak_bytes = stats_.bytes_in_use;
+    }
+    return b->payload();
+  }
+  return nullptr;
+}
+
+void GuestHeap::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  LW_CHECK_MSG(magic_ == kHeapMagic, "guest heap corrupted or uninitialized");
+  Block* b = Block::FromPayload(ptr);
+  LW_CHECK_MSG(b->allocated(), "double free or corruption in guest heap");
+  ++stats_.free_calls;
+  stats_.bytes_in_use -= b->size();
+  b->set(b->size(), /*alloc=*/false);
+
+  // Coalesce with successor.
+  Block* next = NextBlock(b);
+  if (next != nullptr && !next->allocated()) {
+    RemoveFree(next);
+    b->set(b->size() + next->size(), /*alloc=*/false);
+  }
+  // Coalesce with predecessor.
+  Block* prev = PrevBlock(b);
+  if (prev != nullptr && !prev->allocated()) {
+    RemoveFree(prev);
+    prev->set(prev->size() + b->size(), /*alloc=*/false);
+    b = prev;
+  }
+  Block* after = NextBlock(b);
+  if (after != nullptr) {
+    after->prev_size = b->size();
+  }
+  PushFree(b);
+}
+
+bool GuestHeap::CheckConsistency() const {
+  if (magic_ != kHeapMagic) {
+    return false;
+  }
+  uint64_t prev_size = 0;
+  uint64_t in_use = 0;
+  bool prev_free = false;
+  for (uint8_t* p = lo_; p < hi_;) {
+    const Block* b = reinterpret_cast<const Block*>(p);
+    if (b->size() < kMinBlock || b->size() % kAlign != 0 || p + b->size() > hi_) {
+      return false;
+    }
+    if (b->prev_size != prev_size) {
+      return false;
+    }
+    if (!b->allocated() && prev_free) {
+      return false;  // adjacent free blocks must have been coalesced
+    }
+    if (b->allocated()) {
+      in_use += b->size();
+    }
+    prev_free = !b->allocated();
+    prev_size = b->size();
+    p += b->size();
+  }
+  return in_use == stats_.bytes_in_use;
+}
+
+uint64_t GuestHeap::FreeBytes() const {
+  uint64_t total = 0;
+  for (const uint8_t* p = lo_; p < hi_;) {
+    const Block* b = reinterpret_cast<const Block*>(p);
+    if (!b->allocated()) {
+      total += b->size() - kHeaderSize;
+    }
+    p += b->size();
+  }
+  return total;
+}
+
+AllocHooks GuestHeap::Hooks() { return AllocHooks{&HookAlloc, &HookDealloc, this}; }
+
+}  // namespace lw

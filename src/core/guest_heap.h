@@ -1,0 +1,132 @@
+// GuestHeap: a boundary-tag free-list allocator whose *entire* state — control
+// block, block headers, free-list links — lives inside the guest arena.
+//
+// This is what makes allocation transparent to backtracking: a snapshot captures
+// the allocator's pages like any other guest memory, so restoring a snapshot
+// rewinds every allocation and free made since, with no undo log (the paper's
+// "brk must be logged and reversed" becomes free because the heap *is* guest
+// state). Host code must never hold pointers into the heap across a restore
+// unless the allocation predates the snapshot being restored.
+//
+// The control struct is placed at the base of the arena's heap region by
+// GuestHeap::Init and accessed in place; it is trivially copyable by page
+// snapshots because it contains no host-side resources.
+
+#ifndef LWSNAP_SRC_CORE_GUEST_HEAP_H_
+#define LWSNAP_SRC_CORE_GUEST_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "src/util/alloc_hooks.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+class GuestHeap {
+ public:
+  // Constructs a heap in `mem[0, bytes)`; the GuestHeap object itself occupies the
+  // head of the region. Returns the in-place instance.
+  static GuestHeap* Init(void* mem, size_t bytes);
+
+  // Allocates 16-byte-aligned memory; nullptr when the arena heap is exhausted.
+  void* Alloc(size_t bytes);
+  void Free(void* ptr);
+
+  struct Stats {
+    uint64_t bytes_in_use = 0;   // payload + header bytes of allocated blocks
+    uint64_t peak_bytes = 0;
+    uint64_t alloc_calls = 0;
+    uint64_t free_calls = 0;
+    uint64_t capacity = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // One guest-managed root pointer (guests hang their state graph here so host
+  // code and resumed checkpoints can find it without globals).
+  void set_user_root(void* root) { user_root_ = root; }
+  void* user_root() const { return user_root_; }
+
+  // AllocHooks adapter: installs this heap as the thread-current allocator target.
+  AllocHooks Hooks();
+
+  // Walks all blocks validating the boundary-tag invariants; used by tests and
+  // LW_CHECK'd failure paths. Returns false on corruption.
+  bool CheckConsistency() const;
+
+  // Total free payload bytes (fragmentation diagnostics; O(free blocks)).
+  uint64_t FreeBytes() const;
+
+ private:
+  GuestHeap() = default;
+
+  struct Block {
+    uint64_t size_flags;  // total block size (header incl.), bit 0 = allocated
+    uint64_t prev_size;   // size of the preceding block, 0 for the first block
+
+    uint64_t size() const { return size_flags & ~1ull; }
+    bool allocated() const { return (size_flags & 1ull) != 0; }
+    void set(uint64_t size, bool alloc) { size_flags = size | (alloc ? 1ull : 0ull); }
+
+    uint8_t* payload() { return reinterpret_cast<uint8_t*>(this) + kHeaderSize; }
+    static Block* FromPayload(void* p) {
+      return reinterpret_cast<Block*>(static_cast<uint8_t*>(p) - kHeaderSize);
+    }
+  };
+
+  // Free blocks thread next/prev pointers through their payload.
+  struct FreeLinks {
+    Block* next;
+    Block* prev;
+  };
+
+  static constexpr uint64_t kHeaderSize = 16;
+  static constexpr uint64_t kMinBlock = 32;
+  static constexpr uint64_t kAlign = 16;
+
+  Block* NextBlock(Block* b) const {
+    uint8_t* n = reinterpret_cast<uint8_t*>(b) + b->size();
+    return n < hi_ ? reinterpret_cast<Block*>(n) : nullptr;
+  }
+  Block* PrevBlock(Block* b) const {
+    if (b->prev_size == 0) {
+      return nullptr;
+    }
+    return reinterpret_cast<Block*>(reinterpret_cast<uint8_t*>(b) - b->prev_size);
+  }
+
+  FreeLinks* LinksOf(Block* b) const { return reinterpret_cast<FreeLinks*>(b->payload()); }
+  void PushFree(Block* b);
+  void RemoveFree(Block* b);
+
+  uint64_t magic_ = 0;
+  uint8_t* lo_ = nullptr;  // first block
+  uint8_t* hi_ = nullptr;  // one past the last block
+  Block* free_head_ = nullptr;
+  void* user_root_ = nullptr;
+  Stats stats_;
+};
+
+// Convenience: placement-construct a T from a guest heap.
+template <typename T, typename... Args>
+T* GuestNew(GuestHeap* heap, Args&&... args) {
+  void* mem = heap->Alloc(sizeof(T));
+  if (mem == nullptr) {
+    return nullptr;
+  }
+  return new (mem) T(std::forward<Args>(args)...);
+}
+
+template <typename T>
+void GuestDelete(GuestHeap* heap, T* obj) {
+  if (obj != nullptr) {
+    obj->~T();
+    heap->Free(obj);
+  }
+}
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_CORE_GUEST_HEAP_H_

@@ -1,0 +1,558 @@
+#include "src/core/session.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/timer.h"
+
+namespace lw {
+namespace {
+
+thread_local GuessExecutor* g_current_executor = nullptr;
+
+void DefaultOutput(std::string_view text) {
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+}  // namespace
+
+GuessExecutor* CurrentExecutor() { return g_current_executor; }
+void SetCurrentExecutor(GuessExecutor* executor) { g_current_executor = executor; }
+
+std::string SessionStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "guesses=%llu snapshots=%llu restores=%llu exts=%llu fail=%llu done=%llu "
+                "sol=%llu pages_mat=%llu pages_rst=%llu snap_us=%.1f restore_us=%.1f",
+                static_cast<unsigned long long>(guesses),
+                static_cast<unsigned long long>(snapshots),
+                static_cast<unsigned long long>(restores),
+                static_cast<unsigned long long>(extensions_evaluated),
+                static_cast<unsigned long long>(failures),
+                static_cast<unsigned long long>(completions),
+                static_cast<unsigned long long>(solutions),
+                static_cast<unsigned long long>(pages_materialized),
+                static_cast<unsigned long long>(pages_restored),
+                static_cast<double>(snapshot_ns) / 1e3, static_cast<double>(restore_ns) / 1e3);
+  return buf;
+}
+
+BacktrackSession::BacktrackSession(SessionOptions options)
+    : options_(std::move(options)),
+      arena_(GuestArena::Layout{options_.arena_bytes, options_.guest_stack_bytes,
+                                16 * kPageSize}),
+      cur_map_(options_.page_map_kind, 0) {
+  if (!options_.output) {
+    options_.output = &DefaultOutput;
+  }
+  strategy_ = MakeStrategy(options_.strategy);
+
+  // Establish the CoW invariant: memory is all-zero, the current map says all-zero,
+  // nothing is dirty, everything is protected. Guard pages stay unmapped from the
+  // snapshot's point of view (invalid refs; never dirtied, never restored).
+  cur_map_ = PageMap(options_.page_map_kind, arena_.num_pages());
+  if (options_.snapshot_mode == SnapshotMode::kCow) {
+    PageRef zero = pool_.ZeroPage();
+    for (uint32_t page = 0; page < arena_.num_pages(); ++page) {
+      if (!arena_.InGuard(page)) {
+        cur_map_.Set(page, zero);
+      }
+    }
+    arena_.ProtectAll();
+  } else {
+    arena_.SetCowEnabled(false);
+  }
+
+  hot_.assign(arena_.num_pages(), 0);
+  dirty_streak_.assign(arena_.num_pages(), 0);
+  clean_streak_.assign(arena_.num_pages(), 0);
+  if (options_.snapshot_mode != SnapshotMode::kCow) {
+    options_.hot_page_limit = 0;  // prediction only makes sense under CoW
+  }
+  hot_pages_.reserve(options_.hot_page_limit);
+
+  // Heap construction happens *after* protection: its writes fault and enter the
+  // dirty set like any guest write, so the invariant holds with no special case.
+  heap_ = GuestHeap::Init(arena_.heap_base(), arena_.heap_bytes());
+}
+
+BacktrackSession::~BacktrackSession() {
+  // Release every page reference before the pool is destroyed (members declared
+  // after pool_ destruct first, but strategy frontiers and checkpoints also hold
+  // snapshot refs — drop them deterministically).
+  strategy_.reset();
+  checkpoints_.clear();
+  pending_snapshot_.reset();
+  scope_snapshot_.reset();
+  cur_snapshot_.reset();
+  cur_map_ = PageMap(options_.page_map_kind, 0);
+}
+
+void BacktrackSession::AddAttachment(SessionAttachment* attachment) {
+  LW_CHECK_MSG(!started_, "attachments must be added before Run");
+  attachments_.push_back(attachment);
+}
+
+// ---------------------------------------------------------------------------
+// Host-side drive loop.
+// ---------------------------------------------------------------------------
+
+void BacktrackSession::GuestTrampoline() {
+  static_cast<BacktrackSession*>(CurrentExecutor())->GuestMain();
+}
+
+void BacktrackSession::GuestMain() {
+  guest_fn_(guest_arg_);
+  event_ = GuestEvent::kCompleted;
+  setcontext(&sched_ctx_);
+  LW_CHECK_MSG(false, "setcontext to scheduler failed");
+}
+
+Status BacktrackSession::Run(GuestFn fn, void* arg) {
+  LW_CHECK_MSG(!started_, "BacktrackSession::Run may be called once");
+  LW_CHECK_MSG(fn != nullptr, "guest function required");
+  started_ = true;
+  guest_fn_ = fn;
+  guest_arg_ = arg;
+
+  LW_CHECK(getcontext(&root_ctx_) == 0);
+  root_ctx_.uc_stack.ss_sp = arena_.stack_base();
+  root_ctx_.uc_stack.ss_size = arena_.stack_bytes();
+  root_ctx_.uc_link = nullptr;
+  makecontext(&root_ctx_, &GuestTrampoline, 0);
+
+  return Drive([this] {
+    cur_snapshot_.reset();
+    cur_depth_ = 0;
+    SwapToGuest(&root_ctx_);
+  });
+}
+
+Status BacktrackSession::Resume(uint64_t token, const void* msg, size_t len) {
+  LW_CHECK_MSG(!driving_, "Resume is only legal between drives");
+  auto it = checkpoints_.find(token);
+  if (it == checkpoints_.end()) {
+    return NotFound("unknown checkpoint token");
+  }
+  SnapshotRef snap = it->second;
+  if (len > snap->mailbox_cap) {
+    return InvalidArgument("message exceeds checkpoint mailbox capacity");
+  }
+  return Drive([this, snap, msg, len] {
+    RestoreTo(*snap);
+    if (len > 0) {
+      // A plain memcpy: in CoW mode the write faults and the handler marks the
+      // mailbox pages dirty, exactly as a guest write would.
+      std::memcpy(snap->mailbox, msg, len);
+    }
+    cur_snapshot_ = snap;
+    cur_depth_ = snap->depth;
+    resume_value_ = static_cast<int>(len);
+    ++stats_.resumes;
+    SwapToGuest(&snap->uctx);
+  });
+}
+
+Status BacktrackSession::Drive(const std::function<void()>& first_transfer) {
+  ScopedExecutor scoped(this);
+  driving_ = true;
+  first_transfer();
+  Status result = OkStatus();
+  while (true) {
+    HandleGuestEvent();
+    if (options_.max_extensions != 0 && stats_.extensions_evaluated >= options_.max_extensions) {
+      result = Exhausted("max_extensions cap reached; session is no longer usable");
+      break;
+    }
+    std::optional<Extension> next = strategy_->Pop();
+    if (next.has_value()) {
+      EvaluateExtension(std::move(*next));
+      continue;
+    }
+    if (scope_active_) {
+      // Search space under the scope is exhausted: deliver the one-time `false`
+      // return of sys_guess_strategy (Figure 1's exit path).
+      scope_active_ = false;
+      SnapshotRef scope = std::move(scope_snapshot_);
+      scope_snapshot_.reset();
+      RestoreTo(*scope);
+      cur_snapshot_ = scope;
+      cur_depth_ = scope->depth;
+      resume_value_ = 0;
+      SwapToGuest(&scope->uctx);
+      continue;
+    }
+    break;
+  }
+  driving_ = false;
+  return result;
+}
+
+void BacktrackSession::HandleGuestEvent() {
+  GuestEvent event = event_;
+  event_ = GuestEvent::kNone;
+  switch (event) {
+    case GuestEvent::kNone:
+      break;
+    case GuestEvent::kGuessPending: {
+      SnapshotRef snap = std::move(pending_snapshot_);
+      MaterializeInto(snap);
+      // Reverse value order: with a LIFO strategy, extension 0 runs first,
+      // matching sequential fork semantics (§3).
+      for (int i = pending_count_ - 1; i >= 0; --i) {
+        Extension ext;
+        ext.snapshot = snap;
+        ext.value = i;
+        ext.depth = snap->depth + 1;
+        if (pending_costs_ != nullptr) {
+          ext.g = pending_costs_[i].g;
+          ext.h = pending_costs_[i].h;
+        } else {
+          ext.g = static_cast<double>(ext.depth);  // uniform cost fallback
+        }
+        ext.seq = next_seq_++;
+        strategy_->Push(std::move(ext));
+      }
+      pending_costs_ = nullptr;
+      EnforceByteBudget();
+      break;
+    }
+    case GuestEvent::kScopePending: {
+      SnapshotRef snap = std::move(pending_snapshot_);
+      MaterializeInto(snap);
+      scope_snapshot_ = snap;
+      scope_active_ = true;
+      Extension ext;
+      ext.snapshot = snap;
+      ext.value = 1;  // the `true` path
+      ext.depth = snap->depth + 1;
+      ext.seq = next_seq_++;
+      strategy_->Push(std::move(ext));
+      break;
+    }
+    case GuestEvent::kYieldPending: {
+      SnapshotRef snap = std::move(pending_snapshot_);
+      MaterializeInto(snap);
+      checkpoints_[snap->id] = snap;
+      new_checkpoints_.push_back(snap->id);
+      ++stats_.checkpoints;
+      break;
+    }
+    case GuestEvent::kFailed:
+      ++stats_.failures;
+      break;
+    case GuestEvent::kCompleted:
+      ++stats_.completions;
+      if (options_.buffer_output && !out_buffer_.empty()) {
+        options_.output(out_buffer_);
+      }
+      break;
+  }
+}
+
+void BacktrackSession::EvaluateExtension(Extension ext) {
+  RestoreTo(*ext.snapshot);
+  cur_snapshot_ = ext.snapshot;
+  cur_depth_ = ext.depth;
+  resume_value_ = ext.value;
+  ++stats_.extensions_evaluated;
+  SwapToGuest(&ext.snapshot->uctx);
+}
+
+void BacktrackSession::SwapToGuest(ucontext_t* target) {
+  in_guest_ = true;
+  // Swap the guest's allocation hooks in for the duration of guest execution;
+  // scheduler-side allocations (snapshot materialization, strategy frontier)
+  // must never land in the guest heap, and vice versa.
+  const AllocHooks host_hooks = CurrentAllocHooks();
+  SetAllocHooks(guest_hooks_);
+  LW_CHECK(swapcontext(&sched_ctx_, target) == 0);
+  guest_hooks_ = CurrentAllocHooks();
+  SetAllocHooks(host_hooks);
+  in_guest_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot mechanics.
+// ---------------------------------------------------------------------------
+
+SnapshotRef BacktrackSession::NewSnapshotShell(SnapshotKind kind) {
+  SnapshotRef snap = std::make_shared<Snapshot>();
+  snap->id = next_snapshot_id_++;
+  snap->kind = kind;
+  snap->parent = cur_snapshot_;
+  snap->depth = cur_depth_;
+  return snap;
+}
+
+void BacktrackSession::MaterializeInto(const SnapshotRef& snap) {
+  StopWatch sw;
+  if (options_.snapshot_mode == SnapshotMode::kFullCopy) {
+    PageMap fresh(options_.page_map_kind, arena_.num_pages());
+    for (uint32_t page = 0; page < arena_.num_pages(); ++page) {
+      if (!arena_.InGuard(page)) {
+        fresh.Set(page, pool_.Publish(arena_.PageAddr(page)));
+        ++stats_.pages_materialized;
+      }
+    }
+    cur_map_ = std::move(fresh);
+  } else {
+    // Hot pages first: they are permanently writable, so the dirty set does not
+    // know about them — memcmp against the current blob and republish only on a
+    // real change. A long unchanged streak demotes the page back into the CoW
+    // protocol.
+    constexpr uint8_t kHotDemoteAfter = 16;
+    size_t hot_kept = 0;
+    for (size_t idx = 0; idx < hot_pages_.size(); ++idx) {
+      uint32_t page = hot_pages_[idx];
+      const PageRef cur = cur_map_.Get(page);
+      if (std::memcmp(arena_.PageAddr(page), cur.data(), kPageSize) != 0) {
+        cur_map_.Set(page, pool_.Publish(arena_.PageAddr(page)));
+        ++stats_.pages_materialized;
+        clean_streak_[page] = 0;
+        hot_pages_[hot_kept++] = page;
+      } else if (++clean_streak_[page] >= kHotDemoteAfter) {
+        hot_[page] = 0;
+        arena_.ProtectPage(page);
+        ++stats_.hot_demotions;
+      } else {
+        ++stats_.hot_unchanged_skips;
+        hot_pages_[hot_kept++] = page;
+      }
+    }
+    hot_pages_.resize(hot_kept);
+
+    const DirtyTracker& dirty = arena_.dirty();
+    constexpr uint8_t kHotPromoteAfter = 4;
+    for (uint32_t i = 0; i < dirty.count(); ++i) {
+      uint32_t page = dirty.pages()[i];
+      cur_map_.Set(page, pool_.Publish(arena_.PageAddr(page)));
+      // Promotion: a page taking a CoW fault snapshot after snapshot is cheaper
+      // to treat as always-dirty.
+      if (dirty_streak_[page] < 255) {
+        ++dirty_streak_[page];
+      }
+      if (dirty_streak_[page] >= kHotPromoteAfter && hot_[page] == 0 &&
+          hot_pages_.size() < options_.hot_page_limit) {
+        hot_[page] = 1;
+        clean_streak_[page] = 0;
+        hot_pages_.push_back(page);
+        ++stats_.hot_promotions;
+      }
+    }
+    stats_.pages_materialized += dirty.count();
+    if (hot_pages_.empty()) {
+      arena_.ReprotectDirty();
+    } else {
+      arena_.ReprotectDirtyExcept(hot_.data());
+    }
+  }
+  snap->map = cur_map_;  // flat: vector copy; radix: O(1) root share
+  snap->aux.reserve(attachments_.size());
+  for (SessionAttachment* attachment : attachments_) {
+    snap->aux.push_back(attachment->Capture());
+  }
+  snap->out_mark = out_buffer_.size();
+  ++stats_.snapshots;
+  stats_.snapshot_ns += sw.ElapsedNanos();
+}
+
+void BacktrackSession::CopyInPage(uint32_t page, const PageRef& ref) {
+  LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+  if (!arena_.dirty().IsDirty(page)) {
+    arena_.UnprotectPage(page);
+  }
+  std::memcpy(arena_.PageAddr(page), ref.data(), kPageSize);
+  arena_.ProtectPage(page);
+}
+
+void BacktrackSession::RestoreTo(const Snapshot& snap) {
+  StopWatch sw;
+  uint64_t restored = 0;
+  if (options_.snapshot_mode == SnapshotMode::kFullCopy) {
+    for (uint32_t page = 0; page < arena_.num_pages(); ++page) {
+      if (!arena_.InGuard(page)) {
+        std::memcpy(arena_.PageAddr(page), snap.map.Get(page).data(), kPageSize);
+        ++restored;
+      }
+    }
+  } else {
+    // Hot pages are writable and fault-free, so their live contents are
+    // unknowable without a compare — copy them in unconditionally (a 4 KiB
+    // memcpy beats SIGSEGV + 2×mprotect, which is the whole point).
+    for (uint32_t page : hot_pages_) {
+      const PageRef ref = snap.map.Get(page);
+      LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+      std::memcpy(arena_.PageAddr(page), ref.data(), kPageSize);
+      ++restored;
+    }
+    DirtyTracker& dirty = arena_.dirty();
+    // Dirty pages: live memory diverged from cur_map_; always restore them.
+    for (uint32_t i = 0; i < dirty.count(); ++i) {
+      uint32_t page = dirty.pages()[i];
+      CopyInPage(page, snap.map.Get(page));
+      ++restored;
+    }
+    // Clean pages: restore exactly where the two immutable maps disagree.
+    cur_map_.Diff(snap.map, [this, &dirty, &restored](uint32_t page, const PageRef& /*mine*/,
+                                                      const PageRef& theirs) {
+      if (!dirty.IsDirty(page) && hot_[page] == 0) {
+        CopyInPage(page, theirs);
+        ++restored;
+      }
+    });
+    dirty.Clear();
+  }
+  cur_map_ = snap.map;
+  for (size_t i = 0; i < attachments_.size(); ++i) {
+    attachments_[i]->Restore(i < snap.aux.size() ? snap.aux[i] : nullptr);
+  }
+  if (options_.buffer_output) {
+    out_buffer_.resize(snap.out_mark);
+  }
+  stats_.pages_restored += restored;
+  ++stats_.restores;
+  stats_.restore_ns += sw.ElapsedNanos();
+}
+
+void BacktrackSession::EnforceByteBudget() {
+  if (options_.snapshot_byte_budget == 0) {
+    return;
+  }
+  while (pool_.stats().bytes_live() > options_.snapshot_byte_budget) {
+    if (!strategy_->EvictWorst()) {
+      break;
+    }
+    ++stats_.evictions;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Guest-side system-call surface.
+// ---------------------------------------------------------------------------
+
+int BacktrackSession::OnGuess(int n, const GuessCost* costs) {
+  LW_CHECK_MSG(in_guest_, "sys_guess called outside guest execution");
+  ++stats_.guesses;
+  if (n <= 0) {
+    OnFail();
+  }
+  // CAUTION: this frame lives on the guest stack and is captured by the snapshot;
+  // it must hold no host RAII objects (a shared_ptr local here would be restored
+  // and re-destroyed once per resume). Ownership stays in host-side members.
+  pending_snapshot_ = NewSnapshotShell(SnapshotKind::kGuess);
+  ucontext_t* uctx = &pending_snapshot_->uctx;
+  pending_count_ = n;
+  pending_costs_ = costs;
+  event_ = GuestEvent::kGuessPending;
+  // The scheduler materialises the snapshot *after* this switch, when the guest
+  // stack is quiescent — so the page image exactly matches the saved registers.
+  LW_CHECK(swapcontext(uctx, &sched_ctx_) == 0);
+  return resume_value_;
+}
+
+void BacktrackSession::OnFail() {
+  LW_CHECK_MSG(in_guest_, "sys_guess_fail called outside guest execution");
+  event_ = GuestEvent::kFailed;
+  setcontext(&sched_ctx_);
+  LW_CHECK_MSG(false, "setcontext to scheduler failed");
+  __builtin_unreachable();
+}
+
+bool BacktrackSession::OnStrategyScope(StrategyKind kind) {
+  LW_CHECK_MSG(in_guest_, "sys_guess_strategy called outside guest execution");
+  LW_CHECK_MSG(!scope_active_, "nested sys_guess_strategy scopes are not supported");
+  LW_CHECK_MSG(strategy_->Empty(), "sys_guess_strategy requires an empty frontier");
+  if (kind != strategy_->kind()) {
+    LW_CHECK_MSG(kind != StrategyKind::kExternal || options_.strategy.external != nullptr,
+                 "kExternal requires an ExternalScheduler configured on the session");
+    StrategyConfig config = options_.strategy;
+    config.kind = kind;
+    strategy_ = MakeStrategy(config);
+  }
+  pending_snapshot_ = NewSnapshotShell(SnapshotKind::kScope);  // no guest-stack RAII (see OnGuess)
+  ucontext_t* uctx = &pending_snapshot_->uctx;
+  event_ = GuestEvent::kScopePending;
+  LW_CHECK(swapcontext(uctx, &sched_ctx_) == 0);
+  return resume_value_ != 0;
+}
+
+size_t BacktrackSession::OnYield(void* mailbox, size_t cap) {
+  LW_CHECK_MSG(in_guest_, "sys_yield called outside guest execution");
+  LW_CHECK_MSG(cap == 0 || arena_.Contains(mailbox), "yield mailbox must live in the arena");
+  pending_snapshot_ = NewSnapshotShell(SnapshotKind::kCheckpoint);  // no guest-stack RAII
+  pending_snapshot_->mailbox = static_cast<uint8_t*>(mailbox);
+  pending_snapshot_->mailbox_cap = cap;
+  ucontext_t* uctx = &pending_snapshot_->uctx;
+  event_ = GuestEvent::kYieldPending;
+  LW_CHECK(swapcontext(uctx, &sched_ctx_) == 0);
+  return static_cast<size_t>(resume_value_);
+}
+
+void BacktrackSession::OnNoteSolution() { ++stats_.solutions; }
+
+void BacktrackSession::OnEmit(const void* data, size_t len) {
+  if (options_.buffer_output) {
+    out_buffer_.append(static_cast<const char*>(data), len);
+  } else {
+    EmitNow(std::string_view(static_cast<const char*>(data), len));
+  }
+}
+
+void BacktrackSession::EmitNow(std::string_view text) { options_.output(text); }
+
+// ---------------------------------------------------------------------------
+// Checkpoint plumbing.
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> BacktrackSession::TakeNewCheckpoints() {
+  std::vector<uint64_t> out;
+  out.swap(new_checkpoints_);
+  return out;
+}
+
+Status BacktrackSession::ReadCheckpointMailbox(uint64_t token, void* out, size_t len) const {
+  auto it = checkpoints_.find(token);
+  if (it == checkpoints_.end()) {
+    return NotFound("unknown checkpoint token");
+  }
+  const Snapshot& snap = *it->second;
+  if (len > snap.mailbox_cap) {
+    return OutOfRange("read exceeds mailbox capacity");
+  }
+  // Read from the immutable page image, not live memory: the snapshot is the
+  // source of truth regardless of what has executed since.
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  size_t offset = static_cast<size_t>(snap.mailbox - arena_.base());
+  size_t remaining = len;
+  while (remaining > 0) {
+    uint32_t page = static_cast<uint32_t>(offset >> kPageShift);
+    size_t in_page = offset & (kPageSize - 1);
+    size_t chunk = kPageSize - in_page;
+    if (chunk > remaining) {
+      chunk = remaining;
+    }
+    PageRef ref = snap.map.Get(page);
+    LW_CHECK(ref.valid());
+    std::memcpy(dst, ref.data() + in_page, chunk);
+    dst += chunk;
+    offset += chunk;
+    remaining -= chunk;
+  }
+  return OkStatus();
+}
+
+Status BacktrackSession::ReleaseCheckpoint(uint64_t token) {
+  if (checkpoints_.erase(token) == 0) {
+    return NotFound("unknown checkpoint token");
+  }
+  return OkStatus();
+}
+
+void BacktrackSession::ReadGuest(const void* guest_ptr, void* out, size_t len) const {
+  LW_CHECK(arena_.Contains(guest_ptr));
+  LW_CHECK(len == 0 || arena_.Contains(static_cast<const uint8_t*>(guest_ptr) + len - 1));
+  std::memcpy(out, guest_ptr, len);
+}
+
+}  // namespace lw

@@ -1,0 +1,245 @@
+// BacktrackSession: the libOS of Figure 2 — owner of the guest arena, the
+// snapshot tree, the search strategy, and the guest-visible system calls.
+//
+// Execution model (single-threaded, like the paper's prototype):
+//   * The host calls Run(guest_fn, arg). The guest runs on a stack inside the
+//     arena via ucontext; the session's scheduler runs on the host stack.
+//   * sys_guess(n) parks the guest (swapcontext into the scheduler), which
+//     materialises the snapshot — dirty pages are published as immutable blobs,
+//     the page map is shared, the saved ucontext is the immutable register file —
+//     and pushes n extensions onto the strategy.
+//   * The scheduler pops the next extension, restores its snapshot (page diff +
+//     attachment states + register file) and resumes the guest inside sys_guess
+//     with the extension value as the return value (the paper's "%rax").
+//   * sys_guess_fail abandons the current extension: a bare jump back to the
+//     scheduler; all memory effects since the last restore are dead and will be
+//     overwritten by the next restore (no undo log).
+//   * sys_yield creates a host-resumable checkpoint: the basis of the multi-path
+//     incremental solver service of §3.2.
+//
+// Snapshot modes:
+//   * kCow      — page-granular copy-on-write via mprotect/SIGSEGV (the paper's
+//                 design, with the host MMU standing in for Dune's nested pages).
+//   * kFullCopy — classic checkpointing baseline [libckpt]: every snapshot copies
+//                 the whole arena; restore copies it back.
+
+#ifndef LWSNAP_SRC_CORE_SESSION_H_
+#define LWSNAP_SRC_CORE_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/arena.h"
+#include "src/core/guest_heap.h"
+#include "src/core/search_graph.h"
+#include "src/core/strategy.h"
+#include "src/core/types.h"
+#include "src/snapshot/page_map.h"
+#include "src/snapshot/page_pool.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+enum class SnapshotMode {
+  kCow,
+  kFullCopy,
+};
+
+// Subsystems whose state must travel with snapshots (e.g. the interposed
+// filesystem) register an attachment. Capture must return an immutable value
+// (persistent data structure or deep copy); Restore reinstates it.
+class SessionAttachment {
+ public:
+  virtual ~SessionAttachment() = default;
+  virtual std::shared_ptr<const void> Capture() = 0;
+  virtual void Restore(const std::shared_ptr<const void>& state) = 0;
+};
+
+struct SessionOptions {
+  size_t arena_bytes = 64ull << 20;
+  size_t guest_stack_bytes = 1ull << 20;
+  PageMapKind page_map_kind = PageMapKind::kRadix;
+  SnapshotMode snapshot_mode = SnapshotMode::kCow;
+  StrategyConfig strategy;
+
+  // Safety cap on evaluated extensions (0 = unbounded). When hit, Run returns
+  // kExhausted and the session must be discarded.
+  uint64_t max_extensions = 0;
+
+  // SM-A* style byte budget on live snapshot pages (0 = unbounded): after each
+  // guess, the worst frontier entries are evicted until the pool fits.
+  uint64_t snapshot_byte_budget = 0;
+
+  // Hot-page prediction (CoW mode): a page dirtied in enough consecutive
+  // snapshots is left permanently writable; snapshots memcmp it and restores
+  // memcpy it eagerly, skipping the SIGSEGV + 2×mprotect round trip that
+  // dominates fine-grained workloads (the stand-in for Dune's cheap ring-0
+  // faults). At most this many pages are hot at once; 0 disables prediction.
+  uint32_t hot_page_limit = 64;
+
+  // Output policy. Default (false): guest emissions are forwarded to `output`
+  // immediately (the paper's n-queens prints answers as it finds them). true:
+  // emissions accumulate per path and are forwarded only when a path completes
+  // without failing; failed paths' output is rolled back with the snapshot.
+  bool buffer_output = false;
+  std::function<void(std::string_view)> output;  // default: write to stdout
+};
+
+struct SessionStats {
+  uint64_t guesses = 0;
+  uint64_t snapshots = 0;
+  uint64_t restores = 0;
+  uint64_t extensions_evaluated = 0;
+  uint64_t failures = 0;
+  uint64_t completions = 0;
+  uint64_t solutions = 0;  // sys_note_solution calls
+  uint64_t checkpoints = 0;
+  uint64_t resumes = 0;
+  uint64_t evictions = 0;
+  uint64_t pages_materialized = 0;
+  uint64_t pages_restored = 0;
+  uint64_t hot_promotions = 0;
+  uint64_t hot_demotions = 0;
+  uint64_t hot_unchanged_skips = 0;  // hot pages found byte-identical at snapshot
+  uint64_t snapshot_ns = 0;
+  uint64_t restore_ns = 0;
+
+  std::string ToString() const;
+};
+
+class BacktrackSession : public GuessExecutor {
+ public:
+  using GuestFn = void (*)(void*);
+
+  explicit BacktrackSession(SessionOptions options);
+  ~BacktrackSession() override;
+
+  BacktrackSession(const BacktrackSession&) = delete;
+  BacktrackSession& operator=(const BacktrackSession&) = delete;
+
+  // Runs `fn(arg)` as the root guest execution and drives the search until the
+  // frontier is exhausted (parked checkpoints do not block completion).
+  // Call at most once per session.
+  Status Run(GuestFn fn, void* arg);
+
+  // Resumes a parked checkpoint, delivering `msg` into its mailbox; drives the
+  // search until the frontier drains again. A checkpoint may be resumed any
+  // number of times (each resume forks a fresh execution from the immutable
+  // snapshot). Legal only between Run/Resume calls.
+  Status Resume(uint64_t token, const void* msg, size_t len);
+
+  // Tokens of checkpoints created since the last call (in creation order).
+  std::vector<uint64_t> TakeNewCheckpoints();
+
+  // Reads a checkpoint's mailbox *as captured in its immutable snapshot* (the
+  // guest writes its result there before yielding).
+  Status ReadCheckpointMailbox(uint64_t token, void* out, size_t len) const;
+
+  Status ReleaseCheckpoint(uint64_t token);
+
+  // Reads live guest memory (legal between drives; `guest_ptr` must be in-arena).
+  void ReadGuest(const void* guest_ptr, void* out, size_t len) const;
+
+  GuestHeap* heap() { return heap_; }
+  GuestArena& arena() { return arena_; }
+  const PagePool& pool() const { return pool_; }
+  const SessionStats& stats() const { return stats_; }
+  size_t frontier_size() const { return strategy_ != nullptr ? strategy_->Size() : 0; }
+
+  // Subsystem hookup; must happen before Run.
+  void AddAttachment(SessionAttachment* attachment);
+
+  // GuessExecutor (guest-side entry points; invoked via the sys_* free functions):
+  int OnGuess(int n, const GuessCost* costs) override;
+  [[noreturn]] void OnFail() override;
+  bool OnStrategyScope(StrategyKind kind) override;
+  size_t OnYield(void* mailbox, size_t cap) override;
+  void OnNoteSolution() override;
+  void OnEmit(const void* data, size_t len) override;
+
+ private:
+  enum class GuestEvent {
+    kNone,
+    kGuessPending,
+    kScopePending,
+    kYieldPending,
+    kFailed,
+    kCompleted,
+  };
+
+  static void GuestTrampoline();
+  void GuestMain();
+
+  Status Drive(const std::function<void()>& first_transfer);
+  void HandleGuestEvent();
+  void MaterializeInto(const SnapshotRef& snap);
+  void RestoreTo(const Snapshot& snap);
+  void CopyInPage(uint32_t page, const PageRef& ref);
+  void EvaluateExtension(Extension ext);
+  void SwapToGuest(ucontext_t* target);
+  void EnforceByteBudget();
+  SnapshotRef NewSnapshotShell(SnapshotKind kind);
+  void EmitNow(std::string_view text);
+
+  SessionOptions options_;
+  GuestArena arena_;
+  PagePool pool_;  // declared before all PageMap/SnapshotRef members: destroyed last
+
+  PageMap cur_map_;
+  GuestHeap* heap_ = nullptr;  // lives inside the arena
+
+  std::unique_ptr<Strategy> strategy_;
+  std::vector<SessionAttachment*> attachments_;
+
+  // Scheduler/guest transfer state.
+  ucontext_t sched_ctx_{};
+  ucontext_t root_ctx_{};
+  GuestEvent event_ = GuestEvent::kNone;
+  SnapshotRef pending_snapshot_;
+  int pending_count_ = 0;
+  const GuessCost* pending_costs_ = nullptr;
+  StrategyKind pending_scope_kind_ = StrategyKind::kDfs;
+  int resume_value_ = 0;
+  bool in_guest_ = false;
+  bool started_ = false;
+  bool driving_ = false;
+
+  SnapshotRef cur_snapshot_;  // the partial candidate the current execution extends
+  uint32_t cur_depth_ = 0;
+
+  bool scope_active_ = false;
+  SnapshotRef scope_snapshot_;
+
+  GuestFn guest_fn_ = nullptr;
+  void* guest_arg_ = nullptr;
+
+  // The guest's thread-current AllocHooks, parked while the scheduler runs.
+  // Guests that install arena-backed hooks (solver service, symbolic VM) keep
+  // them across sys_guess/sys_yield without leaking them into scheduler code.
+  AllocHooks guest_hooks_ = MallocHooks();
+
+  uint64_t next_snapshot_id_ = 1;
+  uint64_t next_seq_ = 1;
+
+  std::unordered_map<uint64_t, SnapshotRef> checkpoints_;
+  std::vector<uint64_t> new_checkpoints_;
+
+  // Hot-page prediction state (see SessionOptions::hot_page_limit).
+  std::vector<uint8_t> hot_;            // page -> currently hot
+  std::vector<uint8_t> dirty_streak_;   // page -> saturating dirty-snapshot count
+  std::vector<uint8_t> clean_streak_;   // hot page -> consecutive unchanged snapshots
+  std::vector<uint32_t> hot_pages_;     // dense list of hot pages
+
+  std::string out_buffer_;  // buffered-output mode
+  SessionStats stats_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_CORE_SESSION_H_

@@ -1,0 +1,86 @@
+// Shared vocabulary types for the backtracking engines: strategy kinds, guess
+// costs, and the executor interface that backs the guest-visible "system calls"
+// (sys_guess / sys_guess_fail / sys_guess_strategy / ...).
+
+#ifndef LWSNAP_SRC_CORE_TYPES_H_
+#define LWSNAP_SRC_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lw {
+
+// Search strategies (§3.1 of the paper: "classic search strategies such as DFS,
+// BFS and A*", plus SM-A* via the memory budget, plus externally controlled).
+enum class StrategyKind {
+  kDfs,
+  kBfs,
+  kAstar,
+  kSmaStar,    // A* with a bounded frontier/memory budget (worst leaves dropped)
+  kIddfs,      // depth-layered DFS (snapshot-retaining iterative deepening)
+  kRandom,     // uniformly random frontier pops (testing / randomized restarts)
+  kExternal,   // host callback decides what runs next (§3.1 "externally controlled")
+};
+
+const char* StrategyKindName(StrategyKind kind);
+
+// Goal-distance information for heuristic strategies, communicated through the
+// extended guess call (§3.1: "the distance vector of the extension steps be
+// communicated via an extended guess system call").
+struct GuessCost {
+  double g = 0.0;  // path cost accumulated so far
+  double h = 0.0;  // heuristic distance-to-goal estimate
+};
+
+// The executor behind the guest API. Exactly one executor is current per thread
+// while guest code runs; the sys_* free functions forward to it.
+class GuessExecutor {
+ public:
+  virtual ~GuessExecutor() = default;
+
+  // Returns an extension index in [0, n). `costs` is either nullptr or an array
+  // of n per-extension cost entries.
+  virtual int OnGuess(int n, const GuessCost* costs) = 0;
+
+  // Abandons the current extension step; never returns.
+  [[noreturn]] virtual void OnFail() = 0;
+
+  // Opens a strategy scope: returns true on the exploring path and false exactly
+  // once, after the search space under the scope is exhausted.
+  virtual bool OnStrategyScope(StrategyKind kind) = 0;
+
+  // Checkpoint-and-park: captures a resumable snapshot with a guest-visible
+  // mailbox; returns only when the host resumes the checkpoint (with the length
+  // of the delivered message). Engines without checkpoint support return 0
+  // immediately.
+  virtual size_t OnYield(void* mailbox, size_t cap) = 0;
+
+  // Marks the current path as a solution (bookkeeping only).
+  virtual void OnNoteSolution() = 0;
+
+  // Guest output (the interposed write(2) path for stdout).
+  virtual void OnEmit(const void* data, size_t len) = 0;
+};
+
+// Thread-current executor management (used by session internals; guests call the
+// sys_* functions in guest_api.h instead).
+GuessExecutor* CurrentExecutor();
+void SetCurrentExecutor(GuessExecutor* executor);
+
+class ScopedExecutor {
+ public:
+  explicit ScopedExecutor(GuessExecutor* executor) : saved_(CurrentExecutor()) {
+    SetCurrentExecutor(executor);
+  }
+  ~ScopedExecutor() { SetCurrentExecutor(saved_); }
+
+  ScopedExecutor(const ScopedExecutor&) = delete;
+  ScopedExecutor& operator=(const ScopedExecutor&) = delete;
+
+ private:
+  GuessExecutor* saved_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_CORE_TYPES_H_

@@ -1,0 +1,91 @@
+#include "src/interpose/policy.h"
+
+namespace lw {
+
+namespace {
+
+bool IsFileMutation(GuestSyscall call) {
+  switch (call) {
+    case GuestSyscall::kWrite:
+    case GuestSyscall::kPwrite:
+    case GuestSyscall::kTruncate:
+    case GuestSyscall::kUnlink:
+    case GuestSyscall::kMkdir:
+    case GuestSyscall::kRename:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsFileSyscall(GuestSyscall call) {
+  switch (call) {
+    case GuestSyscall::kOpen:
+    case GuestSyscall::kClose:
+    case GuestSyscall::kRead:
+    case GuestSyscall::kWrite:
+    case GuestSyscall::kPread:
+    case GuestSyscall::kPwrite:
+    case GuestSyscall::kLseek:
+    case GuestSyscall::kStat:
+    case GuestSyscall::kFstat:
+    case GuestSyscall::kTruncate:
+    case GuestSyscall::kUnlink:
+    case GuestSyscall::kMkdir:
+    case GuestSyscall::kReaddir:
+    case GuestSyscall::kRename:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+InterposePolicy InterposePolicy::DenyAll() {
+  InterposePolicy p;
+  p.allow_file_io_ = false;
+  p.allow_file_mutation_ = false;
+  return p;
+}
+
+InterposePolicy InterposePolicy::ReadOnly() {
+  InterposePolicy p;
+  p.allow_file_mutation_ = false;
+  return p;
+}
+
+PolicyDecision InterposePolicy::Check(GuestSyscall call) const {
+  if (!IsFileSyscall(call)) {
+    // The externally visible tail is never allowed: making it sound is easy,
+    // making it complete "does not appear tractable" (§5).
+    return PolicyDecision::kDeny;
+  }
+  if (!allow_file_io_) {
+    return PolicyDecision::kDeny;
+  }
+  if (IsFileMutation(call) && !allow_file_mutation_) {
+    return PolicyDecision::kDeny;
+  }
+  return PolicyDecision::kAllow;
+}
+
+PolicyDecision InterposePolicy::CheckPath(GuestSyscall call, std::string_view path) const {
+  if (Check(call) == PolicyDecision::kDeny) {
+    return PolicyDecision::kDeny;
+  }
+  if (jail_.empty()) {
+    return PolicyDecision::kAllow;
+  }
+  // `path` must equal the jail or live strictly beneath it.
+  if (path == jail_) {
+    return PolicyDecision::kAllow;
+  }
+  if (path.size() > jail_.size() && path.compare(0, jail_.size(), jail_) == 0 &&
+      path[jail_.size()] == '/') {
+    return PolicyDecision::kAllow;
+  }
+  return PolicyDecision::kDeny;
+}
+
+}  // namespace lw

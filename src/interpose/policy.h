@@ -1,0 +1,62 @@
+// InterposePolicy: the fail-closed decision function of §5.
+//
+// "This interposition logic can easily be made sound by supporting only the
+// minimal required set of conditions (e.g., only open regular files but not
+// devices) and failing all others." The default policy is exactly that sound
+// minimum: simfs regular-file and directory calls are allowed, the standard
+// output streams are allowed (captured and forwarded by the session), and every
+// externally visible channel — sockets, ioctl, device mappings, exec — is
+// denied with kPermissionDenied.
+
+#ifndef LWSNAP_SRC_INTERPOSE_POLICY_H_
+#define LWSNAP_SRC_INTERPOSE_POLICY_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/interpose/syscall.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+enum class PolicyDecision : uint8_t {
+  kAllow,
+  kDeny,
+};
+
+class InterposePolicy {
+ public:
+  // The paper's sound-minimal default.
+  InterposePolicy() = default;
+
+  static InterposePolicy SoundMinimal() { return InterposePolicy(); }
+
+  // Denies everything, including file I/O (pure-computation extensions; useful
+  // for verifying that a guest is hermetic).
+  static InterposePolicy DenyAll();
+
+  // Read-only file access: open-for-read/stat/readdir allowed, all mutation
+  // denied (e.g. evaluating extensions against a fixed corpus).
+  static InterposePolicy ReadOnly();
+
+  PolicyDecision Check(GuestSyscall call) const;
+  // Path-aware refinement (prefix jail). An empty jail admits every simfs path.
+  PolicyDecision CheckPath(GuestSyscall call, std::string_view path) const;
+
+  // Restricts file syscalls to paths under `prefix` (a normalized absolute
+  // directory path, e.g. "/work").
+  void set_path_jail(std::string_view prefix) { jail_ = prefix; }
+  const std::string& path_jail() const { return jail_; }
+
+  bool allows_file_io() const { return allow_file_io_; }
+  bool allows_file_mutation() const { return allow_file_mutation_; }
+
+ private:
+  bool allow_file_io_ = true;
+  bool allow_file_mutation_ = true;
+  std::string jail_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_INTERPOSE_POLICY_H_

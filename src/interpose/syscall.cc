@@ -1,0 +1,86 @@
+#include "src/interpose/syscall.h"
+
+#include <cstdio>
+
+namespace lw {
+
+const char* GuestSyscallName(GuestSyscall call) {
+  switch (call) {
+    case GuestSyscall::kOpen:
+      return "open";
+    case GuestSyscall::kClose:
+      return "close";
+    case GuestSyscall::kRead:
+      return "read";
+    case GuestSyscall::kWrite:
+      return "write";
+    case GuestSyscall::kPread:
+      return "pread";
+    case GuestSyscall::kPwrite:
+      return "pwrite";
+    case GuestSyscall::kLseek:
+      return "lseek";
+    case GuestSyscall::kStat:
+      return "stat";
+    case GuestSyscall::kFstat:
+      return "fstat";
+    case GuestSyscall::kTruncate:
+      return "truncate";
+    case GuestSyscall::kUnlink:
+      return "unlink";
+    case GuestSyscall::kMkdir:
+      return "mkdir";
+    case GuestSyscall::kReaddir:
+      return "readdir";
+    case GuestSyscall::kRename:
+      return "rename";
+    case GuestSyscall::kSocket:
+      return "socket";
+    case GuestSyscall::kConnect:
+      return "connect";
+    case GuestSyscall::kIoctl:
+      return "ioctl";
+    case GuestSyscall::kMmapDevice:
+      return "mmap(device)";
+    case GuestSyscall::kExec:
+      return "exec";
+    case GuestSyscall::kCount:
+      return "?";
+  }
+  return "?";
+}
+
+uint64_t SyscallStats::TotalInvoked() const {
+  uint64_t total = 0;
+  for (uint64_t v : invoked) {
+    total += v;
+  }
+  return total;
+}
+
+uint64_t SyscallStats::TotalDenied() const {
+  uint64_t total = 0;
+  for (uint64_t v : denied) {
+    total += v;
+  }
+  return total;
+}
+
+std::string SyscallStats::ToString() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < kGuestSyscallCount; ++i) {
+    if (invoked[i] == 0 && denied[i] == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof line, "%-12s invoked=%llu denied=%llu failed=%llu\n",
+                  GuestSyscallName(static_cast<GuestSyscall>(i)),
+                  static_cast<unsigned long long>(invoked[i]),
+                  static_cast<unsigned long long>(denied[i]),
+                  static_cast<unsigned long long>(failed[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace lw

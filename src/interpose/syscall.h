@@ -1,0 +1,60 @@
+// The interposed guest system-call surface (§3.1: "all system calls issued by
+// the extension step are appropriately interposed on").
+//
+// Guest code never reaches the host kernel: every call lands in the session's
+// GuestIo dispatcher, which checks the InterposePolicy and either services the
+// call against simfs / the emit stream or fails it closed (§5: "supporting only
+// the minimal required set of conditions ... and failing all others").
+
+#ifndef LWSNAP_SRC_INTERPOSE_SYSCALL_H_
+#define LWSNAP_SRC_INTERPOSE_SYSCALL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lw {
+
+enum class GuestSyscall : uint8_t {
+  kOpen = 0,
+  kClose,
+  kRead,
+  kWrite,
+  kPread,
+  kPwrite,
+  kLseek,
+  kStat,
+  kFstat,
+  kTruncate,
+  kUnlink,
+  kMkdir,
+  kReaddir,
+  kRename,
+  // The unsupported tail: present so policy decisions and deny counters are
+  // observable per call, exactly like a real interposition table.
+  kSocket,
+  kConnect,
+  kIoctl,
+  kMmapDevice,
+  kExec,
+  kCount,  // sentinel
+};
+
+constexpr size_t kGuestSyscallCount = static_cast<size_t>(GuestSyscall::kCount);
+
+const char* GuestSyscallName(GuestSyscall call);
+
+// Per-syscall invocation/denial counters (the observability half of Figure 2's
+// "libOS: traps, faults, ...").
+struct SyscallStats {
+  uint64_t invoked[kGuestSyscallCount] = {};
+  uint64_t denied[kGuestSyscallCount] = {};
+  uint64_t failed[kGuestSyscallCount] = {};  // serviced but returned an error
+
+  uint64_t TotalInvoked() const;
+  uint64_t TotalDenied() const;
+  std::string ToString() const;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_INTERPOSE_SYSCALL_H_

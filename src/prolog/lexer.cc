@@ -1,0 +1,213 @@
+#include "src/prolog/lexer.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace lw {
+
+namespace {
+
+bool IsSymbolChar(char c) {
+  switch (c) {
+    case '+':
+    case '-':
+    case '*':
+    case '/':
+    case '\\':
+    case '=':
+    case '<':
+    case '>':
+    case ':':
+    case '?':
+    case '@':
+    case '#':
+    case '&':
+    case '^':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (pos_ < input_.size()) {
+    char c = input_[pos_];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++pos_;
+      continue;
+    }
+    if (c == '%') {  // line comment
+      while (pos_ < input_.size() && input_[pos_] != '\n') {
+        ++pos_;
+      }
+      continue;
+    }
+    if (c == '/' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '*') {  // block comment
+      pos_ += 2;
+      while (pos_ + 1 < input_.size() &&
+             !(input_[pos_] == '*' && input_[pos_ + 1] == '/')) {
+        ++pos_;
+      }
+      pos_ = pos_ + 2 <= input_.size() ? pos_ + 2 : input_.size();
+      continue;
+    }
+    break;
+  }
+}
+
+std::string Lexer::LocationOf(size_t offset) const {
+  size_t line = 1;
+  size_t col = 1;
+  for (size_t i = 0; i < offset && i < input_.size(); ++i) {
+    if (input_[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "line %zu, column %zu", line, col);
+  return buf;
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token token;
+  token.offset = pos_;
+  if (pos_ >= input_.size()) {
+    token.kind = TokKind::kEnd;
+    return token;
+  }
+  char c = input_[pos_];
+
+  // Punctuation.
+  switch (c) {
+    case '(':
+      ++pos_;
+      token.kind = TokKind::kLParen;
+      return token;
+    case ')':
+      ++pos_;
+      token.kind = TokKind::kRParen;
+      return token;
+    case '[':
+      ++pos_;
+      token.kind = TokKind::kLBrack;
+      return token;
+    case ']':
+      ++pos_;
+      token.kind = TokKind::kRBrack;
+      return token;
+    case ',':
+      ++pos_;
+      token.kind = TokKind::kComma;
+      return token;
+    case '|':
+      ++pos_;
+      token.kind = TokKind::kBar;
+      return token;
+    case '!':
+      ++pos_;
+      token.kind = TokKind::kAtom;
+      token.text = "!";
+      return token;
+    case ';':
+      ++pos_;
+      token.kind = TokKind::kAtom;
+      token.text = ";";
+      return token;
+    default:
+      break;
+  }
+
+  // Clause-terminating dot: '.' not followed by a symbol char (so `.` ends a
+  // clause but `.(H,T)` or symbolic atoms keep working).
+  if (c == '.') {
+    if (pos_ + 1 >= input_.size() ||
+        std::isspace(static_cast<unsigned char>(input_[pos_ + 1])) != 0 ||
+        input_[pos_ + 1] == '%') {
+      ++pos_;
+      token.kind = TokKind::kDot;
+      return token;
+    }
+    if (input_[pos_ + 1] == '(') {
+      ++pos_;
+      token.kind = TokKind::kAtom;
+      token.text = ".";
+      return token;
+    }
+  }
+
+  // Integers.
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+    int64_t value = 0;
+    while (pos_ < input_.size() && std::isdigit(static_cast<unsigned char>(input_[pos_])) != 0) {
+      value = value * 10 + (input_[pos_] - '0');
+      ++pos_;
+    }
+    token.kind = TokKind::kInt;
+    token.int_value = value;
+    return token;
+  }
+
+  // Variables.
+  if (std::isupper(static_cast<unsigned char>(c)) != 0 || c == '_') {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) != 0 || input_[pos_] == '_')) {
+      ++pos_;
+    }
+    token.kind = TokKind::kVar;
+    token.text = std::string(input_.substr(start, pos_ - start));
+    return token;
+  }
+
+  // Lowercase atoms.
+  if (std::islower(static_cast<unsigned char>(c)) != 0) {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) != 0 || input_[pos_] == '_')) {
+      ++pos_;
+    }
+    token.kind = TokKind::kAtom;
+    token.text = std::string(input_.substr(start, pos_ - start));
+    return token;
+  }
+
+  // Quoted atoms.
+  if (c == '\'') {
+    ++pos_;
+    std::string text;
+    while (pos_ < input_.size() && input_[pos_] != '\'') {
+      text += input_[pos_++];
+    }
+    if (pos_ >= input_.size()) {
+      return InvalidArgument("prolog: unterminated quoted atom at " + LocationOf(token.offset));
+    }
+    ++pos_;  // closing quote
+    token.kind = TokKind::kAtom;
+    token.text = std::move(text);
+    return token;
+  }
+
+  // Symbolic atoms / operators: longest run of symbol chars, except '.' which is
+  // handled above. Includes ':-', 'is' is alphanumeric, '=:=', '\\+', etc.
+  if (IsSymbolChar(c) || c == '.') {
+    size_t start = pos_;
+    while (pos_ < input_.size() && (IsSymbolChar(input_[pos_]) || input_[pos_] == '.')) {
+      ++pos_;
+    }
+    token.kind = TokKind::kAtom;
+    token.text = std::string(input_.substr(start, pos_ - start));
+    return token;
+  }
+
+  return InvalidArgument(std::string("prolog: unexpected character '") + c + "' at " +
+                         LocationOf(pos_));
+}
+
+}  // namespace lw

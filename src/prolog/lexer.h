@@ -1,0 +1,56 @@
+// Tokenizer for the lwprolog surface syntax (a practical Prolog subset:
+// clauses, lists, integers, arithmetic/comparison operators, cut, negation).
+
+#ifndef LWSNAP_SRC_PROLOG_LEXER_H_
+#define LWSNAP_SRC_PROLOG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+enum class TokKind : uint8_t {
+  kAtom,     // lowercase identifier, quoted atom, or symbolic operator
+  kVar,      // Uppercase/underscore identifier
+  kInt,      //
+  kLParen,   // (
+  kRParen,   // )
+  kLBrack,   // [
+  kRBrack,   // ]
+  kComma,    // ,
+  kBar,      // |
+  kDot,      // clause terminator
+  kEnd,      // end of input
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // atom/var spelling
+  int64_t int_value = 0;
+  size_t offset = 0;  // byte offset for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  // Scans the next token; returns an error for unterminated quotes or stray
+  // characters.
+  Result<Token> Next();
+
+  // Offset-to-line/column for diagnostics.
+  std::string LocationOf(size_t offset) const;
+
+ private:
+  void SkipWhitespaceAndComments();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_PROLOG_LEXER_H_

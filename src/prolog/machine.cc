@@ -1,0 +1,612 @@
+#include "src/prolog/machine.h"
+
+#include <cstdio>
+
+namespace lw {
+
+namespace {
+void DefaultOutput(std::string_view text) { std::fwrite(text.data(), 1, text.size(), stdout); }
+}  // namespace
+
+std::string PrologStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "inferences=%llu unifications=%llu backtracks=%llu solutions=%llu "
+                "peak_trail=%llu peak_heap=%llu",
+                static_cast<unsigned long long>(inferences),
+                static_cast<unsigned long long>(unifications),
+                static_cast<unsigned long long>(backtracks),
+                static_cast<unsigned long long>(solutions),
+                static_cast<unsigned long long>(peak_trail),
+                static_cast<unsigned long long>(peak_heap_cells));
+  return buf;
+}
+
+PrologMachine::PrologMachine(PrologOptions options)
+    : options_(options), output_(&DefaultOutput) {}
+
+PrologMachine::ArgKey PrologMachine::KeyOf(const TermHeap& heap, TermRef first_arg) const {
+  TermRef d = heap.Deref(first_arg);
+  const TermCell& cell = heap.At(d);
+  ArgKey key;
+  switch (cell.tag) {
+    case TermTag::kVar:
+      key.kind = ArgKey::Kind::kAny;
+      break;
+    case TermTag::kAtom:
+      key.kind = ArgKey::Kind::kAtom;
+      key.functor = cell.functor;
+      break;
+    case TermTag::kInt:
+      key.kind = ArgKey::Kind::kInt;
+      key.value = cell.value;
+      break;
+    case TermTag::kStruct:
+      key.kind = ArgKey::Kind::kStruct;
+      key.functor = cell.functor;
+      key.arity = cell.arity;
+      break;
+  }
+  return key;
+}
+
+Status PrologMachine::Consult(std::string_view program) {
+  PrologParser parser(&atoms_, &db_heap_);
+  LW_ASSIGN_OR_RETURN(std::vector<ParsedClause> clauses, parser.ParseProgram(program));
+  for (ParsedClause& clause : clauses) {
+    const TermCell& head = db_heap_.At(clause.head);
+    AtomId functor = head.functor;
+    uint32_t arity = head.tag == TermTag::kStruct ? head.arity : 0;
+    IndexedClause indexed;
+    indexed.first_arg =
+        arity > 0 ? KeyOf(db_heap_, db_heap_.Arg(clause.head, 0)) : ArgKey();
+    indexed.clause = std::move(clause);
+    preds_[{functor, arity}].clauses.push_back(std::move(indexed));
+  }
+  return OkStatus();
+}
+
+bool PrologMachine::Unify(TermRef a, TermRef b) {
+  ++stats_.unifications;
+  // Explicit work stack: clause heads can be deep lists.
+  std::vector<std::pair<TermRef, TermRef>> work;
+  work.emplace_back(a, b);
+  while (!work.empty()) {
+    auto [x, y] = work.back();
+    work.pop_back();
+    x = heap_.Deref(x);
+    y = heap_.Deref(y);
+    if (x == y) {
+      continue;
+    }
+    const TermCell& cx = heap_.At(x);
+    const TermCell& cy = heap_.At(y);
+    if (cx.tag == TermTag::kVar) {
+      heap_.Bind(x, y);
+      continue;
+    }
+    if (cy.tag == TermTag::kVar) {
+      heap_.Bind(y, x);
+      continue;
+    }
+    if (cx.tag != cy.tag) {
+      return false;
+    }
+    switch (cx.tag) {
+      case TermTag::kInt:
+        if (cx.value != cy.value) {
+          return false;
+        }
+        break;
+      case TermTag::kAtom:
+        if (cx.functor != cy.functor) {
+          return false;
+        }
+        break;
+      case TermTag::kStruct:
+        if (cx.functor != cy.functor || cx.arity != cy.arity) {
+          return false;
+        }
+        for (uint32_t i = 0; i < cx.arity; ++i) {
+          work.emplace_back(heap_.Arg(x, i), heap_.Arg(y, i));
+        }
+        break;
+      case TermTag::kVar:
+        LW_CHECK(false);  // handled above
+    }
+  }
+  return true;
+}
+
+Result<int64_t> PrologMachine::Eval(TermRef t) {
+  TermRef d = heap_.Deref(t);
+  const TermCell& cell = heap_.At(d);
+  switch (cell.tag) {
+    case TermTag::kInt:
+      return cell.value;
+    case TermTag::kVar:
+      return BadState("prolog: arguments of arithmetic are not sufficiently instantiated");
+    case TermTag::kAtom:
+      return BadState("prolog: atom '" + atoms_.Name(cell.functor) + "' is not evaluable");
+    case TermTag::kStruct: {
+      const std::string& name = atoms_.Name(cell.functor);
+      if (cell.arity == 1) {
+        LW_ASSIGN_OR_RETURN(int64_t v, Eval(heap_.Arg(d, 0)));
+        if (name == "-") {
+          return -v;
+        }
+        if (name == "abs") {
+          return v < 0 ? -v : v;
+        }
+        return BadState("prolog: unknown function " + name + "/1");
+      }
+      if (cell.arity == 2) {
+        LW_ASSIGN_OR_RETURN(int64_t lhs, Eval(heap_.Arg(d, 0)));
+        LW_ASSIGN_OR_RETURN(int64_t rhs, Eval(heap_.Arg(d, 1)));
+        if (name == "+") {
+          return lhs + rhs;
+        }
+        if (name == "-") {
+          return lhs - rhs;
+        }
+        if (name == "*") {
+          return lhs * rhs;
+        }
+        if (name == "//") {
+          if (rhs == 0) {
+            return BadState("prolog: division by zero");
+          }
+          return lhs / rhs;
+        }
+        if (name == "mod") {
+          if (rhs == 0) {
+            return BadState("prolog: mod by zero");
+          }
+          int64_t m = lhs % rhs;
+          if (m != 0 && ((m < 0) != (rhs < 0))) {
+            m += rhs;  // ISO mod follows the divisor's sign
+          }
+          return m;
+        }
+        if (name == "min") {
+          return lhs < rhs ? lhs : rhs;
+        }
+        if (name == "max") {
+          return lhs > rhs ? lhs : rhs;
+        }
+        return BadState("prolog: unknown function " + name + "/2");
+      }
+      return BadState("prolog: unknown function " + name);
+    }
+  }
+  return Internal("prolog: bad term in Eval");
+}
+
+PrologMachine::Outcome PrologMachine::EmitSolution() {
+  ++stats_.solutions;
+  if (on_solution_ == nullptr || !*on_solution_) {
+    return Outcome::kFail;  // keep enumerating
+  }
+  Bindings bindings;
+  for (const auto& [name, ref] : active_query_->vars) {
+    bindings.emplace_back(name, heap_.ToString(atoms_, ref));
+  }
+  return (*on_solution_)(bindings) ? Outcome::kFail : Outcome::kStop;
+}
+
+PrologMachine::Outcome PrologMachine::CallBuiltin(AtomId functor, uint32_t arity, TermRef goal,
+                                                  const GoalNode* next, uint64_t depth,
+                                                  bool* handled) {
+  *handled = true;
+  const std::string& name = atoms_.Name(functor);
+  TermRef d = heap_.Deref(goal);
+
+  auto arg = [&](uint32_t i) { return heap_.Arg(d, i); };
+
+  if (arity == 0) {
+    if (name == "true") {
+      return Solve(next, depth);
+    }
+    if (name == "fail" || name == "false") {
+      return Outcome::kFail;
+    }
+    if (name == "!") {
+      Outcome r = Solve(next, depth);
+      return r == Outcome::kFail ? Outcome::kCut : r;
+    }
+    if (name == "nl") {
+      output_("\n");
+      return Solve(next, depth);
+    }
+    if (name == "halt") {
+      halted_ = true;
+      return Outcome::kStop;
+    }
+  }
+
+  if (arity == 1) {
+    if (name == "\\+") {
+      size_t trail_mark = heap_.TrailMark();
+      size_t heap_mark = heap_.HeapMark();
+      GoalNode sub{arg(0), nullptr};
+      const SolutionFn* saved_handler = on_solution_;
+      uint64_t saved_solutions = stats_.solutions;
+      bool proved = false;
+      SolutionFn probe = [&proved](const Bindings&) {
+        proved = true;
+        return false;  // stop at the first proof
+      };
+      on_solution_ = &probe;
+      Outcome r = Solve(&sub, depth + 1);
+      on_solution_ = saved_handler;
+      stats_.solutions = saved_solutions;  // sub-proofs are not query solutions
+      heap_.UndoTo(trail_mark);
+      heap_.ShrinkTo(heap_mark);
+      if (r == Outcome::kError) {
+        return r;
+      }
+      if (proved) {
+        return Outcome::kFail;
+      }
+      return Solve(next, depth);
+    }
+    if (name == "var" || name == "nonvar" || name == "integer" || name == "atom") {
+      const TermCell& cell = heap_.At(heap_.Deref(arg(0)));
+      bool free_var = cell.tag == TermTag::kVar;
+      bool ok = (name == "var" && free_var) || (name == "nonvar" && !free_var) ||
+                (name == "integer" && cell.tag == TermTag::kInt) ||
+                (name == "atom" && cell.tag == TermTag::kAtom);
+      return ok ? Solve(next, depth) : Outcome::kFail;
+    }
+    if (name == "write" || name == "print" || name == "writeln") {
+      output_(heap_.ToString(atoms_, arg(0)));
+      if (name == "writeln") {
+        output_("\n");
+      }
+      return Solve(next, depth);
+    }
+  }
+
+  if (arity == 2) {
+    if (name == "=") {
+      size_t trail_mark = heap_.TrailMark();
+      if (Unify(arg(0), arg(1))) {
+        Outcome r = Solve(next, depth);
+        if (r != Outcome::kFail) {
+          return r;
+        }
+      }
+      heap_.UndoTo(trail_mark);
+      ++stats_.backtracks;
+      return Outcome::kFail;
+    }
+    if (name == "\\=") {
+      size_t trail_mark = heap_.TrailMark();
+      bool unifies = Unify(arg(0), arg(1));
+      heap_.UndoTo(trail_mark);
+      return unifies ? Outcome::kFail : Solve(next, depth);
+    }
+    if (name == "==" || name == "\\==") {
+      // Structural identity without binding: unify must succeed with an empty
+      // trail delta ⇒ identical.
+      size_t trail_mark = heap_.TrailMark();
+      bool unifies = Unify(arg(0), arg(1));
+      bool bound_nothing = heap_.TrailMark() == trail_mark;
+      heap_.UndoTo(trail_mark);
+      bool identical = unifies && bound_nothing;
+      bool want = name == "==";
+      return identical == want ? Solve(next, depth) : Outcome::kFail;
+    }
+    if (name == "is") {
+      auto value = Eval(arg(1));
+      if (!value.ok()) {
+        error_ = value.status();
+        return Outcome::kError;
+      }
+      size_t trail_mark = heap_.TrailMark();
+      TermRef result = heap_.NewInt(*value);
+      if (Unify(arg(0), result)) {
+        Outcome r = Solve(next, depth);
+        if (r != Outcome::kFail) {
+          return r;
+        }
+      }
+      heap_.UndoTo(trail_mark);
+      ++stats_.backtracks;
+      return Outcome::kFail;
+    }
+    if (name == "<" || name == ">" || name == "=<" || name == ">=" || name == "=:=" ||
+        name == "=\\=") {
+      auto lhs = Eval(arg(0));
+      auto rhs = Eval(arg(1));
+      if (!lhs.ok() || !rhs.ok()) {
+        error_ = lhs.ok() ? rhs.status() : lhs.status();
+        return Outcome::kError;
+      }
+      bool ok = (name == "<" && *lhs < *rhs) || (name == ">" && *lhs > *rhs) ||
+                (name == "=<" && *lhs <= *rhs) || (name == ">=" && *lhs >= *rhs) ||
+                (name == "=:=" && *lhs == *rhs) || (name == "=\\=" && *lhs != *rhs);
+      return ok ? Solve(next, depth) : Outcome::kFail;
+    }
+  }
+
+  if (arity == 2 && name == "length") {
+    TermRef list = heap_.Deref(arg(0));
+    const TermCell& cell = heap_.At(list);
+    if (cell.tag != TermTag::kVar) {
+      // Walk a (possibly improper) list and unify its length.
+      int64_t n = 0;
+      TermRef cur = list;
+      while (true) {
+        const TermCell& c = heap_.At(cur);
+        if (c.tag == TermTag::kAtom && c.functor == atoms_.nil()) {
+          break;
+        }
+        if (c.tag == TermTag::kStruct && c.functor == atoms_.cons() && c.arity == 2) {
+          ++n;
+          cur = heap_.Deref(heap_.Arg(cur, 1));
+          continue;
+        }
+        return Outcome::kFail;  // not a proper list
+      }
+      size_t trail_mark = heap_.TrailMark();
+      if (Unify(arg(1), heap_.NewInt(n))) {
+        Outcome r = Solve(next, depth);
+        if (r != Outcome::kFail) {
+          return r;
+        }
+      }
+      heap_.UndoTo(trail_mark);
+      return Outcome::kFail;
+    }
+    // Var list + concrete length: build a list of fresh variables.
+    const TermCell& len_cell = heap_.At(heap_.Deref(arg(1)));
+    if (len_cell.tag != TermTag::kInt || len_cell.value < 0) {
+      error_ = BadState("prolog: length/2 needs a list or a nonnegative length");
+      return Outcome::kError;
+    }
+    size_t trail_mark = heap_.TrailMark();
+    std::vector<TermRef> vars(static_cast<size_t>(len_cell.value));
+    for (TermRef& v : vars) {
+      v = heap_.NewVar();
+    }
+    TermRef fresh = heap_.MakeList(atoms_, vars);
+    if (Unify(list, fresh)) {
+      Outcome r = Solve(next, depth);
+      if (r != Outcome::kFail) {
+        return r;
+      }
+    }
+    heap_.UndoTo(trail_mark);
+    return Outcome::kFail;
+  }
+
+  if (arity == 3 && name == "findall") {
+    // findall(Template, Goal, List): collect a copy of Template per solution
+    // of Goal, with no bindings leaking out of the sub-proof.
+    TermRef template_term = arg(0);
+    TermRef sub_goal = arg(1);
+    size_t trail_mark = heap_.TrailMark();
+    size_t heap_mark = heap_.HeapMark();
+
+    TermHeap scratch;  // survives the sub-proof unwind
+    std::vector<TermRef> collected;  // refs into scratch
+    const SolutionFn* saved_handler = on_solution_;
+    uint64_t saved_solutions = stats_.solutions;
+    SolutionFn collector = [this, template_term, &scratch, &collected](const Bindings&) {
+      std::unordered_map<TermRef, TermRef> var_map;
+      collected.push_back(scratch.CopyFrom(heap_, template_term, &var_map));
+      return true;  // enumerate every solution
+    };
+    on_solution_ = &collector;
+    GoalNode sub{sub_goal, nullptr};
+    Outcome r = Solve(&sub, depth + 1);
+    on_solution_ = saved_handler;
+    stats_.solutions = saved_solutions;
+    heap_.UndoTo(trail_mark);
+    heap_.ShrinkTo(heap_mark);
+    if (r == Outcome::kError) {
+      return r;
+    }
+    if (r == Outcome::kStop) {
+      return Outcome::kStop;
+    }
+    // Rebuild the collected terms on the live heap and unify with List.
+    std::vector<TermRef> rebuilt;
+    rebuilt.reserve(collected.size());
+    for (TermRef t : collected) {
+      std::unordered_map<TermRef, TermRef> var_map;
+      rebuilt.push_back(heap_.CopyFrom(scratch, t, &var_map));
+    }
+    TermRef list = heap_.MakeList(atoms_, rebuilt);
+    size_t unify_mark = heap_.TrailMark();
+    if (Unify(arg(2), list)) {
+      Outcome rr = Solve(next, depth);
+      if (rr != Outcome::kFail) {
+        return rr;
+      }
+    }
+    heap_.UndoTo(unify_mark);
+    ++stats_.backtracks;
+    return Outcome::kFail;
+  }
+
+  if (arity == 3 && name == "between") {
+    auto lo = Eval(arg(0));
+    auto hi = Eval(arg(1));
+    if (!lo.ok() || !hi.ok()) {
+      error_ = lo.ok() ? hi.status() : lo.status();
+      return Outcome::kError;
+    }
+    TermRef x = arg(2);
+    const TermCell& cell = heap_.At(heap_.Deref(x));
+    if (cell.tag == TermTag::kInt) {
+      bool in_range = cell.value >= *lo && cell.value <= *hi;
+      return in_range ? Solve(next, depth) : Outcome::kFail;
+    }
+    for (int64_t v = *lo; v <= *hi; ++v) {
+      size_t trail_mark = heap_.TrailMark();
+      size_t heap_mark = heap_.HeapMark();
+      TermRef value = heap_.NewInt(v);
+      if (Unify(x, value)) {
+        Outcome r = Solve(next, depth);
+        if (r == Outcome::kStop || r == Outcome::kError) {
+          return r;
+        }
+        if (r == Outcome::kCut) {
+          heap_.UndoTo(trail_mark);
+          heap_.ShrinkTo(heap_mark);
+          return Outcome::kCut;
+        }
+      }
+      heap_.UndoTo(trail_mark);
+      heap_.ShrinkTo(heap_mark);
+      ++stats_.backtracks;
+    }
+    return Outcome::kFail;
+  }
+
+  *handled = false;
+  return Outcome::kFail;
+}
+
+PrologMachine::Outcome PrologMachine::CallUser(TermRef goal, const GoalNode* next,
+                                               uint64_t depth) {
+  TermRef d = heap_.Deref(goal);
+  const TermCell& cell = heap_.At(d);
+  AtomId functor = cell.functor;
+  uint32_t arity = cell.tag == TermTag::kStruct ? cell.arity : 0;
+
+  auto it = preds_.find({functor, arity});
+  if (it == preds_.end()) {
+    error_ = NotFound("prolog: unknown predicate " + atoms_.Name(functor) + "/" +
+                      std::to_string(arity));
+    return Outcome::kError;
+  }
+
+  ++stats_.inferences;
+  if (options_.max_inferences != 0 && stats_.inferences > options_.max_inferences) {
+    error_ = Exhausted("prolog: inference budget exceeded");
+    return Outcome::kError;
+  }
+
+  // First-argument indexing: skip clauses that cannot unify on arg 0.
+  ArgKey call_key = arity > 0 ? KeyOf(heap_, heap_.Arg(d, 0)) : ArgKey();
+
+  for (const IndexedClause& indexed : it->second.clauses) {
+    if (arity > 0 && !call_key.CanMatch(indexed.first_arg)) {
+      ++stats_.index_skips;
+      continue;
+    }
+    const ParsedClause& clause = indexed.clause;
+    size_t trail_mark = heap_.TrailMark();
+    size_t heap_mark = heap_.HeapMark();
+
+    // Rename the clause onto the runtime heap.
+    std::unordered_map<TermRef, TermRef> var_map;
+    TermRef head = heap_.CopyFrom(db_heap_, clause.head, &var_map);
+
+    if (Unify(head, d)) {
+      // Build the body continuation (body goals then `next`).
+      std::vector<TermRef> body(clause.body.size());
+      for (size_t i = 0; i < clause.body.size(); ++i) {
+        body[i] = heap_.CopyFrom(db_heap_, clause.body[i], &var_map);
+      }
+      std::vector<GoalNode> nodes(body.size());
+      for (size_t i = 0; i < body.size(); ++i) {
+        nodes[i].goal = body[i];
+        nodes[i].next = i + 1 < body.size() ? &nodes[i + 1] : next;
+      }
+      const GoalNode* entry = nodes.empty() ? next : &nodes[0];
+      Outcome r = Solve(entry, depth + 1);
+      if (r == Outcome::kStop || r == Outcome::kError) {
+        return r;
+      }
+      if (r == Outcome::kCut) {
+        heap_.UndoTo(trail_mark);
+        heap_.ShrinkTo(heap_mark);
+        ++stats_.backtracks;
+        return Outcome::kFail;  // cut: no more alternatives for this call
+      }
+    }
+    heap_.UndoTo(trail_mark);
+    heap_.ShrinkTo(heap_mark);
+    ++stats_.backtracks;
+  }
+  return Outcome::kFail;
+}
+
+PrologMachine::Outcome PrologMachine::Solve(const GoalNode* goals, uint64_t depth) {
+  if (stats_.peak_trail < heap_.trail_depth()) {
+    stats_.peak_trail = heap_.trail_depth();
+  }
+  if (stats_.peak_heap_cells < heap_.size()) {
+    stats_.peak_heap_cells = heap_.size();
+  }
+  if (goals == nullptr) {
+    return EmitSolution();
+  }
+  TermRef d = heap_.Deref(goals->goal);
+  const TermCell& cell = heap_.At(d);
+
+  if (cell.tag == TermTag::kVar) {
+    error_ = BadState("prolog: unbound goal");
+    return Outcome::kError;
+  }
+  if (cell.tag == TermTag::kInt) {
+    error_ = BadState("prolog: integer is not a callable goal");
+    return Outcome::kError;
+  }
+
+  // Conjunctions can appear as goals via variables bound to (A, B).
+  if (cell.tag == TermTag::kStruct && cell.functor == atoms_.comma() && cell.arity == 2) {
+    GoalNode second{heap_.Arg(d, 1), goals->next};
+    GoalNode first{heap_.Arg(d, 0), &second};
+    return Solve(&first, depth);
+  }
+
+  AtomId functor = cell.functor;
+  uint32_t arity = cell.tag == TermTag::kStruct ? cell.arity : 0;
+  bool handled = false;
+  Outcome r = CallBuiltin(functor, arity, d, goals->next, depth, &handled);
+  if (handled) {
+    return r;
+  }
+  return CallUser(d, goals->next, depth);
+}
+
+Result<uint64_t> PrologMachine::Query(std::string_view query_text,
+                                      const SolutionFn& on_solution) {
+  const size_t trail_base = heap_.TrailMark();
+  const size_t heap_base = heap_.HeapMark();
+  PrologParser parser(&atoms_, &heap_);
+  LW_ASSIGN_OR_RETURN(ParsedQuery query, parser.ParseQuery(query_text));
+
+  active_query_ = &query;
+  on_solution_ = on_solution ? &on_solution : nullptr;
+  error_ = OkStatus();
+  halted_ = false;
+  uint64_t solutions_before = stats_.solutions;
+
+  std::vector<GoalNode> nodes(query.goals.size());
+  for (size_t i = 0; i < query.goals.size(); ++i) {
+    nodes[i].goal = query.goals[i];
+    nodes[i].next = i + 1 < query.goals.size() ? &nodes[i + 1] : nullptr;
+  }
+  Outcome r = Solve(nodes.empty() ? nullptr : &nodes[0], 0);
+  active_query_ = nullptr;
+  on_solution_ = nullptr;
+  // Reclaim everything the query allocated (bindings first, then cells).
+  heap_.UndoTo(trail_base);
+  heap_.ShrinkTo(heap_base);
+  if (r == Outcome::kError) {
+    return error_;
+  }
+  return stats_.solutions - solutions_before;
+}
+
+Result<uint64_t> PrologMachine::Query(std::string_view query_text) {
+  return Query(query_text, SolutionFn());
+}
+
+}  // namespace lw

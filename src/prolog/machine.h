@@ -1,0 +1,150 @@
+// PrologMachine: the lwprolog resolution engine.
+//
+// A structure-copying SLD interpreter in the WAM tradition: calling a predicate
+// renames (copies) the matching clause onto the runtime heap, unifies the head,
+// and continues with the clause body prepended to the continuation. Choice
+// points live on the host call stack; undoing a failed alternative pops the
+// binding trail and truncates the heap — the classic language-runtime
+// backtracking that §5 of the paper benchmarks snapshots against.
+//
+// Supported builtins: true/0 fail/0 !/0 =/2 \=/2 ==/2 \==/2 is/2 the six
+// arithmetic comparisons, \+/1 (negation as failure), var/1 nonvar/1 integer/1
+// atom/1, between/3, length/2, findall/3, write/1 writeln/1 print/1 nl/0,
+// halt/0.
+
+#ifndef LWSNAP_SRC_PROLOG_MACHINE_H_
+#define LWSNAP_SRC_PROLOG_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/prolog/parser.h"
+#include "src/prolog/term.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+struct PrologStats {
+  uint64_t inferences = 0;     // user-predicate call attempts
+  uint64_t unifications = 0;   // head unification attempts
+  uint64_t backtracks = 0;     // trail unwinds after a failed alternative
+  uint64_t index_skips = 0;    // clauses skipped by first-argument indexing
+  uint64_t solutions = 0;
+  uint64_t peak_trail = 0;
+  uint64_t peak_heap_cells = 0;
+
+  std::string ToString() const;
+};
+
+struct PrologOptions {
+  // Aborts the query with kExhausted beyond this many inferences (0 = unbounded).
+  uint64_t max_inferences = 0;
+};
+
+class PrologMachine {
+ public:
+  explicit PrologMachine(PrologOptions options = PrologOptions());
+
+  // Loads clauses from source text, appending to the database.
+  Status Consult(std::string_view program);
+
+  // One solution: variable name -> printed term.
+  using Bindings = std::vector<std::pair<std::string, std::string>>;
+  // Return false to stop the search after this solution.
+  using SolutionFn = std::function<bool(const Bindings&)>;
+
+  // Proves `query_text`; returns the number of solutions found.
+  Result<uint64_t> Query(std::string_view query_text, const SolutionFn& on_solution);
+  Result<uint64_t> Query(std::string_view query_text);  // count only
+
+  // Output sink for write/1 & friends (default: stdout).
+  void set_output(std::function<void(std::string_view)> output) { output_ = std::move(output); }
+
+  const PrologStats& stats() const { return stats_; }
+  AtomTable& atoms() { return atoms_; }
+
+ private:
+  struct GoalNode {
+    TermRef goal = kNullTerm;
+    const GoalNode* next = nullptr;
+  };
+
+  enum class Outcome : uint8_t {
+    kFail,   // keep searching alternatives
+    kStop,   // a callback asked to end the whole query
+    kCut,    // a cut fired: abandon remaining alternatives of the current call
+    kError,  // error_ holds the reason
+  };
+
+  // First-argument index key (WAM-style clause indexing): a call whose first
+  // argument is bound only tries clauses whose head can possibly match.
+  struct ArgKey {
+    enum class Kind : uint8_t { kAny, kAtom, kInt, kStruct } kind = Kind::kAny;
+    AtomId functor = 0;  // kAtom/kStruct
+    uint32_t arity = 0;  // kStruct
+    int64_t value = 0;   // kInt
+
+    bool CanMatch(const ArgKey& other) const {
+      if (kind == Kind::kAny || other.kind == Kind::kAny) {
+        return true;
+      }
+      if (kind != other.kind) {
+        return false;
+      }
+      switch (kind) {
+        case Kind::kAtom:
+          return functor == other.functor;
+        case Kind::kInt:
+          return value == other.value;
+        case Kind::kStruct:
+          return functor == other.functor && arity == other.arity;
+        case Kind::kAny:
+          return true;
+      }
+      return true;
+    }
+  };
+
+  struct IndexedClause {
+    ParsedClause clause;
+    ArgKey first_arg;
+  };
+
+  struct Pred {
+    std::vector<IndexedClause> clauses;
+  };
+
+  ArgKey KeyOf(const TermHeap& heap, TermRef first_arg) const;
+
+  Outcome Solve(const GoalNode* goals, uint64_t depth);
+  Outcome CallUser(TermRef goal, const GoalNode* next, uint64_t depth);
+  Outcome CallBuiltin(AtomId functor, uint32_t arity, TermRef goal, const GoalNode* next,
+                      uint64_t depth, bool* handled);
+  bool Unify(TermRef a, TermRef b);
+  Result<int64_t> Eval(TermRef t);
+  Outcome EmitSolution();
+
+  PrologOptions options_;
+  AtomTable atoms_;
+  TermHeap db_heap_;    // consulted clauses (never unwound)
+  TermHeap heap_;       // runtime terms (query + clause copies)
+  std::map<std::pair<AtomId, uint32_t>, Pred> preds_;
+
+  std::function<void(std::string_view)> output_;
+
+  // Per-query state.
+  const ParsedQuery* active_query_ = nullptr;
+  const SolutionFn* on_solution_ = nullptr;
+  Status error_;
+  bool halted_ = false;
+
+  PrologStats stats_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_PROLOG_MACHINE_H_

@@ -1,0 +1,276 @@
+#include "src/prolog/parser.h"
+
+namespace lw {
+
+namespace {
+
+struct OpInfo {
+  int prec = 0;        // 0 = not an operator
+  bool right_assoc = false;
+};
+
+// Binary operator table (see header for the priority scheme). Returned prec is
+// the operator's priority; operands must parse at prec-1 (left/xfx) or prec
+// (right/xfy).
+OpInfo BinaryOp(const std::string& name) {
+  if (name == ":-") {
+    return {1200, false};
+  }
+  if (name == "=" || name == "\\=" || name == "==" || name == "\\==" || name == "is" ||
+      name == "<" || name == ">" || name == "=<" || name == ">=" || name == "=:=" ||
+      name == "=\\=") {
+    return {700, false};
+  }
+  if (name == "+" || name == "-") {
+    return {500, false};
+  }
+  if (name == "*" || name == "//" || name == "mod") {
+    return {400, false};
+  }
+  return {0, false};
+}
+
+bool IsPrefixOp(const std::string& name) { return name == "\\+" || name == "-"; }
+
+}  // namespace
+
+PrologParser::PrologParser(AtomTable* atoms, TermHeap* heap) : atoms_(atoms), heap_(heap) {
+  LW_CHECK(atoms_ != nullptr && heap_ != nullptr);
+}
+
+Result<Token> PrologParser::Peek() {
+  if (!has_lookahead_) {
+    LW_ASSIGN_OR_RETURN(lookahead_, lexer_.Next());
+    has_lookahead_ = true;
+  }
+  return lookahead_;
+}
+
+Result<Token> PrologParser::Take() {
+  LW_ASSIGN_OR_RETURN(Token token, Peek());
+  has_lookahead_ = false;
+  return token;
+}
+
+Status PrologParser::Expect(TokKind kind, const char* what) {
+  LW_ASSIGN_OR_RETURN(Token token, Take());
+  if (token.kind != kind) {
+    return InvalidArgument(std::string("prolog: expected ") + what + " at " +
+                           lexer_.LocationOf(token.offset));
+  }
+  return OkStatus();
+}
+
+TermRef PrologParser::VarFor(const std::string& name) {
+  if (name == "_") {
+    return heap_->NewVar();  // every _ is fresh
+  }
+  auto it = clause_vars_.find(name);
+  if (it != clause_vars_.end()) {
+    return it->second;
+  }
+  TermRef v = heap_->NewVar();
+  clause_vars_.emplace(name, v);
+  var_order_.emplace_back(name, v);
+  return v;
+}
+
+Result<TermRef> PrologParser::ParseArgs(AtomId functor) {
+  // '(' already consumed by the caller’s lookahead decision.
+  std::vector<TermRef> args;
+  while (true) {
+    // Inside argument lists ',' separates arguments, so parse below 1000.
+    LW_ASSIGN_OR_RETURN(TermRef arg, ParseTerm(999));
+    args.push_back(arg);
+    LW_ASSIGN_OR_RETURN(Token token, Take());
+    if (token.kind == TokKind::kRParen) {
+      break;
+    }
+    if (token.kind != TokKind::kComma) {
+      return InvalidArgument("prolog: expected ',' or ')' in arguments at " +
+                             lexer_.LocationOf(token.offset));
+    }
+  }
+  TermRef s = heap_->NewStruct(functor, static_cast<uint32_t>(args.size()));
+  for (size_t i = 0; i < args.size(); ++i) {
+    heap_->SetArg(s, static_cast<uint32_t>(i), args[i]);
+  }
+  return s;
+}
+
+Result<TermRef> PrologParser::ParseList() {
+  // '[' already consumed.
+  LW_ASSIGN_OR_RETURN(Token token, Peek());
+  if (token.kind == TokKind::kRBrack) {
+    LW_RETURN_IF_ERROR(Take().status());
+    return heap_->NewAtom(atoms_->nil());
+  }
+  std::vector<TermRef> elems;
+  TermRef tail = kNullTerm;
+  while (true) {
+    LW_ASSIGN_OR_RETURN(TermRef elem, ParseTerm(999));
+    elems.push_back(elem);
+    LW_ASSIGN_OR_RETURN(Token sep, Take());
+    if (sep.kind == TokKind::kComma) {
+      continue;
+    }
+    if (sep.kind == TokKind::kBar) {
+      LW_ASSIGN_OR_RETURN(tail, ParseTerm(999));
+      LW_RETURN_IF_ERROR(Expect(TokKind::kRBrack, "']'"));
+      break;
+    }
+    if (sep.kind == TokKind::kRBrack) {
+      break;
+    }
+    return InvalidArgument("prolog: expected ',' '|' or ']' in list at " +
+                           lexer_.LocationOf(sep.offset));
+  }
+  if (tail == kNullTerm) {
+    tail = heap_->NewAtom(atoms_->nil());
+  }
+  for (size_t i = elems.size(); i > 0; --i) {
+    TermRef cons = heap_->NewStruct(atoms_->cons(), 2);
+    heap_->SetArg(cons, 0, elems[i - 1]);
+    heap_->SetArg(cons, 1, tail);
+    tail = cons;
+  }
+  return tail;
+}
+
+Result<TermRef> PrologParser::ParsePrimary() {
+  LW_ASSIGN_OR_RETURN(Token token, Take());
+  switch (token.kind) {
+    case TokKind::kInt:
+      return heap_->NewInt(token.int_value);
+    case TokKind::kVar:
+      return VarFor(token.text);
+    case TokKind::kLBrack:
+      return ParseList();
+    case TokKind::kLParen: {
+      LW_ASSIGN_OR_RETURN(TermRef t, ParseTerm(1200));
+      LW_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      return t;
+    }
+    case TokKind::kAtom: {
+      // Prefix operators.
+      if (IsPrefixOp(token.text)) {
+        LW_ASSIGN_OR_RETURN(Token next, Peek());
+        bool operand_follows =
+            next.kind == TokKind::kInt || next.kind == TokKind::kVar ||
+            next.kind == TokKind::kAtom || next.kind == TokKind::kLParen ||
+            next.kind == TokKind::kLBrack;
+        if (operand_follows) {
+          if (token.text == "-" && next.kind == TokKind::kInt) {
+            LW_RETURN_IF_ERROR(Take().status());
+            return heap_->NewInt(-next.int_value);
+          }
+          int sub_prec = token.text == "\\+" ? 900 : 200;
+          LW_ASSIGN_OR_RETURN(TermRef operand, ParseTerm(sub_prec));
+          TermRef s = heap_->NewStruct(atoms_->Intern(token.text), 1);
+          heap_->SetArg(s, 0, operand);
+          return s;
+        }
+      }
+      AtomId id = atoms_->Intern(token.text);
+      LW_ASSIGN_OR_RETURN(Token next, Peek());
+      if (next.kind == TokKind::kLParen && next.offset == token.offset + token.text.size()) {
+        // Functor application: no space between atom and '(' (ISO rule).
+        LW_RETURN_IF_ERROR(Take().status());
+        return ParseArgs(id);
+      }
+      return heap_->NewAtom(id);
+    }
+    default:
+      return InvalidArgument("prolog: unexpected token at " + lexer_.LocationOf(token.offset));
+  }
+}
+
+Result<TermRef> PrologParser::ParseTerm(int max_prec) {
+  LW_ASSIGN_OR_RETURN(TermRef left, ParsePrimary());
+  while (true) {
+    LW_ASSIGN_OR_RETURN(Token token, Peek());
+    std::string op_name;
+    if (token.kind == TokKind::kAtom) {
+      op_name = token.text;
+    } else if (token.kind == TokKind::kComma && max_prec >= 1000) {
+      op_name = ",";
+    } else {
+      break;
+    }
+    OpInfo op = op_name == "," ? OpInfo{1000, true} : BinaryOp(op_name);
+    if (op.prec == 0 || op.prec > max_prec) {
+      break;
+    }
+    LW_RETURN_IF_ERROR(Take().status());
+    int rhs_prec = op.right_assoc ? op.prec : op.prec - 1;
+    LW_ASSIGN_OR_RETURN(TermRef right, ParseTerm(rhs_prec));
+    TermRef s = heap_->NewStruct(atoms_->Intern(op_name), 2);
+    heap_->SetArg(s, 0, left);
+    heap_->SetArg(s, 1, right);
+    left = s;
+  }
+  return left;
+}
+
+void PrologParser::FlattenConjunction(TermRef t, std::vector<TermRef>* out) const {
+  TermRef d = heap_->Deref(t);
+  const TermCell& cell = heap_->At(d);
+  if (cell.tag == TermTag::kStruct && cell.functor == atoms_->comma() && cell.arity == 2) {
+    FlattenConjunction(heap_->Arg(d, 0), out);
+    FlattenConjunction(heap_->Arg(d, 1), out);
+    return;
+  }
+  out->push_back(d);
+}
+
+Result<std::vector<ParsedClause>> PrologParser::ParseProgram(std::string_view text) {
+  lexer_ = Lexer(text);
+  has_lookahead_ = false;
+  std::vector<ParsedClause> clauses;
+  while (true) {
+    LW_ASSIGN_OR_RETURN(Token token, Peek());
+    if (token.kind == TokKind::kEnd) {
+      break;
+    }
+    clause_vars_.clear();
+    var_order_.clear();
+    LW_ASSIGN_OR_RETURN(TermRef term, ParseTerm(1200));
+    LW_RETURN_IF_ERROR(Expect(TokKind::kDot, "'.' after clause"));
+
+    ParsedClause clause;
+    TermRef d = heap_->Deref(term);
+    const TermCell& cell = heap_->At(d);
+    if (cell.tag == TermTag::kStruct && cell.arity == 2 &&
+        cell.functor == atoms_->Intern(":-")) {
+      clause.head = heap_->Deref(heap_->Arg(d, 0));
+      FlattenConjunction(heap_->Arg(d, 1), &clause.body);
+    } else {
+      clause.head = d;
+    }
+    const TermCell& head = heap_->At(clause.head);
+    if (head.tag != TermTag::kAtom && head.tag != TermTag::kStruct) {
+      return InvalidArgument("prolog: clause head must be an atom or structure");
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+Result<ParsedQuery> PrologParser::ParseQuery(std::string_view text) {
+  lexer_ = Lexer(text);
+  has_lookahead_ = false;
+  clause_vars_.clear();
+  var_order_.clear();
+  LW_ASSIGN_OR_RETURN(TermRef term, ParseTerm(1200));
+  LW_ASSIGN_OR_RETURN(Token token, Take());
+  if (token.kind != TokKind::kDot && token.kind != TokKind::kEnd) {
+    return InvalidArgument("prolog: trailing tokens after query at " +
+                           lexer_.LocationOf(token.offset));
+  }
+  ParsedQuery query;
+  FlattenConjunction(term, &query.goals);
+  query.vars = var_order_;
+  return query;
+}
+
+}  // namespace lw

@@ -1,0 +1,75 @@
+// Parser for the lwprolog subset. Operator table (subset of ISO priorities):
+//
+//   1200  xfx  :-
+//   1000  xfy  ,            (inside argument lists handled structurally)
+//    900  fy   \+
+//    700  xfx  =  \=  ==  \==  is  <  >  =<  >=  =:=  =\=
+//    500  yfx  +  -
+//    400  yfx  *  //  mod
+//    200  fy   -            (unary minus)
+//
+// Terms are built directly into a caller-supplied TermHeap; variables scope to
+// one clause/query and are reported by name for binding output.
+
+#ifndef LWSNAP_SRC_PROLOG_PARSER_H_
+#define LWSNAP_SRC_PROLOG_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/prolog/lexer.h"
+#include "src/prolog/term.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+struct ParsedClause {
+  TermRef head = kNullTerm;
+  std::vector<TermRef> body;  // empty for facts
+};
+
+struct ParsedQuery {
+  std::vector<TermRef> goals;
+  // Named (non-underscore) query variables in first-occurrence order.
+  std::vector<std::pair<std::string, TermRef>> vars;
+};
+
+class PrologParser {
+ public:
+  PrologParser(AtomTable* atoms, TermHeap* heap);
+
+  // Parses a whole program (sequence of clauses).
+  Result<std::vector<ParsedClause>> ParseProgram(std::string_view text);
+
+  // Parses a query: a goal conjunction terminated by '.' (optional).
+  Result<ParsedQuery> ParseQuery(std::string_view text);
+
+ private:
+  Result<Token> Peek();
+  Result<Token> Take();
+  Status Expect(TokKind kind, const char* what);
+
+  // Precedence-climbing term parser.
+  Result<TermRef> ParseTerm(int max_prec);
+  Result<TermRef> ParsePrimary();
+  Result<TermRef> ParseList();
+  Result<TermRef> ParseArgs(AtomId functor);
+  TermRef VarFor(const std::string& name);
+
+  // Splits a ','/2 chain into a goal list.
+  void FlattenConjunction(TermRef t, std::vector<TermRef>* out) const;
+
+  AtomTable* atoms_;
+  TermHeap* heap_;
+  Lexer lexer_{""};
+  Token lookahead_;
+  bool has_lookahead_ = false;
+  std::map<std::string, TermRef> clause_vars_;
+  std::vector<std::pair<std::string, TermRef>> var_order_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_PROLOG_PARSER_H_

@@ -1,0 +1,214 @@
+#include "src/prolog/term.h"
+
+#include <cstdio>
+
+namespace lw {
+
+AtomTable::AtomTable() {
+  nil_ = Intern("[]");
+  cons_ = Intern(".");
+  comma_ = Intern(",");
+}
+
+AtomId AtomTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    return it->second;
+  }
+  AtomId id = static_cast<AtomId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& AtomTable::Name(AtomId id) const {
+  LW_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size());
+  return names_[static_cast<size_t>(id)];
+}
+
+TermRef TermHeap::NewVar() {
+  TermRef t = static_cast<TermRef>(cells_.size());
+  cells_.emplace_back();
+  return t;
+}
+
+TermRef TermHeap::NewInt(int64_t value) {
+  TermRef t = static_cast<TermRef>(cells_.size());
+  TermCell cell;
+  cell.tag = TermTag::kInt;
+  cell.value = value;
+  cells_.push_back(cell);
+  return t;
+}
+
+TermRef TermHeap::NewAtom(AtomId atom) {
+  TermRef t = static_cast<TermRef>(cells_.size());
+  TermCell cell;
+  cell.tag = TermTag::kAtom;
+  cell.functor = atom;
+  cells_.push_back(cell);
+  return t;
+}
+
+TermRef TermHeap::NewStruct(AtomId functor, uint32_t arity) {
+  TermRef t = static_cast<TermRef>(cells_.size());
+  TermCell cell;
+  cell.tag = TermTag::kStruct;
+  cell.functor = functor;
+  cell.arity = arity;
+  cells_.push_back(cell);
+  for (uint32_t i = 0; i < arity; ++i) {
+    cells_.emplace_back();  // fresh unbound var per arg slot
+  }
+  return t;
+}
+
+TermRef TermHeap::Arg(TermRef s, uint32_t i) const {
+  LW_CHECK(At(s).tag == TermTag::kStruct && i < At(s).arity);
+  return s + 1 + static_cast<TermRef>(i);
+}
+
+void TermHeap::SetArg(TermRef s, uint32_t i, TermRef value) {
+  TermRef slot = Arg(s, i);
+  // Arg slots are var cells; "setting" is binding without trailing (construction
+  // time only, never undone).
+  TermCell& cell = cells_[static_cast<size_t>(slot)];
+  LW_CHECK(cell.tag == TermTag::kVar && cell.binding == kNullTerm);
+  cell.binding = value;
+}
+
+TermRef TermHeap::Deref(TermRef t) const {
+  while (true) {
+    const TermCell& cell = At(t);
+    if (cell.tag != TermTag::kVar || cell.binding == kNullTerm) {
+      return t;
+    }
+    t = cell.binding;
+  }
+}
+
+void TermHeap::Bind(TermRef v, TermRef t) {
+  TermCell& cell = cells_[static_cast<size_t>(v)];
+  LW_CHECK(cell.tag == TermTag::kVar && cell.binding == kNullTerm);
+  cell.binding = t;
+  trail_.push_back(v);
+  ++total_bindings_;
+}
+
+void TermHeap::UndoTo(size_t mark) {
+  while (trail_.size() > mark) {
+    TermRef v = trail_.back();
+    trail_.pop_back();
+    cells_[static_cast<size_t>(v)].binding = kNullTerm;
+  }
+}
+
+void TermHeap::ShrinkTo(size_t mark) {
+  LW_CHECK(mark <= cells_.size());
+  cells_.resize(mark);
+}
+
+TermRef TermHeap::CopyFrom(const TermHeap& src, TermRef t,
+                           std::unordered_map<TermRef, TermRef>* var_map) {
+  TermRef d = src.Deref(t);
+  const TermCell& cell = src.At(d);
+  switch (cell.tag) {
+    case TermTag::kVar: {
+      auto it = var_map->find(d);
+      if (it != var_map->end()) {
+        return it->second;
+      }
+      TermRef fresh = NewVar();
+      var_map->emplace(d, fresh);
+      return fresh;
+    }
+    case TermTag::kInt:
+      return NewInt(cell.value);
+    case TermTag::kAtom:
+      return NewAtom(cell.functor);
+    case TermTag::kStruct: {
+      // Copy args first (they may allocate), then assemble.
+      std::vector<TermRef> args(cell.arity);
+      for (uint32_t i = 0; i < cell.arity; ++i) {
+        args[i] = CopyFrom(src, src.Arg(d, i), var_map);
+      }
+      TermRef s = NewStruct(cell.functor, cell.arity);
+      for (uint32_t i = 0; i < cell.arity; ++i) {
+        SetArg(s, i, args[i]);
+      }
+      return s;
+    }
+  }
+  LW_CHECK(false);
+  return kNullTerm;
+}
+
+TermRef TermHeap::MakeList(const AtomTable& atoms, const std::vector<TermRef>& elems) {
+  TermRef tail = NewAtom(atoms.nil());
+  for (size_t i = elems.size(); i > 0; --i) {
+    TermRef cons = NewStruct(atoms.cons(), 2);
+    SetArg(cons, 0, elems[i - 1]);
+    SetArg(cons, 1, tail);
+    tail = cons;
+  }
+  return tail;
+}
+
+std::string TermHeap::ToString(const AtomTable& atoms, TermRef t) const {
+  TermRef d = Deref(t);
+  const TermCell& cell = At(d);
+  switch (cell.tag) {
+    case TermTag::kVar: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "_G%d", d);
+      return buf;
+    }
+    case TermTag::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(cell.value));
+      return buf;
+    }
+    case TermTag::kAtom:
+      return atoms.Name(cell.functor);
+    case TermTag::kStruct: {
+      // Lists print as [a,b|T].
+      if (cell.functor == atoms.cons() && cell.arity == 2) {
+        std::string out = "[";
+        TermRef cur = d;
+        bool first = true;
+        while (true) {
+          const TermCell& c = At(cur);
+          if (c.tag == TermTag::kStruct && c.functor == atoms.cons() && c.arity == 2) {
+            if (!first) {
+              out += ",";
+            }
+            out += ToString(atoms, Arg(cur, 0));
+            first = false;
+            cur = Deref(Arg(cur, 1));
+          } else if (c.tag == TermTag::kAtom && c.functor == atoms.nil()) {
+            break;
+          } else {
+            out += "|";
+            out += ToString(atoms, cur);
+            break;
+          }
+        }
+        out += "]";
+        return out;
+      }
+      std::string out = atoms.Name(cell.functor);
+      out += "(";
+      for (uint32_t i = 0; i < cell.arity; ++i) {
+        if (i != 0) {
+          out += ",";
+        }
+        out += ToString(atoms, Arg(d, i));
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace lw

@@ -1,0 +1,122 @@
+// lwprolog term representation: WAM-style tagged cells on a flat heap.
+//
+// This module is the paper's Prolog comparison point (§5 compares the prototype
+// against "a Prolog implementation running on XSB"): a language runtime whose
+// backtracking is implemented with a binding trail and explicit choice points —
+// exactly the cost structure system-level snapshots compete with.
+//
+// Heap layout: a structure f(a1..an) occupies n+1 contiguous cells — the
+// functor cell followed by its argument cells (each argument is either an
+// immediate value or a kVar cell bound to the real term). Variables are cells
+// that point at their binding, or at themselves-equivalent kNullTerm when free;
+// binding pushes the cell index onto the trail so backtracking can unbind.
+
+#ifndef LWSNAP_SRC_PROLOG_TERM_H_
+#define LWSNAP_SRC_PROLOG_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+using TermRef = int32_t;
+constexpr TermRef kNullTerm = -1;
+
+using AtomId = int32_t;
+
+enum class TermTag : uint8_t {
+  kVar,     // free or bound variable
+  kInt,     // 64-bit integer
+  kAtom,    // interned constant
+  kStruct,  // functor cell; args follow contiguously
+};
+
+struct TermCell {
+  TermTag tag = TermTag::kVar;
+  AtomId functor = 0;        // kAtom/kStruct
+  uint32_t arity = 0;        // kStruct
+  int64_t value = 0;         // kInt
+  TermRef binding = kNullTerm;  // kVar: the bound term (kNullTerm = free)
+};
+
+// Interned atom names, shared by the program database and the runtime heap.
+class AtomTable {
+ public:
+  AtomId Intern(std::string_view name);
+  const std::string& Name(AtomId id) const;
+  size_t size() const { return names_.size(); }
+
+  // Pre-interned atoms every program needs.
+  AtomId nil() const { return nil_; }    // []
+  AtomId cons() const { return cons_; }  // '.'/2
+  AtomId comma() const { return comma_; }
+
+  AtomTable();
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AtomId> index_;
+  AtomId nil_;
+  AtomId cons_;
+  AtomId comma_;
+};
+
+// A growable cell heap with a trail. Both the clause database and the runtime
+// use TermHeap; clause terms are copied (renamed) from the DB heap onto the
+// runtime heap at call time.
+class TermHeap {
+ public:
+  TermRef NewVar();
+  TermRef NewInt(int64_t value);
+  TermRef NewAtom(AtomId atom);
+  // Allocates functor + arity arg slots; args are fresh unbound vars the caller
+  // binds via SetArg (or leaves as genuine variables).
+  TermRef NewStruct(AtomId functor, uint32_t arity);
+
+  TermRef Arg(TermRef s, uint32_t i) const;
+  void SetArg(TermRef s, uint32_t i, TermRef value);
+
+  const TermCell& At(TermRef t) const { return cells_[static_cast<size_t>(t)]; }
+
+  // Follows variable bindings to the representative cell.
+  TermRef Deref(TermRef t) const;
+
+  // Binds free var `v` to `t`, recording it on the trail.
+  void Bind(TermRef v, TermRef t);
+
+  // Trail mark / unwind: the backtracking undo mechanism.
+  size_t TrailMark() const { return trail_.size(); }
+  void UndoTo(size_t mark);
+
+  // Heap mark / truncate: reclaims cells allocated by abandoned clause copies.
+  size_t HeapMark() const { return cells_.size(); }
+  void ShrinkTo(size_t mark);
+
+  size_t size() const { return cells_.size(); }
+  size_t trail_depth() const { return trail_.size(); }
+  uint64_t total_bindings() const { return total_bindings_; }
+
+  // Structural copy of `t` (from `src` heap) onto this heap, renaming variables
+  // consistently via `var_map`.
+  TermRef CopyFrom(const TermHeap& src, TermRef t,
+                   std::unordered_map<TermRef, TermRef>* var_map);
+
+  // Convenience list builders.
+  TermRef MakeList(const AtomTable& atoms, const std::vector<TermRef>& elems);
+
+  std::string ToString(const AtomTable& atoms, TermRef t) const;
+
+ private:
+  std::vector<TermCell> cells_;
+  std::vector<TermRef> trail_;
+  uint64_t total_bindings_ = 0;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_PROLOG_TERM_H_

@@ -1,0 +1,55 @@
+#include "src/simfs/fd_table.h"
+
+namespace lw {
+
+Result<int> FdTable::Alloc(uint64_t ino, uint32_t flags) {
+  size_t slot = 0;
+  while (slot < slots_.size() && slots_[slot].open) {
+    ++slot;
+  }
+  if (slot == slots_.size()) {
+    if (slots_.size() >= static_cast<size_t>(kMaxFds - kFirstFd)) {
+      return Exhausted("fd table full");
+    }
+    slots_.emplace_back();
+  }
+  FdEntry& e = slots_[slot];
+  e.open = true;
+  e.ino = ino;
+  e.offset = 0;
+  e.flags = flags;
+  return static_cast<int>(slot) + kFirstFd;
+}
+
+Status FdTable::Close(int fd) {
+  FdEntry* e = Get(fd);
+  if (e == nullptr) {
+    return InvalidArgument("close: bad fd");
+  }
+  *e = FdEntry();
+  return OkStatus();
+}
+
+FdEntry* FdTable::Get(int fd) {
+  int slot = fd - kFirstFd;
+  if (slot < 0 || static_cast<size_t>(slot) >= slots_.size() || !slots_[slot].open) {
+    return nullptr;
+  }
+  return &slots_[slot];
+}
+
+const FdEntry* FdTable::Get(int fd) const {
+  return const_cast<FdTable*>(this)->Get(fd);
+}
+
+size_t FdTable::open_count() const {
+  size_t n = 0;
+  for (const FdEntry& e : slots_) {
+    if (e.open) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace lw

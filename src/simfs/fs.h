@@ -1,0 +1,133 @@
+// SimFs: an in-memory filesystem whose whole state snapshots in O(1).
+//
+// This is the "logical copy of open disk files" of §3.1 and §4: every partial
+// candidate carries an immutable filesystem image, so file mutations made by an
+// extension step are contained and vanish on backtrack — no undo log. Mechanics:
+//
+//   * Inodes are immutable once published (shared_ptr<const Inode>); a mutation
+//     clones the inode and swaps the pointer. Regular-file contents are FileData
+//     (chunk-granular CoW), so cloning an inode shares all untouched bytes.
+//   * The ino -> inode table is a PersistentRadixMap, so SimFs::Snapshot() is a
+//     root-pointer copy: O(1), allocation-free, and structurally shared with
+//     every other snapshot.
+//   * Restore(state) swaps the table back. Host callers (the session attachment
+//     in src/interpose) capture/restore around extension evaluation.
+//
+// Only regular files and directories exist, matching the paper's §5 soundness
+// rule ("only open regular files but not devices"); everything else is the
+// interposition layer's job to refuse.
+
+#ifndef LWSNAP_SRC_SIMFS_FS_H_
+#define LWSNAP_SRC_SIMFS_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/simfs/file.h"
+#include "src/util/radix_map.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+enum class NodeType : uint8_t {
+  kFile,
+  kDir,
+};
+
+struct SimFsStat {
+  uint64_t ino = 0;
+  NodeType type = NodeType::kFile;
+  uint64_t size = 0;     // bytes for files, entry count for directories
+  uint64_t version = 0;  // bumped every time the inode is replaced
+};
+
+class SimFs {
+ public:
+  struct Options {
+    // Fixed inode-number space (the radix map is capacity-bounded).
+    uint32_t max_inodes = 1u << 16;
+  };
+
+  // An immutable whole-filesystem image. Value-copyable in O(1); alive for as
+  // long as any copy exists. Default-constructed State is empty and must not be
+  // passed to Restore.
+  class State {
+   public:
+    State() = default;
+    bool valid() const { return next_ino_ != 0; }
+
+   private:
+    friend class SimFs;
+    PersistentRadixMap<std::shared_ptr<const struct SimFsInode>> inodes_{0};
+    uint64_t next_ino_ = 0;
+    uint64_t live_inodes_ = 0;
+    uint64_t version_tick_ = 0;
+  };
+
+  SimFs() : SimFs(Options{}) {}
+  explicit SimFs(Options options);
+
+  SimFs(const SimFs&) = delete;
+  SimFs& operator=(const SimFs&) = delete;
+
+  static constexpr uint64_t kRootIno = 1;
+
+  // --- Namespace operations (absolute normalized-on-entry paths) ---
+
+  // Creates an empty regular file; parent directory must exist.
+  Result<uint64_t> Create(std::string_view path);
+  Result<uint64_t> Mkdir(std::string_view path);
+  // Resolves a path to its inode number.
+  Result<uint64_t> Lookup(std::string_view path) const;
+  Result<SimFsStat> Stat(std::string_view path) const;
+  Result<SimFsStat> StatIno(uint64_t ino) const;
+  // Removes a file or *empty* directory.
+  Status Unlink(std::string_view path);
+  // Atomically moves `from` to `to`, replacing a regular-file `to` (POSIX
+  // rename semantics; refuses to replace directories).
+  Status Rename(std::string_view from, std::string_view to);
+  // Sorted entry names of a directory.
+  Result<std::vector<std::string>> Readdir(std::string_view path) const;
+
+  // --- File I/O by inode number (fd-table layering lives in fd_table.h) ---
+
+  Result<size_t> ReadAt(uint64_t ino, uint64_t offset, void* out, size_t len) const;
+  Result<size_t> WriteAt(uint64_t ino, uint64_t offset, const void* data, size_t len);
+  Status Truncate(uint64_t ino, uint64_t new_size);
+
+  // --- Snapshots ---
+
+  State TakeSnapshot() const;
+  void Restore(const State& state);
+
+  // --- Introspection ---
+
+  uint64_t live_inodes() const { return live_inodes_; }
+  // Bytes of materialized (non-hole) file chunks, counted per inode reference.
+  uint64_t MaterializedBytes() const;
+
+ private:
+  using InodePtr = std::shared_ptr<const SimFsInode>;
+
+  InodePtr GetInode(uint64_t ino) const;
+  void SetInode(uint64_t ino, InodePtr inode);
+  // Resolves the parent directory of `path`; fills `name` with the final
+  // component. Fails on "/", invalid paths, or a missing/non-dir parent.
+  Result<uint64_t> ResolveParent(std::string_view path, std::string* name) const;
+  Result<uint64_t> AllocIno();
+  Result<uint64_t> CreateNode(std::string_view path, NodeType type);
+
+  Options options_;
+  PersistentRadixMap<InodePtr> inodes_;
+  uint64_t next_ino_ = kRootIno + 1;
+  uint64_t live_inodes_ = 0;
+  uint64_t version_tick_ = 0;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SIMFS_FS_H_

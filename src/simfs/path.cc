@@ -1,0 +1,92 @@
+#include "src/simfs/path.h"
+
+namespace lw {
+
+bool IsValidPathComponent(std::string_view component) {
+  if (component.empty() || component == "." || component == "..") {
+    return false;
+  }
+  for (char c : component) {
+    if (c == '/' || c == '\0') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SplitPath(std::string_view path, std::vector<std::string>* components) {
+  components->clear();
+  if (path.empty() || path.front() != '/') {
+    return false;
+  }
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (start == i) {
+      break;
+    }
+    std::string_view part = path.substr(start, i - start);
+    if (part == ".") {
+      continue;
+    }
+    if (part == "..") {
+      if (components->empty()) {
+        return false;  // escaping the root
+      }
+      components->pop_back();
+      continue;
+    }
+    for (char c : part) {
+      if (c == '\0') {
+        return false;
+      }
+    }
+    components->emplace_back(part);
+  }
+  return true;
+}
+
+std::string JoinPath(const std::vector<std::string>& components) {
+  if (components.empty()) {
+    return "/";
+  }
+  std::string out;
+  for (const std::string& c : components) {
+    out += '/';
+    out += c;
+  }
+  return out;
+}
+
+std::string NormalizePath(std::string_view path) {
+  std::vector<std::string> components;
+  if (!SplitPath(path, &components)) {
+    return "";
+  }
+  return JoinPath(components);
+}
+
+std::string DirnamePath(std::string_view path) {
+  std::vector<std::string> components;
+  if (!SplitPath(path, &components) || components.empty()) {
+    return "";
+  }
+  components.pop_back();
+  return JoinPath(components);
+}
+
+std::string BasenamePath(std::string_view path) {
+  std::vector<std::string> components;
+  if (!SplitPath(path, &components) || components.empty()) {
+    return "";
+  }
+  return components.back();
+}
+
+}  // namespace lw

@@ -1,0 +1,38 @@
+// Path handling for simfs: absolute, '/'-separated paths with no host-filesystem
+// semantics. Paths are normalized eagerly (".", "..", duplicate separators) so the
+// rest of the filesystem only ever sees clean component lists.
+
+#ifndef LWSNAP_SRC_SIMFS_PATH_H_
+#define LWSNAP_SRC_SIMFS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lw {
+
+// True if `component` is usable as a single directory entry name: non-empty, no
+// '/', no NUL, and not "." or "..".
+bool IsValidPathComponent(std::string_view component);
+
+// Splits an absolute path into normalized components. "/a//b/./c/../d" becomes
+// {"a", "b", "d"}. Returns false for relative paths, empty paths, or paths whose
+// ".." would escape the root.
+bool SplitPath(std::string_view path, std::vector<std::string>* components);
+
+// Joins components back into a canonical absolute path ("/" for no components).
+std::string JoinPath(const std::vector<std::string>& components);
+
+// Canonical form of `path` ("" if invalid).
+std::string NormalizePath(std::string_view path);
+
+// Parent directory of a normalized path ("/a/b" -> "/a", "/a" -> "/").
+// Returns "" for "/" or invalid input.
+std::string DirnamePath(std::string_view path);
+
+// Final component ("" for "/" or invalid input).
+std::string BasenamePath(std::string_view path);
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SIMFS_PATH_H_

@@ -1,0 +1,164 @@
+#include "src/simvm/address_space.h"
+
+#include <cstring>
+
+namespace lwvm {
+
+AddressSpace::AddressSpace(PhysMem* mem, TlbConfig tlb_config)
+    : mem_(mem),
+      tlb_config_(tlb_config),
+      table_(std::make_unique<PageTable>(mem)),
+      tlb_(tlb_config.sets, tlb_config.ways) {}
+
+AddressSpace::AddressSpace(PhysMem* mem, TlbConfig tlb_config, std::unique_ptr<PageTable> table)
+    : mem_(mem),
+      tlb_config_(tlb_config),
+      table_(std::move(table)),
+      tlb_(tlb_config.sets, tlb_config.ways) {}
+
+lw::Status AddressSpace::MapRegion(Vaddr va, uint64_t pages, bool writable) {
+  if ((va & kPageMask) != 0) {
+    return lw::InvalidArgument("region base must be page-aligned");
+  }
+  for (uint64_t i = 0; i < pages; ++i) {
+    FrameId frame = mem_->AllocFrame();
+    if (frame == kInvalidFrame) {
+      return lw::OutOfMemory("physical frames exhausted");
+    }
+    lw::Status status = table_->Map(va + i * kPageSize, frame, Prot{writable, false});
+    mem_->Unref(frame);  // the table holds the reference now
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return lw::OkStatus();
+}
+
+lw::Status AddressSpace::UnmapRegion(Vaddr va, uint64_t pages) {
+  for (uint64_t i = 0; i < pages; ++i) {
+    LW_RETURN_IF_ERROR(table_->Unmap(va + i * kPageSize));
+    tlb_.FlushPage(va + i * kPageSize);
+  }
+  return lw::OkStatus();
+}
+
+lw::Status AddressSpace::ProtectRegion(Vaddr va, uint64_t pages, bool writable) {
+  for (uint64_t i = 0; i < pages; ++i) {
+    uint64_t pte = table_->LeafEntry(va + i * kPageSize);
+    Prot prot{writable, (pte & kPteCow) != 0};
+    LW_RETURN_IF_ERROR(table_->SetProt(va + i * kPageSize, prot));
+    tlb_.FlushPage(va + i * kPageSize);
+  }
+  return lw::OkStatus();
+}
+
+lw::Status AddressSpace::ResolveCowFault(Vaddr va) {
+  ++stats_.cow_faults;
+  uint64_t pte = table_->LeafEntry(va);
+  LW_CHECK((pte & kPtePresent) != 0 && (pte & kPteCow) != 0);
+  FrameId frame = static_cast<FrameId>(pte >> kPageBits);
+  if (mem_->RefCount(frame) == 1) {
+    // Sole owner: re-arm writable without copying (the other sharers are gone).
+    ++stats_.cow_reclaims;
+    return table_->SetProt(va, Prot{true, false});
+  }
+  FrameId copy = mem_->AllocFrame();
+  if (copy == kInvalidFrame) {
+    return lw::OutOfMemory("no frame available to break CoW");
+  }
+  std::memcpy(mem_->FrameData(copy), mem_->FrameData(frame), kPageSize);
+  ++stats_.cow_copies;
+  ++mem_->mutable_stats().cow_copies;
+  lw::Status status = table_->ReplaceLeafFrame(va, copy, Prot{true, false});
+  mem_->Unref(copy);  // table took its reference
+  tlb_.FlushPage(va);
+  return status;
+}
+
+lw::Result<uint8_t*> AddressSpace::Translate(Vaddr va, Access access) {
+  const Tlb::Entry* hit = tlb_.Lookup(va, access);
+  if (hit != nullptr) {
+    return mem_->FrameData(hit->frame) + (va & kPageMask);
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    WalkResult walk = table_->Walk(va, access);
+    ++stats_.walks;
+    stats_.walk_refs_1d += static_cast<uint64_t>(walk.mem_refs_1d);
+    stats_.walk_refs_2d += static_cast<uint64_t>(walk.mem_refs_2d);
+    switch (walk.fault) {
+      case FaultKind::kNone: {
+        uint64_t pte = table_->LeafEntry(va);
+        tlb_.Insert(va, walk.frame, (pte & kPteWritable) != 0);
+        return mem_->FrameData(walk.frame) + (va & kPageMask);
+      }
+      case FaultKind::kCow: {
+        lw::Status status = ResolveCowFault(va);
+        if (!status.ok()) {
+          return status;
+        }
+        continue;  // retry the walk, now writable
+      }
+      case FaultKind::kWriteProtected:
+        ++stats_.protection_faults;
+        return lw::PermissionDenied("write to read-only page");
+      case FaultKind::kNotPresent:
+        ++stats_.not_present_faults;
+        return lw::NotFound("page not present");
+    }
+  }
+  return lw::Internal("CoW fault did not resolve after retry");
+}
+
+lw::Status AddressSpace::Read(Vaddr va, void* out, uint64_t len) {
+  ++stats_.reads;
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (len > 0) {
+    uint64_t chunk = kPageSize - (va & kPageMask);
+    if (chunk > len) {
+      chunk = len;
+    }
+    LW_ASSIGN_OR_RETURN(uint8_t* src, Translate(va, Access::kRead));
+    std::memcpy(dst, src, chunk);
+    dst += chunk;
+    va += chunk;
+    len -= chunk;
+  }
+  return lw::OkStatus();
+}
+
+lw::Status AddressSpace::Write(Vaddr va, const void* data, uint64_t len) {
+  ++stats_.writes;
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    uint64_t chunk = kPageSize - (va & kPageMask);
+    if (chunk > len) {
+      chunk = len;
+    }
+    LW_ASSIGN_OR_RETURN(uint8_t* dst, Translate(va, Access::kWrite));
+    std::memcpy(dst, src, chunk);
+    src += chunk;
+    va += chunk;
+    len -= chunk;
+  }
+  return lw::OkStatus();
+}
+
+lw::Result<uint64_t> AddressSpace::Read64(Vaddr va) {
+  uint64_t value = 0;
+  LW_RETURN_IF_ERROR(Read(va, &value, sizeof(value)));
+  return value;
+}
+
+lw::Status AddressSpace::Write64(Vaddr va, uint64_t value) {
+  return Write(va, &value, sizeof(value));
+}
+
+lw::Result<std::unique_ptr<AddressSpace>> AddressSpace::CowClone() {
+  LW_ASSIGN_OR_RETURN(std::unique_ptr<PageTable> cloned_table, table_->CowClone());
+  // Our own leaves were downgraded to CoW; cached writable translations are stale.
+  tlb_.FlushAll();
+  return std::unique_ptr<AddressSpace>(
+      new AddressSpace(mem_, tlb_config_, std::move(cloned_table)));
+}
+
+}  // namespace lwvm

@@ -1,0 +1,90 @@
+// AddressSpace: a guest-visible virtual address space over the simulated MMU —
+// page tables + TLB + copy-on-write fault resolution, with full accounting of
+// walks, walk memory references (1-D native vs 2-D nested), faults, and frame
+// copies. This is the deterministic stand-in for what Dune's nested paging gives
+// the paper's libOS (§4): direct creation and manipulation of address spaces and
+// efficient page-fault handling.
+//
+// CowClone() implements the snapshot primitive at this level: the clone shares
+// every data frame read-only; the first write on either side takes a kCow fault,
+// which the space resolves by copying the frame privately (refcount-aware: a
+// frame whose refcount has dropped back to 1 is re-armed writable with no copy).
+
+#ifndef LWSNAP_SRC_SIMVM_ADDRESS_SPACE_H_
+#define LWSNAP_SRC_SIMVM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/simvm/page_table.h"
+#include "src/simvm/phys_mem.h"
+#include "src/simvm/tlb.h"
+#include "src/util/status.h"
+
+namespace lwvm {
+
+struct TlbConfig {
+  uint32_t sets = 16;
+  uint32_t ways = 4;
+};
+
+class AddressSpace {
+ public:
+  AddressSpace(PhysMem* mem, TlbConfig tlb_config = {});
+  ~AddressSpace() = default;
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // Maps `pages` fresh zeroed pages starting at page-aligned `va`.
+  lw::Status MapRegion(Vaddr va, uint64_t pages, bool writable);
+  lw::Status UnmapRegion(Vaddr va, uint64_t pages);
+  lw::Status ProtectRegion(Vaddr va, uint64_t pages, bool writable);
+
+  // Guest memory accesses: translate through TLB + tables, resolve CoW faults,
+  // fail on everything else. Accesses may cross page boundaries.
+  lw::Status Read(Vaddr va, void* out, uint64_t len);
+  lw::Status Write(Vaddr va, const void* data, uint64_t len);
+
+  lw::Result<uint64_t> Read64(Vaddr va);
+  lw::Status Write64(Vaddr va, uint64_t value);
+
+  // Snapshot primitive: a new space sharing all frames CoW. The TLB of *this*
+  // space is flushed (mappings were downgraded), and the clone starts cold.
+  lw::Result<std::unique_ptr<AddressSpace>> CowClone();
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t walks = 0;
+    uint64_t walk_refs_1d = 0;
+    uint64_t walk_refs_2d = 0;
+    uint64_t cow_faults = 0;
+    uint64_t cow_copies = 0;     // faults that required a frame copy
+    uint64_t cow_reclaims = 0;   // faults resolved by re-arming a sole-owner frame
+    uint64_t protection_faults = 0;
+    uint64_t not_present_faults = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const Tlb& tlb() const { return tlb_; }
+  PageTable& page_table() { return *table_; }
+  PhysMem* phys() { return mem_; }
+
+ private:
+  AddressSpace(PhysMem* mem, TlbConfig tlb_config, std::unique_ptr<PageTable> table);
+
+  // Translates one access within a page; resolves CoW; returns host pointer.
+  lw::Result<uint8_t*> Translate(Vaddr va, Access access);
+
+  lw::Status ResolveCowFault(Vaddr va);
+
+  PhysMem* mem_;
+  TlbConfig tlb_config_;
+  std::unique_ptr<PageTable> table_;
+  Tlb tlb_;
+  Stats stats_;
+};
+
+}  // namespace lwvm
+
+#endif  // LWSNAP_SRC_SIMVM_ADDRESS_SPACE_H_

@@ -1,0 +1,245 @@
+#include "src/simvm/page_table.h"
+
+#include <cstring>
+
+namespace lwvm {
+namespace {
+
+uint64_t MakePte(FrameId frame, Prot prot) {
+  uint64_t pte = (static_cast<uint64_t>(frame) << kPageBits) | kPtePresent;
+  if (prot.write) {
+    pte |= kPteWritable;
+  }
+  if (prot.cow) {
+    pte |= kPteCow;
+  }
+  return pte;
+}
+
+}  // namespace
+
+PageTable::PageTable(PhysMem* mem) : mem_(mem) {
+  root_ = mem_->AllocFrame();
+  LW_CHECK_MSG(root_ != kInvalidFrame, "no frames for page-table root");
+  table_frames_ = 1;
+}
+
+PageTable::~PageTable() {
+  if (root_ != kInvalidFrame) {
+    FreeTree(root_, kLevels - 1);
+  }
+}
+
+void PageTable::FreeTree(FrameId table, int level) {
+  uint64_t* entries = TablePtr(table);
+  for (int i = 0; i < kEntriesPerTable; ++i) {
+    uint64_t pte = entries[i];
+    if ((pte & kPtePresent) == 0) {
+      continue;
+    }
+    FrameId child = static_cast<FrameId>(pte >> kPageBits);
+    if (level == 0) {
+      mem_->Unref(child);  // data frame
+    } else {
+      FreeTree(child, level - 1);
+    }
+  }
+  mem_->Unref(table);
+}
+
+FrameId PageTable::LeafTable(Vaddr va, bool allocate) {
+  FrameId table = root_;
+  for (int level = kLevels - 1; level >= 1; --level) {
+    uint64_t* entries = TablePtr(table);
+    int index = IndexAt(va, level);
+    uint64_t pte = entries[index];
+    if ((pte & kPtePresent) == 0) {
+      if (!allocate) {
+        return kInvalidFrame;
+      }
+      FrameId child = mem_->AllocFrame();
+      if (child == kInvalidFrame) {
+        return kInvalidFrame;
+      }
+      ++table_frames_;
+      entries[index] = (static_cast<uint64_t>(child) << kPageBits) | kPtePresent | kPteWritable;
+      table = child;
+    } else {
+      table = static_cast<FrameId>(pte >> kPageBits);
+    }
+  }
+  return table;
+}
+
+lw::Status PageTable::Map(Vaddr va, FrameId frame, Prot prot) {
+  if (va >= kVaddrLimit) {
+    return lw::OutOfRange("virtual address beyond 48 bits");
+  }
+  FrameId leaf = LeafTable(va, /*allocate=*/true);
+  if (leaf == kInvalidFrame) {
+    return lw::OutOfMemory("no frames for page-table pages");
+  }
+  uint64_t* entries = TablePtr(leaf);
+  int index = IndexAt(va, 0);
+  if ((entries[index] & kPtePresent) != 0) {
+    return lw::AlreadyExists("page already mapped");
+  }
+  mem_->Ref(frame);
+  entries[index] = MakePte(frame, prot);
+  return lw::OkStatus();
+}
+
+lw::Status PageTable::Unmap(Vaddr va) {
+  FrameId leaf = LeafTable(va, /*allocate=*/false);
+  if (leaf == kInvalidFrame) {
+    return lw::NotFound("page not mapped");
+  }
+  uint64_t* entries = TablePtr(leaf);
+  int index = IndexAt(va, 0);
+  if ((entries[index] & kPtePresent) == 0) {
+    return lw::NotFound("page not mapped");
+  }
+  mem_->Unref(static_cast<FrameId>(entries[index] >> kPageBits));
+  entries[index] = 0;
+  return lw::OkStatus();
+}
+
+lw::Status PageTable::SetProt(Vaddr va, Prot prot) {
+  FrameId leaf = LeafTable(va, /*allocate=*/false);
+  if (leaf == kInvalidFrame) {
+    return lw::NotFound("page not mapped");
+  }
+  uint64_t* entries = TablePtr(leaf);
+  int index = IndexAt(va, 0);
+  uint64_t pte = entries[index];
+  if ((pte & kPtePresent) == 0) {
+    return lw::NotFound("page not mapped");
+  }
+  FrameId frame = static_cast<FrameId>(pte >> kPageBits);
+  entries[index] = MakePte(frame, prot) | (pte & (kPteAccessed | kPteDirty));
+  return lw::OkStatus();
+}
+
+WalkResult PageTable::Walk(Vaddr va, Access access) {
+  WalkResult result;
+  if (va >= kVaddrLimit) {
+    result.fault = FaultKind::kNotPresent;
+    return result;
+  }
+  FrameId table = root_;
+  // Each table reference in a nested configuration is itself translated through
+  // an EPT of kLevels levels: 1 + kLevels references per access (Bhargava et al.).
+  constexpr int k2dPerAccess = 1 + kLevels;
+  for (int level = kLevels - 1; level >= 0; --level) {
+    ++result.mem_refs_1d;
+    result.mem_refs_2d += k2dPerAccess;
+    uint64_t* entries = TablePtr(table);
+    int index = IndexAt(va, level);
+    uint64_t pte = entries[index];
+    if ((pte & kPtePresent) == 0) {
+      result.fault = FaultKind::kNotPresent;
+      return result;
+    }
+    if (level == 0) {
+      if (access == Access::kWrite && (pte & kPteWritable) == 0) {
+        result.fault = (pte & kPteCow) != 0 ? FaultKind::kCow : FaultKind::kWriteProtected;
+        return result;
+      }
+      pte |= kPteAccessed;
+      if (access == Access::kWrite) {
+        pte |= kPteDirty;
+      }
+      entries[index] = pte;
+      result.frame = static_cast<FrameId>(pte >> kPageBits);
+      result.paddr = (static_cast<Paddr>(result.frame) << kPageBits) | (va & kPageMask);
+      // The data access itself.
+      ++result.mem_refs_1d;
+      result.mem_refs_2d += k2dPerAccess;
+      return result;
+    }
+    table = static_cast<FrameId>(pte >> kPageBits);
+  }
+  LW_CHECK_MSG(false, "unreachable walk exit");
+  return result;
+}
+
+uint64_t PageTable::LeafEntry(Vaddr va) const {
+  FrameId table = root_;
+  for (int level = kLevels - 1; level >= 1; --level) {
+    uint64_t pte = TablePtr(table)[IndexAt(va, level)];
+    if ((pte & kPtePresent) == 0) {
+      return 0;
+    }
+    table = static_cast<FrameId>(pte >> kPageBits);
+  }
+  return TablePtr(table)[IndexAt(va, 0)];
+}
+
+lw::Status PageTable::ReplaceLeafFrame(Vaddr va, FrameId frame, Prot prot) {
+  FrameId leaf = LeafTable(va, /*allocate=*/false);
+  if (leaf == kInvalidFrame) {
+    return lw::NotFound("page not mapped");
+  }
+  uint64_t* entries = TablePtr(leaf);
+  int index = IndexAt(va, 0);
+  uint64_t pte = entries[index];
+  if ((pte & kPtePresent) == 0) {
+    return lw::NotFound("page not mapped");
+  }
+  mem_->Ref(frame);
+  mem_->Unref(static_cast<FrameId>(pte >> kPageBits));
+  entries[index] = MakePte(frame, prot);
+  return lw::OkStatus();
+}
+
+FrameId PageTable::CloneTree(FrameId table, int level, bool* ok) {
+  FrameId copy = mem_->AllocFrame();
+  if (copy == kInvalidFrame) {
+    *ok = false;
+    return kInvalidFrame;
+  }
+  ++table_frames_;  // adjusted by the caller for the clone's accounting
+  uint64_t* src = TablePtr(table);
+  uint64_t* dst = TablePtr(copy);
+  for (int i = 0; i < kEntriesPerTable; ++i) {
+    uint64_t pte = src[i];
+    if ((pte & kPtePresent) == 0) {
+      continue;
+    }
+    if (level == 0) {
+      FrameId frame = static_cast<FrameId>(pte >> kPageBits);
+      // Downgrade both sides to read-only CoW so either side's first write copies.
+      uint64_t downgraded = (pte & ~static_cast<uint64_t>(kPteWritable)) | kPteCow;
+      src[i] = downgraded;
+      dst[i] = downgraded;
+      mem_->Ref(frame);
+    } else {
+      FrameId child = CloneTree(static_cast<FrameId>(pte >> kPageBits), level - 1, ok);
+      if (!*ok) {
+        dst[i] = 0;
+        continue;
+      }
+      dst[i] = (pte & kPageMask) | (static_cast<uint64_t>(child) << kPageBits);
+    }
+  }
+  return copy;
+}
+
+lw::Result<std::unique_ptr<PageTable>> PageTable::CowClone() {
+  bool ok = true;
+  uint64_t tables_before = table_frames_;
+  FrameId new_root = CloneTree(root_, kLevels - 1, &ok);
+  uint64_t cloned_tables = table_frames_ - tables_before;
+  table_frames_ = tables_before;  // clones were counted on us; hand them over
+  if (!ok) {
+    if (new_root != kInvalidFrame) {
+      // Free the partial clone (its subtrees hold real references).
+      PageTable partial(mem_, new_root, cloned_tables);
+      // destructor releases everything
+    }
+    return lw::OutOfMemory("physical memory exhausted during CoW clone");
+  }
+  return std::unique_ptr<PageTable>(new PageTable(mem_, new_root, cloned_tables));
+}
+
+}  // namespace lwvm

@@ -1,0 +1,151 @@
+// PageTable: an x86-64-style 4-level radix page table, built *in* simulated
+// physical frames (table pages are themselves frames, as on real hardware, so
+// table memory is accounted like everything else).
+//
+// Entry format (one 64-bit word per entry, 512 entries per table page):
+//   bit 0  P   present
+//   bit 1  W   writable
+//   bit 5  A   accessed   (set by Walk)
+//   bit 6  D   dirty      (set by Walk for writes)
+//   bit 9  C   cow        (software bit: write fault should copy, not fail)
+//   bits 12+   frame number << 12
+//
+// Walk() also produces the memory-reference count of the translation, in both
+// one-dimensional (native) and two-dimensional (nested/NPT) accounting — the
+// Bhargava et al. model the paper's §4 leans on: a 2-D walk costs up to
+// (levels+1)·(ept_levels+1) − 1 = 24 references.
+
+#ifndef LWSNAP_SRC_SIMVM_PAGE_TABLE_H_
+#define LWSNAP_SRC_SIMVM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/simvm/phys_mem.h"
+#include "src/util/status.h"
+
+namespace lwvm {
+
+using Vaddr = uint64_t;
+using Paddr = uint64_t;
+
+inline constexpr int kLevels = 4;
+inline constexpr int kEntriesPerTable = 512;
+inline constexpr int kBitsPerLevel = 9;
+// 4 levels × 9 bits + 12 page bits = 48-bit virtual addresses.
+inline constexpr Vaddr kVaddrLimit = 1ull << (kLevels * kBitsPerLevel + kPageBits);
+
+enum PteBits : uint64_t {
+  kPtePresent = 1ull << 0,
+  kPteWritable = 1ull << 1,
+  kPteAccessed = 1ull << 5,
+  kPteDirty = 1ull << 6,
+  kPteCow = 1ull << 9,  // software: copy-on-write page
+};
+
+struct Prot {
+  bool write = false;
+  bool cow = false;
+};
+
+enum class Access { kRead, kWrite };
+
+enum class FaultKind {
+  kNone,
+  kNotPresent,
+  kWriteProtected,  // write to a read-only, non-CoW page
+  kCow,             // write to a CoW page: resolvable by copying the frame
+};
+
+struct WalkResult {
+  Paddr paddr = 0;
+  FrameId frame = kInvalidFrame;
+  FaultKind fault = FaultKind::kNone;
+  int mem_refs_1d = 0;  // native walk references (levels + final access)
+  int mem_refs_2d = 0;  // nested walk references (each table access itself walked)
+};
+
+class PageTable {
+ public:
+  explicit PageTable(PhysMem* mem);
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  // Maps the page containing `va` to `frame` (takes one reference). Intermediate
+  // table pages are allocated on demand.
+  lw::Status Map(Vaddr va, FrameId frame, Prot prot);
+
+  // Unmaps the page (drops the frame reference). Table pages are not reclaimed
+  // until destruction (matching common kernel behaviour).
+  lw::Status Unmap(Vaddr va);
+
+  lw::Status SetProt(Vaddr va, Prot prot);
+
+  // Translates; sets A/D bits; never mutates mappings on fault.
+  WalkResult Walk(Vaddr va, Access access);
+
+  // Raw leaf PTE (0 if unmapped); for tests and the CoW resolver.
+  uint64_t LeafEntry(Vaddr va) const;
+  lw::Status ReplaceLeafFrame(Vaddr va, FrameId frame, Prot prot);
+
+  // Clones this tree: table pages are copied (fresh frames), every present leaf
+  // is downgraded to read-only|CoW in BOTH trees, and data-frame refcounts are
+  // bumped — the NPT snapshot trick from §4. Fails if physical memory is
+  // exhausted (the original is left CoW-downgraded but consistent).
+  lw::Result<std::unique_ptr<PageTable>> CowClone();
+
+  // Walks all present leaves.
+  template <typename Fn>
+  void ForEachLeaf(Fn&& fn) const {
+    WalkLeaves(root_, kLevels - 1, 0, fn);
+  }
+
+  uint64_t table_frames() const { return table_frames_; }
+  FrameId root() const { return root_; }
+
+ private:
+  PageTable(PhysMem* mem, FrameId root, uint64_t table_frames)
+      : mem_(mem), root_(root), table_frames_(table_frames) {}
+
+  static int IndexAt(Vaddr va, int level) {
+    return static_cast<int>((va >> (kPageBits + kBitsPerLevel * level)) &
+                            (kEntriesPerTable - 1));
+  }
+
+  uint64_t* TablePtr(FrameId table) const {
+    return reinterpret_cast<uint64_t*>(mem_->FrameData(table));
+  }
+
+  // Returns the leaf table frame for va, optionally allocating missing levels.
+  FrameId LeafTable(Vaddr va, bool allocate);
+
+  void FreeTree(FrameId table, int level);
+  FrameId CloneTree(FrameId table, int level, bool* ok);
+
+  template <typename Fn>
+  void WalkLeaves(FrameId table, int level, Vaddr base, Fn&& fn) const {
+    uint64_t* entries = TablePtr(table);
+    for (int i = 0; i < kEntriesPerTable; ++i) {
+      uint64_t pte = entries[i];
+      if ((pte & kPtePresent) == 0) {
+        continue;
+      }
+      Vaddr va = base | (static_cast<Vaddr>(i) << (kPageBits + kBitsPerLevel * level));
+      if (level == 0) {
+        fn(va, pte);
+      } else {
+        WalkLeaves(static_cast<FrameId>(pte >> kPageBits), level - 1, va, fn);
+      }
+    }
+  }
+
+  PhysMem* mem_;
+  FrameId root_ = kInvalidFrame;
+  uint64_t table_frames_ = 0;
+};
+
+}  // namespace lwvm
+
+#endif  // LWSNAP_SRC_SIMVM_PAGE_TABLE_H_

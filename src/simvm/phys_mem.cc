@@ -1,0 +1,63 @@
+#include "src/simvm/phys_mem.h"
+
+#include <cstring>
+
+namespace lwvm {
+
+PhysMem::PhysMem(uint32_t num_frames)
+    : num_frames_(num_frames),
+      backing_(static_cast<size_t>(num_frames) * kPageSize, 0),
+      refcounts_(num_frames, 0) {
+  free_list_.reserve(num_frames);
+  // Hand out low frame numbers first (push in reverse).
+  for (uint32_t i = 0; i < num_frames; ++i) {
+    free_list_.push_back(num_frames - 1 - i);
+  }
+}
+
+FrameId PhysMem::AllocFrame() {
+  if (free_list_.empty()) {
+    return kInvalidFrame;
+  }
+  FrameId frame = free_list_.back();
+  free_list_.pop_back();
+  refcounts_[frame] = 1;
+  std::memset(FrameData(frame), 0, kPageSize);
+  ++stats_.frames_in_use;
+  ++stats_.total_allocs;
+  if (stats_.frames_in_use > stats_.peak_in_use) {
+    stats_.peak_in_use = stats_.frames_in_use;
+  }
+  return frame;
+}
+
+void PhysMem::Ref(FrameId frame) {
+  LW_CHECK(frame < num_frames_ && refcounts_[frame] > 0);
+  ++refcounts_[frame];
+}
+
+void PhysMem::Unref(FrameId frame) {
+  LW_CHECK(frame < num_frames_ && refcounts_[frame] > 0);
+  if (--refcounts_[frame] == 0) {
+    free_list_.push_back(frame);
+    --stats_.frames_in_use;
+    ++stats_.total_frees;
+  }
+}
+
+uint32_t PhysMem::RefCount(FrameId frame) const {
+  LW_CHECK(frame < num_frames_);
+  return refcounts_[frame];
+}
+
+uint8_t* PhysMem::FrameData(FrameId frame) {
+  LW_CHECK(frame < num_frames_);
+  return backing_.data() + static_cast<size_t>(frame) * kPageSize;
+}
+
+const uint8_t* PhysMem::FrameData(FrameId frame) const {
+  LW_CHECK(frame < num_frames_);
+  return backing_.data() + static_cast<size_t>(frame) * kPageSize;
+}
+
+}  // namespace lwvm

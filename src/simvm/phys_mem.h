@@ -1,0 +1,68 @@
+// PhysMem: the simulated machine's physical memory — a pool of 4 KiB frames with
+// per-frame reference counts.
+//
+// Reference counting is what makes nested-paging-style copy-on-write cheap to
+// model: cloning an address space bumps frame refcounts instead of copying, and
+// a write fault on a frame with refcount > 1 triggers a private copy (see
+// AddressSpace::HandleCowFault). This is the paper's §4 substrate — "nested page
+// tables enable the libOS to directly create and manipulate address spaces and
+// efficiently handle page faults" — in deterministic, countable form.
+
+#ifndef LWSNAP_SRC_SIMVM_PHYS_MEM_H_
+#define LWSNAP_SRC_SIMVM_PHYS_MEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lwvm {
+
+inline constexpr uint64_t kPageBits = 12;
+inline constexpr uint64_t kPageSize = 1ull << kPageBits;
+inline constexpr uint64_t kPageMask = kPageSize - 1;
+
+using FrameId = uint32_t;
+inline constexpr FrameId kInvalidFrame = ~0u;
+
+class PhysMem {
+ public:
+  explicit PhysMem(uint32_t num_frames);
+  ~PhysMem() = default;
+
+  PhysMem(const PhysMem&) = delete;
+  PhysMem& operator=(const PhysMem&) = delete;
+
+  // Allocates a zeroed frame with refcount 1; kInvalidFrame when exhausted.
+  FrameId AllocFrame();
+
+  void Ref(FrameId frame);
+  void Unref(FrameId frame);  // frees on zero
+  uint32_t RefCount(FrameId frame) const;
+
+  uint8_t* FrameData(FrameId frame);
+  const uint8_t* FrameData(FrameId frame) const;
+
+  uint32_t num_frames() const { return num_frames_; }
+
+  struct Stats {
+    uint64_t frames_in_use = 0;
+    uint64_t peak_in_use = 0;
+    uint64_t total_allocs = 0;
+    uint64_t total_frees = 0;
+    uint64_t cow_copies = 0;  // incremented by AddressSpace on CoW breaks
+  };
+  const Stats& stats() const { return stats_; }
+  Stats& mutable_stats() { return stats_; }
+
+ private:
+  uint32_t num_frames_;
+  std::vector<uint8_t> backing_;     // num_frames * kPageSize bytes
+  std::vector<uint32_t> refcounts_;  // 0 = free
+  std::vector<FrameId> free_list_;
+  Stats stats_;
+};
+
+}  // namespace lwvm
+
+#endif  // LWSNAP_SRC_SIMVM_PHYS_MEM_H_

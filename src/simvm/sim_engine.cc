@@ -1,0 +1,35 @@
+#include "src/simvm/sim_engine.h"
+
+namespace lwvm {
+
+SimSnapshotEngine::SimSnapshotEngine(PhysMem* mem, TlbConfig tlb_config)
+    : mem_(mem), current_(std::make_unique<AddressSpace>(mem, tlb_config)) {}
+
+lw::Result<SimSnapshotEngine::SnapId> SimSnapshotEngine::Snapshot() {
+  LW_ASSIGN_OR_RETURN(std::unique_ptr<AddressSpace> clone, current_->CowClone());
+  SnapId id = next_id_++;
+  snapshots_[id] = std::move(clone);
+  ++stats_.snapshots;
+  return id;
+}
+
+lw::Status SimSnapshotEngine::Restore(SnapId id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) {
+    return lw::NotFound("unknown snapshot id");
+  }
+  LW_ASSIGN_OR_RETURN(std::unique_ptr<AddressSpace> clone, it->second->CowClone());
+  current_ = std::move(clone);
+  ++stats_.restores;
+  return lw::OkStatus();
+}
+
+lw::Status SimSnapshotEngine::Release(SnapId id) {
+  if (snapshots_.erase(id) == 0) {
+    return lw::NotFound("unknown snapshot id");
+  }
+  ++stats_.releases;
+  return lw::OkStatus();
+}
+
+}  // namespace lwvm

@@ -1,0 +1,62 @@
+// SimSnapshotEngine: the snapshot/restore primitive expressed directly on the
+// simulated MMU — deterministic, noise-free accounting of exactly the costs the
+// paper's §4/§5 discussion turns on (frames copied on CoW breaks, table frames
+// per snapshot, TLB flushes per restore, 1-D vs 2-D walk references).
+//
+// Guests of this engine are explicit-state functors reading/writing the
+// AddressSpace (the in-process ucontext engine cannot be used here because the
+// simulated space holds no native stack). It complements, not replaces, the
+// BacktrackSession: tests use it to validate CoW semantics bit-for-bit, and
+// bench E9 uses it to report substrate-level numbers.
+
+#ifndef LWSNAP_SRC_SIMVM_SIM_ENGINE_H_
+#define LWSNAP_SRC_SIMVM_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/simvm/address_space.h"
+#include "src/util/status.h"
+
+namespace lwvm {
+
+class SimSnapshotEngine {
+ public:
+  using SnapId = uint64_t;
+
+  SimSnapshotEngine(PhysMem* mem, TlbConfig tlb_config = {});
+
+  // The live, mutable working space.
+  AddressSpace& space() { return *current_; }
+
+  // Captures the current state as an immutable snapshot (a CoW clone; the live
+  // space keeps running and pays CoW faults for subsequent writes).
+  lw::Result<SnapId> Snapshot();
+
+  // Replaces the live space with a fresh CoW clone of the stored snapshot (the
+  // snapshot itself stays immutable and can be restored again).
+  lw::Status Restore(SnapId id);
+
+  lw::Status Release(SnapId id);
+
+  size_t live_snapshots() const { return snapshots_.size(); }
+
+  struct Stats {
+    uint64_t snapshots = 0;
+    uint64_t restores = 0;
+    uint64_t releases = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  PhysMem* mem_;
+  std::unique_ptr<AddressSpace> current_;
+  std::unordered_map<SnapId, std::unique_ptr<AddressSpace>> snapshots_;
+  SnapId next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace lwvm
+
+#endif  // LWSNAP_SRC_SIMVM_SIM_ENGINE_H_

@@ -1,0 +1,74 @@
+#include "src/simvm/tlb.h"
+
+namespace lwvm {
+
+Tlb::Tlb(uint32_t sets, uint32_t ways) : sets_(sets), ways_(ways) {
+  LW_CHECK_MSG(sets > 0 && (sets & (sets - 1)) == 0, "TLB sets must be a power of two");
+  LW_CHECK(ways > 0);
+  entries_.resize(static_cast<size_t>(sets) * ways);
+}
+
+const Tlb::Entry* Tlb::Lookup(Vaddr va, Access access) {
+  Vaddr vpn = va >> kPageBits;
+  Entry* set = SetBase(vpn);
+  for (uint32_t way = 0; way < ways_; ++way) {
+    Entry& entry = set[way];
+    if (entry.valid && entry.vpn == vpn) {
+      if (access == Access::kWrite && !entry.writable) {
+        break;  // permission upgrade requires a walk
+      }
+      entry.lru = ++tick_;
+      ++stats_.hits;
+      return &entry;
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void Tlb::Insert(Vaddr va, FrameId frame, bool writable) {
+  Vaddr vpn = va >> kPageBits;
+  Entry* set = SetBase(vpn);
+  Entry* victim = nullptr;
+  for (uint32_t way = 0; way < ways_; ++way) {
+    Entry& entry = set[way];
+    if (entry.valid && entry.vpn == vpn) {
+      victim = &entry;  // refresh in place
+      break;
+    }
+    if (!entry.valid) {
+      if (victim == nullptr || victim->valid) {
+        victim = &entry;
+      }
+    } else if (victim == nullptr || (victim->valid && entry.lru < victim->lru)) {
+      victim = &entry;
+    }
+  }
+  if (victim->valid && victim->vpn != vpn) {
+    ++stats_.evictions;
+  }
+  victim->vpn = vpn;
+  victim->frame = frame;
+  victim->writable = writable;
+  victim->valid = true;
+  victim->lru = ++tick_;
+}
+
+void Tlb::FlushAll() {
+  for (Entry& entry : entries_) {
+    entry.valid = false;
+  }
+  ++stats_.flushes;
+}
+
+void Tlb::FlushPage(Vaddr va) {
+  Vaddr vpn = va >> kPageBits;
+  Entry* set = SetBase(vpn);
+  for (uint32_t way = 0; way < ways_; ++way) {
+    if (set[way].valid && set[way].vpn == vpn) {
+      set[way].valid = false;
+    }
+  }
+}
+
+}  // namespace lwvm

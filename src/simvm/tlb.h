@@ -1,0 +1,64 @@
+// Tlb: a set-associative software translation lookaside buffer with LRU
+// replacement and hit/miss/flush accounting. Snapshot restore on real
+// nested-paging hardware costs TLB invalidations; the simulator surfaces that
+// cost as a countable quantity (bench E9).
+
+#ifndef LWSNAP_SRC_SIMVM_TLB_H_
+#define LWSNAP_SRC_SIMVM_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/simvm/page_table.h"
+
+namespace lwvm {
+
+class Tlb {
+ public:
+  // `sets` must be a power of two; total capacity = sets * ways.
+  Tlb(uint32_t sets, uint32_t ways);
+
+  struct Entry {
+    Vaddr vpn = ~0ull;  // virtual page number
+    FrameId frame = kInvalidFrame;
+    bool writable = false;
+    bool valid = false;
+    uint64_t lru = 0;
+  };
+
+  // Returns the cached translation, or nullptr on miss. A write access through a
+  // read-only entry is a miss (forces a walk, which reports the fault).
+  const Entry* Lookup(Vaddr va, Access access);
+
+  void Insert(Vaddr va, FrameId frame, bool writable);
+  void FlushAll();
+  void FlushPage(Vaddr va);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t flushes = 0;
+
+    double hit_ratio() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+  uint32_t capacity() const { return sets_ * ways_; }
+
+ private:
+  Entry* SetBase(Vaddr vpn) { return entries_.data() + (vpn & (sets_ - 1)) * ways_; }
+
+  uint32_t sets_;
+  uint32_t ways_;
+  uint64_t tick_ = 0;
+  std::vector<Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace lwvm
+
+#endif  // LWSNAP_SRC_SIMVM_TLB_H_

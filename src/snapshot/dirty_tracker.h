@@ -1,0 +1,58 @@
+// DirtyTracker: records which guest pages were written since the last snapshot or
+// restore. MarkDirty is called from the SIGSEGV copy-on-write handler, so it must
+// be async-signal-safe: fixed preallocated storage, no allocation, no locks.
+
+#ifndef LWSNAP_SRC_SNAPSHOT_DIRTY_TRACKER_H_
+#define LWSNAP_SRC_SNAPSHOT_DIRTY_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+class DirtyTracker {
+ public:
+  explicit DirtyTracker(uint32_t num_pages)
+      : num_pages_(num_pages), bitmap_((num_pages + 63) / 64, 0), list_(num_pages, 0) {}
+
+  uint32_t num_pages() const { return num_pages_; }
+
+  // Async-signal-safe: stores into preallocated arrays only.
+  void MarkDirty(uint32_t page) {
+    uint64_t& word = bitmap_[page >> 6];
+    uint64_t bit = 1ULL << (page & 63);
+    if ((word & bit) != 0) {
+      return;
+    }
+    word |= bit;
+    list_[count_++] = page;
+  }
+
+  bool IsDirty(uint32_t page) const {
+    return (bitmap_[page >> 6] & (1ULL << (page & 63))) != 0;
+  }
+
+  uint32_t count() const { return count_; }
+  const uint32_t* pages() const { return list_.data(); }
+
+  void Clear() {
+    // Every set bit belongs to the word of some listed page, so zeroing the listed
+    // pages' words clears exactly the set bits.
+    for (uint32_t i = 0; i < count_; ++i) {
+      bitmap_[list_[i] >> 6] = 0;
+    }
+    count_ = 0;
+  }
+
+ private:
+  uint32_t num_pages_;
+  uint32_t count_ = 0;
+  std::vector<uint64_t> bitmap_;
+  std::vector<uint32_t> list_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_DIRTY_TRACKER_H_

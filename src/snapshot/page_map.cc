@@ -1,0 +1,15 @@
+#include "src/snapshot/page_map.h"
+
+namespace lw {
+
+const char* PageMapKindName(PageMapKind kind) {
+  switch (kind) {
+    case PageMapKind::kFlat:
+      return "flat";
+    case PageMapKind::kRadix:
+      return "radix";
+  }
+  return "?";
+}
+
+}  // namespace lw

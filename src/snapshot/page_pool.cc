@@ -1,0 +1,67 @@
+#include "src/snapshot/page_pool.h"
+
+#include <cstdlib>
+
+namespace lw {
+
+PagePool::~PagePool() {
+  zero_page_.Reset();
+  TrimFreeList();
+  // All snapshots referencing this pool must be destroyed first; a live blob here
+  // means a PageRef will later touch freed pool state.
+  LW_CHECK_MSG(stats_.live_blobs == 0, "PagePool destroyed while pages are still referenced");
+}
+
+internal::PageBlob* PagePool::AcquireBlob() {
+  internal::PageBlob* blob = free_list_;
+  if (blob != nullptr) {
+    free_list_ = blob->next_free;
+    --stats_.free_blobs;
+  } else {
+    blob = static_cast<internal::PageBlob*>(std::malloc(sizeof(internal::PageBlob)));
+    LW_CHECK_MSG(blob != nullptr, "host allocation for page blob failed");
+  }
+  blob->refcount = 1;
+  blob->pool = this;
+  blob->next_free = nullptr;
+  ++stats_.live_blobs;
+  if (stats_.live_blobs > stats_.peak_live_blobs) {
+    stats_.peak_live_blobs = stats_.live_blobs;
+  }
+  ++stats_.total_published;
+  return blob;
+}
+
+void PagePool::RecycleBlob(internal::PageBlob* blob) {
+  LW_CHECK(blob->refcount == 0);
+  --stats_.live_blobs;
+  blob->next_free = free_list_;
+  free_list_ = blob;
+  ++stats_.free_blobs;
+}
+
+PageRef PagePool::Publish(const void* src) {
+  internal::PageBlob* blob = AcquireBlob();
+  std::memcpy(blob->data, src, kPageSize);
+  return PageRef(blob);
+}
+
+PageRef PagePool::ZeroPage() {
+  if (!zero_page_.valid()) {
+    internal::PageBlob* blob = AcquireBlob();
+    std::memset(blob->data, 0, kPageSize);
+    zero_page_ = PageRef(blob);
+  }
+  return zero_page_;
+}
+
+void PagePool::TrimFreeList() {
+  while (free_list_ != nullptr) {
+    internal::PageBlob* next = free_list_->next_free;
+    std::free(free_list_);
+    free_list_ = next;
+    --stats_.free_blobs;
+  }
+}
+
+}  // namespace lw

@@ -1,0 +1,143 @@
+// PagePool and PageRef: refcounted immutable 4 KiB page blobs.
+//
+// A snapshot's page map binds guest page indices to PageRefs. Blobs are immutable
+// once published into a snapshot, shared freely between snapshots in a tree, and
+// recycled through a free list when the last reference drops (snapshot trees churn
+// pages at high frequency; malloc per page would dominate).
+//
+// Single-threaded by design: the paper's prototype supports only single-threaded
+// execution (§5), and sessions own their pool.
+
+#ifndef LWSNAP_SRC_SNAPSHOT_PAGE_POOL_H_
+#define LWSNAP_SRC_SNAPSHOT_PAGE_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageShift = 12;
+
+class PagePool;
+
+namespace internal {
+struct PageBlob {
+  uint32_t refcount;
+  PagePool* pool;
+  internal::PageBlob* next_free;  // free-list link, valid only while refcount == 0
+  alignas(16) uint8_t data[kPageSize];
+};
+}  // namespace internal
+
+// Handle to an immutable page blob. Copying bumps the refcount; identity (pointer)
+// equality is content identity because blobs are never mutated after publication.
+class PageRef {
+ public:
+  PageRef() = default;
+  ~PageRef() { Release(); }
+
+  PageRef(const PageRef& other) : blob_(other.blob_) { Acquire(); }
+  PageRef(PageRef&& other) noexcept : blob_(other.blob_) { other.blob_ = nullptr; }
+
+  PageRef& operator=(const PageRef& other) {
+    if (blob_ != other.blob_) {
+      Release();
+      blob_ = other.blob_;
+      Acquire();
+    }
+    return *this;
+  }
+
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      blob_ = other.blob_;
+      other.blob_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool valid() const { return blob_ != nullptr; }
+  const uint8_t* data() const {
+    LW_CHECK(blob_ != nullptr);
+    return blob_->data;
+  }
+  uint32_t refcount() const { return blob_ != nullptr ? blob_->refcount : 0; }
+
+  bool operator==(const PageRef& other) const { return blob_ == other.blob_; }
+  bool operator!=(const PageRef& other) const { return blob_ != other.blob_; }
+
+  void Reset() { Release(); }
+
+ private:
+  friend class PagePool;
+  explicit PageRef(internal::PageBlob* blob) : blob_(blob) {}  // adopts one reference
+
+  void Acquire() {
+    if (blob_ != nullptr) {
+      ++blob_->refcount;
+    }
+  }
+  inline void Release();
+
+  internal::PageBlob* blob_ = nullptr;
+};
+
+class PagePool {
+ public:
+  PagePool() = default;
+  ~PagePool();
+
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  // Publishes a copy of `src` (kPageSize bytes) as a new immutable blob.
+  PageRef Publish(const void* src);
+
+  // Publishes an all-zero page. Zero pages are deduplicated to a single shared blob
+  // (snapshot maps of a fresh arena would otherwise hold thousands of identical
+  // zero blobs).
+  PageRef ZeroPage();
+
+  struct Stats {
+    uint64_t live_blobs = 0;     // blobs with refcount > 0
+    uint64_t free_blobs = 0;     // recycled blobs on the free list
+    uint64_t peak_live_blobs = 0;
+    uint64_t total_published = 0;  // lifetime Publish() count
+    uint64_t bytes_resident() const { return (live_blobs + free_blobs) * sizeof(internal::PageBlob); }
+    uint64_t bytes_live() const { return live_blobs * sizeof(internal::PageBlob); }
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Frees all blobs on the free list back to the host allocator.
+  void TrimFreeList();
+
+ private:
+  friend class PageRef;
+
+  internal::PageBlob* AcquireBlob();
+  void RecycleBlob(internal::PageBlob* blob);
+
+  internal::PageBlob* free_list_ = nullptr;
+  PageRef zero_page_;
+  Stats stats_;
+};
+
+inline void PageRef::Release() {
+  if (blob_ == nullptr) {
+    return;
+  }
+  LW_CHECK(blob_->refcount > 0);
+  if (--blob_->refcount == 0) {
+    blob_->pool->RecycleBlob(blob_);
+  }
+  blob_ = nullptr;
+}
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_PAGE_POOL_H_

@@ -1,0 +1,252 @@
+#include "src/solver/bv.h"
+
+namespace lw {
+
+BitBlaster::BitBlaster(Solver* solver) : solver_(solver) {
+  LW_CHECK(solver_ != nullptr);
+  true_lit_ = MakeLit(solver_->NewVar());
+  solver_->AddClause({true_lit_});
+}
+
+BitBlaster::Term BitBlaster::NewTerm(int width) {
+  LW_CHECK(width > 0 && width <= 64);
+  Term t(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    t[i] = MakeLit(solver_->NewVar());
+  }
+  return t;
+}
+
+BitBlaster::Term BitBlaster::Constant(uint64_t value, int width) {
+  LW_CHECK(width > 0 && width <= 64);
+  Term t(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    t[i] = ((value >> i) & 1) != 0 ? true_lit_ : ~true_lit_;
+  }
+  return t;
+}
+
+Lit BitBlaster::AndGate(Lit a, Lit b) {
+  // Constant folding against the known-true literal keeps encodings small.
+  if (a == true_lit_) {
+    return b;
+  }
+  if (b == true_lit_) {
+    return a;
+  }
+  if (a == ~true_lit_ || b == ~true_lit_) {
+    return ~true_lit_;
+  }
+  if (a == b) {
+    return a;
+  }
+  if (a == ~b) {
+    return ~true_lit_;
+  }
+  Lit o = MakeLit(solver_->NewVar());
+  solver_->AddClause({~o, a});
+  solver_->AddClause({~o, b});
+  solver_->AddClause({o, ~a, ~b});
+  return o;
+}
+
+Lit BitBlaster::OrGate(Lit a, Lit b) { return ~AndGate(~a, ~b); }
+
+Lit BitBlaster::XorGate(Lit a, Lit b) {
+  if (a == true_lit_) {
+    return ~b;
+  }
+  if (a == ~true_lit_) {
+    return b;
+  }
+  if (b == true_lit_) {
+    return ~a;
+  }
+  if (b == ~true_lit_) {
+    return a;
+  }
+  if (a == b) {
+    return ~true_lit_;
+  }
+  if (a == ~b) {
+    return true_lit_;
+  }
+  Lit o = MakeLit(solver_->NewVar());
+  solver_->AddClause({~o, a, b});
+  solver_->AddClause({~o, ~a, ~b});
+  solver_->AddClause({o, ~a, b});
+  solver_->AddClause({o, a, ~b});
+  return o;
+}
+
+Lit BitBlaster::MuxGate(Lit cond, Lit then_lit, Lit else_lit) {
+  if (cond == true_lit_) {
+    return then_lit;
+  }
+  if (cond == ~true_lit_) {
+    return else_lit;
+  }
+  if (then_lit == else_lit) {
+    return then_lit;
+  }
+  Lit o = MakeLit(solver_->NewVar());
+  solver_->AddClause({~cond, ~then_lit, o});
+  solver_->AddClause({~cond, then_lit, ~o});
+  solver_->AddClause({cond, ~else_lit, o});
+  solver_->AddClause({cond, else_lit, ~o});
+  return o;
+}
+
+void BitBlaster::FullAdder(Lit a, Lit b, Lit cin, Lit* sum, Lit* carry) {
+  Lit ab = XorGate(a, b);
+  *sum = XorGate(ab, cin);
+  // carry = (a ∧ b) ∨ (cin ∧ (a ⊕ b))
+  *carry = OrGate(AndGate(a, b), AndGate(cin, ab));
+}
+
+BitBlaster::Term BitBlaster::Not(const Term& a) {
+  Term t(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    t[i] = ~a[i];
+  }
+  return t;
+}
+
+BitBlaster::Term BitBlaster::And(const Term& a, const Term& b) {
+  LW_CHECK(a.size() == b.size());
+  Term t(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    t[i] = AndGate(a[i], b[i]);
+  }
+  return t;
+}
+
+BitBlaster::Term BitBlaster::Or(const Term& a, const Term& b) {
+  LW_CHECK(a.size() == b.size());
+  Term t(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    t[i] = OrGate(a[i], b[i]);
+  }
+  return t;
+}
+
+BitBlaster::Term BitBlaster::Xor(const Term& a, const Term& b) {
+  LW_CHECK(a.size() == b.size());
+  Term t(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    t[i] = XorGate(a[i], b[i]);
+  }
+  return t;
+}
+
+BitBlaster::Term BitBlaster::ShlConst(const Term& a, int k) {
+  Term t(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    t[i] = (static_cast<int>(i) - k >= 0) ? a[i - static_cast<size_t>(k)] : ~true_lit_;
+  }
+  return t;
+}
+
+BitBlaster::Term BitBlaster::LshrConst(const Term& a, int k) {
+  Term t(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t src = i + static_cast<size_t>(k);
+    t[i] = src < a.size() ? a[src] : ~true_lit_;
+  }
+  return t;
+}
+
+BitBlaster::Term BitBlaster::Add(const Term& a, const Term& b) {
+  LW_CHECK(a.size() == b.size());
+  Term t(a.size());
+  Lit carry = ~true_lit_;
+  for (size_t i = 0; i < a.size(); ++i) {
+    FullAdder(a[i], b[i], carry, &t[i], &carry);
+  }
+  return t;
+}
+
+BitBlaster::Term BitBlaster::Neg(const Term& a) {
+  // Two's complement: ~a + 1.
+  Term inv = Not(a);
+  return Add(inv, Constant(1, static_cast<int>(a.size())));
+}
+
+BitBlaster::Term BitBlaster::Sub(const Term& a, const Term& b) { return Add(a, Neg(b)); }
+
+BitBlaster::Term BitBlaster::Mul(const Term& a, const Term& b) {
+  LW_CHECK(a.size() == b.size());
+  Term acc = Constant(0, static_cast<int>(a.size()));
+  for (size_t i = 0; i < b.size(); ++i) {
+    // acc += b[i] ? (a << i) : 0
+    Term shifted = ShlConst(a, static_cast<int>(i));
+    Term gated(a.size());
+    for (size_t j = 0; j < a.size(); ++j) {
+      gated[j] = AndGate(shifted[j], b[i]);
+    }
+    acc = Add(acc, gated);
+  }
+  return acc;
+}
+
+BitBlaster::Term BitBlaster::Mux(Lit cond, const Term& a, const Term& b) {
+  LW_CHECK(a.size() == b.size());
+  Term t(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    t[i] = MuxGate(cond, a[i], b[i]);
+  }
+  return t;
+}
+
+Lit BitBlaster::Eq(const Term& a, const Term& b) {
+  LW_CHECK(a.size() == b.size());
+  Lit acc = true_lit_;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc = AndGate(acc, ~XorGate(a[i], b[i]));
+  }
+  return acc;
+}
+
+Lit BitBlaster::Ult(const Term& a, const Term& b) {
+  LW_CHECK(a.size() == b.size());
+  // Ripple from LSB: lt_i = (¬a_i ∧ b_i) ∨ (a_i = b_i ∧ lt_{i-1}).
+  Lit lt = ~true_lit_;
+  for (size_t i = 0; i < a.size(); ++i) {
+    Lit bit_lt = AndGate(~a[i], b[i]);
+    Lit bit_eq = ~XorGate(a[i], b[i]);
+    lt = OrGate(bit_lt, AndGate(bit_eq, lt));
+  }
+  return lt;
+}
+
+Lit BitBlaster::Slt(const Term& a, const Term& b) {
+  LW_CHECK(!a.empty() && a.size() == b.size());
+  // Signed comparison: flip the sign bits and compare unsigned.
+  Term ua = a;
+  Term ub = b;
+  ua.back() = ~ua.back();
+  ub.back() = ~ub.back();
+  return Ult(ua, ub);
+}
+
+void BitBlaster::AssertEq(const Term& a, const Term& b) {
+  LW_CHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Direct biconditional clauses, cheaper than going through Eq's AND tree.
+    solver_->AddClause({~a[i], b[i]});
+    solver_->AddClause({a[i], ~b[i]});
+  }
+}
+
+uint64_t BitBlaster::ModelValue(const Term& t) const {
+  uint64_t value = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    LBool bit = solver_->ModelValue(LitVar(t[i])).Xor(LitSign(t[i]));
+    if (bit.IsTrue()) {
+      value |= 1ull << i;
+    }
+  }
+  return value;
+}
+
+}  // namespace lw

@@ -1,0 +1,92 @@
+// BitBlaster: a bit-vector front end over lwsat (the "theory of bit vectors"
+// slice of the paper's SMT motivation, §2).
+//
+// Terms are vectors of literals (LSB first). Every operation Tseitin-encodes
+// its gates directly into the backing Solver, so formulas built here combine
+// freely with raw CNF — and, like the solver, the front end allocates through
+// AllocHooks and can run inside a guest arena.
+
+#ifndef LWSNAP_SRC_SOLVER_BV_H_
+#define LWSNAP_SRC_SOLVER_BV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/solver/lit.h"
+#include "src/solver/sat.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+class BitBlaster {
+ public:
+  // A bit-vector term: lits[0] is the least significant bit.
+  using Term = std::vector<Lit>;
+
+  explicit BitBlaster(Solver* solver);
+
+  BitBlaster(const BitBlaster&) = delete;
+  BitBlaster& operator=(const BitBlaster&) = delete;
+
+  // --- term constructors ---
+
+  Term NewTerm(int width);
+  Term Constant(uint64_t value, int width);
+  Lit NewBool() { return MakeLit(solver_->NewVar()); }
+  Lit TrueLit() const { return true_lit_; }
+  Lit FalseLit() const { return ~true_lit_; }
+
+  // --- bitwise ---
+
+  Term Not(const Term& a);
+  Term And(const Term& a, const Term& b);
+  Term Or(const Term& a, const Term& b);
+  Term Xor(const Term& a, const Term& b);
+  Term ShlConst(const Term& a, int k);   // logical shift left by constant
+  Term LshrConst(const Term& a, int k);  // logical shift right by constant
+
+  // --- arithmetic (modular, width-preserving) ---
+
+  Term Add(const Term& a, const Term& b);
+  Term Sub(const Term& a, const Term& b);
+  Term Neg(const Term& a);
+  Term Mul(const Term& a, const Term& b);  // shift-and-add
+
+  // cond ? a : b, bitwise.
+  Term Mux(Lit cond, const Term& a, const Term& b);
+
+  // --- predicates (return a literal equivalent to the relation) ---
+
+  Lit Eq(const Term& a, const Term& b);
+  Lit Ne(const Term& a, const Term& b) { return ~Eq(a, b); }
+  Lit Ult(const Term& a, const Term& b);  // unsigned <
+  Lit Ule(const Term& a, const Term& b) { return ~Ult(b, a); }
+  Lit Slt(const Term& a, const Term& b);  // signed <
+
+  // --- assertions ---
+
+  void Assert(Lit p) { solver_->AddClause({p}); }
+  void AssertEq(const Term& a, const Term& b);
+
+  // --- gates (exposed for tests and custom encodings) ---
+
+  Lit AndGate(Lit a, Lit b);
+  Lit OrGate(Lit a, Lit b);
+  Lit XorGate(Lit a, Lit b);
+  Lit MuxGate(Lit cond, Lit then_lit, Lit else_lit);
+  // sum/carry full adder outputs for (a, b, cin).
+  void FullAdder(Lit a, Lit b, Lit cin, Lit* sum, Lit* carry);
+
+  // Model decode (after the backing solver returned SAT).
+  uint64_t ModelValue(const Term& t) const;
+
+  Solver* solver() { return solver_; }
+
+ private:
+  Solver* solver_;
+  Lit true_lit_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SOLVER_BV_H_

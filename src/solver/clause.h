@@ -1,0 +1,118 @@
+// ClauseArena: flat clause storage for lwsat.
+//
+// Clauses live in one contiguous Vec<uint32_t> addressed by 32-bit ClauseRef
+// offsets. Two reasons beyond cache behaviour: (a) the arena allocates through
+// AllocHooks, so a solver constructed inside a guest arena keeps every clause
+// inside the snapshot-managed region; (b) refs stay valid across the relocation
+// that snapshot restore implies (they are offsets, not pointers).
+//
+// Layout per clause (32-bit words):
+//   [0] size << 2 | learnt << 1 | deleted
+//   [1] learnt ? LBD : 0
+//   [2] float activity bits (learnt clauses; 0 otherwise)
+//   [3..3+size) literals
+
+#ifndef LWSNAP_SRC_SOLVER_CLAUSE_H_
+#define LWSNAP_SRC_SOLVER_CLAUSE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/solver/lit.h"
+#include "src/util/status.h"
+#include "src/util/vec.h"
+
+namespace lw {
+
+using ClauseRef = uint32_t;
+constexpr ClauseRef kInvalidClause = UINT32_MAX;
+
+class ClauseArena;
+
+// A transient view over one clause; invalidated by arena growth, so never held
+// across an Alloc.
+class Clause {
+ public:
+  uint32_t size() const { return mem_[0] >> 2; }
+  bool learnt() const { return (mem_[0] & 2) != 0; }
+  bool deleted() const { return (mem_[0] & 1) != 0; }
+
+  Lit operator[](uint32_t i) const { return Lit{static_cast<int32_t>(mem_[3 + i])}; }
+  void SetLit(uint32_t i, Lit p) { mem_[3 + i] = static_cast<uint32_t>(p.x); }
+
+  uint32_t lbd() const { return mem_[1]; }
+  void set_lbd(uint32_t lbd) { mem_[1] = lbd; }
+
+  float activity() const {
+    float f;
+    std::memcpy(&f, &mem_[2], sizeof f);
+    return f;
+  }
+  void set_activity(float f) { std::memcpy(&mem_[2], &f, sizeof f); }
+
+  void MarkDeleted() { mem_[0] |= 1; }
+  // In-place shrink (conflict-clause minimization).
+  void Shrink(uint32_t new_size) {
+    LW_CHECK(new_size <= size());
+    mem_[0] = (new_size << 2) | (mem_[0] & 3);
+  }
+
+ private:
+  friend class ClauseArena;
+  explicit Clause(uint32_t* mem) : mem_(mem) {}
+  uint32_t* mem_;
+};
+
+class ClauseArena {
+ public:
+  static constexpr uint32_t kHeaderWords = 3;
+
+  ClauseRef Alloc(const Lit* lits, uint32_t n, bool learnt) {
+    ClauseRef ref = static_cast<ClauseRef>(mem_.size());
+    mem_.push_back((n << 2) | (learnt ? 2u : 0u));
+    mem_.push_back(0);
+    mem_.push_back(0);
+    for (uint32_t i = 0; i < n; ++i) {
+      mem_.push_back(static_cast<uint32_t>(lits[i].x));
+    }
+    if (learnt) {
+      ++learnt_count_;
+    }
+    return ref;
+  }
+
+  Clause At(ClauseRef ref) {
+    LW_CHECK(ref + kHeaderWords <= mem_.size());
+    return Clause(&mem_[ref]);
+  }
+  const Clause At(ClauseRef ref) const {
+    return Clause(const_cast<uint32_t*>(&mem_[ref]));
+  }
+
+  void MarkDeleted(ClauseRef ref) {
+    Clause c = At(ref);
+    if (!c.deleted()) {
+      c.MarkDeleted();
+      wasted_words_ += kHeaderWords + c.size();
+      if (c.learnt()) {
+        --learnt_count_;
+      }
+    }
+  }
+
+  size_t size_words() const { return mem_.size(); }
+  size_t wasted_words() const { return wasted_words_; }
+  uint32_t learnt_count() const { return learnt_count_; }
+
+  // True when a compacting GC would reclaim a meaningful fraction.
+  bool WantsGc() const { return wasted_words_ > mem_.size() / 4 && wasted_words_ > 1024; }
+
+ private:
+  Vec<uint32_t> mem_;
+  size_t wasted_words_ = 0;
+  uint32_t learnt_count_ = 0;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SOLVER_CLAUSE_H_

@@ -1,0 +1,213 @@
+#include "src/solver/cnf.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+namespace lw {
+
+void Cnf::AddClause(std::vector<Lit> lits) {
+  for (Lit p : lits) {
+    num_vars = std::max(num_vars, LitVar(p) + 1);
+  }
+  clauses.push_back(std::move(lits));
+}
+
+void Cnf::AddDimacsClause(std::initializer_list<int> dimacs_lits) {
+  std::vector<Lit> lits;
+  lits.reserve(dimacs_lits.size());
+  for (int d : dimacs_lits) {
+    LW_CHECK(d != 0);
+    Var v = (d > 0 ? d : -d) - 1;
+    lits.push_back(MakeLit(v, d < 0));
+  }
+  AddClause(std::move(lits));
+}
+
+bool Cnf::IsSatisfiedBy(const std::vector<bool>& assignment) const {
+  for (const auto& clause : clauses) {
+    bool sat = false;
+    for (Lit p : clause) {
+      Var v = LitVar(p);
+      if (v < static_cast<Var>(assignment.size()) && assignment[v] != LitSign(p)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Cnf::ToDimacs() const {
+  std::string out;
+  char line[64];
+  std::snprintf(line, sizeof line, "p cnf %d %zu\n", num_vars, clauses.size());
+  out += line;
+  for (const auto& clause : clauses) {
+    for (Lit p : clause) {
+      int d = LitVar(p) + 1;
+      std::snprintf(line, sizeof line, "%d ", LitSign(p) ? -d : d);
+      out += line;
+    }
+    out += "0\n";
+  }
+  return out;
+}
+
+Result<Cnf> Cnf::FromDimacs(std::string_view text) {
+  Cnf cnf;
+  int declared_vars = 0;
+  long declared_clauses = -1;
+  std::vector<Lit> current;
+  size_t pos = 0;
+  bool header_seen = false;
+
+  auto skip_ws = [&]() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\r' ||
+                                 text[pos] == '\n')) {
+      ++pos;
+    }
+  };
+
+  while (true) {
+    skip_ws();
+    if (pos >= text.size()) {
+      break;
+    }
+    if (text[pos] == 'c') {  // comment line
+      while (pos < text.size() && text[pos] != '\n') {
+        ++pos;
+      }
+      continue;
+    }
+    if (text[pos] == 'p') {
+      size_t eol = text.find('\n', pos);
+      std::string_view line = text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                                             : eol - pos);
+      if (std::sscanf(std::string(line).c_str(), "p cnf %d %ld", &declared_vars,
+                      &declared_clauses) != 2) {
+        return InvalidArgument("dimacs: bad problem line");
+      }
+      header_seen = true;
+      pos = eol == std::string_view::npos ? text.size() : eol + 1;
+      continue;
+    }
+    // A literal.
+    int value = 0;
+    auto [next, ec] = std::from_chars(text.data() + pos, text.data() + text.size(), value);
+    if (ec != std::errc()) {
+      return InvalidArgument("dimacs: bad literal");
+    }
+    pos = static_cast<size_t>(next - text.data());
+    if (value == 0) {
+      cnf.AddClause(std::move(current));
+      current = {};
+    } else {
+      Var v = (value > 0 ? value : -value) - 1;
+      current.push_back(MakeLit(v, value < 0));
+    }
+  }
+  if (!current.empty()) {
+    return InvalidArgument("dimacs: clause missing terminating 0");
+  }
+  if (!header_seen) {
+    return InvalidArgument("dimacs: missing problem line");
+  }
+  cnf.num_vars = std::max(cnf.num_vars, declared_vars);
+  if (declared_clauses >= 0 && cnf.clauses.size() != static_cast<size_t>(declared_clauses)) {
+    return InvalidArgument("dimacs: clause count mismatch");
+  }
+  return cnf;
+}
+
+Cnf RandomKSat(Rng* rng, int32_t num_vars, size_t num_clauses, int k) {
+  LW_CHECK(num_vars >= k);
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  std::vector<Lit> clause(k);
+  std::vector<Var> vars(k);
+  for (size_t i = 0; i < num_clauses; ++i) {
+    // Draw k distinct variables.
+    for (int j = 0; j < k;) {
+      Var v = static_cast<Var>(rng->Next() % static_cast<uint64_t>(num_vars));
+      bool dup = false;
+      for (int m = 0; m < j; ++m) {
+        if (vars[m] == v) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        vars[j++] = v;
+      }
+    }
+    for (int j = 0; j < k; ++j) {
+      clause[j] = MakeLit(vars[j], (rng->Next() & 1) != 0);
+    }
+    cnf.clauses.push_back(clause);
+  }
+  return cnf;
+}
+
+Cnf Pigeonhole(int holes) {
+  // Pigeons 0..holes, holes 0..holes-1; var p*holes+h = "pigeon p in hole h".
+  Cnf cnf;
+  int pigeons = holes + 1;
+  cnf.num_vars = pigeons * holes;
+  auto var_of = [holes](int p, int h) { return MakeLit(p * holes + h); };
+  // Every pigeon in some hole.
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) {
+      clause.push_back(var_of(p, h));
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  // No two pigeons share a hole.
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.clauses.push_back({~var_of(p1, h), ~var_of(p2, h)});
+      }
+    }
+  }
+  return cnf;
+}
+
+Cnf GraphColoring(Rng* rng, int nodes, int edges, int colors) {
+  Cnf cnf;
+  cnf.num_vars = nodes * colors;
+  auto var_of = [colors](int n, int c) { return MakeLit(n * colors + c); };
+  // Every node has a color.
+  for (int n = 0; n < nodes; ++n) {
+    std::vector<Lit> clause;
+    for (int c = 0; c < colors; ++c) {
+      clause.push_back(var_of(n, c));
+    }
+    cnf.clauses.push_back(std::move(clause));
+    // At most one color.
+    for (int c1 = 0; c1 < colors; ++c1) {
+      for (int c2 = c1 + 1; c2 < colors; ++c2) {
+        cnf.clauses.push_back({~var_of(n, c1), ~var_of(n, c2)});
+      }
+    }
+  }
+  // Adjacent nodes differ.
+  for (int e = 0; e < edges; ++e) {
+    int a = static_cast<int>(rng->Next() % static_cast<uint64_t>(nodes));
+    int b = static_cast<int>(rng->Next() % static_cast<uint64_t>(nodes));
+    if (a == b) {
+      --e;
+      continue;
+    }
+    for (int c = 0; c < colors; ++c) {
+      cnf.clauses.push_back({~var_of(a, c), ~var_of(b, c)});
+    }
+  }
+  return cnf;
+}
+
+}  // namespace lw

@@ -1,0 +1,51 @@
+// Cnf: a plain clause-list formula, plus the DIMACS codec and the workload
+// generators used by tests and by the E3 incremental-solving experiment
+// (random 3-SAT at a chosen clause/variable ratio, pigeonhole, graph coloring).
+
+#ifndef LWSNAP_SRC_SOLVER_CNF_H_
+#define LWSNAP_SRC_SOLVER_CNF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/solver/lit.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+struct Cnf {
+  int32_t num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+
+  void AddClause(std::vector<Lit> lits);
+  // Convenience for literal DSL: positive ints are vars 1..n, negatives negate
+  // (DIMACS convention).
+  void AddDimacsClause(std::initializer_list<int> dimacs_lits);
+
+  size_t clause_count() const { return clauses.size(); }
+
+  // Checks a full assignment (indexed by var, true/false) against every clause.
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const;
+
+  std::string ToDimacs() const;
+  static Result<Cnf> FromDimacs(std::string_view text);
+};
+
+// Uniform random k-SAT: `num_clauses` clauses of `k` distinct variables each.
+// ratio 4.26 on 3-SAT is the classic hardness peak; E3 uses 4.0 to stay mostly
+// satisfiable.
+Cnf RandomKSat(Rng* rng, int32_t num_vars, size_t num_clauses, int k = 3);
+
+// Pigeonhole principle PHP(holes+1, holes): unsatisfiable, classically hard for
+// resolution — a deterministic UNSAT workload.
+Cnf Pigeonhole(int holes);
+
+// k-coloring of a random graph with `edges` edges over `nodes` nodes.
+Cnf GraphColoring(Rng* rng, int nodes, int edges, int colors);
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SOLVER_CNF_H_

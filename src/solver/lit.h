@@ -1,0 +1,66 @@
+// Literals, variables and three-valued booleans for lwsat (MiniSat-style
+// encodings: a literal is 2*var+sign, so watch lists and assignment arrays can
+// be indexed directly by literal).
+
+#ifndef LWSNAP_SRC_SOLVER_LIT_H_
+#define LWSNAP_SRC_SOLVER_LIT_H_
+
+#include <cstdint>
+
+namespace lw {
+
+using Var = int32_t;
+constexpr Var kUndefVar = -1;
+
+struct Lit {
+  int32_t x = -2;  // 2*var + sign; -2 = undefined
+
+  constexpr bool operator==(const Lit& other) const { return x == other.x; }
+  constexpr bool operator!=(const Lit& other) const { return x != other.x; }
+  constexpr bool operator<(const Lit& other) const { return x < other.x; }
+};
+
+constexpr Lit kUndefLit{-2};
+
+// sign=true is the negated literal (¬v).
+constexpr Lit MakeLit(Var v, bool sign = false) { return Lit{v + v + (sign ? 1 : 0)}; }
+
+constexpr Lit operator~(Lit p) { return Lit{p.x ^ 1}; }
+constexpr bool LitSign(Lit p) { return (p.x & 1) != 0; }
+constexpr Var LitVar(Lit p) { return p.x >> 1; }
+// Dense index for watch lists / seen arrays.
+constexpr int32_t LitIndex(Lit p) { return p.x; }
+
+// Three-valued boolean. The XOR trick (flip by sign) keeps propagation branch-free.
+class LBool {
+ public:
+  constexpr LBool() : v_(2) {}
+  constexpr explicit LBool(uint8_t v) : v_(v) {}
+  constexpr explicit LBool(bool b) : v_(b ? 0 : 1) {}
+
+  constexpr bool operator==(LBool other) const {
+    // kUndef compares equal to kUndef only; true/false exactly.
+    return ((v_ & 2) != 0 && (other.v_ & 2) != 0) || v_ == other.v_;
+  }
+  constexpr bool operator!=(LBool other) const { return !(*this == other); }
+
+  // Flips true<->false when `sign` is set; kUndef stays kUndef.
+  constexpr LBool Xor(bool sign) const { return LBool(static_cast<uint8_t>(v_ ^ (sign ? 1 : 0))); }
+
+  constexpr bool IsTrue() const { return v_ == 0; }
+  constexpr bool IsFalse() const { return v_ == 1; }
+  constexpr bool IsUndef() const { return (v_ & 2) != 0; }
+
+  uint8_t raw() const { return v_; }
+
+ private:
+  uint8_t v_;
+};
+
+constexpr LBool kTrue = LBool(static_cast<uint8_t>(0));
+constexpr LBool kFalse = LBool(static_cast<uint8_t>(1));
+constexpr LBool kUndef = LBool(static_cast<uint8_t>(2));
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SOLVER_LIT_H_

@@ -1,0 +1,729 @@
+#include "src/solver/sat.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lw {
+
+namespace {
+
+// Luby restart sequence (finite-subsequence doubling): 1 1 2 1 1 2 4 ...
+double Luby(double y, uint64_t x) {
+  uint64_t size = 1;
+  uint32_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x = x % size;
+  }
+  double result = 1;
+  for (uint32_t i = 0; i < seq; ++i) {
+    result *= y;
+  }
+  return result;
+}
+
+constexpr double kActivityRescale = 1e100;
+constexpr float kClauseActivityRescale = 1e20f;
+
+}  // namespace
+
+std::string SolverStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "decisions=%llu propagations=%llu conflicts=%llu learned=%llu "
+                "restarts=%llu reductions=%llu removed=%llu",
+                static_cast<unsigned long long>(decisions),
+                static_cast<unsigned long long>(propagations),
+                static_cast<unsigned long long>(conflicts),
+                static_cast<unsigned long long>(learned_clauses),
+                static_cast<unsigned long long>(restarts),
+                static_cast<unsigned long long>(reductions),
+                static_cast<unsigned long long>(removed_clauses));
+  return buf;
+}
+
+Solver::Solver(SolverOptions options) : options_(options), rng_(options.random_seed) {
+  max_learnts_ = options_.learnt_start;
+}
+
+Var Solver::NewVar() {
+  Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(kUndef);
+  polarity_.push_back(1);  // default phase: false, like MiniSat
+  level_.push_back(0);
+  reason_.push_back(kInvalidClause);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  assumption_failed_.push_back(0);
+  assumption_failed_.push_back(0);
+  order_.index.push_back(-1);
+  HeapInsert(v);
+  return v;
+}
+
+void Solver::EnsureVars(int32_t n) {
+  while (num_vars() < n) {
+    NewVar();
+  }
+}
+
+bool Solver::AddClause(std::initializer_list<Lit> lits) {
+  return AddClause(lits.begin(), static_cast<uint32_t>(lits.size()));
+}
+
+bool Solver::AddClause(const Lit* lits, uint32_t n) {
+  if (!ok_) {
+    return false;
+  }
+  CancelUntil(0);
+
+  // Sort, dedupe, drop tautologies and level-0-false literals.
+  Vec<Lit> clause;
+  clause.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    clause.push_back(lits[i]);
+  }
+  std::sort(clause.begin(), clause.end());
+  Lit prev = kUndefLit;
+  uint32_t out = 0;
+  for (uint32_t i = 0; i < clause.size(); ++i) {
+    Lit p = clause[i];
+    LW_CHECK_MSG(LitVar(p) < num_vars(), "AddClause: literal references unknown var");
+    if (Value(p).IsTrue() || p == ~prev) {
+      return true;  // satisfied at level 0, or tautology p ∨ ¬p
+    }
+    if (!Value(p).IsFalse() && p != prev) {
+      clause[out++] = p;
+      prev = p;
+    }
+  }
+  clause.resize(out);
+
+  if (clause.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (clause.size() == 1) {
+    UncheckedEnqueue(clause[0], kInvalidClause);
+    ok_ = Propagate() == kInvalidClause;
+    return ok_;
+  }
+  ClauseRef ref = arena_.Alloc(clause.data(), static_cast<uint32_t>(clause.size()), false);
+  clauses_.push_back(ref);
+  AttachClause(ref);
+  return true;
+}
+
+void Solver::AttachClause(ClauseRef ref) {
+  Clause c = arena_.At(ref);
+  LW_CHECK(c.size() >= 2);
+  watches_[LitIndex(~c[0])].push_back(Watcher{ref, c[1]});
+  watches_[LitIndex(~c[1])].push_back(Watcher{ref, c[0]});
+}
+
+void Solver::DetachClause(ClauseRef ref) {
+  Clause c = arena_.At(ref);
+  for (int w = 0; w < 2; ++w) {
+    Vec<Watcher>& ws = watches_[LitIndex(~c[w])];
+    for (size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].ref == ref) {
+        ws.SwapRemove(i);
+        break;
+      }
+    }
+  }
+}
+
+void Solver::UncheckedEnqueue(Lit p, ClauseRef from) {
+  LW_CHECK(Value(p).IsUndef());
+  Var v = LitVar(p);
+  assigns_[v] = LBool(!LitSign(p));
+  level_[v] = DecisionLevel();
+  reason_[v] = from;
+  trail_.push_back(p);
+}
+
+ClauseRef Solver::Propagate() {
+  ClauseRef conflict = kInvalidClause;
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    Vec<Watcher>& ws = watches_[LitIndex(p)];
+    size_t i = 0;
+    size_t j = 0;
+    const size_t n = ws.size();
+    while (i < n) {
+      Watcher w = ws[i];
+      if (Value(w.blocker).IsTrue()) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause c = arena_.At(w.ref);
+      // Normalize: the false literal (~p) goes to slot 1.
+      Lit false_lit = ~p;
+      if (c[0] == false_lit) {
+        c.SetLit(0, c[1]);
+        c.SetLit(1, false_lit);
+      }
+      Lit first = c[0];
+      if (first != w.blocker && Value(first).IsTrue()) {
+        ws[j++] = Watcher{w.ref, first};
+        ++i;
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (uint32_t k = 2; k < c.size(); ++k) {
+        if (!Value(c[k]).IsFalse()) {
+          c.SetLit(1, c[k]);
+          c.SetLit(k, false_lit);
+          watches_[LitIndex(~c[1])].push_back(Watcher{w.ref, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        ++i;
+        continue;
+      }
+      // Unit or conflicting.
+      ws[j++] = Watcher{w.ref, first};
+      ++i;
+      if (Value(first).IsFalse()) {
+        conflict = w.ref;
+        qhead_ = static_cast<uint32_t>(trail_.size());
+        while (i < n) {
+          ws[j++] = ws[i++];
+        }
+        break;
+      }
+      UncheckedEnqueue(first, w.ref);
+    }
+    ws.resize(j);
+    if (conflict != kInvalidClause) {
+      break;
+    }
+  }
+  return conflict;
+}
+
+void Solver::VarBumpActivity(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kActivityRescale) {
+    for (size_t i = 0; i < activity_.size(); ++i) {
+      activity_[i] *= 1.0 / kActivityRescale;
+    }
+    var_inc_ *= 1.0 / kActivityRescale;
+  }
+  if (order_.InHeap(v)) {
+    HeapSiftUp(order_.index[v]);
+  }
+}
+
+void Solver::VarDecayActivity() { var_inc_ *= 1.0 / options_.var_decay; }
+
+void Solver::ClauseBumpActivity(Clause c) {
+  c.set_activity(c.activity() + static_cast<float>(clause_inc_));
+  if (c.activity() > kClauseActivityRescale) {
+    for (size_t i = 0; i < learnts_.size(); ++i) {
+      Clause lc = arena_.At(learnts_[i]);
+      lc.set_activity(lc.activity() / kClauseActivityRescale);
+    }
+    clause_inc_ /= kClauseActivityRescale;
+  }
+}
+
+void Solver::ClauseDecayActivity() { clause_inc_ *= 1.0 / options_.clause_decay; }
+
+void Solver::HeapInsert(Var v) {
+  if (order_.InHeap(v)) {
+    return;
+  }
+  order_.index[v] = static_cast<int32_t>(order_.heap.size());
+  order_.heap.push_back(v);
+  HeapSiftUp(order_.index[v]);
+}
+
+Var Solver::HeapPopMax() {
+  Var top = order_.heap[0];
+  Var last = order_.heap.back();
+  order_.heap.pop_back();
+  order_.index[top] = -1;
+  if (!order_.heap.empty()) {
+    order_.heap[0] = last;
+    order_.index[last] = 0;
+    HeapSiftDown(0);
+  }
+  return top;
+}
+
+void Solver::HeapSiftUp(int32_t i) {
+  Var v = order_.heap[i];
+  while (i > 0) {
+    int32_t parent = (i - 1) >> 1;
+    if (!HeapLess(v, order_.heap[parent])) {
+      break;
+    }
+    order_.heap[i] = order_.heap[parent];
+    order_.index[order_.heap[i]] = i;
+    i = parent;
+  }
+  order_.heap[i] = v;
+  order_.index[v] = i;
+}
+
+void Solver::HeapSiftDown(int32_t i) {
+  Var v = order_.heap[i];
+  const int32_t n = static_cast<int32_t>(order_.heap.size());
+  while (true) {
+    int32_t left = 2 * i + 1;
+    if (left >= n) {
+      break;
+    }
+    int32_t best = left;
+    if (left + 1 < n && HeapLess(order_.heap[left + 1], order_.heap[left])) {
+      best = left + 1;
+    }
+    if (!HeapLess(order_.heap[best], v)) {
+      break;
+    }
+    order_.heap[i] = order_.heap[best];
+    order_.index[order_.heap[i]] = i;
+    i = best;
+  }
+  order_.heap[i] = v;
+  order_.index[v] = i;
+}
+
+void Solver::CancelUntil(uint32_t target_level) {
+  if (DecisionLevel() <= target_level) {
+    return;
+  }
+  uint32_t bound = trail_lim_[target_level];
+  for (size_t i = trail_.size(); i > bound; --i) {
+    Lit p = trail_[i - 1];
+    Var v = LitVar(p);
+    assigns_[v] = kUndef;
+    polarity_[v] = LitSign(p) ? 1 : 0;  // phase saving
+    reason_[v] = kInvalidClause;
+    HeapInsert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  qhead_ = bound;
+}
+
+Lit Solver::PickBranchLit() {
+  // Occasional random decisions de-bias pathological orders (2% like MiniSat).
+  if (rng_.Next() % 50 == 0 && !order_.Empty()) {
+    Var v = order_.heap[rng_.Next() % order_.heap.size()];
+    if (Value(v).IsUndef()) {
+      return MakeLit(v, polarity_[v] != 0);
+    }
+  }
+  while (!order_.Empty()) {
+    Var v = HeapPopMax();
+    if (Value(v).IsUndef()) {
+      return MakeLit(v, polarity_[v] != 0);
+    }
+  }
+  return kUndefLit;
+}
+
+void Solver::Analyze(ClauseRef conflict, Vec<Lit>* learnt, uint32_t* out_level,
+                     uint32_t* out_lbd) {
+  learnt->clear();
+  learnt->push_back(kUndefLit);  // slot for the asserting literal
+  int path_count = 0;
+  Lit p = kUndefLit;
+  size_t trail_index = trail_.size();
+
+  ClauseRef reason = conflict;
+  do {
+    LW_CHECK(reason != kInvalidClause);
+    Clause c = arena_.At(reason);
+    if (c.learnt()) {
+      ClauseBumpActivity(c);
+    }
+    for (uint32_t i = (p == kUndefLit ? 0 : 1); i < c.size(); ++i) {
+      Lit q = c[i];
+      Var v = LitVar(q);
+      if (seen_[v] == 0 && LevelOf(v) > 0) {
+        seen_[v] = 1;
+        VarBumpActivity(v);
+        if (LevelOf(v) >= DecisionLevel()) {
+          ++path_count;
+        } else {
+          learnt->push_back(q);
+        }
+      }
+    }
+    // Next literal on the current level to resolve on.
+    while (seen_[LitVar(trail_[trail_index - 1])] == 0) {
+      --trail_index;
+    }
+    --trail_index;
+    p = trail_[trail_index];
+    seen_[LitVar(p)] = 0;
+    reason = ReasonOf(LitVar(p));
+    --path_count;
+  } while (path_count > 0);
+  (*learnt)[0] = ~p;
+
+  // Conflict-clause minimization: drop literals implied by the rest.
+  analyze_clear_.clear();
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    analyze_clear_.push_back((*learnt)[i]);
+    seen_[LitVar((*learnt)[i])] = 1;
+  }
+  uint32_t abstract_levels = 0;
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    abstract_levels |= 1u << (LevelOf(LitVar((*learnt)[i])) & 31);
+  }
+  size_t kept = 1;
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    Lit q = (*learnt)[i];
+    if (ReasonOf(LitVar(q)) == kInvalidClause || !LitRedundant(q, abstract_levels)) {
+      (*learnt)[kept++] = q;
+    } else {
+      ++stats_.minimized_literals;
+    }
+  }
+  learnt->resize(kept);
+  for (size_t i = 0; i < analyze_clear_.size(); ++i) {
+    seen_[LitVar(analyze_clear_[i])] = 0;
+  }
+
+  // Backjump level = max level among non-asserting literals; move that literal
+  // into slot 1 so attachment watches the right pair.
+  if (learnt->size() == 1) {
+    *out_level = 0;
+  } else {
+    size_t max_i = 1;
+    for (size_t i = 2; i < learnt->size(); ++i) {
+      if (LevelOf(LitVar((*learnt)[i])) > LevelOf(LitVar((*learnt)[max_i]))) {
+        max_i = i;
+      }
+    }
+    Lit swap = (*learnt)[max_i];
+    (*learnt)[max_i] = (*learnt)[1];
+    (*learnt)[1] = swap;
+    *out_level = LevelOf(LitVar(swap));
+  }
+
+  // LBD: number of distinct decision levels in the learnt clause.
+  uint32_t lbd = 0;
+  for (size_t i = 0; i < learnt->size(); ++i) {
+    uint32_t lev = LevelOf(LitVar((*learnt)[i]));
+    bool fresh = true;
+    for (size_t j = 0; j < i; ++j) {
+      if (LevelOf(LitVar((*learnt)[j])) == lev) {
+        fresh = false;
+        break;
+      }
+    }
+    if (fresh) {
+      ++lbd;
+    }
+  }
+  *out_lbd = lbd;
+
+  stats_.learned_literals += learnt->size();
+}
+
+// Is `p` implied by the other literals already in the learnt clause? Iterative
+// reason-graph walk (MiniSat's litRedundant).
+bool Solver::LitRedundant(Lit p, uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(p);
+  size_t clear_base = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    LW_CHECK(ReasonOf(LitVar(q)) != kInvalidClause);
+    Clause c = arena_.At(ReasonOf(LitVar(q)));
+    for (uint32_t i = 1; i < c.size(); ++i) {
+      Lit r = c[i];
+      Var v = LitVar(r);
+      if (seen_[v] != 0 || LevelOf(v) == 0) {
+        continue;
+      }
+      if (ReasonOf(v) == kInvalidClause ||
+          ((1u << (LevelOf(v) & 31)) & abstract_levels) == 0) {
+        // Reached a decision or a level outside the clause: not redundant; undo
+        // the marks this walk added.
+        for (size_t j = clear_base; j < analyze_clear_.size(); ++j) {
+          seen_[LitVar(analyze_clear_[j])] = 0;
+        }
+        analyze_clear_.resize(clear_base);
+        return false;
+      }
+      seen_[v] = 1;
+      analyze_clear_.push_back(r);
+      analyze_stack_.push_back(r);
+    }
+  }
+  return true;
+}
+
+void Solver::AnalyzeFinal(Lit p) {
+  // Marks every assumption that participates in forcing ~p (the unsat core).
+  for (size_t i = 0; i < assumption_failed_.size(); ++i) {
+    assumption_failed_[i] = 0;
+  }
+  assumption_failed_[LitIndex(~p)] = 1;
+  if (DecisionLevel() == 0) {
+    return;
+  }
+  seen_[LitVar(p)] = 1;
+  for (size_t i = trail_.size(); i > trail_lim_[0]; --i) {
+    Var v = LitVar(trail_[i - 1]);
+    if (seen_[v] == 0) {
+      continue;
+    }
+    if (ReasonOf(v) == kInvalidClause) {
+      LW_CHECK(LevelOf(v) > 0);
+      assumption_failed_[LitIndex(~trail_[i - 1])] = 1;
+    } else {
+      Clause c = arena_.At(ReasonOf(v));
+      for (uint32_t j = 1; j < c.size(); ++j) {
+        if (LevelOf(LitVar(c[j])) > 0) {
+          seen_[LitVar(c[j])] = 1;
+        }
+      }
+    }
+    seen_[v] = 0;
+  }
+  seen_[LitVar(p)] = 0;
+}
+
+bool Solver::AssumptionFailed(Lit p) const {
+  return assumption_failed_[LitIndex(p)] != 0;
+}
+
+void Solver::ReduceDb() {
+  ++stats_.reductions;
+  max_learnts_ = static_cast<uint64_t>(static_cast<double>(max_learnts_) * options_.learnt_growth);
+  // Sort learnts: keep low-LBD, high-activity clauses. Never drop binary
+  // clauses or clauses currently acting as a reason.
+  std::sort(learnts_.begin(), learnts_.end(), [this](ClauseRef a, ClauseRef b) {
+    const Clause ca = arena_.At(a);
+    const Clause cb = arena_.At(b);
+    if (ca.lbd() != cb.lbd()) {
+      return ca.lbd() > cb.lbd();  // worst first
+    }
+    return ca.activity() < cb.activity();
+  });
+  size_t remove_target = learnts_.size() / 2;
+  size_t out = 0;
+  size_t removed = 0;
+  for (size_t i = 0; i < learnts_.size(); ++i) {
+    ClauseRef ref = learnts_[i];
+    Clause c = arena_.At(ref);
+    Var v0 = LitVar(c[0]);
+    bool locked = ReasonOf(v0) == ref && !Value(c[0]).IsUndef();
+    if (removed < remove_target && c.size() > 2 && !locked && c.lbd() > 2) {
+      DetachClause(ref);
+      arena_.MarkDeleted(ref);
+      ++removed;
+    } else {
+      learnts_[out++] = ref;
+    }
+  }
+  learnts_.resize(out);
+  stats_.removed_clauses += removed;
+  if (arena_.WantsGc()) {
+    GarbageCollect();
+  }
+}
+
+void Solver::GarbageCollect() {
+  // Compacts the arena. Only legal when no propagation is in flight; callers
+  // hold decision levels, so reasons must be remapped, not dropped.
+  ClauseArena fresh;
+  Vec<Lit> scratch;
+  auto relocate = [&](ClauseRef old_ref) -> ClauseRef {
+    Clause c = arena_.At(old_ref);
+    scratch.clear();
+    for (uint32_t i = 0; i < c.size(); ++i) {
+      scratch.push_back(c[i]);
+    }
+    ClauseRef new_ref = fresh.Alloc(scratch.data(), c.size(), c.learnt());
+    Clause nc = fresh.At(new_ref);
+    nc.set_lbd(c.lbd());
+    nc.set_activity(c.activity());
+    // Stash the forwarding pointer in the dead clause's activity slot.
+    c.MarkDeleted();
+    c.set_lbd(new_ref);
+    return new_ref;
+  };
+
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    clauses_[i] = relocate(clauses_[i]);
+  }
+  for (size_t i = 0; i < learnts_.size(); ++i) {
+    learnts_[i] = relocate(learnts_[i]);
+  }
+  for (size_t i = 0; i < reason_.size(); ++i) {
+    if (reason_[i] != kInvalidClause) {
+      if (Value(static_cast<Var>(i)).IsUndef()) {
+        reason_[i] = kInvalidClause;  // stale, unused
+      } else {
+        const Clause dead = arena_.At(reason_[i]);
+        LW_CHECK(dead.deleted());
+        reason_[i] = dead.lbd();  // forwarding pointer
+      }
+    }
+  }
+  arena_ = std::move(fresh);
+  // Rebuild watches from scratch.
+  for (size_t i = 0; i < watches_.size(); ++i) {
+    watches_[i].clear();
+  }
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    AttachClause(clauses_[i]);
+  }
+  for (size_t i = 0; i < learnts_.size(); ++i) {
+    AttachClause(learnts_[i]);
+  }
+}
+
+LBool Solver::Search() {
+  Vec<Lit> learnt;
+  uint64_t conflicts_this_restart = 0;
+  const uint64_t restart_budget = static_cast<uint64_t>(
+      Luby(2.0, stats_.restarts) * options_.restart_base);
+
+  while (true) {
+    ClauseRef conflict = Propagate();
+    if (conflict != kInvalidClause) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (DecisionLevel() == 0) {
+        ok_ = false;
+        return kFalse;
+      }
+      uint32_t backjump = 0;
+      uint32_t lbd = 0;
+      Analyze(conflict, &learnt, &backjump, &lbd);
+      // Never backjump past the assumption prefix: re-deciding assumptions is
+      // the assumption loop's job.
+      CancelUntil(std::max(backjump, static_cast<uint32_t>(0)));
+      if (learnt.size() == 1) {
+        if (DecisionLevel() > 0) {
+          CancelUntil(0);
+        }
+        if (!Value(learnt[0]).IsUndef()) {
+          ok_ = ok_ && Value(learnt[0]).IsTrue();
+          if (!ok_) {
+            return kFalse;
+          }
+        } else {
+          UncheckedEnqueue(learnt[0], kInvalidClause);
+        }
+      } else {
+        ClauseRef ref =
+            arena_.Alloc(learnt.data(), static_cast<uint32_t>(learnt.size()), true);
+        Clause c = arena_.At(ref);
+        c.set_lbd(lbd);
+        learnts_.push_back(ref);
+        AttachClause(ref);
+        ClauseBumpActivity(c);
+        UncheckedEnqueue(learnt[0], ref);
+      }
+      ++stats_.learned_clauses;
+      VarDecayActivity();
+      ClauseDecayActivity();
+      continue;
+    }
+
+    // No conflict.
+    if (options_.max_conflicts != 0 && stats_.conflicts >= options_.max_conflicts) {
+      CancelUntil(0);
+      return kUndef;
+    }
+    if (conflicts_this_restart >= restart_budget &&
+        DecisionLevel() > assumptions_.size()) {
+      ++stats_.restarts;
+      CancelUntil(static_cast<uint32_t>(assumptions_.size()));
+      return kUndef;  // restart: Solve() loops back into Search()
+    }
+    if (learnts_.size() >= max_learnts_ + trail_.size()) {
+      ReduceDb();
+    }
+
+    // Re-establish assumptions as the bottom decision levels.
+    Lit next = kUndefLit;
+    while (DecisionLevel() < assumptions_.size()) {
+      Lit a = assumptions_[DecisionLevel()];
+      if (Value(a).IsTrue()) {
+        trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));  // empty level
+      } else if (Value(a).IsFalse()) {
+        AnalyzeFinal(~a);
+        return kFalse;
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (next == kUndefLit) {
+      next = PickBranchLit();
+      if (next == kUndefLit) {
+        return kTrue;  // all variables assigned: model found
+      }
+      ++stats_.decisions;
+    }
+    trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
+    UncheckedEnqueue(next, kInvalidClause);
+  }
+}
+
+LBool Solver::Solve() { return Solve(nullptr, 0); }
+
+LBool Solver::Solve(const Lit* assumptions, uint32_t n) {
+  if (!ok_) {
+    return kFalse;
+  }
+  assumptions_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    LW_CHECK(LitVar(assumptions[i]) < num_vars());
+    assumptions_.push_back(assumptions[i]);
+  }
+  for (size_t i = 0; i < assumption_failed_.size(); ++i) {
+    assumption_failed_[i] = 0;
+  }
+
+  LBool result = kUndef;
+  while (result.IsUndef()) {
+    result = Search();
+    if (options_.max_conflicts != 0 && stats_.conflicts >= options_.max_conflicts &&
+        result.IsUndef()) {
+      break;
+    }
+  }
+
+  if (result.IsTrue()) {
+    model_.resize(assigns_.size());
+    for (size_t i = 0; i < assigns_.size(); ++i) {
+      model_[i] = assigns_[i].IsUndef() ? kTrue : assigns_[i];
+    }
+  }
+  CancelUntil(0);
+  return result;
+}
+
+LBool Solver::ModelValue(Var v) const {
+  if (v < 0 || static_cast<size_t>(v) >= model_.size()) {
+    return kTrue;
+  }
+  return model_[v];
+}
+
+}  // namespace lw

@@ -1,0 +1,180 @@
+// lwsat: a CDCL SAT solver (the paper's Z3 stand-in for §2/§3.2).
+//
+// Standard modern architecture — two-watched-literal propagation with blockers,
+// 1UIP conflict analysis with recursive clause minimization, EVSIDS variable
+// activity with phase saving, Luby restarts, and activity/LBD-driven learnt-
+// clause reduction. Two properties matter for this repository specifically:
+//
+//   * Every byte of solver state (clause arena, trail, watches, heap) allocates
+//     through AllocHooks, so a Solver constructed inside a guest arena is fully
+//     captured by lightweight snapshots — snapshotting a solved problem p and
+//     extending it with q is exactly the paper's incremental-solver use case.
+//   * The solver is also incremental natively (AddClause after Solve, and
+//     Solve(assumptions)), which provides E3's "native incremental" baseline.
+
+#ifndef LWSNAP_SRC_SOLVER_SAT_H_
+#define LWSNAP_SRC_SOLVER_SAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/solver/clause.h"
+#include "src/solver/lit.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/vec.h"
+
+namespace lw {
+
+struct SolverOptions {
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  // Luby restart unit (conflicts).
+  uint32_t restart_base = 100;
+  // Learnt-DB reduction: start limit and growth per reduction.
+  uint32_t learnt_start = 2000;
+  double learnt_growth = 1.1;
+  uint64_t max_conflicts = 0;  // 0 = unbounded; else Solve returns kUndef at the budget
+  uint64_t random_seed = 91648253;
+};
+
+struct SolverStats {
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t conflicts = 0;
+  uint64_t learned_clauses = 0;
+  uint64_t learned_literals = 0;
+  uint64_t minimized_literals = 0;
+  uint64_t restarts = 0;
+  uint64_t reductions = 0;
+  uint64_t removed_clauses = 0;
+
+  std::string ToString() const;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = SolverOptions());
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // --- problem construction (legal any time; the solver resets to level 0) ---
+
+  Var NewVar();
+  // Ensures vars [0, n) exist.
+  void EnsureVars(int32_t n);
+  // Returns false if the clause is already falsified at level 0 (solver becomes
+  // permanently UNSAT), true otherwise. Tautologies and duplicate literals are
+  // simplified away.
+  bool AddClause(const Lit* lits, uint32_t n);
+  bool AddClause(std::initializer_list<Lit> lits);
+
+  // --- solving ---
+
+  // kTrue = SAT (model available), kFalse = UNSAT, kUndef = conflict budget hit.
+  LBool Solve();
+  LBool Solve(const Lit* assumptions, uint32_t n);
+
+  // Model access (valid after Solve returned kTrue). Unassigned vars read kTrue
+  // (any completion satisfies the formula).
+  LBool ModelValue(Var v) const;
+
+  // When Solve(assumptions) returned kFalse: true iff `p` was one of the
+  // assumptions in the final conflict (a member of the unsat core).
+  bool AssumptionFailed(Lit p) const;
+
+  // --- introspection ---
+
+  int32_t num_vars() const { return static_cast<int32_t>(assigns_.size()); }
+  bool okay() const { return ok_; }
+  const SolverStats& stats() const { return stats_; }
+  uint32_t learnt_count() const { return arena_.learnt_count(); }
+
+  // Value in the *current* trail (level-0 facts persist across Solve calls).
+  LBool Value(Lit p) const { return assigns_[LitVar(p)].Xor(LitSign(p)); }
+  LBool Value(Var v) const { return assigns_[v]; }
+
+ private:
+  struct Watcher {
+    ClauseRef ref = kInvalidClause;
+    Lit blocker = kUndefLit;
+  };
+
+  struct VarOrderHeap {
+    Vec<Var> heap;       // binary max-heap on activity
+    Vec<int32_t> index;  // var -> heap position, -1 if absent
+
+    bool InHeap(Var v) const { return v < static_cast<Var>(index.size()) && index[v] >= 0; }
+    bool Empty() const { return heap.empty(); }
+  };
+
+  // Core CDCL steps.
+  ClauseRef Propagate();
+  void Analyze(ClauseRef conflict, Vec<Lit>* learnt, uint32_t* out_level, uint32_t* out_lbd);
+  bool LitRedundant(Lit p, uint32_t abstract_levels);
+  void AnalyzeFinal(Lit p);
+  void CancelUntil(uint32_t level);
+  Lit PickBranchLit();
+  void UncheckedEnqueue(Lit p, ClauseRef from);
+  void AttachClause(ClauseRef ref);
+  void DetachClause(ClauseRef ref);
+  void ReduceDb();
+  void GarbageCollect();
+  LBool Search();
+
+  // VSIDS helpers.
+  void VarBumpActivity(Var v);
+  void VarDecayActivity();
+  void ClauseBumpActivity(Clause c);
+  void ClauseDecayActivity();
+  void HeapInsert(Var v);
+  Var HeapPopMax();
+  void HeapSiftUp(int32_t i);
+  void HeapSiftDown(int32_t i);
+  bool HeapLess(Var a, Var b) const { return activity_[a] > activity_[b]; }
+
+  uint32_t DecisionLevel() const { return static_cast<uint32_t>(trail_lim_.size()); }
+  uint32_t LevelOf(Var v) const { return level_[v]; }
+  ClauseRef ReasonOf(Var v) const { return reason_[v]; }
+
+  SolverOptions options_;
+  bool ok_ = true;
+
+  ClauseArena arena_;
+  Vec<ClauseRef> clauses_;  // problem clauses
+  Vec<ClauseRef> learnts_;
+
+  Vec<LBool> assigns_;       // var -> value
+  Vec<uint8_t> polarity_;    // var -> saved phase (1 = last assigned false)
+  Vec<uint32_t> level_;      // var -> decision level
+  Vec<ClauseRef> reason_;    // var -> implying clause
+  Vec<Vec<Watcher>> watches_;  // lit index -> watchers
+
+  Vec<Lit> trail_;
+  Vec<uint32_t> trail_lim_;  // decision-level boundaries in trail_
+  uint32_t qhead_ = 0;
+
+  Vec<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  VarOrderHeap order_;
+
+  Vec<Lit> assumptions_;
+  Vec<uint8_t> assumption_failed_;  // lit index -> in final conflict
+
+  // Analyze scratch (persistent to avoid per-conflict allocation).
+  Vec<uint8_t> seen_;
+  Vec<Lit> analyze_stack_;
+  Vec<Lit> analyze_clear_;
+
+  Vec<LBool> model_;
+  uint64_t max_learnts_ = 0;
+  Rng rng_;
+
+  SolverStats stats_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SOLVER_SAT_H_

@@ -1,0 +1,188 @@
+#include "src/solver/service.h"
+
+#include <cstring>
+
+#include "src/core/guest_api.h"
+#include "src/core/guest_heap.h"
+
+namespace lw {
+
+namespace {
+
+// Response header layout in the mailbox.
+struct ResponseHeader {
+  uint8_t result_raw;
+  uint8_t pad[3];
+  uint32_t num_vars;
+  uint64_t conflicts;
+};
+
+// Guest-side: solve, write the response, park. Returns the resume message
+// length when the host extends this problem.
+size_t SolveAndPark(Solver* solver, uint8_t* mailbox, size_t cap) {
+  LBool result = solver->Solve();
+  ResponseHeader hdr{};
+  hdr.result_raw = result.raw();
+  hdr.num_vars = static_cast<uint32_t>(solver->num_vars());
+  hdr.conflicts = solver->stats().conflicts;
+  size_t model_bytes = (hdr.num_vars + 7) / 8;
+  LW_CHECK_MSG(sizeof(hdr) + model_bytes <= cap, "solver service mailbox too small for model");
+  std::memcpy(mailbox, &hdr, sizeof(hdr));
+  uint8_t* bits = mailbox + sizeof(hdr);
+  std::memset(bits, 0, model_bytes);
+  if (result.IsTrue()) {
+    for (Var v = 0; v < solver->num_vars(); ++v) {
+      if (solver->ModelValue(v).IsTrue()) {
+        bits[v / 8] |= static_cast<uint8_t>(1u << (v % 8));
+      }
+    }
+  }
+  return sys_yield(mailbox, cap);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeSolverRequest(const std::vector<std::vector<Lit>>& clauses) {
+  std::vector<uint8_t> msg;
+  auto put32 = [&msg](uint32_t v) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    msg.insert(msg.end(), p, p + 4);
+  };
+  put32(static_cast<uint32_t>(clauses.size()));
+  for (const auto& clause : clauses) {
+    put32(static_cast<uint32_t>(clause.size()));
+    for (Lit lit : clause) {
+      put32(static_cast<uint32_t>(lit.x));
+    }
+  }
+  return msg;
+}
+
+void SolverService::GuestMain(void* arg) {
+  auto* boot = static_cast<Boot*>(arg);
+  auto* session = static_cast<BacktrackSession*>(CurrentExecutor());
+  GuestHeap* heap = session->heap();
+  // Everything the solver allocates from here on lives inside the arena and is
+  // captured by each checkpoint's snapshot.
+  ScopedAllocHooks hooks(heap->Hooks());
+
+  Solver* solver = GuestNew<Solver>(heap, boot->solver);
+  LW_CHECK_MSG(solver != nullptr, "arena too small for solver");
+  auto* mailbox = static_cast<uint8_t*>(heap->Alloc(boot->mailbox_cap));
+  LW_CHECK_MSG(mailbox != nullptr, "arena too small for mailbox");
+
+  // Load the base problem (read from host memory; writes land in the arena).
+  solver->EnsureVars(boot->base->num_vars);
+  for (const auto& clause : boot->base->clauses) {
+    solver->AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+  }
+
+  // Serve forever: each loop iteration solves the current problem, parks, and
+  // on resume decodes one increment. The host stops by never resuming.
+  while (true) {
+    size_t len = SolveAndPark(solver, mailbox, boot->mailbox_cap);
+    const uint8_t* p = mailbox;
+    const uint8_t* end = mailbox + len;
+    auto get32 = [&p]() {
+      uint32_t v;
+      std::memcpy(&v, p, 4);
+      p += 4;
+      return v;
+    };
+    LW_CHECK_MSG(len >= 4, "solver service: truncated request");
+    uint32_t clause_count = get32();
+    for (uint32_t i = 0; i < clause_count; ++i) {
+      LW_CHECK(p + 4 <= end);
+      uint32_t n = get32();
+      LW_CHECK(p + 4 * n <= end);
+      // Grow the variable space to cover the increment's literals.
+      Var max_var = -1;
+      for (uint32_t j = 0; j < n; ++j) {
+        Lit lit{static_cast<int32_t>(*reinterpret_cast<const uint32_t*>(p + 4 * j))};
+        if (LitVar(lit) > max_var) {
+          max_var = LitVar(lit);
+        }
+      }
+      solver->EnsureVars(max_var + 1);
+      Lit stack_lits[64];
+      Lit* lits = stack_lits;
+      Vec<Lit> big;
+      if (n > 64) {
+        big.resize(n);
+        lits = big.data();
+      }
+      for (uint32_t j = 0; j < n; ++j) {
+        uint32_t raw = get32();
+        lits[j] = Lit{static_cast<int32_t>(raw)};
+      }
+      solver->AddClause(lits, n);
+    }
+  }
+}
+
+SolverService::SolverService(SolverServiceOptions options) : options_(options) {
+  SessionOptions session_options;
+  session_options.arena_bytes = options_.arena_bytes;
+  session_options.page_map_kind = options_.page_map_kind;
+  session_options.snapshot_mode = options_.snapshot_mode;
+  session_ = std::make_unique<BacktrackSession>(session_options);
+  boot_.mailbox_cap = options_.mailbox_bytes;
+  boot_.solver = options_.solver;
+}
+
+SolverService::~SolverService() = default;
+
+Result<SolverService::Outcome> SolverService::DrainCheckpoint() {
+  std::vector<uint64_t> fresh = session_->TakeNewCheckpoints();
+  if (fresh.size() != 1) {
+    return Internal("solver service: expected exactly one new checkpoint");
+  }
+  Token token = fresh[0];
+
+  ResponseHeader hdr{};
+  LW_RETURN_IF_ERROR(session_->ReadCheckpointMailbox(token, &hdr, sizeof(hdr)));
+  Outcome outcome;
+  outcome.result = LBool(hdr.result_raw);
+  outcome.token = token;
+  outcome.conflicts = hdr.conflicts;
+  size_t model_bytes = (hdr.num_vars + 7) / 8;
+  std::vector<uint8_t> full(sizeof(hdr) + model_bytes);
+  LW_RETURN_IF_ERROR(session_->ReadCheckpointMailbox(token, full.data(), full.size()));
+  outcome.model_bits.assign(full.begin() + sizeof(hdr), full.end());
+  return outcome;
+}
+
+Result<SolverService::Outcome> SolverService::SolveRoot(const Cnf& base) {
+  if (root_solved_) {
+    return BadState("solver service: root already solved");
+  }
+  root_solved_ = true;
+  boot_.base = &base;
+  LW_RETURN_IF_ERROR(session_->Run(&GuestMain, &boot_));
+  return DrainCheckpoint();
+}
+
+Result<SolverService::Outcome> SolverService::Extend(Token parent,
+                                                     const std::vector<std::vector<Lit>>& q) {
+  if (!root_solved_) {
+    return BadState("solver service: solve the root first");
+  }
+  std::vector<uint8_t> msg = EncodeSolverRequest(q);
+  if (msg.size() > options_.mailbox_bytes) {
+    return InvalidArgument("solver service: increment exceeds mailbox capacity");
+  }
+  LW_RETURN_IF_ERROR(session_->Resume(parent, msg.data(), msg.size()));
+  return DrainCheckpoint();
+}
+
+Status SolverService::Release(Token token) { return session_->ReleaseCheckpoint(token); }
+
+bool SolverService::ModelBit(const Outcome& outcome, Var v) {
+  size_t byte = static_cast<size_t>(v) / 8;
+  if (byte >= outcome.model_bits.size()) {
+    return false;
+  }
+  return (outcome.model_bits[byte] >> (v % 8)) & 1;
+}
+
+}  // namespace lw

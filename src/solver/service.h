@@ -1,0 +1,95 @@
+// SolverService: the paper's §3.2 multi-path incremental solver service,
+// "built using a single-path incremental solver" and lightweight snapshots.
+//
+// A single-path CDCL solver runs as a guest inside a BacktrackSession arena.
+// After solving each problem it parks at a sys_yield checkpoint. To the client,
+// every checkpoint token is "an opaque reference to a previously solved problem
+// p"; Extend(p, q) resumes p's immutable snapshot — the solver's entire state
+// (clause arena, learnt DB, activities, trail) reappears exactly as it was —
+// adds the clauses of q, solves p ∧ q incrementally, and parks a fresh
+// checkpoint for the new problem. Divergent extensions of the same parent are
+// free: they branch the snapshot tree instead of copying solver state.
+//
+// Wire protocol (mailbox lives in guest memory):
+//   request  = uint32 clause_count, then per clause: uint32 len, int32 lits[len]
+//   response = uint8 result (LBool raw), uint32 num_vars, uint64 conflicts,
+//              then ceil(num_vars/8) model bytes (valid when result == SAT)
+
+#ifndef LWSNAP_SRC_SOLVER_SERVICE_H_
+#define LWSNAP_SRC_SOLVER_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/solver/cnf.h"
+#include "src/solver/lit.h"
+#include "src/solver/sat.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+struct SolverServiceOptions {
+  size_t arena_bytes = 64ull << 20;
+  size_t mailbox_bytes = 1ull << 16;
+  SolverOptions solver;
+  PageMapKind page_map_kind = PageMapKind::kRadix;
+  SnapshotMode snapshot_mode = SnapshotMode::kCow;
+};
+
+class SolverService {
+ public:
+  using Token = uint64_t;
+
+  struct Outcome {
+    LBool result = kUndef;
+    Token token = 0;  // reference to the solved problem (parent for extensions)
+    uint64_t conflicts = 0;           // total conflicts at this node
+    std::vector<uint8_t> model_bits;  // packed model, LSB-first per byte
+  };
+
+  explicit SolverService(SolverServiceOptions options);
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  // Loads and solves the base problem; call exactly once, first.
+  Result<Outcome> SolveRoot(const Cnf& base);
+
+  // Solves parent ∧ q where `parent` is any token returned earlier. The parent
+  // token stays valid — extend it again with a different q to branch.
+  Result<Outcome> Extend(Token parent, const std::vector<std::vector<Lit>>& q);
+
+  // Releases a solved-problem reference (its snapshot pages become reclaimable
+  // once no descendant needs them).
+  Status Release(Token token);
+
+  // Model bit for `v` from an Outcome (true = positive).
+  static bool ModelBit(const Outcome& outcome, Var v);
+
+  const SessionStats& session_stats() const { return session_->stats(); }
+
+ private:
+  struct Boot {
+    const Cnf* base = nullptr;
+    size_t mailbox_cap = 0;
+    SolverOptions solver;
+  };
+
+  static void GuestMain(void* arg);
+  Result<Outcome> DrainCheckpoint();
+
+  SolverServiceOptions options_;
+  std::unique_ptr<BacktrackSession> session_;
+  Boot boot_;
+  bool root_solved_ = false;
+};
+
+// Encodes `clauses` into the request wire format (exposed for tests).
+std::vector<uint8_t> EncodeSolverRequest(const std::vector<std::vector<Lit>>& clauses);
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SOLVER_SERVICE_H_

@@ -1,0 +1,166 @@
+#include "src/symx/checker.h"
+
+#include <unordered_map>
+
+#include "src/solver/bv.h"
+#include "src/solver/sat.h"
+#include "src/util/alloc_hooks.h"
+
+namespace lw {
+
+namespace {
+
+// Memoizing DAG-to-term translation.
+class Translator {
+ public:
+  Translator(const ExprPool& pool, BitBlaster* bb) : pool_(pool), bb_(bb) {}
+
+  BitBlaster::Term Term(ExprRef e) {
+    auto it = memo_.find(e);
+    if (it != memo_.end()) {
+      return it->second;
+    }
+    BitBlaster::Term t = Translate(e);
+    memo_.emplace(e, t);
+    return t;
+  }
+
+  // Var terms created for symbolic inputs, by input index.
+  const std::unordered_map<uint32_t, BitBlaster::Term>& input_terms() const {
+    return input_terms_;
+  }
+
+ private:
+  BitBlaster::Term Translate(ExprRef e) {
+    const ExprNode& node = pool_.At(e);
+    switch (node.op) {
+      case ExprOp::kConst:
+        return bb_->Constant(node.value, 32);
+      case ExprOp::kVar: {
+        auto it = input_terms_.find(node.value);
+        if (it != input_terms_.end()) {
+          return it->second;
+        }
+        BitBlaster::Term t = bb_->NewTerm(32);
+        input_terms_.emplace(node.value, t);
+        return t;
+      }
+      case ExprOp::kAdd:
+        return bb_->Add(Term(node.lhs), Term(node.rhs));
+      case ExprOp::kSub:
+        return bb_->Sub(Term(node.lhs), Term(node.rhs));
+      case ExprOp::kMul:
+        return bb_->Mul(Term(node.lhs), Term(node.rhs));
+      case ExprOp::kAnd:
+        return bb_->And(Term(node.lhs), Term(node.rhs));
+      case ExprOp::kOr:
+        return bb_->Or(Term(node.lhs), Term(node.rhs));
+      case ExprOp::kXor:
+        return bb_->Xor(Term(node.lhs), Term(node.rhs));
+      case ExprOp::kShl:
+      case ExprOp::kShr: {
+        // Shift amounts in lwsymx programs are constants after folding; a
+        // symbolic amount lowers through an 5-level mux ladder.
+        const ExprNode& amount = pool_.At(node.rhs);
+        BitBlaster::Term lhs = Term(node.lhs);
+        if (amount.op == ExprOp::kConst) {
+          int k = static_cast<int>(amount.value & 31);
+          return node.op == ExprOp::kShl ? bb_->ShlConst(lhs, k) : bb_->LshrConst(lhs, k);
+        }
+        BitBlaster::Term amt = Term(node.rhs);
+        BitBlaster::Term acc = lhs;
+        for (int bit = 0; bit < 5; ++bit) {
+          int k = 1 << bit;
+          BitBlaster::Term shifted =
+              node.op == ExprOp::kShl ? bb_->ShlConst(acc, k) : bb_->LshrConst(acc, k);
+          acc = bb_->Mux(amt[static_cast<size_t>(bit)], shifted, acc);
+        }
+        return acc;
+      }
+      case ExprOp::kEq:
+        return BoolTerm(bb_->Eq(Term(node.lhs), Term(node.rhs)));
+      case ExprOp::kNe:
+        return BoolTerm(bb_->Ne(Term(node.lhs), Term(node.rhs)));
+      case ExprOp::kUlt:
+        return BoolTerm(bb_->Ult(Term(node.lhs), Term(node.rhs)));
+      case ExprOp::kUge:
+        return BoolTerm(~bb_->Ult(Term(node.lhs), Term(node.rhs)));
+    }
+    LW_CHECK(false);
+    return {};
+  }
+
+  // Widens a boolean literal to a 0/1 32-bit term.
+  BitBlaster::Term BoolTerm(Lit p) {
+    BitBlaster::Term t = bb_->Constant(0, 32);
+    t[0] = p;
+    return t;
+  }
+
+  const ExprPool& pool_;
+  BitBlaster* bb_;
+  std::unordered_map<ExprRef, BitBlaster::Term> memo_;
+  std::unordered_map<uint32_t, BitBlaster::Term> input_terms_;
+};
+
+}  // namespace
+
+Result<CheckResult> PathChecker::Run(const ExprPool& pool, const ExprRef* constraints, size_t n,
+                                     ExprRef extra, bool extra_is_zero) {
+  // Pin host allocation: queries may be issued from inside a guest arena.
+  ScopedAllocHooks host_alloc(MallocHooks());
+  ++queries_;
+
+  SolverOptions solver_options;
+  solver_options.max_conflicts = conflict_budget_;
+  Solver solver(solver_options);
+  BitBlaster bb(&solver);
+  Translator translator(pool, &bb);
+
+  auto assert_nonzero = [&](ExprRef e) {
+    BitBlaster::Term t = translator.Term(e);
+    // t != 0: at least one bit set.
+    std::vector<Lit> clause(t.begin(), t.end());
+    solver.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    assert_nonzero(constraints[i]);
+  }
+  if (extra != kNoExpr) {
+    if (extra_is_zero) {
+      bb.AssertEq(translator.Term(extra), bb.Constant(0, 32));
+    } else {
+      assert_nonzero(extra);
+    }
+  }
+
+  LBool verdict = solver.Solve();
+  total_conflicts_ += solver.stats().conflicts;
+  if (verdict.IsUndef()) {
+    return Exhausted("path checker: conflict budget exceeded");
+  }
+
+  CheckResult result;
+  result.sat = verdict.IsTrue();
+  result.conflicts = solver.stats().conflicts;
+  if (result.sat) {
+    result.inputs.assign(pool.num_inputs(), 0);
+    for (const auto& [index, term] : translator.input_terms()) {
+      result.inputs[index] = static_cast<uint32_t>(bb.ModelValue(term));
+    }
+  }
+  return result;
+}
+
+Result<CheckResult> PathChecker::Check(const ExprPool& pool, const ExprRef* constraints,
+                                       size_t n, ExprRef extra) {
+  return Run(pool, constraints, n, extra, /*extra_is_zero=*/false);
+}
+
+Result<CheckResult> PathChecker::CheckWithZero(const ExprPool& pool, const ExprRef* constraints,
+                                               size_t n, ExprRef extra_zero) {
+  return Run(pool, constraints, n, extra_zero, /*extra_is_zero=*/true);
+}
+
+}  // namespace lw

@@ -1,0 +1,56 @@
+// PathChecker: feasibility queries for lwsymx path constraints.
+//
+// Translates an ExprPool DAG into CNF through the BitBlaster and asks lwsat
+// whether the conjunction of constraints is satisfiable; on SAT it returns a
+// model for the symbolic inputs (the test case that drives execution down the
+// path — S2E's "generate inputs that reproduce the bug").
+//
+// Each query builds a fresh solver on the host heap (ScopedAllocHooks pins
+// malloc), so checks issued from guest code never pollute the snapshot arena.
+
+#ifndef LWSNAP_SRC_SYMX_CHECKER_H_
+#define LWSNAP_SRC_SYMX_CHECKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/symx/value.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+struct CheckResult {
+  bool sat = false;
+  std::vector<uint32_t> inputs;  // input index -> value (valid when sat)
+  uint64_t conflicts = 0;        // solver work for this query
+};
+
+class PathChecker {
+ public:
+  // `conflict_budget` bounds each query (0 = unbounded); a budget hit is
+  // reported as kExhausted rather than a wrong verdict.
+  explicit PathChecker(uint64_t conflict_budget = 0)
+      : conflict_budget_(conflict_budget) {}
+
+  // Is (∧ constraints[i] ≠ 0) ∧ (extra ≠ 0 if extra != kNoExpr) satisfiable?
+  Result<CheckResult> Check(const ExprPool& pool, const ExprRef* constraints, size_t n,
+                            ExprRef extra = kNoExpr);
+  // As above but requiring `extra_zero` == 0 (assert-violation queries).
+  Result<CheckResult> CheckWithZero(const ExprPool& pool, const ExprRef* constraints, size_t n,
+                                    ExprRef extra_zero);
+
+  uint64_t queries() const { return queries_; }
+  uint64_t total_conflicts() const { return total_conflicts_; }
+
+ private:
+  Result<CheckResult> Run(const ExprPool& pool, const ExprRef* constraints, size_t n,
+                          ExprRef extra, bool extra_is_zero);
+
+  uint64_t conflict_budget_;
+  uint64_t queries_ = 0;
+  uint64_t total_conflicts_ = 0;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SYMX_CHECKER_H_

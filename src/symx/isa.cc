@@ -1,0 +1,170 @@
+#include "src/symx/isa.h"
+
+#include <cstdio>
+
+namespace lw {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kHalt:
+      return "halt";
+    case Op::kLoadImm:
+      return "li";
+    case Op::kMov:
+      return "mov";
+    case Op::kAdd:
+      return "add";
+    case Op::kAddImm:
+      return "addi";
+    case Op::kSub:
+      return "sub";
+    case Op::kMul:
+      return "mul";
+    case Op::kAnd:
+      return "and";
+    case Op::kOr:
+      return "or";
+    case Op::kXor:
+      return "xor";
+    case Op::kShl:
+      return "shl";
+    case Op::kShr:
+      return "shr";
+    case Op::kLoad:
+      return "ld";
+    case Op::kStore:
+      return "st";
+    case Op::kJmp:
+      return "jmp";
+    case Op::kBeq:
+      return "beq";
+    case Op::kBne:
+      return "bne";
+    case Op::kBltu:
+      return "bltu";
+    case Op::kBgeu:
+      return "bgeu";
+    case Op::kInput:
+      return "input";
+    case Op::kAssert:
+      return "assert";
+  }
+  return "?";
+}
+
+std::string Program::Disassemble() const {
+  std::string out;
+  char line[96];
+  for (size_t pc = 0; pc < insns_.size(); ++pc) {
+    const Insn& insn = insns_[pc];
+    std::snprintf(line, sizeof line, "%4zu: %-6s rd=r%-2u rs1=r%-2u rs2=r%-2u imm=%d\n", pc,
+                  OpName(insn.op), insn.rd, insn.rs1, insn.rs2, insn.imm);
+    out += line;
+  }
+  return out;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) { program_.name_ = std::move(name); }
+
+ProgramBuilder::LabelId ProgramBuilder::Label() {
+  label_pc_.push_back(-1);
+  return static_cast<LabelId>(label_pc_.size() - 1);
+}
+
+ProgramBuilder& ProgramBuilder::Bind(LabelId label) {
+  LW_CHECK(label >= 0 && static_cast<size_t>(label) < label_pc_.size());
+  LW_CHECK_MSG(label_pc_[static_cast<size_t>(label)] < 0, "label bound twice");
+  label_pc_[static_cast<size_t>(label)] = static_cast<int32_t>(program_.insns_.size());
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Emit(Insn insn) {
+  program_.insns_.push_back(insn);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Halt() { return Emit({Op::kHalt, 0, 0, 0, 0}); }
+ProgramBuilder& ProgramBuilder::LoadImm(int rd, uint32_t imm) {
+  return Emit({Op::kLoadImm, static_cast<uint8_t>(rd), 0, 0, static_cast<int32_t>(imm)});
+}
+ProgramBuilder& ProgramBuilder::Mov(int rd, int rs1) {
+  return Emit({Op::kMov, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1), 0, 0});
+}
+ProgramBuilder& ProgramBuilder::Add(int rd, int rs1, int rs2) {
+  return Emit({Op::kAdd, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+               static_cast<uint8_t>(rs2), 0});
+}
+ProgramBuilder& ProgramBuilder::AddImm(int rd, int rs1, int32_t imm) {
+  return Emit({Op::kAddImm, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1), 0, imm});
+}
+ProgramBuilder& ProgramBuilder::Sub(int rd, int rs1, int rs2) {
+  return Emit({Op::kSub, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+               static_cast<uint8_t>(rs2), 0});
+}
+ProgramBuilder& ProgramBuilder::Mul(int rd, int rs1, int rs2) {
+  return Emit({Op::kMul, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+               static_cast<uint8_t>(rs2), 0});
+}
+ProgramBuilder& ProgramBuilder::And(int rd, int rs1, int rs2) {
+  return Emit({Op::kAnd, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+               static_cast<uint8_t>(rs2), 0});
+}
+ProgramBuilder& ProgramBuilder::Or(int rd, int rs1, int rs2) {
+  return Emit({Op::kOr, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+               static_cast<uint8_t>(rs2), 0});
+}
+ProgramBuilder& ProgramBuilder::Xor(int rd, int rs1, int rs2) {
+  return Emit({Op::kXor, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+               static_cast<uint8_t>(rs2), 0});
+}
+ProgramBuilder& ProgramBuilder::Shl(int rd, int rs1, int rs2) {
+  return Emit({Op::kShl, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+               static_cast<uint8_t>(rs2), 0});
+}
+ProgramBuilder& ProgramBuilder::Shr(int rd, int rs1, int rs2) {
+  return Emit({Op::kShr, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1),
+               static_cast<uint8_t>(rs2), 0});
+}
+ProgramBuilder& ProgramBuilder::Load(int rd, int rs1, int32_t imm) {
+  return Emit({Op::kLoad, static_cast<uint8_t>(rd), static_cast<uint8_t>(rs1), 0, imm});
+}
+ProgramBuilder& ProgramBuilder::Store(int rs1, int32_t imm, int rs2) {
+  return Emit({Op::kStore, 0, static_cast<uint8_t>(rs1), static_cast<uint8_t>(rs2), imm});
+}
+ProgramBuilder& ProgramBuilder::Jmp(LabelId label) {
+  patch_sites_.emplace_back(program_.insns_.size(), label);
+  return Emit({Op::kJmp, 0, 0, 0, -1});
+}
+ProgramBuilder& ProgramBuilder::Beq(int rs1, int rs2, LabelId label) {
+  patch_sites_.emplace_back(program_.insns_.size(), label);
+  return Emit({Op::kBeq, 0, static_cast<uint8_t>(rs1), static_cast<uint8_t>(rs2), -1});
+}
+ProgramBuilder& ProgramBuilder::Bne(int rs1, int rs2, LabelId label) {
+  patch_sites_.emplace_back(program_.insns_.size(), label);
+  return Emit({Op::kBne, 0, static_cast<uint8_t>(rs1), static_cast<uint8_t>(rs2), -1});
+}
+ProgramBuilder& ProgramBuilder::Bltu(int rs1, int rs2, LabelId label) {
+  patch_sites_.emplace_back(program_.insns_.size(), label);
+  return Emit({Op::kBltu, 0, static_cast<uint8_t>(rs1), static_cast<uint8_t>(rs2), -1});
+}
+ProgramBuilder& ProgramBuilder::Bgeu(int rs1, int rs2, LabelId label) {
+  patch_sites_.emplace_back(program_.insns_.size(), label);
+  return Emit({Op::kBgeu, 0, static_cast<uint8_t>(rs1), static_cast<uint8_t>(rs2), -1});
+}
+ProgramBuilder& ProgramBuilder::Input(int rd) {
+  return Emit({Op::kInput, static_cast<uint8_t>(rd), 0, 0, 0});
+}
+ProgramBuilder& ProgramBuilder::Assert(int rs1) {
+  return Emit({Op::kAssert, 0, static_cast<uint8_t>(rs1), 0, 0});
+}
+
+Program ProgramBuilder::Build() {
+  for (auto [site, label] : patch_sites_) {
+    int32_t pc = label_pc_[static_cast<size_t>(label)];
+    LW_CHECK_MSG(pc >= 0, "unbound label in program");
+    program_.insns_[site].imm = pc;
+  }
+  return std::move(program_);
+}
+
+}  // namespace lw

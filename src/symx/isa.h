@@ -1,0 +1,122 @@
+// lwsymx ISA: a small 32-bit register machine for multi-path symbolic
+// execution (the repository's S2E stand-in, §2 of the paper).
+//
+// 16 registers, word-addressed data memory, compare-and-branch conditionals,
+// and two symbolic-execution hooks: INPUT (introduces a fresh symbolic word)
+// and ASSERT (a path reaching ASSERT with a falsifiable operand is a bug).
+// Programs are built with ProgramBuilder; a tiny label-patching assembler keeps
+// workload definitions readable.
+
+#ifndef LWSNAP_SRC_SYMX_ISA_H_
+#define LWSNAP_SRC_SYMX_ISA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+enum class Op : uint8_t {
+  kHalt = 0,
+  kLoadImm,  // rd = imm
+  kMov,      // rd = rs1
+  kAdd,      // rd = rs1 + rs2
+  kAddImm,   // rd = rs1 + imm
+  kSub,      // rd = rs1 - rs2
+  kMul,      // rd = rs1 * rs2
+  kAnd,      // rd = rs1 & rs2
+  kOr,       // rd = rs1 | rs2
+  kXor,      // rd = rs1 ^ rs2
+  kShl,      // rd = rs1 << (rs2 & 31)
+  kShr,      // rd = rs1 >> (rs2 & 31), logical
+  kLoad,     // rd = mem[rs1 + imm]
+  kStore,    // mem[rs1 + imm] = rs2
+  kJmp,      // pc = imm
+  kBeq,      // if rs1 == rs2: pc = imm
+  kBne,      // if rs1 != rs2: pc = imm
+  kBltu,     // if rs1 <u rs2: pc = imm
+  kBgeu,     // if rs1 >=u rs2: pc = imm
+  kInput,    // rd = fresh symbolic word
+  kAssert,   // path property: rs1 != 0 must hold
+};
+
+const char* OpName(Op op);
+
+struct Insn {
+  Op op = Op::kHalt;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int32_t imm = 0;
+};
+
+constexpr int kNumRegs = 16;
+
+class Program {
+ public:
+  const std::vector<Insn>& insns() const { return insns_; }
+  size_t size() const { return insns_.size(); }
+  const Insn& At(size_t pc) const {
+    LW_CHECK(pc < insns_.size());
+    return insns_[pc];
+  }
+  const std::string& name() const { return name_; }
+
+  std::string Disassemble() const;
+
+ private:
+  friend class ProgramBuilder;
+  std::string name_;
+  std::vector<Insn> insns_;
+};
+
+// Builder with forward-label support: Label() reserves an id, Bind() fixes it
+// to the current pc, branch/jump sites name the label and are patched at
+// Build() time.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  using LabelId = int32_t;
+  LabelId Label();
+  ProgramBuilder& Bind(LabelId label);
+
+  ProgramBuilder& Halt();
+  ProgramBuilder& LoadImm(int rd, uint32_t imm);
+  ProgramBuilder& Mov(int rd, int rs1);
+  ProgramBuilder& Add(int rd, int rs1, int rs2);
+  ProgramBuilder& AddImm(int rd, int rs1, int32_t imm);
+  ProgramBuilder& Sub(int rd, int rs1, int rs2);
+  ProgramBuilder& Mul(int rd, int rs1, int rs2);
+  ProgramBuilder& And(int rd, int rs1, int rs2);
+  ProgramBuilder& Or(int rd, int rs1, int rs2);
+  ProgramBuilder& Xor(int rd, int rs1, int rs2);
+  ProgramBuilder& Shl(int rd, int rs1, int rs2);
+  ProgramBuilder& Shr(int rd, int rs1, int rs2);
+  ProgramBuilder& Load(int rd, int rs1, int32_t imm);
+  ProgramBuilder& Store(int rs1, int32_t imm, int rs2);
+  ProgramBuilder& Jmp(LabelId label);
+  ProgramBuilder& Beq(int rs1, int rs2, LabelId label);
+  ProgramBuilder& Bne(int rs1, int rs2, LabelId label);
+  ProgramBuilder& Bltu(int rs1, int rs2, LabelId label);
+  ProgramBuilder& Bgeu(int rs1, int rs2, LabelId label);
+  ProgramBuilder& Input(int rd);
+  ProgramBuilder& Assert(int rs1);
+
+  // Patches labels and returns the program. Unbound labels are an LW_CHECK
+  // failure (a bug in the workload definition, not user input).
+  Program Build();
+
+ private:
+  ProgramBuilder& Emit(Insn insn);
+
+  Program program_;
+  std::vector<int32_t> label_pc_;                       // label -> pc (-1 unbound)
+  std::vector<std::pair<size_t, LabelId>> patch_sites_;  // insn index -> label
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SYMX_ISA_H_

@@ -1,0 +1,130 @@
+#include "src/symx/programs.h"
+
+namespace lw {
+
+Program PasswordProgram(const std::vector<uint32_t>& secret) {
+  // r1 = candidate word, r2 = expected, r15 = 0 (for ASSERT).
+  ProgramBuilder b("password");
+  auto fail = b.Label();
+  for (uint32_t word : secret) {
+    b.Input(1);
+    b.LoadImm(2, word);
+    b.Bne(1, 2, fail);
+  }
+  // All words matched: the "bug" — assert(false).
+  b.LoadImm(15, 0);
+  b.Assert(15);
+  b.Halt();
+  b.Bind(fail);
+  b.Halt();
+  return b.Build();
+}
+
+Program BranchTreeProgram(int depth, int words_per_level) {
+  // Per level: read an input, branch on its low bit (via AND 1), and write
+  // `words_per_level` memory words on each side so every path dirties state.
+  ProgramBuilder b("branch-tree");
+  int addr_reg = 10;    // running store cursor
+  int scratch = 11;
+  b.LoadImm(addr_reg, 0);
+  for (int level = 0; level < depth; ++level) {
+    b.Input(1);
+    b.LoadImm(2, 1);
+    b.And(3, 1, 2);    // r3 = input & 1 (symbolic)
+    b.LoadImm(4, 0);
+    auto right = b.Label();
+    auto join = b.Label();
+    b.Bne(3, 4, right);
+    // Left side: write even markers.
+    for (int w = 0; w < words_per_level; ++w) {
+      b.LoadImm(scratch, static_cast<uint32_t>(level * 2));
+      b.Store(addr_reg, w, scratch);
+    }
+    b.Jmp(join);
+    b.Bind(right);
+    for (int w = 0; w < words_per_level; ++w) {
+      b.LoadImm(scratch, static_cast<uint32_t>(level * 2 + 1));
+      b.Store(addr_reg, w, scratch);
+    }
+    b.Bind(join);
+    b.AddImm(addr_reg, addr_reg, words_per_level);
+  }
+  b.Halt();
+  return b.Build();
+}
+
+Program ChecksumProgram(int n, uint32_t magic) {
+  // digest = fold(digest * 33 ^ input); assert digest != magic.
+  ProgramBuilder b("checksum");
+  b.LoadImm(5, 5381);  // digest
+  b.LoadImm(6, 33);
+  for (int i = 0; i < n; ++i) {
+    b.Input(1);
+    b.Mul(5, 5, 6);
+    b.Xor(5, 5, 1);
+  }
+  b.LoadImm(7, magic);
+  auto bad = b.Label();
+  auto end = b.Label();
+  b.Beq(5, 7, bad);
+  b.Halt();
+  b.Bind(bad);
+  b.LoadImm(15, 0);
+  b.Assert(15);  // reached exactly when digest == magic
+  b.Bind(end);
+  b.Halt();
+  return b.Build();
+}
+
+Program ClassifierProgram() {
+  // Classify (x, y): three bands by x, then y-checks; the second y-check in
+  // each band contradicts the first, so its "both sides feasible" answer is
+  // "no" and pruning must kill it.
+  ProgramBuilder b("classifier");
+  b.Input(1);  // x
+  b.Input(2);  // y
+  b.LoadImm(3, 100);
+  b.LoadImm(4, 200);
+
+  auto band1 = b.Label();
+  auto band2 = b.Label();
+  auto check_y = b.Label();
+  auto dead = b.Label();
+  auto out = b.Label();
+
+  b.Bltu(1, 3, band1);   // x < 100
+  b.Bltu(1, 4, band2);   // 100 <= x < 200
+  // x >= 200: store class 2.
+  b.LoadImm(9, 2);
+  b.Store(0, 0, 9);
+  b.Jmp(check_y);
+
+  b.Bind(band1);
+  b.LoadImm(9, 0);
+  b.Store(0, 0, 9);
+  // Contradictory recheck: x >= 100 is impossible here.
+  b.Bgeu(1, 3, dead);
+  b.Jmp(check_y);
+
+  b.Bind(band2);
+  b.LoadImm(9, 1);
+  b.Store(0, 0, 9);
+  b.Jmp(check_y);
+
+  b.Bind(dead);
+  // Unreachable: a violation here would be a pruning bug.
+  b.LoadImm(15, 0);
+  b.Assert(15);
+  b.Halt();
+
+  b.Bind(check_y);
+  b.LoadImm(5, 50);
+  b.Bltu(2, 5, out);  // y < 50: done
+  b.LoadImm(9, 7);
+  b.Store(0, 1, 9);
+  b.Bind(out);
+  b.Halt();
+  return b.Build();
+}
+
+}  // namespace lw

@@ -1,0 +1,37 @@
+// Canned lwsymx workloads used by tests, examples and the E6 bench — small
+// stand-ins for the "branchy kernels" S2E explores.
+
+#ifndef LWSNAP_SRC_SYMX_PROGRAMS_H_
+#define LWSNAP_SRC_SYMX_PROGRAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/symx/isa.h"
+
+namespace lw {
+
+// Classic password check: reads `secret.size()` input words and compares them
+// one by one, bailing at the first mismatch; if *all* match it executes
+// ASSERT(0). Has secret.size()+1 feasible paths; exactly one violation whose
+// witness is the secret itself — the canonical "symbolic execution finds the
+// magic input" demo.
+Program PasswordProgram(const std::vector<uint32_t>& secret);
+
+// Full binary decision tree: `depth` symbolic branches; every level writes
+// `words_per_level` memory words (the state-size knob for the E6 locality
+// sweep). 2^depth feasible paths, no violations.
+Program BranchTreeProgram(int depth, int words_per_level);
+
+// Checksum gate: mixes `n` inputs with shifts/xors and asserts the digest is
+// not `magic`. The solver must invert the mix to produce the violation
+// witness; paths: one violation + one completed.
+Program ChecksumProgram(int n, uint32_t magic);
+
+// Saturating classifier: three-way comparisons on two inputs with unreachable
+// regions (contradictory rechecks) that feasibility pruning must cut.
+Program ClassifierProgram();
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SYMX_PROGRAMS_H_

@@ -1,0 +1,125 @@
+#include "src/symx/value.h"
+
+namespace lw {
+
+namespace {
+
+bool FoldBinary(ExprOp op, uint32_t a, uint32_t b, uint32_t* out) {
+  switch (op) {
+    case ExprOp::kAdd:
+      *out = a + b;
+      return true;
+    case ExprOp::kSub:
+      *out = a - b;
+      return true;
+    case ExprOp::kMul:
+      *out = a * b;
+      return true;
+    case ExprOp::kAnd:
+      *out = a & b;
+      return true;
+    case ExprOp::kOr:
+      *out = a | b;
+      return true;
+    case ExprOp::kXor:
+      *out = a ^ b;
+      return true;
+    case ExprOp::kShl:
+      *out = a << (b & 31);
+      return true;
+    case ExprOp::kShr:
+      *out = a >> (b & 31);
+      return true;
+    case ExprOp::kEq:
+      *out = a == b ? 1 : 0;
+      return true;
+    case ExprOp::kNe:
+      *out = a != b ? 1 : 0;
+      return true;
+    case ExprOp::kUlt:
+      *out = a < b ? 1 : 0;
+      return true;
+    case ExprOp::kUge:
+      *out = a >= b ? 1 : 0;
+      return true;
+    case ExprOp::kVar:
+    case ExprOp::kConst:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+ExprRef ExprPool::Const(uint32_t value) {
+  ExprNode node;
+  node.op = ExprOp::kConst;
+  node.value = value;
+  nodes_.push_back(node);
+  return static_cast<ExprRef>(nodes_.size() - 1);
+}
+
+ExprRef ExprPool::FreshVar() {
+  ExprNode node;
+  node.op = ExprOp::kVar;
+  node.value = num_inputs_++;
+  nodes_.push_back(node);
+  return static_cast<ExprRef>(nodes_.size() - 1);
+}
+
+ExprRef ExprPool::Binary(ExprOp op, ExprRef lhs, ExprRef rhs) {
+  const ExprNode& a = At(lhs);
+  const ExprNode& b = At(rhs);
+  if (a.op == ExprOp::kConst && b.op == ExprOp::kConst) {
+    uint32_t folded;
+    if (FoldBinary(op, a.value, b.value, &folded)) {
+      return Const(folded);
+    }
+  }
+  ExprNode node;
+  node.op = op;
+  node.lhs = lhs;
+  node.rhs = rhs;
+  nodes_.push_back(node);
+  return static_cast<ExprRef>(nodes_.size() - 1);
+}
+
+void ExprPool::RewindTo(size_t mark) {
+  LW_CHECK(mark <= nodes_.size());
+  // Recompute the input count: inputs created after the mark disappear.
+  uint32_t inputs = 0;
+  for (size_t i = 0; i < mark; ++i) {
+    if (nodes_[i].op == ExprOp::kVar) {
+      ++inputs;
+    }
+  }
+  nodes_.resize(mark);
+  num_inputs_ = inputs;
+}
+
+uint32_t ExprPool::Eval(ExprRef e, const std::vector<uint32_t>& inputs) const {
+  const ExprNode& node = At(e);
+  switch (node.op) {
+    case ExprOp::kConst:
+      return node.value;
+    case ExprOp::kVar:
+      LW_CHECK(node.value < inputs.size());
+      return inputs[node.value];
+    default: {
+      uint32_t a = Eval(node.lhs, inputs);
+      uint32_t b = Eval(node.rhs, inputs);
+      uint32_t out = 0;
+      LW_CHECK(FoldBinary(node.op, a, b, &out));
+      return out;
+    }
+  }
+}
+
+ExprRef LiftToExpr(ExprPool* pool, const SymVal& v) {
+  if (v.is_concrete()) {
+    return pool->Const(v.concrete);
+  }
+  return v.expr;
+}
+
+}  // namespace lw

@@ -1,0 +1,92 @@
+// Symbolic values and the expression pool for lwsymx.
+//
+// A SymVal is either a concrete 32-bit word or a reference into an append-only
+// expression DAG (ExprPool). The pool allocates through AllocHooks, so under
+// the snapshot explorer it lives in the guest arena and is versioned with each
+// path for free; under the explicit explorer it is deep-copied per state — the
+// exact software-state-copying overhead §2 attributes to S2E.
+
+#ifndef LWSNAP_SRC_SYMX_VALUE_H_
+#define LWSNAP_SRC_SYMX_VALUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/vec.h"
+
+namespace lw {
+
+using ExprRef = int32_t;
+constexpr ExprRef kNoExpr = -1;
+
+enum class ExprOp : uint8_t {
+  kVar,    // symbolic input #value
+  kConst,  // literal `value`
+  kAdd,
+  kSub,
+  kMul,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,   // by (rhs & 31)
+  kShr,   // logical, by (rhs & 31)
+  kEq,    // 1 if lhs == rhs else 0
+  kNe,
+  kUlt,
+  kUge,
+};
+
+struct ExprNode {
+  ExprOp op = ExprOp::kConst;
+  uint32_t value = 0;  // kConst literal / kVar input index
+  ExprRef lhs = kNoExpr;
+  ExprRef rhs = kNoExpr;
+};
+
+class ExprPool {
+ public:
+  ExprRef Const(uint32_t value);
+  // Fresh symbolic input; returns its expression and assigns it input index
+  // num_inputs()-1.
+  ExprRef FreshVar();
+  // Builds lhs∘rhs with local constant folding.
+  ExprRef Binary(ExprOp op, ExprRef lhs, ExprRef rhs);
+
+  const ExprNode& At(ExprRef e) const {
+    LW_CHECK(e >= 0 && static_cast<size_t>(e) < nodes_.size());
+    return nodes_[static_cast<size_t>(e)];
+  }
+  size_t size() const { return nodes_.size(); }
+  uint32_t num_inputs() const { return num_inputs_; }
+
+  // Rewinds the pool to `mark` nodes (paired with state restore by the explicit
+  // explorer; the snapshot explorer gets this for free from the arena).
+  size_t Mark() const { return nodes_.size(); }
+  void RewindTo(size_t mark);
+
+  // Concrete evaluation under an input assignment (model validation).
+  uint32_t Eval(ExprRef e, const std::vector<uint32_t>& inputs) const;
+
+ private:
+  Vec<ExprNode> nodes_;
+  uint32_t num_inputs_ = 0;
+};
+
+// A 32-bit machine word: concrete, or an expression.
+struct SymVal {
+  uint32_t concrete = 0;
+  ExprRef expr = kNoExpr;
+
+  bool is_concrete() const { return expr == kNoExpr; }
+
+  static SymVal Of(uint32_t value) { return SymVal{value, kNoExpr}; }
+  static SymVal Symbolic(ExprRef e) { return SymVal{0, e}; }
+};
+
+// Lifts `v` to an expression (allocating a Const node if concrete).
+ExprRef LiftToExpr(ExprPool* pool, const SymVal& v);
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SYMX_VALUE_H_

@@ -1,0 +1,249 @@
+#include "src/symx/vm.h"
+
+namespace lw {
+
+const char* VmEventName(VmEvent event) {
+  switch (event) {
+    case VmEvent::kHalted:
+      return "halted";
+    case VmEvent::kSymbolicBranch:
+      return "symbolic-branch";
+    case VmEvent::kAssertCheck:
+      return "assert-check";
+    case VmEvent::kAssertFailedConcrete:
+      return "assert-failed";
+    case VmEvent::kBadAccess:
+      return "bad-access";
+    case VmEvent::kStepLimit:
+      return "step-limit";
+  }
+  return "?";
+}
+
+SymVm::SymVm(const Program* program, ExprPool* pool, VmConfig config)
+    : program_(program), pool_(pool), config_(config) {
+  LW_CHECK(program_ != nullptr && pool_ != nullptr);
+  mem_.resize(config_.mem_words, SymVal::Of(0));
+}
+
+SymVal SymVm::MemAt(uint32_t word) const {
+  LW_CHECK(word < mem_.size());
+  return mem_[word];
+}
+
+SymVal SymVm::BinOp(ExprOp op, const SymVal& a, const SymVal& b) {
+  if (a.is_concrete() && b.is_concrete()) {
+    // Delegate concrete folding to the pool's folder via a throwaway pattern is
+    // wasteful; compute inline instead.
+    uint32_t x = a.concrete;
+    uint32_t y = b.concrete;
+    switch (op) {
+      case ExprOp::kAdd:
+        return SymVal::Of(x + y);
+      case ExprOp::kSub:
+        return SymVal::Of(x - y);
+      case ExprOp::kMul:
+        return SymVal::Of(x * y);
+      case ExprOp::kAnd:
+        return SymVal::Of(x & y);
+      case ExprOp::kOr:
+        return SymVal::Of(x | y);
+      case ExprOp::kXor:
+        return SymVal::Of(x ^ y);
+      case ExprOp::kShl:
+        return SymVal::Of(x << (y & 31));
+      case ExprOp::kShr:
+        return SymVal::Of(x >> (y & 31));
+      default:
+        LW_CHECK(false);
+        return SymVal::Of(0);
+    }
+  }
+  ExprRef lhs = LiftToExpr(pool_, a);
+  ExprRef rhs = LiftToExpr(pool_, b);
+  return SymVal::Symbolic(pool_->Binary(op, lhs, rhs));
+}
+
+VmEvent SymVm::Run() {
+  while (true) {
+    if (steps_ >= config_.max_steps_per_path) {
+      return VmEvent::kStepLimit;
+    }
+    if (pc_ >= program_->size()) {
+      return VmEvent::kHalted;  // running off the end is a clean halt
+    }
+    const Insn& insn = program_->At(pc_);
+    ++steps_;
+    switch (insn.op) {
+      case Op::kHalt:
+        return VmEvent::kHalted;
+      case Op::kLoadImm:
+        regs_[insn.rd] = SymVal::Of(static_cast<uint32_t>(insn.imm));
+        ++pc_;
+        break;
+      case Op::kMov:
+        regs_[insn.rd] = regs_[insn.rs1];
+        ++pc_;
+        break;
+      case Op::kAdd:
+        regs_[insn.rd] = BinOp(ExprOp::kAdd, regs_[insn.rs1], regs_[insn.rs2]);
+        ++pc_;
+        break;
+      case Op::kAddImm:
+        regs_[insn.rd] =
+            BinOp(ExprOp::kAdd, regs_[insn.rs1], SymVal::Of(static_cast<uint32_t>(insn.imm)));
+        ++pc_;
+        break;
+      case Op::kSub:
+        regs_[insn.rd] = BinOp(ExprOp::kSub, regs_[insn.rs1], regs_[insn.rs2]);
+        ++pc_;
+        break;
+      case Op::kMul:
+        regs_[insn.rd] = BinOp(ExprOp::kMul, regs_[insn.rs1], regs_[insn.rs2]);
+        ++pc_;
+        break;
+      case Op::kAnd:
+        regs_[insn.rd] = BinOp(ExprOp::kAnd, regs_[insn.rs1], regs_[insn.rs2]);
+        ++pc_;
+        break;
+      case Op::kOr:
+        regs_[insn.rd] = BinOp(ExprOp::kOr, regs_[insn.rs1], regs_[insn.rs2]);
+        ++pc_;
+        break;
+      case Op::kXor:
+        regs_[insn.rd] = BinOp(ExprOp::kXor, regs_[insn.rs1], regs_[insn.rs2]);
+        ++pc_;
+        break;
+      case Op::kShl:
+        regs_[insn.rd] = BinOp(ExprOp::kShl, regs_[insn.rs1], regs_[insn.rs2]);
+        ++pc_;
+        break;
+      case Op::kShr:
+        regs_[insn.rd] = BinOp(ExprOp::kShr, regs_[insn.rs1], regs_[insn.rs2]);
+        ++pc_;
+        break;
+      case Op::kLoad: {
+        const SymVal& addr = regs_[insn.rs1];
+        if (!addr.is_concrete()) {
+          return VmEvent::kBadAccess;  // symbolic addressing unsupported
+        }
+        uint64_t word = static_cast<uint64_t>(addr.concrete) + static_cast<uint64_t>(insn.imm);
+        if (word >= mem_.size()) {
+          return VmEvent::kBadAccess;
+        }
+        regs_[insn.rd] = mem_[word];
+        ++pc_;
+        break;
+      }
+      case Op::kStore: {
+        const SymVal& addr = regs_[insn.rs1];
+        if (!addr.is_concrete()) {
+          return VmEvent::kBadAccess;
+        }
+        uint64_t word = static_cast<uint64_t>(addr.concrete) + static_cast<uint64_t>(insn.imm);
+        if (word >= mem_.size()) {
+          return VmEvent::kBadAccess;
+        }
+        mem_[word] = regs_[insn.rs2];
+        ++pc_;
+        break;
+      }
+      case Op::kJmp:
+        pc_ = static_cast<uint32_t>(insn.imm);
+        break;
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBltu:
+      case Op::kBgeu: {
+        const SymVal& a = regs_[insn.rs1];
+        const SymVal& b = regs_[insn.rs2];
+        if (a.is_concrete() && b.is_concrete()) {
+          bool take = false;
+          switch (insn.op) {
+            case Op::kBeq:
+              take = a.concrete == b.concrete;
+              break;
+            case Op::kBne:
+              take = a.concrete != b.concrete;
+              break;
+            case Op::kBltu:
+              take = a.concrete < b.concrete;
+              break;
+            case Op::kBgeu:
+              take = a.concrete >= b.concrete;
+              break;
+            default:
+              break;
+          }
+          pc_ = take ? static_cast<uint32_t>(insn.imm) : pc_ + 1;
+          break;
+        }
+        ExprOp cmp = ExprOp::kEq;
+        switch (insn.op) {
+          case Op::kBeq:
+            cmp = ExprOp::kEq;
+            break;
+          case Op::kBne:
+            cmp = ExprOp::kNe;
+            break;
+          case Op::kBltu:
+            cmp = ExprOp::kUlt;
+            break;
+          case Op::kBgeu:
+            cmp = ExprOp::kUge;
+            break;
+          default:
+            break;
+        }
+        branch_cond_ = pool_->Binary(cmp, LiftToExpr(pool_, a), LiftToExpr(pool_, b));
+        branch_target_ = insn.imm;
+        return VmEvent::kSymbolicBranch;
+      }
+      case Op::kInput:
+        if (concrete_inputs_ != nullptr) {
+          if (next_concrete_input_ >= concrete_input_count_) {
+            return VmEvent::kBadAccess;
+          }
+          regs_[insn.rd] = SymVal::Of(concrete_inputs_[next_concrete_input_++]);
+        } else {
+          regs_[insn.rd] = SymVal::Symbolic(pool_->FreshVar());
+        }
+        ++pc_;
+        break;
+      case Op::kAssert: {
+        const SymVal& v = regs_[insn.rs1];
+        if (v.is_concrete()) {
+          if (v.concrete == 0) {
+            return VmEvent::kAssertFailedConcrete;
+          }
+          ++pc_;
+          break;
+        }
+        assert_operand_ = v.expr;
+        return VmEvent::kAssertCheck;
+      }
+    }
+  }
+}
+
+void SymVm::TakeBranch(bool taken) {
+  LW_CHECK(branch_cond_ != kNoExpr);
+  ExprRef cond = branch_cond_;
+  if (!taken) {
+    // ¬cond for a 0/1 condition is cond == 0.
+    cond = pool_->Binary(ExprOp::kEq, cond, pool_->Const(0));
+  }
+  constraints_.push_back(cond);
+  pc_ = taken ? static_cast<uint32_t>(branch_target_) : pc_ + 1;
+  branch_cond_ = kNoExpr;
+  ++branch_depth_;
+}
+
+void SymVm::AssumeAssertHolds() {
+  LW_CHECK(assert_operand_ != kNoExpr);
+  constraints_.push_back(pool_->Binary(ExprOp::kNe, assert_operand_, pool_->Const(0)));
+  assert_operand_ = kNoExpr;
+  ++pc_;
+}
+
+}  // namespace lw

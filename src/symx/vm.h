@@ -1,0 +1,117 @@
+// SymVm: the lwsymx interpreter core, shared by both exploration backends.
+//
+// Runs concretely whenever it can, symbolically where inputs reach: registers
+// and memory hold SymVals, binary ops fold when both sides are concrete, and
+// execution stops at events the explorer must arbitrate — a branch whose
+// condition is symbolic (path fork), an ASSERT whose operand is symbolic or
+// concretely false (potential bug), or a terminal condition.
+//
+// The state object is copyable (the explicit explorer's whole cost model) and
+// allocates its memory image via AllocHooks (the snapshot explorer's whole
+// benefit: state lives in the arena and needs no copying at all).
+
+#ifndef LWSNAP_SRC_SYMX_VM_H_
+#define LWSNAP_SRC_SYMX_VM_H_
+
+#include <cstdint>
+
+#include "src/symx/isa.h"
+#include "src/symx/value.h"
+#include "src/util/status.h"
+#include "src/util/vec.h"
+
+namespace lw {
+
+struct VmConfig {
+  uint32_t mem_words = 256;
+  uint64_t max_steps_per_path = 1u << 20;
+};
+
+enum class VmEvent : uint8_t {
+  kHalted,          // clean end of path
+  kSymbolicBranch,  // branch_cond() is symbolic; explorer picks a side
+  kAssertCheck,     // assert_operand() may be zero; explorer must decide
+  kAssertFailedConcrete,  // ASSERT saw a concrete zero: definite violation
+  kBadAccess,       // out-of-bounds memory or symbolic address (unsupported)
+  kStepLimit,       // runaway path
+};
+
+const char* VmEventName(VmEvent event);
+
+class SymVm {
+ public:
+  SymVm(const Program* program, ExprPool* pool, VmConfig config);
+
+  // Copyable on purpose: the explicit explorer's fork is exactly this copy
+  // (plus the pool's). The pool pointer must be re-targeted after copying.
+  SymVm(const SymVm&) = default;
+  SymVm& operator=(const SymVm&) = default;
+  void set_pool(ExprPool* pool) { pool_ = pool; }
+
+  // Runs until the next explorer-visible event.
+  VmEvent Run();
+
+  // kSymbolicBranch: the condition (as a 0/1 expression) and the side targets.
+  ExprRef branch_cond() const { return branch_cond_; }
+  // Commits a direction: appends the constraint and moves pc. `taken` follows
+  // the branch, else falls through.
+  void TakeBranch(bool taken);
+
+  // kAssertCheck: the operand expression (path property: operand != 0).
+  ExprRef assert_operand() const { return assert_operand_; }
+  // Continues past the ASSERT assuming it held (operand != 0 constraint).
+  void AssumeAssertHolds();
+
+  const Vec<ExprRef>& path_constraints() const { return constraints_; }
+  // Bytes a software copy of this state must move (registers + memory image +
+  // constraint list) — the explicit explorer's fork accounting.
+  size_t StateBytes() const {
+    return sizeof(*this) + mem_.size() * sizeof(SymVal) + constraints_.size() * sizeof(ExprRef);
+  }
+  uint32_t pc() const { return pc_; }
+  uint64_t steps() const { return steps_; }
+  uint32_t branch_depth() const { return branch_depth_; }
+  ExprPool* pool() { return pool_; }
+
+  // Register/memory access for tests and result extraction.
+  const SymVal& reg(int r) const {
+    LW_CHECK(r >= 0 && r < kNumRegs);
+    return regs_[r];
+  }
+  SymVal MemAt(uint32_t word) const;
+
+  // Concrete replay mode: INPUT reads successive words from `inputs` instead of
+  // minting symbols (witness validation). The pointer must outlive the run;
+  // running out of inputs reports kBadAccess.
+  void SetConcreteInputs(const uint32_t* inputs, size_t count) {
+    concrete_inputs_ = inputs;
+    concrete_input_count_ = count;
+    next_concrete_input_ = 0;
+  }
+
+ private:
+  SymVal BinOp(ExprOp op, const SymVal& a, const SymVal& b);
+
+  const Program* program_;
+  ExprPool* pool_;
+  VmConfig config_;
+
+  SymVal regs_[kNumRegs];
+  Vec<SymVal> mem_;
+  uint32_t pc_ = 0;
+  uint64_t steps_ = 0;
+  uint32_t branch_depth_ = 0;
+
+  Vec<ExprRef> constraints_;
+  ExprRef branch_cond_ = kNoExpr;
+  int32_t branch_target_ = 0;
+  ExprRef assert_operand_ = kNoExpr;
+
+  const uint32_t* concrete_inputs_ = nullptr;
+  size_t concrete_input_count_ = 0;
+  size_t next_concrete_input_ = 0;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SYMX_VM_H_

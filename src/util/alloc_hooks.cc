@@ -1,0 +1,25 @@
+#include "src/util/alloc_hooks.h"
+
+#include <cstdlib>
+
+namespace lw {
+namespace {
+
+void* MallocAlloc(void* /*ctx*/, size_t bytes) { return std::malloc(bytes); }
+void MallocDealloc(void* /*ctx*/, void* ptr, size_t /*bytes*/) { std::free(ptr); }
+
+thread_local AllocHooks g_hooks = {&MallocAlloc, &MallocDealloc, nullptr};
+
+}  // namespace
+
+AllocHooks MallocHooks() { return AllocHooks{&MallocAlloc, &MallocDealloc, nullptr}; }
+
+const AllocHooks& CurrentAllocHooks() { return g_hooks; }
+
+void SetAllocHooks(const AllocHooks& hooks) { g_hooks = hooks; }
+
+ScopedAllocHooks::ScopedAllocHooks(const AllocHooks& hooks) : saved_(g_hooks) { g_hooks = hooks; }
+
+ScopedAllocHooks::~ScopedAllocHooks() { g_hooks = saved_; }
+
+}  // namespace lw

@@ -1,0 +1,49 @@
+// Pluggable allocation hooks.
+//
+// Library components whose mutable state must live inside a snapshot-managed guest
+// arena (the SAT solver, the symbolic VM, guest-side containers) allocate through
+// the thread-local AllocHooks instead of malloc. Host code leaves the hooks at
+// their default, which forwards to malloc/free. A backtracking session installs
+// arena-backed hooks around guest execution so that *everything the guest
+// allocates* is captured by the snapshot page map — this is how "the entire
+// address space becomes an immutable data structure" (§5 of the paper).
+
+#ifndef LWSNAP_SRC_UTIL_ALLOC_HOOKS_H_
+#define LWSNAP_SRC_UTIL_ALLOC_HOOKS_H_
+
+#include <cstddef>
+
+namespace lw {
+
+struct AllocHooks {
+  // Returns memory of at least `bytes` bytes aligned to alignof(std::max_align_t),
+  // or nullptr on exhaustion.
+  void* (*alloc)(void* ctx, size_t bytes);
+  // Releases memory previously returned by `alloc` with the same `bytes`.
+  void (*dealloc)(void* ctx, void* ptr, size_t bytes);
+  void* ctx;
+};
+
+// Hooks forwarding to malloc/free (the default).
+AllocHooks MallocHooks();
+
+// Current thread's hooks.
+const AllocHooks& CurrentAllocHooks();
+void SetAllocHooks(const AllocHooks& hooks);
+
+// RAII: installs `hooks` for the current scope.
+class ScopedAllocHooks {
+ public:
+  explicit ScopedAllocHooks(const AllocHooks& hooks);
+  ~ScopedAllocHooks();
+
+  ScopedAllocHooks(const ScopedAllocHooks&) = delete;
+  ScopedAllocHooks& operator=(const ScopedAllocHooks&) = delete;
+
+ private:
+  AllocHooks saved_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_UTIL_ALLOC_HOOKS_H_

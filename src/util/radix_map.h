@@ -1,0 +1,195 @@
+// PersistentRadixMap: an immutable, structurally shared map from dense uint32
+// keys to values, implemented as a path-copying radix tree with fanout 16.
+//
+// This is the "space-efficient encoding of the parent relationship" from §3.1 of
+// the paper: sharing a snapshot's page map costs O(1) (bump a root refcount), a
+// point update copies only the O(log n) nodes on the key's path, and a diff
+// between two maps skips whole subtrees that are pointer-equal — so restoring to
+// a nearby snapshot touches only the pages that actually differ.
+//
+// Requirements on T: default-constructible, copyable, equality-comparable. The
+// default value is treated as "absent" for iteration purposes.
+
+#ifndef LWSNAP_SRC_UTIL_RADIX_MAP_H_
+#define LWSNAP_SRC_UTIL_RADIX_MAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+template <typename T>
+class PersistentRadixMap {
+ public:
+  static constexpr uint32_t kFanout = 16;
+  static constexpr uint32_t kBitsPerLevel = 4;
+
+  // A map covering keys [0, capacity). All maps that interoperate (Diff/assignment)
+  // must share the same capacity.
+  explicit PersistentRadixMap(uint32_t capacity = 0) : capacity_(capacity) {
+    height_ = HeightFor(capacity);
+  }
+
+  uint32_t capacity() const { return capacity_; }
+
+  // Value at `key`; default-constructed T if never set.
+  T Get(uint32_t key) const {
+    LW_CHECK(key < capacity_);
+    const Node* node = root_.get();
+    for (int level = height_ - 1; level >= 1 && node != nullptr; --level) {
+      node = node->children[SlotAt(key, level)].get();
+    }
+    if (node == nullptr) {
+      return T();
+    }
+    return node->values[SlotAt(key, 0)];
+  }
+
+  // Sets `key` to `value`, path-copying the spine. O(height) node copies.
+  void Set(uint32_t key, const T& value) {
+    LW_CHECK(key < capacity_);
+    root_ = SetRec(root_, key, value, height_ - 1);
+  }
+
+  // Invokes fn(key, value) for every key whose value differs from T().
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachRec(root_.get(), 0, height_ - 1, fn);
+  }
+
+  // Invokes fn(key, this_value, other_value) for every key where the two maps
+  // disagree. Pointer-equal subtrees are skipped without descent — the payoff of
+  // structural sharing.
+  template <typename Fn>
+  void Diff(const PersistentRadixMap& other, Fn&& fn) const {
+    LW_CHECK(capacity_ == other.capacity_);
+    DiffRec(root_.get(), other.root_.get(), 0, height_ - 1, fn);
+  }
+
+  // Number of heap nodes reachable from this map's root (for memory accounting;
+  // counts shared nodes once per call, not deduplicated across maps).
+  size_t CountNodes() const { return CountRec(root_.get(), height_ - 1); }
+
+  // Nodes reachable from this root that are not already in `seen` (adds them).
+  // Calling this over a family of maps yields the family's true structural
+  // residency — shared subtrees are counted exactly once.
+  size_t CountUniqueNodes(std::unordered_set<const void*>* seen) const {
+    return CountUniqueRec(root_.get(), height_ - 1, seen);
+  }
+
+  bool RootEquals(const PersistentRadixMap& other) const { return root_ == other.root_; }
+
+ private:
+  struct Node {
+    // Interior levels use children; the leaf level (level 0) uses values.
+    std::shared_ptr<Node> children[kFanout];
+    T values[kFanout];
+  };
+  using NodePtr = std::shared_ptr<Node>;
+
+  static int HeightFor(uint32_t capacity) {
+    if (capacity == 0) {
+      return 1;
+    }
+    int height = 1;
+    uint64_t span = kFanout;
+    while (span < capacity) {
+      span *= kFanout;
+      ++height;
+    }
+    return height;
+  }
+
+  static uint32_t SlotAt(uint32_t key, int level) {
+    return (key >> (kBitsPerLevel * level)) & (kFanout - 1);
+  }
+
+  static NodePtr SetRec(const NodePtr& node, uint32_t key, const T& value, int level) {
+    NodePtr copy = node ? std::make_shared<Node>(*node) : std::make_shared<Node>();
+    if (level == 0) {
+      copy->values[SlotAt(key, 0)] = value;
+    } else {
+      uint32_t slot = SlotAt(key, level);
+      copy->children[slot] = SetRec(copy->children[slot], key, value, level - 1);
+    }
+    return copy;
+  }
+
+  template <typename Fn>
+  static void ForEachRec(const Node* node, uint32_t prefix, int level, Fn&& fn) {
+    if (node == nullptr) {
+      return;
+    }
+    if (level == 0) {
+      for (uint32_t slot = 0; slot < kFanout; ++slot) {
+        if (!(node->values[slot] == T())) {
+          fn(prefix * kFanout + slot, node->values[slot]);
+        }
+      }
+      return;
+    }
+    for (uint32_t slot = 0; slot < kFanout; ++slot) {
+      ForEachRec(node->children[slot].get(), prefix * kFanout + slot, level - 1, fn);
+    }
+  }
+
+  template <typename Fn>
+  static void DiffRec(const Node* a, const Node* b, uint32_t prefix, int level, Fn&& fn) {
+    if (a == b) {
+      return;  // Shared subtree: identical by construction.
+    }
+    if (level == 0) {
+      for (uint32_t slot = 0; slot < kFanout; ++slot) {
+        const T av = a != nullptr ? a->values[slot] : T();
+        const T bv = b != nullptr ? b->values[slot] : T();
+        if (!(av == bv)) {
+          fn(prefix * kFanout + slot, av, bv);
+        }
+      }
+      return;
+    }
+    for (uint32_t slot = 0; slot < kFanout; ++slot) {
+      const Node* ac = a != nullptr ? a->children[slot].get() : nullptr;
+      const Node* bc = b != nullptr ? b->children[slot].get() : nullptr;
+      DiffRec(ac, bc, prefix * kFanout + slot, level - 1, fn);
+    }
+  }
+
+  static size_t CountRec(const Node* node, int level) {
+    if (node == nullptr) {
+      return 0;
+    }
+    size_t n = 1;
+    if (level > 0) {
+      for (uint32_t slot = 0; slot < kFanout; ++slot) {
+        n += CountRec(node->children[slot].get(), level - 1);
+      }
+    }
+    return n;
+  }
+
+  static size_t CountUniqueRec(const Node* node, int level,
+                               std::unordered_set<const void*>* seen) {
+    if (node == nullptr || !seen->insert(node).second) {
+      return 0;
+    }
+    size_t n = 1;
+    if (level > 0) {
+      for (uint32_t slot = 0; slot < kFanout; ++slot) {
+        n += CountUniqueRec(node->children[slot].get(), level - 1, seen);
+      }
+    }
+    return n;
+  }
+
+  uint32_t capacity_;
+  int height_;
+  NodePtr root_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_UTIL_RADIX_MAP_H_

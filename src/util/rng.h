@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation for workload generators and tests.
+//
+// xoshiro256** seeded via SplitMix64: fast, reproducible across platforms, and
+// independent of libstdc++'s distribution implementations (we implement our own
+// bounded draws so benchmark workloads are bit-identical everywhere).
+
+#ifndef LWSNAP_SRC_UTIL_RNG_H_
+#define LWSNAP_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four xoshiro words.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    LW_CHECK(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    LW_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void Shuffle(Container& c) {
+    for (size_t i = c.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_UTIL_RNG_H_

@@ -1,0 +1,51 @@
+#include "src/util/stats.h"
+
+#include <cstdio>
+
+namespace lw {
+
+std::string RunningStat::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.3f sd=%.3f min=%.3f max=%.3f",
+                static_cast<unsigned long long>(n_), mean(), stddev(), min(), max());
+  return buf;
+}
+
+uint64_t Log2Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      return i == 0 ? 1 : (1ULL << (i + 1)) - 1;
+    }
+  }
+  return ~0ULL;
+}
+
+std::string Log2Histogram::ToString() const {
+  std::string out;
+  char buf[96];
+  for (int i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "[%llu..%llu): %llu\n",
+                  static_cast<unsigned long long>(i == 0 ? 0 : (1ULL << i)),
+                  static_cast<unsigned long long>(1ULL << (i + 1)),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lw

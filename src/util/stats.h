@@ -1,0 +1,88 @@
+// Lightweight statistics: running moments, fixed-bucket log2 histograms, and
+// monotonic counters used by engines and benches to report page/fault/latency
+// behaviour (the quantities the paper's §5 discussion turns on).
+
+#ifndef LWSNAP_SRC_UTIL_STATS_H_
+#define LWSNAP_SRC_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace lw {
+
+// Welford running mean/variance plus min/max.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) {
+      min_ = x;
+    }
+    if (x > max_ || n_ == 1) {
+      max_ = x;
+    }
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double sum() const { return sum_; }
+  double variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  void Reset() { *this = RunningStat(); }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Power-of-two bucketed histogram for latency/size distributions; bucket i counts
+// values v with 2^i <= v < 2^(i+1) (bucket 0 additionally holds v in {0, 1}).
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Add(uint64_t v) {
+    ++counts_[BucketFor(v)];
+    ++total_;
+  }
+
+  uint64_t total() const { return total_; }
+  uint64_t bucket(int i) const { return counts_[i]; }
+
+  // Value below which `q` (in [0,1]) of the samples fall; returns the upper edge
+  // of the containing bucket (a conservative estimate).
+  uint64_t Quantile(double q) const;
+
+  void Reset() { *this = Log2Histogram(); }
+
+  std::string ToString() const;
+
+  static int BucketFor(uint64_t v) {
+    if (v <= 1) {
+      return 0;
+    }
+    return 63 - __builtin_clzll(v);
+  }
+
+ private:
+  uint64_t counts_[kBuckets] = {};
+  uint64_t total_ = 0;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_UTIL_STATS_H_

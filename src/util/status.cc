@@ -1,0 +1,44 @@
+#include "src/util/status.h"
+
+namespace lw {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfMemory:
+      return "OUT_OF_MEMORY";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kUnsupported:
+      return "UNSUPPORTED";
+    case ErrorCode::kBadState:
+      return "BAD_STATE";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kExhausted:
+      return "EXHAUSTED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  std::fprintf(stderr, "LW_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg != nullptr ? " — " : "", msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lw

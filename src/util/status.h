@@ -1,0 +1,185 @@
+// Status and Result<T>: error handling without exceptions across library boundaries.
+//
+// Conventions follow zx_status_t-style systems code: functions that can fail return
+// lw::Status or lw::Result<T>; LW_CHECK aborts on invariant violations that indicate
+// a bug in the library itself (never on user input).
+
+#ifndef LWSNAP_SRC_UTIL_STATUS_H_
+#define LWSNAP_SRC_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lw {
+
+enum class ErrorCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kOutOfRange,
+  kPermissionDenied,  // interposition policy: fail-closed syscalls
+  kUnsupported,       // operation not implemented by this engine/backend
+  kBadState,          // object not in a state where the call is legal
+  kIoError,
+  kExhausted,  // search space / resource budget exhausted
+  kInternal,
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+// A cheap status: an error code plus an optional static/owned message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string s = ErrorCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(ErrorCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status OutOfMemory(std::string msg) {
+  return Status(ErrorCode::kOutOfMemory, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) { return Status(ErrorCode::kOutOfRange, std::move(msg)); }
+inline Status PermissionDenied(std::string msg) {
+  return Status(ErrorCode::kPermissionDenied, std::move(msg));
+}
+inline Status Unsupported(std::string msg) {
+  return Status(ErrorCode::kUnsupported, std::move(msg));
+}
+inline Status BadState(std::string msg) { return Status(ErrorCode::kBadState, std::move(msg)); }
+inline Status IoError(std::string msg) { return Status(ErrorCode::kIoError, std::move(msg)); }
+inline Status Exhausted(std::string msg) { return Status(ErrorCode::kExhausted, std::move(msg)); }
+inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
+
+// Result<T>: either a value or an error status. Accessing the wrong arm is a bug
+// and aborts (LW_CHECK semantics).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(v_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "lw::Result accessed while holding error: %s\n",
+                   std::get<Status>(v_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> v_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
+}  // namespace internal
+
+}  // namespace lw
+
+// Invariant checks. Enabled in all build types: this library guards memory-unsafe
+// operations (raw page copies, context switches) where continuing after a broken
+// invariant corrupts the guest.
+#define LW_CHECK(expr)                                                 \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::lw::internal::CheckFailed(__FILE__, __LINE__, #expr, nullptr); \
+    }                                                                  \
+  } while (0)
+
+#define LW_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::lw::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg));  \
+    }                                                                 \
+  } while (0)
+
+#define LW_RETURN_IF_ERROR(expr)      \
+  do {                                \
+    ::lw::Status lw_status_ = (expr); \
+    if (!lw_status_.ok()) {           \
+      return lw_status_;              \
+    }                                 \
+  } while (0)
+
+#define LW_INTERNAL_CAT_(a, b) a##b
+#define LW_INTERNAL_CAT(a, b) LW_INTERNAL_CAT_(a, b)
+
+// Assigns the value of a Result expression to `lhs`, or returns its error status.
+#define LW_ASSIGN_OR_RETURN(lhs, expr) \
+  LW_ASSIGN_OR_RETURN_IMPL(LW_INTERNAL_CAT(lw_result_, __LINE__), lhs, expr)
+
+#define LW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) {                               \
+    return tmp.status();                         \
+  }                                              \
+  lhs = std::move(tmp).value()
+
+#endif  // LWSNAP_SRC_UTIL_STATUS_H_

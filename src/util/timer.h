@@ -1,0 +1,34 @@
+// Monotonic wall-clock timing helpers for benches and engine statistics.
+
+#ifndef LWSNAP_SRC_UTIL_TIMER_H_
+#define LWSNAP_SRC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace lw {
+
+// Nanoseconds on the steady clock.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+class StopWatch {
+ public:
+  StopWatch() : start_(NowNanos()) {}
+
+  void Reset() { start_ = NowNanos(); }
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMicros() const { return static_cast<double>(ElapsedNanos()) / 1e3; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) / 1e6; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) / 1e9; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_UTIL_TIMER_H_

@@ -1,0 +1,238 @@
+// lw::Vec<T>: a dynamic array that allocates through AllocHooks.
+//
+// Why not std::vector: components that run inside a guest arena (solver, symbolic
+// VM) need every byte of their state inside the snapshot-managed region, and the
+// allocator must be chosen at *runtime* (same type usable on the host and inside a
+// guest). Vec captures the thread-current hooks at construction and keeps using
+// them for its whole lifetime, so a structure built inside a guest stays inside
+// that guest.
+
+#ifndef LWSNAP_SRC_UTIL_VEC_H_
+#define LWSNAP_SRC_UTIL_VEC_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/util/alloc_hooks.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+template <typename T>
+class Vec {
+ public:
+  Vec() : hooks_(CurrentAllocHooks()) {}
+
+  explicit Vec(size_t n, const T& fill = T()) : hooks_(CurrentAllocHooks()) {
+    Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      new (data_ + i) T(fill);
+    }
+    size_ = n;
+  }
+
+  Vec(std::initializer_list<T> init) : hooks_(CurrentAllocHooks()) {
+    Reserve(init.size());
+    for (const T& v : init) {
+      new (data_ + size_++) T(v);
+    }
+  }
+
+  Vec(const Vec& other) : hooks_(other.hooks_) {
+    Reserve(other.size_);
+    CopyConstructFrom(other);
+  }
+
+  Vec(Vec&& other) noexcept
+      : hooks_(other.hooks_), data_(other.data_), size_(other.size_), cap_(other.cap_) {
+    other.data_ = nullptr;
+    other.size_ = other.cap_ = 0;
+  }
+
+  Vec& operator=(const Vec& other) {
+    if (this != &other) {
+      Clear();
+      Reserve(other.size_);
+      CopyConstructFrom(other);
+    }
+    return *this;
+  }
+
+  Vec& operator=(Vec&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      hooks_ = other.hooks_;
+      data_ = other.data_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.data_ = nullptr;
+      other.size_ = other.cap_ = 0;
+    }
+    return *this;
+  }
+
+  ~Vec() { Destroy(); }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  T& at(size_t i) {
+    LW_CHECK(i < size_);
+    return data_[i];
+  }
+  const T& at(size_t i) const {
+    LW_CHECK(i < size_);
+    return data_[i];
+  }
+
+  T& back() {
+    LW_CHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+  const T& back() const {
+    LW_CHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void push_back(const T& v) {
+    GrowIfFull();
+    new (data_ + size_++) T(v);
+  }
+
+  void push_back(T&& v) {
+    GrowIfFull();
+    new (data_ + size_++) T(std::move(v));
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    GrowIfFull();
+    T* slot = new (data_ + size_++) T(std::forward<Args>(args)...);
+    return *slot;
+  }
+
+  void pop_back() {
+    LW_CHECK(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  void clear() { Clear(); }
+
+  void resize(size_t n, const T& fill = T()) {
+    if (n < size_) {
+      for (size_t i = n; i < size_; ++i) {
+        data_[i].~T();
+      }
+      size_ = n;
+      return;
+    }
+    Reserve(n);
+    for (size_t i = size_; i < n; ++i) {
+      new (data_ + i) T(fill);
+    }
+    size_ = n;
+  }
+
+  void Reserve(size_t n) {
+    if (n <= cap_) {
+      return;
+    }
+    Reallocate(n);
+  }
+  void reserve(size_t n) { Reserve(n); }
+
+  // Removes element i by swapping the last element into its place (O(1), unordered).
+  void SwapRemove(size_t i) {
+    LW_CHECK(i < size_);
+    if (i != size_ - 1) {
+      data_[i] = std::move(data_[size_ - 1]);
+    }
+    pop_back();
+  }
+
+  bool operator==(const Vec& other) const {
+    if (size_ != other.size_) {
+      return false;
+    }
+    for (size_t i = 0; i < size_; ++i) {
+      if (!(data_[i] == other.data_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void GrowIfFull() {
+    if (size_ == cap_) {
+      Reallocate(cap_ == 0 ? 8 : cap_ * 2);
+    }
+  }
+
+  void Reallocate(size_t new_cap) {
+    T* fresh = static_cast<T*>(hooks_.alloc(hooks_.ctx, new_cap * sizeof(T)));
+    LW_CHECK_MSG(fresh != nullptr, "Vec allocation failed (arena exhausted?)");
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (size_ > 0) {
+        std::memcpy(static_cast<void*>(fresh), static_cast<const void*>(data_),
+                    size_ * sizeof(T));
+      }
+    } else {
+      for (size_t i = 0; i < size_; ++i) {
+        new (fresh + i) T(std::move(data_[i]));
+        data_[i].~T();
+      }
+    }
+    if (data_ != nullptr) {
+      hooks_.dealloc(hooks_.ctx, data_, cap_ * sizeof(T));
+    }
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  void CopyConstructFrom(const Vec& other) {
+    for (size_t i = 0; i < other.size_; ++i) {
+      new (data_ + i) T(other.data_[i]);
+    }
+    size_ = other.size_;
+  }
+
+  void Clear() {
+    for (size_t i = 0; i < size_; ++i) {
+      data_[i].~T();
+    }
+    size_ = 0;
+  }
+
+  void Destroy() {
+    Clear();
+    if (data_ != nullptr) {
+      hooks_.dealloc(hooks_.ctx, data_, cap_ * sizeof(T));
+      data_ = nullptr;
+      cap_ = 0;
+    }
+  }
+
+  AllocHooks hooks_;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = 0;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_UTIL_VEC_H_

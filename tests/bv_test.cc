@@ -1,0 +1,219 @@
+// BitBlaster tests: gate encodings, modular arithmetic against native uint
+// semantics (parameterized random sweeps), comparisons, mux, and small
+// constraint-solving end-to-end checks (factoring, linear equations).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "src/solver/bv.h"
+#include "src/solver/sat.h"
+#include "src/util/rng.h"
+
+namespace lw {
+namespace {
+
+uint64_t MaskOf(int width) { return width == 64 ? ~0ull : (1ull << width) - 1; }
+
+// Fixes a term to a concrete value via assertions.
+void Pin(BitBlaster* bb, const BitBlaster::Term& t, uint64_t value) {
+  bb->AssertEq(t, bb->Constant(value, static_cast<int>(t.size())));
+}
+
+TEST(BitBlasterTest, ConstantsDecode) {
+  Solver s;
+  BitBlaster bb(&s);
+  auto c = bb.Constant(0xdeadbeef, 32);
+  ASSERT_TRUE(s.Solve().IsTrue());
+  EXPECT_EQ(bb.ModelValue(c), 0xdeadbeefu);
+}
+
+TEST(BitBlasterTest, GateTruthTables) {
+  Solver s;
+  BitBlaster bb(&s);
+  Lit t = bb.TrueLit();
+  Lit f = bb.FalseLit();
+  // Folding paths.
+  EXPECT_EQ(bb.AndGate(t, t), t);
+  EXPECT_EQ(bb.AndGate(t, f), f);
+  EXPECT_EQ(bb.AndGate(f, f), f);
+  EXPECT_EQ(bb.OrGate(f, f), f);
+  EXPECT_EQ(bb.OrGate(t, f), t);
+  EXPECT_EQ(bb.XorGate(t, f), t);
+  EXPECT_EQ(bb.XorGate(t, t), f);
+  // Non-constant gates verified by solving.
+  Lit a = bb.NewBool();
+  Lit b = bb.NewBool();
+  Lit o = bb.AndGate(a, b);
+  bb.Assert(o);
+  ASSERT_TRUE(s.Solve().IsTrue());
+  EXPECT_TRUE(s.ModelValue(LitVar(a)).Xor(LitSign(a)).IsTrue());
+  EXPECT_TRUE(s.ModelValue(LitVar(b)).Xor(LitSign(b)).IsTrue());
+}
+
+class BvArithTest : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(BvArithTest, MatchesNativeArithmetic) {
+  auto [width, seed] = GetParam();
+  Rng rng(seed);
+  const uint64_t mask = MaskOf(width);
+  for (int round = 0; round < 8; ++round) {
+    uint64_t av = rng.Next() & mask;
+    uint64_t bv = rng.Next() & mask;
+    int k = static_cast<int>(rng.Next() % static_cast<uint64_t>(width));
+
+    Solver s;
+    BitBlaster bb(&s);
+    auto a = bb.NewTerm(width);
+    auto b = bb.NewTerm(width);
+    Pin(&bb, a, av);
+    Pin(&bb, b, bv);
+
+    auto sum = bb.Add(a, b);
+    auto diff = bb.Sub(a, b);
+    auto prod = bb.Mul(a, b);
+    auto neg = bb.Neg(a);
+    auto andv = bb.And(a, b);
+    auto orv = bb.Or(a, b);
+    auto xorv = bb.Xor(a, b);
+    auto shl = bb.ShlConst(a, k);
+    auto shr = bb.LshrConst(a, k);
+
+    ASSERT_TRUE(s.Solve().IsTrue());
+    EXPECT_EQ(bb.ModelValue(sum), (av + bv) & mask);
+    EXPECT_EQ(bb.ModelValue(diff), (av - bv) & mask);
+    EXPECT_EQ(bb.ModelValue(prod), (av * bv) & mask);
+    EXPECT_EQ(bb.ModelValue(neg), (~av + 1) & mask);
+    EXPECT_EQ(bb.ModelValue(andv), av & bv);
+    EXPECT_EQ(bb.ModelValue(orv), av | bv);
+    EXPECT_EQ(bb.ModelValue(xorv), av ^ bv);
+    EXPECT_EQ(bb.ModelValue(shl), (av << k) & mask);
+    EXPECT_EQ(bb.ModelValue(shr), (av & mask) >> k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BvArithTest,
+                         ::testing::Values(std::make_tuple(4, 1), std::make_tuple(8, 2),
+                                           std::make_tuple(13, 3), std::make_tuple(16, 4),
+                                           std::make_tuple(32, 5)));
+
+class BvCompareTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BvCompareTest, ComparisonsMatchNative) {
+  Rng rng(GetParam());
+  const int width = 8;
+  for (int round = 0; round < 16; ++round) {
+    uint64_t av = rng.Next() & 0xff;
+    uint64_t bv = rng.Next() & 0xff;
+    Solver s;
+    BitBlaster bb(&s);
+    auto a = bb.NewTerm(width);
+    auto b = bb.NewTerm(width);
+    Pin(&bb, a, av);
+    Pin(&bb, b, bv);
+    Lit eq = bb.Eq(a, b);
+    Lit ult = bb.Ult(a, b);
+    Lit ule = bb.Ule(a, b);
+    Lit slt = bb.Slt(a, b);
+    ASSERT_TRUE(s.Solve().IsTrue());
+    auto truth = [&s](Lit p) { return s.ModelValue(LitVar(p)).Xor(LitSign(p)).IsTrue(); };
+    EXPECT_EQ(truth(eq), av == bv);
+    EXPECT_EQ(truth(ult), av < bv);
+    EXPECT_EQ(truth(ule), av <= bv);
+    EXPECT_EQ(truth(slt), static_cast<int8_t>(av) < static_cast<int8_t>(bv));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BvCompareTest, ::testing::Values(11, 12, 13));
+
+TEST(BitBlasterTest, MuxSelects) {
+  for (bool cond_val : {false, true}) {
+    Solver s;
+    BitBlaster bb(&s);
+    Lit cond = bb.NewBool();
+    bb.Assert(cond_val ? cond : ~cond);
+    auto a = bb.Constant(0xAA, 8);
+    auto b = bb.Constant(0x55, 8);
+    auto m = bb.Mux(cond, a, b);
+    ASSERT_TRUE(s.Solve().IsTrue());
+    EXPECT_EQ(bb.ModelValue(m), cond_val ? 0xAAu : 0x55u);
+  }
+}
+
+TEST(BitBlasterTest, SolveLinearEquation) {
+  // Find x with 3x + 7 == 31 (mod 256) → x == 8.
+  Solver s;
+  BitBlaster bb(&s);
+  auto x = bb.NewTerm(8);
+  auto lhs = bb.Add(bb.Mul(bb.Constant(3, 8), x), bb.Constant(7, 8));
+  bb.Assert(bb.Eq(lhs, bb.Constant(31, 8)));
+  ASSERT_TRUE(s.Solve().IsTrue());
+  EXPECT_EQ((3 * bb.ModelValue(x) + 7) & 0xff, 31u);
+}
+
+TEST(BitBlasterTest, FactorsComposite) {
+  // Factor 143 = 11 × 13 over 8-bit factors > 1.
+  Solver s;
+  BitBlaster bb(&s);
+  auto a = bb.NewTerm(8);
+  auto b = bb.NewTerm(8);
+  auto prod16 = bb.Mul(bb.Or(bb.Constant(0, 16), [&] {
+                         // zero-extend helper: place a/b into 16-bit terms
+                         BitBlaster::Term t = a;
+                         t.resize(16, bb.FalseLit());
+                         return t;
+                       }()),
+                       [&] {
+                         BitBlaster::Term t = b;
+                         t.resize(16, bb.FalseLit());
+                         return t;
+                       }());
+  bb.Assert(bb.Eq(prod16, bb.Constant(143, 16)));
+  bb.Assert(bb.Ult(bb.Constant(1, 8), a));
+  bb.Assert(bb.Ult(bb.Constant(1, 8), b));
+  ASSERT_TRUE(s.Solve().IsTrue());
+  uint64_t fa = bb.ModelValue(a);
+  uint64_t fb = bb.ModelValue(b);
+  EXPECT_EQ(fa * fb, 143u);
+  EXPECT_GT(fa, 1u);
+  EXPECT_GT(fb, 1u);
+}
+
+TEST(BitBlasterTest, UnsatContradiction) {
+  Solver s;
+  BitBlaster bb(&s);
+  auto x = bb.NewTerm(8);
+  bb.Assert(bb.Eq(x, bb.Constant(3, 8)));
+  bb.Assert(bb.Eq(x, bb.Constant(4, 8)));
+  EXPECT_TRUE(s.Solve().IsFalse());
+}
+
+TEST(BitBlasterTest, PythagoreanTriple) {
+  // a² + b² == c² with 0 < a ≤ b < c ≤ 15 has solutions (3,4,5) style.
+  Solver s;
+  BitBlaster bb(&s);
+  auto widen = [&bb](const BitBlaster::Term& t) {
+    BitBlaster::Term w = t;
+    w.resize(8, bb.FalseLit());
+    return w;
+  };
+  auto a = bb.NewTerm(4);
+  auto b = bb.NewTerm(4);
+  auto c = bb.NewTerm(4);
+  auto a2 = bb.Mul(widen(a), widen(a));
+  auto b2 = bb.Mul(widen(b), widen(b));
+  auto c2 = bb.Mul(widen(c), widen(c));
+  bb.Assert(bb.Eq(bb.Add(a2, b2), c2));
+  bb.Assert(bb.Ult(bb.Constant(0, 4), a));
+  bb.Assert(bb.Ule(a, b));
+  bb.Assert(bb.Ult(b, c));
+  ASSERT_TRUE(s.Solve().IsTrue());
+  uint64_t av = bb.ModelValue(a);
+  uint64_t bv = bb.ModelValue(b);
+  uint64_t cv = bb.ModelValue(c);
+  EXPECT_EQ(av * av + bv * bv, cv * cv);
+}
+
+}  // namespace
+}  // namespace lw

@@ -1,0 +1,201 @@
+// Tests for the in-arena guest heap allocator: correctness of boundary tags,
+// coalescing, exhaustion behaviour, and a randomized malloc/free stress test
+// validated by CheckConsistency.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/core/guest_heap.h"
+#include "src/util/rng.h"
+#include "src/util/vec.h"
+
+namespace lw {
+namespace {
+
+class GuestHeapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mem_ = std::aligned_alloc(16, kBytes);
+    ASSERT_NE(mem_, nullptr);
+    heap_ = GuestHeap::Init(mem_, kBytes);
+  }
+  void TearDown() override { std::free(mem_); }
+
+  static constexpr size_t kBytes = 1 << 20;
+  void* mem_ = nullptr;
+  GuestHeap* heap_ = nullptr;
+};
+
+TEST_F(GuestHeapTest, AllocReturnsAlignedWritableMemory) {
+  void* p = heap_->Alloc(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+  std::memset(p, 0xcd, 100);
+  heap_->Free(p);
+  EXPECT_TRUE(heap_->CheckConsistency());
+}
+
+TEST_F(GuestHeapTest, ZeroByteAllocSucceeds) {
+  void* p = heap_->Alloc(0);
+  ASSERT_NE(p, nullptr);
+  heap_->Free(p);
+}
+
+TEST_F(GuestHeapTest, DistinctAllocationsDoNotOverlap) {
+  std::vector<std::pair<uint8_t*, size_t>> blocks;
+  for (size_t size : {8u, 24u, 100u, 4096u, 17u, 1u}) {
+    auto* p = static_cast<uint8_t*>(heap_->Alloc(size));
+    ASSERT_NE(p, nullptr);
+    std::memset(p, static_cast<int>(blocks.size()), size);
+    blocks.emplace_back(p, size);
+  }
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    for (size_t j = 0; j < blocks[i].second; ++j) {
+      ASSERT_EQ(blocks[i].first[j], static_cast<uint8_t>(i));
+    }
+  }
+  for (auto& [p, size] : blocks) {
+    heap_->Free(p);
+  }
+  EXPECT_TRUE(heap_->CheckConsistency());
+}
+
+TEST_F(GuestHeapTest, FreeNullIsNoop) {
+  heap_->Free(nullptr);
+  EXPECT_TRUE(heap_->CheckConsistency());
+}
+
+TEST_F(GuestHeapTest, ExhaustionReturnsNull) {
+  void* p = heap_->Alloc(kBytes * 2);
+  EXPECT_EQ(p, nullptr);
+  // Heap must still be usable after a failed allocation.
+  void* q = heap_->Alloc(64);
+  EXPECT_NE(q, nullptr);
+  heap_->Free(q);
+}
+
+TEST_F(GuestHeapTest, CoalescingRecoversFullCapacity) {
+  // Allocate nearly everything in chunks, free in interleaved order, then a
+  // large allocation must succeed again (proves neighbours coalesce).
+  std::vector<void*> chunks;
+  while (void* p = heap_->Alloc(32 * 1024)) {
+    chunks.push_back(p);
+  }
+  ASSERT_GT(chunks.size(), 20u);
+  for (size_t i = 0; i < chunks.size(); i += 2) {
+    heap_->Free(chunks[i]);
+  }
+  for (size_t i = 1; i < chunks.size(); i += 2) {
+    heap_->Free(chunks[i]);
+  }
+  EXPECT_TRUE(heap_->CheckConsistency());
+  void* big = heap_->Alloc(kBytes / 2);
+  EXPECT_NE(big, nullptr);
+  heap_->Free(big);
+}
+
+TEST_F(GuestHeapTest, StatsTrackUsage) {
+  EXPECT_EQ(heap_->stats().bytes_in_use, 0u);
+  void* a = heap_->Alloc(1000);
+  void* b = heap_->Alloc(2000);
+  uint64_t in_use = heap_->stats().bytes_in_use;
+  EXPECT_GE(in_use, 3000u);
+  heap_->Free(a);
+  EXPECT_LT(heap_->stats().bytes_in_use, in_use);
+  heap_->Free(b);
+  EXPECT_EQ(heap_->stats().bytes_in_use, 0u);
+  EXPECT_EQ(heap_->stats().alloc_calls, 2u);
+  EXPECT_EQ(heap_->stats().free_calls, 2u);
+  EXPECT_GE(heap_->stats().peak_bytes, in_use);
+}
+
+TEST_F(GuestHeapTest, UserRootSlot) {
+  EXPECT_EQ(heap_->user_root(), nullptr);
+  int x = 0;
+  heap_->set_user_root(&x);
+  EXPECT_EQ(heap_->user_root(), &x);
+}
+
+TEST_F(GuestHeapTest, GuestNewAndDelete) {
+  struct Obj {
+    int a;
+    double b;
+  };
+  Obj* obj = GuestNew<Obj>(heap_, Obj{1, 2.0});
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->a, 1);
+  GuestDelete(heap_, obj);
+  EXPECT_EQ(heap_->stats().bytes_in_use, 0u);
+}
+
+TEST_F(GuestHeapTest, HooksDriveVecIntoHeap) {
+  ScopedAllocHooks scoped(heap_->Hooks());
+  Vec<uint64_t> v;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    v.push_back(i);
+  }
+  // The vector's storage must be inside the heap region.
+  auto* p = reinterpret_cast<uint8_t*>(v.data());
+  EXPECT_GE(p, static_cast<uint8_t*>(mem_));
+  EXPECT_LT(p, static_cast<uint8_t*>(mem_) + kBytes);
+  EXPECT_GT(heap_->stats().bytes_in_use, 10000u * 8u);
+}
+
+class GuestHeapStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GuestHeapStressTest, RandomAllocFreePreservesInvariants) {
+  const size_t kBytes = 2 << 20;
+  void* mem = std::aligned_alloc(16, kBytes);
+  ASSERT_NE(mem, nullptr);
+  GuestHeap* heap = GuestHeap::Init(mem, kBytes);
+  Rng rng(GetParam());
+
+  struct Live {
+    uint8_t* ptr;
+    size_t size;
+    uint8_t tag;
+  };
+  std::vector<Live> live;
+  for (int op = 0; op < 20000; ++op) {
+    bool do_alloc = live.empty() || rng.Chance(0.55);
+    if (do_alloc) {
+      size_t size = 1 + static_cast<size_t>(rng.Below(2048));
+      if (rng.Chance(0.02)) {
+        size *= 64;  // occasional large blocks
+      }
+      auto* p = static_cast<uint8_t*>(heap->Alloc(size));
+      if (p == nullptr) {
+        continue;  // exhaustion is legal under stress
+      }
+      uint8_t tag = static_cast<uint8_t>(rng.Below(256));
+      std::memset(p, tag, size);
+      live.push_back({p, size, tag});
+    } else {
+      size_t i = static_cast<size_t>(rng.Below(live.size()));
+      // Verify content integrity before freeing (no cross-block scribbling).
+      for (size_t j = 0; j < live[i].size; ++j) {
+        ASSERT_EQ(live[i].ptr[j], live[i].tag);
+      }
+      heap->Free(live[i].ptr);
+      live[i] = live.back();
+      live.pop_back();
+    }
+    if (op % 2500 == 0) {
+      ASSERT_TRUE(heap->CheckConsistency());
+    }
+  }
+  for (auto& entry : live) {
+    heap->Free(entry.ptr);
+  }
+  EXPECT_TRUE(heap->CheckConsistency());
+  EXPECT_EQ(heap->stats().bytes_in_use, 0u);
+  std::free(mem);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuestHeapStressTest, ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace lw

@@ -1,0 +1,379 @@
+// Interposition tests: policy decisions (fail-closed), the io_* dispatcher, fd
+// semantics, and — the §3.1 containment property — file side effects of failed
+// extensions vanishing on backtrack inside a real BacktrackSession.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/backtrack.h"
+#include "src/interpose/guest_io.h"
+#include "src/interpose/policy.h"
+#include "src/interpose/syscall.h"
+#include "src/simfs/fs.h"
+
+namespace lw {
+namespace {
+
+// --- policy ---
+
+TEST(PolicyTest, SoundMinimalAllowsFilesDeniesRest) {
+  InterposePolicy p = InterposePolicy::SoundMinimal();
+  EXPECT_EQ(p.Check(GuestSyscall::kOpen), PolicyDecision::kAllow);
+  EXPECT_EQ(p.Check(GuestSyscall::kWrite), PolicyDecision::kAllow);
+  EXPECT_EQ(p.Check(GuestSyscall::kRename), PolicyDecision::kAllow);
+  EXPECT_EQ(p.Check(GuestSyscall::kSocket), PolicyDecision::kDeny);
+  EXPECT_EQ(p.Check(GuestSyscall::kConnect), PolicyDecision::kDeny);
+  EXPECT_EQ(p.Check(GuestSyscall::kIoctl), PolicyDecision::kDeny);
+  EXPECT_EQ(p.Check(GuestSyscall::kMmapDevice), PolicyDecision::kDeny);
+  EXPECT_EQ(p.Check(GuestSyscall::kExec), PolicyDecision::kDeny);
+}
+
+TEST(PolicyTest, DenyAll) {
+  InterposePolicy p = InterposePolicy::DenyAll();
+  EXPECT_EQ(p.Check(GuestSyscall::kOpen), PolicyDecision::kDeny);
+  EXPECT_EQ(p.Check(GuestSyscall::kRead), PolicyDecision::kDeny);
+  EXPECT_EQ(p.Check(GuestSyscall::kSocket), PolicyDecision::kDeny);
+}
+
+TEST(PolicyTest, ReadOnlyDeniesMutation) {
+  InterposePolicy p = InterposePolicy::ReadOnly();
+  EXPECT_EQ(p.Check(GuestSyscall::kOpen), PolicyDecision::kAllow);
+  EXPECT_EQ(p.Check(GuestSyscall::kRead), PolicyDecision::kAllow);
+  EXPECT_EQ(p.Check(GuestSyscall::kStat), PolicyDecision::kAllow);
+  EXPECT_EQ(p.Check(GuestSyscall::kWrite), PolicyDecision::kDeny);
+  EXPECT_EQ(p.Check(GuestSyscall::kUnlink), PolicyDecision::kDeny);
+  EXPECT_EQ(p.Check(GuestSyscall::kMkdir), PolicyDecision::kDeny);
+}
+
+TEST(PolicyTest, PathJail) {
+  InterposePolicy p;
+  p.set_path_jail("/work");
+  EXPECT_EQ(p.CheckPath(GuestSyscall::kOpen, "/work"), PolicyDecision::kAllow);
+  EXPECT_EQ(p.CheckPath(GuestSyscall::kOpen, "/work/sub/f"), PolicyDecision::kAllow);
+  EXPECT_EQ(p.CheckPath(GuestSyscall::kOpen, "/workother"), PolicyDecision::kDeny);
+  EXPECT_EQ(p.CheckPath(GuestSyscall::kOpen, "/etc/passwd"), PolicyDecision::kDeny);
+}
+
+TEST(SyscallStatsTest, NamesAndTotals) {
+  SyscallStats s;
+  s.invoked[static_cast<size_t>(GuestSyscall::kOpen)] = 3;
+  s.denied[static_cast<size_t>(GuestSyscall::kSocket)] = 2;
+  s.invoked[static_cast<size_t>(GuestSyscall::kSocket)] = 2;
+  EXPECT_EQ(s.TotalInvoked(), 5u);
+  EXPECT_EQ(s.TotalDenied(), 2u);
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("open"), std::string::npos);
+  EXPECT_NE(text.find("socket"), std::string::npos);
+}
+
+// --- dispatcher (host-side, no session) ---
+
+class GuestIoTest : public ::testing::Test {
+ protected:
+  GuestIoTest() : io_(&fs_, InterposePolicy::SoundMinimal()), scoped_(&io_) {}
+
+  SimFs fs_;
+  GuestIo io_;
+  ScopedGuestIo scoped_;
+};
+
+TEST_F(GuestIoTest, OpenCreateWriteReadRoundTrip) {
+  int fd = io_open("/f.txt", kOpenRead | kOpenWrite | kOpenCreate);
+  ASSERT_GE(fd, FdTable::kFirstFd);
+  EXPECT_EQ(io_write(fd, "hello", 5), 5);
+  EXPECT_EQ(io_lseek(fd, 0, SeekWhence::kSet), 0);
+  char buf[8] = {};
+  EXPECT_EQ(io_read(fd, buf, sizeof buf), 5);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+  EXPECT_EQ(io_close(fd), 0);
+}
+
+TEST_F(GuestIoTest, OpenWithoutCreateFailsOnMissing) {
+  EXPECT_EQ(io_open("/missing", kOpenRead), -static_cast<int>(ErrorCode::kNotFound));
+}
+
+TEST_F(GuestIoTest, OpenNeedsAccessMode) {
+  EXPECT_EQ(io_open("/f", kOpenCreate), -static_cast<int>(ErrorCode::kInvalidArgument));
+}
+
+TEST_F(GuestIoTest, TruncFlagClearsContents) {
+  int fd = io_open("/f", kOpenWrite | kOpenCreate);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(io_write(fd, "0123456789", 10), 10);
+  EXPECT_EQ(io_close(fd), 0);
+  fd = io_open("/f", kOpenRead | kOpenWrite | kOpenTrunc);
+  ASSERT_GE(fd, 0);
+  SimFsStat st;
+  ASSERT_EQ(io_fstat(fd, &st), 0);
+  EXPECT_EQ(st.size, 0u);
+  EXPECT_EQ(io_close(fd), 0);
+}
+
+TEST_F(GuestIoTest, AppendWritesLandAtEof) {
+  int fd = io_open("/log", kOpenWrite | kOpenCreate | kOpenAppend);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(io_write(fd, "aa", 2), 2);
+  EXPECT_EQ(io_lseek(fd, 0, SeekWhence::kSet), 0);
+  EXPECT_EQ(io_write(fd, "bb", 2), 2);  // must append, not overwrite
+  SimFsStat st;
+  ASSERT_EQ(io_fstat(fd, &st), 0);
+  EXPECT_EQ(st.size, 4u);
+  EXPECT_EQ(io_close(fd), 0);
+}
+
+TEST_F(GuestIoTest, PreadPwriteIgnoreOffset) {
+  int fd = io_open("/f", kOpenRead | kOpenWrite | kOpenCreate);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(io_pwrite(fd, "XYZ", 3, 100), 3);
+  char buf[4] = {};
+  EXPECT_EQ(io_pread(fd, buf, 3, 100), 3);
+  EXPECT_EQ(std::string(buf, 3), "XYZ");
+  // File offset unmoved by p-ops.
+  EXPECT_EQ(io_lseek(fd, 0, SeekWhence::kCur), 0);
+  EXPECT_EQ(io_close(fd), 0);
+}
+
+TEST_F(GuestIoTest, ReadOnWriteOnlyFdFails) {
+  int fd = io_open("/f", kOpenWrite | kOpenCreate);
+  ASSERT_GE(fd, 0);
+  char b;
+  EXPECT_EQ(io_read(fd, &b, 1), -static_cast<int>(ErrorCode::kInvalidArgument));
+  EXPECT_EQ(io_close(fd), 0);
+}
+
+TEST_F(GuestIoTest, LseekWhence) {
+  int fd = io_open("/f", kOpenRead | kOpenWrite | kOpenCreate);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(io_write(fd, "0123456789", 10), 10);
+  EXPECT_EQ(io_lseek(fd, -3, SeekWhence::kEnd), 7);
+  EXPECT_EQ(io_lseek(fd, 2, SeekWhence::kCur), 9);
+  EXPECT_EQ(io_lseek(fd, -100, SeekWhence::kSet), -static_cast<int>(ErrorCode::kInvalidArgument));
+  EXPECT_EQ(io_close(fd), 0);
+}
+
+TEST_F(GuestIoTest, DirectoriesCannotBeOpened) {
+  ASSERT_EQ(io_mkdir("/d"), 0);
+  EXPECT_EQ(io_open("/d", kOpenRead), -static_cast<int>(ErrorCode::kBadState));
+}
+
+TEST_F(GuestIoTest, ReaddirPacksNames) {
+  ASSERT_EQ(io_mkdir("/d"), 0);
+  ASSERT_GE(io_open("/d/b", kOpenWrite | kOpenCreate), 0);
+  ASSERT_GE(io_open("/d/a", kOpenWrite | kOpenCreate), 0);
+  char buf[64];
+  int64_t n = io_readdir("/d", buf, sizeof buf);
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(std::string(buf, n), std::string("a\0b\0", 4));
+  char tiny[2];
+  EXPECT_EQ(io_readdir("/d", tiny, sizeof tiny), -static_cast<int>(ErrorCode::kOutOfRange));
+}
+
+TEST_F(GuestIoTest, RenameAndUnlink) {
+  ASSERT_GE(io_open("/a", kOpenWrite | kOpenCreate), 0);
+  EXPECT_EQ(io_rename("/a", "/b"), 0);
+  SimFsStat st;
+  EXPECT_EQ(io_stat("/b", &st), 0);
+  EXPECT_EQ(io_stat("/a", &st), -static_cast<int>(ErrorCode::kNotFound));
+  EXPECT_EQ(io_unlink("/b"), 0);
+  EXPECT_EQ(io_stat("/b", &st), -static_cast<int>(ErrorCode::kNotFound));
+}
+
+TEST_F(GuestIoTest, ExternalChannelsFailClosed) {
+  EXPECT_EQ(io_socket(), -static_cast<int>(ErrorCode::kPermissionDenied));
+  EXPECT_EQ(io_connect(), -static_cast<int>(ErrorCode::kPermissionDenied));
+  EXPECT_EQ(io_ioctl(5, 0x1234), -static_cast<int>(ErrorCode::kPermissionDenied));
+  EXPECT_EQ(io_.stats().TotalDenied(), 3u);
+}
+
+TEST_F(GuestIoTest, StdinReadsEof) {
+  char b;
+  EXPECT_EQ(io_read(0, &b, 1), 0);
+}
+
+TEST_F(GuestIoTest, BadPathsRejected) {
+  EXPECT_EQ(io_open("relative", kOpenRead), -static_cast<int>(ErrorCode::kPermissionDenied));
+  EXPECT_EQ(io_open(nullptr, kOpenRead), -static_cast<int>(ErrorCode::kPermissionDenied));
+  EXPECT_EQ(io_open("/..", kOpenRead), -static_cast<int>(ErrorCode::kPermissionDenied));
+}
+
+TEST(GuestIoNoCurrentTest, CallsFailWithBadState) {
+  EXPECT_EQ(io_open("/f", kOpenRead), -static_cast<int>(ErrorCode::kBadState));
+  EXPECT_EQ(io_close(3), -static_cast<int>(ErrorCode::kBadState));
+  char b;
+  EXPECT_EQ(io_read(3, &b, 1), -static_cast<int>(ErrorCode::kBadState));
+}
+
+TEST(GuestIoPolicyTest, ReadOnlyBlocksOpenForWrite) {
+  SimFs fs;
+  ASSERT_TRUE(fs.Create("/data").ok());
+  GuestIo io(&fs, InterposePolicy::ReadOnly());
+  ScopedGuestIo scoped(&io);
+  EXPECT_GE(io_open("/data", kOpenRead), 0);
+  EXPECT_EQ(io_open("/data", kOpenRead | kOpenWrite),
+            -static_cast<int>(ErrorCode::kPermissionDenied));
+  EXPECT_EQ(io_open("/new", kOpenWrite | kOpenCreate),
+            -static_cast<int>(ErrorCode::kPermissionDenied));
+}
+
+TEST(GuestIoPolicyTest, JailConfinesGuest) {
+  SimFs fs;
+  ASSERT_TRUE(fs.Mkdir("/work").ok());
+  ASSERT_TRUE(fs.Create("/secret").ok());
+  InterposePolicy policy;
+  policy.set_path_jail("/work");
+  GuestIo io(&fs, policy);
+  ScopedGuestIo scoped(&io);
+  EXPECT_GE(io_open("/work/f", kOpenWrite | kOpenCreate), 0);
+  EXPECT_EQ(io_open("/secret", kOpenRead), -static_cast<int>(ErrorCode::kPermissionDenied));
+  SimFsStat st;
+  EXPECT_EQ(io_stat("/secret", &st), -static_cast<int>(ErrorCode::kPermissionDenied));
+}
+
+// --- attachment capture/restore (host-side) ---
+
+TEST(GuestIoAttachmentTest, CaptureRestoreRoundTrip) {
+  SimFs fs;
+  GuestIo io(&fs, InterposePolicy::SoundMinimal());
+  ScopedGuestIo scoped(&io);
+
+  int fd = io_open("/f", kOpenRead | kOpenWrite | kOpenCreate);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(io_write(fd, "base", 4), 4);
+
+  auto snap = io.Capture();
+
+  ASSERT_EQ(io_write(fd, "MORE", 4), 4);
+  ASSERT_EQ(io_close(fd), 0);
+  ASSERT_EQ(io_mkdir("/junk"), 0);
+
+  io.Restore(snap);
+
+  // fd is open again with its captured offset; later writes are gone.
+  SimFsStat st;
+  ASSERT_EQ(io_fstat(fd, &st), 0);
+  EXPECT_EQ(st.size, 4u);
+  EXPECT_EQ(io_lseek(fd, 0, SeekWhence::kCur), 4);
+  EXPECT_EQ(io_stat("/junk", &st), -static_cast<int>(ErrorCode::kNotFound));
+}
+
+// --- end-to-end containment inside a session ---
+
+struct FsGuestArg {
+  int solutions = 0;
+};
+
+// Each extension appends its digit to the same file; failing paths must leave
+// no trace. Accepting paths are those guessing '2': the file must then read
+// exactly "2" regardless of what failed paths wrote before.
+void FileEffectsGuest(void* arg) {
+  auto* a = static_cast<FsGuestArg*>(arg);
+  if (sys_guess_strategy(StrategyKind::kDfs)) {
+    int fd = io_open("/trace", kOpenRead | kOpenWrite | kOpenCreate | kOpenAppend);
+    if (fd < 0) {
+      sys_guess_fail();
+    }
+    int guess = sys_guess(3);
+    char digit = static_cast<char>('0' + guess);
+    io_write(fd, &digit, 1);
+    if (guess != 2) {
+      sys_guess_fail();  // the write above must be rolled back
+    }
+    SimFsStat st;
+    io_fstat(fd, &st);
+    if (st.size != 1) {
+      // A leaked write from a sibling path would show up here.
+      io_close(fd);
+      sys_guess_fail();
+    }
+    // Solutions escape containment through the interposed stdout (fd 1), the
+    // paper's printboard(); the filesystem itself is rolled back with the scope.
+    char contents[2] = {};
+    io_pread(fd, contents, 1, 0);
+    io_write(1, contents, 1);
+    io_close(fd);
+    a->solutions++;
+  }
+}
+
+TEST(InterposeSessionTest, FailedExtensionsLeaveNoFileTrace) {
+  SimFs fs;
+  GuestIo io(&fs, InterposePolicy::SoundMinimal());
+  ScopedGuestIo scoped(&io);
+
+  std::string emitted;
+  SessionOptions options;
+  options.arena_bytes = 8ull << 20;
+  options.output = [&emitted](std::string_view text) { emitted += text; };
+  BacktrackSession session(options);
+  session.AddAttachment(&io);
+
+  FsGuestArg arg;
+  ASSERT_TRUE(session.Run(&FileEffectsGuest, &arg).ok());
+  EXPECT_EQ(arg.solutions, 1);
+
+  // Only the accepting path's digit escaped — sibling paths' writes were
+  // contained (no "0"/"1" leaked into the shared file before the check above).
+  EXPECT_EQ(emitted, "2");
+
+  // When the scope exhausted, the session restored the scope-opening snapshot:
+  // the filesystem is back to its pre-search image (§3.1 immutability — the
+  // false branch of sys_guess_strategy resumes from the original candidate).
+  EXPECT_EQ(fs.Lookup("/trace").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs.live_inodes(), 1u);
+}
+
+// Branching over file contents: each of 4 paths writes a distinct value into
+// the same file and yields a checkpoint; resuming any checkpoint must see its
+// own value (snapshot isolation across the tree).
+struct YieldFsArg {
+  int dummy = 0;
+};
+
+void YieldFsGuest(void* /*arg*/) {
+  if (sys_guess_strategy(StrategyKind::kDfs)) {
+    int fd = io_open("/state", kOpenRead | kOpenWrite | kOpenCreate | kOpenTrunc);
+    if (fd < 0) {
+      sys_guess_fail();
+    }
+    int guess = sys_guess(4);
+    char v = static_cast<char>('A' + guess);
+    io_pwrite(fd, &v, 1, 0);
+    uint64_t mailbox = 0;
+    sys_yield(&mailbox, sizeof mailbox);
+    // After resume: verify our file survived with our value.
+    char back = 0;
+    io_pread(fd, &back, 1, 0);
+    if (back == v) {
+      sys_note_solution();
+    }
+    io_close(fd);
+    sys_guess_fail();
+  }
+}
+
+TEST(InterposeSessionTest, CheckpointsCarryIsolatedFsState) {
+  SimFs fs;
+  GuestIo io(&fs, InterposePolicy::SoundMinimal());
+  ScopedGuestIo scoped(&io);
+
+  SessionOptions options;
+  options.arena_bytes = 8ull << 20;
+  BacktrackSession session(options);
+  session.AddAttachment(&io);
+
+  YieldFsArg arg;
+  ASSERT_TRUE(session.Run(&YieldFsGuest, &arg).ok());
+  std::vector<uint64_t> checkpoints = session.TakeNewCheckpoints();
+  ASSERT_EQ(checkpoints.size(), 4u);
+
+  // Resume in reverse order: each must still see its own byte.
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    ASSERT_TRUE(session.Resume(*it, nullptr, 0).ok());
+  }
+  EXPECT_EQ(session.stats().solutions, 4u);
+}
+
+}  // namespace
+}  // namespace lw

@@ -1,0 +1,426 @@
+// lwsat tests: DIMACS codec, workload generators, CDCL correctness on known
+// formulas, model validity on random 3-SAT sweeps, assumptions and unsat cores,
+// incremental clause addition, and conflict budgets.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/solver/cnf.h"
+#include "src/solver/lit.h"
+#include "src/solver/sat.h"
+#include "src/util/rng.h"
+
+namespace lw {
+namespace {
+
+// --- lit.h ---
+
+TEST(LitTest, Encoding) {
+  Lit p = MakeLit(3);
+  Lit np = MakeLit(3, true);
+  EXPECT_EQ(LitVar(p), 3);
+  EXPECT_EQ(LitVar(np), 3);
+  EXPECT_FALSE(LitSign(p));
+  EXPECT_TRUE(LitSign(np));
+  EXPECT_EQ(~p, np);
+  EXPECT_EQ(~np, p);
+  EXPECT_EQ(LitIndex(p), 6);
+  EXPECT_EQ(LitIndex(np), 7);
+}
+
+TEST(LitTest, LBoolAlgebra) {
+  EXPECT_TRUE(kTrue.IsTrue());
+  EXPECT_TRUE(kFalse.IsFalse());
+  EXPECT_TRUE(kUndef.IsUndef());
+  EXPECT_EQ(kTrue.Xor(true), kFalse);
+  EXPECT_EQ(kFalse.Xor(true), kTrue);
+  EXPECT_TRUE(kUndef.Xor(true).IsUndef());
+  EXPECT_EQ(kUndef, kUndef.Xor(true));
+  EXPECT_NE(kTrue, kFalse);
+  EXPECT_NE(kTrue, kUndef);
+}
+
+// --- cnf.h ---
+
+TEST(CnfTest, DimacsRoundTrip) {
+  Cnf cnf;
+  cnf.AddDimacsClause({1, -2, 3});
+  cnf.AddDimacsClause({-1, 2});
+  cnf.AddDimacsClause({-3});
+  std::string text = cnf.ToDimacs();
+  auto parsed = Cnf::FromDimacs(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_vars, 3);
+  ASSERT_EQ(parsed->clauses.size(), 3u);
+  EXPECT_EQ(parsed->clauses[0], cnf.clauses[0]);
+  EXPECT_EQ(parsed->clauses[2], cnf.clauses[2]);
+}
+
+TEST(CnfTest, DimacsCommentsAndWhitespace) {
+  auto parsed = Cnf::FromDimacs("c a comment\np cnf 2 2\n1 2 0\nc mid comment\n-1 -2 0\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->clauses.size(), 2u);
+}
+
+TEST(CnfTest, DimacsErrors) {
+  EXPECT_FALSE(Cnf::FromDimacs("1 2 0\n").ok());            // no header
+  EXPECT_FALSE(Cnf::FromDimacs("p cnf 2 1\n1 2\n").ok());   // unterminated clause
+  EXPECT_FALSE(Cnf::FromDimacs("p cnf 2 5\n1 0\n").ok());   // count mismatch
+}
+
+TEST(CnfTest, IsSatisfiedBy) {
+  Cnf cnf;
+  cnf.AddDimacsClause({1, 2});
+  cnf.AddDimacsClause({-1, 2});
+  EXPECT_TRUE(cnf.IsSatisfiedBy({false, true}));
+  EXPECT_FALSE(cnf.IsSatisfiedBy({true, false}));
+}
+
+TEST(CnfTest, RandomKSatShape) {
+  Rng rng(11);
+  Cnf cnf = RandomKSat(&rng, 50, 200, 3);
+  EXPECT_EQ(cnf.num_vars, 50);
+  EXPECT_EQ(cnf.clauses.size(), 200u);
+  for (const auto& clause : cnf.clauses) {
+    ASSERT_EQ(clause.size(), 3u);
+    // Distinct variables within a clause.
+    EXPECT_NE(LitVar(clause[0]), LitVar(clause[1]));
+    EXPECT_NE(LitVar(clause[0]), LitVar(clause[2]));
+    EXPECT_NE(LitVar(clause[1]), LitVar(clause[2]));
+  }
+}
+
+// --- solver: basic semantics ---
+
+TEST(SolverTest, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_TRUE(s.Solve().IsTrue());
+}
+
+TEST(SolverTest, UnitPropagation) {
+  Solver s;
+  s.EnsureVars(2);
+  ASSERT_TRUE(s.AddClause({MakeLit(0)}));
+  ASSERT_TRUE(s.AddClause({~MakeLit(0), MakeLit(1)}));
+  ASSERT_TRUE(s.Solve().IsTrue());
+  EXPECT_TRUE(s.ModelValue(0).IsTrue());
+  EXPECT_TRUE(s.ModelValue(1).IsTrue());
+}
+
+TEST(SolverTest, ContradictionAtLevelZero) {
+  Solver s;
+  s.EnsureVars(1);
+  ASSERT_TRUE(s.AddClause({MakeLit(0)}));
+  EXPECT_FALSE(s.AddClause({~MakeLit(0)}));
+  EXPECT_FALSE(s.okay());
+  EXPECT_TRUE(s.Solve().IsFalse());
+}
+
+TEST(SolverTest, TautologyAndDuplicatesSimplified) {
+  Solver s;
+  s.EnsureVars(2);
+  ASSERT_TRUE(s.AddClause({MakeLit(0), ~MakeLit(0)}));        // tautology: dropped
+  ASSERT_TRUE(s.AddClause({MakeLit(1), MakeLit(1)}));         // dup: unit
+  ASSERT_TRUE(s.Solve().IsTrue());
+  EXPECT_TRUE(s.ModelValue(1).IsTrue());
+}
+
+TEST(SolverTest, SimpleUnsat) {
+  // (a∨b) ∧ (a∨¬b) ∧ (¬a∨b) ∧ (¬a∨¬b)
+  Solver s;
+  s.EnsureVars(2);
+  Lit a = MakeLit(0);
+  Lit b = MakeLit(1);
+  ASSERT_TRUE(s.AddClause({a, b}));
+  ASSERT_TRUE(s.AddClause({a, ~b}));
+  ASSERT_TRUE(s.AddClause({~a, b}));
+  s.AddClause({~a, ~b});
+  EXPECT_TRUE(s.Solve().IsFalse());
+}
+
+TEST(SolverTest, XorChainSat) {
+  // x0 xor x1 = 1, x1 xor x2 = 1, ... forces alternation; satisfiable.
+  Solver s;
+  const int n = 20;
+  s.EnsureVars(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    Lit a = MakeLit(i);
+    Lit b = MakeLit(i + 1);
+    ASSERT_TRUE(s.AddClause({a, b}));
+    ASSERT_TRUE(s.AddClause({~a, ~b}));
+  }
+  ASSERT_TRUE(s.AddClause({MakeLit(0)}));
+  ASSERT_TRUE(s.Solve().IsTrue());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(s.ModelValue(i).IsTrue(), i % 2 == 0) << i;
+  }
+}
+
+TEST(SolverTest, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 5; ++holes) {
+    Cnf cnf = Pigeonhole(holes);
+    Solver s;
+    s.EnsureVars(cnf.num_vars);
+    for (const auto& clause : cnf.clauses) {
+      s.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+    }
+    EXPECT_TRUE(s.Solve().IsFalse()) << "PHP(" << holes + 1 << "," << holes << ")";
+  }
+}
+
+TEST(SolverTest, GraphColoringTriangle) {
+  // A triangle is 3-colorable but not 2-colorable. Build it by hand.
+  for (int colors = 2; colors <= 3; ++colors) {
+    Cnf cnf;
+    cnf.num_vars = 3 * colors;
+    auto v = [colors](int node, int c) { return MakeLit(node * colors + c); };
+    for (int node = 0; node < 3; ++node) {
+      std::vector<Lit> some;
+      for (int c = 0; c < colors; ++c) {
+        some.push_back(v(node, c));
+      }
+      cnf.AddClause(some);
+    }
+    for (int e = 0; e < 3; ++e) {
+      int a = e;
+      int b = (e + 1) % 3;
+      for (int c = 0; c < colors; ++c) {
+        cnf.AddClause({~v(a, c), ~v(b, c)});
+      }
+    }
+    Solver s;
+    s.EnsureVars(cnf.num_vars);
+    for (const auto& clause : cnf.clauses) {
+      s.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+    }
+    EXPECT_EQ(s.Solve().IsTrue(), colors == 3);
+  }
+}
+
+// --- model validity on random instances (the key soundness property) ---
+
+class RandomSatTest : public ::testing::TestWithParam<std::tuple<int, double, uint64_t>> {};
+
+TEST_P(RandomSatTest, ModelsSatisfyFormula) {
+  auto [num_vars, ratio, seed] = GetParam();
+  Rng rng(seed);
+  Cnf cnf = RandomKSat(&rng, num_vars, static_cast<size_t>(num_vars * ratio), 3);
+  Solver s;
+  s.EnsureVars(cnf.num_vars);
+  bool consistent = true;
+  for (const auto& clause : cnf.clauses) {
+    consistent = s.AddClause(clause.data(), static_cast<uint32_t>(clause.size())) && consistent;
+  }
+  LBool result = s.Solve();
+  ASSERT_FALSE(result.IsUndef());
+  if (result.IsTrue()) {
+    std::vector<bool> model(cnf.num_vars);
+    for (Var v = 0; v < cnf.num_vars; ++v) {
+      model[v] = s.ModelValue(v).IsTrue();
+    }
+    EXPECT_TRUE(cnf.IsSatisfiedBy(model));
+  } else {
+    // UNSAT answers are cross-checked at low ratio only statistically; here we
+    // at least require the solver to have done real work or found a level-0
+    // contradiction.
+    EXPECT_TRUE(!consistent || s.stats().conflicts > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomSatTest,
+    ::testing::Values(std::make_tuple(30, 3.0, 1), std::make_tuple(30, 4.26, 2),
+                      std::make_tuple(60, 3.5, 3), std::make_tuple(60, 4.26, 4),
+                      std::make_tuple(100, 4.0, 5), std::make_tuple(100, 4.26, 6),
+                      std::make_tuple(150, 4.26, 7), std::make_tuple(150, 5.2, 8),
+                      std::make_tuple(200, 4.0, 9), std::make_tuple(200, 4.26, 10)));
+
+// Exhaustive cross-check against brute force on small formulas.
+class BruteForceCrossCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BruteForceCrossCheck, AgreesWithEnumeration) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    int num_vars = 4 + static_cast<int>(rng.Next() % 9);  // 4..12
+    size_t num_clauses = static_cast<size_t>(num_vars * (2 + rng.Next() % 4));
+    Cnf cnf = RandomKSat(&rng, num_vars, num_clauses, 3);
+
+    bool brute_sat = false;
+    for (uint32_t mask = 0; mask < (1u << num_vars) && !brute_sat; ++mask) {
+      std::vector<bool> assignment(num_vars);
+      for (int v = 0; v < num_vars; ++v) {
+        assignment[v] = (mask >> v) & 1;
+      }
+      brute_sat = cnf.IsSatisfiedBy(assignment);
+    }
+
+    Solver s;
+    s.EnsureVars(cnf.num_vars);
+    for (const auto& clause : cnf.clauses) {
+      s.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+    }
+    LBool result = s.Solve();
+    ASSERT_FALSE(result.IsUndef());
+    EXPECT_EQ(result.IsTrue(), brute_sat) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceCrossCheck, ::testing::Values(21, 22, 23, 24, 25));
+
+// --- assumptions ---
+
+TEST(SolverAssumptionsTest, AssumptionsSteerModels) {
+  Solver s;
+  s.EnsureVars(2);
+  Lit a = MakeLit(0);
+  Lit b = MakeLit(1);
+  ASSERT_TRUE(s.AddClause({a, b}));
+
+  Lit assume_na[] = {~a};
+  ASSERT_TRUE(s.Solve(assume_na, 1).IsTrue());
+  EXPECT_TRUE(s.ModelValue(0).IsFalse());
+  EXPECT_TRUE(s.ModelValue(1).IsTrue());
+
+  // The solver is reusable after assumption solves.
+  Lit assume_nb[] = {~b};
+  ASSERT_TRUE(s.Solve(assume_nb, 1).IsTrue());
+  EXPECT_TRUE(s.ModelValue(0).IsTrue());
+}
+
+TEST(SolverAssumptionsTest, ConflictingAssumptionsYieldCore) {
+  Solver s;
+  s.EnsureVars(3);
+  Lit a = MakeLit(0);
+  Lit b = MakeLit(1);
+  Lit c = MakeLit(2);
+  ASSERT_TRUE(s.AddClause({~a, ~b}));  // a and b can't both hold
+
+  Lit assumptions[] = {a, b, c};
+  ASSERT_TRUE(s.Solve(assumptions, 3).IsFalse());
+  EXPECT_TRUE(s.AssumptionFailed(a) || s.AssumptionFailed(b));
+  EXPECT_FALSE(s.AssumptionFailed(c));  // c is irrelevant to the conflict
+
+  // Dropping one side of the conflict makes it satisfiable again.
+  Lit fewer[] = {a, c};
+  EXPECT_TRUE(s.Solve(fewer, 2).IsTrue());
+}
+
+TEST(SolverAssumptionsTest, AssumptionFalseAtLevelZero) {
+  Solver s;
+  s.EnsureVars(1);
+  ASSERT_TRUE(s.AddClause({MakeLit(0)}));
+  Lit assumptions[] = {~MakeLit(0)};
+  EXPECT_TRUE(s.Solve(assumptions, 1).IsFalse());
+  EXPECT_TRUE(s.AssumptionFailed(~MakeLit(0)));
+}
+
+// --- incremental use ---
+
+TEST(SolverIncrementalTest, AddClausesAfterSolve) {
+  Solver s;
+  s.EnsureVars(3);
+  Lit a = MakeLit(0);
+  Lit b = MakeLit(1);
+  Lit c = MakeLit(2);
+  ASSERT_TRUE(s.AddClause({a, b}));
+  ASSERT_TRUE(s.Solve().IsTrue());
+
+  ASSERT_TRUE(s.AddClause({~a}));
+  ASSERT_TRUE(s.Solve().IsTrue());
+  EXPECT_TRUE(s.ModelValue(1).IsTrue());
+
+  ASSERT_TRUE(s.AddClause({~b, c}));
+  ASSERT_TRUE(s.Solve().IsTrue());
+  EXPECT_TRUE(s.ModelValue(2).IsTrue());
+
+  // Finally make it UNSAT.
+  s.AddClause({~c});
+  EXPECT_TRUE(s.Solve().IsFalse());
+}
+
+TEST(SolverIncrementalTest, LearnedClausesSpeedUpExtension) {
+  // Solve p, then p ∧ q: conflicts for the second call should not restart from
+  // the first call's total (the solver keeps its learnt DB).
+  Rng rng(77);
+  Cnf p = RandomKSat(&rng, 120, 480, 3);
+  Solver s;
+  s.EnsureVars(p.num_vars);
+  for (const auto& clause : p.clauses) {
+    s.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+  }
+  LBool first = s.Solve();
+  ASSERT_FALSE(first.IsUndef());
+  uint64_t conflicts_after_p = s.stats().conflicts;
+
+  Cnf q = RandomKSat(&rng, 120, 24, 3);
+  for (const auto& clause : q.clauses) {
+    s.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+  }
+  LBool second = s.Solve();
+  ASSERT_FALSE(second.IsUndef());
+  uint64_t incremental_conflicts = s.stats().conflicts - conflicts_after_p;
+
+  // Scratch re-solve of p ∧ q for comparison.
+  Solver scratch;
+  scratch.EnsureVars(p.num_vars);
+  for (const auto& clause : p.clauses) {
+    scratch.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+  }
+  for (const auto& clause : q.clauses) {
+    scratch.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+  }
+  LBool scratch_result = scratch.Solve();
+  ASSERT_EQ(second.IsTrue(), scratch_result.IsTrue());
+  // Soft expectation (not strict: randomness), but incremental should not be
+  // wildly worse than scratch on the combined problem.
+  EXPECT_LE(incremental_conflicts, scratch.stats().conflicts + 1000);
+}
+
+// --- budgets and stats ---
+
+TEST(SolverTest, ConflictBudgetReturnsUndef) {
+  SolverOptions options;
+  options.max_conflicts = 3;
+  Solver s(options);
+  Cnf cnf = Pigeonhole(7);  // hard enough to exceed 3 conflicts
+  s.EnsureVars(cnf.num_vars);
+  for (const auto& clause : cnf.clauses) {
+    s.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+  }
+  EXPECT_TRUE(s.Solve().IsUndef());
+  EXPECT_GE(s.stats().conflicts, 3u);
+}
+
+TEST(SolverTest, StatsAccumulate) {
+  Rng rng(5);
+  Cnf cnf = RandomKSat(&rng, 80, 340, 3);
+  Solver s;
+  s.EnsureVars(cnf.num_vars);
+  for (const auto& clause : cnf.clauses) {
+    s.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+  }
+  ASSERT_FALSE(s.Solve().IsUndef());
+  EXPECT_GT(s.stats().decisions, 0u);
+  EXPECT_GT(s.stats().propagations, 0u);
+  std::string text = s.stats().ToString();
+  EXPECT_NE(text.find("decisions="), std::string::npos);
+}
+
+TEST(SolverTest, LearntDbReductionFires) {
+  SolverOptions options;
+  options.learnt_start = 50;  // force reductions early
+  Solver s(options);
+  Cnf cnf = Pigeonhole(7);
+  s.EnsureVars(cnf.num_vars);
+  for (const auto& clause : cnf.clauses) {
+    s.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+  }
+  EXPECT_TRUE(s.Solve().IsFalse());
+  EXPECT_GT(s.stats().reductions, 0u);
+  EXPECT_GT(s.stats().removed_clauses, 0u);
+}
+
+}  // namespace
+}  // namespace lw

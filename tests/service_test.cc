@@ -1,0 +1,210 @@
+// SolverService tests: the §3.2 multi-path incremental solver — root solving,
+// chained increments, *branching* the same parent into divergent constraint
+// sets (the snapshot-tree payoff), model extraction, and lifecycle errors.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/solver/cnf.h"
+#include "src/solver/service.h"
+#include "src/util/rng.h"
+
+namespace lw {
+namespace {
+
+SolverServiceOptions SmallArena() {
+  SolverServiceOptions options;
+  options.arena_bytes = 16ull << 20;
+  return options;
+}
+
+TEST(SolverServiceTest, RootSolve) {
+  SolverService service(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1, 2});
+  base.AddDimacsClause({-1, 2});
+  auto outcome = service.SolveRoot(base);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->result.IsTrue());
+  EXPECT_TRUE(SolverService::ModelBit(*outcome, 1));  // var 2 (0-based 1) forced true
+}
+
+TEST(SolverServiceTest, RootTwiceIsError) {
+  SolverService service(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1});
+  ASSERT_TRUE(service.SolveRoot(base).ok());
+  EXPECT_EQ(service.SolveRoot(base).status().code(), ErrorCode::kBadState);
+}
+
+TEST(SolverServiceTest, ExtendBeforeRootIsError) {
+  SolverService service(SmallArena());
+  EXPECT_EQ(service.Extend(1, {}).status().code(), ErrorCode::kBadState);
+}
+
+TEST(SolverServiceTest, IncrementalChain) {
+  // p: (a ∨ b); q1: ¬a; q2: ¬b — p ∧ q1 SAT, p ∧ q1 ∧ q2 UNSAT.
+  SolverService service(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1, 2});
+  auto root = service.SolveRoot(base);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(root->result.IsTrue());
+
+  auto step1 = service.Extend(root->token, {{MakeLit(0, true)}});  // ¬a
+  ASSERT_TRUE(step1.ok());
+  ASSERT_TRUE(step1->result.IsTrue());
+  EXPECT_FALSE(SolverService::ModelBit(*step1, 0));
+  EXPECT_TRUE(SolverService::ModelBit(*step1, 1));
+
+  auto step2 = service.Extend(step1->token, {{MakeLit(1, true)}});  // ¬b
+  ASSERT_TRUE(step2.ok());
+  EXPECT_TRUE(step2->result.IsFalse());
+}
+
+TEST(SolverServiceTest, BranchingSameParent) {
+  // The §3.2 killer feature: extend the *same* solved problem p with divergent
+  // constraints; each branch sees p's state, not its sibling's.
+  SolverService service(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1, 2});
+  auto root = service.SolveRoot(base);
+  ASSERT_TRUE(root.ok());
+
+  auto left = service.Extend(root->token, {{MakeLit(0, true)}});   // ¬a → b
+  auto right = service.Extend(root->token, {{MakeLit(1, true)}});  // ¬b → a
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  ASSERT_TRUE(left->result.IsTrue());
+  ASSERT_TRUE(right->result.IsTrue());
+  EXPECT_TRUE(SolverService::ModelBit(*left, 1));
+  EXPECT_TRUE(SolverService::ModelBit(*right, 0));
+
+  // The sibling's ¬a must not leak into the right branch.
+  auto right_deeper = service.Extend(right->token, {{MakeLit(0)}});  // assert a again: fine
+  ASSERT_TRUE(right_deeper.ok());
+  EXPECT_TRUE(right_deeper->result.IsTrue());
+
+  // But the left branch plus `a` is UNSAT (it committed to ¬a).
+  auto left_deeper = service.Extend(left->token, {{MakeLit(0)}});
+  ASSERT_TRUE(left_deeper.ok());
+  EXPECT_TRUE(left_deeper->result.IsFalse());
+}
+
+TEST(SolverServiceTest, UnsatBranchStaysExtensible) {
+  // Even an UNSAT node parks a checkpoint; extending it stays UNSAT (the
+  // solver is permanently unsatisfiable) and must not crash the service.
+  SolverService service(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1});
+  auto root = service.SolveRoot(base);
+  ASSERT_TRUE(root.ok());
+  auto bad = service.Extend(root->token, {{MakeLit(0, true)}});
+  ASSERT_TRUE(bad.ok());
+  ASSERT_TRUE(bad->result.IsFalse());
+  auto worse = service.Extend(bad->token, {{MakeLit(5)}});
+  ASSERT_TRUE(worse.ok());
+  EXPECT_TRUE(worse->result.IsFalse());
+}
+
+TEST(SolverServiceTest, NewVariablesInIncrement) {
+  SolverService service(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1});
+  auto root = service.SolveRoot(base);
+  ASSERT_TRUE(root.ok());
+  // Increment mentions vars far beyond the base problem.
+  auto extended = service.Extend(root->token, {{MakeLit(40), MakeLit(41)}, {MakeLit(41, true)}});
+  ASSERT_TRUE(extended.ok());
+  ASSERT_TRUE(extended->result.IsTrue());
+  EXPECT_TRUE(SolverService::ModelBit(*extended, 40));
+}
+
+TEST(SolverServiceTest, ReleaseInvalidTokenFails) {
+  SolverService service(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1});
+  auto root = service.SolveRoot(base);
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(service.Release(root->token).ok());
+  EXPECT_FALSE(service.Release(root->token).ok());
+  EXPECT_FALSE(service.Release(99999).ok());
+}
+
+TEST(SolverServiceTest, RandomThreeSatIncrementalMatchesScratch) {
+  // Solve p, extend with q, and cross-check the SAT/UNSAT verdict against a
+  // from-scratch solve of p ∧ q.
+  Rng rng(1234);
+  Cnf p = RandomKSat(&rng, 60, 240, 3);
+  SolverService service(SmallArena());
+  auto root = service.SolveRoot(p);
+  ASSERT_TRUE(root.ok());
+  ASSERT_FALSE(root->result.IsUndef());
+
+  for (int round = 0; round < 5; ++round) {
+    Cnf q = RandomKSat(&rng, 60, 10, 3);
+    std::vector<std::vector<Lit>> increment(q.clauses.begin(), q.clauses.end());
+    auto extended = service.Extend(root->token, increment);
+    ASSERT_TRUE(extended.ok());
+
+    Solver scratch;
+    Cnf combined = p;
+    for (const auto& clause : q.clauses) {
+      combined.clauses.push_back(clause);
+    }
+    scratch.EnsureVars(combined.num_vars);
+    for (const auto& clause : combined.clauses) {
+      scratch.AddClause(clause.data(), static_cast<uint32_t>(clause.size()));
+    }
+    LBool want = scratch.Solve();
+    ASSERT_FALSE(want.IsUndef());
+    EXPECT_EQ(extended->result.IsTrue(), want.IsTrue()) << "round " << round;
+
+    // When SAT, the reported model must satisfy the combined formula.
+    if (extended->result.IsTrue()) {
+      std::vector<bool> model(combined.num_vars);
+      for (Var v = 0; v < combined.num_vars; ++v) {
+        model[v] = SolverService::ModelBit(*extended, v);
+      }
+      EXPECT_TRUE(combined.IsSatisfiedBy(model));
+    }
+  }
+}
+
+TEST(SolverServiceTest, DeepChainReusesWork) {
+  // A long chain of small increments: every step's conflict count is the
+  // *cumulative* solver total, so steps should add few conflicts each once the
+  // base problem is solved (the incremental claim of §2).
+  Rng rng(777);
+  Cnf p = RandomKSat(&rng, 100, 400, 3);
+  SolverService service(SmallArena());
+  auto node = service.SolveRoot(p);
+  ASSERT_TRUE(node.ok());
+  ASSERT_FALSE(node->result.IsUndef());
+  uint64_t base_conflicts = node->conflicts;
+
+  uint64_t total_added = 0;
+  int steps = 0;
+  SolverService::Token cur = node->token;
+  for (int round = 0; round < 8; ++round) {
+    Cnf q = RandomKSat(&rng, 100, 4, 3);
+    std::vector<std::vector<Lit>> increment(q.clauses.begin(), q.clauses.end());
+    auto next = service.Extend(cur, increment);
+    ASSERT_TRUE(next.ok());
+    if (next->result.IsFalse()) {
+      break;
+    }
+    total_added += next->conflicts - base_conflicts;
+    base_conflicts = next->conflicts;
+    cur = next->token;
+    ++steps;
+  }
+  if (steps > 0) {
+    // Average per-step conflicts well below a scratch solve of the base.
+    EXPECT_LT(total_added / static_cast<uint64_t>(steps), 2000u);
+  }
+}
+
+}  // namespace
+}  // namespace lw

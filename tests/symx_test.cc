@@ -1,0 +1,386 @@
+// lwsymx tests: the expression pool, the VM's concolic semantics, the path
+// checker, and — the heart of E6 — both exploration backends agreeing on path
+// counts and violations, with witnesses validated by concrete replay.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/symx/checker.h"
+#include "src/symx/explorer.h"
+#include "src/symx/isa.h"
+#include "src/symx/programs.h"
+#include "src/symx/value.h"
+#include "src/symx/vm.h"
+
+namespace lw {
+namespace {
+
+// --- ExprPool ---
+
+TEST(ExprPoolTest, ConstantFolding) {
+  ExprPool pool;
+  ExprRef a = pool.Const(10);
+  ExprRef b = pool.Const(3);
+  ExprRef sum = pool.Binary(ExprOp::kAdd, a, b);
+  EXPECT_EQ(pool.At(sum).op, ExprOp::kConst);
+  EXPECT_EQ(pool.At(sum).value, 13u);
+  ExprRef lt = pool.Binary(ExprOp::kUlt, b, a);
+  EXPECT_EQ(pool.At(lt).value, 1u);
+}
+
+TEST(ExprPoolTest, SymbolicNodesAndEval) {
+  ExprPool pool;
+  ExprRef x = pool.FreshVar();
+  ExprRef y = pool.FreshVar();
+  EXPECT_EQ(pool.num_inputs(), 2u);
+  ExprRef e = pool.Binary(ExprOp::kXor, pool.Binary(ExprOp::kMul, x, pool.Const(3)), y);
+  EXPECT_EQ(pool.Eval(e, {7, 5}), (7u * 3u) ^ 5u);
+}
+
+TEST(ExprPoolTest, RewindDropsNodesAndInputs) {
+  ExprPool pool;
+  pool.FreshVar();
+  size_t mark = pool.Mark();
+  pool.FreshVar();
+  pool.Const(9);
+  EXPECT_EQ(pool.num_inputs(), 2u);
+  pool.RewindTo(mark);
+  EXPECT_EQ(pool.size(), mark);
+  EXPECT_EQ(pool.num_inputs(), 1u);
+}
+
+// --- ProgramBuilder ---
+
+TEST(ProgramBuilderTest, LabelPatching) {
+  ProgramBuilder b("t");
+  auto end = b.Label();
+  b.LoadImm(1, 5);
+  b.Jmp(end);
+  b.LoadImm(1, 99);  // skipped
+  b.Bind(end);
+  b.Halt();
+  Program p = b.Build();
+  EXPECT_EQ(p.At(1).imm, 3);  // jmp to the bound pc
+  EXPECT_NE(p.Disassemble().find("jmp"), std::string::npos);
+}
+
+// --- VM concrete semantics ---
+
+TEST(SymVmTest, ConcreteArithmetic) {
+  ProgramBuilder b("arith");
+  b.LoadImm(1, 6).LoadImm(2, 7).Mul(3, 1, 2);      // r3 = 42
+  b.AddImm(4, 3, 100);                              // r4 = 142
+  b.Sub(5, 4, 1);                                   // r5 = 136
+  b.LoadImm(6, 2).Shl(7, 5, 6);                     // r7 = 544
+  b.Shr(8, 7, 6);                                   // r8 = 136
+  b.Xor(9, 8, 5);                                   // r9 = 0
+  b.Halt();
+  Program p = b.Build();
+  ExprPool pool;
+  SymVm vm(&p, &pool, VmConfig{});
+  EXPECT_EQ(vm.Run(), VmEvent::kHalted);
+  EXPECT_EQ(vm.reg(3).concrete, 42u);
+  EXPECT_EQ(vm.reg(4).concrete, 142u);
+  EXPECT_EQ(vm.reg(7).concrete, 544u);
+  EXPECT_EQ(vm.reg(9).concrete, 0u);
+}
+
+TEST(SymVmTest, MemoryAndBranches) {
+  ProgramBuilder b("mem");
+  auto skip = b.Label();
+  b.LoadImm(1, 10).LoadImm(2, 20);
+  b.Store(0, 5, 1);          // mem[5] = 10
+  b.Load(3, 0, 5);           // r3 = 10
+  b.Bltu(3, 2, skip);        // 10 < 20: taken
+  b.LoadImm(3, 999);
+  b.Bind(skip);
+  b.Halt();
+  Program p = b.Build();
+  ExprPool pool;
+  SymVm vm(&p, &pool, VmConfig{});
+  EXPECT_EQ(vm.Run(), VmEvent::kHalted);
+  EXPECT_EQ(vm.reg(3).concrete, 10u);
+  EXPECT_EQ(vm.MemAt(5).concrete, 10u);
+}
+
+TEST(SymVmTest, TerminalEvents) {
+  // Out-of-bounds store.
+  ProgramBuilder b1("oob");
+  b1.LoadImm(1, 1 << 20).Store(1, 0, 1).Halt();
+  Program oob = b1.Build();
+  ExprPool pool1;
+  SymVm vm1(&oob, &pool1, VmConfig{});
+  EXPECT_EQ(vm1.Run(), VmEvent::kBadAccess);
+
+  // Step limit on an infinite loop.
+  ProgramBuilder b2("loop");
+  auto top = b2.Label();
+  b2.Bind(top).Jmp(top);
+  Program loop = b2.Build();
+  ExprPool pool2;
+  VmConfig tight;
+  tight.max_steps_per_path = 100;
+  SymVm vm2(&loop, &pool2, tight);
+  EXPECT_EQ(vm2.Run(), VmEvent::kStepLimit);
+
+  // Concrete assert failure.
+  ProgramBuilder b3("assert0");
+  b3.LoadImm(1, 0).Assert(1).Halt();
+  Program bad = b3.Build();
+  ExprPool pool3;
+  SymVm vm3(&bad, &pool3, VmConfig{});
+  EXPECT_EQ(vm3.Run(), VmEvent::kAssertFailedConcrete);
+}
+
+TEST(SymVmTest, SymbolicBranchEventAndCommit) {
+  ProgramBuilder b("symbr");
+  auto yes = b.Label();
+  b.Input(1);
+  b.LoadImm(2, 42);
+  b.Beq(1, 2, yes);
+  b.LoadImm(3, 0);
+  b.Halt();
+  b.Bind(yes);
+  b.LoadImm(3, 1);
+  b.Halt();
+  Program p = b.Build();
+
+  ExprPool pool;
+  SymVm vm(&p, &pool, VmConfig{});
+  ASSERT_EQ(vm.Run(), VmEvent::kSymbolicBranch);
+  SymVm fork = vm;  // copy both sides
+  fork.set_pool(&pool);
+
+  vm.TakeBranch(true);
+  ASSERT_EQ(vm.Run(), VmEvent::kHalted);
+  EXPECT_EQ(vm.reg(3).concrete, 1u);
+  EXPECT_EQ(vm.path_constraints().size(), 1u);
+
+  fork.TakeBranch(false);
+  ASSERT_EQ(fork.Run(), VmEvent::kHalted);
+  EXPECT_EQ(fork.reg(3).concrete, 0u);
+}
+
+TEST(SymVmTest, ConcreteInputReplay) {
+  Program p = PasswordProgram({11, 22, 33});
+  auto wrong = RunConcrete(p, {11, 22, 99}, VmConfig{});
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_FALSE(wrong->assert_failed);
+  auto right = RunConcrete(p, {11, 22, 33}, VmConfig{});
+  ASSERT_TRUE(right.ok());
+  EXPECT_TRUE(right->assert_failed);
+}
+
+// --- PathChecker ---
+
+TEST(PathCheckerTest, SatAndModel) {
+  ExprPool pool;
+  ExprRef x = pool.FreshVar();
+  // Constraint: (x ^ 0x5a) == 0x33  →  x == 0x69.
+  ExprRef cond = pool.Binary(ExprOp::kEq, pool.Binary(ExprOp::kXor, x, pool.Const(0x5a)),
+                             pool.Const(0x33));
+  PathChecker checker;
+  auto result = checker.Check(pool, &cond, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->sat);
+  ASSERT_EQ(result->inputs.size(), 1u);
+  EXPECT_EQ(result->inputs[0], 0x69u);
+}
+
+TEST(PathCheckerTest, UnsatContradiction) {
+  ExprPool pool;
+  ExprRef x = pool.FreshVar();
+  ExprRef is5 = pool.Binary(ExprOp::kEq, x, pool.Const(5));
+  ExprRef is6 = pool.Binary(ExprOp::kEq, x, pool.Const(6));
+  ExprRef both[] = {is5, is6};
+  PathChecker checker;
+  auto result = checker.Check(pool, both, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->sat);
+  EXPECT_EQ(checker.queries(), 1u);
+}
+
+TEST(PathCheckerTest, CheckWithZero) {
+  ExprPool pool;
+  ExprRef x = pool.FreshVar();
+  ExprRef lt = pool.Binary(ExprOp::kUlt, x, pool.Const(10));
+  // Can (x < 10) be false?
+  PathChecker checker;
+  auto result = checker.CheckWithZero(pool, nullptr, 0, lt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->sat);
+  EXPECT_GE(result->inputs[0], 10u);
+}
+
+TEST(PathCheckerTest, SymbolicShiftLowering) {
+  ExprPool pool;
+  ExprRef x = pool.FreshVar();
+  ExprRef amount = pool.FreshVar();
+  // (1 << amount) == 8 with amount < 32 → amount == 3.
+  ExprRef shifted = pool.Binary(ExprOp::kShl, pool.Const(1), amount);
+  ExprRef want[] = {pool.Binary(ExprOp::kEq, shifted, pool.Const(8)),
+                    pool.Binary(ExprOp::kUlt, amount, pool.Const(32))};
+  PathChecker checker;
+  auto result = checker.Check(pool, want, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->sat);
+  EXPECT_EQ(result->inputs[1] & 31, 3u);
+  (void)x;
+}
+
+// --- explorers (the E6 pair) ---
+
+struct BackendCase {
+  bool use_snapshots;
+  const char* name;
+};
+
+class ExplorerBackendTest : public ::testing::TestWithParam<BackendCase> {
+ protected:
+  Status Explore(const Program& p, const ExploreOptions& options, ExploreStats* stats,
+                 std::vector<Violation>* violations) {
+    if (GetParam().use_snapshots) {
+      SnapshotExplorer explorer(options);
+      return explorer.Explore(p, stats, violations);
+    }
+    ExplicitExplorer explorer(options);
+    return explorer.Explore(p, stats, violations);
+  }
+};
+
+TEST_P(ExplorerBackendTest, PasswordFindsTheSecret) {
+  std::vector<uint32_t> secret = {0xdead, 0xbeef, 0x1234};
+  Program p = PasswordProgram(secret);
+  ExploreOptions options;
+  options.arena_bytes = 16ull << 20;
+  ExploreStats stats;
+  std::vector<Violation> violations;
+  ASSERT_TRUE(Explore(p, options, &stats, &violations).ok());
+
+  // One violation whose witness is the secret; len mismatch paths all halt.
+  ASSERT_EQ(stats.violations, 1u);
+  EXPECT_EQ(stats.paths_completed, secret.size());
+  ASSERT_EQ(violations.size(), 1u);
+  ASSERT_GE(violations[0].inputs.size(), secret.size());
+  for (size_t i = 0; i < secret.size(); ++i) {
+    EXPECT_EQ(violations[0].inputs[i], secret[i]) << i;
+  }
+  // End-to-end: the witness really trips the assert.
+  std::vector<uint32_t> witness(violations[0].inputs.begin(),
+                                violations[0].inputs.begin() + secret.size());
+  auto replay = RunConcrete(p, witness, options.vm);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->assert_failed);
+}
+
+TEST_P(ExplorerBackendTest, BranchTreeEnumeratesAllPaths) {
+  Program p = BranchTreeProgram(5, 2);
+  ExploreOptions options;
+  options.arena_bytes = 16ull << 20;
+  ExploreStats stats;
+  ASSERT_TRUE(Explore(p, options, &stats, nullptr).ok());
+  EXPECT_EQ(stats.paths_completed, 32u);  // 2^5
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_EQ(stats.max_depth, 5u);
+  EXPECT_GE(stats.branches, 31u);  // one event per internal node
+}
+
+TEST_P(ExplorerBackendTest, ChecksumInvertsTheDigest) {
+  Program p = ChecksumProgram(2, 0xcafe0000u ^ 0x1111u);
+  ExploreOptions options;
+  options.arena_bytes = 16ull << 20;
+  ExploreStats stats;
+  std::vector<Violation> violations;
+  ASSERT_TRUE(Explore(p, options, &stats, &violations).ok());
+  ASSERT_EQ(stats.violations, 1u);
+  ASSERT_FALSE(violations.empty());
+  // Replay: the witness digest must equal the magic and fail the assert.
+  std::vector<uint32_t> witness(violations[0].inputs.begin(),
+                                violations[0].inputs.begin() + 2);
+  auto replay = RunConcrete(p, witness, options.vm);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->assert_failed);
+}
+
+TEST_P(ExplorerBackendTest, ClassifierPrunesContradictions) {
+  Program p = ClassifierProgram();
+  ExploreOptions options;
+  options.arena_bytes = 16ull << 20;
+  ExploreStats stats;
+  std::vector<Violation> violations;
+  ASSERT_TRUE(Explore(p, options, &stats, &violations).ok());
+  EXPECT_EQ(stats.violations, 0u);  // the dead region is unreachable
+  EXPECT_GT(stats.paths_pruned, 0u);
+  EXPECT_GE(stats.paths_completed, 6u);  // 3 bands × 2 y-outcomes
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ExplorerBackendTest,
+                         ::testing::Values(BackendCase{false, "explicit"},
+                                           BackendCase{true, "snapshot"}),
+                         [](const ::testing::TestParamInfo<BackendCase>& param_info) {
+                           return param_info.param.name;
+                         });
+
+TEST(ExplorerComparisonTest, BackendsAgreeOnPathCounts) {
+  for (int depth = 1; depth <= 6; ++depth) {
+    Program p = BranchTreeProgram(depth, 1);
+    ExploreOptions options;
+    options.arena_bytes = 16ull << 20;
+
+    ExploreStats explicit_stats;
+    ExplicitExplorer explicit_explorer(options);
+    ASSERT_TRUE(explicit_explorer.Explore(p, &explicit_stats, nullptr).ok());
+
+    ExploreStats snap_stats;
+    SnapshotExplorer snap_explorer(options);
+    ASSERT_TRUE(snap_explorer.Explore(p, &snap_stats, nullptr).ok());
+
+    EXPECT_EQ(explicit_stats.paths_completed, snap_stats.paths_completed) << depth;
+    EXPECT_EQ(explicit_stats.violations, snap_stats.violations) << depth;
+    EXPECT_EQ(explicit_stats.paths_completed, 1ull << depth);
+  }
+}
+
+TEST(ExplorerComparisonTest, ExplicitCopiesGrowWithState) {
+  // The baseline's copy volume scales with per-path state; the snapshot
+  // backend's does not exist at all (that's the point of E6).
+  ExploreOptions small_options;
+  small_options.vm.mem_words = 64;
+  ExploreStats small_stats;
+  ExplicitExplorer small(small_options);
+  ASSERT_TRUE(small.Explore(BranchTreeProgram(4, 1), &small_stats, nullptr).ok());
+
+  ExploreOptions big_options;
+  big_options.vm.mem_words = 64;
+  ExploreStats big_stats;
+  ExplicitExplorer big(big_options);
+  ASSERT_TRUE(big.Explore(BranchTreeProgram(4, 16), &big_stats, nullptr).ok());
+
+  EXPECT_GT(big_stats.state_bytes_copied, 0u);
+  EXPECT_GT(small_stats.state_bytes_copied, 0u);
+}
+
+TEST(ExplorerComparisonTest, SnapshotBackendReportsSessionCounters) {
+  ExploreOptions options;
+  options.arena_bytes = 16ull << 20;
+  SnapshotExplorer explorer(options);
+  ExploreStats stats;
+  ASSERT_TRUE(explorer.Explore(BranchTreeProgram(4, 2), &stats, nullptr).ok());
+  const SessionStats& session = explorer.session_stats();
+  EXPECT_GT(session.snapshots, 0u);
+  EXPECT_GT(session.restores, 0u);
+  EXPECT_GT(session.pages_materialized, 0u);
+}
+
+TEST(ExplorerLimitsTest, MaxPathsBoundsExplicitExploration) {
+  ExploreOptions options;
+  options.max_paths = 5;
+  ExplicitExplorer explorer(options);
+  ExploreStats stats;
+  ASSERT_TRUE(explorer.Explore(BranchTreeProgram(10, 1), &stats, nullptr).ok());
+  EXPECT_LE(stats.TotalPaths(), 6u);  // may finish the in-flight path
+}
+
+}  // namespace
+}  // namespace lw
