@@ -137,14 +137,16 @@ void SnapGuest(void* arg) {
   lw::sys_guess_fail();  // enumerate every leaf
 }
 
-void BM_Lwsnap(benchmark::State& state) {
+void RunLwsnap(benchmark::State& state, lw::SnapshotMode mode) {
   SnapArgs args;
   args.work_us = static_cast<uint64_t>(state.range(0));
   args.pages = static_cast<uint32_t>(state.range(1));
+  state.SetLabel(lw::SnapshotModeName(mode));
   for (auto _ : state) {
     args.leaves = 0;
     lw::SessionOptions options;
     options.arena_bytes = 32ull << 20;
+    options.snapshot_mode = mode;
     options.output = [](std::string_view) {};
     lw::BacktrackSession session(options);
     lw::Status status = session.Run(&SnapGuest, &args);
@@ -156,13 +158,94 @@ void BM_Lwsnap(benchmark::State& state) {
   state.counters["leaves"] = static_cast<double>(args.leaves);
 }
 
+void BM_LwsnapCow(benchmark::State& state) { RunLwsnap(state, lw::SnapshotMode::kCow); }
+void BM_LwsnapFullCopy(benchmark::State& state) {
+  RunLwsnap(state, lw::SnapshotMode::kFullCopy);
+}
+void BM_LwsnapIncremental(benchmark::State& state) {
+  RunLwsnap(state, lw::SnapshotMode::kIncremental);
+}
+
 #define CROSSOVER_ARGS(B)                                                              \
   B->Args({0, 1})->Args({0, 16})->Args({0, 64})->Args({10, 1})->Args({10, 16})        \
       ->Args({10, 64})->Args({100, 1})->Args({100, 16})->Args({100, 64})               \
       ->Unit(benchmark::kMillisecond)
 
 CROSSOVER_ARGS(BENCHMARK(BM_HandCoded));
-CROSSOVER_ARGS(BENCHMARK(BM_Lwsnap));
+CROSSOVER_ARGS(BENCHMARK(BM_LwsnapCow));
+CROSSOVER_ARGS(BENCHMARK(BM_LwsnapFullCopy));
+CROSSOVER_ARGS(BENCHMARK(BM_LwsnapIncremental));
+
+// --- engine-parity harness: n-queens through all three backends ---
+//
+// Same guest, same strategy, only SessionOptions::snapshot_mode differs; each
+// row reports the solution count and fails loudly if an engine disagrees with
+// the known answer — the acceptance check that snapshot mechanics are
+// observationally interchangeable behind the SnapshotEngine seam.
+
+constexpr int kQueensN = 8;
+constexpr uint64_t kQueensSolutions = 92;
+
+void QueensGuest(void* arg) {
+  int n = *static_cast<int*>(arg);
+  auto* session = static_cast<lw::BacktrackSession*>(lw::CurrentExecutor());
+  struct Board {
+    int row[16];
+    int ld[32];
+    int rd[32];
+  };
+  auto* b = lw::GuestNew<Board>(session->heap());
+  std::memset(b, 0, sizeof(Board));
+  if (lw::sys_guess_strategy(lw::StrategyKind::kDfs)) {
+    for (int c = 0; c < n; ++c) {
+      int r = lw::sys_guess(n);
+      if (b->row[r] || b->ld[r + c] || b->rd[n + r - c]) {
+        lw::sys_guess_fail();
+      }
+      b->row[r] = 1;
+      b->ld[r + c] = 1;
+      b->rd[n + r - c] = 1;
+    }
+    lw::sys_note_solution();
+    lw::sys_guess_fail();
+  }
+}
+
+void RunQueens(benchmark::State& state, lw::SnapshotMode mode) {
+  state.SetLabel(lw::SnapshotModeName(mode));
+  uint64_t solutions = 0;
+  for (auto _ : state) {
+    int n = kQueensN;
+    lw::SessionOptions options;
+    options.arena_bytes = 16ull << 20;
+    options.snapshot_mode = mode;
+    options.output = [](std::string_view) {};
+    lw::BacktrackSession session(options);
+    lw::Status status = session.Run(&QueensGuest, &n);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    solutions = session.stats().solutions;
+    if (solutions != kQueensSolutions) {
+      state.SkipWithError("engine produced a wrong n-queens solution count");
+      return;
+    }
+  }
+  state.counters["solutions"] = static_cast<double>(solutions);
+}
+
+void BM_QueensCow(benchmark::State& state) { RunQueens(state, lw::SnapshotMode::kCow); }
+void BM_QueensFullCopy(benchmark::State& state) {
+  RunQueens(state, lw::SnapshotMode::kFullCopy);
+}
+void BM_QueensIncremental(benchmark::State& state) {
+  RunQueens(state, lw::SnapshotMode::kIncremental);
+}
+
+BENCHMARK(BM_QueensCow)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QueensFullCopy)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_QueensIncremental)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

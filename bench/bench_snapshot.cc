@@ -3,13 +3,16 @@
 // The Dune paper (and §4 here) claims an order of magnitude over Linux
 // process abstractions for memory-protection-heavy operations. Rows:
 //
-//   CowSnapshot/D/A    — CoW engine, D pages dirtied per snapshot, A MiB arena:
-//                        cost ∝ dirty pages, independent of arena size
-//   FullCopySnapshot/A — classic checkpoint [libckpt]: cost ∝ arena size
-//   ForkSnapshot/D     — fork+dirty+exit+wait per "snapshot" (the §3 strawman)
+//   CowSnapshot/D/A        — CoW engine, D pages dirtied per snapshot, A MiB
+//                            arena: cost ∝ dirty pages, independent of arena size
+//   FullCopySnapshot/A     — classic checkpoint [libckpt]: cost ∝ arena size
+//   IncrementalSnapshot/D/A — fault-free scan engine: reads ∝ arena, copies ∝
+//                            dirty pages (no mprotect traffic at all)
+//   ForkSnapshot/D         — fork+dirty+exit+wait per "snapshot" (the §3 strawman)
 //
 // Counters report the engine's own ns/snapshot and ns/restore so the
-// comparison is invariant to the harness loop.
+// comparison is invariant to the harness loop; the label column names the
+// engine (SnapshotModeName) so rows are comparable across all three backends.
 
 #include <benchmark/benchmark.h>
 
@@ -54,6 +57,7 @@ void RunEngine(benchmark::State& state, lw::SnapshotMode mode) {
   DirtyArgs args;
   args.dirty_pages = static_cast<uint32_t>(state.range(0));
   size_t arena_mb = static_cast<size_t>(state.range(1));
+  state.SetLabel(lw::SnapshotModeName(mode));
 
   uint64_t snap_ns = 0;
   uint64_t restore_ns = 0;
@@ -103,6 +107,22 @@ BENCHMARK(BM_FullCopySnapshot)
     ->Args({8, 16})
     ->Args({8, 64})
     ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalSnapshot(benchmark::State& state) {
+  RunEngine(state, lw::SnapshotMode::kIncremental);
+}
+// Same rows as CoW: the scan engine's snapshot cost has a ∝-arena read term
+// plus a ∝-dirty copy term, so both axes matter.
+BENCHMARK(BM_IncrementalSnapshot)
+    ->Args({1, 16})
+    ->Args({8, 16})
+    ->Args({64, 16})
+    ->Args({512, 16})
+    ->Args({1, 64})
+    ->Args({8, 64})
+    ->Args({64, 64})
+    ->Args({512, 64})
     ->Unit(benchmark::kMillisecond);
 
 // The fork strawman: one fork()+dirty+_exit+waitpid cycle per "snapshot".

@@ -20,10 +20,11 @@ GuessExecutor* CurrentExecutor() { return g_current_executor; }
 void SetCurrentExecutor(GuessExecutor* executor) { g_current_executor = executor; }
 
 std::string SessionStats::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "guesses=%llu snapshots=%llu restores=%llu exts=%llu fail=%llu done=%llu "
-                "sol=%llu pages_mat=%llu pages_rst=%llu snap_us=%.1f restore_us=%.1f",
+                "sol=%llu pages_mat=%llu pages_rst=%llu dedup=%llu incr_scan=%llu "
+                "incr_copy=%llu snap_us=%.1f restore_us=%.1f",
                 static_cast<unsigned long long>(guesses),
                 static_cast<unsigned long long>(snapshots),
                 static_cast<unsigned long long>(restores),
@@ -33,6 +34,9 @@ std::string SessionStats::ToString() const {
                 static_cast<unsigned long long>(solutions),
                 static_cast<unsigned long long>(pages_materialized),
                 static_cast<unsigned long long>(pages_restored),
+                static_cast<unsigned long long>(zero_dedup_hits),
+                static_cast<unsigned long long>(incr_pages_scanned),
+                static_cast<unsigned long long>(incr_pages_copied),
                 static_cast<double>(snapshot_ns) / 1e3, static_cast<double>(restore_ns) / 1e3);
   return buf;
 }
@@ -40,39 +44,25 @@ std::string SessionStats::ToString() const {
 BacktrackSession::BacktrackSession(SessionOptions options)
     : options_(std::move(options)),
       arena_(GuestArena::Layout{options_.arena_bytes, options_.guest_stack_bytes,
-                                16 * kPageSize}),
-      cur_map_(options_.page_map_kind, 0) {
+                                16 * kPageSize}) {
   if (!options_.output) {
     options_.output = &DefaultOutput;
   }
   strategy_ = MakeStrategy(options_.strategy);
 
-  // Establish the CoW invariant: memory is all-zero, the current map says all-zero,
-  // nothing is dirty, everything is protected. Guard pages stay unmapped from the
-  // snapshot's point of view (invalid refs; never dirtied, never restored).
-  cur_map_ = PageMap(options_.page_map_kind, arena_.num_pages());
-  if (options_.snapshot_mode == SnapshotMode::kCow) {
-    PageRef zero = pool_.ZeroPage();
-    for (uint32_t page = 0; page < arena_.num_pages(); ++page) {
-      if (!arena_.InGuard(page)) {
-        cur_map_.Set(page, zero);
-      }
-    }
-    arena_.ProtectAll();
-  } else {
-    arena_.SetCowEnabled(false);
-  }
+  SnapshotEngine::Env env;
+  env.arena = &arena_;
+  env.pool = &pool_;
+  env.stats = &stats_;
+  env.page_map_kind = options_.page_map_kind;
+  // Hot-page prediction only makes sense under CoW; other engines ignore it.
+  env.hot_page_limit =
+      options_.snapshot_mode == SnapshotMode::kCow ? options_.hot_page_limit : 0;
+  engine_ = MakeSnapshotEngine(options_.snapshot_mode, env);
 
-  hot_.assign(arena_.num_pages(), 0);
-  dirty_streak_.assign(arena_.num_pages(), 0);
-  clean_streak_.assign(arena_.num_pages(), 0);
-  if (options_.snapshot_mode != SnapshotMode::kCow) {
-    options_.hot_page_limit = 0;  // prediction only makes sense under CoW
-  }
-  hot_pages_.reserve(options_.hot_page_limit);
-
-  // Heap construction happens *after* protection: its writes fault and enter the
-  // dirty set like any guest write, so the invariant holds with no special case.
+  // Heap construction happens *after* the engine establishes its invariant: in
+  // CoW mode its writes fault and enter the dirty set like any guest write; in
+  // the scan-based engines they are picked up by the first materialization.
   heap_ = GuestHeap::Init(arena_.heap_base(), arena_.heap_bytes());
 }
 
@@ -85,7 +75,7 @@ BacktrackSession::~BacktrackSession() {
   pending_snapshot_.reset();
   scope_snapshot_.reset();
   cur_snapshot_.reset();
-  cur_map_ = PageMap(options_.page_map_kind, 0);
+  engine_.reset();  // drops the current map's refs
 }
 
 void BacktrackSession::AddAttachment(SessionAttachment* attachment) {
@@ -141,8 +131,10 @@ Status BacktrackSession::Resume(uint64_t token, const void* msg, size_t len) {
   return Drive([this, snap, msg, len] {
     RestoreTo(*snap);
     if (len > 0) {
-      // A plain memcpy: in CoW mode the write faults and the handler marks the
-      // mailbox pages dirty, exactly as a guest write would.
+      // A plain memcpy: under the CoW engine the write faults and the handler
+      // marks the mailbox pages dirty; under the scan-based engines the next
+      // materialization detects the changed bytes. Either way it behaves
+      // exactly as a guest write would.
       std::memcpy(snap->mailbox, msg, len);
     }
     cur_snapshot_ = snap;
@@ -214,7 +206,13 @@ void BacktrackSession::HandleGuestEvent() {
         strategy_->Push(std::move(ext));
       }
       pending_costs_ = nullptr;
-      EnforceByteBudget();
+      engine_->EnforceByteBudget(options_.snapshot_byte_budget, [this] {
+        if (!strategy_->EvictWorst()) {
+          return false;
+        }
+        ++stats_.evictions;
+        return true;
+      });
       break;
     }
     case GuestEvent::kScopePending: {
@@ -260,6 +258,7 @@ void BacktrackSession::EvaluateExtension(Extension ext) {
 }
 
 void BacktrackSession::SwapToGuest(ucontext_t* target) {
+  engine_->OnGuestResume();
   in_guest_ = true;
   // Swap the guest's allocation hooks in for the duration of guest execution;
   // scheduler-side allocations (snapshot materialization, strategy frontier)
@@ -273,7 +272,8 @@ void BacktrackSession::SwapToGuest(ucontext_t* target) {
 }
 
 // ---------------------------------------------------------------------------
-// Snapshot mechanics.
+// Snapshot capture/restore: page mechanics are the engine's; the session adds
+// the search-level envelope (attachments, output marks, counters, timing).
 // ---------------------------------------------------------------------------
 
 SnapshotRef BacktrackSession::NewSnapshotShell(SnapshotKind kind) {
@@ -287,67 +287,7 @@ SnapshotRef BacktrackSession::NewSnapshotShell(SnapshotKind kind) {
 
 void BacktrackSession::MaterializeInto(const SnapshotRef& snap) {
   StopWatch sw;
-  if (options_.snapshot_mode == SnapshotMode::kFullCopy) {
-    PageMap fresh(options_.page_map_kind, arena_.num_pages());
-    for (uint32_t page = 0; page < arena_.num_pages(); ++page) {
-      if (!arena_.InGuard(page)) {
-        fresh.Set(page, pool_.Publish(arena_.PageAddr(page)));
-        ++stats_.pages_materialized;
-      }
-    }
-    cur_map_ = std::move(fresh);
-  } else {
-    // Hot pages first: they are permanently writable, so the dirty set does not
-    // know about them — memcmp against the current blob and republish only on a
-    // real change. A long unchanged streak demotes the page back into the CoW
-    // protocol.
-    constexpr uint8_t kHotDemoteAfter = 16;
-    size_t hot_kept = 0;
-    for (size_t idx = 0; idx < hot_pages_.size(); ++idx) {
-      uint32_t page = hot_pages_[idx];
-      const PageRef cur = cur_map_.Get(page);
-      if (std::memcmp(arena_.PageAddr(page), cur.data(), kPageSize) != 0) {
-        cur_map_.Set(page, pool_.Publish(arena_.PageAddr(page)));
-        ++stats_.pages_materialized;
-        clean_streak_[page] = 0;
-        hot_pages_[hot_kept++] = page;
-      } else if (++clean_streak_[page] >= kHotDemoteAfter) {
-        hot_[page] = 0;
-        arena_.ProtectPage(page);
-        ++stats_.hot_demotions;
-      } else {
-        ++stats_.hot_unchanged_skips;
-        hot_pages_[hot_kept++] = page;
-      }
-    }
-    hot_pages_.resize(hot_kept);
-
-    const DirtyTracker& dirty = arena_.dirty();
-    constexpr uint8_t kHotPromoteAfter = 4;
-    for (uint32_t i = 0; i < dirty.count(); ++i) {
-      uint32_t page = dirty.pages()[i];
-      cur_map_.Set(page, pool_.Publish(arena_.PageAddr(page)));
-      // Promotion: a page taking a CoW fault snapshot after snapshot is cheaper
-      // to treat as always-dirty.
-      if (dirty_streak_[page] < 255) {
-        ++dirty_streak_[page];
-      }
-      if (dirty_streak_[page] >= kHotPromoteAfter && hot_[page] == 0 &&
-          hot_pages_.size() < options_.hot_page_limit) {
-        hot_[page] = 1;
-        clean_streak_[page] = 0;
-        hot_pages_.push_back(page);
-        ++stats_.hot_promotions;
-      }
-    }
-    stats_.pages_materialized += dirty.count();
-    if (hot_pages_.empty()) {
-      arena_.ReprotectDirty();
-    } else {
-      arena_.ReprotectDirtyExcept(hot_.data());
-    }
-  }
-  snap->map = cur_map_;  // flat: vector copy; radix: O(1) root share
+  engine_->Materialize(*snap);
   snap->aux.reserve(attachments_.size());
   for (SessionAttachment* attachment : attachments_) {
     snap->aux.push_back(attachment->Capture());
@@ -357,74 +297,17 @@ void BacktrackSession::MaterializeInto(const SnapshotRef& snap) {
   stats_.snapshot_ns += sw.ElapsedNanos();
 }
 
-void BacktrackSession::CopyInPage(uint32_t page, const PageRef& ref) {
-  LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
-  if (!arena_.dirty().IsDirty(page)) {
-    arena_.UnprotectPage(page);
-  }
-  std::memcpy(arena_.PageAddr(page), ref.data(), kPageSize);
-  arena_.ProtectPage(page);
-}
-
 void BacktrackSession::RestoreTo(const Snapshot& snap) {
   StopWatch sw;
-  uint64_t restored = 0;
-  if (options_.snapshot_mode == SnapshotMode::kFullCopy) {
-    for (uint32_t page = 0; page < arena_.num_pages(); ++page) {
-      if (!arena_.InGuard(page)) {
-        std::memcpy(arena_.PageAddr(page), snap.map.Get(page).data(), kPageSize);
-        ++restored;
-      }
-    }
-  } else {
-    // Hot pages are writable and fault-free, so their live contents are
-    // unknowable without a compare — copy them in unconditionally (a 4 KiB
-    // memcpy beats SIGSEGV + 2×mprotect, which is the whole point).
-    for (uint32_t page : hot_pages_) {
-      const PageRef ref = snap.map.Get(page);
-      LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
-      std::memcpy(arena_.PageAddr(page), ref.data(), kPageSize);
-      ++restored;
-    }
-    DirtyTracker& dirty = arena_.dirty();
-    // Dirty pages: live memory diverged from cur_map_; always restore them.
-    for (uint32_t i = 0; i < dirty.count(); ++i) {
-      uint32_t page = dirty.pages()[i];
-      CopyInPage(page, snap.map.Get(page));
-      ++restored;
-    }
-    // Clean pages: restore exactly where the two immutable maps disagree.
-    cur_map_.Diff(snap.map, [this, &dirty, &restored](uint32_t page, const PageRef& /*mine*/,
-                                                      const PageRef& theirs) {
-      if (!dirty.IsDirty(page) && hot_[page] == 0) {
-        CopyInPage(page, theirs);
-        ++restored;
-      }
-    });
-    dirty.Clear();
-  }
-  cur_map_ = snap.map;
+  engine_->Restore(snap);
   for (size_t i = 0; i < attachments_.size(); ++i) {
     attachments_[i]->Restore(i < snap.aux.size() ? snap.aux[i] : nullptr);
   }
   if (options_.buffer_output) {
     out_buffer_.resize(snap.out_mark);
   }
-  stats_.pages_restored += restored;
   ++stats_.restores;
   stats_.restore_ns += sw.ElapsedNanos();
-}
-
-void BacktrackSession::EnforceByteBudget() {
-  if (options_.snapshot_byte_budget == 0) {
-    return;
-  }
-  while (pool_.stats().bytes_live() > options_.snapshot_byte_budget) {
-    if (!strategy_->EvictWorst()) {
-      break;
-    }
-    ++stats_.evictions;
-  }
 }
 
 // ---------------------------------------------------------------------------

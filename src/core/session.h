@@ -5,23 +5,22 @@
 //   * The host calls Run(guest_fn, arg). The guest runs on a stack inside the
 //     arena via ucontext; the session's scheduler runs on the host stack.
 //   * sys_guess(n) parks the guest (swapcontext into the scheduler), which
-//     materialises the snapshot — dirty pages are published as immutable blobs,
+//     materialises the snapshot — the engine publishes the changed page image,
 //     the page map is shared, the saved ucontext is the immutable register file —
 //     and pushes n extensions onto the strategy.
-//   * The scheduler pops the next extension, restores its snapshot (page diff +
-//     attachment states + register file) and resumes the guest inside sys_guess
-//     with the extension value as the return value (the paper's "%rax").
+//   * The scheduler pops the next extension, restores its snapshot (engine page
+//     restore + attachment states + register file) and resumes the guest inside
+//     sys_guess with the extension value as the return value (the paper's "%rax").
 //   * sys_guess_fail abandons the current extension: a bare jump back to the
 //     scheduler; all memory effects since the last restore are dead and will be
 //     overwritten by the next restore (no undo log).
 //   * sys_yield creates a host-resumable checkpoint: the basis of the multi-path
 //     incremental solver service of §3.2.
 //
-// Snapshot modes:
-//   * kCow      — page-granular copy-on-write via mprotect/SIGSEGV (the paper's
-//                 design, with the host MMU standing in for Dune's nested pages).
-//   * kFullCopy — classic checkpointing baseline [libckpt]: every snapshot copies
-//                 the whole arena; restore copies it back.
+// The snapshot mechanics themselves — how a page image is captured and
+// reinstated — live behind the SnapshotEngine interface (src/snapshot/engine.h),
+// selected by SessionOptions::snapshot_mode. The session is pure search
+// orchestration: it never touches mprotect, hot-page prediction, or page copies.
 
 #ifndef LWSNAP_SRC_CORE_SESSION_H_
 #define LWSNAP_SRC_CORE_SESSION_H_
@@ -40,16 +39,12 @@
 #include "src/core/search_graph.h"
 #include "src/core/strategy.h"
 #include "src/core/types.h"
+#include "src/snapshot/engine.h"
 #include "src/snapshot/page_map.h"
 #include "src/snapshot/page_pool.h"
 #include "src/util/status.h"
 
 namespace lw {
-
-enum class SnapshotMode {
-  kCow,
-  kFullCopy,
-};
 
 // Subsystems whose state must travel with snapshots (e.g. the interposed
 // filesystem) register an attachment. Capture must return an immutable value
@@ -73,14 +68,16 @@ struct SessionOptions {
   uint64_t max_extensions = 0;
 
   // SM-A* style byte budget on live snapshot pages (0 = unbounded): after each
-  // guess, the worst frontier entries are evicted until the pool fits.
+  // guess, the worst frontier entries are evicted until the pool fits. Policy
+  // is the engine's (SnapshotEngine::EnforceByteBudget).
   uint64_t snapshot_byte_budget = 0;
 
-  // Hot-page prediction (CoW mode): a page dirtied in enough consecutive
+  // Hot-page prediction (CoW engine): a page dirtied in enough consecutive
   // snapshots is left permanently writable; snapshots memcmp it and restores
   // memcpy it eagerly, skipping the SIGSEGV + 2×mprotect round trip that
   // dominates fine-grained workloads (the stand-in for Dune's cheap ring-0
   // faults). At most this many pages are hot at once; 0 disables prediction.
+  // Ignored by the other engines.
   uint32_t hot_page_limit = 64;
 
   // Output policy. Default (false): guest emissions are forwarded to `output`
@@ -91,7 +88,9 @@ struct SessionOptions {
   std::function<void(std::string_view)> output;  // default: write to stdout
 };
 
-struct SessionStats {
+// Search-side counters; the inherited SnapshotEngineStats block carries the
+// engine-side counters (pages, hot-page prediction, dedup, scan/copy work).
+struct SessionStats : SnapshotEngineStats {
   uint64_t guesses = 0;
   uint64_t snapshots = 0;
   uint64_t restores = 0;
@@ -102,13 +101,6 @@ struct SessionStats {
   uint64_t checkpoints = 0;
   uint64_t resumes = 0;
   uint64_t evictions = 0;
-  uint64_t pages_materialized = 0;
-  uint64_t pages_restored = 0;
-  uint64_t hot_promotions = 0;
-  uint64_t hot_demotions = 0;
-  uint64_t hot_unchanged_skips = 0;  // hot pages found byte-identical at snapshot
-  uint64_t snapshot_ns = 0;
-  uint64_t restore_ns = 0;
 
   std::string ToString() const;
 };
@@ -149,6 +141,7 @@ class BacktrackSession : public GuessExecutor {
   GuestHeap* heap() { return heap_; }
   GuestArena& arena() { return arena_; }
   const PagePool& pool() const { return pool_; }
+  const SnapshotEngine& engine() const { return *engine_; }
   const SessionStats& stats() const { return stats_; }
   size_t frontier_size() const { return strategy_ != nullptr ? strategy_->Size() : 0; }
 
@@ -180,18 +173,16 @@ class BacktrackSession : public GuessExecutor {
   void HandleGuestEvent();
   void MaterializeInto(const SnapshotRef& snap);
   void RestoreTo(const Snapshot& snap);
-  void CopyInPage(uint32_t page, const PageRef& ref);
   void EvaluateExtension(Extension ext);
   void SwapToGuest(ucontext_t* target);
-  void EnforceByteBudget();
   SnapshotRef NewSnapshotShell(SnapshotKind kind);
   void EmitNow(std::string_view text);
 
   SessionOptions options_;
   GuestArena arena_;
-  PagePool pool_;  // declared before all PageMap/SnapshotRef members: destroyed last
+  PagePool pool_;  // declared before engine_ and all SnapshotRef members: destroyed last
+  std::unique_ptr<SnapshotEngine> engine_;  // holds the current map's page refs
 
-  PageMap cur_map_;
   GuestHeap* heap_ = nullptr;  // lives inside the arena
 
   std::unique_ptr<Strategy> strategy_;
@@ -229,12 +220,6 @@ class BacktrackSession : public GuessExecutor {
 
   std::unordered_map<uint64_t, SnapshotRef> checkpoints_;
   std::vector<uint64_t> new_checkpoints_;
-
-  // Hot-page prediction state (see SessionOptions::hot_page_limit).
-  std::vector<uint8_t> hot_;            // page -> currently hot
-  std::vector<uint8_t> dirty_streak_;   // page -> saturating dirty-snapshot count
-  std::vector<uint8_t> clean_streak_;   // hot page -> consecutive unchanged snapshots
-  std::vector<uint32_t> hot_pages_;     // dense list of hot pages
 
   std::string out_buffer_;  // buffered-output mode
   SessionStats stats_;

@@ -1,0 +1,135 @@
+#include "src/snapshot/cow_engine.h"
+
+#include <cstring>
+
+#include "src/core/arena.h"
+
+namespace lw {
+
+CowEngine::CowEngine(const Env& env) : SnapshotEngine(env) {
+  GuestArena& arena = *env_.arena;
+  // Establish the CoW invariant: memory is all-zero, the current map says
+  // all-zero, nothing is dirty, everything is protected. Guard pages stay
+  // unmapped from the snapshot's point of view (invalid refs; never dirtied,
+  // never restored).
+  PageRef zero = env_.pool->ZeroPage();
+  for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+    if (!arena.InGuard(page)) {
+      cur_map_.Set(page, zero);
+    }
+  }
+  arena.SetCowEnabled(true);
+  arena.ProtectAll();
+
+  hot_.assign(arena.num_pages(), 0);
+  dirty_streak_.assign(arena.num_pages(), 0);
+  clean_streak_.assign(arena.num_pages(), 0);
+  hot_pages_.reserve(env_.hot_page_limit);
+}
+
+void CowEngine::Materialize(Snapshot& snap) {
+  GuestArena& arena = *env_.arena;
+  SnapshotEngineStats& stats = *env_.stats;
+
+  // Hot pages first: they are permanently writable, so the dirty set does not
+  // know about them — memcmp against the current blob and republish only on a
+  // real change. A long unchanged streak demotes the page back into the CoW
+  // protocol.
+  constexpr uint8_t kHotDemoteAfter = 16;
+  size_t hot_kept = 0;
+  for (size_t idx = 0; idx < hot_pages_.size(); ++idx) {
+    uint32_t page = hot_pages_[idx];
+    const PageRef cur = cur_map_.Get(page);
+    if (std::memcmp(arena.PageAddr(page), cur.data(), kPageSize) != 0) {
+      cur_map_.Set(page, env_.pool->Publish(arena.PageAddr(page)));
+      ++stats.pages_materialized;
+      clean_streak_[page] = 0;
+      hot_pages_[hot_kept++] = page;
+    } else if (++clean_streak_[page] >= kHotDemoteAfter) {
+      hot_[page] = 0;
+      arena.ProtectPage(page);
+      ++stats.hot_demotions;
+    } else {
+      ++stats.hot_unchanged_skips;
+      hot_pages_[hot_kept++] = page;
+    }
+  }
+  hot_pages_.resize(hot_kept);
+
+  const DirtyTracker& dirty = arena.dirty();
+  constexpr uint8_t kHotPromoteAfter = 4;
+  for (uint32_t i = 0; i < dirty.count(); ++i) {
+    uint32_t page = dirty.pages()[i];
+    cur_map_.Set(page, env_.pool->Publish(arena.PageAddr(page)));
+    // Promotion: a page taking a CoW fault snapshot after snapshot is cheaper
+    // to treat as always-dirty.
+    if (dirty_streak_[page] < 255) {
+      ++dirty_streak_[page];
+    }
+    if (dirty_streak_[page] >= kHotPromoteAfter && hot_[page] == 0 &&
+        hot_pages_.size() < env_.hot_page_limit) {
+      hot_[page] = 1;
+      clean_streak_[page] = 0;
+      hot_pages_.push_back(page);
+      ++stats.hot_promotions;
+    }
+  }
+  stats.pages_materialized += dirty.count();
+  if (hot_pages_.empty()) {
+    arena.ReprotectDirty();
+  } else {
+    arena.ReprotectDirtyExcept(hot_.data());
+  }
+
+  snap.map = cur_map_;  // flat: vector copy; radix: O(1) root share
+  SyncPoolStats();
+}
+
+void CowEngine::CopyInPage(uint32_t page, const PageRef& ref) {
+  GuestArena& arena = *env_.arena;
+  LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+  if (!arena.dirty().IsDirty(page)) {
+    arena.UnprotectPage(page);
+  }
+  std::memcpy(arena.PageAddr(page), ref.data(), kPageSize);
+  arena.ProtectPage(page);
+}
+
+void CowEngine::Restore(const Snapshot& snap) {
+  GuestArena& arena = *env_.arena;
+  uint64_t restored = 0;
+  // Hot pages are writable and fault-free, so their live contents are
+  // unknowable without a compare — copy them in unconditionally (a 4 KiB
+  // memcpy beats SIGSEGV + 2×mprotect, which is the whole point).
+  for (uint32_t page : hot_pages_) {
+    const PageRef ref = snap.map.Get(page);
+    LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+    std::memcpy(arena.PageAddr(page), ref.data(), kPageSize);
+    ++restored;
+  }
+  DirtyTracker& dirty = arena.dirty();
+  // Dirty pages: live memory diverged from cur_map_; always restore them.
+  for (uint32_t i = 0; i < dirty.count(); ++i) {
+    uint32_t page = dirty.pages()[i];
+    CopyInPage(page, snap.map.Get(page));
+    ++restored;
+  }
+  // Clean pages: restore exactly where the two immutable maps disagree.
+  cur_map_.Diff(snap.map, [this, &dirty, &restored](uint32_t page, const PageRef& /*mine*/,
+                                                    const PageRef& theirs) {
+    if (!dirty.IsDirty(page) && hot_[page] == 0) {
+      CopyInPage(page, theirs);
+      ++restored;
+    }
+  });
+  dirty.Clear();
+  cur_map_ = snap.map;
+  env_.stats->pages_restored += restored;
+}
+
+size_t CowEngine::StructureBytes() const {
+  return cur_map_.StructureBytes() + hot_.capacity() + dirty_streak_.capacity() +
+         clean_streak_.capacity() + hot_pages_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace lw

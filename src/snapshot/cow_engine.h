@@ -1,0 +1,52 @@
+// CowEngine: the paper's snapshot design — page-granular copy-on-write driven
+// by mprotect/SIGSEGV (the host MMU standing in for Dune's nested page tables),
+// plus hot-page prediction.
+//
+// Protocol invariant between engine operations: every non-guard page is
+// read-protected unless it is in the arena's dirty set or predicted hot. A
+// guest write to a protected page faults; the handler marks it dirty and grants
+// write access. Materialize publishes exactly the dirty set (plus changed hot
+// pages) and re-protects; Restore copies exactly the pages where live memory
+// diverges from the target map (dirty set + hot pages + map diff).
+//
+// Hot-page prediction: a page dirtied in enough consecutive snapshots is left
+// permanently writable; snapshots memcmp it and restores memcpy it eagerly,
+// skipping the SIGSEGV + 2×mprotect round trip that dominates fine-grained
+// workloads. A long unchanged streak demotes the page back into the protocol.
+
+#ifndef LWSNAP_SRC_SNAPSHOT_COW_ENGINE_H_
+#define LWSNAP_SRC_SNAPSHOT_COW_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/snapshot/engine.h"
+
+namespace lw {
+
+class CowEngine : public SnapshotEngine {
+ public:
+  explicit CowEngine(const Env& env);
+
+  SnapshotMode mode() const override { return SnapshotMode::kCow; }
+  void Materialize(Snapshot& snap) override;
+  void Restore(const Snapshot& snap) override;
+  size_t StructureBytes() const override;
+
+  size_t hot_page_count() const { return hot_pages_.size(); }
+
+ private:
+  // Copies `ref` into a page that the protocol says is clean (protected),
+  // temporarily granting write access without disturbing the dirty set.
+  void CopyInPage(uint32_t page, const PageRef& ref);
+
+  // Prediction state (see SessionOptions::hot_page_limit).
+  std::vector<uint8_t> hot_;           // page -> currently hot
+  std::vector<uint8_t> dirty_streak_;  // page -> saturating dirty-snapshot count
+  std::vector<uint8_t> clean_streak_;  // hot page -> consecutive unchanged snapshots
+  std::vector<uint32_t> hot_pages_;    // dense list of hot pages
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_COW_ENGINE_H_

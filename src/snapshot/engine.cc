@@ -1,0 +1,58 @@
+#include "src/snapshot/engine.h"
+
+#include "src/core/arena.h"
+#include "src/snapshot/cow_engine.h"
+#include "src/snapshot/full_copy_engine.h"
+#include "src/snapshot/incremental_engine.h"
+
+namespace lw {
+
+const char* SnapshotModeName(SnapshotMode mode) {
+  switch (mode) {
+    case SnapshotMode::kCow:
+      return "cow";
+    case SnapshotMode::kFullCopy:
+      return "fullcopy";
+    case SnapshotMode::kIncremental:
+      return "incremental";
+  }
+  return "unknown";
+}
+
+SnapshotEngine::SnapshotEngine(const Env& env)
+    : env_(env), cur_map_(env.page_map_kind, env.arena->num_pages()) {
+  LW_CHECK(env_.arena != nullptr && env_.pool != nullptr && env_.stats != nullptr);
+}
+
+size_t SnapshotEngine::StructureBytes() const { return cur_map_.StructureBytes(); }
+
+void SnapshotEngine::EnforceByteBudget(uint64_t budget, const std::function<bool()>& evict) {
+  if (budget == 0) {
+    return;
+  }
+  while (env_.pool->stats().bytes_live() > budget) {
+    if (!evict()) {
+      break;
+    }
+  }
+}
+
+void SnapshotEngine::SyncPoolStats() {
+  env_.stats->zero_dedup_hits = env_.pool->stats().zero_dedup_hits;
+}
+
+std::unique_ptr<SnapshotEngine> MakeSnapshotEngine(SnapshotMode mode,
+                                                   const SnapshotEngine::Env& env) {
+  switch (mode) {
+    case SnapshotMode::kCow:
+      return std::make_unique<CowEngine>(env);
+    case SnapshotMode::kFullCopy:
+      return std::make_unique<FullCopyEngine>(env);
+    case SnapshotMode::kIncremental:
+      return std::make_unique<IncrementalCopyEngine>(env);
+  }
+  LW_CHECK_MSG(false, "unknown snapshot mode");
+  return nullptr;
+}
+
+}  // namespace lw

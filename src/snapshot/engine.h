@@ -1,0 +1,129 @@
+// SnapshotEngine: the pluggable snapshot substrate behind BacktrackSession.
+//
+// The paper's thesis is that lightweight snapshot/restore is a *system-level
+// service* shared by many search workloads; the session (search orchestration:
+// guess/fail/yield, strategies, checkpoints) and the snapshot mechanics (how an
+// address-space image is captured and reinstated) are separate concerns. This
+// interface is the seam: the session drives the search graph and calls the
+// engine exactly twice per extension — Materialize at a guess point, Restore
+// before resuming a sibling — plus a byte-budget hook after each guess.
+//
+// Backends (see DESIGN.md for the layering and trade-off discussion):
+//   * CowEngine         — page-granular copy-on-write via mprotect/SIGSEGV (the
+//                         paper's design; the host MMU stands in for Dune's
+//                         nested pages), with hot-page prediction that lifts
+//                         persistently dirty pages out of the fault path.
+//   * FullCopyEngine    — classic whole-arena checkpointing [libckpt]: cost is
+//                         proportional to arena size, independent of the write
+//                         set. The baseline the paper argues against.
+//   * IncrementalCopyEngine — fault-free incremental checkpointing: no mprotect
+//                         traffic at all; a per-snapshot content scan feeds a
+//                         DirtyTracker and only flagged pages are memcpy'd.
+//                         Reads ∝ arena, copies ∝ delta — the middle point of
+//                         the design space for fault-cost-dominated hosts.
+//
+// Future backends (compressed blobs, remote/disaggregated pools, parallel
+// materialization) implement this interface without touching the scheduler.
+
+#ifndef LWSNAP_SRC_SNAPSHOT_ENGINE_H_
+#define LWSNAP_SRC_SNAPSHOT_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/core/search_graph.h"
+#include "src/snapshot/page_map.h"
+#include "src/snapshot/page_pool.h"
+
+namespace lw {
+
+class GuestArena;
+
+enum class SnapshotMode {
+  kCow,
+  kFullCopy,
+  kIncremental,
+};
+
+const char* SnapshotModeName(SnapshotMode mode);
+
+// Counters owned by the snapshot substrate. SessionStats inherits these so the
+// session's stats block reports engine behaviour alongside search behaviour.
+struct SnapshotEngineStats {
+  uint64_t pages_materialized = 0;
+  uint64_t pages_restored = 0;
+  uint64_t hot_promotions = 0;
+  uint64_t hot_demotions = 0;
+  uint64_t hot_unchanged_skips = 0;  // hot pages found byte-identical at snapshot
+  uint64_t zero_dedup_hits = 0;      // publishes collapsed to the canonical zero blob
+  uint64_t incr_pages_scanned = 0;   // incremental engine: pages memcmp'd
+  uint64_t incr_pages_copied = 0;    // incremental engine: pages actually copied
+  uint64_t snapshot_ns = 0;
+  uint64_t restore_ns = 0;
+};
+
+class SnapshotEngine {
+ public:
+  // Everything an engine is allowed to touch. The arena is the live guest
+  // memory (and, for CoW, the protection/dirty machinery); the pool is where
+  // immutable page blobs live; stats is the shared counter block.
+  struct Env {
+    GuestArena* arena = nullptr;
+    PagePool* pool = nullptr;
+    SnapshotEngineStats* stats = nullptr;
+    PageMapKind page_map_kind = PageMapKind::kRadix;
+    uint32_t hot_page_limit = 0;  // CoW only; other engines ignore it
+  };
+
+  explicit SnapshotEngine(const Env& env);
+  virtual ~SnapshotEngine() = default;
+
+  SnapshotEngine(const SnapshotEngine&) = delete;
+  SnapshotEngine& operator=(const SnapshotEngine&) = delete;
+
+  virtual SnapshotMode mode() const = 0;
+  const char* name() const { return SnapshotModeName(mode()); }
+
+  // Captures the live arena image into snap.map (sharing the engine's current
+  // map; the snapshot becomes immutable from this point on). Called with the
+  // guest parked, so the page image exactly matches the saved registers.
+  virtual void Materialize(Snapshot& snap) = 0;
+
+  // Rebuilds live arena memory to byte-equality with snap.map and adopts it as
+  // the current map.
+  virtual void Restore(const Snapshot& snap) = 0;
+
+  // Called immediately before control transfers into the guest. Engines that
+  // arm per-resume tracking state (e.g. a future soft-dirty backend) hook here;
+  // the built-in engines keep their invariants across resumes and do nothing.
+  virtual void OnGuestResume() {}
+
+  // Host bytes consumed by engine-side bookkeeping (current map structure,
+  // prediction tables, trackers) — excludes page blobs and snapshot maps.
+  virtual size_t StructureBytes() const;
+
+  // Post-materialize eviction policy: while the pool's live bytes exceed
+  // `budget`, drop frontier entries via `evict` (returns false when nothing is
+  // evictable). Engines may override to weigh structure bytes or dedup savings
+  // differently; `budget == 0` means unbounded.
+  virtual void EnforceByteBudget(uint64_t budget, const std::function<bool()>& evict);
+
+  const PageMap& current_map() const { return cur_map_; }
+
+ protected:
+  // Mirrors pool-level dedup accounting into the shared stats block (called by
+  // engines at the end of Materialize).
+  void SyncPoolStats();
+
+  Env env_;
+  PageMap cur_map_;
+};
+
+// Builds the engine for `mode` and establishes its arena invariant (protection
+// state, initial current map). Call before any guest code runs in the arena.
+std::unique_ptr<SnapshotEngine> MakeSnapshotEngine(SnapshotMode mode, const SnapshotEngine::Env& env);
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_ENGINE_H_

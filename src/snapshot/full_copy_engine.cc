@@ -1,0 +1,41 @@
+#include "src/snapshot/full_copy_engine.h"
+
+#include <cstring>
+
+#include "src/core/arena.h"
+
+namespace lw {
+
+FullCopyEngine::FullCopyEngine(const Env& env) : SnapshotEngine(env) {
+  // The arena stays fully writable; no faults are ever taken.
+  env_.arena->SetCowEnabled(false);
+}
+
+void FullCopyEngine::Materialize(Snapshot& snap) {
+  GuestArena& arena = *env_.arena;
+  PageMap fresh(env_.page_map_kind, arena.num_pages());
+  for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+    if (!arena.InGuard(page)) {
+      fresh.Set(page, env_.pool->Publish(arena.PageAddr(page)));
+      ++env_.stats->pages_materialized;
+    }
+  }
+  cur_map_ = std::move(fresh);
+  snap.map = cur_map_;
+  SyncPoolStats();
+}
+
+void FullCopyEngine::Restore(const Snapshot& snap) {
+  GuestArena& arena = *env_.arena;
+  uint64_t restored = 0;
+  for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+    if (!arena.InGuard(page)) {
+      std::memcpy(arena.PageAddr(page), snap.map.Get(page).data(), kPageSize);
+      ++restored;
+    }
+  }
+  cur_map_ = snap.map;
+  env_.stats->pages_restored += restored;
+}
+
+}  // namespace lw

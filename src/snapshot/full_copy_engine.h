@@ -1,0 +1,29 @@
+// FullCopyEngine: the classic checkpointing baseline [libckpt]. Every snapshot
+// copies the whole arena into the pool; every restore copies it back. No page
+// protection, no faults — cost is proportional to arena size regardless of how
+// little the guest wrote. Kept as the experimental control the paper's CoW
+// design is measured against (and as the simplest possible backend).
+//
+// Zero-page dedup in the pool keeps sparse arenas from exploding: all-zero
+// pages collapse to the canonical zero blob, so the first snapshot of a fresh
+// arena costs O(arena) compares but O(touched) unique blobs.
+
+#ifndef LWSNAP_SRC_SNAPSHOT_FULL_COPY_ENGINE_H_
+#define LWSNAP_SRC_SNAPSHOT_FULL_COPY_ENGINE_H_
+
+#include "src/snapshot/engine.h"
+
+namespace lw {
+
+class FullCopyEngine : public SnapshotEngine {
+ public:
+  explicit FullCopyEngine(const Env& env);
+
+  SnapshotMode mode() const override { return SnapshotMode::kFullCopy; }
+  void Materialize(Snapshot& snap) override;
+  void Restore(const Snapshot& snap) override;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_FULL_COPY_ENGINE_H_

@@ -1,0 +1,82 @@
+#include "src/snapshot/incremental_engine.h"
+
+#include <cstring>
+
+#include "src/core/arena.h"
+
+namespace lw {
+
+IncrementalCopyEngine::IncrementalCopyEngine(const Env& env)
+    : SnapshotEngine(env), tracker_(env.arena->num_pages()) {
+  GuestArena& arena = *env_.arena;
+  // No protection, no faults: the arena stays writable for its whole life.
+  arena.SetCowEnabled(false);
+  // The arena is freshly mmap'd (all-zero), so the canonical zero blob is a
+  // truthful image of every non-guard page: the first Materialize only copies
+  // what the guest actually touched.
+  PageRef zero = env_.pool->ZeroPage();
+  for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+    if (!arena.InGuard(page)) {
+      cur_map_.Set(page, zero);
+    }
+  }
+}
+
+void IncrementalCopyEngine::Materialize(Snapshot& snap) {
+  GuestArena& arena = *env_.arena;
+  SnapshotEngineStats& stats = *env_.stats;
+  // Pass 1: the content scan feeds the tracker — this is the engine's dirty
+  // detection (memcmp instead of a write fault).
+  for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+    if (arena.InGuard(page)) {
+      continue;
+    }
+    ++stats.incr_pages_scanned;
+    const PageRef cur = cur_map_.Get(page);
+    if (std::memcmp(arena.PageAddr(page), cur.data(), kPageSize) != 0) {
+      tracker_.MarkDirty(page);
+    }
+  }
+  // Pass 2: memcpy-publish exactly the flagged pages.
+  for (uint32_t i = 0; i < tracker_.count(); ++i) {
+    uint32_t page = tracker_.pages()[i];
+    cur_map_.Set(page, env_.pool->Publish(arena.PageAddr(page)));
+  }
+  stats.incr_pages_copied += tracker_.count();
+  stats.pages_materialized += tracker_.count();
+  tracker_.Clear();
+  snap.map = cur_map_;  // live memory now matches cur_map_ byte-for-byte
+  SyncPoolStats();
+}
+
+void IncrementalCopyEngine::Restore(const Snapshot& snap) {
+  GuestArena& arena = *env_.arena;
+  SnapshotEngineStats& stats = *env_.stats;
+  uint64_t restored = 0;
+  // Live memory may have diverged from cur_map_ anywhere (no faults tell us
+  // where), so compare against the *target* map directly and copy the
+  // difference — one scan covers both guest writes and tree-path deltas.
+  for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+    if (arena.InGuard(page)) {
+      continue;
+    }
+    ++stats.incr_pages_scanned;
+    const PageRef ref = snap.map.Get(page);
+    LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+    if (std::memcmp(arena.PageAddr(page), ref.data(), kPageSize) != 0) {
+      std::memcpy(arena.PageAddr(page), ref.data(), kPageSize);
+      ++restored;
+    }
+  }
+  cur_map_ = snap.map;
+  stats.pages_restored += restored;
+}
+
+size_t IncrementalCopyEngine::StructureBytes() const {
+  // Tracker storage: one bitmap word per 64 pages plus the dense page list.
+  uint32_t pages = tracker_.num_pages();
+  return cur_map_.StructureBytes() + ((pages + 63) / 64) * sizeof(uint64_t) +
+         pages * sizeof(uint32_t);
+}
+
+}  // namespace lw

@@ -40,7 +40,22 @@ void PagePool::RecycleBlob(internal::PageBlob* blob) {
   ++stats_.free_blobs;
 }
 
+namespace {
+
+bool IsZeroPage(const void* src) {
+  // memcmp with early exit: real data almost always differs within the first
+  // few bytes, so the dedup probe costs nanoseconds on the common path.
+  static const uint8_t kZero[kPageSize] = {};
+  return std::memcmp(src, kZero, kPageSize) == 0;
+}
+
+}  // namespace
+
 PageRef PagePool::Publish(const void* src) {
+  if (IsZeroPage(src)) {
+    ++stats_.zero_dedup_hits;
+    return ZeroPage();
+  }
   internal::PageBlob* blob = AcquireBlob();
   std::memcpy(blob->data, src, kPageSize);
   return PageRef(blob);

@@ -95,7 +95,10 @@ class PagePool {
   PagePool(const PagePool&) = delete;
   PagePool& operator=(const PagePool&) = delete;
 
-  // Publishes a copy of `src` (kPageSize bytes) as a new immutable blob.
+  // Publishes a copy of `src` (kPageSize bytes) as an immutable blob. All-zero
+  // sources are deduplicated: they collapse to the shared canonical zero blob
+  // instead of allocating a new one (sparse arenas snapshot thousands of zero
+  // pages; without dedup each would be a resident 4 KiB copy).
   PageRef Publish(const void* src);
 
   // Publishes an all-zero page. Zero pages are deduplicated to a single shared blob
@@ -107,7 +110,8 @@ class PagePool {
     uint64_t live_blobs = 0;     // blobs with refcount > 0
     uint64_t free_blobs = 0;     // recycled blobs on the free list
     uint64_t peak_live_blobs = 0;
-    uint64_t total_published = 0;  // lifetime Publish() count
+    uint64_t total_published = 0;  // lifetime blob allocations (dedup hits excluded)
+    uint64_t zero_dedup_hits = 0;  // Publish() calls collapsed to the zero blob
     uint64_t bytes_resident() const { return (live_blobs + free_blobs) * sizeof(internal::PageBlob); }
     uint64_t bytes_live() const { return live_blobs * sizeof(internal::PageBlob); }
   };

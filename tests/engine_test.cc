@@ -1,0 +1,240 @@
+// Tests for the pluggable SnapshotEngine layer: direct (session-less)
+// materialize/restore round trips for all three backends, the incremental
+// engine's delta accounting, and zero-page dedup in the PagePool (blob
+// identity, refcounts, StructureBytes/bytes_live accounting).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/core/arena.h"
+#include "src/snapshot/engine.h"
+#include "src/snapshot/incremental_engine.h"
+#include "src/snapshot/page_pool.h"
+
+namespace lw {
+namespace {
+
+GuestArena::Layout SmallLayout() {
+  GuestArena::Layout layout;
+  layout.arena_bytes = 2ull << 20;
+  layout.stack_bytes = 256 * 1024;
+  layout.guard_bytes = 16 * kPageSize;
+  return layout;
+}
+
+SnapshotEngine::Env MakeEnv(GuestArena* arena, PagePool* pool, SnapshotEngineStats* stats,
+                            SnapshotMode mode) {
+  SnapshotEngine::Env env;
+  env.arena = arena;
+  env.pool = pool;
+  env.stats = stats;
+  env.page_map_kind = PageMapKind::kRadix;
+  env.hot_page_limit = mode == SnapshotMode::kCow ? 64 : 0;
+  return env;
+}
+
+// --- Round trips, identically for every backend ----------------------------------
+
+class EngineRoundTripTest : public ::testing::TestWithParam<SnapshotMode> {};
+
+TEST_P(EngineRoundTripTest, MaterializeRestoreRoundTrip) {
+  GuestArena arena(SmallLayout());
+  PagePool pool;
+  SnapshotEngineStats stats;
+  {
+    auto engine = MakeSnapshotEngine(GetParam(), MakeEnv(&arena, &pool, &stats, GetParam()));
+    ASSERT_EQ(engine->mode(), GetParam());
+
+    Snapshot snap_a;
+    Snapshot snap_b;
+
+    // State A: three pages with distinct fills.
+    std::memset(arena.PageAddr(1), 0xA1, kPageSize);
+    std::memset(arena.PageAddr(2), 0xA2, kPageSize);
+    std::memset(arena.PageAddr(7), 0xA7, kPageSize);
+    engine->Materialize(snap_a);
+
+    // State B: one page changed, one new page touched.
+    std::memset(arena.PageAddr(2), 0xB2, kPageSize);
+    std::memset(arena.PageAddr(9), 0xB9, kPageSize);
+    engine->Materialize(snap_b);
+
+    // Scribble after the snapshot: must be rolled back by any restore.
+    std::memset(arena.PageAddr(1), 0xEE, kPageSize);
+    std::memset(arena.PageAddr(11), 0xEE, kPageSize);
+
+    engine->Restore(snap_a);
+    EXPECT_EQ(arena.PageAddr(1)[0], 0xA1);
+    EXPECT_EQ(arena.PageAddr(2)[100], 0xA2);
+    EXPECT_EQ(arena.PageAddr(7)[kPageSize - 1], 0xA7);
+    EXPECT_EQ(arena.PageAddr(9)[0], 0x00);   // untouched in state A
+    EXPECT_EQ(arena.PageAddr(11)[0], 0x00);  // scribble rolled back
+
+    engine->Restore(snap_b);
+    EXPECT_EQ(arena.PageAddr(1)[0], 0xA1);
+    EXPECT_EQ(arena.PageAddr(2)[100], 0xB2);
+    EXPECT_EQ(arena.PageAddr(9)[0], 0xB9);
+
+    EXPECT_GT(engine->StructureBytes(), 0u);
+    EXPECT_GT(stats.pages_materialized, 0u);
+  }
+  // Engine + snapshots dropped every ref; only the pool-held canonical zero
+  // blob may remain.
+  EXPECT_LE(pool.stats().live_blobs, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EngineRoundTripTest,
+                         ::testing::Values(SnapshotMode::kCow, SnapshotMode::kFullCopy,
+                                           SnapshotMode::kIncremental),
+                         [](const ::testing::TestParamInfo<SnapshotMode>& param) {
+                           return std::string(SnapshotModeName(param.param));
+                         });
+
+// --- IncrementalCopyEngine accounting --------------------------------------------
+
+TEST(IncrementalEngineTest, CopiesOnlyTheDelta) {
+  GuestArena arena(SmallLayout());
+  PagePool pool;
+  SnapshotEngineStats stats;
+  {
+    auto engine = MakeSnapshotEngine(SnapshotMode::kIncremental,
+                                     MakeEnv(&arena, &pool, &stats, SnapshotMode::kIncremental));
+    Snapshot snap1;
+    Snapshot snap2;
+
+    std::memset(arena.PageAddr(3), 0x11, kPageSize);
+    std::memset(arena.PageAddr(4), 0x22, kPageSize);
+    std::memset(arena.PageAddr(5), 0x33, kPageSize);
+    engine->Materialize(snap1);
+    EXPECT_EQ(stats.incr_pages_copied, 3u);  // fresh arena: only the touched pages
+    EXPECT_EQ(stats.pages_materialized, 3u);
+
+    std::memset(arena.PageAddr(8), 0x44, kPageSize);
+    engine->Materialize(snap2);
+    EXPECT_EQ(stats.incr_pages_copied, 4u);  // +1: unchanged pages are not re-published
+
+    // The scan visits every non-guard page on each call.
+    uint32_t non_guard = 0;
+    for (uint32_t p = 0; p < arena.num_pages(); ++p) {
+      non_guard += arena.InGuard(p) ? 0 : 1;
+    }
+    EXPECT_EQ(stats.incr_pages_scanned, 2u * non_guard);
+
+    // Restore to snap1: exactly one page (8) differs from live memory.
+    engine->Restore(snap1);
+    EXPECT_EQ(stats.pages_restored, 1u);
+    EXPECT_EQ(arena.PageAddr(8)[0], 0x00);
+    EXPECT_EQ(arena.PageAddr(3)[0], 0x11);
+  }
+  EXPECT_LE(pool.stats().live_blobs, 1u);  // only the pool-held zero blob remains
+}
+
+TEST(IncrementalEngineTest, TakesNoFaults) {
+  GuestArena arena(SmallLayout());
+  PagePool pool;
+  SnapshotEngineStats stats;
+  {
+    auto engine = MakeSnapshotEngine(SnapshotMode::kIncremental,
+                                     MakeEnv(&arena, &pool, &stats, SnapshotMode::kIncremental));
+    Snapshot snap;
+    std::memset(arena.PageAddr(1), 0x55, kPageSize);
+    engine->Materialize(snap);
+    std::memset(arena.PageAddr(1), 0x66, kPageSize);
+    engine->Restore(snap);
+    EXPECT_EQ(arena.PageAddr(1)[0], 0x55);
+  }
+  EXPECT_EQ(arena.cow_faults(), 0u);  // the whole point: no mprotect traffic
+  EXPECT_FALSE(arena.cow_enabled());
+}
+
+TEST(IncrementalEngineTest, StructureBytesCountsMapAndTracker) {
+  GuestArena arena(SmallLayout());
+  PagePool pool;
+  SnapshotEngineStats stats;
+  auto engine = MakeSnapshotEngine(SnapshotMode::kIncremental,
+                                   MakeEnv(&arena, &pool, &stats, SnapshotMode::kIncremental));
+  // At least the dense tracker list (4 bytes/page) beyond the map structure.
+  EXPECT_GE(engine->StructureBytes(),
+            engine->current_map().StructureBytes() + arena.num_pages() * sizeof(uint32_t));
+}
+
+TEST(IncrementalEngineTest, ZeroedPagesDedupOnRepublish) {
+  GuestArena arena(SmallLayout());
+  PagePool pool;
+  SnapshotEngineStats stats;
+  {
+    auto engine = MakeSnapshotEngine(SnapshotMode::kIncremental,
+                                     MakeEnv(&arena, &pool, &stats, SnapshotMode::kIncremental));
+    Snapshot snap1;
+    Snapshot snap2;
+    std::memset(arena.PageAddr(2), 0x77, kPageSize);
+    engine->Materialize(snap1);
+    uint64_t hits_before = stats.zero_dedup_hits;
+    std::memset(arena.PageAddr(2), 0x00, kPageSize);  // back to all-zero
+    engine->Materialize(snap2);
+    // The republished page collapsed to the canonical zero blob and the engine
+    // mirrored the pool's dedup accounting into its stats block.
+    EXPECT_EQ(stats.zero_dedup_hits, hits_before + 1);
+    EXPECT_EQ(snap2.map.Get(2), pool.ZeroPage());
+  }
+  EXPECT_LE(pool.stats().live_blobs, 1u);  // only the pool-held zero blob remains
+}
+
+// --- Zero-page dedup in the PagePool ----------------------------------------------
+
+TEST(PagePoolDedupTest, PublishOfZeroPageCollapsesToCanonicalBlob) {
+  PagePool pool;
+  std::vector<uint8_t> zeros(kPageSize, 0);
+  PageRef canonical = pool.ZeroPage();
+  uint64_t live_before = pool.stats().live_blobs;
+
+  PageRef a = pool.Publish(zeros.data());
+  PageRef b = pool.Publish(zeros.data());
+  EXPECT_EQ(a, canonical);  // blob identity, not just content equality
+  EXPECT_EQ(b, canonical);
+  EXPECT_EQ(pool.stats().zero_dedup_hits, 2u);
+  EXPECT_EQ(pool.stats().live_blobs, live_before);  // no new blobs allocated
+}
+
+TEST(PagePoolDedupTest, DedupBumpsRefcountOnCanonicalBlob) {
+  PagePool pool;
+  std::vector<uint8_t> zeros(kPageSize, 0);
+  PageRef canonical = pool.ZeroPage();
+  uint32_t base = canonical.refcount();
+  {
+    PageRef a = pool.Publish(zeros.data());
+    EXPECT_EQ(canonical.refcount(), base + 1);
+    PageRef b = a;
+    EXPECT_EQ(canonical.refcount(), base + 2);
+  }
+  EXPECT_EQ(canonical.refcount(), base);  // dedup'd refs release like any other
+}
+
+TEST(PagePoolDedupTest, NonZeroPagesStillAllocate) {
+  PagePool pool;
+  std::vector<uint8_t> page(kPageSize, 0);
+  page[kPageSize - 1] = 1;  // a single trailing nonzero byte defeats dedup
+  PageRef a = pool.Publish(page.data());
+  EXPECT_NE(a, pool.ZeroPage());
+  EXPECT_EQ(pool.stats().zero_dedup_hits, 0u);
+  EXPECT_EQ(a.data()[kPageSize - 1], 1);
+}
+
+TEST(PagePoolDedupTest, DedupKeepsBytesLiveFlat) {
+  PagePool pool;
+  std::vector<uint8_t> zeros(kPageSize, 0);
+  PageRef canonical = pool.ZeroPage();
+  uint64_t bytes_before = pool.stats().bytes_live();
+  std::vector<PageRef> refs;
+  for (int i = 0; i < 1000; ++i) {
+    refs.push_back(pool.Publish(zeros.data()));
+  }
+  // A sparse arena's worth of zero publishes costs zero additional residency.
+  EXPECT_EQ(pool.stats().bytes_live(), bytes_before);
+  EXPECT_EQ(pool.stats().zero_dedup_hits, 1000u);
+}
+
+}  // namespace
+}  // namespace lw

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/core/backtrack.h"
+#include "src/snapshot/cow_engine.h"
 
 namespace lw {
 namespace {
@@ -63,11 +64,59 @@ TEST(HotPagesTest, PromotionPreservesChainSemantics) {
   options.arena_bytes = 8ull << 20;
   options.output = [](std::string_view) {};
   BacktrackSession session(options);
+  // Hot-page prediction lives in the extracted CowEngine, selected by mode.
+  ASSERT_EQ(session.engine().mode(), SnapshotMode::kCow);
   ASSERT_TRUE(session.Run(&ChainGuest, &args).ok());
   EXPECT_FALSE(args.corrupted);
   // The fixed page (plus stack pages) must have been promoted.
   EXPECT_GT(session.stats().hot_promotions, 0u);
   EXPECT_GT(session.stats().snapshots, 60u);
+}
+
+// Drive the extracted CowEngine directly — no session, no guest: a host-side
+// write/materialize loop must promote a repeatedly dirtied page, demote it
+// after a clean streak, and keep round-trip contents exact throughout.
+TEST(HotPagesTest, ExtractedCowEngineHotCycleDirect) {
+  GuestArena::Layout layout;
+  layout.arena_bytes = 2ull << 20;
+  layout.stack_bytes = 256 * 1024;
+  layout.guard_bytes = 16 * kPageSize;
+  GuestArena arena(layout);
+  PagePool pool;
+  SnapshotEngineStats stats;
+  {
+    SnapshotEngine::Env env;
+    env.arena = &arena;
+    env.pool = &pool;
+    env.stats = &stats;
+    env.page_map_kind = PageMapKind::kRadix;
+    env.hot_page_limit = 8;
+    CowEngine engine(env);
+
+    // Phase 1: dirty the same page across many snapshots — it must go hot.
+    std::vector<Snapshot> snaps(40);
+    for (int round = 0; round < 12; ++round) {
+      arena.PageAddr(5)[0] = static_cast<uint8_t>(round + 1);
+      engine.Materialize(snaps[static_cast<size_t>(round)]);
+    }
+    EXPECT_GT(stats.hot_promotions, 0u);
+    EXPECT_GT(engine.hot_page_count(), 0u);
+
+    // Phase 2: stop touching it — unchanged-skip accounting, then demotion.
+    for (int round = 12; round < 32; ++round) {
+      engine.Materialize(snaps[static_cast<size_t>(round)]);
+    }
+    EXPECT_GT(stats.hot_unchanged_skips, 0u);
+    EXPECT_GT(stats.hot_demotions, 0u);
+    EXPECT_EQ(engine.hot_page_count(), 0u);
+
+    // Phase 3: restores still reproduce each round's byte image exactly.
+    engine.Restore(snaps[3]);
+    EXPECT_EQ(arena.PageAddr(5)[0], 4);
+    engine.Restore(snaps[10]);
+    EXPECT_EQ(arena.PageAddr(5)[0], 11);
+  }
+  EXPECT_LE(pool.stats().live_blobs, 1u);  // only the pool-held zero blob remains
 }
 
 TEST(HotPagesTest, DisabledPredictionGivesSameResults) {

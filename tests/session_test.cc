@@ -235,6 +235,12 @@ INSTANTIATE_TEST_SUITE_P(
                       SessionVariant{PageMapKind::kFlat, SnapshotMode::kCow, StrategyKind::kDfs},
                       SessionVariant{PageMapKind::kRadix, SnapshotMode::kFullCopy,
                                      StrategyKind::kDfs},
+                      SessionVariant{PageMapKind::kRadix, SnapshotMode::kIncremental,
+                                     StrategyKind::kDfs},
+                      SessionVariant{PageMapKind::kFlat, SnapshotMode::kIncremental,
+                                     StrategyKind::kDfs},
+                      SessionVariant{PageMapKind::kRadix, SnapshotMode::kIncremental,
+                                     StrategyKind::kBfs},
                       SessionVariant{PageMapKind::kRadix, SnapshotMode::kCow, StrategyKind::kBfs},
                       SessionVariant{PageMapKind::kRadix, SnapshotMode::kCow,
                                      StrategyKind::kRandom},
@@ -242,7 +248,9 @@ INSTANTIATE_TEST_SUITE_P(
                                      StrategyKind::kIddfs}),
     [](const ::testing::TestParamInfo<SessionVariant>& param) {
       std::string name = PageMapKindName(param.param.map_kind);
-      name += param.param.mode == SnapshotMode::kCow ? "_cow_" : "_fullcopy_";
+      name += "_";
+      name += SnapshotModeName(param.param.mode);
+      name += "_";
       name += StrategyKindName(param.param.strategy);
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
