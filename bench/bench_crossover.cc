@@ -142,6 +142,9 @@ void RunLwsnap(benchmark::State& state, lw::SnapshotMode mode) {
   args.work_us = static_cast<uint64_t>(state.range(0));
   args.pages = static_cast<uint32_t>(state.range(1));
   state.SetLabel(lw::SnapshotModeName(mode));
+  uint64_t resident_bytes = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t compressed_blobs = 0;
   for (auto _ : state) {
     args.leaves = 0;
     lw::SessionOptions options;
@@ -154,8 +157,15 @@ void RunLwsnap(benchmark::State& state, lw::SnapshotMode mode) {
       state.SkipWithError(status.ToString().c_str());
       return;
     }
+    const lw::PageStore::Stats& store = session.store().stats();
+    resident_bytes = store.bytes_resident();
+    dedup_hits = store.zero_dedup_hits + store.content_dedup_hits;
+    compressed_blobs = store.compressed_blobs;
   }
   state.counters["leaves"] = static_cast<double>(args.leaves);
+  state.counters["resident_bytes"] = static_cast<double>(resident_bytes);
+  state.counters["dedup_hits"] = static_cast<double>(dedup_hits);
+  state.counters["compressed_blobs"] = static_cast<double>(compressed_blobs);
 }
 
 void BM_LwsnapCow(benchmark::State& state) { RunLwsnap(state, lw::SnapshotMode::kCow); }
@@ -214,6 +224,9 @@ void QueensGuest(void* arg) {
 void RunQueens(benchmark::State& state, lw::SnapshotMode mode) {
   state.SetLabel(lw::SnapshotModeName(mode));
   uint64_t solutions = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t compressed_blobs = 0;
   for (auto _ : state) {
     int n = kQueensN;
     lw::SessionOptions options;
@@ -231,8 +244,15 @@ void RunQueens(benchmark::State& state, lw::SnapshotMode mode) {
       state.SkipWithError("engine produced a wrong n-queens solution count");
       return;
     }
+    const lw::PageStore::Stats& store = session.store().stats();
+    resident_bytes = store.bytes_resident();
+    dedup_hits = store.zero_dedup_hits + store.content_dedup_hits;
+    compressed_blobs = store.compressed_blobs;
   }
   state.counters["solutions"] = static_cast<double>(solutions);
+  state.counters["resident_bytes"] = static_cast<double>(resident_bytes);
+  state.counters["dedup_hits"] = static_cast<double>(dedup_hits);
+  state.counters["compressed_blobs"] = static_cast<double>(compressed_blobs);
 }
 
 void BM_QueensCow(benchmark::State& state) { RunQueens(state, lw::SnapshotMode::kCow); }

@@ -23,16 +23,16 @@
 #include <vector>
 
 #include "src/snapshot/page_map.h"
-#include "src/snapshot/page_pool.h"
+#include "src/snapshot/page_store.h"
 #include "src/util/rng.h"
 
 namespace {
 
 constexpr uint32_t kPages = 16384;  // a 64 MiB arena's worth of 4 KiB pages
 
-lw::PageMap MakeBase(lw::PageMapKind kind, lw::PagePool* pool) {
+lw::PageMap MakeBase(lw::PageMapKind kind, lw::PageStore* store) {
   lw::PageMap map(kind, kPages);
-  lw::PageRef zero = pool->ZeroPage();
+  lw::PageRef zero = store->ZeroPage();
   for (uint32_t page = 0; page < kPages; ++page) {
     map.Set(page, zero);
   }
@@ -42,8 +42,8 @@ lw::PageMap MakeBase(lw::PageMapKind kind, lw::PagePool* pool) {
 void BM_Share(benchmark::State& state) {
   auto kind = state.range(0) == 0 ? lw::PageMapKind::kFlat : lw::PageMapKind::kRadix;
   uint32_t dirty = static_cast<uint32_t>(state.range(1));
-  lw::PagePool pool;
-  lw::PageMap base = MakeBase(kind, &pool);
+  lw::PageStore store;
+  lw::PageMap base = MakeBase(kind, &store);
   uint8_t page_bytes[lw::kPageSize] = {1};
   lw::Rng rng(7);
 
@@ -52,7 +52,7 @@ void BM_Share(benchmark::State& state) {
     // publish (share) the result the way the session does.
     lw::PageMap working = base;
     for (uint32_t i = 0; i < dirty; ++i) {
-      working.Set(rng.Next() % kPages, pool.Publish(page_bytes));
+      working.Set(rng.Next() % kPages, store.Publish(page_bytes));
     }
     lw::PageMap published = working;  // the share
     benchmark::DoNotOptimize(published.Get(0));
@@ -70,14 +70,14 @@ BENCHMARK(BM_Share)
 void BM_Diff(benchmark::State& state) {
   auto kind = state.range(0) == 0 ? lw::PageMapKind::kFlat : lw::PageMapKind::kRadix;
   uint32_t dirty = static_cast<uint32_t>(state.range(1));
-  lw::PagePool pool;
-  lw::PageMap base = MakeBase(kind, &pool);
+  lw::PageStore store;
+  lw::PageMap base = MakeBase(kind, &store);
   uint8_t page_bytes[lw::kPageSize] = {1};
   lw::Rng rng(8);
 
   lw::PageMap sibling = base;
   for (uint32_t i = 0; i < dirty; ++i) {
-    sibling.Set(rng.Next() % kPages, pool.Publish(page_bytes));
+    sibling.Set(rng.Next() % kPages, store.Publish(page_bytes));
   }
 
   uint64_t differing = 0;
@@ -103,17 +103,17 @@ BENCHMARK(BM_Diff)
 // flat duplicates the whole table per snapshot; radix shares spines.
 void BM_TreeBytes(benchmark::State& state) {
   auto kind = state.range(0) == 0 ? lw::PageMapKind::kFlat : lw::PageMapKind::kRadix;
-  lw::PagePool pool;
+  lw::PageStore store;
   uint8_t page_bytes[lw::kPageSize] = {1};
   lw::Rng rng(9);
 
   size_t retained = 0;
   for (auto _ : state) {
     std::vector<lw::PageMap> chain;
-    lw::PageMap working = MakeBase(kind, &pool);
+    lw::PageMap working = MakeBase(kind, &store);
     for (int snapshot = 0; snapshot < 256; ++snapshot) {
       for (int i = 0; i < 16; ++i) {
-        working.Set(rng.Next() % kPages, pool.Publish(page_bytes));
+        working.Set(rng.Next() % kPages, store.Publish(page_bytes));
       }
       chain.push_back(working);
     }

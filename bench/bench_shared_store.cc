@@ -1,0 +1,95 @@
+// E8 — N solver services over one content-addressed PageStore vs N private
+// stores.
+//
+// The paper's pitch is snapshots as a *system-level service*: many search
+// clients on one substrate. The shared store makes the resident-byte side of
+// that claim measurable: every service parks its solved problems as
+// checkpoints, so its clause arenas, watch lists, and trails stay live — and
+// services working related problems republish byte-identical pages that
+// collapse to one blob. The `SharedStore/N` vs `PrivateStores/N` pair at each
+// N shows the aggregate residency gap; cross_dedup_hits is the headline
+// counter (pointer-bearing pages — guest stacks, heap metadata — embed arena
+// addresses and can never dedup across arenas, so every hit is real shared
+// content).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/solver/service.h"
+#include "src/util/rng.h"
+
+namespace {
+
+// One base problem shared by the fleet (the common-context shape of §3.2:
+// clients extend the same solved core with private increments).
+const lw::Cnf& BaseProblem() {
+  static const lw::Cnf* base = [] {
+    lw::Rng rng(20260730);
+    return new lw::Cnf(lw::RandomKSat(&rng, 300, 1200, 3));
+  }();
+  return *base;
+}
+
+void RunFleet(benchmark::State& state, bool shared) {
+  int num_services = static_cast<int>(state.range(0));
+  uint64_t resident_bytes = 0;
+  uint64_t cross_dedup_hits = 0;
+  uint64_t dedup_hits = 0;
+  for (auto _ : state) {
+    auto shared_store = std::make_shared<lw::PageStore>();
+    std::vector<std::shared_ptr<lw::PageStore>> stores;
+    std::vector<std::unique_ptr<lw::SolverService>> services;
+    for (int i = 0; i < num_services; ++i) {
+      auto store = shared ? shared_store : std::make_shared<lw::PageStore>();
+      lw::SolverServiceOptions options;
+      options.arena_bytes = 16ull << 20;
+      options.store = store;
+      stores.push_back(std::move(store));
+      services.push_back(std::make_unique<lw::SolverService>(options));
+    }
+    // Every service solves the shared base, then branches with a private
+    // increment — all checkpoints stay parked (resident) like a real fleet.
+    lw::Rng rng(7);
+    for (auto& service : services) {
+      auto root = service->SolveRoot(BaseProblem());
+      if (!root.ok()) {
+        state.SkipWithError(root.status().ToString().c_str());
+        return;
+      }
+      lw::Cnf q = lw::RandomKSat(&rng, 300, 8, 3);
+      auto ext = service->Extend(
+          root->token, std::vector<std::vector<lw::Lit>>(q.clauses.begin(), q.clauses.end()));
+      if (!ext.ok()) {
+        state.SkipWithError(ext.status().ToString().c_str());
+        return;
+      }
+    }
+    resident_bytes = 0;
+    cross_dedup_hits = 0;
+    dedup_hits = 0;
+    for (size_t i = 0; i < stores.size(); ++i) {
+      if (shared && i > 0) {
+        break;  // one store: count it once
+      }
+      const lw::PageStore::Stats& stats = stores[i]->stats();
+      resident_bytes += stats.bytes_resident();
+      cross_dedup_hits += stats.cross_session_dedup_hits;
+      dedup_hits += stats.zero_dedup_hits + stats.content_dedup_hits;
+    }
+  }
+  state.counters["resident_bytes"] = static_cast<double>(resident_bytes);
+  state.counters["cross_dedup_hits"] = static_cast<double>(cross_dedup_hits);
+  state.counters["dedup_hits"] = static_cast<double>(dedup_hits);
+}
+
+void BM_SharedStore(benchmark::State& state) { RunFleet(state, true); }
+void BM_PrivateStores(benchmark::State& state) { RunFleet(state, false); }
+
+BENCHMARK(BM_SharedStore)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PrivateStores)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

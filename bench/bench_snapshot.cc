@@ -63,6 +63,9 @@ void RunEngine(benchmark::State& state, lw::SnapshotMode mode) {
   uint64_t restore_ns = 0;
   uint64_t snapshots = 0;
   uint64_t pages = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t compressed_blobs = 0;
   for (auto _ : state) {
     lw::SessionOptions options;
     options.arena_bytes = arena_mb << 20;
@@ -78,11 +81,18 @@ void RunEngine(benchmark::State& state, lw::SnapshotMode mode) {
     restore_ns = session.stats().restore_ns;
     snapshots = session.stats().snapshots;
     pages = session.stats().pages_materialized;
+    const lw::PageStore::Stats& store = session.store().stats();
+    resident_bytes = store.bytes_resident();
+    dedup_hits = store.zero_dedup_hits + store.content_dedup_hits;
+    compressed_blobs = store.compressed_blobs;
   }
   if (snapshots != 0) {
     state.counters["ns/snapshot"] = static_cast<double>(snap_ns) / snapshots;
     state.counters["ns/restore"] = static_cast<double>(restore_ns) / snapshots;
     state.counters["pages/snapshot"] = static_cast<double>(pages) / snapshots;
+    state.counters["resident_bytes"] = static_cast<double>(resident_bytes);
+    state.counters["dedup_hits"] = static_cast<double>(dedup_hits);
+    state.counters["compressed_blobs"] = static_cast<double>(compressed_blobs);
   }
 }
 

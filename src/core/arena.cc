@@ -6,6 +6,15 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) && !defined(__SANITIZE_ADDRESS__)
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#endif
+#ifdef __SANITIZE_ADDRESS__
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace lw {
 namespace {
 
@@ -229,6 +238,12 @@ void GuestArena::HandleWriteFault(void* addr) {
   if (mprotect(PageAddr(page), kPageSize, PROT_READ | PROT_WRITE) != 0) {
     DieInHandler("lwsnap: mprotect failed in fault handler\n");
   }
+}
+
+void GuestArena::UnpoisonShadow() {
+#ifdef __SANITIZE_ADDRESS__
+  __asan_unpoison_memory_region(base_, size_);
+#endif
 }
 
 }  // namespace lw

@@ -25,7 +25,7 @@
 #include <cstdint>
 
 #include "src/snapshot/dirty_tracker.h"
-#include "src/snapshot/page_pool.h"
+#include "src/snapshot/page_store.h"
 #include "src/util/status.h"
 
 namespace lw {
@@ -95,6 +95,14 @@ class GuestArena {
   const DirtyTracker& dirty() const { return dirty_; }
 
   uint64_t cow_faults() const { return cow_faults_; }
+
+  // ASan only (no-op otherwise): clears shadow poison over the whole arena.
+  // Instrumented guest code poisons redzones around its stack locals; once the
+  // guest parks, the engines legitimately read/write those pages wholesale
+  // (zero probes, content scans, restores), which ASan would flag. Called by
+  // the session every time control returns from the guest; the only cost is
+  // losing redzone checks *inside* parked guest frames.
+  void UnpoisonShadow();
 
   // Called from the signal handler. Async-signal-safe.
   void HandleWriteFault(void* addr);

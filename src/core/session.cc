@@ -20,11 +20,12 @@ GuessExecutor* CurrentExecutor() { return g_current_executor; }
 void SetCurrentExecutor(GuessExecutor* executor) { g_current_executor = executor; }
 
 std::string SessionStats::ToString() const {
-  char buf[768];
+  char buf[896];
   std::snprintf(buf, sizeof(buf),
                 "guesses=%llu snapshots=%llu restores=%llu exts=%llu fail=%llu done=%llu "
-                "sol=%llu pages_mat=%llu pages_rst=%llu dedup=%llu incr_scan=%llu "
-                "incr_copy=%llu snap_us=%.1f restore_us=%.1f",
+                "sol=%llu pages_mat=%llu pages_rst=%llu zero_dedup=%llu content_dedup=%llu "
+                "xsession_dedup=%llu cold_blobs=%llu incr_scan=%llu incr_copy=%llu "
+                "snap_us=%.1f restore_us=%.1f",
                 static_cast<unsigned long long>(guesses),
                 static_cast<unsigned long long>(snapshots),
                 static_cast<unsigned long long>(restores),
@@ -35,6 +36,9 @@ std::string SessionStats::ToString() const {
                 static_cast<unsigned long long>(pages_materialized),
                 static_cast<unsigned long long>(pages_restored),
                 static_cast<unsigned long long>(zero_dedup_hits),
+                static_cast<unsigned long long>(content_dedup_hits),
+                static_cast<unsigned long long>(cross_session_dedup_hits),
+                static_cast<unsigned long long>(compressed_blobs),
                 static_cast<unsigned long long>(incr_pages_scanned),
                 static_cast<unsigned long long>(incr_pages_copied),
                 static_cast<double>(snapshot_ns) / 1e3, static_cast<double>(restore_ns) / 1e3);
@@ -50,9 +54,14 @@ BacktrackSession::BacktrackSession(SessionOptions options)
   }
   strategy_ = MakeStrategy(options_.strategy);
 
+  store_ = options_.store != nullptr ? options_.store
+                                     : std::make_shared<PageStore>(options_.store_options);
+  store_owner_ = store_->RegisterOwner();
+
   SnapshotEngine::Env env;
   env.arena = &arena_;
-  env.pool = &pool_;
+  env.store = store_.get();
+  env.owner = store_owner_;
   env.stats = &stats_;
   env.page_map_kind = options_.page_map_kind;
   // Hot-page prediction only makes sense under CoW; other engines ignore it.
@@ -67,9 +76,10 @@ BacktrackSession::BacktrackSession(SessionOptions options)
 }
 
 BacktrackSession::~BacktrackSession() {
-  // Release every page reference before the pool is destroyed (members declared
-  // after pool_ destruct first, but strategy frontiers and checkpoints also hold
-  // snapshot refs — drop them deterministically).
+  // Release every page reference before the store is destroyed (members
+  // declared after store_ destruct first, but strategy frontiers and
+  // checkpoints also hold snapshot refs — drop them deterministically). A
+  // shared store survives this session; only its refs are returned.
   strategy_.reset();
   checkpoints_.clear();
   pending_snapshot_.reset();
@@ -269,6 +279,10 @@ void BacktrackSession::SwapToGuest(ucontext_t* target) {
   guest_hooks_ = CurrentAllocHooks();
   SetAllocHooks(host_hooks);
   in_guest_ = false;
+  // The guest just parked: drop ASan's redzone poison from its stack frames so
+  // the engines' whole-page reads/writes of the arena are clean (no-op outside
+  // sanitized builds).
+  arena_.UnpoisonShadow();
 }
 
 // ---------------------------------------------------------------------------

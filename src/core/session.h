@@ -41,7 +41,7 @@
 #include "src/core/types.h"
 #include "src/snapshot/engine.h"
 #include "src/snapshot/page_map.h"
-#include "src/snapshot/page_pool.h"
+#include "src/snapshot/page_store.h"
 #include "src/util/status.h"
 
 namespace lw {
@@ -63,13 +63,24 @@ struct SessionOptions {
   SnapshotMode snapshot_mode = SnapshotMode::kCow;
   StrategyConfig strategy;
 
+  // Shared page substrate. Null (default): the session creates a private
+  // PageStore configured by `store_options`. Non-null: the session publishes
+  // through the injected store, deduplicating against every other session on
+  // it (see the sharing/ownership contract in src/snapshot/page_store.h; all
+  // sharers must run on one thread). The session keeps the store alive.
+  std::shared_ptr<PageStore> store;
+  PageStoreOptions store_options;
+
   // Safety cap on evaluated extensions (0 = unbounded). When hit, Run returns
   // kExhausted and the session must be discarded.
   uint64_t max_extensions = 0;
 
   // SM-A* style byte budget on live snapshot pages (0 = unbounded): after each
-  // guess, the worst frontier entries are evicted until the pool fits. Policy
-  // is the engine's (SnapshotEngine::EnforceByteBudget).
+  // guess the ByteBudgetPolicy runs evict → compress → drop until the store
+  // fits (SnapshotEngine::EnforceByteBudget). Measured against the *whole*
+  // store: with an injected shared store this is a fleet-wide residency cap —
+  // every sharer's live bytes count, but each session can only evict its own
+  // frontier, so sharers should agree on one budget value (or use 0).
   uint64_t snapshot_byte_budget = 0;
 
   // Hot-page prediction (CoW engine): a page dirtied in enough consecutive
@@ -140,7 +151,7 @@ class BacktrackSession : public GuessExecutor {
 
   GuestHeap* heap() { return heap_; }
   GuestArena& arena() { return arena_; }
-  const PagePool& pool() const { return pool_; }
+  const PageStore& store() const { return *store_; }
   const SnapshotEngine& engine() const { return *engine_; }
   const SessionStats& stats() const { return stats_; }
   size_t frontier_size() const { return strategy_ != nullptr ? strategy_->Size() : 0; }
@@ -180,7 +191,11 @@ class BacktrackSession : public GuessExecutor {
 
   SessionOptions options_;
   GuestArena arena_;
-  PagePool pool_;  // declared before engine_ and all SnapshotRef members: destroyed last
+  // Declared before engine_ and all SnapshotRef members so the store outlives
+  // every ref this session minted; a shared store additionally outlives the
+  // last session holding it (shared_ptr).
+  std::shared_ptr<PageStore> store_;
+  uint32_t store_owner_ = 0;  // this session's PageStore owner id
   std::unique_ptr<SnapshotEngine> engine_;  // holds the current map's page refs
 
   GuestHeap* heap_ = nullptr;  // lives inside the arena

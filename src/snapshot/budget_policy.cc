@@ -1,0 +1,31 @@
+#include "src/snapshot/budget_policy.h"
+
+#include "src/snapshot/page_store.h"
+
+namespace lw {
+
+void ByteBudgetPolicy::Enforce(PageStore& store, uint64_t budget,
+                               const std::function<bool()>& evict) const {
+  if (budget == 0) {
+    return;
+  }
+  while (store.stats().bytes_live() > budget) {
+    if (!evict()) {
+      break;
+    }
+  }
+  while (store.stats().bytes_live() > budget) {
+    if (!store.CompressOneCold()) {
+      break;
+    }
+  }
+  // Last resort only: when eviction and compression could not bring live bytes
+  // under the budget, the recycled free list is pure overhead — return it to
+  // the host. While the budget is being met, the free list stays (recycling
+  // blobs is what keeps Publish off the allocator).
+  if (store.stats().bytes_live() > budget) {
+    store.TrimFreeList();
+  }
+}
+
+}  // namespace lw

@@ -1,0 +1,47 @@
+// ByteBudgetPolicy: the unified evict → compress → drop policy behind
+// SnapshotEngine::EnforceByteBudget.
+//
+// Runs after each materialization when SessionOptions::snapshot_byte_budget is
+// set. Stages, in order, while the store's live bytes exceed the budget:
+//   1. evict   — drop worst frontier entries via the session's callback
+//                (SM-A* semantics: search work is lost, memory is reclaimed);
+//   2. compress — move the coldest blobs into the store's compressed tier
+//                (lossless: parked snapshots stay restorable, just slower);
+//   3. drop    — when the budget still is not met, release recycled free-list
+//                blobs back to the host allocator (last resort: while the
+//                budget holds, the free list is what keeps Publish cheap).
+//
+// Eviction precedes compression so the lossy stage never runs while the
+// lossless one could still be deferred by freeing evictable work, and so the
+// policy reduces exactly to the pre-policy engines when compression is
+// disabled. Note the converse does not hold round over round: once
+// compression has shrunk live bytes mid-search, later Enforce calls evict
+// *fewer* frontier entries than an uncompressed run would — the compressed
+// tier trades byte-for-byte eviction parity for keeping more of the search.
+//
+// The budget is enforced against the whole store. With a shared store
+// (SessionOptions::store) that is a deliberate fleet-wide residency cap: each
+// sharer's Enforce sees every sharer's live bytes but can only evict its own
+// frontier, so give sharers the same budget value (or 0 to opt out) rather
+// than expecting per-session isolation.
+
+#ifndef LWSNAP_SRC_SNAPSHOT_BUDGET_POLICY_H_
+#define LWSNAP_SRC_SNAPSHOT_BUDGET_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace lw {
+
+class PageStore;
+
+class ByteBudgetPolicy {
+ public:
+  // Enforces `budget` (0 = unbounded) over `store`'s live bytes. `evict`
+  // removes one frontier entry and returns false when nothing is evictable.
+  void Enforce(PageStore& store, uint64_t budget, const std::function<bool()>& evict) const;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_BUDGET_POLICY_H_

@@ -1,0 +1,41 @@
+// In-tree LZ-style block codec for the PageStore's cold-compression tier.
+//
+// Byte-oriented LZ with an LZ4-like token format: each sequence is a token
+// byte (high nibble = literal run length, low nibble = match length - 4, 15
+// meaning "extended by following bytes"), the literals, then a 2-byte
+// little-endian back-reference offset. Greedy single-pass compressor with a
+// small hash table over 4-byte prefixes — tuned for 4 KiB page blobs, where
+// snapshot pages (SAT watch lists, Prolog heaps, sparse arenas) are highly
+// repetitive and a few microseconds of CPU buys a multi-x residency cut.
+//
+// No external dependencies by design: the container toolchain bakes in no
+// compression library, and the format is private to the store (blobs never
+// leave the process).
+
+#ifndef LWSNAP_SRC_SNAPSHOT_CODEC_H_
+#define LWSNAP_SRC_SNAPSHOT_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lw {
+
+// Upper bound on Compress output for a `src_len`-byte input (worst case is
+// all-literal runs plus token/length overhead).
+constexpr size_t MaxCompressedBytes(size_t src_len) {
+  return src_len + src_len / 255 + 16;
+}
+
+// Compresses src[0..src_len) into dst[0..dst_cap). Returns the compressed
+// size, or 0 when the output would not fit in dst_cap (callers pass a cap
+// below src_len to mean "keep raw unless compression actually wins").
+size_t Compress(const uint8_t* src, size_t src_len, uint8_t* dst, size_t dst_cap);
+
+// Decompresses a Compress-produced block into dst[0..dst_cap). Returns the
+// decompressed size. Aborts (LW_CHECK) on malformed input — blocks are
+// produced in-process, so corruption is a program bug, not a parse error.
+size_t Decompress(const uint8_t* src, size_t src_len, uint8_t* dst, size_t dst_cap);
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_CODEC_H_

@@ -12,7 +12,7 @@ CowEngine::CowEngine(const Env& env) : SnapshotEngine(env) {
   // all-zero, nothing is dirty, everything is protected. Guard pages stay
   // unmapped from the snapshot's point of view (invalid refs; never dirtied,
   // never restored).
-  PageRef zero = env_.pool->ZeroPage();
+  PageRef zero = env_.store->ZeroPage();
   for (uint32_t page = 0; page < arena.num_pages(); ++page) {
     if (!arena.InGuard(page)) {
       cur_map_.Set(page, zero);
@@ -41,7 +41,7 @@ void CowEngine::Materialize(Snapshot& snap) {
     uint32_t page = hot_pages_[idx];
     const PageRef cur = cur_map_.Get(page);
     if (std::memcmp(arena.PageAddr(page), cur.data(), kPageSize) != 0) {
-      cur_map_.Set(page, env_.pool->Publish(arena.PageAddr(page)));
+      cur_map_.Set(page, PublishPage(arena.PageAddr(page)));
       ++stats.pages_materialized;
       clean_streak_[page] = 0;
       hot_pages_[hot_kept++] = page;
@@ -60,7 +60,7 @@ void CowEngine::Materialize(Snapshot& snap) {
   constexpr uint8_t kHotPromoteAfter = 4;
   for (uint32_t i = 0; i < dirty.count(); ++i) {
     uint32_t page = dirty.pages()[i];
-    cur_map_.Set(page, env_.pool->Publish(arena.PageAddr(page)));
+    cur_map_.Set(page, PublishPage(arena.PageAddr(page)));
     // Promotion: a page taking a CoW fault snapshot after snapshot is cheaper
     // to treat as always-dirty.
     if (dirty_streak_[page] < 255) {
@@ -82,7 +82,7 @@ void CowEngine::Materialize(Snapshot& snap) {
   }
 
   snap.map = cur_map_;  // flat: vector copy; radix: O(1) root share
-  SyncPoolStats();
+  SyncStoreStats();
 }
 
 void CowEngine::CopyInPage(uint32_t page, const PageRef& ref) {

@@ -21,24 +21,21 @@ const char* SnapshotModeName(SnapshotMode mode) {
 
 SnapshotEngine::SnapshotEngine(const Env& env)
     : env_(env), cur_map_(env.page_map_kind, env.arena->num_pages()) {
-  LW_CHECK(env_.arena != nullptr && env_.pool != nullptr && env_.stats != nullptr);
+  LW_CHECK(env_.arena != nullptr && env_.store != nullptr && env_.stats != nullptr);
 }
 
 size_t SnapshotEngine::StructureBytes() const { return cur_map_.StructureBytes(); }
 
 void SnapshotEngine::EnforceByteBudget(uint64_t budget, const std::function<bool()>& evict) {
-  if (budget == 0) {
-    return;
-  }
-  while (env_.pool->stats().bytes_live() > budget) {
-    if (!evict()) {
-      break;
-    }
-  }
+  budget_policy_.Enforce(*env_.store, budget, evict);
 }
 
-void SnapshotEngine::SyncPoolStats() {
-  env_.stats->zero_dedup_hits = env_.pool->stats().zero_dedup_hits;
+void SnapshotEngine::SyncStoreStats() {
+  const PageStore::Stats& store = env_.store->stats();
+  env_.stats->zero_dedup_hits = store.zero_dedup_hits;
+  env_.stats->content_dedup_hits = store.content_dedup_hits;
+  env_.stats->cross_session_dedup_hits = store.cross_session_dedup_hits;
+  env_.stats->compressed_blobs = store.compressed_blobs;
 }
 
 std::unique_ptr<SnapshotEngine> MakeSnapshotEngine(SnapshotMode mode,

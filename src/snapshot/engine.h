@@ -33,8 +33,9 @@
 #include <memory>
 
 #include "src/core/search_graph.h"
+#include "src/snapshot/budget_policy.h"
 #include "src/snapshot/page_map.h"
-#include "src/snapshot/page_pool.h"
+#include "src/snapshot/page_store.h"
 
 namespace lw {
 
@@ -56,9 +57,14 @@ struct SnapshotEngineStats {
   uint64_t hot_promotions = 0;
   uint64_t hot_demotions = 0;
   uint64_t hot_unchanged_skips = 0;  // hot pages found byte-identical at snapshot
-  uint64_t zero_dedup_hits = 0;      // publishes collapsed to the canonical zero blob
-  uint64_t incr_pages_scanned = 0;   // incremental engine: pages memcmp'd
-  uint64_t incr_pages_copied = 0;    // incremental engine: pages actually copied
+  // Store-side counters mirrored at the end of each Materialize. With a shared
+  // store these are store-wide totals (all sessions), not per-session deltas.
+  uint64_t zero_dedup_hits = 0;           // publishes collapsed to the canonical zero blob
+  uint64_t content_dedup_hits = 0;        // publishes collapsed to an existing nonzero blob
+  uint64_t cross_session_dedup_hits = 0;  // ...first published by a different session
+  uint64_t compressed_blobs = 0;          // blobs currently in the cold-compressed tier
+  uint64_t incr_pages_scanned = 0;  // incremental engine: pages memcmp'd
+  uint64_t incr_pages_copied = 0;   // incremental engine: pages actually copied
   uint64_t snapshot_ns = 0;
   uint64_t restore_ns = 0;
 };
@@ -66,14 +72,17 @@ struct SnapshotEngineStats {
 class SnapshotEngine {
  public:
   // Everything an engine is allowed to touch. The arena is the live guest
-  // memory (and, for CoW, the protection/dirty machinery); the pool is where
-  // immutable page blobs live; stats is the shared counter block.
+  // memory (and, for CoW, the protection/dirty machinery); the store is where
+  // immutable page blobs live — possibly shared with other sessions' engines;
+  // stats is the shared counter block. `owner` tags this engine's publishes so
+  // the store can attribute cross-session dedup hits.
   struct Env {
     GuestArena* arena = nullptr;
-    PagePool* pool = nullptr;
+    PageStore* store = nullptr;
     SnapshotEngineStats* stats = nullptr;
     PageMapKind page_map_kind = PageMapKind::kRadix;
     uint32_t hot_page_limit = 0;  // CoW only; other engines ignore it
+    uint32_t owner = 0;           // PageStore owner id (see PageStore::RegisterOwner)
   };
 
   explicit SnapshotEngine(const Env& env);
@@ -103,21 +112,27 @@ class SnapshotEngine {
   // prediction tables, trackers) — excludes page blobs and snapshot maps.
   virtual size_t StructureBytes() const;
 
-  // Post-materialize eviction policy: while the pool's live bytes exceed
-  // `budget`, drop frontier entries via `evict` (returns false when nothing is
-  // evictable). Engines may override to weigh structure bytes or dedup savings
-  // differently; `budget == 0` means unbounded.
+  // Post-materialize budget hook: the shared ByteBudgetPolicy runs
+  // evict → compress → drop against the store until live bytes fit `budget`
+  // (`evict` returns false when nothing is evictable; `budget == 0` means
+  // unbounded). Engines may override to weigh structure bytes or dedup
+  // savings differently.
   virtual void EnforceByteBudget(uint64_t budget, const std::function<bool()>& evict);
 
   const PageMap& current_map() const { return cur_map_; }
 
  protected:
-  // Mirrors pool-level dedup accounting into the shared stats block (called by
-  // engines at the end of Materialize).
-  void SyncPoolStats();
+  // Publishes one live page through the shared store with this engine's owner
+  // tag (the single choke point for dedup accounting).
+  PageRef PublishPage(const void* src) { return env_.store->Publish(src, env_.owner); }
+
+  // Mirrors store-level dedup/compression accounting into the shared stats
+  // block (called by engines at the end of Materialize).
+  void SyncStoreStats();
 
   Env env_;
   PageMap cur_map_;
+  ByteBudgetPolicy budget_policy_;
 };
 
 // Builds the engine for `mode` and establishes its arena invariant (protection

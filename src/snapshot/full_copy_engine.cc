@@ -16,13 +16,13 @@ void FullCopyEngine::Materialize(Snapshot& snap) {
   PageMap fresh(env_.page_map_kind, arena.num_pages());
   for (uint32_t page = 0; page < arena.num_pages(); ++page) {
     if (!arena.InGuard(page)) {
-      fresh.Set(page, env_.pool->Publish(arena.PageAddr(page)));
+      fresh.Set(page, PublishPage(arena.PageAddr(page)));
       ++env_.stats->pages_materialized;
     }
   }
   cur_map_ = std::move(fresh);
   snap.map = cur_map_;
-  SyncPoolStats();
+  SyncStoreStats();
 }
 
 void FullCopyEngine::Restore(const Snapshot& snap) {

@@ -14,7 +14,7 @@ IncrementalCopyEngine::IncrementalCopyEngine(const Env& env)
   // The arena is freshly mmap'd (all-zero), so the canonical zero blob is a
   // truthful image of every non-guard page: the first Materialize only copies
   // what the guest actually touched.
-  PageRef zero = env_.pool->ZeroPage();
+  PageRef zero = env_.store->ZeroPage();
   for (uint32_t page = 0; page < arena.num_pages(); ++page) {
     if (!arena.InGuard(page)) {
       cur_map_.Set(page, zero);
@@ -40,13 +40,13 @@ void IncrementalCopyEngine::Materialize(Snapshot& snap) {
   // Pass 2: memcpy-publish exactly the flagged pages.
   for (uint32_t i = 0; i < tracker_.count(); ++i) {
     uint32_t page = tracker_.pages()[i];
-    cur_map_.Set(page, env_.pool->Publish(arena.PageAddr(page)));
+    cur_map_.Set(page, PublishPage(arena.PageAddr(page)));
   }
   stats.incr_pages_copied += tracker_.count();
   stats.pages_materialized += tracker_.count();
   tracker_.Clear();
   snap.map = cur_map_;  // live memory now matches cur_map_ byte-for-byte
-  SyncPoolStats();
+  SyncStoreStats();
 }
 
 void IncrementalCopyEngine::Restore(const Snapshot& snap) {

@@ -20,7 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "src/snapshot/page_pool.h"
+#include "src/snapshot/page_store.h"
 #include "src/util/radix_map.h"
 #include "src/util/status.h"
 

@@ -1,0 +1,376 @@
+#include "src/snapshot/page_store.h"
+
+#include <cstdlib>
+
+#include "src/snapshot/codec.h"
+
+namespace lw {
+
+using internal::PageBlob;
+
+namespace {
+
+constexpr size_t kInitialIndexSlots = 1024;  // power of two
+
+bool IsZeroPage(const void* src) {
+  // memcmp with early exit: real data almost always differs within the first
+  // few bytes, so the dedup probe costs nanoseconds on the common path.
+  static const uint8_t kZero[kPageSize] = {};
+  return std::memcmp(src, kZero, kPageSize) == 0;
+}
+
+// 64-bit content hash: xor-multiply-shift over 8-byte words (fmix64-style
+// finalizer per word). Collisions are tolerated — the index confirms every
+// candidate with a full memcmp — so speed matters more than distribution tails.
+uint64_t HashPage(const void* src) {
+  const uint8_t* p = static_cast<const uint8_t*>(src);
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (size_t i = 0; i < kPageSize; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h ^= w;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+  }
+  return h;
+}
+
+size_t PayloadBytes(const PageBlob* blob) {
+  if (blob->payload == nullptr) {
+    return 0;
+  }
+  return blob->comp_bytes != 0 ? blob->comp_bytes : kPageSize;
+}
+
+}  // namespace
+
+PageStore::PageStore(const PageStoreOptions& options) : options_(options) {
+  if (options_.content_dedup) {
+    index_.assign(kInitialIndexSlots, nullptr);
+  }
+}
+
+PageStore::~PageStore() {
+  zero_page_.Reset();
+  TrimFreeList();
+  // All snapshots/sessions referencing this store must be destroyed first; a
+  // live blob here means a PageRef will later touch freed store state.
+  LW_CHECK_MSG(stats_.live_blobs == 0, "PageStore destroyed while pages are still referenced");
+}
+
+// ---------------------------------------------------------------------------
+// Blob lifecycle.
+// ---------------------------------------------------------------------------
+
+PageBlob* PageStore::AcquireBlob() {
+  PageBlob* blob = free_list_;
+  if (blob != nullptr) {
+    free_list_ = blob->next_free;
+    --stats_.free_blobs;
+    stats_.free_bytes -= sizeof(PageBlob) + PayloadBytes(blob);
+  } else {
+    blob = static_cast<PageBlob*>(std::malloc(sizeof(PageBlob)));
+    LW_CHECK_MSG(blob != nullptr, "host allocation for page blob failed");
+    blob->payload = nullptr;
+  }
+  if (blob->payload == nullptr) {
+    blob->payload = static_cast<uint8_t*>(std::malloc(kPageSize));
+    LW_CHECK_MSG(blob->payload != nullptr, "host allocation for page payload failed");
+  }
+  blob->refcount = 1;
+  blob->comp_bytes = 0;
+  blob->hash = 0;
+  blob->owner = 0;
+  blob->flags = 0;
+  blob->indexed = false;
+  blob->store = this;
+  blob->next_free = nullptr;
+  blob->lru_prev = nullptr;
+  blob->lru_next = nullptr;
+  ++stats_.live_blobs;
+  if (stats_.live_blobs > stats_.peak_live_blobs) {
+    stats_.peak_live_blobs = stats_.live_blobs;
+  }
+  stats_.live_bytes += sizeof(PageBlob) + kPageSize;
+  if (stats_.live_bytes > stats_.peak_live_bytes) {
+    stats_.peak_live_bytes = stats_.live_bytes;
+  }
+  ++stats_.total_published;
+  return blob;
+}
+
+void PageStore::RecycleBlob(PageBlob* blob) {
+  LW_CHECK(blob->refcount == 0);
+  if (blob->indexed) {
+    IndexRemove(blob);
+  }
+  if (blob->comp_bytes == 0 && (blob->flags & PageBlob::kPinned) == 0) {
+    LruRemove(blob);
+  }
+  stats_.live_bytes -= sizeof(PageBlob) + PayloadBytes(blob);
+  if (blob->comp_bytes != 0) {
+    // Compressed payloads are odd-sized; recycle the header only and let the
+    // next acquire mint a fresh raw payload.
+    --stats_.compressed_blobs;
+    std::free(blob->payload);
+    blob->payload = nullptr;
+    blob->comp_bytes = 0;
+  }
+  --stats_.live_blobs;
+  blob->next_free = free_list_;
+  free_list_ = blob;
+  ++stats_.free_blobs;
+  stats_.free_bytes += sizeof(PageBlob) + PayloadBytes(blob);
+}
+
+void PageStore::TrimFreeList() {
+  while (free_list_ != nullptr) {
+    PageBlob* next = free_list_->next_free;
+    stats_.free_bytes -= sizeof(PageBlob) + PayloadBytes(free_list_);
+    std::free(free_list_->payload);
+    std::free(free_list_);
+    free_list_ = next;
+    --stats_.free_blobs;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed publish.
+// ---------------------------------------------------------------------------
+
+PageRef PageStore::Publish(const void* src, uint32_t owner) {
+  if (IsZeroPage(src)) {
+    ++stats_.zero_dedup_hits;
+    return ZeroPage();
+  }
+  uint64_t hash = 0;
+  if (options_.content_dedup) {
+    hash = HashPage(src);
+    if (PageBlob* hit = IndexFind(hash, src)) {
+      ++stats_.content_dedup_hits;
+      if (hit->owner != owner) {
+        ++stats_.cross_session_dedup_hits;
+      }
+      LruTouch(hit);
+      ++hit->refcount;
+      return PageRef(hit);
+    }
+  }
+  PageBlob* blob = AcquireBlob();
+  std::memcpy(blob->payload, src, kPageSize);
+  blob->owner = owner;
+  if (options_.content_dedup) {
+    blob->hash = hash;
+    IndexInsert(blob);
+  }
+  LruPushFront(blob);
+  return PageRef(blob);
+}
+
+PageRef PageStore::ZeroPage() {
+  if (!zero_page_.valid()) {
+    PageBlob* blob = AcquireBlob();
+    std::memset(blob->payload, 0, kPageSize);
+    blob->flags = PageBlob::kPinned;  // permanently shared and hot: never cold-compressed
+    zero_page_ = PageRef(blob);
+  }
+  return zero_page_;
+}
+
+// ---------------------------------------------------------------------------
+// Open-addressed content index (linear probing, backward-shift deletion).
+// ---------------------------------------------------------------------------
+
+PageBlob* PageStore::IndexFind(uint64_t hash, const void* src) {
+  const size_t mask = index_.size() - 1;
+  for (size_t i = hash & mask; index_[i] != nullptr; i = (i + 1) & mask) {
+    PageBlob* cand = index_[i];
+    if (cand->hash != hash) {
+      continue;
+    }
+    if (cand->comp_bytes != 0) {
+      // Hash matched a cold blob: re-inflate to confirm. A confirmed hit means
+      // this content is being republished, so warming it is the right move.
+      DecompressBlob(cand);
+    }
+    if (std::memcmp(cand->payload, src, kPageSize) == 0) {
+      return cand;
+    }
+  }
+  return nullptr;
+}
+
+void PageStore::IndexInsert(PageBlob* blob) {
+  if ((index_used_ + 1) * 10 >= index_.size() * 7) {  // grow at 70% load
+    IndexGrow();
+  }
+  const size_t mask = index_.size() - 1;
+  size_t i = blob->hash & mask;
+  while (index_[i] != nullptr) {
+    i = (i + 1) & mask;
+  }
+  index_[i] = blob;
+  blob->indexed = true;
+  ++index_used_;
+}
+
+void PageStore::IndexGrow() {
+  std::vector<PageBlob*> old = std::move(index_);
+  index_.assign(old.size() * 2, nullptr);
+  const size_t mask = index_.size() - 1;
+  for (PageBlob* blob : old) {
+    if (blob == nullptr) {
+      continue;
+    }
+    size_t i = blob->hash & mask;
+    while (index_[i] != nullptr) {
+      i = (i + 1) & mask;
+    }
+    index_[i] = blob;
+  }
+}
+
+void PageStore::IndexRemove(PageBlob* blob) {
+  const size_t mask = index_.size() - 1;
+  size_t i = blob->hash & mask;
+  while (index_[i] != blob) {
+    LW_CHECK_MSG(index_[i] != nullptr, "indexed blob missing from index");
+    i = (i + 1) & mask;
+  }
+  blob->indexed = false;
+  --index_used_;
+  // Backward-shift deletion keeps probe chains tombstone-free: walk the
+  // cluster after the hole and move back any entry whose home slot makes the
+  // hole part of its probe path.
+  size_t j = i;
+  while (true) {
+    index_[i] = nullptr;
+    while (true) {
+      j = (j + 1) & mask;
+      if (index_[j] == nullptr) {
+        return;
+      }
+      size_t home = index_[j]->hash & mask;
+      // Does entry j probe across slot i? (circular interval check)
+      bool moves = i <= j ? (home <= i || home > j) : (home <= i && home > j);
+      if (moves) {
+        break;
+      }
+    }
+    index_[i] = index_[j];
+    i = j;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cold-compression tier.
+// ---------------------------------------------------------------------------
+
+void PageStore::LruPushFront(PageBlob* blob) {
+  // Pinned blobs never compress; known-incompressible blobs would only waste
+  // another full compressor pass — neither belongs on the cold list.
+  if ((blob->flags & (PageBlob::kPinned | PageBlob::kIncompressible)) != 0) {
+    return;
+  }
+  blob->lru_prev = nullptr;
+  blob->lru_next = lru_head_;
+  if (lru_head_ != nullptr) {
+    lru_head_->lru_prev = blob;
+  }
+  lru_head_ = blob;
+  if (lru_tail_ == nullptr) {
+    lru_tail_ = blob;
+  }
+}
+
+void PageStore::LruRemove(PageBlob* blob) {
+  if ((blob->flags & PageBlob::kPinned) != 0) {
+    return;
+  }
+  if (blob->lru_prev != nullptr) {
+    blob->lru_prev->lru_next = blob->lru_next;
+  } else if (lru_head_ == blob) {
+    lru_head_ = blob->lru_next;
+  }
+  if (blob->lru_next != nullptr) {
+    blob->lru_next->lru_prev = blob->lru_prev;
+  } else if (lru_tail_ == blob) {
+    lru_tail_ = blob->lru_prev;
+  }
+  blob->lru_prev = nullptr;
+  blob->lru_next = nullptr;
+}
+
+void PageStore::LruTouch(PageBlob* blob) {
+  if ((blob->flags & PageBlob::kPinned) != 0 || blob->comp_bytes != 0) {
+    return;
+  }
+  LruRemove(blob);
+  LruPushFront(blob);
+}
+
+bool PageStore::CompressBlob(PageBlob* blob) {
+  ++stats_.compression_attempts;
+  uint8_t tmp[MaxCompressedBytes(kPageSize)];
+  // Only worthwhile when the payload actually shrinks: cap the output below
+  // kPageSize so incompressible pages stay raw.
+  size_t n = Compress(blob->payload, kPageSize, tmp, kPageSize - 1);
+  if (n == 0) {
+    blob->flags |= PageBlob::kIncompressible;
+    LruRemove(blob);
+    return false;
+  }
+  uint8_t* small = static_cast<uint8_t*>(std::malloc(n));
+  LW_CHECK_MSG(small != nullptr, "host allocation for compressed payload failed");
+  std::memcpy(small, tmp, n);
+  std::free(blob->payload);
+  blob->payload = small;
+  blob->comp_bytes = static_cast<uint32_t>(n);
+  LruRemove(blob);
+  stats_.live_bytes -= kPageSize - n;
+  ++stats_.compressed_blobs;
+  ++stats_.compressions;
+  return true;
+}
+
+void PageStore::DecompressBlob(PageBlob* blob) {
+  LW_CHECK(blob->comp_bytes != 0);
+  uint8_t* raw = static_cast<uint8_t*>(std::malloc(kPageSize));
+  LW_CHECK_MSG(raw != nullptr, "host allocation for decompressed payload failed");
+  size_t n = Decompress(blob->payload, blob->comp_bytes, raw, kPageSize);
+  LW_CHECK_MSG(n == kPageSize, "cold blob decompressed to the wrong size");
+  stats_.live_bytes += kPageSize - blob->comp_bytes;
+  if (stats_.live_bytes > stats_.peak_live_bytes) {
+    stats_.peak_live_bytes = stats_.live_bytes;
+  }
+  std::free(blob->payload);
+  blob->payload = raw;
+  blob->comp_bytes = 0;
+  --stats_.compressed_blobs;
+  ++stats_.decompressions;
+  LruPushFront(blob);  // just touched: warmest again
+}
+
+bool PageStore::CompressOneCold() {
+  if (!options_.compression) {
+    return false;
+  }
+  while (lru_tail_ != nullptr) {
+    PageBlob* coldest = lru_tail_;
+    if (CompressBlob(coldest)) {
+      return true;
+    }
+    // Incompressible: CompressBlob dropped it from the list; try the next.
+  }
+  return false;
+}
+
+uint64_t PageStore::CompressAllCold() {
+  uint64_t count = 0;
+  while (CompressOneCold()) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace lw

@@ -1,0 +1,247 @@
+// PageStore and PageRef: the content-addressed, shareable blob substrate under
+// every snapshot engine and session.
+//
+// A snapshot's page map binds guest page indices to PageRefs. Blobs are
+// immutable once published, refcounted, and keyed by a 64-bit content hash in
+// an open-addressed index: publishing bytes that already exist anywhere in the
+// store collapses to the existing blob (the canonical zero page is the
+// degenerate entry of the same scheme). Divergent branches and concurrent
+// sessions that republish byte-identical pages — SAT watch-list churn, Prolog
+// heaps, symx arenas — therefore share one resident copy.
+//
+// Cold-compression tier: blobs referenced only by parked snapshots go cold (the
+// store approximates "parked-only" by publish/access recency); the byte-budget
+// policy compresses them with the in-tree LZ codec and `PageRef::data()`
+// transparently re-inflates on first touch, so Restore never sees compressed
+// bytes. Raw payloads are recycled through a free list when the last reference
+// drops (snapshot trees churn pages at high frequency; malloc per page would
+// dominate).
+//
+// Sharing and ownership contract:
+//   * A store may be shared by any number of sessions via
+//     SessionOptions::store / SolverServiceOptions::store (null = the session
+//     creates a private store). Cross-session publishes of identical content
+//     dedup against each other; `cross_session_dedup_hits` counts them.
+//   * The store is externally synchronized: no internal locking. All sessions
+//     sharing a store must run on the same thread or serialize their calls —
+//     the paper's prototype is single-threaded (§5), and so is each session;
+//     sharing means interleaved sequential use, not concurrency.
+//   * Lifetime: the store must outlive every PageRef minted from it (every
+//     session, snapshot, and frontier entry). Sessions hold the store by
+//     shared_ptr, so the last session to die destroys a shared store; holders
+//     of raw stores must destroy sessions first. The destructor aborts if live
+//     blobs remain — a live ref would later touch freed store state.
+//   * Each session registers as an owner (RegisterOwner) and tags its
+//     publishes; owner ids only feed dedup attribution, never lifetime.
+
+#ifndef LWSNAP_SRC_SNAPSHOT_PAGE_STORE_H_
+#define LWSNAP_SRC_SNAPSHOT_PAGE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageShift = 12;
+
+class PageStore;
+
+namespace internal {
+struct PageBlob {
+  uint32_t refcount = 0;
+  uint32_t comp_bytes = 0;  // 0 = payload holds kPageSize raw bytes
+  uint64_t hash = 0;        // content hash; valid while indexed
+  uint32_t owner = 0;       // first publisher (dedup attribution only)
+  uint8_t flags = 0;
+  bool indexed = false;
+  PageStore* store = nullptr;
+  PageBlob* next_free = nullptr;  // free-list link, valid only while refcount == 0
+  PageBlob* lru_prev = nullptr;   // cold-list links, valid while raw + live + unpinned
+  PageBlob* lru_next = nullptr;
+  uint8_t* payload = nullptr;  // kPageSize raw, or comp_bytes compressed
+
+  static constexpr uint8_t kPinned = 1;          // never compressed (canonical zero page)
+  static constexpr uint8_t kIncompressible = 2;  // compression attempted, no win
+};
+}  // namespace internal
+
+// Handle to an immutable page blob. Copying bumps the refcount; identity
+// (pointer) equality is content identity because blobs are never mutated after
+// publication — and with content addressing, equal published bytes yield equal
+// pointers while both are live.
+class PageRef {
+ public:
+  PageRef() = default;
+  ~PageRef() { Release(); }
+
+  PageRef(const PageRef& other) : blob_(other.blob_) { Acquire(); }
+  PageRef(PageRef&& other) noexcept : blob_(other.blob_) { other.blob_ = nullptr; }
+
+  PageRef& operator=(const PageRef& other) {
+    if (blob_ != other.blob_) {
+      Release();
+      blob_ = other.blob_;
+      Acquire();
+    }
+    return *this;
+  }
+
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      blob_ = other.blob_;
+      other.blob_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool valid() const { return blob_ != nullptr; }
+
+  // Raw page bytes. Touching a cold (compressed) blob re-inflates it in place;
+  // the pointer is stable until the blob is next compressed by the budget
+  // policy (never while the caller is inside an engine operation).
+  inline const uint8_t* data() const;
+
+  uint32_t refcount() const { return blob_ != nullptr ? blob_->refcount : 0; }
+  bool compressed() const { return blob_ != nullptr && blob_->comp_bytes != 0; }
+
+  bool operator==(const PageRef& other) const { return blob_ == other.blob_; }
+  bool operator!=(const PageRef& other) const { return blob_ != other.blob_; }
+
+  void Reset() { Release(); }
+
+ private:
+  friend class PageStore;
+  explicit PageRef(internal::PageBlob* blob) : blob_(blob) {}  // adopts one reference
+
+  void Acquire() {
+    if (blob_ != nullptr) {
+      ++blob_->refcount;
+    }
+  }
+  inline void Release();
+
+  internal::PageBlob* blob_ = nullptr;
+};
+
+struct PageStoreOptions {
+  bool content_dedup = true;  // 64-bit hash index; off = zero-page dedup only
+  bool compression = true;    // cold tier available to the byte-budget policy
+};
+
+class PageStore {
+ public:
+  PageStore() : PageStore(PageStoreOptions{}) {}
+  explicit PageStore(const PageStoreOptions& options);
+  ~PageStore();
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  const PageStoreOptions& options() const { return options_; }
+
+  // Allocates an owner id for dedup attribution (one per session).
+  uint32_t RegisterOwner() { return next_owner_++; }
+
+  // Publishes a copy of `src` (kPageSize bytes) as an immutable blob. All-zero
+  // sources collapse to the shared canonical zero blob; any other content that
+  // already exists in the store (hash match confirmed by memcmp) collapses to
+  // the existing blob. `owner` attributes cross-session dedup hits.
+  PageRef Publish(const void* src, uint32_t owner = 0);
+
+  // Publishes an all-zero page: the degenerate content-addressed entry, shared
+  // by every all-zero publish.
+  PageRef ZeroPage();
+
+  // Compresses the coldest compressible blob (least recently published or
+  // touched — the approximation of "referenced only by parked snapshots").
+  // Returns false when nothing is left to compress or compression is disabled.
+  bool CompressOneCold();
+
+  // Compresses every compressible blob; returns how many were compressed.
+  // Useful when a service parks (all checkpoints idle, no search running).
+  uint64_t CompressAllCold();
+
+  struct Stats {
+    uint64_t live_blobs = 0;     // blobs with refcount > 0
+    uint64_t free_blobs = 0;     // recycled blobs on the free list
+    uint64_t peak_live_blobs = 0;
+    uint64_t total_published = 0;           // lifetime blob allocations (dedup hits excluded)
+    uint64_t zero_dedup_hits = 0;           // publishes collapsed to the zero blob
+    uint64_t content_dedup_hits = 0;        // publishes collapsed to an existing nonzero blob
+    uint64_t cross_session_dedup_hits = 0;  // ...whose first publisher was another owner
+    uint64_t compressed_blobs = 0;          // currently cold (compressed payload)
+    uint64_t compressions = 0;              // lifetime cold-tier entries
+    uint64_t compression_attempts = 0;      // incl. failed (incompressible) tries
+    uint64_t decompressions = 0;            // lifetime re-inflations
+    uint64_t live_bytes = 0;  // headers + payloads of live blobs (compression shrinks this)
+    uint64_t free_bytes = 0;  // headers + retained raw payloads on the free list
+    uint64_t peak_live_bytes = 0;
+
+    uint64_t bytes_live() const { return live_bytes; }
+    uint64_t bytes_resident() const { return live_bytes + free_bytes; }
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Host bytes of the store's own structure (hash index slots).
+  size_t IndexBytes() const { return index_.capacity() * sizeof(internal::PageBlob*); }
+
+  // Frees all blobs on the free list back to the host allocator.
+  void TrimFreeList();
+
+ private:
+  friend class PageRef;
+
+  internal::PageBlob* AcquireBlob();
+  void RecycleBlob(internal::PageBlob* blob);
+
+  void IndexInsert(internal::PageBlob* blob);
+  void IndexRemove(internal::PageBlob* blob);
+  void IndexGrow();
+  internal::PageBlob* IndexFind(uint64_t hash, const void* src);
+
+  void LruPushFront(internal::PageBlob* blob);
+  void LruRemove(internal::PageBlob* blob);
+  void LruTouch(internal::PageBlob* blob);
+
+  bool CompressBlob(internal::PageBlob* blob);
+  void DecompressBlob(internal::PageBlob* blob);
+
+  PageStoreOptions options_;
+  internal::PageBlob* free_list_ = nullptr;
+  internal::PageBlob* lru_head_ = nullptr;  // most recently touched
+  internal::PageBlob* lru_tail_ = nullptr;  // coldest
+  std::vector<internal::PageBlob*> index_;  // open-addressed, linear probing
+  size_t index_used_ = 0;
+  PageRef zero_page_;
+  uint32_t next_owner_ = 1;
+  Stats stats_;
+};
+
+inline void PageRef::Release() {
+  if (blob_ == nullptr) {
+    return;
+  }
+  LW_CHECK(blob_->refcount > 0);
+  if (--blob_->refcount == 0) {
+    blob_->store->RecycleBlob(blob_);
+  }
+  blob_ = nullptr;
+}
+
+inline const uint8_t* PageRef::data() const {
+  LW_CHECK(blob_ != nullptr);
+  if (blob_->comp_bytes != 0) {
+    blob_->store->DecompressBlob(blob_);
+  }
+  return blob_->payload;
+}
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_PAGE_STORE_H_

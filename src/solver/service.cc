@@ -125,6 +125,8 @@ SolverService::SolverService(SolverServiceOptions options) : options_(options) {
   session_options.arena_bytes = options_.arena_bytes;
   session_options.page_map_kind = options_.page_map_kind;
   session_options.snapshot_mode = options_.snapshot_mode;
+  session_options.store = options_.store;
+  session_options.store_options = options_.store_options;
   session_ = std::make_unique<BacktrackSession>(session_options);
   boot_.mailbox_cap = options_.mailbox_bytes;
   boot_.solver = options_.solver;

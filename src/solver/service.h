@@ -36,6 +36,13 @@ struct SolverServiceOptions {
   SolverOptions solver;
   PageMapKind page_map_kind = PageMapKind::kRadix;
   SnapshotMode snapshot_mode = SnapshotMode::kCow;
+
+  // Shared page substrate: multiple services (or plain sessions) on one store
+  // dedup each other's byte-identical pages — clause arenas and watch lists of
+  // related problems largely coincide. Null = private store (see
+  // SessionOptions::store for the sharing contract).
+  std::shared_ptr<PageStore> store;
+  PageStoreOptions store_options;
 };
 
 class SolverService {
@@ -70,6 +77,7 @@ class SolverService {
   static bool ModelBit(const Outcome& outcome, Var v);
 
   const SessionStats& session_stats() const { return session_->stats(); }
+  const PageStore& store() const { return session_->store(); }
 
  private:
   struct Boot {

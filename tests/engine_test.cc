@@ -1,6 +1,6 @@
 // Tests for the pluggable SnapshotEngine layer: direct (session-less)
 // materialize/restore round trips for all three backends, the incremental
-// engine's delta accounting, and zero-page dedup in the PagePool (blob
+// engine's delta accounting, and zero-page dedup in the PageStore (blob
 // identity, refcounts, StructureBytes/bytes_live accounting).
 
 #include <gtest/gtest.h>
@@ -11,7 +11,7 @@
 #include "src/core/arena.h"
 #include "src/snapshot/engine.h"
 #include "src/snapshot/incremental_engine.h"
-#include "src/snapshot/page_pool.h"
+#include "src/snapshot/page_store.h"
 
 namespace lw {
 namespace {
@@ -24,11 +24,11 @@ GuestArena::Layout SmallLayout() {
   return layout;
 }
 
-SnapshotEngine::Env MakeEnv(GuestArena* arena, PagePool* pool, SnapshotEngineStats* stats,
+SnapshotEngine::Env MakeEnv(GuestArena* arena, PageStore* store, SnapshotEngineStats* stats,
                             SnapshotMode mode) {
   SnapshotEngine::Env env;
   env.arena = arena;
-  env.pool = pool;
+  env.store = store;
   env.stats = stats;
   env.page_map_kind = PageMapKind::kRadix;
   env.hot_page_limit = mode == SnapshotMode::kCow ? 64 : 0;
@@ -41,10 +41,10 @@ class EngineRoundTripTest : public ::testing::TestWithParam<SnapshotMode> {};
 
 TEST_P(EngineRoundTripTest, MaterializeRestoreRoundTrip) {
   GuestArena arena(SmallLayout());
-  PagePool pool;
+  PageStore store;
   SnapshotEngineStats stats;
   {
-    auto engine = MakeSnapshotEngine(GetParam(), MakeEnv(&arena, &pool, &stats, GetParam()));
+    auto engine = MakeSnapshotEngine(GetParam(), MakeEnv(&arena, &store, &stats, GetParam()));
     ASSERT_EQ(engine->mode(), GetParam());
 
     Snapshot snap_a;
@@ -80,9 +80,9 @@ TEST_P(EngineRoundTripTest, MaterializeRestoreRoundTrip) {
     EXPECT_GT(engine->StructureBytes(), 0u);
     EXPECT_GT(stats.pages_materialized, 0u);
   }
-  // Engine + snapshots dropped every ref; only the pool-held canonical zero
+  // Engine + snapshots dropped every ref; only the store-held canonical zero
   // blob may remain.
-  EXPECT_LE(pool.stats().live_blobs, 1u);
+  EXPECT_LE(store.stats().live_blobs, 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, EngineRoundTripTest,
@@ -96,11 +96,11 @@ INSTANTIATE_TEST_SUITE_P(Backends, EngineRoundTripTest,
 
 TEST(IncrementalEngineTest, CopiesOnlyTheDelta) {
   GuestArena arena(SmallLayout());
-  PagePool pool;
+  PageStore store;
   SnapshotEngineStats stats;
   {
     auto engine = MakeSnapshotEngine(SnapshotMode::kIncremental,
-                                     MakeEnv(&arena, &pool, &stats, SnapshotMode::kIncremental));
+                                     MakeEnv(&arena, &store, &stats, SnapshotMode::kIncremental));
     Snapshot snap1;
     Snapshot snap2;
 
@@ -128,16 +128,16 @@ TEST(IncrementalEngineTest, CopiesOnlyTheDelta) {
     EXPECT_EQ(arena.PageAddr(8)[0], 0x00);
     EXPECT_EQ(arena.PageAddr(3)[0], 0x11);
   }
-  EXPECT_LE(pool.stats().live_blobs, 1u);  // only the pool-held zero blob remains
+  EXPECT_LE(store.stats().live_blobs, 1u);  // only the store-held zero blob remains
 }
 
 TEST(IncrementalEngineTest, TakesNoFaults) {
   GuestArena arena(SmallLayout());
-  PagePool pool;
+  PageStore store;
   SnapshotEngineStats stats;
   {
     auto engine = MakeSnapshotEngine(SnapshotMode::kIncremental,
-                                     MakeEnv(&arena, &pool, &stats, SnapshotMode::kIncremental));
+                                     MakeEnv(&arena, &store, &stats, SnapshotMode::kIncremental));
     Snapshot snap;
     std::memset(arena.PageAddr(1), 0x55, kPageSize);
     engine->Materialize(snap);
@@ -151,10 +151,10 @@ TEST(IncrementalEngineTest, TakesNoFaults) {
 
 TEST(IncrementalEngineTest, StructureBytesCountsMapAndTracker) {
   GuestArena arena(SmallLayout());
-  PagePool pool;
+  PageStore store;
   SnapshotEngineStats stats;
   auto engine = MakeSnapshotEngine(SnapshotMode::kIncremental,
-                                   MakeEnv(&arena, &pool, &stats, SnapshotMode::kIncremental));
+                                   MakeEnv(&arena, &store, &stats, SnapshotMode::kIncremental));
   // At least the dense tracker list (4 bytes/page) beyond the map structure.
   EXPECT_GE(engine->StructureBytes(),
             engine->current_map().StructureBytes() + arena.num_pages() * sizeof(uint32_t));
@@ -162,11 +162,11 @@ TEST(IncrementalEngineTest, StructureBytesCountsMapAndTracker) {
 
 TEST(IncrementalEngineTest, ZeroedPagesDedupOnRepublish) {
   GuestArena arena(SmallLayout());
-  PagePool pool;
+  PageStore store;
   SnapshotEngineStats stats;
   {
     auto engine = MakeSnapshotEngine(SnapshotMode::kIncremental,
-                                     MakeEnv(&arena, &pool, &stats, SnapshotMode::kIncremental));
+                                     MakeEnv(&arena, &store, &stats, SnapshotMode::kIncremental));
     Snapshot snap1;
     Snapshot snap2;
     std::memset(arena.PageAddr(2), 0x77, kPageSize);
@@ -175,36 +175,36 @@ TEST(IncrementalEngineTest, ZeroedPagesDedupOnRepublish) {
     std::memset(arena.PageAddr(2), 0x00, kPageSize);  // back to all-zero
     engine->Materialize(snap2);
     // The republished page collapsed to the canonical zero blob and the engine
-    // mirrored the pool's dedup accounting into its stats block.
+    // mirrored the store's dedup accounting into its stats block.
     EXPECT_EQ(stats.zero_dedup_hits, hits_before + 1);
-    EXPECT_EQ(snap2.map.Get(2), pool.ZeroPage());
+    EXPECT_EQ(snap2.map.Get(2), store.ZeroPage());
   }
-  EXPECT_LE(pool.stats().live_blobs, 1u);  // only the pool-held zero blob remains
+  EXPECT_LE(store.stats().live_blobs, 1u);  // only the store-held zero blob remains
 }
 
-// --- Zero-page dedup in the PagePool ----------------------------------------------
+// --- Zero-page dedup in the PageStore ----------------------------------------------
 
-TEST(PagePoolDedupTest, PublishOfZeroPageCollapsesToCanonicalBlob) {
-  PagePool pool;
+TEST(PageStoreDedupTest, PublishOfZeroPageCollapsesToCanonicalBlob) {
+  PageStore store;
   std::vector<uint8_t> zeros(kPageSize, 0);
-  PageRef canonical = pool.ZeroPage();
-  uint64_t live_before = pool.stats().live_blobs;
+  PageRef canonical = store.ZeroPage();
+  uint64_t live_before = store.stats().live_blobs;
 
-  PageRef a = pool.Publish(zeros.data());
-  PageRef b = pool.Publish(zeros.data());
+  PageRef a = store.Publish(zeros.data());
+  PageRef b = store.Publish(zeros.data());
   EXPECT_EQ(a, canonical);  // blob identity, not just content equality
   EXPECT_EQ(b, canonical);
-  EXPECT_EQ(pool.stats().zero_dedup_hits, 2u);
-  EXPECT_EQ(pool.stats().live_blobs, live_before);  // no new blobs allocated
+  EXPECT_EQ(store.stats().zero_dedup_hits, 2u);
+  EXPECT_EQ(store.stats().live_blobs, live_before);  // no new blobs allocated
 }
 
-TEST(PagePoolDedupTest, DedupBumpsRefcountOnCanonicalBlob) {
-  PagePool pool;
+TEST(PageStoreDedupTest, DedupBumpsRefcountOnCanonicalBlob) {
+  PageStore store;
   std::vector<uint8_t> zeros(kPageSize, 0);
-  PageRef canonical = pool.ZeroPage();
+  PageRef canonical = store.ZeroPage();
   uint32_t base = canonical.refcount();
   {
-    PageRef a = pool.Publish(zeros.data());
+    PageRef a = store.Publish(zeros.data());
     EXPECT_EQ(canonical.refcount(), base + 1);
     PageRef b = a;
     EXPECT_EQ(canonical.refcount(), base + 2);
@@ -212,28 +212,28 @@ TEST(PagePoolDedupTest, DedupBumpsRefcountOnCanonicalBlob) {
   EXPECT_EQ(canonical.refcount(), base);  // dedup'd refs release like any other
 }
 
-TEST(PagePoolDedupTest, NonZeroPagesStillAllocate) {
-  PagePool pool;
+TEST(PageStoreDedupTest, NonZeroPagesStillAllocate) {
+  PageStore store;
   std::vector<uint8_t> page(kPageSize, 0);
   page[kPageSize - 1] = 1;  // a single trailing nonzero byte defeats dedup
-  PageRef a = pool.Publish(page.data());
-  EXPECT_NE(a, pool.ZeroPage());
-  EXPECT_EQ(pool.stats().zero_dedup_hits, 0u);
+  PageRef a = store.Publish(page.data());
+  EXPECT_NE(a, store.ZeroPage());
+  EXPECT_EQ(store.stats().zero_dedup_hits, 0u);
   EXPECT_EQ(a.data()[kPageSize - 1], 1);
 }
 
-TEST(PagePoolDedupTest, DedupKeepsBytesLiveFlat) {
-  PagePool pool;
+TEST(PageStoreDedupTest, DedupKeepsBytesLiveFlat) {
+  PageStore store;
   std::vector<uint8_t> zeros(kPageSize, 0);
-  PageRef canonical = pool.ZeroPage();
-  uint64_t bytes_before = pool.stats().bytes_live();
+  PageRef canonical = store.ZeroPage();
+  uint64_t bytes_before = store.stats().bytes_live();
   std::vector<PageRef> refs;
   for (int i = 0; i < 1000; ++i) {
-    refs.push_back(pool.Publish(zeros.data()));
+    refs.push_back(store.Publish(zeros.data()));
   }
   // A sparse arena's worth of zero publishes costs zero additional residency.
-  EXPECT_EQ(pool.stats().bytes_live(), bytes_before);
-  EXPECT_EQ(pool.stats().zero_dedup_hits, 1000u);
+  EXPECT_EQ(store.stats().bytes_live(), bytes_before);
+  EXPECT_EQ(store.stats().zero_dedup_hits, 1000u);
 }
 
 }  // namespace

@@ -82,12 +82,12 @@ TEST(HotPagesTest, ExtractedCowEngineHotCycleDirect) {
   layout.stack_bytes = 256 * 1024;
   layout.guard_bytes = 16 * kPageSize;
   GuestArena arena(layout);
-  PagePool pool;
+  PageStore store;
   SnapshotEngineStats stats;
   {
     SnapshotEngine::Env env;
     env.arena = &arena;
-    env.pool = &pool;
+    env.store = &store;
     env.stats = &stats;
     env.page_map_kind = PageMapKind::kRadix;
     env.hot_page_limit = 8;
@@ -116,7 +116,7 @@ TEST(HotPagesTest, ExtractedCowEngineHotCycleDirect) {
     engine.Restore(snaps[10]);
     EXPECT_EQ(arena.PageAddr(5)[0], 11);
   }
-  EXPECT_LE(pool.stats().live_blobs, 1u);  // only the pool-held zero blob remains
+  EXPECT_LE(store.stats().live_blobs, 1u);  // only the store-held zero blob remains
 }
 
 TEST(HotPagesTest, DisabledPredictionGivesSameResults) {

@@ -121,6 +121,40 @@ TEST(SolverServiceTest, NewVariablesInIncrement) {
   EXPECT_TRUE(SolverService::ModelBit(*extended, 40));
 }
 
+TEST(SolverServiceTest, ReleaseDropsStoreLiveBytes) {
+  // A released token with no descendants must actually return its snapshot's
+  // private pages to the store — the refcount chain from checkpoint map to
+  // blob is load-bearing, and a leak here would silently pin every solved
+  // problem forever.
+  Rng rng(4242);
+  Cnf base = RandomKSat(&rng, 60, 200, 3);
+  auto store = std::make_shared<PageStore>();
+  SolverServiceOptions options = SmallArena();
+  options.store = store;
+  SolverService service(options);
+  auto root = service.SolveRoot(base);
+  ASSERT_TRUE(root.ok());
+
+  // Two divergent extensions of the root; the session's live state tracks the
+  // most recent (right), so left's snapshot is parked with private pages.
+  Cnf q_left = RandomKSat(&rng, 60, 12, 3);
+  Cnf q_right = RandomKSat(&rng, 60, 12, 3);
+  auto left = service.Extend(
+      root->token, std::vector<std::vector<Lit>>(q_left.clauses.begin(), q_left.clauses.end()));
+  ASSERT_TRUE(left.ok());
+  auto right = service.Extend(
+      root->token, std::vector<std::vector<Lit>>(q_right.clauses.begin(), q_right.clauses.end()));
+  ASSERT_TRUE(right.ok());
+
+  uint64_t live_before = store->stats().bytes_live();
+  ASSERT_TRUE(service.Release(left->token).ok());
+  EXPECT_LT(store->stats().bytes_live(), live_before);
+
+  // The surviving branch is untouched by the release.
+  auto deeper = service.Extend(right->token, {{MakeLit(0), MakeLit(1)}});
+  EXPECT_TRUE(deeper.ok());
+}
+
 TEST(SolverServiceTest, ReleaseInvalidTokenFails) {
   SolverService service(SmallArena());
   Cnf base;
@@ -130,6 +164,35 @@ TEST(SolverServiceTest, ReleaseInvalidTokenFails) {
   EXPECT_TRUE(service.Release(root->token).ok());
   EXPECT_FALSE(service.Release(root->token).ok());
   EXPECT_FALSE(service.Release(99999).ok());
+}
+
+TEST(SolverServiceTest, TwoServicesShareOneStore) {
+  // N solver services over one injected store (the paper's many-clients
+  // picture): clause arenas and watch lists of the same base problem are
+  // byte-identical pure data, so the second service's root solve dedups
+  // against the first's resident pages.
+  Rng rng(2026);
+  Cnf base = RandomKSat(&rng, 300, 1200, 3);
+  auto store = std::make_shared<PageStore>();
+  SolverServiceOptions options;
+  options.arena_bytes = 16ull << 20;
+  options.store = store;
+  SolverService first(options);
+  SolverService second(options);
+
+  auto a = first.SolveRoot(base);
+  ASSERT_TRUE(a.ok());
+  uint64_t cross_after_first = store->stats().cross_session_dedup_hits;
+  auto b = second.SolveRoot(base);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->result.IsTrue(), b->result.IsTrue());
+  EXPECT_GT(store->stats().cross_session_dedup_hits, cross_after_first);
+
+  // Both services stay independently extensible on the shared substrate.
+  auto ea = first.Extend(a->token, {{MakeLit(0)}});
+  auto eb = second.Extend(b->token, {{MakeLit(0, true)}});
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
 }
 
 TEST(SolverServiceTest, RandomThreeSatIncrementalMatchesScratch) {

@@ -1,4 +1,4 @@
-// Tests for the snapshot substrate: PagePool refcounting and recycling, PageMap
+// Tests for the snapshot substrate: PageStore refcounting and recycling, PageMap
 // (both representations) sharing/diff semantics, and DirtyTracker.
 
 #include <gtest/gtest.h>
@@ -8,7 +8,7 @@
 
 #include "src/snapshot/dirty_tracker.h"
 #include "src/snapshot/page_map.h"
-#include "src/snapshot/page_pool.h"
+#include "src/snapshot/page_store.h"
 #include "src/util/rng.h"
 
 namespace lw {
@@ -16,21 +16,21 @@ namespace {
 
 std::vector<uint8_t> PatternPage(uint8_t fill) { return std::vector<uint8_t>(kPageSize, fill); }
 
-// --- PagePool -------------------------------------------------------------------
+// --- PageStore -------------------------------------------------------------------
 
-TEST(PagePoolTest, PublishCopiesContent) {
-  PagePool pool;
+TEST(PageStoreTest, PublishCopiesContent) {
+  PageStore store;
   auto page = PatternPage(0x5a);
-  PageRef ref = pool.Publish(page.data());
+  PageRef ref = store.Publish(page.data());
   page[0] = 0;  // source mutation must not affect the blob
   EXPECT_EQ(ref.data()[0], 0x5a);
   EXPECT_EQ(ref.data()[kPageSize - 1], 0x5a);
 }
 
-TEST(PagePoolTest, RefcountLifecycle) {
-  PagePool pool;
+TEST(PageStoreTest, RefcountLifecycle) {
+  PageStore store;
   auto page = PatternPage(1);
-  PageRef a = pool.Publish(page.data());
+  PageRef a = store.Publish(page.data());
   EXPECT_EQ(a.refcount(), 1u);
   {
     PageRef b = a;
@@ -41,60 +41,63 @@ TEST(PagePoolTest, RefcountLifecycle) {
     EXPECT_TRUE(c.valid());
   }
   EXPECT_EQ(a.refcount(), 1u);
-  EXPECT_EQ(pool.stats().live_blobs, 1u);
+  EXPECT_EQ(store.stats().live_blobs, 1u);
   a.Reset();
-  EXPECT_EQ(pool.stats().live_blobs, 0u);
-  EXPECT_EQ(pool.stats().free_blobs, 1u);
+  EXPECT_EQ(store.stats().live_blobs, 0u);
+  EXPECT_EQ(store.stats().free_blobs, 1u);
 }
 
-TEST(PagePoolTest, FreeListRecyclesBlobs) {
-  PagePool pool;
-  auto page = PatternPage(2);
+TEST(PageStoreTest, FreeListRecyclesBlobs) {
+  PageStore store;
+  auto p2 = PatternPage(2);
+  auto p3 = PatternPage(3);  // distinct contents: dedup must not collapse them
   {
-    PageRef a = pool.Publish(page.data());
-    PageRef b = pool.Publish(page.data());
+    PageRef a = store.Publish(p2.data());
+    PageRef b = store.Publish(p3.data());
   }
-  EXPECT_EQ(pool.stats().free_blobs, 2u);
+  EXPECT_EQ(store.stats().free_blobs, 2u);
   {
-    PageRef c = pool.Publish(page.data());
-    EXPECT_EQ(pool.stats().free_blobs, 1u);  // reused, not malloc'd
-    EXPECT_EQ(pool.stats().live_blobs, 1u);
+    PageRef c = store.Publish(p2.data());
+    EXPECT_EQ(store.stats().free_blobs, 1u);  // reused, not malloc'd
+    EXPECT_EQ(store.stats().live_blobs, 1u);
   }
-  pool.TrimFreeList();
-  EXPECT_EQ(pool.stats().free_blobs, 0u);
+  store.TrimFreeList();
+  EXPECT_EQ(store.stats().free_blobs, 0u);
 }
 
-TEST(PagePoolTest, ZeroPageIsDeduplicated) {
-  PagePool pool;
-  PageRef a = pool.ZeroPage();
-  PageRef b = pool.ZeroPage();
+TEST(PageStoreTest, ZeroPageIsDeduplicated) {
+  PageStore store;
+  PageRef a = store.ZeroPage();
+  PageRef b = store.ZeroPage();
   EXPECT_EQ(a, b);
   for (size_t i = 0; i < kPageSize; ++i) {
     ASSERT_EQ(a.data()[i], 0);
   }
 }
 
-TEST(PagePoolTest, PeakTracksHighWater) {
-  PagePool pool;
-  auto page = PatternPage(3);
+TEST(PageStoreTest, PeakTracksHighWater) {
+  PageStore store;
+  auto p4 = PatternPage(4);
+  auto p5 = PatternPage(5);
+  auto p6 = PatternPage(6);
   {
-    PageRef a = pool.Publish(page.data());
-    PageRef b = pool.Publish(page.data());
-    PageRef c = pool.Publish(page.data());
+    PageRef a = store.Publish(p4.data());
+    PageRef b = store.Publish(p5.data());
+    PageRef c = store.Publish(p6.data());
   }
-  PageRef d = pool.Publish(page.data());
-  EXPECT_EQ(pool.stats().peak_live_blobs, 3u);
-  EXPECT_EQ(pool.stats().total_published, 4u);
+  PageRef d = store.Publish(p4.data());
+  EXPECT_EQ(store.stats().peak_live_blobs, 3u);
+  EXPECT_EQ(store.stats().total_published, 4u);
 }
 
-TEST(PagePoolTest, AssignmentReleasesOldTarget) {
-  PagePool pool;
+TEST(PageStoreTest, AssignmentReleasesOldTarget) {
+  PageStore store;
   auto p1 = PatternPage(1);
   auto p2 = PatternPage(2);
-  PageRef a = pool.Publish(p1.data());
-  PageRef b = pool.Publish(p2.data());
+  PageRef a = store.Publish(p1.data());
+  PageRef b = store.Publish(p2.data());
   a = b;
-  EXPECT_EQ(pool.stats().live_blobs, 1u);
+  EXPECT_EQ(store.stats().live_blobs, 1u);
   EXPECT_EQ(a, b);
   a = a;  // self-assignment is a no-op
   EXPECT_TRUE(a.valid());
@@ -141,28 +144,28 @@ TEST(DirtyTrackerTest, FullCapacity) {
 class PageMapTest : public ::testing::TestWithParam<PageMapKind> {};
 
 TEST_P(PageMapTest, GetSetRoundTrip) {
-  PagePool pool;
+  PageStore store;
   PageMap m(GetParam(), 512);
   auto page = PatternPage(7);
-  PageRef ref = pool.Publish(page.data());
+  PageRef ref = store.Publish(page.data());
   m.Set(100, ref);
   EXPECT_EQ(m.Get(100), ref);
   EXPECT_FALSE(m.Get(101).valid());
 }
 
 TEST_P(PageMapTest, ShareThenDivergeDiff) {
-  PagePool pool;
+  PageStore store;
   PageMap a(GetParam(), 4096);
   auto z = PatternPage(0);
-  PageRef zero = pool.Publish(z.data());
+  PageRef zero = store.Publish(z.data());
   for (uint32_t p = 0; p < 4096; ++p) {
     a.Set(p, zero);
   }
   PageMap b = a;  // share
 
   auto one = PatternPage(1);
-  b.Set(17, pool.Publish(one.data()));
-  b.Set(3000, pool.Publish(one.data()));
+  b.Set(17, store.Publish(one.data()));
+  b.Set(3000, store.Publish(one.data()));
 
   std::map<uint32_t, bool> diffs;
   a.Diff(b, [&diffs](uint32_t p, const PageRef& mine, const PageRef& theirs) {
@@ -175,11 +178,11 @@ TEST_P(PageMapTest, ShareThenDivergeDiff) {
 }
 
 TEST_P(PageMapTest, DiffOfIdenticalMapsIsEmpty) {
-  PagePool pool;
+  PageStore store;
   PageMap a(GetParam(), 1024);
   auto page = PatternPage(9);
   for (uint32_t p = 0; p < 1024; p += 5) {
-    a.Set(p, pool.Publish(page.data()));
+    a.Set(p, store.Publish(page.data()));
   }
   PageMap b = a;
   int diffs = 0;
@@ -188,9 +191,9 @@ TEST_P(PageMapTest, DiffOfIdenticalMapsIsEmpty) {
 }
 
 TEST_P(PageMapTest, RefcountsFollowSharing) {
-  PagePool pool;
+  PageStore store;
   auto page = PatternPage(4);
-  PageRef ref = pool.Publish(page.data());
+  PageRef ref = store.Publish(page.data());
   EXPECT_EQ(ref.refcount(), 1u);
   {
     PageMap a(GetParam(), 64);
@@ -213,13 +216,13 @@ class PageMapPropertyTest
 TEST_P(PageMapPropertyTest, RandomSharingMatchesModel) {
   auto [kind, seed] = GetParam();
   Rng rng(seed);
-  PagePool pool;
+  PageStore store;
   const uint32_t npages = 2048;
 
   std::vector<PageRef> palette;
   for (uint8_t i = 0; i < 8; ++i) {
     auto page = PatternPage(i);
-    palette.push_back(pool.Publish(page.data()));
+    palette.push_back(store.Publish(page.data()));
   }
 
   using Model = std::map<uint32_t, int>;  // page -> palette index (-1 = invalid)

@@ -233,11 +233,15 @@ void BudgetGuest(void* arg) {
   auto* session = static_cast<BacktrackSession*>(CurrentExecutor());
   auto* buffer = static_cast<uint8_t*>(session->heap()->Alloc(64 * 4096));
   if (sys_guess_strategy(StrategyKind::kSmaStar)) {
+    uint8_t sig = 0;  // path signature: restored with the snapshot, unique per prefix
     for (int d = 0; d < 4; ++d) {
       GuessCost costs[3] = {{d * 1.0, 3.0 - d}, {d * 1.0, 2.0}, {d * 1.0, 1.0}};
       int pick = sys_guess_weighted(3, costs);
-      // Dirty a few pages so snapshots have real weight.
-      buffer[static_cast<size_t>(d) * 8 * 4096 + static_cast<size_t>(pick)] = 1;
+      // Dirty a few pages with *path-unique* content so snapshots have real
+      // weight — byte-identical sibling writes would content-dedup to shared
+      // blobs and never pressure the budget.
+      sig = static_cast<uint8_t>(sig * 3 + pick + 1);
+      buffer[static_cast<size_t>(d) * 8 * 4096 + static_cast<size_t>(pick)] = sig;
     }
     args->completions++;
     sys_guess_fail();
