@@ -14,10 +14,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstring>
+#include <future>
 #include <memory>
+#include <string_view>
+#include <thread>
 #include <vector>
 
-#include "src/solver/service.h"
+#include "src/core/backtrack.h"
+#include "src/solver/service_pool.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -89,6 +95,162 @@ void BM_PrivateStores(benchmark::State& state) { RunFleet(state, false); }
 
 BENCHMARK(BM_SharedStore)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PrivateStores)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- E10: threaded rows — the same fleet on real cores -------------------------
+
+// The queens workload from tests/shared_store_test.cc: page-aligned placement
+// trails dedup across sessions; every solution parks, so residency is honest
+// fleet state. 92 solutions per session is the parity check.
+constexpr int kQueensN = 8;
+constexpr uint64_t kQueensSolutions = 92;
+
+void QueensGuest(void* arg) {
+  int n = *static_cast<int*>(arg);
+  auto* session = static_cast<lw::BacktrackSession*>(lw::CurrentExecutor());
+  struct Board {
+    int row[16];
+    int ld[32];
+    int rd[32];
+  };
+  auto* b = lw::GuestNew<Board>(session->heap());
+  std::memset(b, 0, sizeof(Board));
+  auto* raw = static_cast<uint8_t*>(session->heap()->Alloc((16 + 1) * lw::kPageSize));
+  auto* trail = reinterpret_cast<uint8_t*>(
+      (reinterpret_cast<uintptr_t>(raw) + lw::kPageSize - 1) & ~(lw::kPageSize - 1));
+  auto* mailbox = static_cast<uint8_t*>(session->heap()->Alloc(16));
+  if (lw::sys_guess_strategy(lw::StrategyKind::kDfs)) {
+    for (int c = 0; c < n; ++c) {
+      int r = lw::sys_guess(n);
+      if (b->row[r] || b->ld[r + c] || b->rd[n + r - c]) {
+        lw::sys_guess_fail();
+      }
+      b->row[r] = 1;
+      b->ld[r + c] = 1;
+      b->rd[n + r - c] = 1;
+      std::memset(trail + static_cast<size_t>(c) * lw::kPageSize, r + 1, lw::kPageSize);
+      mailbox[c] = static_cast<uint8_t>(r);
+    }
+    lw::sys_note_solution();
+    lw::sys_yield(mailbox, 16);
+    lw::sys_guess_fail();
+  }
+}
+
+// Fixed fleet of 8 queens sessions over `workers` threads and ONE shared
+// store: the wall-clock axis of the E10 ablation (1/2/4/8 workers, same total
+// work). Sessions are constructed, driven, and destroyed entirely on their
+// worker thread; the store is the only shared object.
+void BM_QueensFleetThreaded(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr int kSessions = 8;
+  uint64_t resident_bytes = 0;
+  uint64_t cross_dedup_hits = 0;
+  bool parity_ok = true;
+  for (auto _ : state) {
+    auto store = std::make_shared<lw::PageStore>();
+    std::vector<uint64_t> solutions(kSessions, 0);
+    std::atomic<uint64_t> resident_peak{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        // Round-robin assignment: worker w runs sessions w, w+workers, ...
+        for (int i = w; i < kSessions; i += workers) {
+          int n = kQueensN;
+          lw::SessionOptions options;
+          options.arena_bytes = 2ull << 20;
+          options.snapshot_mode = lw::SnapshotMode::kIncremental;  // fault-free on workers
+          options.store = store;
+          options.output = [](std::string_view) {};
+          lw::BacktrackSession session(options);
+          if (session.Run(&QueensGuest, &n).ok()) {
+            solutions[static_cast<size_t>(i)] = session.stats().solutions;
+          }
+          // Sampled while this worker's sessions are still parked: honest
+          // serving-state residency.
+          uint64_t resident = store->stats().bytes_resident();
+          uint64_t seen = resident_peak.load(std::memory_order_relaxed);
+          while (seen < resident &&
+                 !resident_peak.compare_exchange_weak(seen, resident,
+                                                      std::memory_order_relaxed)) {
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    for (uint64_t s : solutions) {
+      parity_ok = parity_ok && s == kQueensSolutions;
+    }
+    resident_bytes = resident_peak.load(std::memory_order_relaxed);
+    cross_dedup_hits = store->stats().cross_session_dedup_hits;
+  }
+  if (!parity_ok) {
+    state.SkipWithError("parity violated: a session lost solutions under sharing");
+    return;
+  }
+  state.counters["resident_bytes"] = static_cast<double>(resident_bytes);
+  state.counters["cross_dedup_hits"] = static_cast<double>(cross_dedup_hits);
+}
+
+// The §3.2 fleet through SolverServicePool: N services = N worker threads over
+// one shared store (with background compaction), each solving the shared base
+// then branching with a private increment — the threaded twin of
+// BM_SharedStore/N.
+void BM_SolverPool(benchmark::State& state) {
+  const int services = static_cast<int>(state.range(0));
+  uint64_t resident_bytes = 0;
+  uint64_t cross_dedup_hits = 0;
+  for (auto _ : state) {
+    lw::SolverServicePoolOptions options;
+    options.num_services = services;
+    options.service.arena_bytes = 16ull << 20;
+    lw::SolverServicePool pool(options);
+    std::vector<lw::SolverServicePool::Outcome> roots;
+    lw::Status status = pool.SolveRootEverywhere(BaseProblem(), &roots);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    lw::Rng rng(7);
+    std::vector<std::future<lw::Result<lw::SolverServicePool::Outcome>>> futures;
+    for (int i = 0; i < services; ++i) {
+      lw::Cnf q = lw::RandomKSat(&rng, 300, 8, 3);
+      futures.push_back(pool.SubmitExtend(
+          i, roots[static_cast<size_t>(i)].token,
+          std::vector<std::vector<lw::Lit>>(q.clauses.begin(), q.clauses.end())));
+    }
+    for (auto& future : futures) {
+      auto outcome = future.get();
+      if (!outcome.ok()) {
+        state.SkipWithError(outcome.status().ToString().c_str());
+        return;
+      }
+    }
+    lw::SolverServicePool::FleetStats stats = pool.fleet_stats();
+    resident_bytes = stats.resident_bytes;
+    cross_dedup_hits = stats.cross_session_dedup_hits;
+  }
+  state.counters["resident_bytes"] = static_cast<double>(resident_bytes);
+  state.counters["cross_dedup_hits"] = static_cast<double>(cross_dedup_hits);
+}
+
+BENCHMARK(BM_QueensFleetThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+BENCHMARK(BM_SolverPool)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 }  // namespace
 

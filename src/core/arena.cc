@@ -1,8 +1,10 @@
 #include "src/core/arena.h"
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <sys/mman.h>
 #include <unistd.h>
 
@@ -18,28 +20,47 @@
 namespace lw {
 namespace {
 
-// Process-global registry mapping fault addresses to arenas. Sessions are
-// single-threaded (§5 of the paper) but multiple sessions may coexist in one
-// process (e.g., tests), so the registry holds a small fixed set.
-constexpr int kMaxArenas = 32;
+// Process-global registry mapping fault addresses to arenas. Each arena is
+// driven by one thread at a time, but arenas on different worker threads
+// coexist (pools, tests) and fault concurrently. Registration is serialized by
+// a mutex; the lookup runs in the signal handler and must stay lock-free and
+// async-signal-safe, so the slots are atomics: base/size are published
+// *before* the arena pointer (release), and the handler loads the arena
+// pointer first (acquire), which orders the range reads after it.
+constexpr int kMaxArenas = 64;
 
+// Each slot is a tiny seqlock: writers (register/unregister, serialized by the
+// registry mutex) bump `gen` to odd, mutate, bump back to even; the reader (the
+// signal handler) retries the slot if `gen` was odd or changed across its
+// reads. This is what makes slot *recycling* safe — without it a handler could
+// pair a stale arena pointer from one generation with the base/size of the
+// next and dispatch a fault to a freed GuestArena. All atomics, no locks on
+// the read side: async-signal-safe.
 struct ArenaSlot {
-  volatile uint8_t* base;
-  volatile size_t size;
-  GuestArena* volatile arena;
+  std::atomic<uint64_t> gen{0};  // odd = mid-update
+  std::atomic<uint8_t*> base{nullptr};
+  std::atomic<size_t> size{0};
+  std::atomic<GuestArena*> arena{nullptr};
 };
 
 ArenaSlot g_arenas[kMaxArenas];
-bool g_handler_installed = false;
+std::mutex g_arena_registry_mu;
+std::once_flag g_handler_once;
 struct sigaction g_previous_action;
-char* g_alt_stack = nullptr;
+
+void WriteSlot(ArenaSlot& slot, GuestArena* arena, uint8_t* base, size_t size) {
+  slot.gen.fetch_add(1, std::memory_order_release);  // even -> odd: readers retry
+  slot.base.store(base, std::memory_order_relaxed);
+  slot.size.store(size, std::memory_order_relaxed);
+  slot.arena.store(arena, std::memory_order_relaxed);
+  slot.gen.fetch_add(1, std::memory_order_release);  // odd -> even: consistent again
+}
 
 void RegisterArena(GuestArena* arena, uint8_t* base, size_t size) {
+  std::lock_guard<std::mutex> lock(g_arena_registry_mu);
   for (auto& slot : g_arenas) {
-    if (slot.arena == nullptr) {
-      slot.base = base;
-      slot.size = size;
-      slot.arena = arena;
+    if (slot.arena.load(std::memory_order_relaxed) == nullptr) {
+      WriteSlot(slot, arena, base, size);
       return;
     }
   }
@@ -47,11 +68,10 @@ void RegisterArena(GuestArena* arena, uint8_t* base, size_t size) {
 }
 
 void UnregisterArena(GuestArena* arena) {
+  std::lock_guard<std::mutex> lock(g_arena_registry_mu);
   for (auto& slot : g_arenas) {
-    if (slot.arena == arena) {
-      slot.arena = nullptr;
-      slot.base = nullptr;
-      slot.size = 0;
+    if (slot.arena.load(std::memory_order_relaxed) == arena) {
+      WriteSlot(slot, nullptr, nullptr, 0);
       return;
     }
   }
@@ -60,8 +80,31 @@ void UnregisterArena(GuestArena* arena) {
 GuestArena* FindArena(const void* addr) {
   const uint8_t* p = static_cast<const uint8_t*>(addr);
   for (auto& slot : g_arenas) {
-    GuestArena* arena = slot.arena;
-    if (arena != nullptr && p >= slot.base && p < slot.base + slot.size) {
+    GuestArena* arena = nullptr;
+    uint8_t* base = nullptr;
+    size_t size = 0;
+    // Bounded retries: a slot mid-update belongs to an arena being
+    // constructed or destroyed — no guest runs in it, so a fault can never
+    // legitimately match it and skipping is safe. The bound also keeps a
+    // handler that interrupted the writer *on the same thread* (a genuine
+    // crash mid-registration) from spinning forever.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      uint64_t gen_before = slot.gen.load(std::memory_order_acquire);
+      if ((gen_before & 1) != 0) {
+        continue;  // writer finishes in a handful of stores
+      }
+      GuestArena* a = slot.arena.load(std::memory_order_relaxed);
+      uint8_t* b = slot.base.load(std::memory_order_relaxed);
+      size_t s = slot.size.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.gen.load(std::memory_order_relaxed) == gen_before) {
+        arena = a;  // consistent snapshot of one generation
+        base = b;
+        size = s;
+        break;
+      }
+    }
+    if (arena != nullptr && base != nullptr && p >= base && p < base + size) {
       return arena;
     }
   }
@@ -90,26 +133,52 @@ void SegvHandler(int signo, siginfo_t* info, void* ucontext) {
 
 }  // namespace
 
-void GuestArena::EnsureGlobalHandlerInstalled() {
-  if (g_handler_installed) {
-    return;
-  }
-  // SIGSTKSZ is not a constant on modern glibc; size generously.
-  const size_t alt_size = 256 * 1024;
-  g_alt_stack = static_cast<char*>(std::malloc(alt_size));
-  LW_CHECK(g_alt_stack != nullptr);
-  stack_t ss{};
-  ss.ss_sp = g_alt_stack;
-  ss.ss_size = alt_size;
-  ss.ss_flags = 0;
-  LW_CHECK(sigaltstack(&ss, nullptr) == 0);
+namespace {
 
-  struct sigaction sa{};
-  sa.sa_sigaction = &SegvHandler;
-  sa.sa_flags = SA_SIGINFO | SA_ONSTACK | SA_NODEFER;
-  sigemptyset(&sa.sa_mask);
-  LW_CHECK(sigaction(SIGSEGV, &sa, &g_previous_action) == 0);
-  g_handler_installed = true;
+// Per-thread alternate signal stack, installed on first use and disarmed (and
+// freed) at thread exit. sigaltstack state is per-thread, so every worker
+// thread that can take a CoW fault needs its own — a handler dispatched to a
+// thread without one would push its frame onto the (possibly write-protected)
+// guest stack and double-fault.
+struct ThreadSignalStack {
+  char* mem = nullptr;
+
+  ThreadSignalStack() {
+    // SIGSTKSZ is not a constant on modern glibc; size generously.
+    const size_t alt_size = 256 * 1024;
+    mem = static_cast<char*>(std::malloc(alt_size));
+    LW_CHECK(mem != nullptr);
+    stack_t ss{};
+    ss.ss_sp = mem;
+    ss.ss_size = alt_size;
+    ss.ss_flags = 0;
+    LW_CHECK(sigaltstack(&ss, nullptr) == 0);
+  }
+
+  ~ThreadSignalStack() {
+    stack_t ss{};
+    ss.ss_flags = SS_DISABLE;
+    sigaltstack(&ss, nullptr);
+    std::free(mem);
+  }
+};
+
+}  // namespace
+
+void EnsureThreadSignalStack() {
+  static thread_local ThreadSignalStack tls_stack;
+  (void)tls_stack;
+}
+
+void GuestArena::EnsureGlobalHandlerInstalled() {
+  EnsureThreadSignalStack();
+  std::call_once(g_handler_once, [] {
+    struct sigaction sa{};
+    sa.sa_sigaction = &SegvHandler;
+    sa.sa_flags = SA_SIGINFO | SA_ONSTACK | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    LW_CHECK(sigaction(SIGSEGV, &sa, &g_previous_action) == 0);
+  });
 }
 
 GuestArena::GuestArena(const Layout& layout)

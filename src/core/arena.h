@@ -16,7 +16,15 @@
 //
 // The handler runs on a sigaltstack because the faulting thread's stack is the
 // *guest* stack, whose pages may themselves be write-protected — pushing a signal
-// frame there would double-fault.
+// frame there would double-fault. The alternate stack is a *per-thread*
+// resource: every worker thread that drives a CoW session installs its own via
+// EnsureThreadSignalStack (arena construction and session drives both call it).
+//
+// Thread model: one thread drives a given arena at a time (sessions are
+// thread-affine), but arenas on different worker threads coexist and fault
+// concurrently — the process-global registry the handler consults is lock-free
+// on the read (signal) side and mutex-serialized on the register/unregister
+// side.
 
 #ifndef LWSNAP_SRC_CORE_ARENA_H_
 #define LWSNAP_SRC_CORE_ARENA_H_
@@ -29,6 +37,12 @@
 #include "src/util/status.h"
 
 namespace lw {
+
+// Installs (once per thread) the alternate signal stack the SIGSEGV handler
+// runs on. Arena construction calls it for the constructing thread; a session
+// driven from a different thread than it was built on picks it up at the next
+// Run/Resume. Cheap after the first call.
+void EnsureThreadSignalStack();
 
 class GuestArena {
  public:

@@ -156,6 +156,10 @@ Status BacktrackSession::Resume(uint64_t token, const void* msg, size_t len) {
 }
 
 Status BacktrackSession::Drive(const std::function<void()>& first_transfer) {
+  // The session may have been constructed on a different thread (e.g. a pool
+  // dispatching to workers); the CoW fault handler needs this thread's
+  // alternate signal stack in place before any guest write can fault.
+  EnsureThreadSignalStack();
   ScopedExecutor scoped(this);
   driving_ = true;
   first_transfer();
@@ -431,7 +435,7 @@ Status BacktrackSession::ReadCheckpointMailbox(uint64_t token, void* out, size_t
     }
     PageRef ref = snap.map.Get(page);
     LW_CHECK(ref.valid());
-    std::memcpy(dst, ref.data() + in_page, chunk);
+    ref.ReadBytes(in_page, dst, chunk);
     dst += chunk;
     offset += chunk;
     remaining -= chunk;

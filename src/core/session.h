@@ -1,7 +1,9 @@
 // BacktrackSession: the libOS of Figure 2 — owner of the guest arena, the
 // snapshot tree, the search strategy, and the guest-visible system calls.
 //
-// Execution model (single-threaded, like the paper's prototype):
+// Execution model (each session is single-threaded, like the paper's
+// prototype; a session is *thread-affine* — one thread drives it at a time,
+// though many sessions on different worker threads may share one PageStore):
 //   * The host calls Run(guest_fn, arg). The guest runs on a stack inside the
 //     arena via ucontext; the session's scheduler runs on the host stack.
 //   * sys_guess(n) parks the guest (swapcontext into the scheduler), which
@@ -66,8 +68,10 @@ struct SessionOptions {
   // Shared page substrate. Null (default): the session creates a private
   // PageStore configured by `store_options`. Non-null: the session publishes
   // through the injected store, deduplicating against every other session on
-  // it (see the sharing/ownership contract in src/snapshot/page_store.h; all
-  // sharers must run on one thread). The session keeps the store alive.
+  // it (see the sharing/ownership contract in src/snapshot/page_store.h). The
+  // store is internally synchronized, so sharers may run on different worker
+  // threads — each *session* stays thread-affine (one thread drives it at a
+  // time), but the fleet runs in parallel. The session keeps the store alive.
   std::shared_ptr<PageStore> store;
   PageStoreOptions store_options;
 

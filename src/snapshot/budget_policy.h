@@ -19,11 +19,23 @@
 // *fewer* frontier entries than an uncompressed run would — the compressed
 // tier trades byte-for-byte eviction parity for keeping more of the search.
 //
+// On a store with `background_compaction`, stages 2 and 3 move off the
+// critical path: Enforce still evicts synchronously (only the session can
+// drop its own frontier), then enqueues the byte target with
+// `PageStore::RequestCompaction` and returns — the store's compactor thread
+// works the cold tails while the search continues. Residency converges to the
+// budget rather than meeting it at every return.
+//
 // The budget is enforced against the whole store. With a shared store
 // (SessionOptions::store) that is a deliberate fleet-wide residency cap: each
 // sharer's Enforce sees every sharer's live bytes but can only evict its own
 // frontier, so give sharers the same budget value (or 0 to opt out) rather
-// than expecting per-session isolation.
+// than expecting per-session isolation. Concurrent Enforce calls from sharers
+// on different threads are safe: eviction touches only the caller's frontier,
+// the store's counters and compression paths are internally synchronized, and
+// every caller loops on the same store-wide live-byte count, so the calls
+// jointly converge on the one fleet-wide cap (tested in
+// page_store_concurrency_test.cc).
 
 #ifndef LWSNAP_SRC_SNAPSHOT_BUDGET_POLICY_H_
 #define LWSNAP_SRC_SNAPSHOT_BUDGET_POLICY_H_

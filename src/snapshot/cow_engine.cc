@@ -40,7 +40,7 @@ void CowEngine::Materialize(Snapshot& snap) {
   for (size_t idx = 0; idx < hot_pages_.size(); ++idx) {
     uint32_t page = hot_pages_[idx];
     const PageRef cur = cur_map_.Get(page);
-    if (std::memcmp(arena.PageAddr(page), cur.data(), kPageSize) != 0) {
+    if (!cur.EqualsPage(arena.PageAddr(page))) {
       cur_map_.Set(page, PublishPage(arena.PageAddr(page)));
       ++stats.pages_materialized;
       clean_streak_[page] = 0;
@@ -91,7 +91,7 @@ void CowEngine::CopyInPage(uint32_t page, const PageRef& ref) {
   if (!arena.dirty().IsDirty(page)) {
     arena.UnprotectPage(page);
   }
-  std::memcpy(arena.PageAddr(page), ref.data(), kPageSize);
+  ref.CopyTo(arena.PageAddr(page));
   arena.ProtectPage(page);
 }
 
@@ -104,7 +104,7 @@ void CowEngine::Restore(const Snapshot& snap) {
   for (uint32_t page : hot_pages_) {
     const PageRef ref = snap.map.Get(page);
     LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
-    std::memcpy(arena.PageAddr(page), ref.data(), kPageSize);
+    ref.CopyTo(arena.PageAddr(page));
     ++restored;
   }
   DirtyTracker& dirty = arena.dirty();

@@ -31,7 +31,7 @@ void SnapshotEngine::EnforceByteBudget(uint64_t budget, const std::function<bool
 }
 
 void SnapshotEngine::SyncStoreStats() {
-  const PageStore::Stats& store = env_.store->stats();
+  const PageStore::Stats store = env_.store->stats();
   env_.stats->zero_dedup_hits = store.zero_dedup_hits;
   env_.stats->content_dedup_hits = store.content_dedup_hits;
   env_.stats->cross_session_dedup_hits = store.cross_session_dedup_hits;

@@ -30,7 +30,7 @@ void FullCopyEngine::Restore(const Snapshot& snap) {
   uint64_t restored = 0;
   for (uint32_t page = 0; page < arena.num_pages(); ++page) {
     if (!arena.InGuard(page)) {
-      std::memcpy(arena.PageAddr(page), snap.map.Get(page).data(), kPageSize);
+      snap.map.Get(page).CopyTo(arena.PageAddr(page));
       ++restored;
     }
   }

@@ -33,7 +33,7 @@ void IncrementalCopyEngine::Materialize(Snapshot& snap) {
     }
     ++stats.incr_pages_scanned;
     const PageRef cur = cur_map_.Get(page);
-    if (std::memcmp(arena.PageAddr(page), cur.data(), kPageSize) != 0) {
+    if (!cur.EqualsPage(arena.PageAddr(page))) {
       tracker_.MarkDirty(page);
     }
   }
@@ -63,8 +63,7 @@ void IncrementalCopyEngine::Restore(const Snapshot& snap) {
     ++stats.incr_pages_scanned;
     const PageRef ref = snap.map.Get(page);
     LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
-    if (std::memcmp(arena.PageAddr(page), ref.data(), kPageSize) != 0) {
-      std::memcpy(arena.PageAddr(page), ref.data(), kPageSize);
+    if (ref.CopyToIfDifferent(arena.PageAddr(page))) {
       ++restored;
     }
   }

@@ -10,7 +10,7 @@ using internal::PageBlob;
 
 namespace {
 
-constexpr size_t kInitialIndexSlots = 1024;  // power of two
+constexpr size_t kInitialIndexSlots = 256;  // power of two, per shard
 
 bool IsZeroPage(const void* src) {
   // memcmp with early exit: real data almost always differs within the first
@@ -22,6 +22,8 @@ bool IsZeroPage(const void* src) {
 // 64-bit content hash: xor-multiply-shift over 8-byte words (fmix64-style
 // finalizer per word). Collisions are tolerated — the index confirms every
 // candidate with a full memcmp — so speed matters more than distribution tails.
+// The top bits select the shard, the low bits the slot; the per-word multiply
+// mixes every input word into both.
 uint64_t HashPage(const void* src) {
   const uint8_t* p = static_cast<const uint8_t*>(src);
   uint64_t h = 0x9e3779b97f4a7c15ull;
@@ -39,98 +41,139 @@ size_t PayloadBytes(const PageBlob* blob) {
   if (blob->payload == nullptr) {
     return 0;
   }
-  return blob->comp_bytes != 0 ? blob->comp_bytes : kPageSize;
+  uint32_t comp = blob->comp_bytes.load(std::memory_order_relaxed);
+  return comp != 0 ? comp : kPageSize;
 }
 
 }  // namespace
 
 PageStore::PageStore(const PageStoreOptions& options) : options_(options) {
   if (options_.content_dedup) {
-    index_.assign(kInitialIndexSlots, nullptr);
+    for (Shard& shard : shards_) {
+      shard.index.assign(kInitialIndexSlots, nullptr);
+    }
+  }
+  if (options_.background_compaction) {
+    compactor_ = std::thread([this] { CompactorMain(); });
   }
 }
 
 PageStore::~PageStore() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(compactor_mu_);
+      compactor_stop_ = true;
+    }
+    compactor_cv_.notify_all();
+    compactor_.join();
+  }
   zero_page_.Reset();
   TrimFreeList();
   // All snapshots/sessions referencing this store must be destroyed first; a
   // live blob here means a PageRef will later touch freed store state.
-  LW_CHECK_MSG(stats_.live_blobs == 0, "PageStore destroyed while pages are still referenced");
+  LW_CHECK_MSG(counters_.live_blobs.load(std::memory_order_acquire) == 0,
+               "PageStore destroyed while pages are still referenced");
+}
+
+void PageStore::BumpPeak(std::atomic<uint64_t>& peak, uint64_t value) {
+  uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (cur < value && !peak.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Blob lifecycle.
 // ---------------------------------------------------------------------------
 
-PageBlob* PageStore::AcquireBlob() {
-  PageBlob* blob = free_list_;
+PageBlob* PageStore::AcquireBlobLocked(Shard& shard, uint32_t shard_id) {
+  PageBlob* blob = shard.free_list;
   if (blob != nullptr) {
-    free_list_ = blob->next_free;
-    --stats_.free_blobs;
-    stats_.free_bytes -= sizeof(PageBlob) + PayloadBytes(blob);
+    shard.free_list = blob->next_free;
+    counters_.free_blobs.fetch_sub(1, std::memory_order_relaxed);
+    counters_.free_bytes.fetch_sub(sizeof(PageBlob) + PayloadBytes(blob),
+                                   std::memory_order_relaxed);
   } else {
-    blob = static_cast<PageBlob*>(std::malloc(sizeof(PageBlob)));
-    LW_CHECK_MSG(blob != nullptr, "host allocation for page blob failed");
+    void* mem = std::malloc(sizeof(PageBlob));
+    LW_CHECK_MSG(mem != nullptr, "host allocation for page blob failed");
+    blob = new (mem) PageBlob();
     blob->payload = nullptr;
   }
   if (blob->payload == nullptr) {
     blob->payload = static_cast<uint8_t*>(std::malloc(kPageSize));
     LW_CHECK_MSG(blob->payload != nullptr, "host allocation for page payload failed");
   }
-  blob->refcount = 1;
-  blob->comp_bytes = 0;
+  // Not yet visible to any other thread: published to the index (and thus to
+  // other threads) only under this same shard lock.
+  blob->refcount.store(1, std::memory_order_relaxed);
+  blob->comp_bytes.store(0, std::memory_order_relaxed);
   blob->hash = 0;
   blob->owner = 0;
+  blob->shard = shard_id;
   blob->flags = 0;
   blob->indexed = false;
   blob->store = this;
   blob->next_free = nullptr;
   blob->lru_prev = nullptr;
   blob->lru_next = nullptr;
-  ++stats_.live_blobs;
-  if (stats_.live_blobs > stats_.peak_live_blobs) {
-    stats_.peak_live_blobs = stats_.live_blobs;
-  }
-  stats_.live_bytes += sizeof(PageBlob) + kPageSize;
-  if (stats_.live_bytes > stats_.peak_live_bytes) {
-    stats_.peak_live_bytes = stats_.live_bytes;
-  }
-  ++stats_.total_published;
+  uint64_t live = counters_.live_blobs.fetch_add(1, std::memory_order_relaxed) + 1;
+  BumpPeak(counters_.peak_live_blobs, live);
+  uint64_t live_bytes =
+      counters_.live_bytes.fetch_add(sizeof(PageBlob) + kPageSize, std::memory_order_relaxed) +
+      sizeof(PageBlob) + kPageSize;
+  BumpPeak(counters_.peak_live_bytes, live_bytes);
+  counters_.total_published.fetch_add(1, std::memory_order_relaxed);
   return blob;
 }
 
 void PageStore::RecycleBlob(PageBlob* blob) {
-  LW_CHECK(blob->refcount == 0);
+  // Only the thread that moved the refcount 1 → 0 gets here, exactly once per
+  // blob lifetime: the index never revives zero-refcount blobs, so the count
+  // cannot have risen again.
+  Shard& shard = shards_[blob->shard];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  RecycleBlobLocked(shard, blob);
+}
+
+void PageStore::RecycleBlobLocked(Shard& shard, PageBlob* blob) {
+  LW_CHECK(blob->refcount.load(std::memory_order_acquire) == 0);
   if (blob->indexed) {
-    IndexRemove(blob);
+    IndexRemoveLocked(shard, blob);
   }
-  if (blob->comp_bytes == 0 && (blob->flags & PageBlob::kPinned) == 0) {
-    LruRemove(blob);
+  uint32_t comp = blob->comp_bytes.load(std::memory_order_relaxed);
+  if (comp == 0 && (blob->flags & PageBlob::kPinned) == 0) {
+    LruRemoveLocked(shard, blob);
   }
-  stats_.live_bytes -= sizeof(PageBlob) + PayloadBytes(blob);
-  if (blob->comp_bytes != 0) {
+  counters_.live_bytes.fetch_sub(sizeof(PageBlob) + PayloadBytes(blob),
+                                 std::memory_order_relaxed);
+  if (comp != 0) {
     // Compressed payloads are odd-sized; recycle the header only and let the
     // next acquire mint a fresh raw payload.
-    --stats_.compressed_blobs;
+    counters_.compressed_blobs.fetch_sub(1, std::memory_order_relaxed);
     std::free(blob->payload);
     blob->payload = nullptr;
-    blob->comp_bytes = 0;
+    blob->comp_bytes.store(0, std::memory_order_relaxed);
   }
-  --stats_.live_blobs;
-  blob->next_free = free_list_;
-  free_list_ = blob;
-  ++stats_.free_blobs;
-  stats_.free_bytes += sizeof(PageBlob) + PayloadBytes(blob);
+  counters_.live_blobs.fetch_sub(1, std::memory_order_release);
+  blob->next_free = shard.free_list;
+  shard.free_list = blob;
+  counters_.free_blobs.fetch_add(1, std::memory_order_relaxed);
+  counters_.free_bytes.fetch_add(sizeof(PageBlob) + PayloadBytes(blob),
+                                 std::memory_order_relaxed);
 }
 
 void PageStore::TrimFreeList() {
-  while (free_list_ != nullptr) {
-    PageBlob* next = free_list_->next_free;
-    stats_.free_bytes -= sizeof(PageBlob) + PayloadBytes(free_list_);
-    std::free(free_list_->payload);
-    std::free(free_list_);
-    free_list_ = next;
-    --stats_.free_blobs;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    while (shard.free_list != nullptr) {
+      PageBlob* next = shard.free_list->next_free;
+      counters_.free_bytes.fetch_sub(sizeof(PageBlob) + PayloadBytes(shard.free_list),
+                                     std::memory_order_relaxed);
+      std::free(shard.free_list->payload);
+      shard.free_list->~PageBlob();
+      std::free(shard.free_list);
+      shard.free_list = next;
+      counters_.free_blobs.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -140,184 +183,269 @@ void PageStore::TrimFreeList() {
 
 PageRef PageStore::Publish(const void* src, uint32_t owner) {
   if (IsZeroPage(src)) {
-    ++stats_.zero_dedup_hits;
+    counters_.zero_dedup_hits.fetch_add(1, std::memory_order_relaxed);
     return ZeroPage();
   }
   uint64_t hash = 0;
+  uint32_t shard_id;
   if (options_.content_dedup) {
     hash = HashPage(src);
-    if (PageBlob* hit = IndexFind(hash, src)) {
-      ++stats_.content_dedup_hits;
+    shard_id = ShardOfHash(hash);
+  } else {
+    shard_id = shard_cursor_.fetch_add(1, std::memory_order_relaxed) & (kPageStoreShards - 1);
+  }
+  Shard& shard = shards_[shard_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (options_.content_dedup) {
+    if (PageBlob* hit = IndexFindLocked(shard, hash, src)) {
+      counters_.content_dedup_hits.fetch_add(1, std::memory_order_relaxed);
       if (hit->owner != owner) {
-        ++stats_.cross_session_dedup_hits;
+        counters_.cross_session_dedup_hits.fetch_add(1, std::memory_order_relaxed);
       }
-      LruTouch(hit);
-      ++hit->refcount;
-      return PageRef(hit);
+      LruTouchLocked(shard, hit);
+      return PageRef(hit);  // IndexFindLocked already took the reference
     }
   }
-  PageBlob* blob = AcquireBlob();
+  PageBlob* blob = AcquireBlobLocked(shard, shard_id);
   std::memcpy(blob->payload, src, kPageSize);
   blob->owner = owner;
   if (options_.content_dedup) {
     blob->hash = hash;
-    IndexInsert(blob);
+    IndexInsertLocked(shard, blob);
   }
-  LruPushFront(blob);
+  LruPushFrontLocked(shard, blob);
   return PageRef(blob);
 }
 
 PageRef PageStore::ZeroPage() {
-  if (!zero_page_.valid()) {
-    PageBlob* blob = AcquireBlob();
+  std::call_once(zero_once_, [this] {
+    Shard& shard = shards_[0];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    PageBlob* blob = AcquireBlobLocked(shard, 0);
     std::memset(blob->payload, 0, kPageSize);
     blob->flags = PageBlob::kPinned;  // permanently shared and hot: never cold-compressed
     zero_page_ = PageRef(blob);
-  }
+  });
   return zero_page_;
 }
 
 // ---------------------------------------------------------------------------
-// Open-addressed content index (linear probing, backward-shift deletion).
+// Open-addressed content index (per shard; linear probing, backward-shift
+// deletion). All index helpers run under the shard's mutex.
 // ---------------------------------------------------------------------------
 
-PageBlob* PageStore::IndexFind(uint64_t hash, const void* src) {
-  const size_t mask = index_.size() - 1;
-  for (size_t i = hash & mask; index_[i] != nullptr; i = (i + 1) & mask) {
-    PageBlob* cand = index_[i];
+PageBlob* PageStore::IndexFindLocked(Shard& shard, uint64_t hash, const void* src) {
+  const size_t mask = shard.index.size() - 1;
+restart:
+  for (size_t i = hash & mask; shard.index[i] != nullptr; i = (i + 1) & mask) {
+    PageBlob* cand = shard.index[i];
     if (cand->hash != hash) {
       continue;
     }
-    if (cand->comp_bytes != 0) {
+    // Take the reference before touching payload bytes, and never from zero: a
+    // blob whose count already hit zero is owned by its (unique) recycler — it
+    // only remains indexed until that thread takes this shard lock. Treat it
+    // as dead and republish fresh content instead of resurrecting it.
+    uint32_t count = cand->refcount.load(std::memory_order_relaxed);
+    bool acquired = false;
+    while (count != 0) {
+      if (cand->refcount.compare_exchange_weak(count, count + 1, std::memory_order_acq_rel)) {
+        acquired = true;
+        break;
+      }
+    }
+    if (!acquired) {
+      continue;
+    }
+    if (cand->comp_bytes.load(std::memory_order_relaxed) != 0) {
       // Hash matched a cold blob: re-inflate to confirm. A confirmed hit means
       // this content is being republished, so warming it is the right move.
-      DecompressBlob(cand);
+      DecompressBlobLocked(cand);
     }
     if (std::memcmp(cand->payload, src, kPageSize) == 0) {
-      return cand;
+      return cand;  // reference transferred to the caller
+    }
+    // Collision: hand the reference back. The true holder may have released
+    // concurrently, making this the final reference — recycle inline then (we
+    // already hold the shard lock this blob recycles under). Recycling edits
+    // the probe chain (backward-shift deletion), so restart the probe.
+    if (cand->refcount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      RecycleBlobLocked(shard, cand);
+      goto restart;
     }
   }
   return nullptr;
 }
 
-void PageStore::IndexInsert(PageBlob* blob) {
-  if ((index_used_ + 1) * 10 >= index_.size() * 7) {  // grow at 70% load
-    IndexGrow();
+void PageStore::IndexInsertLocked(Shard& shard, PageBlob* blob) {
+  if ((shard.index_used + 1) * 10 >= shard.index.size() * 7) {  // grow at 70% load
+    IndexGrowLocked(shard);
   }
-  const size_t mask = index_.size() - 1;
+  const size_t mask = shard.index.size() - 1;
   size_t i = blob->hash & mask;
-  while (index_[i] != nullptr) {
+  while (shard.index[i] != nullptr) {
     i = (i + 1) & mask;
   }
-  index_[i] = blob;
+  shard.index[i] = blob;
   blob->indexed = true;
-  ++index_used_;
+  ++shard.index_used;
 }
 
-void PageStore::IndexGrow() {
-  std::vector<PageBlob*> old = std::move(index_);
-  index_.assign(old.size() * 2, nullptr);
-  const size_t mask = index_.size() - 1;
+void PageStore::IndexGrowLocked(Shard& shard) {
+  std::vector<PageBlob*> old = std::move(shard.index);
+  shard.index.assign(old.size() * 2, nullptr);
+  const size_t mask = shard.index.size() - 1;
   for (PageBlob* blob : old) {
     if (blob == nullptr) {
       continue;
     }
     size_t i = blob->hash & mask;
-    while (index_[i] != nullptr) {
+    while (shard.index[i] != nullptr) {
       i = (i + 1) & mask;
     }
-    index_[i] = blob;
+    shard.index[i] = blob;
   }
 }
 
-void PageStore::IndexRemove(PageBlob* blob) {
-  const size_t mask = index_.size() - 1;
+void PageStore::IndexRemoveLocked(Shard& shard, PageBlob* blob) {
+  const size_t mask = shard.index.size() - 1;
   size_t i = blob->hash & mask;
-  while (index_[i] != blob) {
-    LW_CHECK_MSG(index_[i] != nullptr, "indexed blob missing from index");
+  while (shard.index[i] != blob) {
+    LW_CHECK_MSG(shard.index[i] != nullptr, "indexed blob missing from index");
     i = (i + 1) & mask;
   }
   blob->indexed = false;
-  --index_used_;
+  --shard.index_used;
   // Backward-shift deletion keeps probe chains tombstone-free: walk the
   // cluster after the hole and move back any entry whose home slot makes the
   // hole part of its probe path.
   size_t j = i;
   while (true) {
-    index_[i] = nullptr;
+    shard.index[i] = nullptr;
     while (true) {
       j = (j + 1) & mask;
-      if (index_[j] == nullptr) {
+      if (shard.index[j] == nullptr) {
         return;
       }
-      size_t home = index_[j]->hash & mask;
+      size_t home = shard.index[j]->hash & mask;
       // Does entry j probe across slot i? (circular interval check)
       bool moves = i <= j ? (home <= i || home > j) : (home <= i && home > j);
       if (moves) {
         break;
       }
     }
-    index_[i] = index_[j];
+    shard.index[i] = shard.index[j];
     i = j;
   }
 }
 
 // ---------------------------------------------------------------------------
-// Cold-compression tier.
+// Guarded page access (safe against concurrent compression).
 // ---------------------------------------------------------------------------
 
-void PageStore::LruPushFront(PageBlob* blob) {
+void PageRef::CopyTo(void* dst) const {
+  LW_CHECK(blob_ != nullptr);
+  PageStore::Shard& shard = blob_->store->shards_[blob_->shard];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (blob_->comp_bytes.load(std::memory_order_relaxed) != 0) {
+    blob_->store->DecompressBlobLocked(blob_);
+  }
+  std::memcpy(dst, blob_->payload, kPageSize);
+}
+
+bool PageRef::EqualsPage(const void* src) const {
+  LW_CHECK(blob_ != nullptr);
+  PageStore::Shard& shard = blob_->store->shards_[blob_->shard];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (blob_->comp_bytes.load(std::memory_order_relaxed) != 0) {
+    blob_->store->DecompressBlobLocked(blob_);
+  }
+  return std::memcmp(blob_->payload, src, kPageSize) == 0;
+}
+
+bool PageRef::CopyToIfDifferent(void* dst) const {
+  LW_CHECK(blob_ != nullptr);
+  PageStore::Shard& shard = blob_->store->shards_[blob_->shard];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (blob_->comp_bytes.load(std::memory_order_relaxed) != 0) {
+    blob_->store->DecompressBlobLocked(blob_);
+  }
+  if (std::memcmp(blob_->payload, dst, kPageSize) == 0) {
+    return false;
+  }
+  std::memcpy(dst, blob_->payload, kPageSize);
+  return true;
+}
+
+void PageRef::ReadBytes(size_t offset, void* dst, size_t len) const {
+  LW_CHECK(blob_ != nullptr);
+  LW_CHECK(offset + len <= kPageSize);
+  PageStore::Shard& shard = blob_->store->shards_[blob_->shard];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (blob_->comp_bytes.load(std::memory_order_relaxed) != 0) {
+    blob_->store->DecompressBlobLocked(blob_);
+  }
+  std::memcpy(dst, blob_->payload + offset, len);
+}
+
+// ---------------------------------------------------------------------------
+// Cold-compression tier (per-shard LRU lists; helpers run under the shard's
+// mutex).
+// ---------------------------------------------------------------------------
+
+void PageStore::LruPushFrontLocked(Shard& shard, PageBlob* blob) {
   // Pinned blobs never compress; known-incompressible blobs would only waste
   // another full compressor pass — neither belongs on the cold list.
   if ((blob->flags & (PageBlob::kPinned | PageBlob::kIncompressible)) != 0) {
     return;
   }
   blob->lru_prev = nullptr;
-  blob->lru_next = lru_head_;
-  if (lru_head_ != nullptr) {
-    lru_head_->lru_prev = blob;
+  blob->lru_next = shard.lru_head;
+  if (shard.lru_head != nullptr) {
+    shard.lru_head->lru_prev = blob;
   }
-  lru_head_ = blob;
-  if (lru_tail_ == nullptr) {
-    lru_tail_ = blob;
+  shard.lru_head = blob;
+  if (shard.lru_tail == nullptr) {
+    shard.lru_tail = blob;
   }
 }
 
-void PageStore::LruRemove(PageBlob* blob) {
+void PageStore::LruRemoveLocked(Shard& shard, PageBlob* blob) {
   if ((blob->flags & PageBlob::kPinned) != 0) {
     return;
   }
   if (blob->lru_prev != nullptr) {
     blob->lru_prev->lru_next = blob->lru_next;
-  } else if (lru_head_ == blob) {
-    lru_head_ = blob->lru_next;
+  } else if (shard.lru_head == blob) {
+    shard.lru_head = blob->lru_next;
   }
   if (blob->lru_next != nullptr) {
     blob->lru_next->lru_prev = blob->lru_prev;
-  } else if (lru_tail_ == blob) {
-    lru_tail_ = blob->lru_prev;
+  } else if (shard.lru_tail == blob) {
+    shard.lru_tail = blob->lru_prev;
   }
   blob->lru_prev = nullptr;
   blob->lru_next = nullptr;
 }
 
-void PageStore::LruTouch(PageBlob* blob) {
-  if ((blob->flags & PageBlob::kPinned) != 0 || blob->comp_bytes != 0) {
+void PageStore::LruTouchLocked(Shard& shard, PageBlob* blob) {
+  if ((blob->flags & PageBlob::kPinned) != 0 ||
+      blob->comp_bytes.load(std::memory_order_relaxed) != 0) {
     return;
   }
-  LruRemove(blob);
-  LruPushFront(blob);
+  LruRemoveLocked(shard, blob);
+  LruPushFrontLocked(shard, blob);
 }
 
-bool PageStore::CompressBlob(PageBlob* blob) {
-  ++stats_.compression_attempts;
+bool PageStore::CompressBlobLocked(Shard& shard, PageBlob* blob) {
+  counters_.compression_attempts.fetch_add(1, std::memory_order_relaxed);
   uint8_t tmp[MaxCompressedBytes(kPageSize)];
   // Only worthwhile when the payload actually shrinks: cap the output below
   // kPageSize so incompressible pages stay raw.
   size_t n = Compress(blob->payload, kPageSize, tmp, kPageSize - 1);
   if (n == 0) {
     blob->flags |= PageBlob::kIncompressible;
-    LruRemove(blob);
+    LruRemoveLocked(shard, blob);
     return false;
   }
   uint8_t* small = static_cast<uint8_t*>(std::malloc(n));
@@ -325,52 +453,171 @@ bool PageStore::CompressBlob(PageBlob* blob) {
   std::memcpy(small, tmp, n);
   std::free(blob->payload);
   blob->payload = small;
-  blob->comp_bytes = static_cast<uint32_t>(n);
-  LruRemove(blob);
-  stats_.live_bytes -= kPageSize - n;
-  ++stats_.compressed_blobs;
-  ++stats_.compressions;
+  blob->comp_bytes.store(static_cast<uint32_t>(n), std::memory_order_release);
+  LruRemoveLocked(shard, blob);
+  counters_.live_bytes.fetch_sub(kPageSize - n, std::memory_order_relaxed);
+  counters_.compressed_blobs.fetch_add(1, std::memory_order_relaxed);
+  counters_.compressions.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-void PageStore::DecompressBlob(PageBlob* blob) {
-  LW_CHECK(blob->comp_bytes != 0);
+void PageStore::DecompressBlobLocked(PageBlob* blob) {
+  uint32_t comp = blob->comp_bytes.load(std::memory_order_relaxed);
+  LW_CHECK(comp != 0);
   uint8_t* raw = static_cast<uint8_t*>(std::malloc(kPageSize));
   LW_CHECK_MSG(raw != nullptr, "host allocation for decompressed payload failed");
-  size_t n = Decompress(blob->payload, blob->comp_bytes, raw, kPageSize);
+  size_t n = Decompress(blob->payload, comp, raw, kPageSize);
   LW_CHECK_MSG(n == kPageSize, "cold blob decompressed to the wrong size");
-  stats_.live_bytes += kPageSize - blob->comp_bytes;
-  if (stats_.live_bytes > stats_.peak_live_bytes) {
-    stats_.peak_live_bytes = stats_.live_bytes;
-  }
+  uint64_t live =
+      counters_.live_bytes.fetch_add(kPageSize - comp, std::memory_order_relaxed) + kPageSize -
+      comp;
+  BumpPeak(counters_.peak_live_bytes, live);
   std::free(blob->payload);
   blob->payload = raw;
-  blob->comp_bytes = 0;
-  --stats_.compressed_blobs;
-  ++stats_.decompressions;
-  LruPushFront(blob);  // just touched: warmest again
+  blob->comp_bytes.store(0, std::memory_order_release);
+  counters_.compressed_blobs.fetch_sub(1, std::memory_order_relaxed);
+  counters_.decompressions.fetch_add(1, std::memory_order_relaxed);
+  LruPushFrontLocked(shards_[blob->shard], blob);  // just touched: warmest again
+}
+
+void PageStore::DecompressBlob(PageBlob* blob) {
+  Shard& shard = shards_[blob->shard];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Double-checked: another thread may have re-inflated while we waited.
+  if (blob->comp_bytes.load(std::memory_order_relaxed) != 0) {
+    DecompressBlobLocked(blob);
+  }
+}
+
+bool PageStore::CompressOneColdInShard(uint32_t shard_id) {
+  Shard& shard = shards_[shard_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  while (shard.lru_tail != nullptr) {
+    PageBlob* coldest = shard.lru_tail;
+    if (CompressBlobLocked(shard, coldest)) {
+      return true;
+    }
+    // Incompressible: CompressBlobLocked dropped it from the list; try next.
+  }
+  return false;
 }
 
 bool PageStore::CompressOneCold() {
   if (!options_.compression) {
     return false;
   }
-  while (lru_tail_ != nullptr) {
-    PageBlob* coldest = lru_tail_;
-    if (CompressBlob(coldest)) {
+  // Round-robin over shards: "coldest per shard" approximates the global LRU
+  // order well enough for a budget policy (the hash spreads content evenly).
+  uint32_t start = shard_cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < kPageStoreShards; ++i) {
+    if (CompressOneColdInShard((start + i) & (kPageStoreShards - 1))) {
       return true;
     }
-    // Incompressible: CompressBlob dropped it from the list; try the next.
   }
   return false;
 }
 
 uint64_t PageStore::CompressAllCold() {
+  if (!options_.compression) {
+    return 0;
+  }
   uint64_t count = 0;
-  while (CompressOneCold()) {
-    ++count;
+  for (uint32_t shard_id = 0; shard_id < kPageStoreShards; ++shard_id) {
+    while (CompressOneColdInShard(shard_id)) {
+      ++count;
+    }
   }
   return count;
+}
+
+// ---------------------------------------------------------------------------
+// Background compactor.
+// ---------------------------------------------------------------------------
+
+void PageStore::RequestCompaction(uint64_t target_bytes) {
+  if (!compactor_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(compactor_mu_);
+    compaction_target_ = compaction_pending_
+                             ? (target_bytes < compaction_target_ ? target_bytes
+                                                                  : compaction_target_)
+                             : target_bytes;
+    compaction_pending_ = true;
+  }
+  compactor_cv_.notify_one();
+}
+
+void PageStore::WaitForCompaction() {
+  if (!compactor_.joinable()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(compactor_mu_);
+  compactor_idle_cv_.wait(lock, [this] { return !compaction_pending_ && !compactor_busy_; });
+}
+
+void PageStore::CompactorMain() {
+  std::unique_lock<std::mutex> lock(compactor_mu_);
+  while (true) {
+    compactor_cv_.wait(lock, [this] { return compaction_pending_ || compactor_stop_; });
+    if (compactor_stop_) {
+      return;
+    }
+    uint64_t target = compaction_target_;
+    compaction_pending_ = false;
+    compactor_busy_ = true;
+    lock.unlock();
+    // Work without the queue lock: sessions keep publishing (and enqueueing
+    // lower targets) while we chew the cold tails.
+    while (counters_.live_bytes.load(std::memory_order_relaxed) > target) {
+      if (!CompressOneCold()) {
+        break;
+      }
+    }
+    if (counters_.live_bytes.load(std::memory_order_relaxed) > target) {
+      // The drop stage of the budget policy, off the critical path too.
+      TrimFreeList();
+    }
+    lock.lock();
+    compactor_busy_ = false;
+    if (!compaction_pending_) {
+      compactor_idle_cv_.notify_all();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats.
+// ---------------------------------------------------------------------------
+
+PageStore::Stats PageStore::stats() const {
+  Stats s;
+  s.live_blobs = counters_.live_blobs.load(std::memory_order_acquire);
+  s.free_blobs = counters_.free_blobs.load(std::memory_order_relaxed);
+  s.peak_live_blobs = counters_.peak_live_blobs.load(std::memory_order_relaxed);
+  s.total_published = counters_.total_published.load(std::memory_order_relaxed);
+  s.zero_dedup_hits = counters_.zero_dedup_hits.load(std::memory_order_relaxed);
+  s.content_dedup_hits = counters_.content_dedup_hits.load(std::memory_order_relaxed);
+  s.cross_session_dedup_hits =
+      counters_.cross_session_dedup_hits.load(std::memory_order_relaxed);
+  s.compressed_blobs = counters_.compressed_blobs.load(std::memory_order_relaxed);
+  s.compressions = counters_.compressions.load(std::memory_order_relaxed);
+  s.compression_attempts = counters_.compression_attempts.load(std::memory_order_relaxed);
+  s.decompressions = counters_.decompressions.load(std::memory_order_relaxed);
+  s.live_bytes = counters_.live_bytes.load(std::memory_order_relaxed);
+  s.free_bytes = counters_.free_bytes.load(std::memory_order_relaxed);
+  s.peak_live_bytes = counters_.peak_live_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t PageStore::IndexBytes() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.index.capacity() * sizeof(PageBlob*);
+  }
+  return total;
 }
 
 }  // namespace lw

@@ -11,21 +11,43 @@
 //
 // Cold-compression tier: blobs referenced only by parked snapshots go cold (the
 // store approximates "parked-only" by publish/access recency); the byte-budget
-// policy compresses them with the in-tree LZ codec and `PageRef::data()`
-// transparently re-inflates on first touch, so Restore never sees compressed
-// bytes. Raw payloads are recycled through a free list when the last reference
-// drops (snapshot trees churn pages at high frequency; malloc per page would
-// dominate).
+// policy compresses them with the in-tree LZ codec, and the guarded accessors
+// (`CopyTo`/`EqualsPage`/`ReadBytes`) transparently re-inflate on first touch,
+// so Restore never sees compressed bytes. With
+// `PageStoreOptions::background_compaction` the compression itself runs on a
+// store-owned compactor thread: `ByteBudgetPolicy` only enqueues a target and
+// the session returns to the search immediately. Raw payloads are recycled
+// through per-shard free lists when the last reference drops (snapshot trees
+// churn pages at high frequency; malloc per page would dominate).
+//
+// Concurrency model (PR 3 — the store is internally synchronized):
+//   * The index, free lists, and LRU cold lists are split across
+//     `kPageStoreShards` shards selected by content-hash prefix; each shard has
+//     its own mutex, so sessions on different worker threads publishing
+//     different content rarely contend. Blob refcounts and all stats counters
+//     are atomic.
+//   * `Publish`, `ZeroPage`, the guarded page accessors, `CompressOneCold` /
+//     `CompressAllCold`, `TrimFreeList`, `RequestCompaction`, and `stats()` are
+//     all safe to call from any number of threads concurrently.
+//   * Payload bytes are read through the owning shard's lock (`CopyTo`,
+//     `EqualsPage`, `ReadBytes`), which is what makes in-place
+//     compression/decompression safe against concurrent readers. `data()`
+//     remains for externally-synchronized callers (single-threaded tools and
+//     tests): the raw pointer it returns is only stable while no other thread —
+//     including the background compactor — can compress the blob.
+//   * Each PageRef (and therefore each session, snapshot, and frontier entry)
+//     stays owned by one thread at a time; copying/destroying PageRefs is
+//     lock-free refcounting. Sessions themselves are thread-affine — one thread
+//     drives a given BacktrackSession — but any number of sessions on different
+//     threads may share one store.
 //
 // Sharing and ownership contract:
 //   * A store may be shared by any number of sessions via
 //     SessionOptions::store / SolverServiceOptions::store (null = the session
 //     creates a private store). Cross-session publishes of identical content
-//     dedup against each other; `cross_session_dedup_hits` counts them.
-//   * The store is externally synchronized: no internal locking. All sessions
-//     sharing a store must run on the same thread or serialize their calls —
-//     the paper's prototype is single-threaded (§5), and so is each session;
-//     sharing means interleaved sequential use, not concurrency.
+//     dedup against each other; `cross_session_dedup_hits` counts them. The
+//     sessions may run on distinct threads (SolverServicePool is the packaged
+//     form of that fleet).
 //   * Lifetime: the store must outlive every PageRef minted from it (every
 //     session, snapshot, and frontier entry). Sessions hold the store by
 //     shared_ptr, so the last session to die destroys a shared store; holders
@@ -37,9 +59,13 @@
 #ifndef LWSNAP_SRC_SNAPSHOT_PAGE_STORE_H_
 #define LWSNAP_SRC_SNAPSHOT_PAGE_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/util/status.h"
@@ -49,14 +75,28 @@ namespace lw {
 inline constexpr size_t kPageSize = 4096;
 inline constexpr size_t kPageShift = 12;
 
+// Lock-striping width (must be a power of two). 16 shards keeps per-shard
+// mutexes uncontended for small fleets (≤ 16 worker threads) without bloating
+// an idle store; shard selection derives its shift from this constant, so
+// retuning it is a one-line change.
+inline constexpr size_t kPageStoreShards = 16;
+static_assert((kPageStoreShards & (kPageStoreShards - 1)) == 0,
+              "kPageStoreShards must be a power of two");
+
+namespace internal {
+constexpr unsigned Log2Const(size_t n) { return n <= 1 ? 0 : 1 + Log2Const(n / 2); }
+}  // namespace internal
+inline constexpr unsigned kPageStoreShardBits = internal::Log2Const(kPageStoreShards);
+
 class PageStore;
 
 namespace internal {
 struct PageBlob {
-  uint32_t refcount = 0;
-  uint32_t comp_bytes = 0;  // 0 = payload holds kPageSize raw bytes
-  uint64_t hash = 0;        // content hash; valid while indexed
-  uint32_t owner = 0;       // first publisher (dedup attribution only)
+  std::atomic<uint32_t> refcount{0};
+  std::atomic<uint32_t> comp_bytes{0};  // 0 = payload holds kPageSize raw bytes
+  uint64_t hash = 0;                    // content hash; valid while indexed
+  uint32_t owner = 0;                   // first publisher (dedup attribution only)
+  uint32_t shard = 0;                   // owning shard (lock, index, free/LRU lists)
   uint8_t flags = 0;
   bool indexed = false;
   PageStore* store = nullptr;
@@ -73,7 +113,9 @@ struct PageBlob {
 // Handle to an immutable page blob. Copying bumps the refcount; identity
 // (pointer) equality is content identity because blobs are never mutated after
 // publication — and with content addressing, equal published bytes yield equal
-// pointers while both are live.
+// pointers while both are live. Refcounting is atomic, so refs to one blob may
+// be held (and dropped) by different threads; a single PageRef object is still
+// owned by one thread at a time, like any value type.
 class PageRef {
  public:
   PageRef() = default;
@@ -102,13 +144,27 @@ class PageRef {
 
   bool valid() const { return blob_ != nullptr; }
 
-  // Raw page bytes. Touching a cold (compressed) blob re-inflates it in place;
-  // the pointer is stable until the blob is next compressed by the budget
-  // policy (never while the caller is inside an engine operation).
+  // Guarded accessors: each runs under the blob's shard lock, re-inflating a
+  // cold blob first, so they are safe against concurrent publishes and the
+  // background compactor. Engines restore through these.
+  void CopyTo(void* dst) const;                            // full-page memcpy
+  bool EqualsPage(const void* src) const;                  // full-page memcmp
+  bool CopyToIfDifferent(void* dst) const;                 // memcmp, memcpy on mismatch
+  void ReadBytes(size_t offset, void* dst, size_t len) const;  // sub-page read
+
+  // Raw page bytes for externally-synchronized callers (single-threaded tools,
+  // tests). Touching a cold (compressed) blob re-inflates it in place; the
+  // pointer is stable only while no other thread — including a background
+  // compactor — can compress this blob. Concurrent contexts must use the
+  // guarded accessors above.
   inline const uint8_t* data() const;
 
-  uint32_t refcount() const { return blob_ != nullptr ? blob_->refcount : 0; }
-  bool compressed() const { return blob_ != nullptr && blob_->comp_bytes != 0; }
+  uint32_t refcount() const {
+    return blob_ != nullptr ? blob_->refcount.load(std::memory_order_relaxed) : 0;
+  }
+  bool compressed() const {
+    return blob_ != nullptr && blob_->comp_bytes.load(std::memory_order_acquire) != 0;
+  }
 
   bool operator==(const PageRef& other) const { return blob_ == other.blob_; }
   bool operator!=(const PageRef& other) const { return blob_ != other.blob_; }
@@ -121,7 +177,10 @@ class PageRef {
 
   void Acquire() {
     if (blob_ != nullptr) {
-      ++blob_->refcount;
+      // Lock-free: the source ref keeps the count ≥ 1, so this never revives a
+      // dying blob (0 → 1 transitions happen only under the shard lock — and
+      // after PR 3, never: a blob that hits zero is recycled, not resurrected).
+      blob_->refcount.fetch_add(1, std::memory_order_relaxed);
     }
   }
   inline void Release();
@@ -132,6 +191,12 @@ class PageRef {
 struct PageStoreOptions {
   bool content_dedup = true;  // 64-bit hash index; off = zero-page dedup only
   bool compression = true;    // cold tier available to the byte-budget policy
+  // Run cold compression on a store-owned compactor thread. When set,
+  // ByteBudgetPolicy::Enforce only enqueues a byte target (RequestCompaction)
+  // and returns; the compactor works the LRU cold tails off the critical path.
+  // When clear (default), compression stays synchronous and deterministic —
+  // the right mode for single-threaded tools and tests.
+  bool background_compaction = false;
 };
 
 class PageStore {
@@ -145,21 +210,23 @@ class PageStore {
 
   const PageStoreOptions& options() const { return options_; }
 
-  // Allocates an owner id for dedup attribution (one per session).
-  uint32_t RegisterOwner() { return next_owner_++; }
+  // Allocates an owner id for dedup attribution (one per session). Thread-safe.
+  uint32_t RegisterOwner() { return next_owner_.fetch_add(1, std::memory_order_relaxed); }
 
   // Publishes a copy of `src` (kPageSize bytes) as an immutable blob. All-zero
   // sources collapse to the shared canonical zero blob; any other content that
   // already exists in the store (hash match confirmed by memcmp) collapses to
-  // the existing blob. `owner` attributes cross-session dedup hits.
+  // the existing blob. `owner` attributes cross-session dedup hits. Safe from
+  // any thread; publishes of distinct content land on distinct shards and run
+  // in parallel.
   PageRef Publish(const void* src, uint32_t owner = 0);
 
   // Publishes an all-zero page: the degenerate content-addressed entry, shared
   // by every all-zero publish.
   PageRef ZeroPage();
 
-  // Compresses the coldest compressible blob (least recently published or
-  // touched — the approximation of "referenced only by parked snapshots").
+  // Compresses one cold compressible blob (per-shard LRU tails, visited round
+  // robin — the approximation of "referenced only by parked snapshots").
   // Returns false when nothing is left to compress or compression is disabled.
   bool CompressOneCold();
 
@@ -167,9 +234,20 @@ class PageStore {
   // Useful when a service parks (all checkpoints idle, no search running).
   uint64_t CompressAllCold();
 
+  // Background compactor interface (no-ops unless
+  // options().background_compaction):
+  //   RequestCompaction(target) — enqueue "compress cold blobs until live
+  //     bytes ≤ target, then drop free lists if still over"; cheapest target
+  //     wins when requests pile up. Returns immediately.
+  //   WaitForCompaction() — block until the queue is drained and the compactor
+  //     is idle (tests and benches use this to make residency deterministic).
+  void RequestCompaction(uint64_t target_bytes);
+  void WaitForCompaction();
+  bool background_compaction() const { return compactor_.joinable(); }
+
   struct Stats {
     uint64_t live_blobs = 0;     // blobs with refcount > 0
-    uint64_t free_blobs = 0;     // recycled blobs on the free list
+    uint64_t free_blobs = 0;     // recycled blobs on the free lists
     uint64_t peak_live_blobs = 0;
     uint64_t total_published = 0;           // lifetime blob allocations (dedup hits excluded)
     uint64_t zero_dedup_hits = 0;           // publishes collapsed to the zero blob
@@ -180,55 +258,114 @@ class PageStore {
     uint64_t compression_attempts = 0;      // incl. failed (incompressible) tries
     uint64_t decompressions = 0;            // lifetime re-inflations
     uint64_t live_bytes = 0;  // headers + payloads of live blobs (compression shrinks this)
-    uint64_t free_bytes = 0;  // headers + retained raw payloads on the free list
+    uint64_t free_bytes = 0;  // headers + retained raw payloads on the free lists
     uint64_t peak_live_bytes = 0;
 
     uint64_t bytes_live() const { return live_bytes; }
     uint64_t bytes_resident() const { return live_bytes + free_bytes; }
   };
-  const Stats& stats() const { return stats_; }
+  // Consistent-enough snapshot of the atomic counters. Individual counters are
+  // exact; relationships between counters may be skewed by in-flight
+  // operations on other threads.
+  Stats stats() const;
 
-  // Host bytes of the store's own structure (hash index slots).
-  size_t IndexBytes() const { return index_.capacity() * sizeof(internal::PageBlob*); }
+  // Host bytes of the store's own structure (hash index slots, all shards).
+  size_t IndexBytes() const;
 
-  // Frees all blobs on the free list back to the host allocator.
+  // Frees all recycled blobs on every shard's free list back to the host
+  // allocator.
   void TrimFreeList();
 
  private:
   friend class PageRef;
 
-  internal::PageBlob* AcquireBlob();
-  void RecycleBlob(internal::PageBlob* blob);
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<internal::PageBlob*> index;  // open-addressed, linear probing
+    size_t index_used = 0;
+    internal::PageBlob* free_list = nullptr;
+    internal::PageBlob* lru_head = nullptr;  // most recently touched
+    internal::PageBlob* lru_tail = nullptr;  // coldest
+  };
 
-  void IndexInsert(internal::PageBlob* blob);
-  void IndexRemove(internal::PageBlob* blob);
-  void IndexGrow();
-  internal::PageBlob* IndexFind(uint64_t hash, const void* src);
+  // Atomic mirror of Stats (stats() flattens this into the POD snapshot).
+  struct Counters {
+    std::atomic<uint64_t> live_blobs{0};
+    std::atomic<uint64_t> free_blobs{0};
+    std::atomic<uint64_t> peak_live_blobs{0};
+    std::atomic<uint64_t> total_published{0};
+    std::atomic<uint64_t> zero_dedup_hits{0};
+    std::atomic<uint64_t> content_dedup_hits{0};
+    std::atomic<uint64_t> cross_session_dedup_hits{0};
+    std::atomic<uint64_t> compressed_blobs{0};
+    std::atomic<uint64_t> compressions{0};
+    std::atomic<uint64_t> compression_attempts{0};
+    std::atomic<uint64_t> decompressions{0};
+    std::atomic<uint64_t> live_bytes{0};
+    std::atomic<uint64_t> free_bytes{0};
+    std::atomic<uint64_t> peak_live_bytes{0};
+  };
 
-  void LruPushFront(internal::PageBlob* blob);
-  void LruRemove(internal::PageBlob* blob);
-  void LruTouch(internal::PageBlob* blob);
+  // Top hash bits pick the shard (low bits pick the slot within its index).
+  static uint32_t ShardOfHash(uint64_t hash) {
+    if constexpr (kPageStoreShardBits == 0) {
+      return 0;
+    }
+    return static_cast<uint32_t>(hash >> (64 - kPageStoreShardBits)) & (kPageStoreShards - 1);
+  }
 
-  bool CompressBlob(internal::PageBlob* blob);
-  void DecompressBlob(internal::PageBlob* blob);
+  // All *Locked helpers require the blob's (or given shard's) mutex held.
+  internal::PageBlob* AcquireBlobLocked(Shard& shard, uint32_t shard_id);
+  void RecycleBlob(internal::PageBlob* blob);  // takes the shard lock itself
+  void RecycleBlobLocked(Shard& shard, internal::PageBlob* blob);
+
+  void IndexInsertLocked(Shard& shard, internal::PageBlob* blob);
+  void IndexRemoveLocked(Shard& shard, internal::PageBlob* blob);
+  void IndexGrowLocked(Shard& shard);
+  internal::PageBlob* IndexFindLocked(Shard& shard, uint64_t hash, const void* src);
+
+  void LruPushFrontLocked(Shard& shard, internal::PageBlob* blob);
+  void LruRemoveLocked(Shard& shard, internal::PageBlob* blob);
+  void LruTouchLocked(Shard& shard, internal::PageBlob* blob);
+
+  bool CompressBlobLocked(Shard& shard, internal::PageBlob* blob);
+  void DecompressBlobLocked(internal::PageBlob* blob);
+  void DecompressBlob(internal::PageBlob* blob);  // takes the shard lock itself
+  bool CompressOneColdInShard(uint32_t shard_id);
+
+  static void BumpPeak(std::atomic<uint64_t>& peak, uint64_t value);
+
+  void CompactorMain();
 
   PageStoreOptions options_;
-  internal::PageBlob* free_list_ = nullptr;
-  internal::PageBlob* lru_head_ = nullptr;  // most recently touched
-  internal::PageBlob* lru_tail_ = nullptr;  // coldest
-  std::vector<internal::PageBlob*> index_;  // open-addressed, linear probing
-  size_t index_used_ = 0;
+  Shard shards_[kPageStoreShards];
+  std::atomic<uint32_t> shard_cursor_{0};  // round-robin for non-dedup placement + compaction
+  std::once_flag zero_once_;
   PageRef zero_page_;
-  uint32_t next_owner_ = 1;
-  Stats stats_;
+  std::atomic<uint32_t> next_owner_{1};
+  Counters counters_;
+
+  // Compactor state (used only when options_.background_compaction).
+  std::mutex compactor_mu_;
+  std::condition_variable compactor_cv_;
+  std::condition_variable compactor_idle_cv_;
+  uint64_t compaction_target_ = 0;  // byte target of the pending request
+  bool compaction_pending_ = false;
+  bool compactor_busy_ = false;
+  bool compactor_stop_ = false;
+  std::thread compactor_;
 };
 
 inline void PageRef::Release() {
   if (blob_ == nullptr) {
     return;
   }
-  LW_CHECK(blob_->refcount > 0);
-  if (--blob_->refcount == 0) {
+  // The thread that moves the count 1 → 0 is the unique recycler: the index
+  // never hands out refs to zero-refcount blobs, so the count cannot rise
+  // again and no other thread can observe this transition.
+  uint32_t prev = blob_->refcount.fetch_sub(1, std::memory_order_acq_rel);
+  LW_CHECK(prev > 0);
+  if (prev == 1) {
     blob_->store->RecycleBlob(blob_);
   }
   blob_ = nullptr;
@@ -236,7 +373,7 @@ inline void PageRef::Release() {
 
 inline const uint8_t* PageRef::data() const {
   LW_CHECK(blob_ != nullptr);
-  if (blob_->comp_bytes != 0) {
+  if (blob_->comp_bytes.load(std::memory_order_acquire) != 0) {
     blob_->store->DecompressBlob(blob_);
   }
   return blob_->payload;

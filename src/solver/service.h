@@ -39,8 +39,10 @@ struct SolverServiceOptions {
 
   // Shared page substrate: multiple services (or plain sessions) on one store
   // dedup each other's byte-identical pages — clause arenas and watch lists of
-  // related problems largely coincide. Null = private store (see
-  // SessionOptions::store for the sharing contract).
+  // related problems largely coincide. The store is internally synchronized,
+  // so the sharing services may live on different worker threads (each
+  // *service* stays affine to one thread — SolverServicePool packages that).
+  // Null = private store (see SessionOptions::store for the sharing contract).
   std::shared_ptr<PageStore> store;
   PageStoreOptions store_options;
 };

@@ -1,0 +1,135 @@
+// SolverServicePool: the §3.2 solver service scaled to a fleet on real cores.
+//
+// The paper pitches lightweight snapshots as a *system-level service*: many
+// clients, one substrate. PR 2 made the substrate shareable (one PageStore,
+// cross-session dedup); this pool adds the execution side — K SolverServices,
+// each owned by a dedicated worker thread, all publishing through one
+// internally-synchronized store. Tokens are service-affine (a checkpoint is a
+// snapshot inside one service's arena), so every job names the service it runs
+// on and the pool routes it to that worker's queue; jobs for different
+// services run in parallel, jobs for one service run in submission order.
+//
+// Threading contract:
+//   * Each SolverService (and its BacktrackSession, arena, and SIGSEGV state)
+//     is constructed on its worker thread and never touched by any other
+//     thread — sessions are thread-affine; the shared PageStore is the only
+//     cross-thread object, and it synchronizes internally.
+//   * Submit* may be called from any thread; results come back through
+//     std::future. Per-service FIFO order means a caller can enqueue a root
+//     and its extensions back-to-back without waiting in between.
+//   * The destructor drains every queue (pending jobs still run), then joins.
+
+#ifndef LWSNAP_SRC_SOLVER_SERVICE_POOL_H_
+#define LWSNAP_SRC_SOLVER_SERVICE_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/solver/service.h"
+
+namespace lw {
+
+struct SolverServicePoolOptions {
+  int num_services = 4;  // one worker thread per service
+
+  // Per-service template. `service.store` is ignored: the pool injects one
+  // shared store into every service (see `store` below).
+  SolverServiceOptions service;
+
+  // The fleet's shared substrate. Null (default): the pool creates a store
+  // with content dedup, compression, and background compaction enabled — the
+  // service-fleet steady state wants cold parked problems compressed off the
+  // critical path.
+  std::shared_ptr<PageStore> store;
+};
+
+class SolverServicePool {
+ public:
+  using Token = SolverService::Token;
+  using Outcome = SolverService::Outcome;
+
+  explicit SolverServicePool(SolverServicePoolOptions options);
+  ~SolverServicePool();
+
+  SolverServicePool(const SolverServicePool&) = delete;
+  SolverServicePool& operator=(const SolverServicePool&) = delete;
+
+  int num_services() const { return static_cast<int>(workers_.size()); }
+  const std::shared_ptr<PageStore>& store() const { return store_; }
+
+  // Solves `base` as service `service`'s root problem (call once per service,
+  // first). `base` must outlive the returned future's completion.
+  std::future<Result<Outcome>> SubmitRoot(int service, const Cnf* base);
+
+  // Solves parent ∧ q on the service that owns `parent`. The parent token
+  // stays valid — submit it again with a different q to branch.
+  std::future<Result<Outcome>> SubmitExtend(int service, Token parent,
+                                            std::vector<std::vector<Lit>> q);
+
+  // Releases a solved-problem reference on its owning service.
+  std::future<Status> SubmitRelease(int service, Token token);
+
+  // Convenience for the fleet-of-equals shape (bench_shared_store): every
+  // service solves the same base, in parallel; outcomes land by service index.
+  // Returns the first error, or OK.
+  Status SolveRootEverywhere(const Cnf& base, std::vector<Outcome>* outcomes);
+
+  struct FleetStats {
+    uint64_t jobs_executed = 0;
+    // Store-wide counters (the whole fleet's substrate).
+    uint64_t resident_bytes = 0;
+    uint64_t live_bytes = 0;
+    uint64_t zero_dedup_hits = 0;
+    uint64_t content_dedup_hits = 0;
+    uint64_t cross_session_dedup_hits = 0;
+    uint64_t compressed_blobs = 0;
+    // Summed across services.
+    uint64_t snapshots = 0;
+    uint64_t restores = 0;
+    uint64_t checkpoints = 0;
+  };
+  // Safe to call any time; per-service counters are sampled between jobs.
+  FleetStats fleet_stats() const;
+
+ private:
+  struct Job {
+    enum class Kind { kRoot, kExtend, kRelease } kind = Kind::kRoot;
+    const Cnf* base = nullptr;                // kRoot
+    Token parent = 0;                         // kExtend / kRelease
+    std::vector<std::vector<Lit>> clauses;    // kExtend
+    std::promise<Result<Outcome>> outcome;    // kRoot / kExtend
+    std::promise<Status> status;              // kRelease
+  };
+
+  struct Worker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> queue;
+    bool stop = false;
+    // Owned (and only touched) by the worker thread after construction.
+    std::unique_ptr<SolverService> service;
+    // Sampled by the worker between jobs for fleet_stats readers.
+    std::mutex stats_mu;
+    SessionStats session_stats;
+    uint64_t jobs_executed = 0;
+  };
+
+  void WorkerMain(Worker& worker);
+  Worker& CheckedWorker(int service);
+  void Enqueue(int service, Job job);
+
+  SolverServicePoolOptions options_;
+  std::shared_ptr<PageStore> store_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SOLVER_SERVICE_POOL_H_
