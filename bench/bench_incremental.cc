@@ -113,14 +113,14 @@ void BM_SnapshotService(benchmark::State& state) {
       state.SkipWithError(node.status().ToString().c_str());
       return;
     }
-    lw::SolverService::Token cur = node->token;
+    lw::Checkpoint cur = std::move(node->token);
     for (int step = 0; step < kChain; ++step) {
       auto next = service.Extend(cur, w.increments[static_cast<size_t>(step)]);
       if (!next.ok()) {
         state.SkipWithError(next.status().ToString().c_str());
         return;
       }
-      cur = next->token;
+      cur = std::move(next->token);
     }
     restores = service.session_stats().restores;
   }

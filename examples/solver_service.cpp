@@ -19,12 +19,12 @@
 namespace {
 
 void PrintOutcome(const char* label, const lw::SolverService::Outcome& outcome) {
-  std::printf("%-28s %-6s conflicts(total)=%-7llu token=%llu\n", label,
+  std::printf("%-28s %-6s conflicts(total)=%-7llu checkpoint=%llu\n", label,
               outcome.result.IsTrue()    ? "SAT"
               : outcome.result.IsFalse() ? "UNSAT"
                                          : "UNKNOWN",
               static_cast<unsigned long long>(outcome.conflicts),
-              static_cast<unsigned long long>(outcome.token));
+              static_cast<unsigned long long>(outcome.token.id()));
 }
 
 }  // namespace
@@ -59,10 +59,12 @@ int main(int argc, char** argv) {
   }
 
   // Branch 1: pin node 0 to each color in turn — all extensions of the SAME
-  // solved parent.
+  // solved parent. The typed lw::Checkpoint handles are move-only and release
+  // their snapshot when they go out of scope; holding them in a vector keeps
+  // every branch extensible.
   auto var_of = [colors](int node, int color) { return lw::MakeLit(node * colors + color); };
   std::printf("\nbranching p with divergent what-if constraints:\n");
-  std::vector<lw::SolverService::Token> children;
+  std::vector<lw::Checkpoint> children;
   for (int c = 0; c < colors; ++c) {
     auto child = service.Extend(root->token, {{var_of(0, c)}});
     if (!child.ok()) {
@@ -72,7 +74,7 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof label, "p ∧ color(n0)=%d", c);
     PrintOutcome(label, *child);
-    children.push_back(child->token);
+    children.push_back(std::move(child->token));
   }
 
   // Branch 2: deepen one child — force nodes 0 and 1 to the same color, which
@@ -96,6 +98,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   PrintOutcome("child1 ∧ n2∈{0,1}", *sibling);
+
+  // Typed-handle payoff: releasing the parent is safe while children live
+  // (their snapshot chains pin the shared pages), and a released handle can
+  // never be extended again — a clean error, not UB.
+  lw::Checkpoint root_handle = std::move(root->token);
+  if (!service.Release(root_handle).ok()) {
+    std::fprintf(stderr, "release failed\n");
+    return 1;
+  }
+  if (service.Extend(root_handle, {{var_of(0, 0)}}).status().code() !=
+      lw::ErrorCode::kInvalidArgument) {
+    std::fprintf(stderr, "released handle unexpectedly usable\n");
+    return 1;
+  }
+  std::printf("\nreleased p; children stay live (use-after-release is a typed error)\n");
 
   const lw::SessionStats& stats = service.session_stats();
   std::printf(

@@ -88,9 +88,22 @@ int main(int argc, char** argv) {
     }
     std::printf("  branch %-2d %-6s conflicts(total)=%llu\n", branch++, Verdict(*outcome),
                 static_cast<unsigned long long>(outcome->conflicts));
+    // The branch outcomes' typed handles release their snapshots right here,
+    // as `outcome` goes out of scope — RAII replaces manual token bookkeeping.
   }
   std::printf("phase 2: %zu divergent branches  wall=%.1f ms\n\n", futures.size(),
               MsSince(start));
+
+  // Phase 3: retire the root problems explicitly — SubmitRelease consumes the
+  // typed handle on its owning worker; a double release would be a typed
+  // error, not UB.
+  for (int i = 0; i < services; ++i) {
+    if (!pool.SubmitRelease(i, roots[static_cast<size_t>(i)].token).get().ok()) {
+      std::fprintf(stderr, "release failed\n");
+      return 1;
+    }
+  }
+  std::printf("phase 3: all roots released (handles consumed)\n\n");
 
   lw::SolverServicePool::FleetStats stats = pool.fleet_stats();
   std::printf("fleet stats: jobs=%llu snapshots=%llu restores=%llu checkpoints=%llu\n",

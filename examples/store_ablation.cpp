@@ -85,7 +85,7 @@ Row RunSatExtend(const lw::PageStoreOptions& store_options) {
     std::fprintf(stderr, "root solve failed: %s\n", node.status().ToString().c_str());
     std::exit(1);
   }
-  lw::SolverService::Token cur = node->token;
+  lw::Checkpoint cur = std::move(node->token);
   for (int round = 0; round < 6; ++round) {
     lw::Cnf q = lw::RandomKSat(&rng, 300, 8, 3);
     auto next =
@@ -94,7 +94,7 @@ Row RunSatExtend(const lw::PageStoreOptions& store_options) {
       std::fprintf(stderr, "extend failed: %s\n", next.status().ToString().c_str());
       std::exit(1);
     }
-    cur = next->token;
+    cur = std::move(next->token);
   }
   return FinishRow(*store);
 }

@@ -1,5 +1,6 @@
 #include "src/core/session.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
@@ -9,6 +10,8 @@ namespace lw {
 namespace {
 
 thread_local GuessExecutor* g_current_executor = nullptr;
+
+std::atomic<uint64_t> g_next_session_uid{1};
 
 void DefaultOutput(std::string_view text) {
   std::fwrite(text.data(), 1, text.size(), stdout);
@@ -53,6 +56,8 @@ BacktrackSession::BacktrackSession(SessionOptions options)
     options_.output = &DefaultOutput;
   }
   strategy_ = MakeStrategy(options_.strategy);
+  session_uid_ = g_next_session_uid.fetch_add(1, std::memory_order_relaxed);
+  ledger_ = std::make_shared<internal::CheckpointLedger>();
 
   store_ = options_.store != nullptr ? options_.store
                                      : std::make_shared<PageStore>(options_.store_options);
@@ -76,6 +81,9 @@ BacktrackSession::BacktrackSession(SessionOptions options)
 }
 
 BacktrackSession::~BacktrackSession() {
+  // Outstanding handles become inert: their future drops must not touch the
+  // pending-reclaim queue of a dead session.
+  ledger_->Detach();
   // Release every page reference before the store is destroyed (members
   // declared after store_ destruct first, but strategy frontiers and
   // checkpoints also hold snapshot refs — drop them deterministically). A
@@ -128,9 +136,11 @@ Status BacktrackSession::Run(GuestFn fn, void* arg) {
   });
 }
 
-Status BacktrackSession::Resume(uint64_t token, const void* msg, size_t len) {
+Status BacktrackSession::Resume(const Checkpoint& checkpoint, const void* msg, size_t len) {
   LW_CHECK_MSG(!driving_, "Resume is only legal between drives");
-  auto it = checkpoints_.find(token);
+  DrainReleasedCheckpoints();
+  LW_RETURN_IF_ERROR(ValidateHandle(checkpoint));
+  auto it = checkpoints_.find(checkpoint.id());
   if (it == checkpoints_.end()) {
     return NotFound("unknown checkpoint token");
   }
@@ -406,14 +416,46 @@ void BacktrackSession::EmitNow(std::string_view text) { options_.output(text); }
 // Checkpoint plumbing.
 // ---------------------------------------------------------------------------
 
-std::vector<uint64_t> BacktrackSession::TakeNewCheckpoints() {
-  std::vector<uint64_t> out;
-  out.swap(new_checkpoints_);
+Status BacktrackSession::ValidateHandle(const Checkpoint& checkpoint) const {
+  if (!checkpoint.valid()) {
+    return InvalidArgument("empty checkpoint handle (moved-from or already released)");
+  }
+  if (checkpoint.session_uid() != session_uid_) {
+    return InvalidArgument("checkpoint handle belongs to a different session");
+  }
+  switch (ledger_->Lookup(checkpoint.id(), checkpoint.generation())) {
+    case internal::CheckpointLedger::Probe::kLive:
+      return OkStatus();
+    case internal::CheckpointLedger::Probe::kStaleGeneration:
+      return InvalidArgument("stale checkpoint handle (generation mismatch)");
+    case internal::CheckpointLedger::Probe::kReleased:
+      return NotFound("checkpoint already released");
+  }
+  return Internal("unreachable");
+}
+
+void BacktrackSession::DrainReleasedCheckpoints() {
+  for (uint64_t token : ledger_->TakePendingReclaims()) {
+    checkpoints_.erase(token);
+  }
+}
+
+std::vector<Checkpoint> BacktrackSession::TakeNewCheckpoints() {
+  DrainReleasedCheckpoints();
+  std::vector<uint64_t> tokens;
+  tokens.swap(new_checkpoints_);
+  std::vector<Checkpoint> out;
+  out.reserve(tokens.size());
+  for (uint64_t token : tokens) {
+    out.push_back(Checkpoint(ledger_, session_uid_, token, ledger_->Mint(token)));
+  }
   return out;
 }
 
-Status BacktrackSession::ReadCheckpointMailbox(uint64_t token, void* out, size_t len) const {
-  auto it = checkpoints_.find(token);
+Status BacktrackSession::ReadCheckpointMailbox(const Checkpoint& checkpoint, void* out,
+                                               size_t len) const {
+  LW_RETURN_IF_ERROR(ValidateHandle(checkpoint));
+  auto it = checkpoints_.find(checkpoint.id());
   if (it == checkpoints_.end()) {
     return NotFound("unknown checkpoint token");
   }
@@ -443,10 +485,15 @@ Status BacktrackSession::ReadCheckpointMailbox(uint64_t token, void* out, size_t
   return OkStatus();
 }
 
-Status BacktrackSession::ReleaseCheckpoint(uint64_t token) {
-  if (checkpoints_.erase(token) == 0) {
-    return NotFound("unknown checkpoint token");
+Status BacktrackSession::ReleaseCheckpoint(Checkpoint& checkpoint) {
+  DrainReleasedCheckpoints();
+  LW_RETURN_IF_ERROR(ValidateHandle(checkpoint));
+  if (ledger_->ReleaseRef(checkpoint.id())) {
+    checkpoints_.erase(checkpoint.id());
   }
+  // The session consumed this handle's reference; disarm so its destructor
+  // does not drop a second one.
+  checkpoint.Disarm();
   return OkStatus();
 }
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/core/arena.h"
+#include "src/core/checkpoint.h"
 #include "src/core/guest_heap.h"
 #include "src/core/search_graph.h"
 #include "src/core/strategy.h"
@@ -138,23 +139,34 @@ class BacktrackSession : public GuessExecutor {
   // Resumes a parked checkpoint, delivering `msg` into its mailbox; drives the
   // search until the frontier drains again. A checkpoint may be resumed any
   // number of times (each resume forks a fresh execution from the immutable
-  // snapshot). Legal only between Run/Resume calls.
-  Status Resume(uint64_t token, const void* msg, size_t len);
+  // snapshot). Legal only between Run/Resume calls. A handle minted by a
+  // different session is an InvalidArgument error (never UB).
+  Status Resume(const Checkpoint& checkpoint, const void* msg, size_t len);
 
-  // Tokens of checkpoints created since the last call (in creation order).
-  std::vector<uint64_t> TakeNewCheckpoints();
+  // Typed, owning handles to the checkpoints created since the last call (in
+  // creation order). Dropping a handle (on any thread) queues its snapshot for
+  // reclamation; Clone() a handle to branch. See src/core/checkpoint.h.
+  std::vector<Checkpoint> TakeNewCheckpoints();
 
   // Reads a checkpoint's mailbox *as captured in its immutable snapshot* (the
   // guest writes its result there before yielding).
-  Status ReadCheckpointMailbox(uint64_t token, void* out, size_t len) const;
+  Status ReadCheckpointMailbox(const Checkpoint& checkpoint, void* out, size_t len) const;
 
-  Status ReleaseCheckpoint(uint64_t token);
+  // Explicitly releases one handle's reference, reclaiming the snapshot when
+  // it was the last one. The handle becomes empty; releasing an empty, foreign
+  // or already-released handle is a clean error. Releasing a parent whose
+  // descendants are still held is safe: shared pages stay pinned by the
+  // descendants' snapshot refs.
+  Status ReleaseCheckpoint(Checkpoint& checkpoint);
 
   // Reads live guest memory (legal between drives; `guest_ptr` must be in-arena).
   void ReadGuest(const void* guest_ptr, void* out, size_t len) const;
 
   GuestHeap* heap() { return heap_; }
   GuestArena& arena() { return arena_; }
+  // Globally unique id of this session; every Checkpoint carries its minter's
+  // uid so cross-session misuse is detectable.
+  uint64_t session_uid() const { return session_uid_; }
   const PageStore& store() const { return *store_; }
   const SnapshotEngine& engine() const { return *engine_; }
   const SessionStats& stats() const { return stats_; }
@@ -185,6 +197,11 @@ class BacktrackSession : public GuessExecutor {
   void GuestMain();
 
   Status Drive(const std::function<void()>& first_transfer);
+  // Handle plumbing: validates a Checkpoint against this session's uid and the
+  // ledger's liveness/generation records; reclaims snapshots whose handles
+  // were dropped on other threads.
+  Status ValidateHandle(const Checkpoint& checkpoint) const;
+  void DrainReleasedCheckpoints();
   void HandleGuestEvent();
   void MaterializeInto(const SnapshotRef& snap);
   void RestoreTo(const Snapshot& snap);
@@ -237,6 +254,11 @@ class BacktrackSession : public GuessExecutor {
   uint64_t next_snapshot_id_ = 1;
   uint64_t next_seq_ = 1;
 
+  // Handle bookkeeping: the ledger is shared with every minted Checkpoint and
+  // internally synchronized (handles may drop on any thread); checkpoints_ is
+  // session-thread-only.
+  uint64_t session_uid_ = 0;
+  std::shared_ptr<internal::CheckpointLedger> ledger_;
   std::unordered_map<uint64_t, SnapshotRef> checkpoints_;
   std::vector<uint64_t> new_checkpoints_;
 

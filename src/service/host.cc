@@ -1,0 +1,86 @@
+#include "src/service/host.h"
+
+#include <string>
+
+#include "src/core/guest_api.h"
+#include "src/core/guest_heap.h"
+#include "src/util/alloc_hooks.h"
+
+namespace lw {
+
+size_t GuestMailbox::Park() { return sys_yield(data_, capacity_); }
+
+CheckpointService::CheckpointService(CheckpointServiceOptions options)
+    : options_(std::move(options)) {
+  SessionOptions session_options;
+  session_options.arena_bytes = options_.arena_bytes;
+  session_options.page_map_kind = options_.page_map_kind;
+  session_options.snapshot_mode = options_.snapshot_mode;
+  session_options.store = options_.store;
+  session_options.store_options = options_.store_options;
+  session_ = std::make_unique<BacktrackSession>(session_options);
+  guest_boot_.mailbox_cap = options_.mailbox_bytes;
+}
+
+CheckpointService::~CheckpointService() = default;
+
+void CheckpointService::GuestMain(void* arg) {
+  auto* boot = static_cast<GuestBoot*>(arg);
+  auto* session = static_cast<BacktrackSession*>(CurrentExecutor());
+  GuestHeap* heap = session->heap();
+  // Everything the service allocates through the hooks (GuestNew, Vec, the
+  // solver's containers) lands in the arena and is captured by every parked
+  // checkpoint's snapshot.
+  ScopedAllocHooks hooks(heap->Hooks());
+  auto* mailbox = static_cast<uint8_t*>(heap->Alloc(boot->mailbox_cap));
+  LW_CHECK_MSG(mailbox != nullptr, "arena too small for service mailbox");
+  GuestMailbox conn(mailbox, boot->mailbox_cap, heap);
+  boot->serve(conn, boot->arg);
+}
+
+Result<Checkpoint> CheckpointService::TakeOneCheckpoint() {
+  std::vector<Checkpoint> fresh = session_->TakeNewCheckpoints();
+  if (fresh.size() != 1) {
+    // Zero: the guest returned instead of parking. Several: the codec parked
+    // more than once per drive. Either way the protocol is broken; extra
+    // handles release themselves on destruction.
+    return Internal("checkpoint service: expected exactly one parked checkpoint, saw " +
+                    std::to_string(fresh.size()));
+  }
+  return std::move(fresh[0]);
+}
+
+Result<Checkpoint> CheckpointService::Boot(ServeFn serve, void* boot_arg) {
+  if (booted_) {
+    return BadState("checkpoint service: already booted");
+  }
+  LW_CHECK_MSG(serve != nullptr, "checkpoint service: null serve function");
+  booted_ = true;
+  guest_boot_.serve = serve;
+  guest_boot_.arg = boot_arg;
+  LW_RETURN_IF_ERROR(session_->Run(&GuestMain, &guest_boot_));
+  return TakeOneCheckpoint();
+}
+
+Result<Checkpoint> CheckpointService::Extend(const Checkpoint& parent, const void* request,
+                                             size_t len) {
+  if (!booted_) {
+    return BadState("checkpoint service: boot the service first");
+  }
+  if (len > options_.mailbox_bytes) {
+    return InvalidArgument("checkpoint service: request exceeds mailbox capacity");
+  }
+  LW_RETURN_IF_ERROR(session_->Resume(parent, request, len));
+  return TakeOneCheckpoint();
+}
+
+Status CheckpointService::ReadResponse(const Checkpoint& checkpoint, void* out,
+                                       size_t len) const {
+  return session_->ReadCheckpointMailbox(checkpoint, out, len);
+}
+
+Status CheckpointService::Release(Checkpoint& checkpoint) {
+  return session_->ReleaseCheckpoint(checkpoint);
+}
+
+}  // namespace lw

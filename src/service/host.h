@@ -1,0 +1,217 @@
+// CheckpointService: the generic host for checkpoint-backed services — the
+// machinery that turns "a single-path program in a snapshot arena" into "a
+// multi-path incremental service" (§3.2), factored out of the SAT solver so
+// any workload gets it: boot the guest, frame requests/responses through a
+// guest-memory mailbox, park on sys_yield checkpoints, hand out typed
+// lw::Checkpoint handles, branch by resuming a parent any number of times.
+//
+// Division of labor:
+//   * The host (this class) owns the BacktrackSession, the boot-once
+//     lifecycle, the one-checkpoint-per-drive protocol, raw request delivery,
+//     response readback, and release plumbing. It speaks bytes.
+//   * Each service (SolverService, PrologService, SymxService, ...) supplies
+//     the codec: a ServeFn that runs as the guest, plus host-side encode and
+//     decode of its request/response wire formats. Codecs frame through the
+//     bounds-checked WireReader/WireWriter below — a malformed or oversized
+//     request must surface as a flagged response, never as a truncated read.
+//
+// Guest contract (the codec's side of the protocol):
+//   void Serve(GuestMailbox& mailbox, void* boot_arg) {
+//     ...allocate all persistent state via GuestNew/Vec (arena hooks are
+//        installed by the host trampoline; std:: containers are NOT captured
+//        by snapshots and must never live across a Park)...
+//     while (true) {
+//       ...write the response for the current state into mailbox.data()...
+//       size_t len = mailbox.Park();           // checkpoint-and-park
+//       ...decode the next request from mailbox.data()[0..len)...
+//     }
+//   }
+// Each host drive (Boot or Extend) must park exactly one new checkpoint;
+// parking zero (guest returned) or several is an Internal protocol error.
+
+#ifndef LWSNAP_SRC_SERVICE_HOST_H_
+#define LWSNAP_SRC_SERVICE_HOST_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+struct CheckpointServiceOptions {
+  size_t arena_bytes = 64ull << 20;
+  size_t mailbox_bytes = 1ull << 16;
+  PageMapKind page_map_kind = PageMapKind::kRadix;
+  SnapshotMode snapshot_mode = SnapshotMode::kCow;
+
+  // Shared page substrate: services on one store dedup each other's
+  // byte-identical pages. Null = private store (see SessionOptions::store).
+  std::shared_ptr<PageStore> store;
+  PageStoreOptions store_options;
+};
+
+// Guest-side view of the service mailbox: the one region both sides of the
+// wire protocol read and write. Lives in the arena, so every parked snapshot
+// captures the response bytes the guest wrote immediately before Park().
+class GuestMailbox {
+ public:
+  GuestMailbox(uint8_t* data, size_t capacity, GuestHeap* heap)
+      : data_(data), capacity_(capacity), heap_(heap) {}
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t capacity() const { return capacity_; }
+  GuestHeap* heap() { return heap_; }
+
+  // Checkpoint-and-park with the response already written into data();
+  // returns the byte length of the next request once the host resumes.
+  size_t Park();
+
+ private:
+  uint8_t* data_;
+  size_t capacity_;
+  GuestHeap* heap_;
+};
+
+// Bounds-checked wire decoding: every read validates against the remaining
+// request bytes, so a forged length field yields ok() == false instead of a
+// truncated read or out-of-bounds pointer arithmetic.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t len) : p_(data), end_(data + len) {}
+
+  bool u8(uint8_t* out) { return Fetch(out, 1); }
+  bool u32(uint32_t* out) { return Fetch(out, 4); }
+  bool u64(uint64_t* out) { return Fetch(out, 8); }
+  bool bytes(void* out, size_t n) { return Fetch(out, n); }
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Fetch(void* out, size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    if (n > 0) {  // out may be null for an empty span
+      std::memcpy(out, p_, n);
+      p_ += n;
+    }
+    return true;
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool ok_ = true;
+};
+
+// Bounds-checked wire encoding into a fixed region (the guest response path).
+// Overflow latches: written() stays within capacity and overflowed() reports
+// the truncation so the codec can flag it instead of shipping a partial frame.
+class WireWriter {
+ public:
+  WireWriter(uint8_t* data, size_t capacity) : base_(data), cap_(capacity) {}
+
+  bool u8(uint8_t v) { return Append(&v, 1); }
+  bool u32(uint32_t v) { return Append(&v, 4); }
+  bool u64(uint64_t v) { return Append(&v, 8); }
+  bool bytes(const void* data, size_t n) { return Append(data, n); }
+
+  size_t written() const { return used_; }
+  size_t capacity() const { return cap_; }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  bool Append(const void* data, size_t n) {
+    if (overflowed_ || n > cap_ - used_) {
+      overflowed_ = true;
+      return false;
+    }
+    if (n > 0) {  // data may be null for an empty span
+      std::memcpy(base_ + used_, data, n);
+      used_ += n;
+    }
+    return true;
+  }
+
+  uint8_t* base_;
+  size_t cap_;
+  size_t used_ = 0;
+  bool overflowed_ = false;
+};
+
+// Maps a service's Options struct onto the host's — every service Options
+// carries this same field subset (arena/mailbox sizing, engine selection,
+// store injection), so new host fields are threaded through one place.
+template <typename ServiceOptions>
+CheckpointServiceOptions MakeHostOptions(const ServiceOptions& options) {
+  CheckpointServiceOptions host_options;
+  host_options.arena_bytes = options.arena_bytes;
+  host_options.mailbox_bytes = options.mailbox_bytes;
+  host_options.page_map_kind = options.page_map_kind;
+  host_options.snapshot_mode = options.snapshot_mode;
+  host_options.store = options.store;
+  host_options.store_options = options.store_options;
+  return host_options;
+}
+
+class CheckpointService {
+ public:
+  // The guest body supplied by the service codec; runs inside the arena with
+  // arena alloc hooks installed. Must loop forever on mailbox.Park().
+  using ServeFn = void (*)(GuestMailbox& mailbox, void* boot_arg);
+
+  explicit CheckpointService(CheckpointServiceOptions options);
+  ~CheckpointService();
+
+  CheckpointService(const CheckpointService&) = delete;
+  CheckpointService& operator=(const CheckpointService&) = delete;
+
+  // Boots the guest and drives it to its first parked checkpoint. Call
+  // exactly once, first; a second Boot (or an Extend before Boot) is a clean
+  // BadState error. `boot_arg` must stay valid for the service's lifetime.
+  Result<Checkpoint> Boot(ServeFn serve, void* boot_arg);
+
+  // Delivers `request` into `parent`'s mailbox, resumes its immutable
+  // snapshot, and drives to the next parked checkpoint. The parent handle
+  // stays valid — extend it again with a different request to branch. Handles
+  // from another service are InvalidArgument.
+  Result<Checkpoint> Extend(const Checkpoint& parent, const void* request, size_t len);
+
+  // Reads the first `len` bytes of a checkpoint's response (the mailbox image
+  // captured in its immutable snapshot).
+  Status ReadResponse(const Checkpoint& checkpoint, void* out, size_t len) const;
+
+  // Explicit release; the handle's destructor does the same implicitly.
+  Status Release(Checkpoint& checkpoint);
+
+  bool booted() const { return booted_; }
+  size_t mailbox_capacity() const { return options_.mailbox_bytes; }
+  BacktrackSession& session() { return *session_; }
+  const SessionStats& session_stats() const { return session_->stats(); }
+  const PageStore& store() const { return session_->store(); }
+
+ private:
+  struct GuestBoot {
+    ServeFn serve = nullptr;
+    void* arg = nullptr;
+    size_t mailbox_cap = 0;
+  };
+
+  static void GuestMain(void* arg);
+  Result<Checkpoint> TakeOneCheckpoint();
+
+  CheckpointServiceOptions options_;
+  std::unique_ptr<BacktrackSession> session_;
+  GuestBoot guest_boot_;
+  bool booted_ = false;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SERVICE_HOST_H_

@@ -1,0 +1,110 @@
+// PrologService: Prolog-style backtracking as a checkpoint service — the
+// paper's second workload family (§2 "Prolog implementations have developed
+// advanced techniques to effectively manage multiple execution contexts"),
+// served through the same CheckpointService host as the SAT solver.
+//
+// The service consults a program once at boot and proves a root query. Every
+// outcome parks a checkpoint for the proven conjunction; Extend(parent,
+// goals) resumes the parent's immutable snapshot and narrows it — the new
+// query is the parent's conjunction AND the extra goals. Divergent extensions
+// of one parent are the point: extending `queens(6, Qs)` with `Qs = [2|_]`
+// on one branch and `Qs = [3|_]` on another gives two independently
+// extensible solution sets, and neither branch ever sees the other's goals,
+// because the accumulated conjunction lives in arena memory restored with the
+// snapshot.
+//
+// What the snapshot captures (and what it does not): the branchable state is
+// the accumulated goal conjunction, kept in a guest Vec. The PrologMachine
+// itself uses std:: containers, which are host-heap and thus invisible to
+// snapshots — so the guest constructs a fresh machine strictly *between* two
+// parks (consult + prove + respond, then destroy), keeping the no-host-state-
+// across-Park rule of the host contract. Extending therefore re-proves the
+// narrowed conjunction from the consulted database; what branching buys is
+// isolation and a persistent, forkable query tree, not incremental proof
+// reuse (that would need an arena-native term representation — an open item).
+//
+// Wire protocol:
+//   request  = uint32 goals_len, then goals_len bytes of Prolog source (a goal
+//              conjunction, e.g. "X > 1, member(X, L)")
+//   response = uint8 status (0 ok, 1 query error, 2 malformed request),
+//              uint8 truncated (bindings text was cut to fit), uint16 pad,
+//              uint64 solutions, uint32 text_len, then text_len bytes —
+//              solution bindings (one "Name = Term, ..." line per solution,
+//              capped at max_reported_solutions) or the error message.
+
+#ifndef LWSNAP_SRC_SERVICE_PROLOG_SERVICE_H_
+#define LWSNAP_SRC_SERVICE_PROLOG_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/service/host.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+struct PrologServiceOptions {
+  size_t arena_bytes = 32ull << 20;
+  size_t mailbox_bytes = 1ull << 16;
+  // Aborts a proof beyond this many inferences (0 = unbounded) — a runaway
+  // extension fails its own node, not the service.
+  uint64_t max_inferences = 4ull << 20;
+  // Bindings reported per outcome (the solution *count* is always exact).
+  uint32_t max_reported_solutions = 8;
+  PageMapKind page_map_kind = PageMapKind::kRadix;
+  SnapshotMode snapshot_mode = SnapshotMode::kCow;
+  std::shared_ptr<PageStore> store;
+  PageStoreOptions store_options;
+};
+
+class PrologService {
+ public:
+  using Options = PrologServiceOptions;
+
+  struct Outcome {
+    uint64_t solutions = 0;
+    // First max_reported_solutions solution bindings, one line each
+    // ("Qs = [1,2,3]"); empty for ground queries with no named variables.
+    std::string bindings;
+    bool bindings_truncated = false;
+    Checkpoint token;  // the proven conjunction; parent for narrowing
+  };
+
+  explicit PrologService(Options options);
+
+  // Consults `program` and proves `query`; call exactly once, first.
+  Result<Outcome> SolveRoot(std::string_view program, std::string_view query);
+
+  // Proves parent's conjunction AND `goals`. The parent handle stays valid —
+  // extend it again with different goals to branch. A parse/eval error in
+  // `goals` fails this call cleanly; the parent is untouched.
+  Result<Outcome> Extend(const Checkpoint& parent, std::string_view goals);
+
+  Status Release(Checkpoint& token);
+
+  const SessionStats& session_stats() const { return host_.session_stats(); }
+  const PageStore& store() const { return host_.store(); }
+  CheckpointService& host() { return host_; }
+
+ private:
+  struct Boot {
+    const std::string* program = nullptr;
+    const std::string* query = nullptr;
+    uint64_t max_inferences = 0;
+    uint32_t max_reported_solutions = 0;
+  };
+
+  static void Serve(GuestMailbox& mailbox, void* arg);
+  Result<Outcome> BuildOutcome(Checkpoint checkpoint);
+
+  Options options_;
+  CheckpointService host_;
+  std::string boot_program_;
+  std::string boot_query_;
+  Boot boot_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SERVICE_PROLOG_SERVICE_H_

@@ -1,0 +1,117 @@
+// SymxService: state exploration as a checkpoint service — the S2E-style
+// multi-path workload of §2, served through the same CheckpointService host
+// as the SAT solver and the Prolog engine.
+//
+// The symbolic VM (src/symx/vm.h) runs as the guest; its whole state —
+// registers, memory image, expression pool, path constraints — lives in the
+// arena. The VM executes until the next *explorable event* and parks:
+//
+//   * kBranch: a branch with a symbolic condition. The response reports which
+//     sides are feasible; TakeBranch(parent, taken) resumes the parent's
+//     immutable state, commits one direction, and runs to the next event.
+//     Calling TakeBranch twice on the same parent forks the explored state —
+//     the paper's "state copying becomes page-granular snapshots" — with no
+//     VM-specific copying code anywhere.
+//   * kViolation: an ASSERT that can fail; the response carries a witness
+//     input assignment when the solver found one. A violation parked on an
+//     assert whose condition can *also* hold stays explorable: TakeBranch
+//     continues past it assuming the assert held.
+//   * kCompleted / kKilled: terminal paths (clean halt / step-limit or bad
+//     access). Extending a terminal node just re-parks it (the outcome is
+//     reproduced; nothing advances).
+//
+// Wire protocol:
+//   request  = uint8 direction (1 take the branch, 0 fall through)
+//   response = uint8 kind (StateKind), uint8 flags (bit0 taken side feasible,
+//              bit1 fallthrough feasible, bit2 malformed request), uint16 pad,
+//              uint32 pc, uint32 depth, uint64 steps, uint32 witness_count,
+//              uint32 witness[witness_count]
+
+#ifndef LWSNAP_SRC_SERVICE_SYMX_SERVICE_H_
+#define LWSNAP_SRC_SERVICE_SYMX_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/service/host.h"
+#include "src/symx/checker.h"
+#include "src/symx/isa.h"
+#include "src/util/status.h"
+#include "src/symx/vm.h"
+
+namespace lw {
+
+struct SymxServiceOptions {
+  size_t arena_bytes = 64ull << 20;
+  size_t mailbox_bytes = 1ull << 14;
+  VmConfig vm;
+  // Per-feasibility-query solver budget; a budget hit conservatively reports
+  // the side feasible.
+  uint64_t solver_conflict_budget = 1u << 20;
+  PageMapKind page_map_kind = PageMapKind::kRadix;
+  SnapshotMode snapshot_mode = SnapshotMode::kCow;
+  std::shared_ptr<PageStore> store;
+  PageStoreOptions store_options;
+};
+
+class SymxService {
+ public:
+  using Options = SymxServiceOptions;
+
+  enum class StateKind : uint8_t {
+    kBranch = 0,
+    kCompleted = 1,
+    kKilled = 2,
+    kViolation = 3,
+  };
+
+  struct Outcome {
+    StateKind kind = StateKind::kCompleted;
+    uint32_t pc = 0;
+    uint32_t depth = 0;   // symbolic branch depth at this node
+    uint64_t steps = 0;   // VM steps executed on this path
+    bool taken_feasible = false;  // kBranch only
+    bool fall_feasible = false;   // kBranch only
+    std::vector<uint32_t> witness;  // kViolation: input assignment (may be empty)
+    Checkpoint token;  // this explored state; parent for TakeBranch
+  };
+
+  explicit SymxService(Options options);
+
+  // Loads `program` and runs to the first explorable event; call exactly
+  // once, first. `program` must outlive the service.
+  Result<Outcome> BootProgram(const Program& program);
+
+  // Forks the explored state at `parent`: resumes its immutable snapshot,
+  // commits one branch direction (or continues past a parked violation), and
+  // runs to the next event. The parent handle stays valid — take the other
+  // direction on a second call to explore both sides.
+  Result<Outcome> TakeBranch(const Checkpoint& parent, bool taken);
+
+  Status Release(Checkpoint& token);
+
+  const SessionStats& session_stats() const { return host_.session_stats(); }
+  const PageStore& store() const { return host_.store(); }
+  CheckpointService& host() { return host_; }
+  uint64_t solver_queries() const { return checker_->queries(); }
+
+ private:
+  struct Boot {
+    const Program* program = nullptr;
+    VmConfig vm;
+    PathChecker* checker = nullptr;  // host-side; queries pin malloc hooks
+  };
+
+  static void Serve(GuestMailbox& mailbox, void* arg);
+  Result<Outcome> BuildOutcome(Checkpoint checkpoint);
+
+  Options options_;
+  CheckpointService host_;
+  std::unique_ptr<PathChecker> checker_;
+  Boot boot_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SERVICE_SYMX_SERVICE_H_

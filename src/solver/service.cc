@@ -2,7 +2,6 @@
 
 #include <cstring>
 
-#include "src/core/guest_api.h"
 #include "src/core/guest_heap.h"
 
 namespace lw {
@@ -12,23 +11,41 @@ namespace {
 // Response header layout in the mailbox.
 struct ResponseHeader {
   uint8_t result_raw;
-  uint8_t pad[3];
+  uint8_t flags;
+  uint8_t pad[2];
   uint32_t num_vars;
   uint64_t conflicts;
 };
 
+constexpr uint8_t kRespMalformedRequest = 1u << 0;
+
+// Guest-side: park a rejection without solving — the flagged node's state is
+// half-applied garbage the host will release unseen, so a full CDCL solve of
+// it would be wasted (and attacker-steerable) work.
+size_t ParkMalformed(GuestMailbox& mailbox) {
+  ResponseHeader hdr{};
+  hdr.result_raw = kUndef.raw();
+  hdr.flags = kRespMalformedRequest;
+  WireWriter w(mailbox.data(), mailbox.capacity());
+  w.bytes(&hdr, sizeof(hdr));
+  LW_CHECK_MSG(!w.overflowed(), "solver service mailbox too small for response header");
+  return mailbox.Park();
+}
+
 // Guest-side: solve, write the response, park. Returns the resume message
 // length when the host extends this problem.
-size_t SolveAndPark(Solver* solver, uint8_t* mailbox, size_t cap) {
+size_t SolveAndPark(Solver* solver, GuestMailbox& mailbox) {
   LBool result = solver->Solve();
   ResponseHeader hdr{};
   hdr.result_raw = result.raw();
   hdr.num_vars = static_cast<uint32_t>(solver->num_vars());
   hdr.conflicts = solver->stats().conflicts;
   size_t model_bytes = (hdr.num_vars + 7) / 8;
-  LW_CHECK_MSG(sizeof(hdr) + model_bytes <= cap, "solver service mailbox too small for model");
-  std::memcpy(mailbox, &hdr, sizeof(hdr));
-  uint8_t* bits = mailbox + sizeof(hdr);
+  WireWriter w(mailbox.data(), mailbox.capacity());
+  w.bytes(&hdr, sizeof(hdr));
+  LW_CHECK_MSG(!w.overflowed() && model_bytes <= w.capacity() - w.written(),
+               "solver service mailbox too small for model");
+  uint8_t* bits = mailbox.data() + sizeof(hdr);
   std::memset(bits, 0, model_bytes);
   if (result.IsTrue()) {
     for (Var v = 0; v < solver->num_vars(); ++v) {
@@ -37,39 +54,101 @@ size_t SolveAndPark(Solver* solver, uint8_t* mailbox, size_t cap) {
       }
     }
   }
-  return sys_yield(mailbox, cap);
+  return mailbox.Park();
+}
+
+// Decodes one increment request and feeds it to the solver. Returns false
+// (leaving the solver with a partially applied increment that the host will
+// discard along with its flagged checkpoint) on any bounds violation.
+bool DecodeAndAddClauses(Solver* solver, const uint8_t* data, size_t len) {
+  WireReader req(data, len);
+  uint32_t clause_count = 0;
+  if (!req.u32(&clause_count)) {
+    return false;
+  }
+  for (uint32_t i = 0; i < clause_count; ++i) {
+    uint32_t n = 0;
+    if (!req.u32(&n)) {
+      return false;
+    }
+    // The clause body must fit in the remaining request bytes — checked in
+    // size_t space before any allocation or pointer math can overflow.
+    if (static_cast<size_t>(n) > req.remaining() / 4) {
+      return false;
+    }
+    Lit stack_lits[64];
+    Lit* lits = stack_lits;
+    Vec<Lit> big;
+    if (n > 64) {
+      big.resize(n);
+      lits = big.data();
+    }
+    Var max_var = -1;
+    for (uint32_t j = 0; j < n; ++j) {
+      uint32_t raw = 0;
+      if (!req.u32(&raw)) {
+        return false;
+      }
+      Lit lit{static_cast<int32_t>(raw)};
+      Var v = LitVar(lit);
+      if (v < 0 || static_cast<uint32_t>(v) > kMaxSolverWireVar) {
+        return false;  // forged literal: reject instead of EnsureVars-exploding
+      }
+      if (v > max_var) {
+        max_var = v;
+      }
+      lits[j] = lit;
+    }
+    solver->EnsureVars(max_var + 1);
+    solver->AddClause(lits, n);
+  }
+  return true;
 }
 
 }  // namespace
 
-std::vector<uint8_t> EncodeSolverRequest(const std::vector<std::vector<Lit>>& clauses) {
-  std::vector<uint8_t> msg;
-  auto put32 = [&msg](uint32_t v) {
+Status EncodeSolverRequest(const std::vector<std::vector<Lit>>& clauses, size_t max_bytes,
+                           std::vector<uint8_t>* out) {
+  out->clear();
+  if (clauses.size() > UINT32_MAX) {
+    return InvalidArgument("solver request: clause count overflows the wire format");
+  }
+  // 4 bytes of count + per clause (4 + 4n) bytes, accumulated in 64-bit space.
+  uint64_t total = 4;
+  for (const auto& clause : clauses) {
+    if (clause.size() > UINT32_MAX) {
+      return InvalidArgument("solver request: clause length overflows the wire format");
+    }
+    total += 4 + 4ull * clause.size();
+    if (max_bytes != 0 && total > max_bytes) {
+      return InvalidArgument("solver request: increment exceeds mailbox capacity");
+    }
+  }
+  out->reserve(static_cast<size_t>(total));
+  auto put32 = [out](uint32_t v) {
     const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
-    msg.insert(msg.end(), p, p + 4);
+    out->insert(out->end(), p, p + 4);
   };
   put32(static_cast<uint32_t>(clauses.size()));
   for (const auto& clause : clauses) {
     put32(static_cast<uint32_t>(clause.size()));
     for (Lit lit : clause) {
+      Var v = LitVar(lit);
+      if (v < 0 || static_cast<uint32_t>(v) > kMaxSolverWireVar) {
+        out->clear();
+        return InvalidArgument("solver request: literal variable exceeds the wire cap");
+      }
       put32(static_cast<uint32_t>(lit.x));
     }
   }
-  return msg;
+  return OkStatus();
 }
 
-void SolverService::GuestMain(void* arg) {
+void SolverService::Serve(GuestMailbox& mailbox, void* arg) {
   auto* boot = static_cast<Boot*>(arg);
-  auto* session = static_cast<BacktrackSession*>(CurrentExecutor());
-  GuestHeap* heap = session->heap();
-  // Everything the solver allocates from here on lives inside the arena and is
-  // captured by each checkpoint's snapshot.
-  ScopedAllocHooks hooks(heap->Hooks());
 
-  Solver* solver = GuestNew<Solver>(heap, boot->solver);
+  Solver* solver = GuestNew<Solver>(mailbox.heap(), boot->solver);
   LW_CHECK_MSG(solver != nullptr, "arena too small for solver");
-  auto* mailbox = static_cast<uint8_t*>(heap->Alloc(boot->mailbox_cap));
-  LW_CHECK_MSG(mailbox != nullptr, "arena too small for mailbox");
 
   // Load the base problem (read from host memory; writes land in the arena).
   solver->EnsureVars(boot->base->num_vars);
@@ -78,108 +157,86 @@ void SolverService::GuestMain(void* arg) {
   }
 
   // Serve forever: each loop iteration solves the current problem, parks, and
-  // on resume decodes one increment. The host stops by never resuming.
+  // on resume decodes one increment. The host stops by never resuming. A
+  // request that fails the bounds checks is reported through the response
+  // flags (without solving the half-applied state); the host releases that
+  // flagged node, so the partial increment dies with it and the parent stays
+  // pristine.
+  bool malformed = false;
   while (true) {
-    size_t len = SolveAndPark(solver, mailbox, boot->mailbox_cap);
-    const uint8_t* p = mailbox;
-    const uint8_t* end = mailbox + len;
-    auto get32 = [&p]() {
-      uint32_t v;
-      std::memcpy(&v, p, 4);
-      p += 4;
-      return v;
-    };
-    LW_CHECK_MSG(len >= 4, "solver service: truncated request");
-    uint32_t clause_count = get32();
-    for (uint32_t i = 0; i < clause_count; ++i) {
-      LW_CHECK(p + 4 <= end);
-      uint32_t n = get32();
-      LW_CHECK(p + 4 * n <= end);
-      // Grow the variable space to cover the increment's literals.
-      Var max_var = -1;
-      for (uint32_t j = 0; j < n; ++j) {
-        Lit lit{static_cast<int32_t>(*reinterpret_cast<const uint32_t*>(p + 4 * j))};
-        if (LitVar(lit) > max_var) {
-          max_var = LitVar(lit);
-        }
-      }
-      solver->EnsureVars(max_var + 1);
-      Lit stack_lits[64];
-      Lit* lits = stack_lits;
-      Vec<Lit> big;
-      if (n > 64) {
-        big.resize(n);
-        lits = big.data();
-      }
-      for (uint32_t j = 0; j < n; ++j) {
-        uint32_t raw = get32();
-        lits[j] = Lit{static_cast<int32_t>(raw)};
-      }
-      solver->AddClause(lits, n);
-    }
+    size_t len = malformed ? ParkMalformed(mailbox) : SolveAndPark(solver, mailbox);
+    malformed = !DecodeAndAddClauses(solver, mailbox.data(), len);
   }
 }
 
-SolverService::SolverService(SolverServiceOptions options) : options_(options) {
-  SessionOptions session_options;
-  session_options.arena_bytes = options_.arena_bytes;
-  session_options.page_map_kind = options_.page_map_kind;
-  session_options.snapshot_mode = options_.snapshot_mode;
-  session_options.store = options_.store;
-  session_options.store_options = options_.store_options;
-  session_ = std::make_unique<BacktrackSession>(session_options);
-  boot_.mailbox_cap = options_.mailbox_bytes;
+SolverService::SolverService(SolverServiceOptions options)
+    : options_(std::move(options)), host_(MakeHostOptions(options_)) {
   boot_.solver = options_.solver;
 }
 
 SolverService::~SolverService() = default;
 
-Result<SolverService::Outcome> SolverService::DrainCheckpoint() {
-  std::vector<uint64_t> fresh = session_->TakeNewCheckpoints();
-  if (fresh.size() != 1) {
-    return Internal("solver service: expected exactly one new checkpoint");
-  }
-  Token token = fresh[0];
-
+Result<SolverService::Outcome> SolverService::BuildOutcome(Checkpoint checkpoint) {
   ResponseHeader hdr{};
-  LW_RETURN_IF_ERROR(session_->ReadCheckpointMailbox(token, &hdr, sizeof(hdr)));
+  LW_RETURN_IF_ERROR(host_.ReadResponse(checkpoint, &hdr, sizeof(hdr)));
+  if ((hdr.flags & kRespMalformedRequest) != 0) {
+    // The guest rejected the increment; drop the flagged node so its
+    // half-applied state can never be extended.
+    LW_RETURN_IF_ERROR(host_.Release(checkpoint));
+    return InvalidArgument("solver service: malformed increment rejected by the guest decoder");
+  }
   Outcome outcome;
   outcome.result = LBool(hdr.result_raw);
-  outcome.token = token;
+  outcome.num_vars = hdr.num_vars;
   outcome.conflicts = hdr.conflicts;
   size_t model_bytes = (hdr.num_vars + 7) / 8;
   std::vector<uint8_t> full(sizeof(hdr) + model_bytes);
-  LW_RETURN_IF_ERROR(session_->ReadCheckpointMailbox(token, full.data(), full.size()));
+  LW_RETURN_IF_ERROR(host_.ReadResponse(checkpoint, full.data(), full.size()));
   outcome.model_bits.assign(full.begin() + sizeof(hdr), full.end());
+  outcome.token = std::move(checkpoint);
   return outcome;
 }
 
 Result<SolverService::Outcome> SolverService::SolveRoot(const Cnf& base) {
-  if (root_solved_) {
+  if (host_.booted()) {
     return BadState("solver service: root already solved");
   }
-  root_solved_ = true;
   boot_.base = &base;
-  LW_RETURN_IF_ERROR(session_->Run(&GuestMain, &boot_));
-  return DrainCheckpoint();
+  auto checkpoint = host_.Boot(&Serve, &boot_);
+  if (!checkpoint.ok()) {
+    return checkpoint.status();
+  }
+  return BuildOutcome(*std::move(checkpoint));
 }
 
-Result<SolverService::Outcome> SolverService::Extend(Token parent,
+Result<SolverService::Outcome> SolverService::Extend(const Checkpoint& parent,
                                                      const std::vector<std::vector<Lit>>& q) {
-  if (!root_solved_) {
+  if (!host_.booted()) {
     return BadState("solver service: solve the root first");
   }
-  std::vector<uint8_t> msg = EncodeSolverRequest(q);
-  if (msg.size() > options_.mailbox_bytes) {
-    return InvalidArgument("solver service: increment exceeds mailbox capacity");
-  }
-  LW_RETURN_IF_ERROR(session_->Resume(parent, msg.data(), msg.size()));
-  return DrainCheckpoint();
+  std::vector<uint8_t> msg;
+  LW_RETURN_IF_ERROR(EncodeSolverRequest(q, options_.mailbox_bytes, &msg));
+  return ExtendEncoded(parent, msg.data(), msg.size());
 }
 
-Status SolverService::Release(Token token) { return session_->ReleaseCheckpoint(token); }
+Result<SolverService::Outcome> SolverService::ExtendEncoded(const Checkpoint& parent,
+                                                            const void* request, size_t len) {
+  if (!host_.booted()) {
+    return BadState("solver service: solve the root first");
+  }
+  auto checkpoint = host_.Extend(parent, request, len);
+  if (!checkpoint.ok()) {
+    return checkpoint.status();
+  }
+  return BuildOutcome(*std::move(checkpoint));
+}
+
+Status SolverService::Release(Checkpoint& token) { return host_.Release(token); }
 
 bool SolverService::ModelBit(const Outcome& outcome, Var v) {
+  if (v < 0 || static_cast<uint32_t>(v) >= outcome.num_vars) {
+    return false;
+  }
   size_t byte = static_cast<size_t>(v) / 8;
   if (byte >= outcome.model_bits.size()) {
     return false;

@@ -2,143 +2,53 @@
 
 namespace lw {
 
+namespace {
+
+ServicePoolOptions<SolverService> ToGeneric(SolverServicePoolOptions options) {
+  ServicePoolOptions<SolverService> generic;
+  generic.num_services = options.num_services;
+  generic.service = std::move(options.service);
+  generic.store = std::move(options.store);
+  return generic;
+}
+
+}  // namespace
+
 SolverServicePool::SolverServicePool(SolverServicePoolOptions options)
-    : options_(std::move(options)) {
-  LW_CHECK_MSG(options_.num_services > 0, "solver pool needs at least one service");
-  if (options_.store != nullptr) {
-    store_ = options_.store;
-  } else {
-    PageStoreOptions store_options;
-    store_options.background_compaction = true;
-    store_ = std::make_shared<PageStore>(store_options);
-  }
-  options_.service.store = store_;
-  workers_.reserve(static_cast<size_t>(options_.num_services));
-  for (int i = 0; i < options_.num_services; ++i) {
-    workers_.push_back(std::make_unique<Worker>());
-  }
-  // Split construction from thread start so a mid-loop failure never leaves a
-  // worker thread pointing at a vector that is still growing.
-  for (auto& worker : workers_) {
-    Worker* w = worker.get();
-    w->thread = std::thread([this, w] { WorkerMain(*w); });
-  }
-}
-
-SolverServicePool::~SolverServicePool() {
-  for (auto& worker : workers_) {
-    {
-      std::lock_guard<std::mutex> lock(worker->mu);
-      worker->stop = true;
-    }
-    worker->cv.notify_one();
-  }
-  for (auto& worker : workers_) {
-    worker->thread.join();
-  }
-  // Workers destroyed their services (and returned every page ref) before
-  // exiting; the shared store dies with the last holder of store_.
-}
-
-void SolverServicePool::WorkerMain(Worker& worker) {
-  // The service — session, arena, fault-handler registration, guest heap — is
-  // born on this thread and dies on it; no other thread ever touches it.
-  worker.service = std::make_unique<SolverService>(options_.service);
-  while (true) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(worker.mu);
-      worker.cv.wait(lock, [&worker] { return worker.stop || !worker.queue.empty(); });
-      if (worker.queue.empty()) {
-        break;  // stop requested and queue drained
-      }
-      job = std::move(worker.queue.front());
-      worker.queue.pop_front();
-    }
-    Result<Outcome> outcome = OkStatus();
-    Status status = OkStatus();
-    switch (job.kind) {
-      case Job::Kind::kRoot:
-        outcome = worker.service->SolveRoot(*job.base);
-        break;
-      case Job::Kind::kExtend:
-        outcome = worker.service->Extend(job.parent, job.clauses);
-        break;
-      case Job::Kind::kRelease:
-        status = worker.service->Release(job.parent);
-        break;
-    }
-    {
-      // Sample *before* fulfilling the promise: a client that waited on the
-      // future must see this job reflected in fleet_stats().
-      std::lock_guard<std::mutex> lock(worker.stats_mu);
-      worker.session_stats = worker.service->session_stats();
-      ++worker.jobs_executed;
-    }
-    if (job.kind == Job::Kind::kRelease) {
-      job.status.set_value(std::move(status));
-    } else {
-      job.outcome.set_value(std::move(outcome));
-    }
-  }
-  worker.service.reset();
-}
-
-SolverServicePool::Worker& SolverServicePool::CheckedWorker(int service) {
-  LW_CHECK_MSG(service >= 0 && service < num_services(), "solver pool: service index out of range");
-  return *workers_[static_cast<size_t>(service)];
-}
-
-void SolverServicePool::Enqueue(int service, Job job) {
-  Worker& worker = CheckedWorker(service);
-  {
-    std::lock_guard<std::mutex> lock(worker.mu);
-    LW_CHECK_MSG(!worker.stop, "solver pool: submit after shutdown");
-    worker.queue.push_back(std::move(job));
-  }
-  worker.cv.notify_one();
-}
+    : pool_(ToGeneric(std::move(options))) {}
 
 std::future<Result<SolverService::Outcome>> SolverServicePool::SubmitRoot(int service,
                                                                           const Cnf* base) {
   LW_CHECK_MSG(base != nullptr, "solver pool: null base problem");
-  Job job;
-  job.kind = Job::Kind::kRoot;
-  job.base = base;
-  std::future<Result<Outcome>> result = job.outcome.get_future();
-  Enqueue(service, std::move(job));
-  return result;
+  return pool_.Submit(service, [base](SolverService& s) { return s.SolveRoot(*base); });
 }
 
 std::future<Result<SolverService::Outcome>> SolverServicePool::SubmitExtend(
-    int service, Token parent, std::vector<std::vector<Lit>> q) {
-  Job job;
-  job.kind = Job::Kind::kExtend;
-  job.parent = parent;
-  job.clauses = std::move(q);
-  std::future<Result<Outcome>> result = job.outcome.get_future();
-  Enqueue(service, std::move(job));
-  return result;
+    int service, const Checkpoint& parent, std::vector<std::vector<Lit>> q) {
+  // The job owns a clone: the caller's handle stays valid for further
+  // branching, and the clone's drop (wrong service, failed extend, normal
+  // completion) is handled by the handle protocol.
+  auto parent_clone = std::make_shared<Checkpoint>(parent.Clone());
+  auto clauses = std::make_shared<std::vector<std::vector<Lit>>>(std::move(q));
+  return pool_.Submit(service, [parent_clone, clauses](SolverService& s) {
+    return s.Extend(*parent_clone, *clauses);
+  });
 }
 
-std::future<Status> SolverServicePool::SubmitRelease(int service, Token token) {
-  Job job;
-  job.kind = Job::Kind::kRelease;
-  job.parent = token;
-  std::future<Status> result = job.status.get_future();
-  Enqueue(service, std::move(job));
-  return result;
+std::future<Status> SolverServicePool::SubmitRelease(int service, Checkpoint& token) {
+  auto moved = std::make_shared<Checkpoint>(std::move(token));
+  return pool_.Submit(service, [moved](SolverService& s) { return s.Release(*moved); });
 }
 
 Status SolverServicePool::SolveRootEverywhere(const Cnf& base, std::vector<Outcome>* outcomes) {
   std::vector<std::future<Result<Outcome>>> futures;
-  futures.reserve(workers_.size());
+  futures.reserve(static_cast<size_t>(num_services()));
   for (int i = 0; i < num_services(); ++i) {
     futures.push_back(SubmitRoot(i, &base));
   }
   if (outcomes != nullptr) {
     outcomes->clear();
-    outcomes->resize(workers_.size());
+    outcomes->resize(static_cast<size_t>(num_services()));
   }
   Status first_error = OkStatus();
   for (int i = 0; i < num_services(); ++i) {
@@ -154,25 +64,6 @@ Status SolverServicePool::SolveRootEverywhere(const Cnf& base, std::vector<Outco
     }
   }
   return first_error;
-}
-
-SolverServicePool::FleetStats SolverServicePool::fleet_stats() const {
-  FleetStats fleet;
-  const PageStore::Stats store = store_->stats();
-  fleet.resident_bytes = store.bytes_resident();
-  fleet.live_bytes = store.bytes_live();
-  fleet.zero_dedup_hits = store.zero_dedup_hits;
-  fleet.content_dedup_hits = store.content_dedup_hits;
-  fleet.cross_session_dedup_hits = store.cross_session_dedup_hits;
-  fleet.compressed_blobs = store.compressed_blobs;
-  for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->stats_mu);
-    fleet.jobs_executed += worker->jobs_executed;
-    fleet.snapshots += worker->session_stats.snapshots;
-    fleet.restores += worker->session_stats.restores;
-    fleet.checkpoints += worker->session_stats.checkpoints;
-  }
-  return fleet;
 }
 
 }  // namespace lw

@@ -1,36 +1,24 @@
-// SolverServicePool: the §3.2 solver service scaled to a fleet on real cores.
+// SolverServicePool: the §3.2 solver service scaled to a fleet on real cores —
+// a thin, solver-typed façade over the generic ServicePool<SolverService>
+// (src/service/pool.h), which owns the worker threads, per-service FIFO
+// queues, futures, shared-store injection, and fleet stats. This wrapper adds
+// only the solver vocabulary: SubmitRoot/SubmitExtend/SubmitRelease and the
+// fleet-of-equals convenience SolveRootEverywhere.
 //
-// The paper pitches lightweight snapshots as a *system-level service*: many
-// clients, one substrate. PR 2 made the substrate shareable (one PageStore,
-// cross-session dedup); this pool adds the execution side — K SolverServices,
-// each owned by a dedicated worker thread, all publishing through one
-// internally-synchronized store. Tokens are service-affine (a checkpoint is a
-// snapshot inside one service's arena), so every job names the service it runs
-// on and the pool routes it to that worker's queue; jobs for different
-// services run in parallel, jobs for one service run in submission order.
-//
-// Threading contract:
-//   * Each SolverService (and its BacktrackSession, arena, and SIGSEGV state)
-//     is constructed on its worker thread and never touched by any other
-//     thread — sessions are thread-affine; the shared PageStore is the only
-//     cross-thread object, and it synchronizes internally.
-//   * Submit* may be called from any thread; results come back through
-//     std::future. Per-service FIFO order means a caller can enqueue a root
-//     and its extensions back-to-back without waiting in between.
-//   * The destructor drains every queue (pending jobs still run), then joins.
+// Checkpoint handles are service-affine; SubmitExtend clones the parent
+// handle into the job, so the caller keeps ownership and can branch the same
+// parent across many submissions. See ServicePool<S> for the threading
+// contract.
 
 #ifndef LWSNAP_SRC_SOLVER_SERVICE_POOL_H_
 #define LWSNAP_SRC_SOLVER_SERVICE_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
+#include "src/service/pool.h"
 #include "src/solver/service.h"
 
 namespace lw {
@@ -43,91 +31,48 @@ struct SolverServicePoolOptions {
   SolverServiceOptions service;
 
   // The fleet's shared substrate. Null (default): the pool creates a store
-  // with content dedup, compression, and background compaction enabled — the
-  // service-fleet steady state wants cold parked problems compressed off the
-  // critical path.
+  // with content dedup, compression, and background compaction enabled.
   std::shared_ptr<PageStore> store;
 };
 
 class SolverServicePool {
  public:
-  using Token = SolverService::Token;
   using Outcome = SolverService::Outcome;
+  using FleetStats = ServiceFleetStats;
 
   explicit SolverServicePool(SolverServicePoolOptions options);
-  ~SolverServicePool();
 
   SolverServicePool(const SolverServicePool&) = delete;
   SolverServicePool& operator=(const SolverServicePool&) = delete;
 
-  int num_services() const { return static_cast<int>(workers_.size()); }
-  const std::shared_ptr<PageStore>& store() const { return store_; }
+  int num_services() const { return pool_.num_services(); }
+  const std::shared_ptr<PageStore>& store() const { return pool_.store(); }
 
   // Solves `base` as service `service`'s root problem (call once per service,
   // first). `base` must outlive the returned future's completion.
   std::future<Result<Outcome>> SubmitRoot(int service, const Cnf* base);
 
-  // Solves parent ∧ q on the service that owns `parent`. The parent token
-  // stays valid — submit it again with a different q to branch.
-  std::future<Result<Outcome>> SubmitExtend(int service, Token parent,
+  // Solves parent ∧ q on the service that owns `parent`. The parent handle
+  // stays with the caller (the job runs on a clone) — submit it again with a
+  // different q to branch. A handle from another service fails through the
+  // future with InvalidArgument.
+  std::future<Result<Outcome>> SubmitExtend(int service, const Checkpoint& parent,
                                             std::vector<std::vector<Lit>> q);
 
-  // Releases a solved-problem reference on its owning service.
-  std::future<Status> SubmitRelease(int service, Token token);
+  // Releases a solved-problem reference on its owning service; consumes the
+  // handle (it becomes empty immediately).
+  std::future<Status> SubmitRelease(int service, Checkpoint& token);
 
   // Convenience for the fleet-of-equals shape (bench_shared_store): every
   // service solves the same base, in parallel; outcomes land by service index.
   // Returns the first error, or OK.
   Status SolveRootEverywhere(const Cnf& base, std::vector<Outcome>* outcomes);
 
-  struct FleetStats {
-    uint64_t jobs_executed = 0;
-    // Store-wide counters (the whole fleet's substrate).
-    uint64_t resident_bytes = 0;
-    uint64_t live_bytes = 0;
-    uint64_t zero_dedup_hits = 0;
-    uint64_t content_dedup_hits = 0;
-    uint64_t cross_session_dedup_hits = 0;
-    uint64_t compressed_blobs = 0;
-    // Summed across services.
-    uint64_t snapshots = 0;
-    uint64_t restores = 0;
-    uint64_t checkpoints = 0;
-  };
   // Safe to call any time; per-service counters are sampled between jobs.
-  FleetStats fleet_stats() const;
+  FleetStats fleet_stats() const { return pool_.fleet_stats(); }
 
  private:
-  struct Job {
-    enum class Kind { kRoot, kExtend, kRelease } kind = Kind::kRoot;
-    const Cnf* base = nullptr;                // kRoot
-    Token parent = 0;                         // kExtend / kRelease
-    std::vector<std::vector<Lit>> clauses;    // kExtend
-    std::promise<Result<Outcome>> outcome;    // kRoot / kExtend
-    std::promise<Status> status;              // kRelease
-  };
-
-  struct Worker {
-    std::thread thread;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Job> queue;
-    bool stop = false;
-    // Owned (and only touched) by the worker thread after construction.
-    std::unique_ptr<SolverService> service;
-    // Sampled by the worker between jobs for fleet_stats readers.
-    std::mutex stats_mu;
-    SessionStats session_stats;
-    uint64_t jobs_executed = 0;
-  };
-
-  void WorkerMain(Worker& worker);
-  Worker& CheckedWorker(int service);
-  void Enqueue(int service, Job job);
-
-  SolverServicePoolOptions options_;
-  std::shared_ptr<PageStore> store_;
-  std::vector<std::unique_ptr<Worker>> workers_;
+  ServicePool<SolverService> pool_;
 };
 
 }  // namespace lw

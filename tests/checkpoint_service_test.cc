@@ -1,0 +1,159 @@
+// CheckpointService host-layer tests: the generic boot/mailbox/park/drain
+// machinery every service shares — boot-once lifecycle, exactly-one-checkpoint
+// protocol, raw request/response framing, typed-handle validation across two
+// hosts, and the WireReader/WireWriter bounds behavior the codecs rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/core/guest_api.h"
+#include "src/service/host.h"
+#include "src/util/vec.h"
+
+namespace lw {
+namespace {
+
+// A minimal codec: the response is "<accumulated text>"; each request appends
+// its bytes. State is a Vec<char> in the arena — the canonical branchable
+// guest state.
+void EchoServe(GuestMailbox& mailbox, void* arg) {
+  (void)arg;
+  Vec<char> text;
+  while (true) {
+    WireWriter w(mailbox.data(), mailbox.capacity());
+    w.u32(static_cast<uint32_t>(text.size()));
+    w.bytes(text.data(), text.size());
+    LW_CHECK(!w.overflowed());
+    size_t len = mailbox.Park();
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(mailbox.data()[i]));
+    }
+  }
+}
+
+// A codec that breaks the protocol: the first extension forks (sys_guess) and
+// parks a checkpoint on *each* branch, so one drive yields two checkpoints.
+void DoubleParkServe(GuestMailbox& mailbox, void* arg) {
+  (void)arg;
+  std::memset(mailbox.data(), 0, 4);
+  mailbox.Park();
+  sys_guess(2);
+  while (true) {
+    mailbox.Park();
+  }
+}
+
+CheckpointServiceOptions SmallHost() {
+  CheckpointServiceOptions options;
+  options.arena_bytes = 8ull << 20;
+  options.mailbox_bytes = 4096;
+  return options;
+}
+
+std::string ReadEcho(CheckpointService& host, const Checkpoint& cp) {
+  uint32_t len = 0;
+  EXPECT_TRUE(host.ReadResponse(cp, &len, 4).ok());
+  std::vector<uint8_t> full(4 + len);
+  EXPECT_TRUE(host.ReadResponse(cp, full.data(), full.size()).ok());
+  return std::string(full.begin() + 4, full.end());
+}
+
+TEST(CheckpointServiceTest, BootExtendBranchRelease) {
+  CheckpointService host(SmallHost());
+  EXPECT_FALSE(host.booted());
+  auto root = host.Boot(&EchoServe, nullptr);
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(host.booted());
+  EXPECT_EQ(ReadEcho(host, *root), "");
+
+  auto left = host.Extend(*root, "ab", 2);
+  auto right = host.Extend(*root, "xyz", 3);
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  // Divergent branches of one parent: neither sees the other's request.
+  EXPECT_EQ(ReadEcho(host, *left), "ab");
+  EXPECT_EQ(ReadEcho(host, *right), "xyz");
+
+  auto deeper = host.Extend(*left, "c", 1);
+  ASSERT_TRUE(deeper.ok());
+  EXPECT_EQ(ReadEcho(host, *deeper), "abc");
+
+  // Releasing the parent keeps descendants working.
+  EXPECT_TRUE(host.Release(*root).ok());
+  EXPECT_FALSE(root->valid());
+  auto after = host.Extend(*deeper, "d", 1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(ReadEcho(host, *after), "abcd");
+}
+
+TEST(CheckpointServiceTest, LifecycleErrors) {
+  CheckpointService host(SmallHost());
+  Checkpoint none;
+  EXPECT_EQ(host.Extend(none, "x", 1).status().code(), ErrorCode::kBadState);  // before boot
+  auto root = host.Boot(&EchoServe, nullptr);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(host.Boot(&EchoServe, nullptr).status().code(), ErrorCode::kBadState);
+  // Empty handle after boot: InvalidArgument from the session's validation.
+  EXPECT_EQ(host.Extend(none, "x", 1).status().code(), ErrorCode::kInvalidArgument);
+  // Oversized request rejected before touching the guest.
+  std::vector<uint8_t> big(host.mailbox_capacity() + 1, 0);
+  EXPECT_EQ(host.Extend(*root, big.data(), big.size()).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(CheckpointServiceTest, HandlesAreHostAffine) {
+  CheckpointService a(SmallHost());
+  CheckpointService b(SmallHost());
+  auto root_a = a.Boot(&EchoServe, nullptr);
+  auto root_b = b.Boot(&EchoServe, nullptr);
+  ASSERT_TRUE(root_a.ok());
+  ASSERT_TRUE(root_b.ok());
+  EXPECT_EQ(b.Extend(*root_a, "x", 1).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(b.Release(*root_a).code(), ErrorCode::kInvalidArgument);
+  uint32_t word = 0;
+  EXPECT_EQ(b.ReadResponse(*root_a, &word, 4).code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(root_a->valid());
+  EXPECT_TRUE(a.Extend(*root_a, "x", 1).ok());
+}
+
+TEST(CheckpointServiceTest, DoubleParkIsProtocolError) {
+  CheckpointService host(SmallHost());
+  auto root = host.Boot(&DoubleParkServe, nullptr);
+  ASSERT_TRUE(root.ok());
+  auto broken = host.Extend(*root, "x", 1);
+  EXPECT_EQ(broken.status().code(), ErrorCode::kInternal);
+}
+
+TEST(WireCodecTest, ReaderRejectsOverflow) {
+  uint8_t buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  WireReader r(buf, sizeof(buf));
+  uint32_t a = 0;
+  EXPECT_TRUE(r.u32(&a));
+  EXPECT_EQ(r.remaining(), 4u);
+  uint64_t b = 0;
+  EXPECT_FALSE(r.u64(&b));  // 8 bytes wanted, 4 left
+  EXPECT_FALSE(r.ok());     // failure latches
+  uint8_t c = 0;
+  EXPECT_FALSE(r.u8(&c));  // even though a byte remains
+
+  WireReader empty(buf, 0);
+  EXPECT_FALSE(empty.u8(&c));
+  uint8_t sink[16];
+  WireReader partial(buf, 8);
+  EXPECT_FALSE(partial.bytes(sink, 9));
+}
+
+TEST(WireCodecTest, WriterLatchesOverflow) {
+  uint8_t buf[8];
+  WireWriter w(buf, sizeof(buf));
+  EXPECT_TRUE(w.u32(7));
+  EXPECT_TRUE(w.u32(9));
+  EXPECT_FALSE(w.u8(1));  // full
+  EXPECT_TRUE(w.overflowed());
+  EXPECT_EQ(w.written(), 8u);  // never past capacity
+}
+
+}  // namespace
+}  // namespace lw

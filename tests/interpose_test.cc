@@ -365,7 +365,7 @@ TEST(InterposeSessionTest, CheckpointsCarryIsolatedFsState) {
 
   YieldFsArg arg;
   ASSERT_TRUE(session.Run(&YieldFsGuest, &arg).ok());
-  std::vector<uint64_t> checkpoints = session.TakeNewCheckpoints();
+  std::vector<Checkpoint> checkpoints = session.TakeNewCheckpoints();
   ASSERT_EQ(checkpoints.size(), 4u);
 
   // Resume in reverse order: each must still see its own byte.

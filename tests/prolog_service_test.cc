@@ -1,0 +1,160 @@
+// PrologService: Prolog-style backtracking through the generic checkpoint
+// service seam — root query, narrowing extensions, *branching* the same
+// parent into divergent goal sets (the snapshot-tree payoff), error paths,
+// and the fleet shape through the generic ServicePool<PrologService>.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/service/pool.h"
+#include "src/service/prolog_service.h"
+
+namespace lw {
+namespace {
+
+constexpr char kFamily[] = R"(
+parent(tom, bob).
+parent(tom, liz).
+parent(bob, ann).
+parent(bob, pat).
+parent(pat, jim).
+
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+)";
+
+PrologServiceOptions SmallOptions() {
+  PrologServiceOptions options;
+  options.arena_bytes = 8ull << 20;
+  return options;
+}
+
+TEST(PrologServiceTest, RootQueryCountsAndBindings) {
+  PrologService service(SmallOptions());
+  auto root = service.SolveRoot(kFamily, "ancestor(tom, X)");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->solutions, 5u);  // bob liz ann pat jim
+  EXPECT_NE(root->bindings.find("X = bob"), std::string::npos);
+  EXPECT_NE(root->bindings.find("X = jim"), std::string::npos);
+  EXPECT_TRUE(root->token.valid());
+}
+
+TEST(PrologServiceTest, RootTwiceAndExtendBeforeRootAreErrors) {
+  PrologService service(SmallOptions());
+  EXPECT_EQ(service.Extend(Checkpoint(), "true").status().code(), ErrorCode::kBadState);
+  ASSERT_TRUE(service.SolveRoot(kFamily, "ancestor(tom, X)").ok());
+  EXPECT_EQ(service.SolveRoot(kFamily, "ancestor(tom, X)").status().code(),
+            ErrorCode::kBadState);
+}
+
+TEST(PrologServiceTest, BranchingSameParentKeepsGoalsIsolated) {
+  // The §3.2 shape on a Prolog workload: narrow the SAME proven conjunction
+  // with divergent goals; neither branch sees its sibling's constraint
+  // because the accumulated conjunction is arena state restored per branch.
+  PrologService service(SmallOptions());
+  auto root = service.SolveRoot(kFamily, "ancestor(tom, X)");
+  ASSERT_TRUE(root.ok());
+
+  auto bobs = service.Extend(root->token, "parent(bob, X)");
+  auto pats = service.Extend(root->token, "parent(pat, X)");
+  ASSERT_TRUE(bobs.ok());
+  ASSERT_TRUE(pats.ok());
+  EXPECT_EQ(bobs->solutions, 2u);  // ann, pat are tom's descendants via bob
+  EXPECT_EQ(pats->solutions, 1u);  // jim
+  EXPECT_NE(bobs->bindings.find("X = ann"), std::string::npos);
+  EXPECT_NE(pats->bindings.find("X = jim"), std::string::npos);
+
+  // Deepen one branch; the sibling's goal must not leak in.
+  auto deeper = service.Extend(bobs->token, "X = pat");
+  ASSERT_TRUE(deeper.ok());
+  EXPECT_EQ(deeper->solutions, 1u);
+
+  // The parent can be released while branches stay extensible.
+  EXPECT_TRUE(service.Release(root->token).ok());
+  auto still = service.Extend(pats->token, "true");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still->solutions, 1u);
+}
+
+TEST(PrologServiceTest, ArithmeticNarrowingChain) {
+  PrologService service(SmallOptions());
+  auto root = service.SolveRoot("", "between(1, 20, X)");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->solutions, 20u);
+  auto evens = service.Extend(root->token, "0 =:= X mod 2");
+  ASSERT_TRUE(evens.ok());
+  EXPECT_EQ(evens->solutions, 10u);
+  auto big_evens = service.Extend(evens->token, "X > 10");
+  ASSERT_TRUE(big_evens.ok());
+  EXPECT_EQ(big_evens->solutions, 5u);  // 12 14 16 18 20
+  // Branch the middle node divergently.
+  auto small_evens = service.Extend(evens->token, "X < 10");
+  ASSERT_TRUE(small_evens.ok());
+  EXPECT_EQ(small_evens->solutions, 4u);  // 2 4 6 8
+}
+
+TEST(PrologServiceTest, BadGoalsFailCleanlyAndParentSurvives) {
+  PrologService service(SmallOptions());
+  auto root = service.SolveRoot(kFamily, "ancestor(tom, X)");
+  ASSERT_TRUE(root.ok());
+  // Parse error in the extension goals: the flagged node is released, the
+  // call fails with InvalidArgument, and the parent stays extensible.
+  auto bad = service.Extend(root->token, "parent(bob, ");
+  EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
+  auto good = service.Extend(root->token, "parent(bob, X)");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->solutions, 2u);
+}
+
+TEST(PrologServiceTest, WrongServiceHandleRejected) {
+  PrologService first(SmallOptions());
+  PrologService second(SmallOptions());
+  auto a = first.SolveRoot(kFamily, "parent(tom, X)");
+  auto b = second.SolveRoot(kFamily, "parent(bob, X)");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(second.Extend(a->token, "true").status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(second.Extend(b->token, "true").ok());
+}
+
+TEST(PrologServiceTest, FleetThroughGenericServicePool) {
+  // The acceptance shape: a non-solver service gets the K-worker fleet for
+  // free from ServicePool<S> — no Prolog-specific pool code exists.
+  ServicePoolOptions<PrologService> options;
+  options.num_services = 2;
+  options.service.arena_bytes = 8ull << 20;
+  ServicePool<PrologService> pool(options);
+
+  auto root0 = pool.Submit(0, [](PrologService& s) {
+    return s.SolveRoot(kFamily, "ancestor(tom, X)");
+  });
+  auto root1 = pool.Submit(1, [](PrologService& s) {
+    return s.SolveRoot(kFamily, "ancestor(bob, X)");
+  });
+  auto r0 = root0.get();
+  auto r1 = root1.get();
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r0->solutions, 5u);
+  EXPECT_EQ(r1->solutions, 3u);  // ann pat jim
+
+  // Branch each root on its own worker, in flight concurrently.
+  auto p0 = std::make_shared<Checkpoint>(r0->token.Clone());
+  auto p1 = std::make_shared<Checkpoint>(r1->token.Clone());
+  auto e0 = pool.Submit(0, [p0](PrologService& s) { return s.Extend(*p0, "parent(X, jim)"); });
+  auto e1 = pool.Submit(1, [p1](PrologService& s) { return s.Extend(*p1, "parent(X, jim)"); });
+  auto x0 = e0.get();
+  auto x1 = e1.get();
+  ASSERT_TRUE(x0.ok());
+  ASSERT_TRUE(x1.ok());
+  EXPECT_EQ(x0->solutions, 1u);  // X = pat
+  EXPECT_EQ(x1->solutions, 1u);
+
+  ServiceFleetStats stats = pool.fleet_stats();
+  EXPECT_EQ(stats.jobs_executed, 4u);
+  EXPECT_EQ(stats.checkpoints, 4u);  // one parked node per outcome
+}
+
+}  // namespace
+}  // namespace lw

@@ -102,17 +102,19 @@ TEST(SolverServicePoolTest, PipelinedSubmissionRunsInOrder) {
   ASSERT_TRUE(outcome0.ok());
   ASSERT_TRUE(outcome1.ok());
 
-  // Two divergent branches per service, queued without intermediate waits.
+  // Two divergent branches per service, queued without intermediate waits
+  // (SubmitExtend clones the parent handle into each job, so one handle
+  // branches any number of in-flight extensions).
   std::vector<std::future<Result<SolverServicePool::Outcome>>> futures;
   for (int i = 0; i < 2; ++i) {
-    auto parent = (i == 0 ? outcome0 : outcome1)->token;
+    const Checkpoint& parent = (i == 0 ? outcome0 : outcome1)->token;
     futures.push_back(pool.SubmitExtend(i, parent, {{MakeLit(1)}}));
     futures.push_back(pool.SubmitExtend(i, parent, {{~MakeLit(1)}}));
   }
   for (auto& future : futures) {
     auto outcome = future.get();
     ASSERT_TRUE(outcome.ok());
-    EXPECT_NE(outcome->token, 0u);
+    EXPECT_TRUE(outcome->token.valid());
   }
 
   // Both services branched the same parent twice: checkpoints accumulate.
@@ -137,6 +139,52 @@ TEST(SolverServicePoolTest, ReleaseAndShutdownDrainClean) {
   // Every blob the fleet minted was returned — only the store-held canonical
   // zero blob may remain.
   EXPECT_LE(store->stats().live_blobs, 1u);
+}
+
+TEST(SolverServicePoolTest, DrainOnDestructionPropagatesMidQueueFailure) {
+  // A failing job in the middle of a queued pipeline must fail through its
+  // own future and leave the worker serving the rest of the queue — both
+  // while running and during destructor drain.
+  Cnf base = BaseProblem();
+  std::future<Result<SolverServicePool::Outcome>> before;
+  std::future<Result<SolverServicePool::Outcome>> failing;
+  std::future<Result<SolverServicePool::Outcome>> after;
+  std::future<Status> released;
+  {
+    SolverServicePool pool(PoolOptions(1));
+    auto root = pool.SubmitRoot(0, &base).get();
+    ASSERT_TRUE(root.ok());
+
+    // Queue: good extend → failing extend (empty handle) → good extend →
+    // release, then destroy the pool immediately: the destructor drains all
+    // four in order.
+    before = pool.SubmitExtend(0, root->token, {{MakeLit(0)}});
+    failing = pool.SubmitExtend(0, Checkpoint(), {{MakeLit(1)}});
+    after = pool.SubmitExtend(0, root->token, {{~MakeLit(0)}});
+    released = pool.SubmitRelease(0, root->token);
+  }
+  auto ok_before = before.get();
+  ASSERT_TRUE(ok_before.ok());
+  EXPECT_FALSE(ok_before->result.IsUndef());
+  EXPECT_EQ(failing.get().status().code(), ErrorCode::kInvalidArgument);
+  auto ok_after = after.get();
+  ASSERT_TRUE(ok_after.ok());  // the worker outlived the failed job
+  EXPECT_FALSE(ok_after->result.IsUndef());
+  EXPECT_TRUE(released.get().ok());
+}
+
+TEST(SolverServicePoolTest, WrongServiceHandleFailsThroughFuture) {
+  Cnf base = BaseProblem();
+  SolverServicePool pool(PoolOptions(2));
+  auto root0 = pool.SubmitRoot(0, &base).get();
+  auto root1 = pool.SubmitRoot(1, &base).get();
+  ASSERT_TRUE(root0.ok());
+  ASSERT_TRUE(root1.ok());
+  // Service 1 rejects service 0's handle; both services stay healthy.
+  auto wrong = pool.SubmitExtend(1, root0->token, {{MakeLit(0)}}).get();
+  EXPECT_EQ(wrong.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(pool.SubmitExtend(0, root0->token, {{MakeLit(0)}}).get().ok());
+  EXPECT_TRUE(pool.SubmitExtend(1, root1->token, {{MakeLit(0)}}).get().ok());
 }
 
 }  // namespace

@@ -40,7 +40,7 @@ TEST(SolverServiceTest, RootTwiceIsError) {
 
 TEST(SolverServiceTest, ExtendBeforeRootIsError) {
   SolverService service(SmallArena());
-  EXPECT_EQ(service.Extend(1, {}).status().code(), ErrorCode::kBadState);
+  EXPECT_EQ(service.Extend(Checkpoint(), {}).status().code(), ErrorCode::kBadState);
 }
 
 TEST(SolverServiceTest, IncrementalChain) {
@@ -155,15 +155,139 @@ TEST(SolverServiceTest, ReleaseDropsStoreLiveBytes) {
   EXPECT_TRUE(deeper.ok());
 }
 
-TEST(SolverServiceTest, ReleaseInvalidTokenFails) {
+TEST(SolverServiceTest, ReleaseErrorPaths) {
   SolverService service(SmallArena());
   Cnf base;
   base.AddDimacsClause({1});
   auto root = service.SolveRoot(base);
   ASSERT_TRUE(root.ok());
+  // Releasing a parent with a live descendant is clean; the descendant stays
+  // extensible (its snapshot chain pins the shared pages).
+  auto child = service.Extend(root->token, {{MakeLit(3)}});
+  ASSERT_TRUE(child.ok());
   EXPECT_TRUE(service.Release(root->token).ok());
-  EXPECT_FALSE(service.Release(root->token).ok());
-  EXPECT_FALSE(service.Release(99999).ok());
+  EXPECT_FALSE(root->token.valid());
+  auto grandchild = service.Extend(child->token, {{MakeLit(4)}});
+  ASSERT_TRUE(grandchild.ok());
+  EXPECT_TRUE(grandchild->result.IsTrue());
+
+  // Double release: the handle was consumed; a second release (and a resume
+  // through it) are clean errors, not UB.
+  EXPECT_EQ(service.Release(root->token).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(service.Extend(root->token, {{MakeLit(5)}}).status().code(),
+            ErrorCode::kInvalidArgument);
+  // An empty handle never reaches the session either.
+  Checkpoint empty;
+  EXPECT_EQ(service.Release(empty).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SolverServiceTest, HandleFromAnotherServiceIsRejected) {
+  // The typed-handle payoff: a checkpoint is service-affine, and using it on
+  // a different service is a clean InvalidArgument — with raw uint64 tokens
+  // this was silent UB (the token would alias an unrelated snapshot).
+  SolverService first(SmallArena());
+  SolverService second(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1, 2});
+  auto a = first.SolveRoot(base);
+  auto b = second.SolveRoot(base);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(second.Extend(a->token, {{MakeLit(0)}}).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(second.Release(a->token).code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(a->token.valid());  // the failed calls left the handle intact
+  auto still = first.Extend(a->token, {{MakeLit(0)}});
+  EXPECT_TRUE(still.ok());
+}
+
+TEST(SolverServiceTest, ResumeAfterReleaseThroughCloneFails) {
+  SolverService service(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1, 2});
+  auto root = service.SolveRoot(base);
+  ASSERT_TRUE(root.ok());
+  Checkpoint clone = root->token.Clone();
+  EXPECT_TRUE(service.Release(root->token).ok());
+  // The clone still pins the snapshot; releasing the last reference frees it.
+  EXPECT_TRUE(service.Extend(clone, {{MakeLit(0)}}).ok());
+  EXPECT_TRUE(service.Release(clone).ok());
+  // All references gone: a stale copy of neither handle can exist (move-only),
+  // and the service API can no longer reach the snapshot.
+}
+
+TEST(SolverServiceTest, MalformedEncodedRequestIsRejectedCleanly) {
+  // Guest-side decoder hardening: forged counts/lengths must surface as
+  // InvalidArgument and leave the parent pristine, not truncate into a
+  // half-applied increment or overflow the mailbox read.
+  SolverService service(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1, 2});
+  auto root = service.SolveRoot(base);
+  ASSERT_TRUE(root.ok());
+
+  // Claims 2^32-1 clauses but carries none.
+  uint32_t huge_count = 0xFFFFFFFFu;
+  auto bad1 = service.ExtendEncoded(root->token, &huge_count, sizeof(huge_count));
+  EXPECT_EQ(bad1.status().code(), ErrorCode::kInvalidArgument);
+
+  // One clause claiming 2^30 literals with a 4-byte body.
+  uint32_t bad2_words[3] = {1, 1u << 30, 7};
+  auto bad2 = service.ExtendEncoded(root->token, bad2_words, sizeof(bad2_words));
+  EXPECT_EQ(bad2.status().code(), ErrorCode::kInvalidArgument);
+
+  // A literal whose variable exceeds the wire cap.
+  uint32_t bad3_words[3] = {1, 1, (kMaxSolverWireVar + 1) << 1};
+  auto bad3 = service.ExtendEncoded(root->token, bad3_words, sizeof(bad3_words));
+  EXPECT_EQ(bad3.status().code(), ErrorCode::kInvalidArgument);
+
+  // Truncated request (half a header).
+  uint8_t stub[2] = {1, 0};
+  auto bad4 = service.ExtendEncoded(root->token, stub, sizeof(stub));
+  EXPECT_EQ(bad4.status().code(), ErrorCode::kInvalidArgument);
+
+  // The parent survived every rejected increment and still extends cleanly.
+  auto good = service.Extend(root->token, {{MakeLit(0)}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->result.IsTrue());
+}
+
+TEST(SolverServiceTest, EncoderRejectsOversizedIncrements) {
+  SolverServiceOptions options = SmallArena();
+  options.mailbox_bytes = 256;
+  SolverService service(options);
+  Cnf base;
+  base.AddDimacsClause({1});
+  ASSERT_TRUE(service.SolveRoot(base).ok());
+  auto root_again = service.SolveRoot(base);
+  EXPECT_EQ(root_again.status().code(), ErrorCode::kBadState);
+
+  // 100 clauses * 8 bytes > 256-byte mailbox: the encoder refuses up front.
+  std::vector<std::vector<Lit>> big(100, std::vector<Lit>{MakeLit(1)});
+  std::vector<uint8_t> encoded;
+  EXPECT_EQ(EncodeSolverRequest(big, options.mailbox_bytes, &encoded).code(),
+            ErrorCode::kInvalidArgument);
+  // Unbounded encode works and reports the true size.
+  ASSERT_TRUE(EncodeSolverRequest(big, 0, &encoded).ok());
+  EXPECT_EQ(encoded.size(), 4u + 100u * 8u);
+  // A literal over the wire cap is rejected at encode time too.
+  std::vector<std::vector<Lit>> forged = {{MakeLit(static_cast<Var>(kMaxSolverWireVar + 1))}};
+  EXPECT_EQ(EncodeSolverRequest(forged, 0, &encoded).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SolverServiceTest, ModelBitBoundsChecked) {
+  SolverService service(SmallArena());
+  Cnf base;
+  base.AddDimacsClause({1});
+  auto root = service.SolveRoot(base);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(root->result.IsTrue());
+  EXPECT_EQ(root->num_vars, 1u);
+  EXPECT_TRUE(SolverService::ModelBit(*root, 0));
+  // Out-of-range and negative variables read false, never out of bounds.
+  EXPECT_FALSE(SolverService::ModelBit(*root, 1));
+  EXPECT_FALSE(SolverService::ModelBit(*root, 1 << 20));
+  EXPECT_FALSE(SolverService::ModelBit(*root, -1));
 }
 
 TEST(SolverServiceTest, TwoServicesShareOneStore) {
@@ -249,7 +373,7 @@ TEST(SolverServiceTest, DeepChainReusesWork) {
 
   uint64_t total_added = 0;
   int steps = 0;
-  SolverService::Token cur = node->token;
+  Checkpoint cur = std::move(node->token);
   for (int round = 0; round < 8; ++round) {
     Cnf q = RandomKSat(&rng, 100, 4, 3);
     std::vector<std::vector<Lit>> increment(q.clauses.begin(), q.clauses.end());
@@ -260,7 +384,7 @@ TEST(SolverServiceTest, DeepChainReusesWork) {
     }
     total_added += next->conflicts - base_conflicts;
     base_conflicts = next->conflicts;
-    cur = next->token;
+    cur = std::move(next->token);
     ++steps;
   }
   if (steps > 0) {

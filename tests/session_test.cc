@@ -397,7 +397,7 @@ TEST(SessionTest, CheckpointResumeForksExecution) {
   ASSERT_TRUE(session.Run(&YieldGuest, nullptr).ok());
   auto tokens = session.TakeNewCheckpoints();
   ASSERT_EQ(tokens.size(), 1u);
-  uint64_t t0 = tokens[0];
+  Checkpoint& t0 = tokens[0];
 
   char result[256] = {};
   ASSERT_TRUE(session.ReadCheckpointMailbox(t0, result, sizeof(result)).ok());
@@ -425,9 +425,95 @@ TEST(SessionTest, CheckpointResumeForksExecution) {
   EXPECT_STREQ(result, "sum=15");
 
   EXPECT_EQ(session.stats().resumes, 3u);
-  EXPECT_EQ(session.Resume(9999999, "x", 1).code(), ErrorCode::kNotFound);
   EXPECT_TRUE(session.ReleaseCheckpoint(t0).ok());
-  EXPECT_FALSE(session.Resume(t0, "1", 1).ok());
+  EXPECT_FALSE(t0.valid());  // explicit release consumes the handle
+  EXPECT_EQ(session.Resume(t0, "1", 1).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SessionTest, CheckpointHandleErrorPaths) {
+  BacktrackSession session(SmallOptions());
+  ASSERT_TRUE(session.Run(&YieldGuest, nullptr).ok());
+  auto tokens = session.TakeNewCheckpoints();
+  ASSERT_EQ(tokens.size(), 1u);
+  Checkpoint t0 = std::move(tokens[0]);
+
+  // Empty (default or moved-from) handles are clean InvalidArgument, never UB.
+  Checkpoint empty;
+  EXPECT_EQ(session.Resume(empty, nullptr, 0).code(), ErrorCode::kInvalidArgument);
+  char byte = 0;
+  EXPECT_EQ(session.ReadCheckpointMailbox(empty, &byte, 1).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(session.ReleaseCheckpoint(empty).code(), ErrorCode::kInvalidArgument);
+  Checkpoint live = std::move(t0);
+  EXPECT_EQ(session.Resume(t0, nullptr, 0).code(), ErrorCode::kInvalidArgument);
+
+  // A handle from another session is rejected by uid, not misinterpreted.
+  BacktrackSession other(SmallOptions());
+  ASSERT_TRUE(other.Run(&YieldGuest, nullptr).ok());
+  auto other_tokens = other.TakeNewCheckpoints();
+  ASSERT_EQ(other_tokens.size(), 1u);
+  EXPECT_EQ(session.Resume(other_tokens[0], nullptr, 0).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(session.ReleaseCheckpoint(other_tokens[0]).code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(other_tokens[0].valid());  // failed release leaves the handle intact
+
+  // Double release through a clone: the second handle sees kNotFound after the
+  // snapshot is gone, and a resume through it fails the same way.
+  Checkpoint clone = live.Clone();
+  EXPECT_TRUE(session.ReleaseCheckpoint(live).ok());
+  EXPECT_TRUE(clone.valid());  // the clone still holds a reference
+  EXPECT_TRUE(session.Resume(clone, "5", 2).ok());  // snapshot alive via the clone
+  auto children = session.TakeNewCheckpoints();
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_TRUE(session.ReleaseCheckpoint(clone).ok());
+  // Releasing the parent with a live descendant was clean; the descendant
+  // still reads and resumes.
+  char result[256] = {};
+  ASSERT_TRUE(session.ReadCheckpointMailbox(children[0], result, sizeof(result)).ok());
+  EXPECT_STREQ(result, "sum=5");
+  EXPECT_TRUE(session.Resume(children[0], "2", 2).ok());
+}
+
+TEST(SessionTest, HandlesOutlivingSessionAreInert) {
+  // Destroying the session detaches the ledger: surviving handles must not
+  // abort on Clone (they come up empty) and their drops are no-ops.
+  Checkpoint orphan;
+  {
+    BacktrackSession session(SmallOptions());
+    ASSERT_TRUE(session.Run(&YieldGuest, nullptr).ok());
+    auto tokens = session.TakeNewCheckpoints();
+    ASSERT_EQ(tokens.size(), 1u);
+    orphan = std::move(tokens[0]);
+  }
+  EXPECT_TRUE(orphan.valid());  // the handle object survives...
+  Checkpoint clone = orphan.Clone();
+  EXPECT_FALSE(clone.valid());  // ...but clones of a dead session are empty
+}
+
+TEST(SessionTest, DroppedHandleReclaimsSnapshotAtNextDrive) {
+  auto store = std::make_shared<PageStore>();
+  SessionOptions options = SmallOptions();
+  options.store = store;
+  BacktrackSession session(options);
+  ASSERT_TRUE(session.Run(&YieldGuest, nullptr).ok());
+  auto tokens = session.TakeNewCheckpoints();
+  ASSERT_EQ(tokens.size(), 1u);
+
+  // Fork two children, then drop one child's handle entirely (RAII release).
+  ASSERT_TRUE(session.Resume(tokens[0], "5", 2).ok());
+  auto five = session.TakeNewCheckpoints();
+  ASSERT_EQ(five.size(), 1u);
+  ASSERT_TRUE(session.Resume(tokens[0], "7", 2).ok());
+  auto seven = session.TakeNewCheckpoints();
+  ASSERT_EQ(seven.size(), 1u);
+
+  uint64_t live_before = store->stats().bytes_live();
+  five.clear();  // destructor queues the release; no session call yet
+  EXPECT_EQ(store->stats().bytes_live(), live_before);  // reclaim is deferred
+  // The next drive boundary reclaims the snapshot and its private pages.
+  (void)session.TakeNewCheckpoints();
+  EXPECT_LT(store->stats().bytes_live(), live_before);
+  // The sibling fork is untouched by the reclaim.
+  ASSERT_TRUE(session.Resume(seven[0], "1", 2).ok());
 }
 
 // --- Output policies ------------------------------------------------------------------------

@@ -148,14 +148,14 @@ TEST_P(SharedStoreTest, ColdCompressedCheckpointsReadBackExactly) {
   BacktrackSession session(QueensOptions(GetParam(), store));
   ASSERT_TRUE(session.Run(&QueensGuest, &n).ok());
   EXPECT_EQ(session.stats().solutions, kQueensSolutions);
-  std::vector<uint64_t> tokens = session.TakeNewCheckpoints();
+  std::vector<Checkpoint> tokens = session.TakeNewCheckpoints();
   ASSERT_EQ(tokens.size(), kQueensSolutions);  // every solution parked
 
   ASSERT_GT(store->CompressAllCold(), 0u);
   uint64_t cold_bytes = store->stats().bytes_live();
 
   std::set<std::vector<uint8_t>> distinct;
-  for (uint64_t token : tokens) {
+  for (const Checkpoint& token : tokens) {
     uint8_t rows[16] = {};
     ASSERT_TRUE(session.ReadCheckpointMailbox(token, rows, static_cast<size_t>(n)).ok());
     ASSERT_TRUE(IsValidQueensSolution(rows, n));

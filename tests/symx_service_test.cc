@@ -1,0 +1,209 @@
+// SymxService: state exploration through the generic checkpoint service seam.
+// Host-driven breadth-first exploration must reproduce the ExplicitExplorer's
+// path counts on canned programs, forking (TakeBranch twice on one parent)
+// must be the only state-copy mechanism, witnesses must validate concretely,
+// and the fleet shape must come for free from ServicePool<SymxService>.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "src/service/pool.h"
+#include "src/service/symx_service.h"
+#include "src/symx/explorer.h"
+#include "src/symx/programs.h"
+
+namespace lw {
+namespace {
+
+SymxServiceOptions SmallOptions() {
+  SymxServiceOptions options;
+  options.arena_bytes = 16ull << 20;
+  return options;
+}
+
+struct ExploreTally {
+  uint64_t completed = 0;
+  uint64_t killed = 0;
+  uint64_t violations = 0;
+  std::vector<std::vector<uint32_t>> witnesses;
+};
+
+// Host-side BFS over the service's branch tree: take every feasible side of
+// every branch node; continue past explorable violations on the held side.
+ExploreTally ExploreAll(SymxService& service, const Program& program) {
+  ExploreTally tally;
+  auto root = service.BootProgram(program);
+  EXPECT_TRUE(root.ok());
+  std::deque<SymxService::Outcome> frontier;
+  frontier.push_back(*std::move(root));
+  while (!frontier.empty()) {
+    SymxService::Outcome node = std::move(frontier.front());
+    frontier.pop_front();
+    switch (node.kind) {
+      case SymxService::StateKind::kCompleted:
+        ++tally.completed;
+        break;
+      case SymxService::StateKind::kKilled:
+        ++tally.killed;
+        break;
+      case SymxService::StateKind::kViolation: {
+        ++tally.violations;
+        tally.witnesses.push_back(node.witness);
+        // An explorable violation (parked on an assert that can also hold)
+        // continues past the assert; a terminal one reproduces itself, so
+        // only descend when the state advanced.
+        auto onward = service.TakeBranch(node.token, true);
+        EXPECT_TRUE(onward.ok());
+        if (onward.ok() && onward->steps > node.steps) {
+          frontier.push_back(*std::move(onward));
+        }
+        break;
+      }
+      case SymxService::StateKind::kBranch: {
+        if (node.taken_feasible) {
+          auto taken = service.TakeBranch(node.token, true);
+          EXPECT_TRUE(taken.ok());
+          if (taken.ok()) {
+            frontier.push_back(*std::move(taken));
+          }
+        }
+        if (node.fall_feasible) {
+          auto fall = service.TakeBranch(node.token, false);
+          EXPECT_TRUE(fall.ok());
+          if (fall.ok()) {
+            frontier.push_back(*std::move(fall));
+          }
+        }
+        break;
+      }
+    }
+  }
+  return tally;
+}
+
+TEST(SymxServiceTest, PasswordProgramMatchesExplicitExplorer) {
+  const std::vector<uint32_t> secret = {13, 7, 42};
+  Program program = PasswordProgram(secret);
+
+  // Reference: the software-copy explorer.
+  ExploreOptions ref_options;
+  ExploreStats ref_stats;
+  std::vector<Violation> ref_violations;
+  ASSERT_TRUE(ExplicitExplorer(ref_options).Explore(program, &ref_stats, &ref_violations).ok());
+
+  SymxService service(SmallOptions());
+  ExploreTally tally = ExploreAll(service, program);
+  EXPECT_EQ(tally.completed, ref_stats.paths_completed);
+  EXPECT_EQ(tally.violations, ref_stats.violations);
+  ASSERT_EQ(tally.witnesses.size(), 1u);
+  EXPECT_EQ(tally.witnesses[0], secret);  // the magic input, recovered
+
+  // The witness validates end-to-end on a concrete replay.
+  auto replay = RunConcrete(program, tally.witnesses[0], SmallOptions().vm);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->assert_failed);
+}
+
+TEST(SymxServiceTest, BranchTreeForkSemantics) {
+  // A full binary tree: every branch node must fork into two live children
+  // from one immutable parent — TakeBranch twice on the same handle.
+  Program program = BranchTreeProgram(4, 8);
+  ExploreOptions ref_options;
+  ExploreStats ref_stats;
+  ASSERT_TRUE(ExplicitExplorer(ref_options).Explore(program, &ref_stats, nullptr).ok());
+  ASSERT_EQ(ref_stats.paths_completed, 16u);  // 2^4
+
+  SymxService service(SmallOptions());
+  ExploreTally tally = ExploreAll(service, program);
+  EXPECT_EQ(tally.completed, 16u);
+  EXPECT_EQ(tally.violations, 0u);
+}
+
+TEST(SymxServiceTest, TerminalStatesReproduceAndLifecycleErrors) {
+  Program program = BranchTreeProgram(1, 2);
+  SymxService service(SmallOptions());
+  EXPECT_EQ(service.TakeBranch(Checkpoint(), true).status().code(), ErrorCode::kBadState);
+  auto root = service.BootProgram(program);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(service.BootProgram(program).status().code(), ErrorCode::kBadState);
+  ASSERT_EQ(root->kind, SymxService::StateKind::kBranch);
+
+  auto leaf = service.TakeBranch(root->token, true);
+  ASSERT_TRUE(leaf.ok());
+  ASSERT_EQ(leaf->kind, SymxService::StateKind::kCompleted);
+  // Extending a terminal node reproduces the terminal outcome.
+  auto again = service.TakeBranch(leaf->token, false);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->kind, SymxService::StateKind::kCompleted);
+  EXPECT_EQ(again->steps, leaf->steps);
+
+  // Released handles and foreign handles fail cleanly.
+  EXPECT_TRUE(service.Release(leaf->token).ok());
+  EXPECT_EQ(service.TakeBranch(leaf->token, true).status().code(),
+            ErrorCode::kInvalidArgument);
+  SymxService other(SmallOptions());
+  auto other_root = other.BootProgram(program);
+  ASSERT_TRUE(other_root.ok());
+  EXPECT_EQ(service.TakeBranch(other_root->token, true).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(SymxServiceTest, ChecksumWitnessThroughPool) {
+  // Two explorations fleet-style through the generic pool: workload per
+  // worker, handles cloned across threads, shared store underneath.
+  Program checksum = ChecksumProgram(2, 0xBEEF);
+  Program tree = BranchTreeProgram(3, 4);
+  ServicePoolOptions<SymxService> options;
+  options.num_services = 2;
+  options.service.arena_bytes = 16ull << 20;
+  ServicePool<SymxService> pool(options);
+
+  auto boot0 = pool.Submit(0, [&checksum](SymxService& s) { return s.BootProgram(checksum); });
+  auto boot1 = pool.Submit(1, [&tree](SymxService& s) { return s.BootProgram(tree); });
+  auto c = boot0.get();
+  auto t = boot1.get();
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(t.ok());
+
+  // Drive the checksum exploration on worker 0 until the violation appears.
+  std::deque<SymxService::Outcome> frontier;
+  frontier.push_back(*std::move(c));
+  std::vector<uint32_t> witness;
+  uint64_t terminals = 0;
+  while (!frontier.empty()) {
+    SymxService::Outcome node = std::move(frontier.front());
+    frontier.pop_front();
+    if (node.kind == SymxService::StateKind::kViolation) {
+      witness = node.witness;
+      ++terminals;
+      continue;
+    }
+    if (node.kind != SymxService::StateKind::kBranch) {
+      ++terminals;
+      continue;
+    }
+    for (bool dir : {true, false}) {
+      if ((dir && !node.taken_feasible) || (!dir && !node.fall_feasible)) {
+        continue;
+      }
+      auto parent = std::make_shared<Checkpoint>(node.token.Clone());
+      auto child = pool.Submit(0, [parent, dir](SymxService& s) {
+        return s.TakeBranch(*parent, dir);
+      }).get();
+      ASSERT_TRUE(child.ok());
+      frontier.push_back(*std::move(child));
+    }
+  }
+  EXPECT_EQ(terminals, 2u);  // one violation + one completed (see programs.h)
+  ASSERT_FALSE(witness.empty());
+  auto replay = RunConcrete(checksum, witness, options.service.vm);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->assert_failed);
+  EXPECT_GT(pool.fleet_stats().jobs_executed, 2u);
+}
+
+}  // namespace
+}  // namespace lw
