@@ -243,6 +243,58 @@ BENCHMARK(BM_QueensFleetThreaded)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
+
+// --- E11: parallel materialization *inside* one session ------------------------
+//
+// The intra-session twin of BM_QueensFleetThreaded: the same queens fixture
+// (page-aligned trails, every solution parked), but instead of splitting
+// sessions across threads, one session splits each *materialize* across a
+// worker team (SessionOptions::parallel_materialize_workers). The full-copy
+// engine makes the snapshot the whole cost — every non-guard page is
+// published on every guess — so the sweep isolates the publish loop's
+// scaling; parity (92 solutions) and pages/snapshot must be invariant in the
+// worker count (the structure is bit-identical to serial by contract).
+void BM_QueensParallelMaterialize(benchmark::State& state) {
+  const uint32_t workers = static_cast<uint32_t>(state.range(0));
+  uint64_t snap_ns = 0;
+  uint64_t snapshots = 0;
+  uint64_t pages = 0;
+  bool parity_ok = true;
+  for (auto _ : state) {
+    int n = kQueensN;
+    lw::SessionOptions options;
+    options.arena_bytes = 2ull << 20;
+    options.guest_stack_bytes = 256 * 1024;
+    options.snapshot_mode = lw::SnapshotMode::kFullCopy;
+    options.parallel_materialize_workers = workers;
+    options.output = [](std::string_view) {};
+    lw::BacktrackSession session(options);
+    if (!session.Run(&QueensGuest, &n).ok()) {
+      state.SkipWithError("queens run failed");
+      return;
+    }
+    parity_ok = parity_ok && session.stats().solutions == kQueensSolutions;
+    snap_ns = session.stats().snapshot_ns;
+    snapshots = session.stats().snapshots;
+    pages = session.stats().pages_materialized;
+  }
+  if (!parity_ok) {
+    state.SkipWithError("parity violated under parallel materialization");
+    return;
+  }
+  if (snapshots != 0) {
+    state.counters["ns/snapshot"] = static_cast<double>(snap_ns) / snapshots;
+    state.counters["pages/snapshot"] = static_cast<double>(pages) / snapshots;
+  }
+}
+BENCHMARK(BM_QueensParallelMaterialize)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 BENCHMARK(BM_SolverPool)
     ->Arg(1)
     ->Arg(2)

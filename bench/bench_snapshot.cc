@@ -53,7 +53,7 @@ void DirtyGuest(void* arg) {
   }
 }
 
-void RunEngine(benchmark::State& state, lw::SnapshotMode mode) {
+void RunEngine(benchmark::State& state, lw::SnapshotMode mode, uint32_t workers = 0) {
   DirtyArgs args;
   args.dirty_pages = static_cast<uint32_t>(state.range(0));
   size_t arena_mb = static_cast<size_t>(state.range(1));
@@ -70,6 +70,7 @@ void RunEngine(benchmark::State& state, lw::SnapshotMode mode) {
     lw::SessionOptions options;
     options.arena_bytes = arena_mb << 20;
     options.snapshot_mode = mode;
+    options.parallel_materialize_workers = workers;
     options.output = [](std::string_view) {};
     lw::BacktrackSession session(options);
     lw::Status status = session.Run(&DirtyGuest, &args);
@@ -134,6 +135,47 @@ BENCHMARK(BM_IncrementalSnapshot)
     ->Args({64, 64})
     ->Args({512, 64})
     ->Unit(benchmark::kMillisecond);
+
+// E11 — the same engines with the session's parallel-materialize worker team
+// (ROADMAP: "publish the dirty set with multiple threads"). Args are
+// {dirty_pages, arena_mb, workers}; rows are comparable against the serial
+// families above at the same first two args. Fat dirty sets (512 pages) are
+// the regime where fanning the publish loop out pays; the incremental rows
+// additionally parallelize the ∝-arena content scan.
+void BM_CowSnapshotParallel(benchmark::State& state) {
+  RunEngine(state, lw::SnapshotMode::kCow, static_cast<uint32_t>(state.range(2)));
+}
+BENCHMARK(BM_CowSnapshotParallel)
+    ->Args({512, 16, 1})
+    ->Args({512, 16, 2})
+    ->Args({512, 16, 4})
+    ->Args({512, 16, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_IncrementalSnapshotParallel(benchmark::State& state) {
+  RunEngine(state, lw::SnapshotMode::kIncremental, static_cast<uint32_t>(state.range(2)));
+}
+BENCHMARK(BM_IncrementalSnapshotParallel)
+    ->Args({512, 16, 1})
+    ->Args({512, 16, 2})
+    ->Args({512, 16, 4})
+    ->Args({512, 16, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_FullCopySnapshotParallel(benchmark::State& state) {
+  RunEngine(state, lw::SnapshotMode::kFullCopy, static_cast<uint32_t>(state.range(2)));
+}
+BENCHMARK(BM_FullCopySnapshotParallel)
+    ->Args({8, 16, 1})
+    ->Args({8, 16, 4})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 // The fork strawman: one fork()+dirty+_exit+waitpid cycle per "snapshot".
 void BM_ForkSnapshot(benchmark::State& state) {

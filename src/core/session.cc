@@ -74,6 +74,12 @@ BacktrackSession::BacktrackSession(SessionOptions options)
       options_.snapshot_mode == SnapshotMode::kCow ? options_.hot_page_limit : 0;
   engine_ = MakeSnapshotEngine(options_.snapshot_mode, env);
 
+  if (options_.parallel_materialize_workers > 1) {
+    ParallelMaterializerOptions pm_options;
+    pm_options.workers = options_.parallel_materialize_workers;
+    materializer_ = std::make_unique<ParallelMaterializer>(pm_options);
+  }
+
   // Heap construction happens *after* the engine establishes its invariant: in
   // CoW mode its writes fault and enter the dirty set like any guest write; in
   // the scan-based engines they are picked up by the first materialization.
@@ -315,7 +321,9 @@ SnapshotRef BacktrackSession::NewSnapshotShell(SnapshotKind kind) {
 
 void BacktrackSession::MaterializeInto(const SnapshotRef& snap) {
   StopWatch sw;
-  engine_->Materialize(*snap);
+  MaterializeContext ctx;
+  ctx.parallel = materializer_.get();
+  engine_->Materialize(*snap, ctx);
   snap->aux.reserve(attachments_.size());
   for (SessionAttachment* attachment : attachments_) {
     snap->aux.push_back(attachment->Capture());

@@ -52,6 +52,12 @@ struct CheckpointServiceOptions {
   // byte-identical pages. Null = private store (see SessionOptions::store).
   std::shared_ptr<PageStore> store;
   PageStoreOptions store_options;
+
+  // Intra-session parallel materialization: the service's session publishes
+  // each parked snapshot's page set from this many threads (0/1 = serial).
+  // See SessionOptions::parallel_materialize_workers; ServicePool<S> fleets
+  // use this to split cores between services and per-service workers.
+  uint32_t parallel_materialize_workers = 0;
 };
 
 // Guest-side view of the service mailbox: the one region both sides of the
@@ -157,6 +163,7 @@ CheckpointServiceOptions MakeHostOptions(const ServiceOptions& options) {
   host_options.snapshot_mode = options.snapshot_mode;
   host_options.store = options.store;
   host_options.store_options = options.store_options;
+  host_options.parallel_materialize_workers = options.parallel_materialize_workers;
   return host_options;
 }
 

@@ -76,7 +76,12 @@ struct ServicePoolOptions {
   int num_services = 4;  // one worker thread per service
 
   // Per-service template. `service.store` is ignored: the pool injects one
-  // shared store into every service (see `store` below).
+  // shared store into every service (see `store` below). Core-splitting knob:
+  // `service.parallel_materialize_workers = W` gives every service its own
+  // W-thread materialize team, so a fleet occupies ~num_services × W cores at
+  // snapshot time — size num_services for throughput (independent jobs) and W
+  // for per-job snapshot latency (big parked states), keeping the product
+  // near the core count.
   typename S::Options service;
 
   // The fleet's shared substrate. Null (default): the pool creates a store

@@ -56,6 +56,10 @@ struct PrologServiceOptions {
   SnapshotMode snapshot_mode = SnapshotMode::kCow;
   std::shared_ptr<PageStore> store;
   PageStoreOptions store_options;
+
+  // Intra-session parallel materialization (0/1 = serial): see
+  // CheckpointServiceOptions::parallel_materialize_workers.
+  uint32_t parallel_materialize_workers = 0;
 };
 
 class PrologService {

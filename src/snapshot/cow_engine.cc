@@ -27,21 +27,31 @@ CowEngine::CowEngine(const Env& env) : SnapshotEngine(env) {
   hot_pages_.reserve(env_.hot_page_limit);
 }
 
-void CowEngine::Materialize(Snapshot& snap) {
+void CowEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx) {
   GuestArena& arena = *env_.arena;
   SnapshotEngineStats& stats = *env_.stats;
 
   // Hot pages first: they are permanently writable, so the dirty set does not
   // know about them — memcmp against the current blob and republish only on a
   // real change. A long unchanged streak demotes the page back into the CoW
-  // protocol.
+  // protocol. The memcmp + publish per hot page is slot work (workers fill
+  // disjoint hot_refs_ entries); the streak/demotion bookkeeping — and every
+  // mprotect — is applied serially afterwards on the session thread.
   constexpr uint8_t kHotDemoteAfter = 16;
+  hot_refs_.resize(hot_pages_.size());
+  RunSlots(ctx, hot_pages_.size(), [this, &arena](size_t slot) {
+    uint32_t page = hot_pages_[slot];
+    const PageRef cur = cur_map_.Get(page);
+    if (!cur.EqualsPage(arena.PageAddr(page))) {
+      hot_refs_[slot] = PublishPage(arena.PageAddr(page));
+    }
+    return OkStatus();
+  });
   size_t hot_kept = 0;
   for (size_t idx = 0; idx < hot_pages_.size(); ++idx) {
     uint32_t page = hot_pages_[idx];
-    const PageRef cur = cur_map_.Get(page);
-    if (!cur.EqualsPage(arena.PageAddr(page))) {
-      cur_map_.Set(page, PublishPage(arena.PageAddr(page)));
+    if (hot_refs_[idx].valid()) {
+      cur_map_.Set(page, std::move(hot_refs_[idx]));
       ++stats.pages_materialized;
       clean_streak_[page] = 0;
       hot_pages_[hot_kept++] = page;
@@ -55,12 +65,22 @@ void CowEngine::Materialize(Snapshot& snap) {
     }
   }
   hot_pages_.resize(hot_kept);
+  hot_refs_.clear();
 
+  // Dirty set: the SIGSEGV protocol that built it ran on the session thread;
+  // only the post-fault page publishing fans out. Dirty pages stay writable
+  // until the reprotect below, and the guest is parked, so workers read a
+  // stable image.
   const DirtyTracker& dirty = arena.dirty();
   constexpr uint8_t kHotPromoteAfter = 4;
+  dirty_refs_.resize(dirty.count());
+  RunSlots(ctx, dirty.count(), [this, &arena, &dirty](size_t slot) {
+    dirty_refs_[slot] = PublishPage(arena.PageAddr(dirty.pages()[slot]));
+    return OkStatus();
+  });
   for (uint32_t i = 0; i < dirty.count(); ++i) {
     uint32_t page = dirty.pages()[i];
-    cur_map_.Set(page, PublishPage(arena.PageAddr(page)));
+    cur_map_.Set(page, std::move(dirty_refs_[i]));
     // Promotion: a page taking a CoW fault snapshot after snapshot is cheaper
     // to treat as always-dirty.
     if (dirty_streak_[page] < 255) {
@@ -75,6 +95,7 @@ void CowEngine::Materialize(Snapshot& snap) {
     }
   }
   stats.pages_materialized += dirty.count();
+  dirty_refs_.clear();
   if (hot_pages_.empty()) {
     arena.ReprotectDirty();
   } else {
@@ -129,7 +150,8 @@ void CowEngine::Restore(const Snapshot& snap) {
 
 size_t CowEngine::StructureBytes() const {
   return cur_map_.StructureBytes() + hot_.capacity() + dirty_streak_.capacity() +
-         clean_streak_.capacity() + hot_pages_.capacity() * sizeof(uint32_t);
+         clean_streak_.capacity() + hot_pages_.capacity() * sizeof(uint32_t) +
+         (hot_refs_.capacity() + dirty_refs_.capacity()) * sizeof(PageRef);
 }
 
 }  // namespace lw

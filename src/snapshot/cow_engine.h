@@ -29,7 +29,8 @@ class CowEngine : public SnapshotEngine {
   explicit CowEngine(const Env& env);
 
   SnapshotMode mode() const override { return SnapshotMode::kCow; }
-  void Materialize(Snapshot& snap) override;
+  using SnapshotEngine::Materialize;
+  void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
   void Restore(const Snapshot& snap) override;
   size_t StructureBytes() const override;
 
@@ -45,6 +46,11 @@ class CowEngine : public SnapshotEngine {
   std::vector<uint8_t> dirty_streak_;  // page -> saturating dirty-snapshot count
   std::vector<uint8_t> clean_streak_;  // hot page -> consecutive unchanged snapshots
   std::vector<uint32_t> hot_pages_;    // dense list of hot pages
+
+  // Slot-indexed publish results, filled (possibly by the worker team) before
+  // the serial map/prediction update; cleared after every materialize.
+  std::vector<PageRef> hot_refs_;    // hot slot -> new blob, invalid = unchanged
+  std::vector<PageRef> dirty_refs_;  // dirty slot -> new blob
 };
 
 }  // namespace lw

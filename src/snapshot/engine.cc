@@ -4,6 +4,7 @@
 #include "src/snapshot/cow_engine.h"
 #include "src/snapshot/full_copy_engine.h"
 #include "src/snapshot/incremental_engine.h"
+#include "src/snapshot/parallel_materializer.h"
 
 namespace lw {
 
@@ -25,6 +26,19 @@ SnapshotEngine::SnapshotEngine(const Env& env)
 }
 
 size_t SnapshotEngine::StructureBytes() const { return cur_map_.StructureBytes(); }
+
+void SnapshotEngine::RunSlots(const MaterializeContext& ctx, size_t count,
+                              const std::function<Status(size_t)>& fn) {
+  if (ctx.parallel == nullptr) {
+    for (size_t slot = 0; slot < count; ++slot) {
+      Status status = fn(slot);
+      LW_CHECK_MSG(status.ok(), "engine slot work failed");
+    }
+    return;
+  }
+  Status status = ctx.parallel->Run(count, fn);
+  LW_CHECK_MSG(status.ok(), "parallel materialize failed");
+}
 
 void SnapshotEngine::EnforceByteBudget(uint64_t budget, const std::function<bool()>& evict) {
   budget_policy_.Enforce(*env_.store, budget, evict);

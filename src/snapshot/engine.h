@@ -22,8 +22,12 @@
 //                         Reads ∝ arena, copies ∝ delta — the middle point of
 //                         the design space for fault-cost-dominated hosts.
 //
-// Future backends (compressed blobs, remote/disaggregated pools, parallel
-// materialization) implement this interface without touching the scheduler.
+// Future backends (compressed blobs, remote/disaggregated pools) implement
+// this interface without touching the scheduler. Parallel materialization is
+// not a backend but a cross-cutting layer: every engine's publish loop routes
+// through MaterializeContext/ParallelMaterializer (below), so any backend —
+// current or future — can fan its page publishing out over a session-owned
+// worker team while keeping snapshot structure bit-identical to serial.
 
 #ifndef LWSNAP_SRC_SNAPSHOT_ENGINE_H_
 #define LWSNAP_SRC_SNAPSHOT_ENGINE_H_
@@ -40,6 +44,19 @@
 namespace lw {
 
 class GuestArena;
+class ParallelMaterializer;
+
+// Per-materialize options threaded from the session through the engine seam.
+// `parallel` non-null routes the engine's publish loops (and the incremental
+// engine's content scan) through the session-owned worker team — see
+// src/snapshot/parallel_materializer.h for the determinism contract; the
+// snapshot structure produced is bit-identical to a serial materialize. Null
+// (the default) keeps everything on the calling thread. Engine-side protocol
+// state — the CoW SIGSEGV/mprotect machinery, hot-page prediction, the dirty
+// tracker, the map itself — is only ever touched on the session thread.
+struct MaterializeContext {
+  ParallelMaterializer* parallel = nullptr;
+};
 
 enum class SnapshotMode {
   kCow,
@@ -97,7 +114,10 @@ class SnapshotEngine {
   // Captures the live arena image into snap.map (sharing the engine's current
   // map; the snapshot becomes immutable from this point on). Called with the
   // guest parked, so the page image exactly matches the saved registers.
-  virtual void Materialize(Snapshot& snap) = 0;
+  // `ctx` optionally supplies the session's parallel-materialize worker team;
+  // the serial overload forwards an empty context.
+  virtual void Materialize(Snapshot& snap, const MaterializeContext& ctx) = 0;
+  void Materialize(Snapshot& snap) { Materialize(snap, MaterializeContext{}); }
 
   // Rebuilds live arena memory to byte-equality with snap.map and adopts it as
   // the current map.
@@ -125,6 +145,15 @@ class SnapshotEngine {
   // Publishes one live page through the shared store with this engine's owner
   // tag (the single choke point for dedup accounting).
   PageRef PublishPage(const void* src) { return env_.store->Publish(src, env_.owner); }
+
+  // Runs fn(slot) for every slot in [0, count): serially when ctx carries no
+  // team, otherwise on ctx.parallel's workers. This is the choke point every
+  // engine's publish loop routes through; fn must write only its own slot's
+  // outputs (disjoint entries of an engine-owned PageRef/flag table) so the
+  // caller can assemble the map serially, in slot order, afterwards. Engine
+  // slot work cannot fail, so an error here is an invariant violation.
+  void RunSlots(const MaterializeContext& ctx, size_t count,
+                const std::function<Status(size_t)>& fn);
 
   // Mirrors store-level dedup/compression accounting into the shared stats
   // block (called by engines at the end of Materialize).

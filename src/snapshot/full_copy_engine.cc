@@ -11,15 +11,27 @@ FullCopyEngine::FullCopyEngine(const Env& env) : SnapshotEngine(env) {
   env_.arena->SetCowEnabled(false);
 }
 
-void FullCopyEngine::Materialize(Snapshot& snap) {
+void FullCopyEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx) {
   GuestArena& arena = *env_.arena;
+  // Whole-arena publish is the worst case a worker team helps most: every
+  // non-guard page is one slot (slot index == page index; guard slots stay
+  // invalid and are skipped at assembly).
+  publish_refs_.resize(arena.num_pages());
+  RunSlots(ctx, arena.num_pages(), [this, &arena](size_t slot) {
+    uint32_t page = static_cast<uint32_t>(slot);
+    if (!arena.InGuard(page)) {
+      publish_refs_[slot] = PublishPage(arena.PageAddr(page));
+    }
+    return OkStatus();
+  });
   PageMap fresh(env_.page_map_kind, arena.num_pages());
   for (uint32_t page = 0; page < arena.num_pages(); ++page) {
     if (!arena.InGuard(page)) {
-      fresh.Set(page, PublishPage(arena.PageAddr(page)));
+      fresh.Set(page, std::move(publish_refs_[page]));
       ++env_.stats->pages_materialized;
     }
   }
+  publish_refs_.clear();
   cur_map_ = std::move(fresh);
   snap.map = cur_map_;
   SyncStoreStats();

@@ -11,6 +11,8 @@
 #ifndef LWSNAP_SRC_SNAPSHOT_FULL_COPY_ENGINE_H_
 #define LWSNAP_SRC_SNAPSHOT_FULL_COPY_ENGINE_H_
 
+#include <vector>
+
 #include "src/snapshot/engine.h"
 
 namespace lw {
@@ -20,8 +22,18 @@ class FullCopyEngine : public SnapshotEngine {
   explicit FullCopyEngine(const Env& env);
 
   SnapshotMode mode() const override { return SnapshotMode::kFullCopy; }
-  void Materialize(Snapshot& snap) override;
+  using SnapshotEngine::Materialize;
+  void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
   void Restore(const Snapshot& snap) override;
+  size_t StructureBytes() const override {
+    return SnapshotEngine::StructureBytes() + publish_refs_.capacity() * sizeof(PageRef);
+  }
+
+ private:
+  // Slot-indexed publish results (slot = raw page index; guard slots stay
+  // invalid and are skipped at assembly), filled possibly by the worker team,
+  // assembled into the fresh map serially.
+  std::vector<PageRef> publish_refs_;
 };
 
 }  // namespace lw

@@ -7,7 +7,9 @@
 namespace lw {
 
 IncrementalCopyEngine::IncrementalCopyEngine(const Env& env)
-    : SnapshotEngine(env), tracker_(env.arena->num_pages()) {
+    : SnapshotEngine(env),
+      tracker_(env.arena->num_pages()),
+      scan_changed_(env.arena->num_pages(), 0) {
   GuestArena& arena = *env_.arena;
   // No protection, no faults: the arena stays writable for its whole life.
   arena.SetCowEnabled(false);
@@ -22,29 +24,44 @@ IncrementalCopyEngine::IncrementalCopyEngine(const Env& env)
   }
 }
 
-void IncrementalCopyEngine::Materialize(Snapshot& snap) {
+void IncrementalCopyEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx) {
   GuestArena& arena = *env_.arena;
   SnapshotEngineStats& stats = *env_.stats;
-  // Pass 1: the content scan feeds the tracker — this is the engine's dirty
-  // detection (memcmp instead of a write fault).
+  // Pass 1: the content scan is the engine's dirty detection (memcmp instead
+  // of a write fault) and its dominant cost — reads ∝ arena — so it fans out
+  // too: each slot flags only its own page; the tracker (not thread-safe) is
+  // fed serially afterwards, in page order, exactly as a serial scan would.
+  RunSlots(ctx, arena.num_pages(), [this, &arena](size_t slot) {
+    uint32_t page = static_cast<uint32_t>(slot);
+    if (!arena.InGuard(page) && !cur_map_.Get(page).EqualsPage(arena.PageAddr(page))) {
+      scan_changed_[page] = 1;
+    }
+    return OkStatus();
+  });
   for (uint32_t page = 0; page < arena.num_pages(); ++page) {
     if (arena.InGuard(page)) {
       continue;
     }
     ++stats.incr_pages_scanned;
-    const PageRef cur = cur_map_.Get(page);
-    if (!cur.EqualsPage(arena.PageAddr(page))) {
+    if (scan_changed_[page] != 0) {
+      scan_changed_[page] = 0;
       tracker_.MarkDirty(page);
     }
   }
-  // Pass 2: memcpy-publish exactly the flagged pages.
+  // Pass 2: memcpy-publish exactly the flagged pages (slot work), then adopt
+  // the new blobs into the map serially, in tracker order.
+  publish_refs_.resize(tracker_.count());
+  RunSlots(ctx, tracker_.count(), [this, &arena](size_t slot) {
+    publish_refs_[slot] = PublishPage(arena.PageAddr(tracker_.pages()[slot]));
+    return OkStatus();
+  });
   for (uint32_t i = 0; i < tracker_.count(); ++i) {
-    uint32_t page = tracker_.pages()[i];
-    cur_map_.Set(page, PublishPage(arena.PageAddr(page)));
+    cur_map_.Set(tracker_.pages()[i], std::move(publish_refs_[i]));
   }
   stats.incr_pages_copied += tracker_.count();
   stats.pages_materialized += tracker_.count();
   tracker_.Clear();
+  publish_refs_.clear();
   snap.map = cur_map_;  // live memory now matches cur_map_ byte-for-byte
   SyncStoreStats();
 }
@@ -75,7 +92,8 @@ size_t IncrementalCopyEngine::StructureBytes() const {
   // Tracker storage: one bitmap word per 64 pages plus the dense page list.
   uint32_t pages = tracker_.num_pages();
   return cur_map_.StructureBytes() + ((pages + 63) / 64) * sizeof(uint64_t) +
-         pages * sizeof(uint32_t);
+         pages * sizeof(uint32_t) + scan_changed_.capacity() +
+         publish_refs_.capacity() * sizeof(PageRef);
 }
 
 }  // namespace lw

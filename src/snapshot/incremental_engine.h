@@ -21,6 +21,9 @@
 #ifndef LWSNAP_SRC_SNAPSHOT_INCREMENTAL_ENGINE_H_
 #define LWSNAP_SRC_SNAPSHOT_INCREMENTAL_ENGINE_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "src/snapshot/dirty_tracker.h"
 #include "src/snapshot/engine.h"
 
@@ -31,7 +34,8 @@ class IncrementalCopyEngine : public SnapshotEngine {
   explicit IncrementalCopyEngine(const Env& env);
 
   SnapshotMode mode() const override { return SnapshotMode::kIncremental; }
-  void Materialize(Snapshot& snap) override;
+  using SnapshotEngine::Materialize;
+  void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
   void Restore(const Snapshot& snap) override;
   size_t StructureBytes() const override;
 
@@ -39,6 +43,13 @@ class IncrementalCopyEngine : public SnapshotEngine {
   // Scan-fed (not fault-fed): flagged by memcmp during Materialize, consumed in
   // the same call. Kept across calls to avoid reallocating its storage.
   DirtyTracker tracker_;
+
+  // Slot-indexed scan/publish results: workers flag changed pages here (one
+  // byte per page, no cross-slot writes), then the session thread feeds the
+  // tracker in page order so the publish pass and its accounting stay
+  // deterministic. scan_changed_ is zeroed as it is consumed.
+  std::vector<uint8_t> scan_changed_;  // page -> changed since cur_map_
+  std::vector<PageRef> publish_refs_;  // dirty slot -> new blob
 };
 
 }  // namespace lw

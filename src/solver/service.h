@@ -54,6 +54,10 @@ struct SolverServiceOptions {
   // Null = private store (see SessionOptions::store for the sharing contract).
   std::shared_ptr<PageStore> store;
   PageStoreOptions store_options;
+
+  // Intra-session parallel materialization (0/1 = serial): see
+  // CheckpointServiceOptions::parallel_materialize_workers.
+  uint32_t parallel_materialize_workers = 0;
 };
 
 class SolverService {
