@@ -18,10 +18,13 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/core/backtrack.h"
+#include "src/snapshot/soft_dirty.h"
 
 namespace {
 
@@ -141,7 +144,7 @@ void RunLwsnap(benchmark::State& state, lw::SnapshotMode mode) {
   SnapArgs args;
   args.work_us = static_cast<uint64_t>(state.range(0));
   args.pages = static_cast<uint32_t>(state.range(1));
-  state.SetLabel(lw::SnapshotModeName(mode));
+  lw::DirtySource dirty_source = lw::DirtySource::kFull;
   uint64_t resident_bytes = 0;
   uint64_t dedup_hits = 0;
   uint64_t compressed_blobs = 0;
@@ -157,11 +160,14 @@ void RunLwsnap(benchmark::State& state, lw::SnapshotMode mode) {
       state.SkipWithError(status.ToString().c_str());
       return;
     }
+    dirty_source = session.stats().dirty_source;
     const lw::PageStore::Stats& store = session.store().stats();
     resident_bytes = store.bytes_resident();
     dedup_hits = store.zero_dedup_hits + store.content_dedup_hits;
     compressed_blobs = store.compressed_blobs;
   }
+  state.SetLabel(std::string(lw::SnapshotModeName(mode)) + " dirty_src=" +
+                 lw::DirtySourceName(dirty_source));
   state.counters["leaves"] = static_cast<double>(args.leaves);
   state.counters["resident_bytes"] = static_cast<double>(resident_bytes);
   state.counters["dedup_hits"] = static_cast<double>(dedup_hits);
@@ -175,6 +181,15 @@ void BM_LwsnapFullCopy(benchmark::State& state) {
 void BM_LwsnapIncremental(benchmark::State& state) {
   RunLwsnap(state, lw::SnapshotMode::kIncremental);
 }
+// E12 — adaptive over the same crossover grid: its whole pitch is never being
+// the wrong fixed engine at any (work_us, pages) point.
+void BM_LwsnapAdaptive(benchmark::State& state) {
+  RunLwsnap(state, lw::SnapshotMode::kAdaptive);
+}
+// Registered from main() only when the kernel supports soft-dirty.
+void BM_LwsnapSoftDirty(benchmark::State& state) {
+  RunLwsnap(state, lw::SnapshotMode::kSoftDirty);
+}
 
 #define CROSSOVER_ARGS(B)                                                              \
   B->Args({0, 1})->Args({0, 16})->Args({0, 64})->Args({10, 1})->Args({10, 16})        \
@@ -185,6 +200,7 @@ CROSSOVER_ARGS(BENCHMARK(BM_HandCoded));
 CROSSOVER_ARGS(BENCHMARK(BM_LwsnapCow));
 CROSSOVER_ARGS(BENCHMARK(BM_LwsnapFullCopy));
 CROSSOVER_ARGS(BENCHMARK(BM_LwsnapIncremental));
+CROSSOVER_ARGS(BENCHMARK(BM_LwsnapAdaptive));
 
 // --- engine-parity harness: n-queens through all three backends ---
 //
@@ -222,7 +238,7 @@ void QueensGuest(void* arg) {
 }
 
 void RunQueens(benchmark::State& state, lw::SnapshotMode mode) {
-  state.SetLabel(lw::SnapshotModeName(mode));
+  lw::DirtySource dirty_source = lw::DirtySource::kFull;
   uint64_t solutions = 0;
   uint64_t resident_bytes = 0;
   uint64_t dedup_hits = 0;
@@ -244,11 +260,14 @@ void RunQueens(benchmark::State& state, lw::SnapshotMode mode) {
       state.SkipWithError("engine produced a wrong n-queens solution count");
       return;
     }
+    dirty_source = session.stats().dirty_source;
     const lw::PageStore::Stats& store = session.store().stats();
     resident_bytes = store.bytes_resident();
     dedup_hits = store.zero_dedup_hits + store.content_dedup_hits;
     compressed_blobs = store.compressed_blobs;
   }
+  state.SetLabel(std::string(lw::SnapshotModeName(mode)) + " dirty_src=" +
+                 lw::DirtySourceName(dirty_source));
   state.counters["solutions"] = static_cast<double>(solutions);
   state.counters["resident_bytes"] = static_cast<double>(resident_bytes);
   state.counters["dedup_hits"] = static_cast<double>(dedup_hits);
@@ -262,11 +281,43 @@ void BM_QueensFullCopy(benchmark::State& state) {
 void BM_QueensIncremental(benchmark::State& state) {
   RunQueens(state, lw::SnapshotMode::kIncremental);
 }
+void BM_QueensAdaptive(benchmark::State& state) {
+  RunQueens(state, lw::SnapshotMode::kAdaptive);
+}
+// Registered from main() only when the kernel supports soft-dirty.
+void BM_QueensSoftDirty(benchmark::State& state) {
+  RunQueens(state, lw::SnapshotMode::kSoftDirty);
+}
 
 BENCHMARK(BM_QueensCow)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_QueensFullCopy)->Unit(benchmark::kMillisecond)->Iterations(1);
 BENCHMARK(BM_QueensIncremental)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_QueensAdaptive)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// `--lwsnap_probe_soft_dirty`: exit 0 if the kernel tracks soft-dirty bits,
+// 2 if not — lets scripts decide up front whether *SoftDirty rows exist here.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lwsnap_probe_soft_dirty") == 0) {
+      lw::Status probe = lw::SoftDirtyTracker::Probe();
+      std::fprintf(stderr, "soft-dirty: %s\n",
+                   probe.ok() ? "supported" : probe.ToString().c_str());
+      return probe.ok() ? 0 : 2;
+    }
+  }
+  if (lw::SoftDirtyTracker::Supported()) {
+    CROSSOVER_ARGS(benchmark::RegisterBenchmark("BM_LwsnapSoftDirty", &BM_LwsnapSoftDirty));
+    benchmark::RegisterBenchmark("BM_QueensSoftDirty", &BM_QueensSoftDirty)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

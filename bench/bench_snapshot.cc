@@ -9,19 +9,33 @@
 //   IncrementalSnapshot/D/A — fault-free scan engine: reads ∝ arena, copies ∝
 //                            dirty pages (no mprotect traffic at all)
 //   ForkSnapshot/D         — fork+dirty+exit+wait per "snapshot" (the §3 strawman)
+//   SoftDirtySnapshot/D/A  — kernel-assisted engine (soft-dirty pagemap bits):
+//                            no faults, no scan; registered only when the host
+//                            kernel supports soft-dirty (see the probe below)
+//   AdaptiveSnapshot/D/A   — per-checkpoint mechanism selection from observed
+//                            dirty rate; should track the best fixed engine
 //
 // Counters report the engine's own ns/snapshot and ns/restore so the
 // comparison is invariant to the harness loop; the label column names the
-// engine (SnapshotModeName) so rows are comparable across all three backends.
+// engine (SnapshotModeName) plus the dirty-discovery mechanism the last
+// checkpoint used (dirty_src=faults|scan|kernel-pagemap|full), so rows are
+// comparable across all backends and the adaptive engine's choice is visible.
+//
+// `--lwsnap_probe_soft_dirty`: exits 0 if the kernel supports soft-dirty
+// tracking, 2 if not (reason on stderr) — used by bench/run_perf_smoke.sh and
+// CI to decide whether SoftDirtySnapshot rows exist on this host.
 
 #include <benchmark/benchmark.h>
 
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "src/core/backtrack.h"
+#include "src/snapshot/soft_dirty.h"
 
 namespace {
 
@@ -57,7 +71,7 @@ void RunEngine(benchmark::State& state, lw::SnapshotMode mode, uint32_t workers 
   DirtyArgs args;
   args.dirty_pages = static_cast<uint32_t>(state.range(0));
   size_t arena_mb = static_cast<size_t>(state.range(1));
-  state.SetLabel(lw::SnapshotModeName(mode));
+  lw::DirtySource dirty_source = lw::DirtySource::kFull;
 
   uint64_t snap_ns = 0;
   uint64_t restore_ns = 0;
@@ -82,11 +96,14 @@ void RunEngine(benchmark::State& state, lw::SnapshotMode mode, uint32_t workers 
     restore_ns = session.stats().restore_ns;
     snapshots = session.stats().snapshots;
     pages = session.stats().pages_materialized;
+    dirty_source = session.stats().dirty_source;
     const lw::PageStore::Stats& store = session.store().stats();
     resident_bytes = store.bytes_resident();
     dedup_hits = store.zero_dedup_hits + store.content_dedup_hits;
     compressed_blobs = store.compressed_blobs;
   }
+  state.SetLabel(std::string(lw::SnapshotModeName(mode)) + " dirty_src=" +
+                 lw::DirtySourceName(dirty_source));
   if (snapshots != 0) {
     state.counters["ns/snapshot"] = static_cast<double>(snap_ns) / snapshots;
     state.counters["ns/restore"] = static_cast<double>(restore_ns) / snapshots;
@@ -177,6 +194,30 @@ BENCHMARK(BM_FullCopySnapshotParallel)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 
+// E12 — the adaptive engine over the same grid as the fixed engines. Its
+// acceptance bar: within ~10% of the best fixed engine at every point (the
+// label shows which mechanism it settled on).
+void BM_AdaptiveSnapshot(benchmark::State& state) {
+  RunEngine(state, lw::SnapshotMode::kAdaptive);
+}
+BENCHMARK(BM_AdaptiveSnapshot)
+    ->Args({1, 16})
+    ->Args({8, 16})
+    ->Args({64, 16})
+    ->Args({512, 16})
+    ->Args({1, 64})
+    ->Args({8, 64})
+    ->Args({64, 64})
+    ->Args({512, 64})
+    ->Unit(benchmark::kMillisecond);
+
+// E12 — kernel-assisted rows. Not BENCHMARK()-registered: main() below adds
+// them only when the host kernel actually tracks soft-dirty bits, so filter
+// scripts can probe first instead of parsing skip errors.
+void BM_SoftDirtySnapshot(benchmark::State& state) {
+  RunEngine(state, lw::SnapshotMode::kSoftDirty);
+}
+
 // The fork strawman: one fork()+dirty+_exit+waitpid cycle per "snapshot".
 void BM_ForkSnapshot(benchmark::State& state) {
   uint32_t dirty_pages = static_cast<uint32_t>(state.range(0));
@@ -204,4 +245,32 @@ BENCHMARK(BM_ForkSnapshot)->Arg(1)->Arg(8)->Arg(64)->Arg(512)->Iterations(200);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lwsnap_probe_soft_dirty") == 0) {
+      lw::Status probe = lw::SoftDirtyTracker::Probe();
+      std::fprintf(stderr, "soft-dirty: %s\n",
+                   probe.ok() ? "supported" : probe.ToString().c_str());
+      return probe.ok() ? 0 : 2;
+    }
+  }
+  if (lw::SoftDirtyTracker::Supported()) {
+    benchmark::RegisterBenchmark("BM_SoftDirtySnapshot", &BM_SoftDirtySnapshot)
+        ->Args({1, 16})
+        ->Args({8, 16})
+        ->Args({64, 16})
+        ->Args({512, 16})
+        ->Args({1, 64})
+        ->Args({8, 64})
+        ->Args({64, 64})
+        ->Args({512, 64})
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,10 +20,29 @@ REPS=${LWSNAP_PERF_REPS:-5}
 MAX_PCT=${LWSNAP_PERF_MAX_REGRESSION_PCT:-25}
 
 # Gated rows. Small-but-representative: CoW + incremental primitive costs at
-# a thin and a fat dirty set, the parallel-materialize sweep endpoints, and
-# the E11 queens fixture. Fast enough to repeat $REPS times; medians gate.
-SNAPSHOT_FILTER='^BM_CowSnapshot/(8|512)/16$|^BM_IncrementalSnapshot/(8|512)/16$|^BM_(Cow|Incremental)SnapshotParallel/512/16/(1|4)/'
+# a thin and a fat dirty set, the parallel-materialize sweep endpoints, the
+# adaptive engine at the same two dirty sets, and the E11 queens fixture.
+# Fast enough to repeat $REPS times; medians gate.
+SNAPSHOT_FILTER='^BM_CowSnapshot/(8|512)/16$|^BM_IncrementalSnapshot/(8|512)/16$|^BM_AdaptiveSnapshot/(8|512)/16$|^BM_(Cow|Incremental)SnapshotParallel/512/16/(1|4)/'
 STORE_FILTER='^BM_QueensParallelMaterialize/(1|4)/'
+
+# Soft-dirty rows exist only on kernels that track soft-dirty PTE bits
+# (CONFIG_MEM_SOFT_DIRTY); probe once and widen the filter when present. They
+# gate like any other row when both baseline and run have them, and
+# --optional-prefix below keeps baseline/run capability mismatches a warning
+# instead of a failure (exit 2 = unsupported, anything else is a real error).
+SOFT_DIRTY_PREFIX=BM_SoftDirtySnapshot
+PROBE_STATUS=0
+"$BUILD_DIR/bench_snapshot" --lwsnap_probe_soft_dirty || PROBE_STATUS=$?
+if [ "$PROBE_STATUS" -eq 0 ]; then
+  echo "soft-dirty rows: enabled"
+  SNAPSHOT_FILTER="$SNAPSHOT_FILTER|^${SOFT_DIRTY_PREFIX}/(8|512)/16\$"
+elif [ "$PROBE_STATUS" -eq 2 ]; then
+  echo "soft-dirty rows: skipped (kernel lacks soft-dirty tracking)"
+else
+  echo "soft-dirty probe failed unexpectedly (exit $PROBE_STATUS)" >&2
+  exit 1
+fi
 
 "$BUILD_DIR/bench_snapshot" \
   --benchmark_filter="$SNAPSHOT_FILTER" \
@@ -48,5 +67,6 @@ else
     --baseline "$HERE/baseline.json" \
     --output BENCH_ci.json \
     --max-regression-pct "$MAX_PCT" \
+    --optional-prefix "$SOFT_DIRTY_PREFIX" \
     BENCH_ci_snapshot.json BENCH_ci_store.json
 fi

@@ -1,0 +1,141 @@
+// E12 — engine ablation over the dirty-rate × arena-size grid, all five
+// snapshot backends (DESIGN.md "Kernel-assisted dirty tracking").
+//
+// Workload: each round dirties D distinct pages of a guest buffer inside an
+// A-MiB arena and forces one snapshot + one restore (the bench_snapshot E2
+// shape, run long enough for per-checkpoint engine costs to dominate). The
+// grid spans both regimes the adaptive engine must straddle: thin dirty sets
+// in big arenas (faults/pagemap territory) and fat dirty sets in small arenas
+// (scan/full territory).
+//
+// Per row: engine, ns/snapshot, ns/restore, pages/snapshot, the dirty
+// discovery mechanism the engine's last checkpoint used, and the adaptive
+// engine's switch count. The acceptance bar for kAdaptive is to be within
+// ~10% of the best fixed engine at every grid point.
+//
+// Run: ./example_engine_ablation [--engine cow|fullcopy|incremental|softdirty|adaptive]
+// Default runs every engine the host supports; softdirty rows are skipped
+// (with the probe's reason) on kernels without CONFIG_MEM_SOFT_DIRTY.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/backtrack.h"
+#include "src/snapshot/soft_dirty.h"
+
+namespace {
+
+struct DirtyArgs {
+  uint32_t dirty_pages = 1;
+  uint32_t rounds = 64;
+};
+
+void DirtyGuest(void* arg) {
+  auto* args = static_cast<DirtyArgs*>(arg);
+  auto* session = static_cast<lw::BacktrackSession*>(lw::CurrentExecutor());
+  const size_t buffer_bytes = static_cast<size_t>(args->dirty_pages + 1) * lw::kPageSize;
+  auto* buffer = static_cast<uint8_t*>(session->heap()->Alloc(buffer_bytes));
+  if (buffer == nullptr) {
+    return;
+  }
+  if (!lw::sys_guess_strategy(lw::StrategyKind::kDfs)) {
+    return;
+  }
+  for (uint32_t round = 0; round < args->rounds; ++round) {
+    for (uint32_t p = 0; p < args->dirty_pages; ++p) {
+      buffer[p * lw::kPageSize + (round % lw::kPageSize)] = static_cast<uint8_t>(round);
+    }
+    (void)lw::sys_guess(1);
+  }
+}
+
+struct Row {
+  double ns_per_snapshot = 0;
+  double ns_per_restore = 0;
+  double pages_per_snapshot = 0;
+  const char* dirty_src = "?";
+  uint64_t adaptive_switches = 0;
+};
+
+Row RunPoint(lw::SnapshotMode mode, uint32_t dirty_pages, size_t arena_mb) {
+  DirtyArgs args;
+  args.dirty_pages = dirty_pages;
+  lw::SessionOptions options;
+  options.arena_bytes = arena_mb << 20;
+  options.snapshot_mode = mode;
+  options.output = [](std::string_view) {};
+  lw::BacktrackSession session(options);
+  lw::Status status = session.Run(&DirtyGuest, &args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "session failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  const lw::SessionStats& stats = session.stats();
+  Row row;
+  if (stats.snapshots != 0) {
+    row.ns_per_snapshot = static_cast<double>(stats.snapshot_ns) / stats.snapshots;
+    row.ns_per_restore = static_cast<double>(stats.restore_ns) / stats.snapshots;
+    row.pages_per_snapshot = static_cast<double>(stats.pages_materialized) / stats.snapshots;
+  }
+  row.dirty_src = lw::DirtySourceName(stats.dirty_source);
+  row.adaptive_switches = stats.adaptive_switches;
+  return row;
+}
+
+void RunEngine(lw::SnapshotMode mode) {
+  std::printf("%s\n", lw::SnapshotModeName(mode));
+  std::printf("  %5s %6s %12s %12s %11s %15s %9s\n", "dirty", "arena", "ns/snapshot",
+              "ns/restore", "pages/snap", "dirty_src", "switches");
+  const uint32_t dirty_grid[] = {1, 8, 64, 512};
+  const size_t arena_grid[] = {16, 64};
+  for (size_t arena_mb : arena_grid) {
+    for (uint32_t dirty : dirty_grid) {
+      Row row = RunPoint(mode, dirty, arena_mb);
+      std::printf("  %5u %5zuM %12.0f %12.0f %11.1f %15s %9" PRIu64 "\n", dirty, arena_mb,
+                  row.ns_per_snapshot, row.ns_per_restore, row.pages_per_snapshot, row.dirty_src,
+                  row.adaptive_switches);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      only = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--engine cow|fullcopy|incremental|softdirty|adaptive]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  const lw::SnapshotMode all[] = {lw::SnapshotMode::kCow, lw::SnapshotMode::kFullCopy,
+                                  lw::SnapshotMode::kIncremental, lw::SnapshotMode::kSoftDirty,
+                                  lw::SnapshotMode::kAdaptive};
+  bool matched = false;
+  for (lw::SnapshotMode mode : all) {
+    if (!only.empty() && only != lw::SnapshotModeName(mode)) {
+      continue;
+    }
+    matched = true;
+    if (mode == lw::SnapshotMode::kSoftDirty && !lw::SoftDirtyTracker::Supported()) {
+      std::printf("%s\n  skipped: %s\n\n", lw::SnapshotModeName(mode),
+                  lw::SoftDirtyTracker::Probe().ToString().c_str());
+      continue;
+    }
+    RunEngine(mode);
+  }
+  if (!matched) {
+    std::fprintf(stderr, "unknown engine '%s' (cow|fullcopy|incremental|softdirty|adaptive)\n",
+                 only.c_str());
+    return 1;
+  }
+  return 0;
+}

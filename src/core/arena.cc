@@ -203,7 +203,9 @@ GuestArena::GuestArena(const Layout& layout)
   LW_CHECK(mprotect(base_ + static_cast<size_t>(guard_lo_) * kPageSize,
                     static_cast<size_t>(guard_hi_ - guard_lo_) * kPageSize, PROT_NONE) == 0);
 
-  EnsureGlobalHandlerInstalled();
+  // No signal-state changes here: the SIGSEGV handler and sigaltstack are
+  // installed lazily by the first SetCowEnabled(true), so fault-free engine
+  // configurations never perturb process signal dispositions.
   RegisterArena(this, base_, size_);
 }
 
@@ -228,6 +230,7 @@ void GuestArena::SetCowEnabled(bool enabled) {
                       PROT_READ | PROT_WRITE) == 0);
     dirty_.Clear();
   } else {
+    EnsureGlobalHandlerInstalled();
     ProtectAll();
   }
 }

@@ -18,7 +18,14 @@
 // *guest* stack, whose pages may themselves be write-protected — pushing a signal
 // frame there would double-fault. The alternate stack is a *per-thread*
 // resource: every worker thread that drives a CoW session installs its own via
-// EnsureThreadSignalStack (arena construction and session drives both call it).
+// EnsureThreadSignalStack.
+//
+// Signal state is installed *lazily*: constructing an arena only registers it
+// for fault lookup; the process-global SIGSEGV handler and the constructing
+// thread's sigaltstack are installed on the first SetCowEnabled(true). An
+// application that only ever runs fault-free engines (fullcopy, incremental,
+// soft-dirty) never has its SIGSEGV disposition or signal stacks touched —
+// see the NeedsSignalProtocol() invariant in src/snapshot/engine.h.
 //
 // Thread model: one thread drives a given arena at a time (sessions are
 // thread-affine), but arenas on different worker threads coexist and fault
@@ -39,9 +46,10 @@
 namespace lw {
 
 // Installs (once per thread) the alternate signal stack the SIGSEGV handler
-// runs on. Arena construction calls it for the constructing thread; a session
-// driven from a different thread than it was built on picks it up at the next
-// Run/Resume. Cheap after the first call.
+// runs on. SetCowEnabled(true) calls it for the enabling thread; sessions
+// whose engine needs the signal protocol call it on every Drive (covering
+// cross-thread hand-off), and the parallel materializer on worker startup.
+// Cheap after the first call. Fault-free configurations never call it.
 void EnsureThreadSignalStack();
 
 class GuestArena {
@@ -83,8 +91,11 @@ class GuestArena {
   uint32_t guard_lo() const { return guard_lo_; }
   uint32_t guard_hi() const { return guard_hi_; }
 
-  // CoW mode switch. When disabled (FullCopy baseline), the arena stays fully
-  // writable and no faults are taken.
+  // CoW mode switch. When disabled (the fault-free engines), the arena stays
+  // fully writable and no faults are taken. The first enable installs the
+  // process-global SIGSEGV handler + this thread's sigaltstack, then protects
+  // everything; disabling makes all non-guard pages writable again. Engines
+  // may toggle this mid-life (the adaptive engine does).
   void SetCowEnabled(bool enabled);
   bool cow_enabled() const { return cow_enabled_; }
 
@@ -131,7 +142,7 @@ class GuestArena {
   uint32_t num_pages_ = 0;
   uint32_t guard_lo_ = 0;
   uint32_t guard_hi_ = 0;
-  bool cow_enabled_ = true;
+  bool cow_enabled_ = false;  // enabled lazily by the engines that fault
   uint64_t cow_faults_ = 0;
   DirtyTracker dirty_;
 };

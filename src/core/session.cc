@@ -23,12 +23,13 @@ GuessExecutor* CurrentExecutor() { return g_current_executor; }
 void SetCurrentExecutor(GuessExecutor* executor) { g_current_executor = executor; }
 
 std::string SessionStats::ToString() const {
-  char buf[896];
+  char buf[1280];
   std::snprintf(buf, sizeof(buf),
                 "guesses=%llu snapshots=%llu restores=%llu exts=%llu fail=%llu done=%llu "
                 "sol=%llu pages_mat=%llu pages_rst=%llu zero_dedup=%llu content_dedup=%llu "
                 "xsession_dedup=%llu cold_blobs=%llu incr_scan=%llu incr_copy=%llu "
-                "snap_us=%.1f restore_us=%.1f",
+                "dirty_src=%s mat_by=%llu/%llu/%llu/%llu pagemap_reads=%llu sd_clears=%llu "
+                "adaptive_switches=%llu snap_us=%.1f restore_us=%.1f",
                 static_cast<unsigned long long>(guesses),
                 static_cast<unsigned long long>(snapshots),
                 static_cast<unsigned long long>(restores),
@@ -44,6 +45,14 @@ std::string SessionStats::ToString() const {
                 static_cast<unsigned long long>(compressed_blobs),
                 static_cast<unsigned long long>(incr_pages_scanned),
                 static_cast<unsigned long long>(incr_pages_copied),
+                DirtySourceName(dirty_source),  // faults/scan/pagemap/full order below
+                static_cast<unsigned long long>(materializes_by_faults),
+                static_cast<unsigned long long>(materializes_by_scan),
+                static_cast<unsigned long long>(materializes_by_pagemap),
+                static_cast<unsigned long long>(materializes_by_full),
+                static_cast<unsigned long long>(pagemap_entries_read),
+                static_cast<unsigned long long>(soft_dirty_clears),
+                static_cast<unsigned long long>(adaptive_switches),
                 static_cast<double>(snapshot_ns) / 1e3, static_cast<double>(restore_ns) / 1e3);
   return buf;
 }
@@ -77,6 +86,9 @@ BacktrackSession::BacktrackSession(SessionOptions options)
   if (options_.parallel_materialize_workers > 1) {
     ParallelMaterializerOptions pm_options;
     pm_options.workers = options_.parallel_materialize_workers;
+    // Fault-free engines must leave process signal state untouched, so their
+    // worker teams skip sigaltstack installation entirely.
+    pm_options.needs_signal_stack = engine_->NeedsSignalProtocol();
     materializer_ = std::make_unique<ParallelMaterializer>(pm_options);
   }
 
@@ -174,8 +186,12 @@ Status BacktrackSession::Resume(const Checkpoint& checkpoint, const void* msg, s
 Status BacktrackSession::Drive(const std::function<void()>& first_transfer) {
   // The session may have been constructed on a different thread (e.g. a pool
   // dispatching to workers); the CoW fault handler needs this thread's
-  // alternate signal stack in place before any guest write can fault.
-  EnsureThreadSignalStack();
+  // alternate signal stack in place before any guest write can fault. Skipped
+  // — not merely unused — for fault-free engines (fullcopy, incremental,
+  // soft-dirty): those sessions never perturb process signal state.
+  if (engine_->NeedsSignalProtocol()) {
+    EnsureThreadSignalStack();
+  }
   ScopedExecutor scoped(this);
   driving_ = true;
   first_transfer();

@@ -46,6 +46,9 @@ struct CheckpointServiceOptions {
   size_t arena_bytes = 64ull << 20;
   size_t mailbox_bytes = 1ull << 16;
   PageMapKind page_map_kind = PageMapKind::kRadix;
+  // Any SnapshotMode works here, including kSoftDirty (probe
+  // SoftDirtyTracker::Supported() first) and kAdaptive (works everywhere);
+  // see SessionOptions::snapshot_mode.
   SnapshotMode snapshot_mode = SnapshotMode::kCow;
 
   // Shared page substrate: services on one store dedup each other's

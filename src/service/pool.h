@@ -76,7 +76,10 @@ struct ServicePoolOptions {
   int num_services = 4;  // one worker thread per service
 
   // Per-service template. `service.store` is ignored: the pool injects one
-  // shared store into every service (see `store` below). Core-splitting knob:
+  // shared store into every service (see `store` below). `service.snapshot_mode`
+  // applies to every service in the fleet — kSoftDirty fleets are safe:
+  // concurrent soft-dirty sessions coordinate their process-wide clear_refs
+  // writes through SoftDirtyTracker's arbiter. Core-splitting knob:
   // `service.parallel_materialize_workers = W` gives every service its own
   // W-thread materialize team, so a fleet occupies ~num_services × W cores at
   // snapshot time — size num_services for throughput (independent jobs) and W

@@ -53,6 +53,9 @@ struct PrologServiceOptions {
   // Bindings reported per outcome (the solution *count* is always exact).
   uint32_t max_reported_solutions = 8;
   PageMapKind page_map_kind = PageMapKind::kRadix;
+  // Any SnapshotMode works here, including kSoftDirty (probe
+  // SoftDirtyTracker::Supported() first) and kAdaptive (works everywhere);
+  // see SessionOptions::snapshot_mode.
   SnapshotMode snapshot_mode = SnapshotMode::kCow;
   std::shared_ptr<PageStore> store;
   PageStoreOptions store_options;

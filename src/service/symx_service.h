@@ -50,6 +50,9 @@ struct SymxServiceOptions {
   // the side feasible.
   uint64_t solver_conflict_budget = 1u << 20;
   PageMapKind page_map_kind = PageMapKind::kRadix;
+  // Any SnapshotMode works here, including kSoftDirty (probe
+  // SoftDirtyTracker::Supported() first) and kAdaptive (works everywhere);
+  // see SessionOptions::snapshot_mode.
   SnapshotMode snapshot_mode = SnapshotMode::kCow;
   std::shared_ptr<PageStore> store;
   PageStoreOptions store_options;

@@ -1,0 +1,332 @@
+#include "src/snapshot/adaptive_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/arena.h"
+
+namespace lw {
+namespace {
+
+// Unit costs (ns) calibrated against the measured E12 ablation grid (DESIGN.md
+// has the table; examples/engine_ablation.cpp reproduces it). These are
+// *relative weights* steering selection, not absolute predictions — what
+// matters is the crossover ordering. Measured on the reference dev host:
+//   * a changed page through the faults path (SIGSEGV + mark + 2×mprotect +
+//     hash/copy publish) costs ~1.9 µs end to end (CoW rows: 980 µs / 505
+//     dirty pages);
+//   * a changed page through a scan/pagemap path costs ~1.7 µs — almost the
+//     same, because the hash + 4 KiB copy publish dominates, not the fault;
+//   * an *unchanged* page costs ~90 ns to scan (memcmp against the map blob)
+//     but only ~0.5 µs to republish in full mode (content dedup turns it into
+//     hash + index hit, no blob copy) — which is why scan rarely beats the
+//     faults/full envelope on this hardware;
+//   * a pagemap entry is an 8-byte slot of a chunked pread (~4 ns/page), with
+//     a fixed clear_refs process walk per checkpoint (unverified locally —
+//     this host lacks soft-dirty; the 40 µs figure is the write cost of the
+//     clear_refs walk on the E12 reference numbers, to be recalibrated on a
+//     capable host).
+constexpr double kFaultPageNs = 1900.0;        // fault + reprotect + publish, per changed page
+constexpr double kChangedPublishNs = 1700.0;   // hash + blob alloc + 4 KiB copy
+constexpr double kScanNs = 90.0;               // 4 KiB memcmp, per arena page
+constexpr double kFullPublishNs = 510.0;       // republish per arena page (mostly dedup hits)
+constexpr double kPagemapNs = 4.0;             // one 8-byte pagemap entry (chunked pread)
+constexpr double kSoftDirtyFixedNs = 40000.0;  // clear_refs process walk, per snapshot
+
+// A challenger mechanism must beat the incumbent by this margin — re-arming
+// has real cost (ProtectAll / clear_refs) and flapping helps nobody.
+constexpr double kHysteresis = 0.15;
+
+}  // namespace
+
+AdaptiveEngine::AdaptiveEngine(const Env& env) : SnapshotEngine(env) {
+  GuestArena& arena = *env_.arena;
+  // Start in the faults mechanism: the CoW protocol opens with an exact delta
+  // and touches nothing the guest didn't. A scan probe here would demand-fault
+  // every untouched page of the fresh demand-zero arena just to memcmp it
+  // (~0.7 µs/page — 11.5 ms measured for a 64 MiB arena), the most expensive
+  // possible first observation. SetCowEnabled installs the SIGSEGV handler
+  // lazily, which is why NeedsSignalProtocol() is true for this engine.
+  arena.SetCowEnabled(true);
+  PageRef zero = env_.store->ZeroPage();
+  for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+    if (!arena.InGuard(page)) {
+      cur_map_.Set(page, zero);
+      ++non_guard_pages_;
+    }
+  }
+  scan_changed_.assign(arena.num_pages(), 0);
+  // The pagemap mechanism is a candidate only where the kernel supports it;
+  // everywhere else the selector simply never sees it (graceful fallback).
+  if (SoftDirtyTracker::Supported()) {
+    tracker_ = std::make_unique<SoftDirtyTracker>(arena.base(), arena.num_pages());
+  }
+}
+
+void AdaptiveEngine::CollectDirty(const MaterializeContext& ctx) {
+  GuestArena& arena = *env_.arena;
+  dirty_pages_.clear();
+  switch (mech_) {
+    case DirtySource::kFaults: {
+      const DirtyTracker& dirty = arena.dirty();
+      dirty_pages_.assign(dirty.pages(), dirty.pages() + dirty.count());
+      // Fault order is arrival order; publish in page order so snapshot
+      // structure is independent of guest write order.
+      std::sort(dirty_pages_.begin(), dirty_pages_.end());
+      break;
+    }
+    case DirtySource::kScan: {
+      RunSlots(ctx, arena.num_pages(), [this, &arena](size_t slot) {
+        const uint32_t page = static_cast<uint32_t>(slot);
+        if (!arena.InGuard(page) && !cur_map_.Get(page).EqualsPage(arena.PageAddr(page))) {
+          scan_changed_[page] = 1;
+        }
+        return OkStatus();
+      });
+      for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+        if (scan_changed_[page] != 0) {
+          scan_changed_[page] = 0;
+          dirty_pages_.push_back(page);
+        }
+      }
+      env_.stats->incr_pages_scanned += non_guard_pages_;
+      break;
+    }
+    case DirtySource::kKernelPagemap: {
+      Status status = tracker_->HarvestAndClear(dirty_pages_);
+      LW_CHECK_MSG(status.ok(), "soft-dirty harvest failed");
+      break;
+    }
+    case DirtySource::kFull: {
+      dirty_pages_.reserve(non_guard_pages_);
+      for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+        if (!arena.InGuard(page)) {
+          dirty_pages_.push_back(page);
+        }
+      }
+      break;
+    }
+  }
+}
+
+uint64_t AdaptiveEngine::PublishDirty(const MaterializeContext& ctx) {
+  GuestArena& arena = *env_.arena;
+  publish_refs_.resize(dirty_pages_.size());
+  RunSlots(ctx, dirty_pages_.size(), [this, &arena](size_t slot) {
+    const uint32_t page = dirty_pages_[slot];
+    if (!arena.InGuard(page)) {
+      publish_refs_[slot] = PublishPage(arena.PageAddr(page));
+    }
+    return OkStatus();
+  });
+  // Adoption is serial, in page order. Content dedup in the store makes a
+  // rewritten-but-identical page publish back to the existing blob, so blob
+  // pointer inequality is an exact "bytes changed" signal — that count (not
+  // the possibly overapproximate candidate list) feeds the dirty-rate model.
+  uint64_t changed = 0;
+  for (size_t slot = 0; slot < dirty_pages_.size(); ++slot) {
+    if (!publish_refs_[slot].valid()) {
+      continue;
+    }
+    const uint32_t page = dirty_pages_[slot];
+    if (cur_map_.Get(page) != publish_refs_[slot]) {
+      ++changed;
+    }
+    cur_map_.Set(page, std::move(publish_refs_[slot]));
+    ++env_.stats->pages_materialized;
+  }
+  publish_refs_.clear();
+  return changed;
+}
+
+void AdaptiveEngine::SelectMechanism() {
+  GuestArena& arena = *env_.arena;
+  // Charge every mechanism's model with the burst-safe dirty estimate. The
+  // inputs are counts, the weights are constants: two instances that observed
+  // the same guest writes compute identical costs and switch identically
+  // (the determinism contract in the header).
+  const double est = std::max(d_hat_, static_cast<double>(last_delta_));
+  const double pages = static_cast<double>(non_guard_pages_);
+  const double cost_faults = est * kFaultPageNs;
+  const double cost_scan = pages * kScanNs + est * kChangedPublishNs;
+  const double cost_pagemap =
+      tracker_ != nullptr
+          ? kSoftDirtyFixedNs + pages * kPagemapNs + est * kChangedPublishNs
+          : -1.0;
+  const double cost_full = pages * kFullPublishNs;
+
+  const DirtySource order[] = {DirtySource::kFaults, DirtySource::kScan,
+                               DirtySource::kKernelPagemap, DirtySource::kFull};
+  const double costs[] = {cost_faults, cost_scan, cost_pagemap, cost_full};
+  DirtySource best = mech_;
+  double best_cost = -1.0;
+  double cur_cost = -1.0;
+  for (int i = 0; i < 4; ++i) {
+    if (costs[i] < 0) {
+      continue;  // unavailable mechanism
+    }
+    if (order[i] == mech_) {
+      cur_cost = costs[i];
+    }
+    if (best_cost < 0 || costs[i] < best_cost) {
+      best = order[i];
+      best_cost = costs[i];
+    }
+  }
+  if (best == mech_ || best_cost >= cur_cost * (1.0 - kHysteresis)) {
+    // Incumbent stays; keep its tracking armed.
+    if (mech_ == DirtySource::kFaults) {
+      arena.ReprotectDirty();
+    }
+    return;
+  }
+  // Re-arm for the new mechanism. Live memory == cur_map_ here, so every
+  // mechanism's invariant can be established from scratch.
+  if (mech_ == DirtySource::kFaults) {
+    arena.SetCowEnabled(false);
+  }
+  switch (best) {
+    case DirtySource::kFaults:
+      arena.SetCowEnabled(true);  // installs handler on first use; ProtectAll
+      break;
+    case DirtySource::kKernelPagemap: {
+      Status status = tracker_->DiscardAndClear();  // fresh soft-dirty interval
+      LW_CHECK_MSG(status.ok(), "soft-dirty clear failed");
+      break;
+    }
+    case DirtySource::kScan:
+    case DirtySource::kFull:
+      break;  // the compare/copy IS the detection; nothing to arm
+  }
+  mech_ = best;
+  ++env_.stats->adaptive_switches;
+}
+
+void AdaptiveEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx) {
+  SnapshotEngineStats& stats = *env_.stats;
+  const DirtySource used = mech_;
+  CollectDirty(ctx);
+  const uint64_t changed = PublishDirty(ctx);
+
+  stats.dirty_source = used;
+  switch (used) {
+    case DirtySource::kFaults:
+      ++stats.materializes_by_faults;
+      break;
+    case DirtySource::kScan:
+      ++stats.materializes_by_scan;
+      stats.incr_pages_copied += dirty_pages_.size();
+      break;
+    case DirtySource::kKernelPagemap:
+      ++stats.materializes_by_pagemap;
+      break;
+    case DirtySource::kFull:
+      ++stats.materializes_by_full;
+      break;
+  }
+  if (tracker_ != nullptr) {
+    stats.pagemap_entries_read = tracker_->pagemap_entries_read();
+    stats.soft_dirty_clears = tracker_->clear_refs_writes();
+  }
+
+  // Update the dirty-rate estimate from the exact change count, then re-pick.
+  last_delta_ = changed;
+  d_hat_ = d_hat_ < 0 ? static_cast<double>(changed)
+                      : d_hat_ + (static_cast<double>(changed) - d_hat_) / 4.0;
+  SelectMechanism();
+
+  snap.map = cur_map_;  // live memory now matches cur_map_ byte-for-byte
+  SyncStoreStats();
+}
+
+void AdaptiveEngine::Restore(const Snapshot& snap) {
+  GuestArena& arena = *env_.arena;
+  uint64_t restored = 0;
+  switch (mech_) {
+    case DirtySource::kFaults: {
+      // The CoW protocol knows exactly where live memory diverged: the dirty
+      // set, plus wherever the immutable maps disagree.
+      DirtyTracker& dirty = arena.dirty();
+      auto copy_in = [this, &arena, &dirty](uint32_t page, const PageRef& ref) {
+        LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+        if (!dirty.IsDirty(page)) {
+          arena.UnprotectPage(page);
+        }
+        ref.CopyTo(arena.PageAddr(page));
+        arena.ProtectPage(page);
+      };
+      for (uint32_t i = 0; i < dirty.count(); ++i) {
+        copy_in(dirty.pages()[i], snap.map.Get(dirty.pages()[i]));
+        ++restored;
+      }
+      cur_map_.Diff(snap.map, [&dirty, &copy_in, &restored](uint32_t page, const PageRef&,
+                                                            const PageRef& theirs) {
+        if (!dirty.IsDirty(page)) {
+          copy_in(page, theirs);
+          ++restored;
+        }
+      });
+      dirty.Clear();
+      break;
+    }
+    case DirtySource::kKernelPagemap: {
+      // Soft-dirty protocol: pending bits say where the guest wrote; the map
+      // diff says where the tree path changed; the restore's own copies are
+      // discarded from the next interval.
+      Status status = tracker_->Harvest(dirty_pages_);
+      LW_CHECK_MSG(status.ok(), "soft-dirty harvest failed");
+      for (uint32_t page : dirty_pages_) {
+        if (arena.InGuard(page)) {
+          continue;
+        }
+        const PageRef ref = snap.map.Get(page);
+        LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+        if (ref.CopyToIfDifferent(arena.PageAddr(page))) {
+          ++restored;
+        }
+      }
+      cur_map_.Diff(snap.map, [this, &arena, &restored](uint32_t page, const PageRef&,
+                                                        const PageRef& theirs) {
+        if (std::binary_search(dirty_pages_.begin(), dirty_pages_.end(), page)) {
+          return;
+        }
+        LW_CHECK_MSG(theirs.valid(), "restoring a page the snapshot does not cover");
+        theirs.CopyTo(arena.PageAddr(page));
+        ++restored;
+      });
+      status = tracker_->DiscardAndClear();
+      LW_CHECK_MSG(status.ok(), "soft-dirty clear failed");
+      break;
+    }
+    case DirtySource::kScan:
+    case DirtySource::kFull: {
+      // No tracking armed: live memory may have diverged anywhere, so compare
+      // against the target map directly and copy the difference.
+      for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+        if (arena.InGuard(page)) {
+          continue;
+        }
+        const PageRef ref = snap.map.Get(page);
+        LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+        if (ref.CopyToIfDifferent(arena.PageAddr(page))) {
+          ++restored;
+        }
+      }
+      break;
+    }
+  }
+  cur_map_ = snap.map;
+  env_.stats->pages_restored += restored;
+}
+
+size_t AdaptiveEngine::StructureBytes() const {
+  size_t bytes = cur_map_.StructureBytes() + scan_changed_.capacity() +
+                 dirty_pages_.capacity() * sizeof(uint32_t) +
+                 publish_refs_.capacity() * sizeof(PageRef);
+  if (tracker_ != nullptr) {
+    bytes += ((tracker_->num_pages() + 63) / 64) * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace lw

@@ -1,0 +1,97 @@
+// AdaptiveEngine: per-checkpoint selection over the four dirty-discovery
+// mechanisms (faults / scan / kernel-pagemap / full).
+//
+// No fixed mechanism wins everywhere: faults win when deltas are tiny (cost ∝
+// dirty pages, but each page pays SIGSEGV + 2×mprotect), scans win on small
+// arenas (cost ∝ arena at memcmp speed), pagemap wins on big arenas with
+// small deltas (cost ∝ arena/512 at pread speed), and full copy wins when
+// nearly everything is dirty anyway. The crossover model measured in
+// bench_crossover is wired in as fixed per-unit costs; what the engine learns
+// online is the *dirty rate* — an EWMA of pages actually changed per
+// checkpoint — and before each materialize it charges every mechanism's model
+// with that estimate and switches (with hysteresis) to the cheapest.
+//
+// Determinism contract: mechanism choice is a pure function of the observed
+// change counts — never of wall-clock timings — so two adaptive instances fed
+// identical guest writes make identical decisions. That is what lets the
+// serial-vs-parallel bit-identity test cover this engine: parallel fan-out
+// changes timing but not counts. Costs are unit-weight constants calibrated
+// from the E12 ablation on a representative host (see adaptive_engine.cc);
+// they steer selection, they are not a performance claim.
+//
+// The first checkpoint runs in the faults mechanism, not scan: a fresh arena
+// is a demand-zero mmap, and a scan probe would minor-fault every untouched
+// page just to memcmp it (~0.7 µs/page — measured 11.5 ms for a 64 MiB arena,
+// by far the most expensive possible first observation), while the CoW
+// protocol starts with an exact delta and touches nothing the guest didn't.
+//
+// Mechanism re-arming happens at the end of Materialize, when live memory ==
+// cur_map_ byte-for-byte — the one point where every mechanism's tracking
+// invariant can be established from scratch:
+//   into faults   — SetCowEnabled(true): protect everything, empty dirty set;
+//   out of faults — SetCowEnabled(false): everything writable again;
+//   into pagemap  — DiscardAndClear(): fresh soft-dirty interval;
+//   into scan/full — nothing to arm (the compare/copy IS the detection).
+//
+// NeedsSignalProtocol() is true: the engine may arm the faults mechanism at
+// any checkpoint, so its sessions keep their sigaltstacks. On hosts without
+// soft-dirty support the pagemap mechanism is simply never a candidate.
+// Hot-page prediction is deliberately not replicated here — the faults
+// mechanism is the plain CoW protocol (prediction's job is partly subsumed by
+// switching away from faults when the dirty rate grows).
+
+#ifndef LWSNAP_SRC_SNAPSHOT_ADAPTIVE_ENGINE_H_
+#define LWSNAP_SRC_SNAPSHOT_ADAPTIVE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/snapshot/engine.h"
+#include "src/snapshot/soft_dirty.h"
+
+namespace lw {
+
+class AdaptiveEngine : public SnapshotEngine {
+ public:
+  explicit AdaptiveEngine(const Env& env);
+
+  SnapshotMode mode() const override { return SnapshotMode::kAdaptive; }
+  using SnapshotEngine::Materialize;
+  void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
+  void Restore(const Snapshot& snap) override;
+  size_t StructureBytes() const override;
+  bool NeedsSignalProtocol() const override { return true; }
+
+  // The mechanism armed for the *next* checkpoint (tests and ablations).
+  DirtySource current_mechanism() const { return mech_; }
+  // The dirty-rate estimate the next selection will be charged with.
+  double dirty_rate_estimate() const { return d_hat_; }
+
+ private:
+  // Collects the current mechanism's dirty candidates into dirty_pages_
+  // (ascending; may overapproximate the changed set).
+  void CollectDirty(const MaterializeContext& ctx);
+  // Publishes dirty_pages_ into cur_map_, returning the number of pages whose
+  // map entry actually changed (the exact delta, via blob pointer equality).
+  uint64_t PublishDirty(const MaterializeContext& ctx);
+  // Charges each mechanism's cost model with the updated estimate and re-arms
+  // if a different one is cheaper by the hysteresis margin. Called at the end
+  // of Materialize (live == cur_map_).
+  void SelectMechanism();
+
+  DirtySource mech_ = DirtySource::kFaults;  // exact delta, no full-arena touch
+  double d_hat_ = -1.0;                    // EWMA of changed pages; <0 = unseeded
+  uint64_t last_delta_ = 0;
+  uint32_t non_guard_pages_ = 0;
+
+  std::unique_ptr<SoftDirtyTracker> tracker_;  // null on hosts without soft-dirty
+
+  std::vector<uint32_t> dirty_pages_;  // candidates for the current checkpoint
+  std::vector<uint8_t> scan_changed_;  // scan mechanism: page -> changed flag
+  std::vector<PageRef> publish_refs_;  // dirty slot -> new blob
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_ADAPTIVE_ENGINE_H_

@@ -18,8 +18,14 @@ CowEngine::CowEngine(const Env& env) : SnapshotEngine(env) {
       cur_map_.Set(page, zero);
     }
   }
-  arena.SetCowEnabled(true);
-  arena.ProtectAll();
+  // Enabling CoW installs the SIGSEGV handler + sigaltstack (first time) and
+  // protects everything; if the arena was already in CoW mode, re-establish
+  // the protocol invariant explicitly.
+  if (arena.cow_enabled()) {
+    arena.ProtectAll();
+  } else {
+    arena.SetCowEnabled(true);
+  }
 
   hot_.assign(arena.num_pages(), 0);
   dirty_streak_.assign(arena.num_pages(), 0);
@@ -95,6 +101,8 @@ void CowEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx) {
     }
   }
   stats.pages_materialized += dirty.count();
+  stats.dirty_source = DirtySource::kFaults;
+  ++stats.materializes_by_faults;
   dirty_refs_.clear();
   if (hot_pages_.empty()) {
     arena.ReprotectDirty();

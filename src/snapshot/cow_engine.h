@@ -33,6 +33,7 @@ class CowEngine : public SnapshotEngine {
   void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
   void Restore(const Snapshot& snap) override;
   size_t StructureBytes() const override;
+  bool NeedsSignalProtocol() const override { return true; }
 
   size_t hot_page_count() const { return hot_pages_.size(); }
 

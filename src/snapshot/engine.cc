@@ -1,10 +1,12 @@
 #include "src/snapshot/engine.h"
 
 #include "src/core/arena.h"
+#include "src/snapshot/adaptive_engine.h"
 #include "src/snapshot/cow_engine.h"
 #include "src/snapshot/full_copy_engine.h"
 #include "src/snapshot/incremental_engine.h"
 #include "src/snapshot/parallel_materializer.h"
+#include "src/snapshot/soft_dirty_engine.h"
 
 namespace lw {
 
@@ -16,6 +18,24 @@ const char* SnapshotModeName(SnapshotMode mode) {
       return "fullcopy";
     case SnapshotMode::kIncremental:
       return "incremental";
+    case SnapshotMode::kSoftDirty:
+      return "softdirty";
+    case SnapshotMode::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+const char* DirtySourceName(DirtySource source) {
+  switch (source) {
+    case DirtySource::kFaults:
+      return "faults";
+    case DirtySource::kScan:
+      return "scan";
+    case DirtySource::kKernelPagemap:
+      return "kernel-pagemap";
+    case DirtySource::kFull:
+      return "full";
   }
   return "unknown";
 }
@@ -61,6 +81,10 @@ std::unique_ptr<SnapshotEngine> MakeSnapshotEngine(SnapshotMode mode,
       return std::make_unique<FullCopyEngine>(env);
     case SnapshotMode::kIncremental:
       return std::make_unique<IncrementalCopyEngine>(env);
+    case SnapshotMode::kSoftDirty:
+      return std::make_unique<SoftDirtyEngine>(env);
+    case SnapshotMode::kAdaptive:
+      return std::make_unique<AdaptiveEngine>(env);
   }
   LW_CHECK_MSG(false, "unknown snapshot mode");
   return nullptr;

@@ -21,6 +21,14 @@
 //                         DirtyTracker and only flagged pages are memcpy'd.
 //                         Reads ∝ arena, copies ∝ delta — the middle point of
 //                         the design space for fault-cost-dominated hosts.
+//   * SoftDirtyEngine   — kernel-assisted dirty tracking: the kernel's
+//                         soft-dirty PTE bits (/proc/self/pagemap +
+//                         clear_refs) yield the exact dirty set with no
+//                         SIGSEGV faults and no content scan. Needs kernel
+//                         support — probe SoftDirtyTracker::Supported() first.
+//   * AdaptiveEngine    — meta-engine that re-picks the cheapest of the four
+//                         mechanisms per checkpoint from an online dirty-rate
+//                         estimate and the bench_crossover cost model.
 //
 // Future backends (compressed blobs, remote/disaggregated pools) implement
 // this interface without touching the scheduler. Parallel materialization is
@@ -28,6 +36,14 @@
 // through MaterializeContext/ParallelMaterializer (below), so any backend —
 // current or future — can fan its page publishing out over a session-owned
 // worker team while keeping snapshot structure bit-identical to serial.
+//
+// SIGSEGV-protocol invariant: only engines whose NeedsSignalProtocol() returns
+// true (CoW, and Adaptive because it may arm CoW) may ever write-protect guest
+// pages, and the process-wide SIGSEGV handler plus per-thread sigaltstacks are
+// installed lazily by GuestArena::SetCowEnabled(true) — constructing an arena
+// or running a fault-free engine leaves the process signal disposition
+// untouched. Sessions gate EnsureThreadSignalStack on NeedsSignalProtocol(),
+// so a fleet of fault-free sessions never pays (or perturbs) signal state.
 
 #ifndef LWSNAP_SRC_SNAPSHOT_ENGINE_H_
 #define LWSNAP_SRC_SNAPSHOT_ENGINE_H_
@@ -62,9 +78,23 @@ enum class SnapshotMode {
   kCow,
   kFullCopy,
   kIncremental,
+  kSoftDirty,  // kernel soft-dirty bits; requires SoftDirtyTracker::Supported()
+  kAdaptive,   // per-checkpoint mechanism selection over the four above
 };
 
 const char* SnapshotModeName(SnapshotMode mode);
+
+// How the most recent Materialize discovered its dirty set. Engines record
+// this in stats->dirty_source so benches and ablations are self-describing
+// (and so tests can assert, e.g., that SoftDirtyEngine never scanned).
+enum class DirtySource : uint8_t {
+  kFaults,         // SIGSEGV/mprotect write faults (CoW)
+  kScan,           // full-arena content scan (incremental)
+  kKernelPagemap,  // soft-dirty bits read from /proc/self/pagemap
+  kFull,           // no dirty detection: whole arena republished
+};
+
+const char* DirtySourceName(DirtySource source);
 
 // Counters owned by the snapshot substrate. SessionStats inherits these so the
 // session's stats block reports engine behaviour alongside search behaviour.
@@ -82,6 +112,17 @@ struct SnapshotEngineStats {
   uint64_t compressed_blobs = 0;          // blobs currently in the cold-compressed tier
   uint64_t incr_pages_scanned = 0;  // incremental engine: pages memcmp'd
   uint64_t incr_pages_copied = 0;   // incremental engine: pages actually copied
+  // Dirty-set provenance: how the latest Materialize found its delta, plus
+  // per-source materialize counts (the adaptive engine mixes sources over a
+  // session's lifetime; fixed engines bump exactly one of these).
+  DirtySource dirty_source = DirtySource::kFull;
+  uint64_t materializes_by_faults = 0;
+  uint64_t materializes_by_scan = 0;
+  uint64_t materializes_by_pagemap = 0;
+  uint64_t materializes_by_full = 0;
+  uint64_t pagemap_entries_read = 0;  // soft-dirty: 8-byte pagemap entries read
+  uint64_t soft_dirty_clears = 0;     // soft-dirty: process-wide clear_refs writes
+  uint64_t adaptive_switches = 0;     // adaptive: mechanism changes between checkpoints
   uint64_t snapshot_ns = 0;
   uint64_t restore_ns = 0;
 };
@@ -124,9 +165,16 @@ class SnapshotEngine {
   virtual void Restore(const Snapshot& snap) = 0;
 
   // Called immediately before control transfers into the guest. Engines that
-  // arm per-resume tracking state (e.g. a future soft-dirty backend) hook here;
-  // the built-in engines keep their invariants across resumes and do nothing.
+  // arm per-resume tracking state hook here; the built-in engines keep their
+  // invariants across resumes and do nothing.
   virtual void OnGuestResume() {}
+
+  // True iff this engine may write-protect guest pages and rely on the
+  // SIGSEGV/mprotect protocol (see the invariant note at the top of this
+  // file). Sessions and the parallel materializer skip sigaltstack/handler
+  // installation entirely when this is false — fault-free engines must not
+  // perturb process signal state.
+  virtual bool NeedsSignalProtocol() const { return false; }
 
   // Host bytes consumed by engine-side bookkeeping (current map structure,
   // prediction tables, trackers) — excludes page blobs and snapshot maps.

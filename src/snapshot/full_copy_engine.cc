@@ -33,6 +33,8 @@ void FullCopyEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx) 
   }
   publish_refs_.clear();
   cur_map_ = std::move(fresh);
+  env_.stats->dirty_source = DirtySource::kFull;
+  ++env_.stats->materializes_by_full;
   snap.map = cur_map_;
   SyncStoreStats();
 }

@@ -60,6 +60,8 @@ void IncrementalCopyEngine::Materialize(Snapshot& snap, const MaterializeContext
   }
   stats.incr_pages_copied += tracker_.count();
   stats.pages_materialized += tracker_.count();
+  stats.dirty_source = DirtySource::kScan;
+  ++stats.materializes_by_scan;
   tracker_.Clear();
   publish_refs_.clear();
   snap.map = cur_map_;  // live memory now matches cur_map_ byte-for-byte

@@ -35,8 +35,11 @@ void ParallelMaterializer::EnsureStarted() {
 void ParallelMaterializer::WorkerMain() {
   // Worker-team startup path: under CoW the slot functions touch guest pages,
   // and any SIGSEGV delivered on this thread must land on an alternate stack
-  // (the guest stack's pages may themselves be write-protected).
-  EnsureThreadSignalStack();
+  // (the guest stack's pages may themselves be write-protected). Fault-free
+  // engines opt out so their teams never touch signal state.
+  if (options_.needs_signal_stack) {
+    EnsureThreadSignalStack();
+  }
   uint64_t seen_gen = 0;
   while (true) {
     {
@@ -102,7 +105,9 @@ Status ParallelMaterializer::Run(size_t count, const SlotFn& fn) {
   }
   // The session thread works too; make sure it has its sigaltstack even when
   // the materializer is driven outside a session Drive (tests, tools).
-  EnsureThreadSignalStack();
+  if (options_.needs_signal_stack) {
+    EnsureThreadSignalStack();
+  }
   EnsureStarted();
   {
     std::lock_guard<std::mutex> lock(error_mu_);

@@ -1,0 +1,230 @@
+#include "src/snapshot/soft_dirty.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "src/snapshot/page_store.h"
+
+namespace lw {
+namespace {
+
+constexpr uint64_t kSoftDirtyBit = 1ull << 55;
+// pagemap entries are 8 bytes each; read in bounded chunks so a huge arena
+// never needs a multi-megabyte scratch buffer.
+constexpr size_t kChunkEntries = 1024;
+
+Status WriteClearRefs(int fd) {
+  // "4" == clear soft-dirty bits for the whole process (Documentation/
+  // admin-guide/mm/soft-dirty.rst). pwrite keeps the fd reusable.
+  if (pwrite(fd, "4", 1, 0) != 1) {
+    return IoError(std::string("clear_refs write failed: ") + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+// Process-global arbiter: clear_refs clears soft-dirty bits for the WHOLE
+// process, so every clear must first bank the pending bits of all trackers
+// that are not the one clearing. One mutex serializes all tracker operations;
+// the clear_refs fd is opened once and shared.
+struct SoftDirtyArbiter {
+  std::mutex mu;
+  std::vector<SoftDirtyTracker*> trackers;
+  int clear_refs_fd = -1;
+
+  static SoftDirtyArbiter& Get() {
+    static SoftDirtyArbiter* arbiter = new SoftDirtyArbiter;
+    return *arbiter;
+  }
+
+  Status EnsureFdLocked() {
+    if (clear_refs_fd < 0) {
+      clear_refs_fd = open("/proc/self/clear_refs", O_WRONLY | O_CLOEXEC);
+      if (clear_refs_fd < 0) {
+        return IoError(std::string("open /proc/self/clear_refs: ") + std::strerror(errno));
+      }
+    }
+    return OkStatus();
+  }
+
+  // Banks pending bits of every registered tracker except `except` (which may
+  // be null) ahead of a process-wide clear.
+  Status CollectOthersLocked(const SoftDirtyTracker* except);
+};
+
+// Grants the arbiter access to tracker internals without widening the public
+// surface of SoftDirtyTracker.
+class SoftDirtyArbiterAccess {
+ public:
+  static Status Collect(SoftDirtyTracker* t) { return t->CollectLocked(); }
+};
+
+Status SoftDirtyArbiter::CollectOthersLocked(const SoftDirtyTracker* except) {
+  for (SoftDirtyTracker* t : trackers) {
+    if (t != except) {
+      Status status = SoftDirtyArbiterAccess::Collect(t);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status SoftDirtyTracker::Probe() {
+  static const Status cached = [] {
+    SoftDirtyArbiter& arbiter = SoftDirtyArbiter::Get();
+    std::lock_guard<std::mutex> lock(arbiter.mu);
+    LW_RETURN_IF_ERROR(arbiter.EnsureFdLocked());
+    int pagemap_fd = open("/proc/self/pagemap", O_RDONLY | O_CLOEXEC);
+    if (pagemap_fd < 0) {
+      return IoError(std::string("open /proc/self/pagemap: ") + std::strerror(errno));
+    }
+    // A scratch private page exercises the full round: dirty it, clear, dirty
+    // again, and require the soft-dirty bit to actually appear. Kernels built
+    // without CONFIG_MEM_SOFT_DIRTY accept the clear_refs write but never set
+    // the bit — an errno-only probe would pass on them.
+    void* scratch =
+        mmap(nullptr, kPageSize, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (scratch == MAP_FAILED) {
+      close(pagemap_fd);
+      return IoError(std::string("probe mmap: ") + std::strerror(errno));
+    }
+    Status status = [&]() -> Status {
+      std::memset(scratch, 0x5a, kPageSize);
+      // Bank every live tracker's pending bits before the probe's clear wipes
+      // them (a probe can run with engines already active).
+      LW_RETURN_IF_ERROR(arbiter.CollectOthersLocked(nullptr));
+      LW_RETURN_IF_ERROR(WriteClearRefs(arbiter.clear_refs_fd));
+      std::memset(scratch, 0xa5, kPageSize);
+      uint64_t entry = 0;
+      off_t off = static_cast<off_t>(reinterpret_cast<uintptr_t>(scratch) >> kPageShift) * 8;
+      if (pread(pagemap_fd, &entry, sizeof(entry), off) != sizeof(entry)) {
+        return IoError(std::string("pagemap read: ") + std::strerror(errno));
+      }
+      if ((entry & kSoftDirtyBit) == 0) {
+        return Unsupported(
+            "soft-dirty bit not set after clear+write; kernel likely lacks "
+            "CONFIG_MEM_SOFT_DIRTY");
+      }
+      return OkStatus();
+    }();
+    munmap(scratch, kPageSize);
+    close(pagemap_fd);
+    return status;
+  }();
+  return cached;
+}
+
+SoftDirtyTracker::SoftDirtyTracker(const void* base, uint32_t num_pages)
+    : base_(static_cast<const uint8_t*>(base)),
+      num_pages_(num_pages),
+      acc_((num_pages + 63) / 64, 0) {
+  LW_CHECK_MSG(Supported(), "SoftDirtyTracker constructed without soft-dirty support");
+  LW_CHECK_MSG((reinterpret_cast<uintptr_t>(base) & (kPageSize - 1)) == 0,
+               "SoftDirtyTracker base must be page-aligned");
+  pagemap_fd_ = open("/proc/self/pagemap", O_RDONLY | O_CLOEXEC);
+  LW_CHECK_MSG(pagemap_fd_ >= 0, "open /proc/self/pagemap failed");
+  SoftDirtyArbiter& arbiter = SoftDirtyArbiter::Get();
+  std::lock_guard<std::mutex> lock(arbiter.mu);
+  arbiter.trackers.push_back(this);
+}
+
+SoftDirtyTracker::~SoftDirtyTracker() {
+  SoftDirtyArbiter& arbiter = SoftDirtyArbiter::Get();
+  {
+    std::lock_guard<std::mutex> lock(arbiter.mu);
+    auto& ts = arbiter.trackers;
+    ts.erase(std::find(ts.begin(), ts.end(), this));
+  }
+  close(pagemap_fd_);
+}
+
+Status SoftDirtyTracker::CollectLocked() {
+  uint64_t chunk[kChunkEntries];
+  const uint64_t first_page = reinterpret_cast<uintptr_t>(base_) >> kPageShift;
+  for (uint32_t page = 0; page < num_pages_; page += kChunkEntries) {
+    const size_t n = std::min<size_t>(kChunkEntries, num_pages_ - page);
+    const off_t off = static_cast<off_t>(first_page + page) * 8;
+    const ssize_t want = static_cast<ssize_t>(n * sizeof(uint64_t));
+    if (pread(pagemap_fd_, chunk, want, off) != want) {
+      return IoError(std::string("pagemap read: ") + std::strerror(errno));
+    }
+    entries_read_ += n;
+    for (size_t i = 0; i < n; ++i) {
+      if (chunk[i] & kSoftDirtyBit) {
+        const uint32_t p = page + static_cast<uint32_t>(i);
+        acc_[p >> 6] |= 1ull << (p & 63);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+void SoftDirtyTracker::TakeAccLocked(std::vector<uint32_t>& out_pages, bool consume) {
+  out_pages.clear();
+  for (size_t w = 0; w < acc_.size(); ++w) {
+    uint64_t bits = acc_[w];
+    while (bits != 0) {
+      const uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(bits));
+      out_pages.push_back(static_cast<uint32_t>(w * 64) + bit);
+      bits &= bits - 1;
+    }
+    if (consume) {
+      acc_[w] = 0;
+    }
+  }
+}
+
+Status SoftDirtyTracker::HarvestAndClear(std::vector<uint32_t>& out_pages) {
+  SoftDirtyArbiter& arbiter = SoftDirtyArbiter::Get();
+  std::lock_guard<std::mutex> lock(arbiter.mu);
+  LW_RETURN_IF_ERROR(arbiter.EnsureFdLocked());
+  LW_RETURN_IF_ERROR(CollectLocked());
+  LW_RETURN_IF_ERROR(arbiter.CollectOthersLocked(this));
+  LW_RETURN_IF_ERROR(WriteClearRefs(arbiter.clear_refs_fd));
+  ++clear_writes_;
+  TakeAccLocked(out_pages, /*consume=*/true);
+  return OkStatus();
+}
+
+Status SoftDirtyTracker::Harvest(std::vector<uint32_t>& out_pages) {
+  SoftDirtyArbiter& arbiter = SoftDirtyArbiter::Get();
+  std::lock_guard<std::mutex> lock(arbiter.mu);
+  LW_RETURN_IF_ERROR(CollectLocked());
+  TakeAccLocked(out_pages, /*consume=*/false);
+  return OkStatus();
+}
+
+Status SoftDirtyTracker::DiscardAndClear() {
+  SoftDirtyArbiter& arbiter = SoftDirtyArbiter::Get();
+  std::lock_guard<std::mutex> lock(arbiter.mu);
+  LW_RETURN_IF_ERROR(arbiter.EnsureFdLocked());
+  LW_RETURN_IF_ERROR(arbiter.CollectOthersLocked(this));
+  LW_RETURN_IF_ERROR(WriteClearRefs(arbiter.clear_refs_fd));
+  ++clear_writes_;
+  std::fill(acc_.begin(), acc_.end(), 0);
+  return OkStatus();
+}
+
+uint64_t SoftDirtyTracker::pagemap_entries_read() const {
+  SoftDirtyArbiter& arbiter = SoftDirtyArbiter::Get();
+  std::lock_guard<std::mutex> lock(arbiter.mu);
+  return entries_read_;
+}
+
+uint64_t SoftDirtyTracker::clear_refs_writes() const {
+  SoftDirtyArbiter& arbiter = SoftDirtyArbiter::Get();
+  std::lock_guard<std::mutex> lock(arbiter.mu);
+  return clear_writes_;
+}
+
+}  // namespace lw

@@ -1,0 +1,96 @@
+// SoftDirtyTracker: kernel-assisted dirty tracking over Linux soft-dirty bits.
+//
+// The kernel already knows which pages a process wrote: writing "4" to
+// /proc/self/clear_refs write-protects every PTE (inside the kernel — no
+// mprotect, no signals), and the next write to a page takes a *minor* kernel
+// fault that sets bit 55 of its /proc/self/pagemap entry. Reading the pagemap
+// slice covering an arena therefore yields an exact dirty set with no SIGSEGV
+// round trips (the CoW engine's per-page cost) and no content scan (the
+// incremental engine's ∝-arena cost). The honest price: pagemap reads cost a
+// few ns per page entry, each clear_refs write walks the whole process's page
+// tables, and the post-clear minor fault per first-touched page is cheap but
+// not zero — see DESIGN.md "Kernel-assisted dirty tracking".
+//
+// clear_refs granularity is the PROCESS, not a range: one tracker's clear
+// wipes the soft-dirty bits of every other arena in the process. Trackers
+// therefore register in a process-global arbiter; any operation that writes
+// clear_refs first harvests every *other* registered tracker's pending bits
+// into that tracker's accumulator, so concurrent soft-dirty engines (service
+// fleets) never lose each other's dirty pages. All tracker operations
+// serialize on the arbiter lock; with a single tracker the overhead is one
+// uncontended mutex acquire per snapshot.
+//
+// Capability: soft-dirty needs CONFIG_MEM_SOFT_DIRTY and a /proc that permits
+// the writes; sandboxes and some container kernels accept the clear_refs
+// write but never set the bit. Probe() is a *functional* probe — it clears,
+// writes a scratch page, and checks that the bit actually appears — and
+// reports Unsupported with a reason otherwise. Callers must probe before
+// constructing a tracker (or selecting SnapshotMode::kSoftDirty).
+
+#ifndef LWSNAP_SRC_SNAPSHOT_SOFT_DIRTY_H_
+#define LWSNAP_SRC_SNAPSHOT_SOFT_DIRTY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+class SoftDirtyTracker {
+ public:
+  // Functional capability probe, cached after the first call (the result
+  // cannot change within a process lifetime). ok() means soft-dirty rounds
+  // work end to end; otherwise kUnsupported with the failing step in the
+  // message. Safe to call with live trackers registered: the probe's
+  // clear_refs write preserves their pending bits like any other clear.
+  static Status Probe();
+  static bool Supported() { return Probe().ok(); }
+
+  // Tracks `num_pages` pages starting at `base` (page-aligned). Requires
+  // Supported(); registers with the process-global arbiter.
+  SoftDirtyTracker(const void* base, uint32_t num_pages);
+  ~SoftDirtyTracker();
+
+  SoftDirtyTracker(const SoftDirtyTracker&) = delete;
+  SoftDirtyTracker& operator=(const SoftDirtyTracker&) = delete;
+
+  uint32_t num_pages() const { return num_pages_; }
+
+  // Pages written since the last clear, ascending; starts a fresh tracking
+  // interval (process-wide clear_refs, other trackers' bits preserved).
+  Status HarvestAndClear(std::vector<uint32_t>& out_pages);
+
+  // As above but without clearing: the reported pages stay pending, and the
+  // tracking interval continues. Restore paths use this to learn the live
+  // divergence before overwriting it.
+  Status Harvest(std::vector<uint32_t>& out_pages);
+
+  // Drops this tracker's pending bits and starts a fresh interval (other
+  // trackers' bits preserved). Restore paths call this after copying: the
+  // copies re-dirtied exactly the pages that were just made canonical.
+  Status DiscardAndClear();
+
+  // Lifetime totals, for stats mirroring.
+  uint64_t pagemap_entries_read() const;
+  uint64_t clear_refs_writes() const;
+
+ private:
+  friend class SoftDirtyArbiterAccess;  // .cc-internal arbiter helpers
+
+  // Reads this tracker's pagemap slice and ORs soft-dirty bits into acc_.
+  // Caller holds the arbiter lock.
+  Status CollectLocked();
+  void TakeAccLocked(std::vector<uint32_t>& out_pages, bool consume);
+
+  const uint8_t* base_;
+  uint32_t num_pages_;
+  int pagemap_fd_ = -1;
+  std::vector<uint64_t> acc_;  // pending dirty bits, one per page
+  uint64_t entries_read_ = 0;
+  uint64_t clear_writes_ = 0;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_SOFT_DIRTY_H_

@@ -1,0 +1,116 @@
+#include "src/snapshot/soft_dirty_engine.h"
+
+#include <algorithm>
+
+#include "src/core/arena.h"
+
+namespace lw {
+
+SoftDirtyEngine::SoftDirtyEngine(const Env& env)
+    : SnapshotEngine(env), tracker_(env.arena->base(), env.arena->num_pages()) {
+  GuestArena& arena = *env_.arena;
+  // Fault-free: the arena stays writable for its whole life, no SIGSEGV
+  // handler, no sigaltstacks. The kernel does the dirty tracking.
+  arena.SetCowEnabled(false);
+  // Freshly mmap'd arena is all-zero, so the canonical zero blob truthfully
+  // images every non-guard page (same bootstrap as the incremental engine).
+  PageRef zero = env_.store->ZeroPage();
+  for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+    if (!arena.InGuard(page)) {
+      cur_map_.Set(page, zero);
+    }
+  }
+  // Start the first tracking interval now: anything written before the first
+  // Materialize (arena construction itself dirtied the region) is harvested
+  // there.
+  Status status = tracker_.DiscardAndClear();
+  LW_CHECK_MSG(status.ok(), "soft-dirty initial clear failed");
+}
+
+void SoftDirtyEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx) {
+  GuestArena& arena = *env_.arena;
+  SnapshotEngineStats& stats = *env_.stats;
+  // The kernel hands us the exact write set: no faults taken, no pages
+  // scanned. Soft-dirty flags *writes*, not *changes*, so a page rewritten
+  // with identical bytes is still harvested — the content-addressed store
+  // collapses its publish back to the existing blob, keeping the map entry
+  // pointer-equal (restores still skip it).
+  Status status = tracker_.HarvestAndClear(dirty_pages_);
+  LW_CHECK_MSG(status.ok(), "soft-dirty harvest failed");
+  // Publishing fans out over the worker team; each slot fills only its own
+  // publish_refs_ entry, and the map adopts them serially in page order.
+  publish_refs_.resize(dirty_pages_.size());
+  RunSlots(ctx, dirty_pages_.size(), [this, &arena](size_t slot) {
+    const uint32_t page = dirty_pages_[slot];
+    if (!arena.InGuard(page)) {
+      publish_refs_[slot] = PublishPage(arena.PageAddr(page));
+    }
+    return OkStatus();
+  });
+  uint64_t published = 0;
+  for (size_t slot = 0; slot < dirty_pages_.size(); ++slot) {
+    if (publish_refs_[slot].valid()) {
+      cur_map_.Set(dirty_pages_[slot], std::move(publish_refs_[slot]));
+      ++published;
+    }
+  }
+  publish_refs_.clear();
+  stats.pages_materialized += published;
+  stats.dirty_source = DirtySource::kKernelPagemap;
+  ++stats.materializes_by_pagemap;
+  MirrorTrackerStats();
+  snap.map = cur_map_;  // live memory now matches cur_map_ byte-for-byte
+  SyncStoreStats();
+}
+
+void SoftDirtyEngine::Restore(const Snapshot& snap) {
+  GuestArena& arena = *env_.arena;
+  uint64_t restored = 0;
+  // Live memory diverges from cur_map_ exactly on the pending soft-dirty
+  // pages — harvest without clearing, copy those back to the *target* map
+  // (skipping writes that didn't change bytes), then cover genuine map
+  // differences along the tree path via the immutable-map diff.
+  Status status = tracker_.Harvest(dirty_pages_);
+  LW_CHECK_MSG(status.ok(), "soft-dirty harvest failed");
+  for (uint32_t page : dirty_pages_) {
+    if (arena.InGuard(page)) {
+      continue;
+    }
+    const PageRef ref = snap.map.Get(page);
+    LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+    if (ref.CopyToIfDifferent(arena.PageAddr(page))) {
+      ++restored;
+    }
+  }
+  cur_map_.Diff(snap.map, [this, &arena, &restored](uint32_t page, const PageRef& /*mine*/,
+                                                    const PageRef& theirs) {
+    // Dirty pages were already copied above (and with a shared store,
+    // ref inequality implies byte inequality, so CopyTo is safe here).
+    if (std::binary_search(dirty_pages_.begin(), dirty_pages_.end(), page)) {
+      return;
+    }
+    LW_CHECK_MSG(theirs.valid(), "restoring a page the snapshot does not cover");
+    theirs.CopyTo(arena.PageAddr(page));
+    ++restored;
+  });
+  // The copies above re-dirtied exactly the pages just made canonical; drop
+  // those bits and start a fresh interval.
+  status = tracker_.DiscardAndClear();
+  LW_CHECK_MSG(status.ok(), "soft-dirty clear failed");
+  cur_map_ = snap.map;
+  env_.stats->pages_restored += restored;
+  MirrorTrackerStats();
+}
+
+size_t SoftDirtyEngine::StructureBytes() const {
+  const uint32_t pages = tracker_.num_pages();
+  return cur_map_.StructureBytes() + ((pages + 63) / 64) * sizeof(uint64_t) +
+         dirty_pages_.capacity() * sizeof(uint32_t) + publish_refs_.capacity() * sizeof(PageRef);
+}
+
+void SoftDirtyEngine::MirrorTrackerStats() {
+  env_.stats->pagemap_entries_read = tracker_.pagemap_entries_read();
+  env_.stats->soft_dirty_clears = tracker_.clear_refs_writes();
+}
+
+}  // namespace lw

@@ -1,0 +1,57 @@
+// SoftDirtyEngine: kernel-assisted dirty tracking — the fourth point in the
+// dirty-discovery design space.
+//
+//   CoW          pays SIGSEGV + 2×mprotect per first-touched page;
+//   Incremental  pays a memcmp scan ∝ arena on every snapshot;
+//   FullCopy     pays a publish ∝ arena on every snapshot;
+//   SoftDirty    pays a pagemap read ∝ arena/512 (8 bytes per page entry,
+//                sequential pread) plus one process-wide clear_refs write —
+//                and gets the *exact* dirty set with zero faults and zero
+//                content scanning.
+//
+// Mechanism (see SoftDirtyTracker): clear_refs write-protects PTEs inside the
+// kernel; the first write to a page after a clear takes a cheap minor fault
+// (no signal reaches userspace) and sets pagemap bit 55. Materialize harvests
+// those bits, publishes exactly the flagged pages through the shared store,
+// and clears for the next interval. Restore harvests (without clearing) to
+// learn where live memory diverged from the current map, copies the
+// divergence plus the map diff to the target, then discards-and-clears — the
+// restore's own memcpys re-dirtied exactly the pages it made canonical.
+//
+// Requires SoftDirtyTracker::Supported(); callers (session setup, the
+// adaptive engine, tests) must probe first — construction LW_CHECKs.
+// Never write-protects guest pages: NeedsSignalProtocol() stays false and no
+// SIGSEGV handler or sigaltstack is ever installed on this engine's behalf.
+
+#ifndef LWSNAP_SRC_SNAPSHOT_SOFT_DIRTY_ENGINE_H_
+#define LWSNAP_SRC_SNAPSHOT_SOFT_DIRTY_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/snapshot/engine.h"
+#include "src/snapshot/soft_dirty.h"
+
+namespace lw {
+
+class SoftDirtyEngine : public SnapshotEngine {
+ public:
+  explicit SoftDirtyEngine(const Env& env);
+
+  SnapshotMode mode() const override { return SnapshotMode::kSoftDirty; }
+  using SnapshotEngine::Materialize;
+  void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
+  void Restore(const Snapshot& snap) override;
+  size_t StructureBytes() const override;
+
+ private:
+  void MirrorTrackerStats();
+
+  SoftDirtyTracker tracker_;
+  std::vector<uint32_t> dirty_pages_;  // harvest result, ascending
+  std::vector<PageRef> publish_refs_;  // dirty slot -> new blob
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_SOFT_DIRTY_ENGINE_H_

@@ -44,6 +44,9 @@ struct SolverServiceOptions {
   size_t mailbox_bytes = 1ull << 16;
   SolverOptions solver;
   PageMapKind page_map_kind = PageMapKind::kRadix;
+  // Any SnapshotMode works here, including kSoftDirty (probe
+  // SoftDirtyTracker::Supported() first) and kAdaptive (works everywhere);
+  // see SessionOptions::snapshot_mode.
   SnapshotMode snapshot_mode = SnapshotMode::kCow;
 
   // Shared page substrate: multiple services (or plain sessions) on one store

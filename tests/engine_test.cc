@@ -12,6 +12,7 @@
 #include "src/snapshot/engine.h"
 #include "src/snapshot/incremental_engine.h"
 #include "src/snapshot/page_store.h"
+#include "src/snapshot/soft_dirty.h"
 
 namespace lw {
 namespace {
@@ -40,6 +41,9 @@ SnapshotEngine::Env MakeEnv(GuestArena* arena, PageStore* store, SnapshotEngineS
 class EngineRoundTripTest : public ::testing::TestWithParam<SnapshotMode> {};
 
 TEST_P(EngineRoundTripTest, MaterializeRestoreRoundTrip) {
+  if (GetParam() == SnapshotMode::kSoftDirty && !SoftDirtyTracker::Supported()) {
+    GTEST_SKIP() << "soft-dirty unavailable: " << SoftDirtyTracker::Probe().ToString();
+  }
   GuestArena arena(SmallLayout());
   PageStore store;
   SnapshotEngineStats stats;
@@ -87,7 +91,8 @@ TEST_P(EngineRoundTripTest, MaterializeRestoreRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, EngineRoundTripTest,
                          ::testing::Values(SnapshotMode::kCow, SnapshotMode::kFullCopy,
-                                           SnapshotMode::kIncremental),
+                                           SnapshotMode::kIncremental, SnapshotMode::kSoftDirty,
+                                           SnapshotMode::kAdaptive),
                          [](const ::testing::TestParamInfo<SnapshotMode>& param) {
                            return std::string(SnapshotModeName(param.param));
                          });

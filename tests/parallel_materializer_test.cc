@@ -24,6 +24,7 @@
 
 #include "src/core/backtrack.h"
 #include "src/snapshot/parallel_materializer.h"
+#include "src/snapshot/soft_dirty.h"
 #include "src/solver/service.h"
 
 #if defined(__has_feature)
@@ -203,10 +204,15 @@ class ParallelEngineBitIdentityTest : public ::testing::TestWithParam<SnapshotMo
 
 TEST_P(ParallelEngineBitIdentityTest, ParallelSnapshotStructureMatchesSerial) {
 #ifdef __SANITIZE_THREAD__
-  if (GetParam() == SnapshotMode::kCow) {
+  // kAdaptive may arm the CoW mechanism at any checkpoint, so it carries the
+  // same TSan conflict.
+  if (GetParam() == SnapshotMode::kCow || GetParam() == SnapshotMode::kAdaptive) {
     GTEST_SKIP() << "CoW SIGSEGV protocol conflicts with TSan signal interposition";
   }
 #endif
+  if (GetParam() == SnapshotMode::kSoftDirty && !SoftDirtyTracker::Supported()) {
+    GTEST_SKIP() << "soft-dirty unavailable: " << SoftDirtyTracker::Probe().ToString();
+  }
   // One shared store: equal published bytes yield the same blob, so if the
   // parallel engine assembles the same structure as the serial one, every
   // page-ref pair compares pointer-equal.
@@ -253,7 +259,8 @@ TEST_P(ParallelEngineBitIdentityTest, ParallelSnapshotStructureMatchesSerial) {
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, ParallelEngineBitIdentityTest,
                          ::testing::Values(SnapshotMode::kCow, SnapshotMode::kFullCopy,
-                                           SnapshotMode::kIncremental),
+                                           SnapshotMode::kIncremental, SnapshotMode::kSoftDirty,
+                                           SnapshotMode::kAdaptive),
                          [](const ::testing::TestParamInfo<SnapshotMode>& info) {
                            return SnapshotModeName(info.param);
                          });
@@ -298,10 +305,15 @@ class ParallelQueensParityTest : public ::testing::TestWithParam<SnapshotMode> {
 
 TEST_P(ParallelQueensParityTest, WorkerSweepKeepsParityAndSnapshotCounts) {
 #ifdef __SANITIZE_THREAD__
-  if (GetParam() == SnapshotMode::kCow) {
+  // kAdaptive arms the CoW mechanism once the dirty rate settles low, so it
+  // carries the same TSan conflict.
+  if (GetParam() == SnapshotMode::kCow || GetParam() == SnapshotMode::kAdaptive) {
     GTEST_SKIP() << "CoW SIGSEGV protocol conflicts with TSan signal interposition";
   }
 #endif
+  if (GetParam() == SnapshotMode::kSoftDirty && !SoftDirtyTracker::Supported()) {
+    GTEST_SKIP() << "soft-dirty unavailable: " << SoftDirtyTracker::Probe().ToString();
+  }
   uint64_t serial_snapshots = 0;
   uint64_t serial_pages = 0;
   for (uint32_t workers : {1u, 2u, 4u, 8u}) {
@@ -331,7 +343,8 @@ TEST_P(ParallelQueensParityTest, WorkerSweepKeepsParityAndSnapshotCounts) {
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, ParallelQueensParityTest,
                          ::testing::Values(SnapshotMode::kCow, SnapshotMode::kFullCopy,
-                                           SnapshotMode::kIncremental),
+                                           SnapshotMode::kIncremental, SnapshotMode::kSoftDirty,
+                                           SnapshotMode::kAdaptive),
                          [](const ::testing::TestParamInfo<SnapshotMode>& info) {
                            return SnapshotModeName(info.param);
                          });
