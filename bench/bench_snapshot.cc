@@ -14,6 +14,10 @@
 //                            kernel supports soft-dirty (see the probe below)
 //   AdaptiveSnapshot/D/A   — per-checkpoint mechanism selection from observed
 //                            dirty rate; should track the best fixed engine
+//   {Cow,Incremental,FullCopy,Adaptive,SoftDirty}Restore/D/A/W — restore-heavy
+//                            shape (fanout restores per snapshot) with a
+//                            W-thread worker team; reports ns/restore and the
+//                            mprotect-coalescing counters (E13)
 //
 // Counters report the engine's own ns/snapshot and ns/restore so the
 // comparison is invariant to the harness loop; the label column names the
@@ -218,6 +222,138 @@ void BM_SoftDirtySnapshot(benchmark::State& state) {
   RunEngine(state, lw::SnapshotMode::kSoftDirty);
 }
 
+// E13 — restore-heavy rows (the backtrack half). Args are {dirty_pages,
+// arena_mb, workers}. The guest snapshots once per round and then takes
+// `fanout` restores off that node, each rolling back a freshly dirtied
+// D-page window — restores dominate the session (fanout× more restores than
+// snapshots), which is the shape deep symx chains and checkpoint-per-revision
+// bisection produce. Counters report the engine's own ns/restore plus the
+// syscall-coalescing provenance (mprotect and runs per restore, compare
+// skips), so the O(runs)-vs-O(pages) claim is measured, not inferred.
+struct RestoreArgs {
+  uint32_t dirty_pages = 64;
+  uint32_t rounds = 16;
+  uint32_t fanout = 8;
+};
+
+void RestoreHeavyGuest(void* arg) {
+  auto* args = static_cast<RestoreArgs*>(arg);
+  auto* session = static_cast<lw::BacktrackSession*>(lw::CurrentExecutor());
+  const size_t page = 4096;
+  const size_t buffer_bytes = static_cast<size_t>(args->dirty_pages + 1) * page;
+  auto* buffer = static_cast<uint8_t*>(session->heap()->Alloc(buffer_bytes));
+  if (buffer == nullptr) {
+    return;
+  }
+  if (!lw::sys_guess_strategy(lw::StrategyKind::kDfs)) {
+    return;
+  }
+  for (uint32_t round = 0; round < args->rounds; ++round) {
+    const uint32_t v = static_cast<uint32_t>(lw::sys_guess(args->fanout));
+    for (uint32_t p = 0; p < args->dirty_pages; ++p) {
+      buffer[p * page + ((round * 31 + v * 7) % page)] = static_cast<uint8_t>(round + v + 1);
+    }
+    if (v + 1 != args->fanout) {
+      lw::sys_guess_fail();  // every failed branch is one restore of ~D pages
+    }
+  }
+}
+
+void RunRestoreEngine(benchmark::State& state, lw::SnapshotMode mode, uint32_t rounds,
+                      uint32_t fanout) {
+  RestoreArgs args;
+  args.dirty_pages = static_cast<uint32_t>(state.range(0));
+  args.rounds = rounds;
+  args.fanout = fanout;
+  size_t arena_mb = static_cast<size_t>(state.range(1));
+  lw::DirtySource dirty_source = lw::DirtySource::kFull;
+
+  uint64_t restore_ns = 0;
+  uint64_t restores = 0;
+  uint64_t pages_restored = 0;
+  uint64_t mprotect_calls = 0;
+  uint64_t runs = 0;
+  uint64_t skips = 0;
+  for (auto _ : state) {
+    lw::SessionOptions options;
+    options.arena_bytes = arena_mb << 20;
+    options.snapshot_mode = mode;
+    options.parallel_materialize_workers = static_cast<uint32_t>(state.range(2));
+    options.output = [](std::string_view) {};
+    lw::BacktrackSession session(options);
+    lw::Status status = session.Run(&RestoreHeavyGuest, &args);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    restore_ns = session.stats().restore_ns;
+    restores = session.stats().restores;
+    pages_restored = session.stats().pages_restored;
+    mprotect_calls = session.stats().restore_mprotect_calls;
+    runs = session.stats().restore_runs_coalesced;
+    skips = session.stats().pages_restore_skipped;
+    dirty_source = session.stats().dirty_source;
+  }
+  state.SetLabel(std::string(lw::SnapshotModeName(mode)) + " dirty_src=" +
+                 lw::DirtySourceName(dirty_source));
+  if (restores != 0) {
+    state.counters["ns/restore"] = static_cast<double>(restore_ns) / restores;
+    state.counters["pages/restore"] = static_cast<double>(pages_restored) / restores;
+    state.counters["mprotect/restore"] = static_cast<double>(mprotect_calls) / restores;
+    state.counters["runs/restore"] = static_cast<double>(runs) / restores;
+    state.counters["restore_skips"] = static_cast<double>(skips);
+  }
+}
+
+void BM_CowRestore(benchmark::State& state) {
+  RunRestoreEngine(state, lw::SnapshotMode::kCow, 16, 8);
+}
+BENCHMARK(BM_CowRestore)
+    ->Args({64, 16, 1})
+    ->Args({64, 16, 4})
+    ->Args({512, 16, 1})
+    ->Args({512, 16, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_IncrementalRestore(benchmark::State& state) {
+  RunRestoreEngine(state, lw::SnapshotMode::kIncremental, 16, 8);
+}
+BENCHMARK(BM_IncrementalRestore)
+    ->Args({512, 16, 1})
+    ->Args({512, 16, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// Whole-arena copy-back per restore: one iteration pays rounds×fanout of them.
+void BM_FullCopyRestore(benchmark::State& state) {
+  RunRestoreEngine(state, lw::SnapshotMode::kFullCopy, 8, 4);
+}
+BENCHMARK(BM_FullCopyRestore)
+    ->Args({8, 16, 1})
+    ->Args({8, 16, 4})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_AdaptiveRestore(benchmark::State& state) {
+  RunRestoreEngine(state, lw::SnapshotMode::kAdaptive, 16, 8);
+}
+BENCHMARK(BM_AdaptiveRestore)
+    ->Args({64, 16, 1})
+    ->Args({64, 16, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// Registered in main() alongside BM_SoftDirtySnapshot, capability-gated.
+void BM_SoftDirtyRestore(benchmark::State& state) {
+  RunRestoreEngine(state, lw::SnapshotMode::kSoftDirty, 16, 8);
+}
+
 // The fork strawman: one fork()+dirty+_exit+waitpid cycle per "snapshot".
 void BM_ForkSnapshot(benchmark::State& state) {
   uint32_t dirty_pages = static_cast<uint32_t>(state.range(0));
@@ -265,6 +401,12 @@ int main(int argc, char** argv) {
         ->Args({64, 64})
         ->Args({512, 64})
         ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_SoftDirtyRestore", &BM_SoftDirtyRestore)
+        ->Args({64, 16, 1})
+        ->Args({64, 16, 4})
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime()
+        ->MeasureProcessCPUTime();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

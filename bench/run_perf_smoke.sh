@@ -21,9 +21,11 @@ MAX_PCT=${LWSNAP_PERF_MAX_REGRESSION_PCT:-25}
 
 # Gated rows. Small-but-representative: CoW + incremental primitive costs at
 # a thin and a fat dirty set, the parallel-materialize sweep endpoints, the
-# adaptive engine at the same two dirty sets, and the E11 queens fixture.
-# Fast enough to repeat $REPS times; medians gate.
-SNAPSHOT_FILTER='^BM_CowSnapshot/(8|512)/16$|^BM_IncrementalSnapshot/(8|512)/16$|^BM_AdaptiveSnapshot/(8|512)/16$|^BM_(Cow|Incremental)SnapshotParallel/512/16/(1|4)/'
+# adaptive engine at the same two dirty sets, the restore-heavy E13 rows
+# (serial + 4-worker endpoints for the coalesced-mprotect CoW path and the
+# fan-out scan/adaptive paths), and the E11 queens fixture. Fast enough to
+# repeat $REPS times; medians gate.
+SNAPSHOT_FILTER='^BM_CowSnapshot/(8|512)/16$|^BM_IncrementalSnapshot/(8|512)/16$|^BM_AdaptiveSnapshot/(8|512)/16$|^BM_(Cow|Incremental)SnapshotParallel/512/16/(1|4)/|^BM_CowRestore/(64|512)/16/(1|4)/|^BM_IncrementalRestore/512/16/(1|4)/|^BM_AdaptiveRestore/64/16/(1|4)/'
 STORE_FILTER='^BM_QueensParallelMaterialize/(1|4)/'
 
 # Soft-dirty rows exist only on kernels that track soft-dirty PTE bits
@@ -31,12 +33,14 @@ STORE_FILTER='^BM_QueensParallelMaterialize/(1|4)/'
 # gate like any other row when both baseline and run have them, and
 # --optional-prefix below keeps baseline/run capability mismatches a warning
 # instead of a failure (exit 2 = unsupported, anything else is a real error).
-SOFT_DIRTY_PREFIX=BM_SoftDirtySnapshot
+# The prefix covers both directions (BM_SoftDirtySnapshot and
+# BM_SoftDirtyRestore).
+SOFT_DIRTY_PREFIX=BM_SoftDirty
 PROBE_STATUS=0
 "$BUILD_DIR/bench_snapshot" --lwsnap_probe_soft_dirty || PROBE_STATUS=$?
 if [ "$PROBE_STATUS" -eq 0 ]; then
   echo "soft-dirty rows: enabled"
-  SNAPSHOT_FILTER="$SNAPSHOT_FILTER|^${SOFT_DIRTY_PREFIX}/(8|512)/16\$"
+  SNAPSHOT_FILTER="$SNAPSHOT_FILTER|^BM_SoftDirtySnapshot/(8|512)/16\$|^BM_SoftDirtyRestore/64/16/(1|4)/"
 elif [ "$PROBE_STATUS" -eq 2 ]; then
   echo "soft-dirty rows: skipped (kernel lacks soft-dirty tracking)"
 else

@@ -296,6 +296,21 @@ void GuestArena::ProtectPage(uint32_t page) {
   LW_CHECK(mprotect(PageAddr(page), kPageSize, PROT_READ) == 0);
 }
 
+void GuestArena::UnprotectRange(uint32_t page, uint32_t count) {
+  LW_CHECK(count > 0 && page + count <= num_pages_);
+  LW_CHECK_MSG(page >= guard_hi_ || page + count <= guard_lo_,
+               "protection range spans the guard");
+  LW_CHECK(mprotect(PageAddr(page), static_cast<size_t>(count) * kPageSize,
+                    PROT_READ | PROT_WRITE) == 0);
+}
+
+void GuestArena::ProtectRange(uint32_t page, uint32_t count) {
+  LW_CHECK(count > 0 && page + count <= num_pages_);
+  LW_CHECK_MSG(page >= guard_hi_ || page + count <= guard_lo_,
+               "protection range spans the guard");
+  LW_CHECK(mprotect(PageAddr(page), static_cast<size_t>(count) * kPageSize, PROT_READ) == 0);
+}
+
 void GuestArena::HandleWriteFault(void* addr) {
   // Async-signal-safe path: bounded work, no allocation.
   uint32_t page = PageOf(addr);

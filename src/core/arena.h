@@ -116,6 +116,14 @@ class GuestArena {
   void UnprotectPage(uint32_t page);
   void ProtectPage(uint32_t page);
 
+  // Range forms: one mprotect syscall over `count` contiguous pages starting at
+  // `page`. The range must not span the guard (callers coalesce restore sets,
+  // and guard pages never appear in those). Restore batching uses these to pay
+  // O(runs) syscalls instead of O(pages) — see
+  // SnapshotEngine::RestoreProtectedSet.
+  void UnprotectRange(uint32_t page, uint32_t count);
+  void ProtectRange(uint32_t page, uint32_t count);
+
   DirtyTracker& dirty() { return dirty_; }
   const DirtyTracker& dirty() const { return dirty_; }
 

@@ -23,13 +23,14 @@ GuessExecutor* CurrentExecutor() { return g_current_executor; }
 void SetCurrentExecutor(GuessExecutor* executor) { g_current_executor = executor; }
 
 std::string SessionStats::ToString() const {
-  char buf[1280];
+  char buf[1536];
   std::snprintf(buf, sizeof(buf),
                 "guesses=%llu snapshots=%llu restores=%llu exts=%llu fail=%llu done=%llu "
                 "sol=%llu pages_mat=%llu pages_rst=%llu zero_dedup=%llu content_dedup=%llu "
                 "xsession_dedup=%llu cold_blobs=%llu incr_scan=%llu incr_copy=%llu "
                 "dirty_src=%s mat_by=%llu/%llu/%llu/%llu pagemap_reads=%llu sd_clears=%llu "
-                "adaptive_switches=%llu snap_us=%.1f restore_us=%.1f",
+                "adaptive_switches=%llu rst_mprotect=%llu rst_runs=%llu rst_skip=%llu "
+                "snap_us=%.1f restore_us=%.1f",
                 static_cast<unsigned long long>(guesses),
                 static_cast<unsigned long long>(snapshots),
                 static_cast<unsigned long long>(restores),
@@ -53,6 +54,9 @@ std::string SessionStats::ToString() const {
                 static_cast<unsigned long long>(pagemap_entries_read),
                 static_cast<unsigned long long>(soft_dirty_clears),
                 static_cast<unsigned long long>(adaptive_switches),
+                static_cast<unsigned long long>(restore_mprotect_calls),
+                static_cast<unsigned long long>(restore_runs_coalesced),
+                static_cast<unsigned long long>(pages_restore_skipped),
                 static_cast<double>(snapshot_ns) / 1e3, static_cast<double>(restore_ns) / 1e3);
   return buf;
 }
@@ -351,7 +355,9 @@ void BacktrackSession::MaterializeInto(const SnapshotRef& snap) {
 
 void BacktrackSession::RestoreTo(const Snapshot& snap) {
   StopWatch sw;
-  engine_->Restore(snap);
+  RestoreContext ctx;
+  ctx.parallel = materializer_.get();
+  engine_->Restore(snap, ctx);
   for (size_t i = 0; i < attachments_.size(); ++i) {
     attachments_[i]->Restore(i < snap.aux.size() ? snap.aux[i] : nullptr);
   }

@@ -99,10 +99,13 @@ struct SessionOptions {
   // dirty set with multiple threads"): a session-owned worker team of this
   // many threads (the session thread participates) publishes each snapshot's
   // page set to the internally synchronized store; the incremental engine's
-  // content scan fans out too. Snapshot structures are bit-identical to a
-  // serial materialize (see src/snapshot/parallel_materializer.h). The CoW
-  // SIGSEGV protocol stays on the session thread — only post-fault page
-  // publishing parallelizes. 0/1 = serial (no team). Fleets should split
+  // content scan fans out too. The same team serves Restore: every engine's
+  // restore copy loop fans out over it (the CoW path batch-unprotects the
+  // coalesced restore runs first, so workers never fault). Snapshot
+  // structures and restored memory are bit-identical to serial (see
+  // src/snapshot/parallel_materializer.h). The CoW SIGSEGV protocol stays on
+  // the session thread — only page publishing and restore copies
+  // parallelize. 0/1 = serial (no team). Fleets should split
   // cores between services and these intra-session workers (see
   // ServicePool<S> in src/service/pool.h).
   uint32_t parallel_materialize_workers = 0;

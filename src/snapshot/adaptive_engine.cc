@@ -239,61 +239,88 @@ void AdaptiveEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx) 
   SyncStoreStats();
 }
 
-void AdaptiveEngine::Restore(const Snapshot& snap) {
+void AdaptiveEngine::Restore(const Snapshot& snap, const RestoreContext& ctx) {
   GuestArena& arena = *env_.arena;
+  SnapshotEngineStats& stats = *env_.stats;
   uint64_t restored = 0;
   switch (mech_) {
     case DirtySource::kFaults: {
       // The CoW protocol knows exactly where live memory diverged: the dirty
-      // set, plus wherever the immutable maps disagree.
+      // set, plus wherever the immutable maps disagree. Collect the whole set
+      // sorted, then let the shared tail batch-unprotect the coalesced runs,
+      // fan the copies out, and batch-reprotect — same 2-syscalls-per-run
+      // bound as CowEngine (this engine has no hot pages; the faults
+      // mechanism is the plain protocol).
       DirtyTracker& dirty = arena.dirty();
-      auto copy_in = [this, &arena, &dirty](uint32_t page, const PageRef& ref) {
-        LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+      restore_pages_.assign(dirty.pages(), dirty.pages() + dirty.count());
+      cur_map_.Diff(snap.map, [this, &dirty](uint32_t page, const PageRef& /*mine*/,
+                                             const PageRef& /*theirs*/) {
         if (!dirty.IsDirty(page)) {
-          arena.UnprotectPage(page);
-        }
-        ref.CopyTo(arena.PageAddr(page));
-        arena.ProtectPage(page);
-      };
-      for (uint32_t i = 0; i < dirty.count(); ++i) {
-        copy_in(dirty.pages()[i], snap.map.Get(dirty.pages()[i]));
-        ++restored;
-      }
-      cur_map_.Diff(snap.map, [&dirty, &copy_in, &restored](uint32_t page, const PageRef&,
-                                                            const PageRef& theirs) {
-        if (!dirty.IsDirty(page)) {
-          copy_in(page, theirs);
-          ++restored;
+          restore_pages_.push_back(page);
         }
       });
+      std::sort(restore_pages_.begin(), restore_pages_.end());
+      restore_refs_.resize(restore_pages_.size());
+      for (size_t i = 0; i < restore_pages_.size(); ++i) {
+        restore_refs_[i] = snap.map.Get(restore_pages_[i]);
+        LW_CHECK_MSG(restore_refs_[i].valid(), "restoring a page the snapshot does not cover");
+      }
+      restored += RestoreProtectedSet(ctx);
+      restore_pages_.clear();
+      restore_refs_.clear();
       dirty.Clear();
       break;
     }
     case DirtySource::kKernelPagemap: {
       // Soft-dirty protocol: pending bits say where the guest wrote; the map
       // diff says where the tree path changed; the restore's own copies are
-      // discarded from the next interval.
+      // discarded from the next interval. Both copy loops fan out (the arena
+      // is fully writable in this mechanism).
       Status status = tracker_->Harvest(dirty_pages_);
       LW_CHECK_MSG(status.ok(), "soft-dirty harvest failed");
+      restore_pages_.clear();
       for (uint32_t page : dirty_pages_) {
-        if (arena.InGuard(page)) {
-          continue;
-        }
-        const PageRef ref = snap.map.Get(page);
-        LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
-        if (ref.CopyToIfDifferent(arena.PageAddr(page))) {
-          ++restored;
+        if (!arena.InGuard(page)) {
+          restore_pages_.push_back(page);
         }
       }
-      cur_map_.Diff(snap.map, [this, &arena, &restored](uint32_t page, const PageRef&,
-                                                        const PageRef& theirs) {
-        if (std::binary_search(dirty_pages_.begin(), dirty_pages_.end(), page)) {
-          return;
+      restore_refs_.resize(restore_pages_.size());
+      for (size_t slot = 0; slot < restore_pages_.size(); ++slot) {
+        restore_refs_[slot] = snap.map.Get(restore_pages_[slot]);
+        LW_CHECK_MSG(restore_refs_[slot].valid(), "restoring a page the snapshot does not cover");
+      }
+      restore_flags_.assign(restore_pages_.size(), 0);
+      RunSlots(ctx, restore_pages_.size(), [this, &arena](size_t slot) {
+        if (restore_refs_[slot].CopyToIfDifferent(arena.PageAddr(restore_pages_[slot]))) {
+          restore_flags_[slot] = 1;
         }
-        LW_CHECK_MSG(theirs.valid(), "restoring a page the snapshot does not cover");
-        theirs.CopyTo(arena.PageAddr(page));
-        ++restored;
+        return OkStatus();
       });
+      for (size_t slot = 0; slot < restore_pages_.size(); ++slot) {
+        if (restore_flags_[slot] != 0) {
+          ++restored;
+        } else {
+          ++stats.pages_restore_skipped;
+        }
+      }
+      restore_pages_.clear();
+      restore_refs_.clear();
+      cur_map_.Diff(snap.map,
+                    [this](uint32_t page, const PageRef& /*mine*/, const PageRef& theirs) {
+                      if (std::binary_search(dirty_pages_.begin(), dirty_pages_.end(), page)) {
+                        return;
+                      }
+                      LW_CHECK_MSG(theirs.valid(), "restoring a page the snapshot does not cover");
+                      restore_pages_.push_back(page);
+                      restore_refs_.push_back(theirs);
+                    });
+      RunSlots(ctx, restore_pages_.size(), [this, &arena](size_t slot) {
+        restore_refs_[slot].CopyTo(arena.PageAddr(restore_pages_[slot]));
+        return OkStatus();
+      });
+      restored += restore_pages_.size();
+      restore_pages_.clear();
+      restore_refs_.clear();
       status = tracker_->DiscardAndClear();
       LW_CHECK_MSG(status.ok(), "soft-dirty clear failed");
       break;
@@ -301,26 +328,33 @@ void AdaptiveEngine::Restore(const Snapshot& snap) {
     case DirtySource::kScan:
     case DirtySource::kFull: {
       // No tracking armed: live memory may have diverged anywhere, so compare
-      // against the target map directly and copy the difference.
-      for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+      // against the target map directly and copy the difference — slot ==
+      // page, fanned out like the incremental engine's restore scan.
+      restore_flags_.assign(arena.num_pages(), 0);
+      RunSlots(ctx, arena.num_pages(), [this, &arena, &snap](size_t slot) {
+        const uint32_t page = static_cast<uint32_t>(slot);
         if (arena.InGuard(page)) {
-          continue;
+          return OkStatus();
         }
         const PageRef ref = snap.map.Get(page);
         LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
         if (ref.CopyToIfDifferent(arena.PageAddr(page))) {
-          ++restored;
+          restore_flags_[page] = 1;
         }
+        return OkStatus();
+      });
+      for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+        restored += restore_flags_[page];
       }
       break;
     }
   }
   cur_map_ = snap.map;
-  env_.stats->pages_restored += restored;
+  stats.pages_restored += restored;
 }
 
 size_t AdaptiveEngine::StructureBytes() const {
-  size_t bytes = cur_map_.StructureBytes() + scan_changed_.capacity() +
+  size_t bytes = SnapshotEngine::StructureBytes() + scan_changed_.capacity() +
                  dirty_pages_.capacity() * sizeof(uint32_t) +
                  publish_refs_.capacity() * sizeof(PageRef);
   if (tracker_ != nullptr) {

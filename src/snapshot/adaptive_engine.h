@@ -59,7 +59,8 @@ class AdaptiveEngine : public SnapshotEngine {
   SnapshotMode mode() const override { return SnapshotMode::kAdaptive; }
   using SnapshotEngine::Materialize;
   void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
-  void Restore(const Snapshot& snap) override;
+  using SnapshotEngine::Restore;
+  void Restore(const Snapshot& snap, const RestoreContext& ctx) override;
   size_t StructureBytes() const override;
   bool NeedsSignalProtocol() const override { return true; }
 

@@ -1,5 +1,6 @@
 #include "src/snapshot/cow_engine.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/core/arena.h"
@@ -114,50 +115,72 @@ void CowEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx) {
   SyncStoreStats();
 }
 
-void CowEngine::CopyInPage(uint32_t page, const PageRef& ref) {
+void CowEngine::Restore(const Snapshot& snap, const RestoreContext& ctx) {
   GuestArena& arena = *env_.arena;
-  LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
-  if (!arena.dirty().IsDirty(page)) {
-    arena.UnprotectPage(page);
-  }
-  ref.CopyTo(arena.PageAddr(page));
-  arena.ProtectPage(page);
-}
-
-void CowEngine::Restore(const Snapshot& snap) {
-  GuestArena& arena = *env_.arena;
+  SnapshotEngineStats& stats = *env_.stats;
   uint64_t restored = 0;
+
   // Hot pages are writable and fault-free, so their live contents are
-  // unknowable without a compare — copy them in unconditionally (a 4 KiB
-  // memcpy beats SIGSEGV + 2×mprotect, which is the whole point).
-  for (uint32_t page : hot_pages_) {
-    const PageRef ref = snap.map.Get(page);
-    LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
-    ref.CopyTo(arena.PageAddr(page));
-    ++restored;
+  // unknowable without a compare — memcmp each against the target blob and
+  // copy only on divergence (an unchanged hot page is the common case on the
+  // workloads that promoted it). The compare+copy per page is slot work;
+  // workers record outcomes in disjoint restore_flags_ slots and the session
+  // thread reduces the counters afterwards.
+  hot_refs_.resize(hot_pages_.size());
+  for (size_t slot = 0; slot < hot_pages_.size(); ++slot) {
+    hot_refs_[slot] = snap.map.Get(hot_pages_[slot]);
+    LW_CHECK_MSG(hot_refs_[slot].valid(), "restoring a page the snapshot does not cover");
   }
-  DirtyTracker& dirty = arena.dirty();
-  // Dirty pages: live memory diverged from cur_map_; always restore them.
-  for (uint32_t i = 0; i < dirty.count(); ++i) {
-    uint32_t page = dirty.pages()[i];
-    CopyInPage(page, snap.map.Get(page));
-    ++restored;
-  }
-  // Clean pages: restore exactly where the two immutable maps disagree.
-  cur_map_.Diff(snap.map, [this, &dirty, &restored](uint32_t page, const PageRef& /*mine*/,
-                                                    const PageRef& theirs) {
-    if (!dirty.IsDirty(page) && hot_[page] == 0) {
-      CopyInPage(page, theirs);
+  restore_flags_.assign(hot_pages_.size(), 0);
+  RunSlots(ctx, hot_pages_.size(), [this, &arena](size_t slot) {
+    if (hot_refs_[slot].CopyToIfDifferent(arena.PageAddr(hot_pages_[slot]))) {
+      restore_flags_[slot] = 1;
+    }
+    return OkStatus();
+  });
+  for (size_t slot = 0; slot < hot_pages_.size(); ++slot) {
+    if (restore_flags_[slot] != 0) {
       ++restored;
+    } else {
+      ++stats.pages_restore_skipped;
+    }
+  }
+  hot_refs_.clear();
+
+  // Protected restore set: dirty pages (live memory diverged from cur_map_;
+  // always restored) plus clean pages where the two immutable maps disagree.
+  // Dirty order is fault order, so sort before run coalescing; the two sources
+  // are disjoint by construction (the Diff arm excludes dirty and hot pages),
+  // and hot pages never fault, so the set is unique.
+  DirtyTracker& dirty = arena.dirty();
+  restore_pages_.assign(dirty.pages(), dirty.pages() + dirty.count());
+  cur_map_.Diff(snap.map, [this, &dirty](uint32_t page, const PageRef& /*mine*/,
+                                         const PageRef& /*theirs*/) {
+    if (!dirty.IsDirty(page) && hot_[page] == 0) {
+      restore_pages_.push_back(page);
     }
   });
+  std::sort(restore_pages_.begin(), restore_pages_.end());
+  restore_refs_.resize(restore_pages_.size());
+  for (size_t i = 0; i < restore_pages_.size(); ++i) {
+    restore_refs_[i] = snap.map.Get(restore_pages_[i]);
+    LW_CHECK_MSG(restore_refs_[i].valid(), "restoring a page the snapshot does not cover");
+  }
+  // Batch-unprotect the coalesced runs, fan the memcpys out, batch-reprotect:
+  // 2 mprotect per run instead of 2 per page (dirty pages were already
+  // writable, so widening the unprotect over them only improves coalescing;
+  // the reprotect re-establishes the protocol invariant for the whole set).
+  restored += RestoreProtectedSet(ctx);
+  restore_pages_.clear();
+  restore_refs_.clear();
+
   dirty.Clear();
   cur_map_ = snap.map;
-  env_.stats->pages_restored += restored;
+  stats.pages_restored += restored;
 }
 
 size_t CowEngine::StructureBytes() const {
-  return cur_map_.StructureBytes() + hot_.capacity() + dirty_streak_.capacity() +
+  return SnapshotEngine::StructureBytes() + hot_.capacity() + dirty_streak_.capacity() +
          clean_streak_.capacity() + hot_pages_.capacity() * sizeof(uint32_t) +
          (hot_refs_.capacity() + dirty_refs_.capacity()) * sizeof(PageRef);
 }

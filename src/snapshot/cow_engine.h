@@ -31,17 +31,14 @@ class CowEngine : public SnapshotEngine {
   SnapshotMode mode() const override { return SnapshotMode::kCow; }
   using SnapshotEngine::Materialize;
   void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
-  void Restore(const Snapshot& snap) override;
+  using SnapshotEngine::Restore;
+  void Restore(const Snapshot& snap, const RestoreContext& ctx) override;
   size_t StructureBytes() const override;
   bool NeedsSignalProtocol() const override { return true; }
 
   size_t hot_page_count() const { return hot_pages_.size(); }
 
  private:
-  // Copies `ref` into a page that the protocol says is clean (protected),
-  // temporarily granting write access without disturbing the dirty set.
-  void CopyInPage(uint32_t page, const PageRef& ref);
-
   // Prediction state (see SessionOptions::hot_page_limit).
   std::vector<uint8_t> hot_;           // page -> currently hot
   std::vector<uint8_t> dirty_streak_;  // page -> saturating dirty-snapshot count

@@ -45,19 +45,75 @@ SnapshotEngine::SnapshotEngine(const Env& env)
   LW_CHECK(env_.arena != nullptr && env_.store != nullptr && env_.stats != nullptr);
 }
 
-size_t SnapshotEngine::StructureBytes() const { return cur_map_.StructureBytes(); }
+size_t SnapshotEngine::StructureBytes() const {
+  return cur_map_.StructureBytes() + RestoreScratchBytes();
+}
 
 void SnapshotEngine::RunSlots(const MaterializeContext& ctx, size_t count,
                               const std::function<Status(size_t)>& fn) {
-  if (ctx.parallel == nullptr) {
+  RunSlotsOn(ctx.parallel, count, fn);
+}
+
+void SnapshotEngine::RunSlots(const RestoreContext& ctx, size_t count,
+                              const std::function<Status(size_t)>& fn) {
+  RunSlotsOn(ctx.parallel, count, fn);
+}
+
+void SnapshotEngine::RunSlotsOn(ParallelMaterializer* team, size_t count,
+                                const std::function<Status(size_t)>& fn) {
+  if (team == nullptr) {
     for (size_t slot = 0; slot < count; ++slot) {
       Status status = fn(slot);
       LW_CHECK_MSG(status.ok(), "engine slot work failed");
     }
     return;
   }
-  Status status = ctx.parallel->Run(count, fn);
-  LW_CHECK_MSG(status.ok(), "parallel materialize failed");
+  Status status = team->Run(count, fn);
+  LW_CHECK_MSG(status.ok(), "engine slot fan-out failed");
+}
+
+uint64_t SnapshotEngine::RestoreProtectedSet(const RestoreContext& ctx) {
+  const size_t count = restore_pages_.size();
+  LW_CHECK(restore_refs_.size() == count);
+  if (count == 0) return 0;
+  // Coalesce the sorted page set into contiguous runs. Guard pages never enter
+  // restore sets (they cannot be dirtied and never differ between maps), so a
+  // run can never span the arena guard.
+  restore_runs_.clear();
+  uint32_t run_start = restore_pages_[0];
+  uint32_t run_len = 1;
+  for (size_t i = 1; i < count; ++i) {
+    LW_CHECK_MSG(restore_pages_[i] > restore_pages_[i - 1], "restore set not sorted/unique");
+    if (restore_pages_[i] == run_start + run_len) {
+      ++run_len;
+    } else {
+      restore_runs_.emplace_back(run_start, run_len);
+      run_start = restore_pages_[i];
+      run_len = 1;
+    }
+  }
+  restore_runs_.emplace_back(run_start, run_len);
+
+  GuestArena& arena = *env_.arena;
+  for (const auto& run : restore_runs_) arena.UnprotectRange(run.first, run.second);
+  // Every page in the set is now writable, so worker memcpys cannot fault —
+  // the SIGSEGV protocol stays quiescent off the session thread.
+  RunSlots(ctx, count, [this, &arena](size_t slot) {
+    restore_refs_[slot].CopyTo(arena.PageAddr(restore_pages_[slot]));
+    return OkStatus();
+  });
+  for (const auto& run : restore_runs_) arena.ProtectRange(run.first, run.second);
+
+  env_.stats->restore_mprotect_calls += 2 * restore_runs_.size();
+  env_.stats->restore_runs_coalesced += restore_runs_.size();
+  return count;
+}
+
+size_t SnapshotEngine::RestoreScratchBytes() const {
+  return restore_pages_.capacity() * sizeof(uint32_t) +
+         restore_refs_.capacity() * sizeof(PageRef) +
+         restore_flags_.capacity() * sizeof(uint8_t) +
+         restore_runs_.capacity() * sizeof(std::pair<uint32_t, uint32_t>);
 }
 
 void SnapshotEngine::EnforceByteBudget(uint64_t budget, const std::function<bool()>& evict) {

@@ -51,6 +51,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/core/search_graph.h"
 #include "src/snapshot/budget_policy.h"
@@ -71,6 +73,19 @@ class ParallelMaterializer;
 // state — the CoW SIGSEGV/mprotect machinery, hot-page prediction, the dirty
 // tracker, the map itself — is only ever touched on the session thread.
 struct MaterializeContext {
+  ParallelMaterializer* parallel = nullptr;
+};
+
+// Per-restore options threaded from the session through the engine seam —
+// Restore's mirror of MaterializeContext (restore runs once per backtrack, so
+// it deserves the same fan-out the materialize path got). `parallel` non-null
+// routes every engine's restore copy loop over the session-owned worker team:
+// workers memcmp/memcpy disjoint pages of the parked arena from the
+// internally synchronized store, so end-state memory is byte-identical to a
+// serial restore by construction. Protection changes, tracker clears, and
+// cur_map_ adoption stay on the session thread (the same determinism contract
+// as materialization). Null (the default) keeps everything on the caller.
+struct RestoreContext {
   ParallelMaterializer* parallel = nullptr;
 };
 
@@ -123,6 +138,20 @@ struct SnapshotEngineStats {
   uint64_t pagemap_entries_read = 0;  // soft-dirty: 8-byte pagemap entries read
   uint64_t soft_dirty_clears = 0;     // soft-dirty: process-wide clear_refs writes
   uint64_t adaptive_switches = 0;     // adaptive: mechanism changes between checkpoints
+  // Restore-side provenance: syscall coalescing and skip accounting, so tests
+  // and benches can assert the mprotect reduction instead of inferring it
+  // from timings. Only the engines that write-protect guest pages (CoW, and
+  // adaptive while the faults mechanism is armed) ever issue restore-side
+  // mprotect calls; for them every restore costs exactly two calls per
+  // coalesced run (batch-unprotect + batch-reprotect), so
+  // restore_mprotect_calls == 2 × restore_runs_coalesced by construction.
+  uint64_t restore_mprotect_calls = 0;  // mprotect syscalls issued by restores
+  uint64_t restore_runs_coalesced = 0;  // contiguous page runs those calls covered
+  // Tracked restore candidates (CoW hot pages, soft-dirty write-set pages)
+  // memcmp'd and found already byte-identical — copies saved. Full-arena
+  // compare loops (incremental/scan restores) are not counted here;
+  // incr_pages_scanned covers those.
+  uint64_t pages_restore_skipped = 0;
   uint64_t snapshot_ns = 0;
   uint64_t restore_ns = 0;
 };
@@ -161,8 +190,11 @@ class SnapshotEngine {
   void Materialize(Snapshot& snap) { Materialize(snap, MaterializeContext{}); }
 
   // Rebuilds live arena memory to byte-equality with snap.map and adopts it as
-  // the current map.
-  virtual void Restore(const Snapshot& snap) = 0;
+  // the current map. `ctx` optionally supplies the session's worker team (the
+  // same team Materialize fans out over); the serial overload forwards an
+  // empty context. End-state memory is byte-identical either way.
+  virtual void Restore(const Snapshot& snap, const RestoreContext& ctx) = 0;
+  void Restore(const Snapshot& snap) { Restore(snap, RestoreContext{}); }
 
   // Called immediately before control transfers into the guest. Engines that
   // arm per-resume tracking state hook here; the built-in engines keep their
@@ -202,6 +234,25 @@ class SnapshotEngine {
   // slot work cannot fail, so an error here is an invariant violation.
   void RunSlots(const MaterializeContext& ctx, size_t count,
                 const std::function<Status(size_t)>& fn);
+  // Restore-side twin: identical contract, team taken from the RestoreContext.
+  void RunSlots(const RestoreContext& ctx, size_t count,
+                const std::function<Status(size_t)>& fn);
+
+  // Shared restore tail for engines that write-protect guest pages (CoW, and
+  // adaptive while the faults mechanism is armed). The caller fills
+  // restore_pages_ (sorted, unique, non-guard page indices) and restore_refs_
+  // (the matching snapshot blobs, same order); this coalesces the pages into
+  // contiguous runs, batch-unprotects each run with one mprotect, fans the
+  // memcpys out over ctx's team (or runs them serially), then batch-reprotects
+  // the same runs — exactly 2 syscalls per run instead of 2 per page. Because
+  // every touched page is writable before any worker starts, no SIGSEGV can
+  // fire off the session thread. Bumps restore_mprotect_calls /
+  // restore_runs_coalesced and returns the number of pages copied.
+  uint64_t RestoreProtectedSet(const RestoreContext& ctx);
+
+  // Bytes held by the reusable restore scratch tables below (counted into
+  // StructureBytes so capacity retained across restores is visible).
+  size_t RestoreScratchBytes() const;
 
   // Mirrors store-level dedup/compression accounting into the shared stats
   // block (called by engines at the end of Materialize).
@@ -210,6 +261,20 @@ class SnapshotEngine {
   Env env_;
   PageMap cur_map_;
   ByteBudgetPolicy budget_policy_;
+
+  // Reusable restore slot tables: page index -> blob to copy in, plus a
+  // per-slot outcome flag for CopyToIfDifferent fan-outs (workers write
+  // disjoint slots; the session thread reduces afterwards). Kept as members so
+  // restore-heavy workloads stop paying per-restore allocation.
+  std::vector<uint32_t> restore_pages_;
+  std::vector<PageRef> restore_refs_;
+  std::vector<uint8_t> restore_flags_;
+  std::vector<std::pair<uint32_t, uint32_t>> restore_runs_;  // (first page, count)
+
+ private:
+  // Common slot-loop body behind both RunSlots overloads.
+  void RunSlotsOn(ParallelMaterializer* team, size_t count,
+                  const std::function<Status(size_t)>& fn);
 };
 
 // Builds the engine for `mode` and establishes its arena invariant (protection

@@ -39,17 +39,20 @@ void FullCopyEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx) 
   SyncStoreStats();
 }
 
-void FullCopyEngine::Restore(const Snapshot& snap) {
+void FullCopyEngine::Restore(const Snapshot& snap, const RestoreContext& ctx) {
   GuestArena& arena = *env_.arena;
-  uint64_t restored = 0;
-  for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+  // Whole-arena copy-back mirrors the whole-arena publish: slot == page, every
+  // worker memcpys its own disjoint pages from the internally synchronized
+  // store, no protection protocol to coordinate with.
+  RunSlots(ctx, arena.num_pages(), [&arena, &snap](size_t slot) {
+    uint32_t page = static_cast<uint32_t>(slot);
     if (!arena.InGuard(page)) {
       snap.map.Get(page).CopyTo(arena.PageAddr(page));
-      ++restored;
     }
-  }
+    return OkStatus();
+  });
   cur_map_ = snap.map;
-  env_.stats->pages_restored += restored;
+  env_.stats->pages_restored += arena.num_pages() - (arena.guard_hi() - arena.guard_lo());
 }
 
 }  // namespace lw

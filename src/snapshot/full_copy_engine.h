@@ -24,7 +24,8 @@ class FullCopyEngine : public SnapshotEngine {
   SnapshotMode mode() const override { return SnapshotMode::kFullCopy; }
   using SnapshotEngine::Materialize;
   void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
-  void Restore(const Snapshot& snap) override;
+  using SnapshotEngine::Restore;
+  void Restore(const Snapshot& snap, const RestoreContext& ctx) override;
   size_t StructureBytes() const override {
     return SnapshotEngine::StructureBytes() + publish_refs_.capacity() * sizeof(PageRef);
   }

@@ -68,23 +68,36 @@ void IncrementalCopyEngine::Materialize(Snapshot& snap, const MaterializeContext
   SyncStoreStats();
 }
 
-void IncrementalCopyEngine::Restore(const Snapshot& snap) {
+void IncrementalCopyEngine::Restore(const Snapshot& snap, const RestoreContext& ctx) {
   GuestArena& arena = *env_.arena;
   SnapshotEngineStats& stats = *env_.stats;
-  uint64_t restored = 0;
   // Live memory may have diverged from cur_map_ anywhere (no faults tell us
   // where), so compare against the *target* map directly and copy the
-  // difference — one scan covers both guest writes and tree-path deltas.
+  // difference — one scan covers both guest writes and tree-path deltas. The
+  // scan is the dominant cost (reads ∝ arena), so it fans out like the
+  // materialize scan does: slot == page, each worker compares+copies its own
+  // pages and flags copies in restore_flags_; the arena stays fully writable
+  // (no protection protocol), so worker memcpys cannot fault.
+  restore_flags_.assign(arena.num_pages(), 0);
+  RunSlots(ctx, arena.num_pages(), [this, &arena, &snap](size_t slot) {
+    uint32_t page = static_cast<uint32_t>(slot);
+    if (arena.InGuard(page)) {
+      return OkStatus();
+    }
+    const PageRef ref = snap.map.Get(page);
+    LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
+    if (ref.CopyToIfDifferent(arena.PageAddr(page))) {
+      restore_flags_[page] = 1;
+    }
+    return OkStatus();
+  });
+  uint64_t restored = 0;
   for (uint32_t page = 0; page < arena.num_pages(); ++page) {
     if (arena.InGuard(page)) {
       continue;
     }
     ++stats.incr_pages_scanned;
-    const PageRef ref = snap.map.Get(page);
-    LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
-    if (ref.CopyToIfDifferent(arena.PageAddr(page))) {
-      ++restored;
-    }
+    restored += restore_flags_[page];
   }
   cur_map_ = snap.map;
   stats.pages_restored += restored;
@@ -93,7 +106,7 @@ void IncrementalCopyEngine::Restore(const Snapshot& snap) {
 size_t IncrementalCopyEngine::StructureBytes() const {
   // Tracker storage: one bitmap word per 64 pages plus the dense page list.
   uint32_t pages = tracker_.num_pages();
-  return cur_map_.StructureBytes() + ((pages + 63) / 64) * sizeof(uint64_t) +
+  return SnapshotEngine::StructureBytes() + ((pages + 63) / 64) * sizeof(uint64_t) +
          pages * sizeof(uint32_t) + scan_changed_.capacity() +
          publish_refs_.capacity() * sizeof(PageRef);
 }

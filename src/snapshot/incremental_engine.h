@@ -36,7 +36,8 @@ class IncrementalCopyEngine : public SnapshotEngine {
   SnapshotMode mode() const override { return SnapshotMode::kIncremental; }
   using SnapshotEngine::Materialize;
   void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
-  void Restore(const Snapshot& snap) override;
+  using SnapshotEngine::Restore;
+  void Restore(const Snapshot& snap, const RestoreContext& ctx) override;
   size_t StructureBytes() const override;
 
  private:

@@ -2,10 +2,15 @@
 // snapshot's page set to the shared PageStore from N threads — the ROADMAP's
 // "parallel materialization *inside* one session". PR 3 made the store fully
 // concurrent (lock-striped shards, atomic refcounts); this is the session/
-// engine side that was still publishing on one thread.
+// engine side that was still publishing on one thread. The same team also
+// serves the restore direction: engines fan their restore compare/copy loops
+// over it (RestoreContext in engine.h), with workers memcpying disjoint
+// arena pages from the store — the CoW path batch-unprotects its coalesced
+// restore runs before the fan-out, so no worker ever takes a fault.
 //
 // Determinism contract: the materializer never touches snapshot structure.
-// The caller (an engine's Materialize) presents its work as `count` slots;
+// The caller (an engine's Materialize or Restore) presents its work as
+// `count` slots;
 // workers claim fixed-size chunks of [0, count) off an atomic cursor and run
 // the slot function, which must write only *its own slot's* outputs — in
 // practice disjoint entries of a caller-owned PageRef table. The engine then

@@ -63,48 +63,75 @@ void SoftDirtyEngine::Materialize(Snapshot& snap, const MaterializeContext& ctx)
   SyncStoreStats();
 }
 
-void SoftDirtyEngine::Restore(const Snapshot& snap) {
+void SoftDirtyEngine::Restore(const Snapshot& snap, const RestoreContext& ctx) {
   GuestArena& arena = *env_.arena;
+  SnapshotEngineStats& stats = *env_.stats;
   uint64_t restored = 0;
   // Live memory diverges from cur_map_ exactly on the pending soft-dirty
   // pages — harvest without clearing, copy those back to the *target* map
   // (skipping writes that didn't change bytes), then cover genuine map
-  // differences along the tree path via the immutable-map diff.
+  // differences along the tree path via the immutable-map diff. Both copy
+  // loops fan out over the worker team; the arena is fully writable, so
+  // worker memcpys cannot fault, and the tracker clear stays serial.
   Status status = tracker_.Harvest(dirty_pages_);
   LW_CHECK_MSG(status.ok(), "soft-dirty harvest failed");
+  restore_pages_.clear();
   for (uint32_t page : dirty_pages_) {
-    if (arena.InGuard(page)) {
-      continue;
-    }
-    const PageRef ref = snap.map.Get(page);
-    LW_CHECK_MSG(ref.valid(), "restoring a page the snapshot does not cover");
-    if (ref.CopyToIfDifferent(arena.PageAddr(page))) {
-      ++restored;
+    if (!arena.InGuard(page)) {
+      restore_pages_.push_back(page);
     }
   }
-  cur_map_.Diff(snap.map, [this, &arena, &restored](uint32_t page, const PageRef& /*mine*/,
-                                                    const PageRef& theirs) {
-    // Dirty pages were already copied above (and with a shared store,
-    // ref inequality implies byte inequality, so CopyTo is safe here).
+  restore_refs_.resize(restore_pages_.size());
+  for (size_t slot = 0; slot < restore_pages_.size(); ++slot) {
+    restore_refs_[slot] = snap.map.Get(restore_pages_[slot]);
+    LW_CHECK_MSG(restore_refs_[slot].valid(), "restoring a page the snapshot does not cover");
+  }
+  restore_flags_.assign(restore_pages_.size(), 0);
+  RunSlots(ctx, restore_pages_.size(), [this, &arena](size_t slot) {
+    if (restore_refs_[slot].CopyToIfDifferent(arena.PageAddr(restore_pages_[slot]))) {
+      restore_flags_[slot] = 1;
+    }
+    return OkStatus();
+  });
+  for (size_t slot = 0; slot < restore_pages_.size(); ++slot) {
+    if (restore_flags_[slot] != 0) {
+      ++restored;
+    } else {
+      ++stats.pages_restore_skipped;
+    }
+  }
+  // Map-diff pages outside the write set, collected serially (dirty pages
+  // were already handled above; with a shared store, ref inequality implies
+  // byte inequality, so the fan-out copies unconditionally).
+  restore_pages_.clear();
+  restore_refs_.clear();
+  cur_map_.Diff(snap.map, [this](uint32_t page, const PageRef& /*mine*/, const PageRef& theirs) {
     if (std::binary_search(dirty_pages_.begin(), dirty_pages_.end(), page)) {
       return;
     }
     LW_CHECK_MSG(theirs.valid(), "restoring a page the snapshot does not cover");
-    theirs.CopyTo(arena.PageAddr(page));
-    ++restored;
+    restore_pages_.push_back(page);
+    restore_refs_.push_back(theirs);
   });
+  RunSlots(ctx, restore_pages_.size(), [this, &arena](size_t slot) {
+    restore_refs_[slot].CopyTo(arena.PageAddr(restore_pages_[slot]));
+    return OkStatus();
+  });
+  restored += restore_pages_.size();
+  restore_pages_.clear();
+  restore_refs_.clear();
   // The copies above re-dirtied exactly the pages just made canonical; drop
   // those bits and start a fresh interval.
   status = tracker_.DiscardAndClear();
   LW_CHECK_MSG(status.ok(), "soft-dirty clear failed");
   cur_map_ = snap.map;
-  env_.stats->pages_restored += restored;
+  stats.pages_restored += restored;
   MirrorTrackerStats();
 }
 
 size_t SoftDirtyEngine::StructureBytes() const {
   const uint32_t pages = tracker_.num_pages();
-  return cur_map_.StructureBytes() + ((pages + 63) / 64) * sizeof(uint64_t) +
+  return SnapshotEngine::StructureBytes() + ((pages + 63) / 64) * sizeof(uint64_t) +
          dirty_pages_.capacity() * sizeof(uint32_t) + publish_refs_.capacity() * sizeof(PageRef);
 }
 

@@ -41,7 +41,8 @@ class SoftDirtyEngine : public SnapshotEngine {
   SnapshotMode mode() const override { return SnapshotMode::kSoftDirty; }
   using SnapshotEngine::Materialize;
   void Materialize(Snapshot& snap, const MaterializeContext& ctx) override;
-  void Restore(const Snapshot& snap) override;
+  using SnapshotEngine::Restore;
+  void Restore(const Snapshot& snap, const RestoreContext& ctx) override;
   size_t StructureBytes() const override;
 
  private:

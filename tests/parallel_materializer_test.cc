@@ -316,6 +316,7 @@ TEST_P(ParallelQueensParityTest, WorkerSweepKeepsParityAndSnapshotCounts) {
   }
   uint64_t serial_snapshots = 0;
   uint64_t serial_pages = 0;
+  uint64_t serial_restored = 0;
   for (uint32_t workers : {1u, 2u, 4u, 8u}) {
     int n = kQueensN;
     SessionOptions options;
@@ -334,9 +335,14 @@ TEST_P(ParallelQueensParityTest, WorkerSweepKeepsParityAndSnapshotCounts) {
     if (workers == 1) {
       serial_snapshots = session.stats().snapshots;
       serial_pages = session.stats().pages_materialized;
+      serial_restored = session.stats().pages_restored;
     } else {
       EXPECT_EQ(session.stats().snapshots, serial_snapshots) << "workers=" << workers;
       EXPECT_EQ(session.stats().pages_materialized, serial_pages) << "workers=" << workers;
+      // Restores fan out over the same team; the pages they copy must be
+      // invariant in the worker count too (compare-driven skips are
+      // content-deterministic).
+      EXPECT_EQ(session.stats().pages_restored, serial_restored) << "workers=" << workers;
     }
   }
 }

@@ -1,0 +1,259 @@
+// Parallel, syscall-coalesced Restore (the RestoreContext seam in engine.h):
+//   * parity sweep — serial vs workers 1/2/4/8 for every engine: identical
+//     post-restore arena bytes, identical pages_restored / skip counters, and
+//     (CoW) identical mprotect accounting regardless of worker count;
+//   * syscall coalescing — a CoW restore of a delta spread over R contiguous
+//     runs issues exactly 2·R mprotect calls (batch-unprotect + batch-
+//     reprotect), asserted via restore_mprotect_calls/restore_runs_coalesced;
+//   * hot-page skip — unchanged hot pages are memcmp'd and skipped
+//     (pages_restore_skipped), changed ones are copied.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/core/arena.h"
+#include "src/snapshot/engine.h"
+#include "src/snapshot/parallel_materializer.h"
+#include "src/snapshot/soft_dirty.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define __SANITIZE_THREAD__ 1
+#endif
+#endif
+
+namespace lw {
+namespace {
+
+bool SkipForMode(SnapshotMode mode, const char** reason) {
+#ifdef __SANITIZE_THREAD__
+  // kAdaptive may arm the CoW mechanism, so it carries the same TSan conflict.
+  if (mode == SnapshotMode::kCow || mode == SnapshotMode::kAdaptive) {
+    *reason = "CoW SIGSEGV protocol conflicts with TSan signal interposition";
+    return true;
+  }
+#endif
+  if (mode == SnapshotMode::kSoftDirty && !SoftDirtyTracker::Supported()) {
+    *reason = "soft-dirty unavailable on this kernel";
+    return true;
+  }
+  (void)reason;
+  return false;
+}
+
+GuestArena::Layout SmallLayout() {
+  GuestArena::Layout layout;
+  layout.arena_bytes = 2ull << 20;
+  layout.stack_bytes = 256 * 1024;
+  layout.guard_bytes = 16 * kPageSize;
+  return layout;
+}
+
+SnapshotEngine::Env MakeEnv(GuestArena* arena, PageStore* store, SnapshotEngineStats* stats,
+                            uint32_t hot_page_limit) {
+  SnapshotEngine::Env env;
+  env.arena = arena;
+  env.store = store;
+  env.stats = stats;
+  env.page_map_kind = PageMapKind::kRadix;
+  env.hot_page_limit = hot_page_limit;
+  env.owner = 1;
+  return env;
+}
+
+// One round of deterministic page content: a spread of distinct fills plus a
+// page repeated across rounds (so restores cross both fresh and deduped blobs).
+void WriteRound(GuestArena& arena, int round) {
+  for (uint32_t page = 1; page <= 80; ++page) {
+    std::memset(arena.PageAddr(page), static_cast<int>((page * 7 + round * 13) & 0xFF),
+                kPageSize);
+  }
+  std::memset(arena.PageAddr(90), 0x55, kPageSize);
+  std::memset(arena.PageAddr(92), static_cast<int>(round), kPageSize);
+}
+
+// Guest-write stand-in between restores: dirties a few scattered runs so each
+// restore has live divergence on top of the map diff. Under CoW these writes
+// fault on the calling thread (the engine ctor installed its sigaltstack).
+void Scribble(GuestArena& arena, int salt) {
+  for (uint32_t page : {5u, 6u, 7u, 50u, 83u, 84u}) {
+    std::memset(arena.PageAddr(page), static_cast<int>((page + salt) & 0xFF), kPageSize);
+  }
+}
+
+struct RestoreRun {
+  std::vector<uint8_t> image;  // non-guard arena bytes after the script
+  SnapshotEngineStats stats;
+};
+
+// Runs the same materialize/scribble/restore script against a fresh arena +
+// store + engine, fanning both directions over a team of `workers` threads
+// (0 = the serial forwarding overload, no team at all).
+RestoreRun RunRestoreScript(SnapshotMode mode, uint32_t workers) {
+  PageStore store;
+  GuestArena arena(SmallLayout());
+  SnapshotEngineStats stats;
+  auto engine = MakeSnapshotEngine(mode, MakeEnv(&arena, &store, &stats, 16));
+
+  std::unique_ptr<ParallelMaterializer> team;
+  MaterializeContext mctx;
+  RestoreContext rctx;
+  if (workers > 0) {
+    ParallelMaterializerOptions options;
+    options.workers = workers;
+    options.chunk_slots = 8;  // small chunks so even small restore sets fan out
+    options.needs_signal_stack = engine->NeedsSignalProtocol();
+    team = std::make_unique<ParallelMaterializer>(options);
+    mctx.parallel = team.get();
+    rctx.parallel = team.get();
+  }
+
+  std::vector<Snapshot> snaps(6);
+  for (int round = 0; round < 6; ++round) {
+    WriteRound(arena, round);
+    engine->Materialize(snaps[round], mctx);
+  }
+  // Backtrack shape: live writes, jump down the tree, live writes, jump
+  // further down, then forward again — exercising dirty-set restores, map-diff
+  // restores, and (CoW) hot-page compares in one script.
+  Scribble(arena, 101);
+  engine->Restore(snaps[3], rctx);
+  Scribble(arena, 202);
+  engine->Restore(snaps[1], rctx);
+  engine->Restore(snaps[5], rctx);
+
+  RestoreRun run;
+  run.stats = stats;
+  run.image.reserve(static_cast<size_t>(arena.num_pages()) * kPageSize);
+  for (uint32_t page = 0; page < arena.num_pages(); ++page) {
+    if (arena.InGuard(page)) {
+      continue;  // PROT_NONE forever; never part of any snapshot
+    }
+    const uint8_t* src = arena.PageAddr(page);
+    run.image.insert(run.image.end(), src, src + kPageSize);
+  }
+  return run;
+}
+
+class RestoreParityTest : public ::testing::TestWithParam<SnapshotMode> {};
+
+TEST_P(RestoreParityTest, WorkerSweepMatchesSerialBitForBit) {
+  const char* reason = nullptr;
+  if (SkipForMode(GetParam(), &reason)) {
+    GTEST_SKIP() << reason;
+  }
+  const RestoreRun serial = RunRestoreScript(GetParam(), 0);
+  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+    const RestoreRun parallel = RunRestoreScript(GetParam(), workers);
+    ASSERT_EQ(serial.image.size(), parallel.image.size());
+    EXPECT_EQ(std::memcmp(serial.image.data(), parallel.image.data(), serial.image.size()), 0)
+        << "post-restore memory diverged at workers=" << workers;
+    EXPECT_EQ(parallel.stats.pages_restored, serial.stats.pages_restored)
+        << "workers=" << workers;
+    EXPECT_EQ(parallel.stats.pages_restore_skipped, serial.stats.pages_restore_skipped)
+        << "workers=" << workers;
+    // Protection batching happens on the session thread before/after the
+    // fan-out, so its accounting must be invariant in the worker count too.
+    EXPECT_EQ(parallel.stats.restore_runs_coalesced, serial.stats.restore_runs_coalesced)
+        << "workers=" << workers;
+    EXPECT_EQ(parallel.stats.restore_mprotect_calls, serial.stats.restore_mprotect_calls)
+        << "workers=" << workers;
+  }
+  // Engines that batch protection pay exactly two syscalls per coalesced run;
+  // fault-free engines pay none at all.
+  EXPECT_LE(serial.stats.restore_mprotect_calls, 2 * serial.stats.restore_runs_coalesced);
+  if (GetParam() == SnapshotMode::kCow) {
+    EXPECT_GT(serial.stats.restore_runs_coalesced, 0u);
+    EXPECT_EQ(serial.stats.restore_mprotect_calls, 2 * serial.stats.restore_runs_coalesced);
+  }
+  if (GetParam() == SnapshotMode::kFullCopy || GetParam() == SnapshotMode::kIncremental ||
+      GetParam() == SnapshotMode::kSoftDirty) {
+    EXPECT_EQ(serial.stats.restore_mprotect_calls, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, RestoreParityTest,
+                         ::testing::Values(SnapshotMode::kCow, SnapshotMode::kFullCopy,
+                                           SnapshotMode::kIncremental, SnapshotMode::kSoftDirty,
+                                           SnapshotMode::kAdaptive),
+                         [](const ::testing::TestParamInfo<SnapshotMode>& info) {
+                           return SnapshotModeName(info.param);
+                         });
+
+// --- Syscall coalescing ----------------------------------------------------------
+
+// A 16-page delta spread over 3 contiguous runs must cost exactly 2·3 mprotect
+// calls — the per-page path this replaces paid 2 per page (32). Hot pages are
+// disabled so the whole delta goes through the protected-set path.
+TEST(CowRestoreCoalescingTest, DeltaOverThreeRunsCostsTwoSyscallsPerRun) {
+#ifdef __SANITIZE_THREAD__
+  GTEST_SKIP() << "CoW SIGSEGV protocol conflicts with TSan signal interposition";
+#endif
+  PageStore store;
+  GuestArena arena(SmallLayout());
+  SnapshotEngineStats stats;
+  auto engine = MakeSnapshotEngine(SnapshotMode::kCow, MakeEnv(&arena, &store, &stats, 0));
+
+  Snapshot base;
+  engine->Materialize(base);  // all-zero baseline
+
+  std::vector<uint32_t> delta;
+  for (uint32_t page = 10; page <= 19; ++page) delta.push_back(page);
+  for (uint32_t page = 40; page <= 44; ++page) delta.push_back(page);
+  delta.push_back(100);
+  for (uint32_t page : delta) {
+    std::memset(arena.PageAddr(page), 0xAB, kPageSize);  // faults, marks dirty
+  }
+
+  engine->Restore(base);
+  EXPECT_EQ(stats.restore_runs_coalesced, 3u);
+  EXPECT_EQ(stats.restore_mprotect_calls, 6u);
+  EXPECT_EQ(stats.pages_restored, delta.size());
+  for (uint32_t page : delta) {
+    EXPECT_EQ(arena.PageAddr(page)[0], 0u) << "page " << page << " not rolled back";
+  }
+
+  // A restore with nothing to do must not issue any protection syscalls.
+  engine->Restore(base);
+  EXPECT_EQ(stats.restore_runs_coalesced, 3u);
+  EXPECT_EQ(stats.restore_mprotect_calls, 6u);
+  EXPECT_EQ(stats.pages_restored, delta.size());
+}
+
+// --- Hot-page skip ---------------------------------------------------------------
+
+TEST(CowRestoreHotSkipTest, UnchangedHotPagesAreComparedNotCopied) {
+#ifdef __SANITIZE_THREAD__
+  GTEST_SKIP() << "CoW SIGSEGV protocol conflicts with TSan signal interposition";
+#endif
+  PageStore store;
+  GuestArena arena(SmallLayout());
+  SnapshotEngineStats stats;
+  auto engine = MakeSnapshotEngine(SnapshotMode::kCow, MakeEnv(&arena, &store, &stats, 8));
+
+  // Page 10 dirtied every round goes hot after kHotPromoteAfter consecutive
+  // dirty snapshots.
+  std::vector<Snapshot> snaps(6);
+  for (int round = 0; round < 6; ++round) {
+    std::memset(arena.PageAddr(10), round + 1, kPageSize);
+    engine->Materialize(snaps[round]);
+  }
+  ASSERT_GT(stats.hot_promotions, 0u);
+
+  // Live memory already equals snaps[5]; the hot page is memcmp'd and skipped.
+  const uint64_t restored_before = stats.pages_restored;
+  engine->Restore(snaps[5]);
+  EXPECT_EQ(stats.pages_restored, restored_before);
+  EXPECT_GE(stats.pages_restore_skipped, 1u);
+
+  // Restoring down the chain must copy the (now divergent) hot page.
+  engine->Restore(snaps[0]);
+  EXPECT_EQ(stats.pages_restored, restored_before + 1);
+  EXPECT_EQ(arena.PageAddr(10)[0], 1u);
+}
+
+}  // namespace
+}  // namespace lw
