@@ -18,6 +18,11 @@
 //                            shape (fanout restores per snapshot) with a
 //                            W-thread worker team; reports ns/restore and the
 //                            mprotect-coalescing counters (E13)
+//   {Cow,Incremental,Adaptive}ReleaseStorm/N/B — N-sibling checkpoint release
+//                            storm, timed on the release phase only; B=1
+//                            reclaims through the O(spine) walk +
+//                            PageStore::ReleaseBatch, B=0 is the per-ref
+//                            baseline (E14)
 //
 // Counters report the engine's own ns/snapshot and ns/restore so the
 // comparison is invariant to the harness loop; the label column names the
@@ -34,9 +39,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/core/backtrack.h"
 #include "src/snapshot/soft_dirty.h"
@@ -353,6 +361,154 @@ BENCHMARK(BM_AdaptiveRestore)
 void BM_SoftDirtyRestore(benchmark::State& state) {
   RunRestoreEngine(state, lw::SnapshotMode::kSoftDirty, 16, 8);
 }
+
+// E14 — release-storm rows (the teardown half of the snapshot lifecycle).
+// Args are {num_checkpoints, batched}. The guest parks at a root checkpoint;
+// the host forks `num_checkpoints` sibling checkpoints off it, each with a
+// unique 64-page dirty delta (unique content per page, so none of it dedups
+// away and every sibling's delta dies with its release), then releases every
+// handle at once — the storm.
+// Only the release phase is timed (manual time). batched=1 reclaims each
+// snapshot through the O(spine) walk + PageStore::ReleaseBatch (one shard-lock
+// hold per shard touched per batch); batched=0 is the per-ref baseline (every
+// dying blob takes its shard lock individually). Counters surface the batch
+// provenance: rel_batches / rel_blobs (blobs recycled through batches) /
+// rel_locks (shard-lock holds those batches paid).
+struct ReleaseStormArgs {
+  uint32_t window_pages = 256;
+  uint32_t dirty_pages = 64;  // per checkpoint delta — the D of the O(D·log) walk
+};
+
+void ReleaseStormGuest(void* arg) {
+  auto* args = static_cast<ReleaseStormArgs*>(arg);
+  auto* session = static_cast<lw::BacktrackSession*>(lw::CurrentExecutor());
+  const size_t page = 4096;
+  const size_t buffer_bytes = static_cast<size_t>(args->window_pages) * page;
+  auto* buffer = static_cast<uint8_t*>(session->heap()->Alloc(buffer_bytes));
+  auto* mailbox = static_cast<char*>(session->heap()->Alloc(32));
+  if (buffer == nullptr || mailbox == nullptr) {
+    return;
+  }
+  std::memset(buffer, 1, buffer_bytes);
+  int round = 0;
+  for (;;) {
+    std::snprintf(mailbox, 32, "r=%d", round);
+    size_t len = lw::sys_yield(mailbox, 32);
+    if (len == 0) {
+      return;
+    }
+    round += std::atoi(mailbox);
+    for (uint32_t p = 0; p < args->dirty_pages; ++p) {
+      uint8_t* dst =
+          buffer + static_cast<size_t>((static_cast<uint32_t>(round) * args->dirty_pages + p) %
+                                       args->window_pages) *
+                       page;
+      std::memset(dst, (round * 31 + static_cast<int>(p)) & 0xFF, page);
+      // Stamp (round, p) verbatim so no two dirtied pages ever share content —
+      // dedup would otherwise collapse sibling deltas and shrink the storm.
+      std::memcpy(dst, &round, sizeof(round));
+      std::memcpy(dst + sizeof(round), &p, sizeof(p));
+    }
+  }
+}
+
+void RunReleaseStorm(benchmark::State& state, lw::SnapshotMode mode) {
+  const int num_checkpoints = static_cast<int>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  ReleaseStormArgs args;
+
+  uint64_t rel_batches = 0;
+  uint64_t rel_blobs = 0;
+  uint64_t rel_locks = 0;
+  uint64_t released = 0;
+  for (auto _ : state) {
+    lw::SessionOptions options;
+    options.arena_bytes = 16ull << 20;
+    options.snapshot_mode = mode;
+    options.batched_release = batched;
+    options.output = [](std::string_view) {};
+    lw::BacktrackSession session(options);
+    lw::Status status = session.Run(&ReleaseStormGuest, &args);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    auto tokens = session.TakeNewCheckpoints();
+    if (tokens.size() != 1) {
+      state.SkipWithError("expected one root checkpoint");
+      return;
+    }
+    lw::Checkpoint root = std::move(tokens[0]);
+    std::vector<lw::Checkpoint> siblings;
+    siblings.reserve(static_cast<size_t>(num_checkpoints));
+    for (int i = 0; i < num_checkpoints; ++i) {
+      const std::string msg = std::to_string(i + 1);  // unique delta per sibling
+      status = session.Resume(root, msg.c_str(), msg.size() + 1);
+      if (!status.ok()) {
+        state.SkipWithError(status.ToString().c_str());
+        return;
+      }
+      auto next = session.TakeNewCheckpoints();
+      if (next.size() != 1) {
+        state.SkipWithError("expected one checkpoint per resume");
+        return;
+      }
+      siblings.push_back(std::move(next[0]));
+    }
+    // The storm: release every sibling, then the root — timed on its own.
+    const auto start = std::chrono::steady_clock::now();
+    while (!siblings.empty()) {
+      (void)session.ReleaseCheckpoint(siblings.back());
+      siblings.pop_back();
+    }
+    (void)session.ReleaseCheckpoint(root);
+    const auto end = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(end - start).count());
+    released += static_cast<uint64_t>(num_checkpoints) + 1;
+    const lw::PageStore::Stats& store = session.store().stats();
+    rel_batches = store.release_batches;
+    rel_blobs = store.blobs_recycled_batched;
+    rel_locks = store.release_shard_locks;
+  }
+  state.SetLabel(std::string(lw::SnapshotModeName(mode)) +
+                 (batched ? " release=batched" : " release=per-ref"));
+  if (released != 0) {
+    state.counters["releases"] = static_cast<double>(released);
+    state.counters["rel_batches"] = static_cast<double>(rel_batches);
+    state.counters["rel_blobs"] = static_cast<double>(rel_blobs);
+    state.counters["rel_locks"] = static_cast<double>(rel_locks);
+  }
+}
+
+void BM_CowReleaseStorm(benchmark::State& state) {
+  RunReleaseStorm(state, lw::SnapshotMode::kCow);
+}
+BENCHMARK(BM_CowReleaseStorm)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Iterations(10)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseManualTime();
+
+void BM_IncrementalReleaseStorm(benchmark::State& state) {
+  RunReleaseStorm(state, lw::SnapshotMode::kIncremental);
+}
+BENCHMARK(BM_IncrementalReleaseStorm)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Iterations(10)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseManualTime();
+
+void BM_AdaptiveReleaseStorm(benchmark::State& state) {
+  RunReleaseStorm(state, lw::SnapshotMode::kAdaptive);
+}
+BENCHMARK(BM_AdaptiveReleaseStorm)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Iterations(10)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseManualTime();
 
 // The fork strawman: one fork()+dirty+_exit+waitpid cycle per "snapshot".
 void BM_ForkSnapshot(benchmark::State& state) {

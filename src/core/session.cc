@@ -30,6 +30,7 @@ std::string SessionStats::ToString() const {
                 "xsession_dedup=%llu cold_blobs=%llu incr_scan=%llu incr_copy=%llu "
                 "dirty_src=%s mat_by=%llu/%llu/%llu/%llu pagemap_reads=%llu sd_clears=%llu "
                 "adaptive_switches=%llu rst_mprotect=%llu rst_runs=%llu rst_skip=%llu "
+                "rel_batches=%llu rel_blobs=%llu rel_locks=%llu "
                 "snap_us=%.1f restore_us=%.1f",
                 static_cast<unsigned long long>(guesses),
                 static_cast<unsigned long long>(snapshots),
@@ -57,6 +58,9 @@ std::string SessionStats::ToString() const {
                 static_cast<unsigned long long>(restore_mprotect_calls),
                 static_cast<unsigned long long>(restore_runs_coalesced),
                 static_cast<unsigned long long>(pages_restore_skipped),
+                static_cast<unsigned long long>(release_batches),
+                static_cast<unsigned long long>(blobs_recycled_batched),
+                static_cast<unsigned long long>(release_shard_locks),
                 static_cast<double>(snapshot_ns) / 1e3, static_cast<double>(restore_ns) / 1e3);
   return buf;
 }
@@ -108,14 +112,25 @@ BacktrackSession::~BacktrackSession() {
   ledger_->Detach();
   // Release every page reference before the store is destroyed (members
   // declared after store_ destruct first, but strategy frontiers and
-  // checkpoints also hold snapshot refs — drop them deterministically). A
-  // shared store survives this session; only its refs are returned.
+  // checkpoints also hold snapshot refs — drop them deterministically, each
+  // through the O(spine) batch path). A shared store survives this session;
+  // only its refs are returned. An external strategy's frontier lives in the
+  // host-owned scheduler, not here — Pop would re-enter host code, so its
+  // refs drop with the scheduler instead.
+  if (strategy_ != nullptr && strategy_->kind() != StrategyKind::kExternal) {
+    while (std::optional<Extension> ext = strategy_->Pop()) {
+      ReclaimSnapshot(std::move(ext->snapshot));
+    }
+  }
   strategy_.reset();
+  for (auto& [token, snap] : checkpoints_) {
+    ReclaimSnapshot(std::move(snap));
+  }
   checkpoints_.clear();
-  pending_snapshot_.reset();
-  scope_snapshot_.reset();
-  cur_snapshot_.reset();
-  engine_.reset();  // drops the current map's refs
+  ReclaimSnapshot(std::move(pending_snapshot_));
+  ReclaimSnapshot(std::move(scope_snapshot_));
+  ReclaimSnapshot(std::move(cur_snapshot_));
+  engine_.reset();  // drops the current map's refs (also batched)
 }
 
 void BacktrackSession::AddAttachment(SessionAttachment* attachment) {
@@ -257,10 +272,14 @@ void BacktrackSession::HandleGuestEvent() {
       }
       pending_costs_ = nullptr;
       engine_->EnforceByteBudget(options_.snapshot_byte_budget, [this] {
-        if (!strategy_->EvictWorst()) {
+        std::optional<Extension> evicted = strategy_->EvictWorst();
+        if (!evicted.has_value()) {
           return false;
         }
         ++stats_.evictions;
+        // Reclaim through the batch path so eviction storms under a tight
+        // budget pay O(shards touched) lock acquisitions, not O(dying blobs).
+        ReclaimSnapshot(std::move(evicted->snapshot));
         return true;
       });
       break;
@@ -466,8 +485,48 @@ Status BacktrackSession::ValidateHandle(const Checkpoint& checkpoint) const {
 
 void BacktrackSession::DrainReleasedCheckpoints() {
   for (uint64_t token : ledger_->TakePendingReclaims()) {
-    checkpoints_.erase(token);
+    auto it = checkpoints_.find(token);
+    if (it == checkpoints_.end()) {
+      continue;
+    }
+    SnapshotRef snap = std::move(it->second);
+    checkpoints_.erase(it);
+    ReclaimSnapshot(std::move(snap));
   }
+}
+
+void BacktrackSession::ReclaimSnapshot(SnapshotRef snap) {
+  if (snap == nullptr) {
+    return;
+  }
+  if (!options_.batched_release) {
+    snap.reset();  // per-ref baseline: the destructor cascade releases blobs one by one
+    return;
+  }
+  // Walk the parent chain iteratively while this was the last reference:
+  // each uniquely-owned map contributes only its owned spine (shared radix
+  // subtrees are dropped with a single refcount decrement, never descended)
+  // and its dying page refs land in the drain. Iteration also keeps deep
+  // checkpoint chains off the call stack — the shared_ptr cascade would
+  // recurse once per ancestor.
+  while (snap != nullptr && snap.use_count() == 1) {
+    snap->map.ReleaseInto(&release_drain_);
+    SnapshotRef parent = std::move(snap->parent);
+    snap.reset();
+    snap = std::move(parent);
+  }
+  snap.reset();
+  if (release_drain_.empty()) {
+    return;
+  }
+  store_->ReleaseBatch(release_drain_);
+  // Release happens after the last SyncStoreStats of the drive; re-mirror the
+  // store-wide release counters so stats()/ToString() see this batch. Three
+  // relaxed loads — not the full Stats copy — since this runs per reclaim.
+  const PageStore::ReleaseStats s = store_->release_stats();
+  stats_.release_batches = s.release_batches;
+  stats_.blobs_recycled_batched = s.blobs_recycled_batched;
+  stats_.release_shard_locks = s.release_shard_locks;
 }
 
 std::vector<Checkpoint> BacktrackSession::TakeNewCheckpoints() {
@@ -519,7 +578,12 @@ Status BacktrackSession::ReleaseCheckpoint(Checkpoint& checkpoint) {
   DrainReleasedCheckpoints();
   LW_RETURN_IF_ERROR(ValidateHandle(checkpoint));
   if (ledger_->ReleaseRef(checkpoint.id())) {
-    checkpoints_.erase(checkpoint.id());
+    auto it = checkpoints_.find(checkpoint.id());
+    if (it != checkpoints_.end()) {
+      SnapshotRef snap = std::move(it->second);
+      checkpoints_.erase(it);
+      ReclaimSnapshot(std::move(snap));
+    }
   }
   // The session consumed this handle's reference; disarm so its destructor
   // does not drop a second one.

@@ -29,9 +29,10 @@ class Strategy {
   virtual size_t Size() const = 0;
   bool Empty() const { return Size() == 0; }
 
-  // Drops the least promising frontier entry (bounded-memory strategies).
-  // Returns false if nothing can be evicted. Default: not supported.
-  virtual bool EvictWorst() { return false; }
+  // Removes and returns the least promising frontier entry (bounded-memory
+  // strategies) so the caller can reclaim its snapshot through the batched
+  // release path; nullopt if nothing can be evicted. Default: not supported.
+  virtual std::optional<Extension> EvictWorst() { return std::nullopt; }
 
   virtual StrategyKind kind() const = 0;
 };

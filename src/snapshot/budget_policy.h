@@ -4,7 +4,11 @@
 // Runs after each materialization when SessionOptions::snapshot_byte_budget is
 // set. Stages, in order, while the store's live bytes exceed the budget:
 //   1. evict   — drop worst frontier entries via the session's callback
-//                (SM-A* semantics: search work is lost, memory is reclaimed);
+//                (SM-A* semantics: search work is lost, memory is reclaimed;
+//                the session reclaims each evicted snapshot through the
+//                O(spine) PageStore::ReleaseBatch path, so an eviction storm
+//                costs one shard-lock acquisition per shard touched, not one
+//                per dying blob);
 //   2. compress — move the coldest blobs into the store's compressed tier
 //                (lossless: parked snapshots stay restorable, just slower);
 //   3. drop    — when the budget still is not met, release recycled free-list

@@ -45,6 +45,12 @@ SnapshotEngine::SnapshotEngine(const Env& env)
   LW_CHECK(env_.arena != nullptr && env_.store != nullptr && env_.stats != nullptr);
 }
 
+SnapshotEngine::~SnapshotEngine() {
+  std::vector<PageRef> drain;
+  cur_map_.ReleaseInto(&drain);
+  env_.store->ReleaseBatch(drain);
+}
+
 size_t SnapshotEngine::StructureBytes() const {
   return cur_map_.StructureBytes() + RestoreScratchBytes();
 }
@@ -126,6 +132,9 @@ void SnapshotEngine::SyncStoreStats() {
   env_.stats->content_dedup_hits = store.content_dedup_hits;
   env_.stats->cross_session_dedup_hits = store.cross_session_dedup_hits;
   env_.stats->compressed_blobs = store.compressed_blobs;
+  env_.stats->release_batches = store.release_batches;
+  env_.stats->blobs_recycled_batched = store.blobs_recycled_batched;
+  env_.stats->release_shard_locks = store.release_shard_locks;
 }
 
 std::unique_ptr<SnapshotEngine> MakeSnapshotEngine(SnapshotMode mode,

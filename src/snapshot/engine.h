@@ -152,6 +152,14 @@ struct SnapshotEngineStats {
   // compare loops (incremental/scan restores) are not counted here;
   // incr_pages_scanned covers those.
   uint64_t pages_restore_skipped = 0;
+  // Release-side provenance (store-wide totals, like the dedup counters):
+  // shard-batched reclamation through PageStore::ReleaseBatch — batches
+  // issued, blobs recycled under batched shard holds, and the shard-lock
+  // acquisitions those holds cost (≤ shards touched per batch, vs one lock
+  // per dying blob on the per-ref path).
+  uint64_t release_batches = 0;
+  uint64_t blobs_recycled_batched = 0;
+  uint64_t release_shard_locks = 0;
   uint64_t snapshot_ns = 0;
   uint64_t restore_ns = 0;
 };
@@ -173,7 +181,10 @@ class SnapshotEngine {
   };
 
   explicit SnapshotEngine(const Env& env);
-  virtual ~SnapshotEngine() = default;
+  // Teardown drains the current map through PageStore::ReleaseBatch: spine
+  // nodes shared with still-live snapshots are dropped by refcount, and the
+  // uniquely-owned refs reclaim under batched shard holds.
+  virtual ~SnapshotEngine();
 
   SnapshotEngine(const SnapshotEngine&) = delete;
   SnapshotEngine& operator=(const SnapshotEngine&) = delete;

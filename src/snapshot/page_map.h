@@ -66,8 +66,29 @@ class PageMap {
     if (kind_ == PageMapKind::kFlat) {
       flat_[page] = std::move(ref);
     } else {
-      radix_.Set(page, ref);
+      // Moves through PersistentRadixMap's rvalue Set: the ref lands in the
+      // copied spine without an atomic bump/drop pair per page.
+      radix_.Set(page, std::move(ref));
     }
+  }
+
+  // Explicit release: moves every ref this map uniquely owns into `*drain`
+  // and empties the map, for batch-grained reclamation via
+  // PageStore::ReleaseBatch. kRadix walks only the owned spine — subtrees
+  // shared with sibling snapshots are dropped with one refcount decrement and
+  // never descended (returns the radix nodes visited, so callers can assert
+  // the O(delta · height) bound). kFlat has no shared structure: every valid
+  // ref is drained and the return value is 0.
+  size_t ReleaseInto(std::vector<PageRef>* drain) {
+    if (kind_ == PageMapKind::kFlat) {
+      for (PageRef& ref : flat_) {
+        if (ref.valid()) {
+          drain->push_back(std::move(ref));
+        }
+      }
+      return 0;
+    }
+    return radix_.ReleaseInto(drain);
   }
 
   // Invokes fn(page, mine, theirs) for every page where the two maps reference

@@ -161,6 +161,93 @@ void PageStore::RecycleBlobLocked(Shard& shard, PageBlob* blob) {
                                  std::memory_order_relaxed);
 }
 
+void PageStore::ReleaseBatch(std::vector<PageRef>& refs) {
+  if (refs.empty()) {
+    return;
+  }
+  // Phase 1 — lock-free decrements. A ref whose blob survives costs exactly
+  // what PageRef::Release would have; a ref that moved the count 1 → 0 makes
+  // this thread the blob's unique recycler (the index never revives
+  // zero-refcount blobs), so the blob can be parked on a per-shard doom list.
+  // next_free is reusable as the list link: it is only meaningful while the
+  // blob sits on a shard free list, which cannot happen before
+  // RecycleBlobLocked below.
+  PageBlob* doomed[kPageStoreShards] = {};
+  uint64_t dying = 0;
+  for (PageRef& ref : refs) {
+    PageBlob* blob = ref.blob_;
+    if (blob == nullptr) {
+      continue;
+    }
+    ref.blob_ = nullptr;  // the batch consumed this reference
+    LW_CHECK_MSG(blob->store == this, "ReleaseBatch ref minted by a different store");
+    uint32_t prev = blob->refcount.fetch_sub(1, std::memory_order_acq_rel);
+    LW_CHECK(prev > 0);
+    if (prev == 1) {
+      blob->next_free = doomed[blob->shard];
+      doomed[blob->shard] = blob;
+      ++dying;
+    }
+  }
+  refs.clear();
+  counters_.release_batches.fetch_add(1, std::memory_order_relaxed);
+  if (dying == 0) {
+    return;
+  }
+  // Phase 2 — one lock hold per touched shard, recycling every doomed blob of
+  // that shard under it. Between phases the dying blobs stay indexed/LRU-linked
+  // exactly as they would during the window between PageRef::Release's
+  // decrement and RecycleBlob's lock acquisition — lookups treat refcount-zero
+  // blobs as dead either way. Counter traffic is batch-grained too: the
+  // byte/blob deltas accumulate in locals and land as one RMW per counter per
+  // batch, where the per-ref path pays four RMWs per dying blob.
+  uint64_t live_bytes_freed = 0;
+  uint64_t free_bytes_gained = 0;
+  uint64_t decompressed_dropped = 0;
+  for (uint32_t shard_id = 0; shard_id < kPageStoreShards; ++shard_id) {
+    PageBlob* blob = doomed[shard_id];
+    if (blob == nullptr) {
+      continue;
+    }
+    Shard& shard = shards_[shard_id];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    counters_.release_shard_locks.fetch_add(1, std::memory_order_relaxed);
+    while (blob != nullptr) {
+      PageBlob* next = blob->next_free;  // the free-list push rewrites the link
+      LW_CHECK(blob->refcount.load(std::memory_order_acquire) == 0);
+      if (blob->indexed) {
+        IndexRemoveLocked(shard, blob);
+      }
+      uint32_t comp = blob->comp_bytes.load(std::memory_order_relaxed);
+      live_bytes_freed += sizeof(PageBlob) + PayloadBytes(blob);
+      if (comp == 0) {
+        if ((blob->flags & PageBlob::kPinned) == 0) {
+          LruRemoveLocked(shard, blob);
+        }
+      } else {
+        // Compressed payloads are odd-sized; recycle the header only (see
+        // RecycleBlobLocked).
+        ++decompressed_dropped;
+        std::free(blob->payload);
+        blob->payload = nullptr;
+        blob->comp_bytes.store(0, std::memory_order_relaxed);
+      }
+      free_bytes_gained += sizeof(PageBlob) + PayloadBytes(blob);
+      blob->next_free = shard.free_list;
+      shard.free_list = blob;
+      blob = next;
+    }
+  }
+  counters_.live_bytes.fetch_sub(live_bytes_freed, std::memory_order_relaxed);
+  if (decompressed_dropped != 0) {
+    counters_.compressed_blobs.fetch_sub(decompressed_dropped, std::memory_order_relaxed);
+  }
+  counters_.live_blobs.fetch_sub(dying, std::memory_order_release);
+  counters_.free_blobs.fetch_add(dying, std::memory_order_relaxed);
+  counters_.free_bytes.fetch_add(free_bytes_gained, std::memory_order_relaxed);
+  counters_.blobs_recycled_batched.fetch_add(dying, std::memory_order_relaxed);
+}
+
 void PageStore::TrimFreeList() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -608,6 +695,9 @@ PageStore::Stats PageStore::stats() const {
   s.live_bytes = counters_.live_bytes.load(std::memory_order_relaxed);
   s.free_bytes = counters_.free_bytes.load(std::memory_order_relaxed);
   s.peak_live_bytes = counters_.peak_live_bytes.load(std::memory_order_relaxed);
+  s.release_batches = counters_.release_batches.load(std::memory_order_relaxed);
+  s.blobs_recycled_batched = counters_.blobs_recycled_batched.load(std::memory_order_relaxed);
+  s.release_shard_locks = counters_.release_shard_locks.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -162,6 +162,9 @@ class PageRef {
   uint32_t refcount() const {
     return blob_ != nullptr ? blob_->refcount.load(std::memory_order_relaxed) : 0;
   }
+  // Owning shard of this ref's blob (stable for the blob's lifetime). Lets
+  // tests assert ReleaseBatch's exact shard-lock count for a known ref set.
+  uint32_t shard() const { return blob_ != nullptr ? blob_->shard : 0; }
   bool compressed() const {
     return blob_ != nullptr && blob_->comp_bytes.load(std::memory_order_acquire) != 0;
   }
@@ -260,6 +263,9 @@ class PageStore {
     uint64_t live_bytes = 0;  // headers + payloads of live blobs (compression shrinks this)
     uint64_t free_bytes = 0;  // headers + retained raw payloads on the free lists
     uint64_t peak_live_bytes = 0;
+    uint64_t release_batches = 0;         // non-empty ReleaseBatch calls
+    uint64_t blobs_recycled_batched = 0;  // blobs recycled through ReleaseBatch
+    uint64_t release_shard_locks = 0;     // shard-lock holds taken by ReleaseBatch
 
     uint64_t bytes_live() const { return live_bytes; }
     uint64_t bytes_resident() const { return live_bytes + free_bytes; }
@@ -269,12 +275,37 @@ class PageStore {
   // operations on other threads.
   Stats stats() const;
 
+  // Just the three ReleaseBatch counters — three relaxed loads instead of the
+  // full Stats copy, cheap enough to mirror on every session reclaim.
+  struct ReleaseStats {
+    uint64_t release_batches = 0;
+    uint64_t blobs_recycled_batched = 0;
+    uint64_t release_shard_locks = 0;
+  };
+  ReleaseStats release_stats() const {
+    ReleaseStats s;
+    s.release_batches = counters_.release_batches.load(std::memory_order_relaxed);
+    s.blobs_recycled_batched = counters_.blobs_recycled_batched.load(std::memory_order_relaxed);
+    s.release_shard_locks = counters_.release_shard_locks.load(std::memory_order_relaxed);
+    return s;
+  }
+
   // Host bytes of the store's own structure (hash index slots, all shards).
   size_t IndexBytes() const;
 
   // Frees all recycled blobs on every shard's free list back to the host
   // allocator.
   void TrimFreeList();
+
+  // Releases every ref in `refs` (leaving the vector empty) with batch-grained
+  // reclamation: refcount decrements stay lock-free, and the blobs that die
+  // are bucketed by owning shard and recycled under one shard-lock hold per
+  // touched shard — O(shards touched) lock acquisitions instead of O(dying
+  // blobs). The end state (live/free blob and byte counters, index, free
+  // lists) is identical to releasing the refs one by one; only the lock
+  // traffic differs. Safe from any thread; counted by release_batches /
+  // blobs_recycled_batched / release_shard_locks.
+  void ReleaseBatch(std::vector<PageRef>& refs);
 
  private:
   friend class PageRef;
@@ -304,6 +335,9 @@ class PageStore {
     std::atomic<uint64_t> live_bytes{0};
     std::atomic<uint64_t> free_bytes{0};
     std::atomic<uint64_t> peak_live_bytes{0};
+    std::atomic<uint64_t> release_batches{0};
+    std::atomic<uint64_t> blobs_recycled_batched{0};
+    std::atomic<uint64_t> release_shard_locks{0};
   };
 
   // Top hash bits pick the shard (low bits pick the slot within its index).

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "src/util/status.h"
 
@@ -52,6 +54,68 @@ class PersistentRadixMap {
   void Set(uint32_t key, const T& value) {
     LW_CHECK(key < capacity_);
     root_ = SetRec(root_, key, value, height_ - 1);
+  }
+
+  // Rvalue overload: moves `value` into the tree, so refcounted T (PageRef)
+  // pays zero bump/drop pairs on the materialize hot path.
+  void Set(uint32_t key, T&& value) {
+    LW_CHECK(key < capacity_);
+    root_ = SetRec(root_, key, std::move(value), height_ - 1);
+  }
+
+  // Explicit O(spine) release: tears down only the nodes this map uniquely
+  // owns (use_count() == 1), moving their non-default leaf values into
+  // `*drain`; subtrees shared with other maps are dropped with a single child
+  // refcount decrement and never descended. Afterwards the map is empty (every
+  // Get returns T()). Returns the number of nodes actually visited (torn
+  // down), so callers can assert the O(delta · height) bound. Iterative — no
+  // recursion, so arbitrarily deep ownership chains cannot overflow the stack.
+  //
+  // The unique-ownership test reads shared_ptr::use_count(), which is only
+  // meaningful when no other thread can concurrently copy or drop this map's
+  // nodes — true for snapshot maps, which are session-thread-affine.
+  size_t ReleaseInto(std::vector<T>* drain) {
+    size_t visited = 0;
+    struct Frame {
+      NodePtr node;
+      int level;
+      uint32_t slot = 0;
+    };
+    std::vector<Frame> stack;
+    auto visit = [&](NodePtr&& node, int level) {
+      if (node == nullptr) {
+        return;
+      }
+      if (node.use_count() > 1) {
+        node.reset();  // shared subtree: one decrement, no descent
+        return;
+      }
+      ++visited;
+      if (level == 0) {
+        for (uint32_t slot = 0; slot < kFanout; ++slot) {
+          if (!(node->values[slot] == T())) {
+            drain->push_back(std::move(node->values[slot]));
+          }
+        }
+        node.reset();
+        return;
+      }
+      stack.push_back(Frame{std::move(node), level});
+    };
+    visit(std::move(root_), height_ - 1);
+    root_ = nullptr;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.slot == kFanout) {
+        stack.pop_back();
+        continue;
+      }
+      NodePtr child = std::move(frame.node->children[frame.slot]);
+      ++frame.slot;
+      // `visit` may push (invalidating `frame`); nothing touches it after this.
+      visit(std::move(child), frame.level - 1);
+    }
+    return visited;
   }
 
   // Invokes fn(key, value) for every key whose value differs from T().
@@ -107,13 +171,21 @@ class PersistentRadixMap {
     return (key >> (kBitsPerLevel * level)) & (kFanout - 1);
   }
 
-  static NodePtr SetRec(const NodePtr& node, uint32_t key, const T& value, int level) {
+  static const T& DefaultValue() {
+    static const T kDefault{};
+    return kDefault;
+  }
+
+  // U&& is a forwarding reference: the lvalue Set copies into the leaf, the
+  // rvalue Set moves — one shared SetRec instead of two near-identical bodies.
+  template <typename U>
+  static NodePtr SetRec(const NodePtr& node, uint32_t key, U&& value, int level) {
     NodePtr copy = node ? std::make_shared<Node>(*node) : std::make_shared<Node>();
     if (level == 0) {
-      copy->values[SlotAt(key, 0)] = value;
+      copy->values[SlotAt(key, 0)] = std::forward<U>(value);
     } else {
       uint32_t slot = SlotAt(key, level);
-      copy->children[slot] = SetRec(copy->children[slot], key, value, level - 1);
+      copy->children[slot] = SetRec(copy->children[slot], key, std::forward<U>(value), level - 1);
     }
     return copy;
   }
@@ -142,9 +214,12 @@ class PersistentRadixMap {
       return;  // Shared subtree: identical by construction.
     }
     if (level == 0) {
+      // Hand leaf values to fn by reference: refcounted T (PageRef) would
+      // otherwise pay an atomic bump/drop pair per differing page on every
+      // restore diff. Absent slots reference one shared default instance.
       for (uint32_t slot = 0; slot < kFanout; ++slot) {
-        const T av = a != nullptr ? a->values[slot] : T();
-        const T bv = b != nullptr ? b->values[slot] : T();
+        const T& av = a != nullptr ? a->values[slot] : DefaultValue();
+        const T& bv = b != nullptr ? b->values[slot] : DefaultValue();
         if (!(av == bv)) {
           fn(prefix * kFanout + slot, av, bv);
         }
