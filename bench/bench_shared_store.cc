@@ -14,10 +14,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include <atomic>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -292,6 +295,153 @@ BENCHMARK(BM_QueensParallelMaterialize)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// --- E15: the spill tier's two costs ---------------------------------------------
+
+// Scoped spill directory under /tmp, removed on destruction.
+class ScopedSpillDir {
+ public:
+  ScopedSpillDir() {
+    char tmpl[] = "/tmp/lwsnap_bench_spill_XXXXXX";
+    char* dir = mkdtemp(tmpl);
+    path_ = dir != nullptr ? dir : "";
+  }
+  ~ScopedSpillDir() {
+    if (!path_.empty()) {
+      std::string cmd = "rm -rf '" + path_ + "'";
+      int rc = std::system(cmd.c_str());
+      (void)rc;
+    }
+  }
+  bool ok() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Unique incompressible page content (xorshift stream): the codec gets no win,
+// so fault-back cost is a raw 4 KiB disk read + memcpy, not a decompress.
+void FillNoisePage(uint8_t* buf, uint64_t i) {
+  uint64_t state = (i * 0x9e3779b97f4a7c15ull) | 1ull;
+  for (size_t off = 0; off < lw::kPageSize; off += sizeof(uint64_t)) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    std::memcpy(buf + off, &state, sizeof(state));
+  }
+}
+
+// Fault-back latency: `range(0)` spilled pages are read back through the
+// guarded accessor (disk → RAM), then re-spilled — which is free I/O-wise, as
+// each blob's spill record is retained across fault-back, so the loop isolates
+// the read path. ns/faultback is the paper-facing number: what touching a
+// parked-out checkpoint costs per page.
+void BM_SpillFaultback(benchmark::State& state) {
+  const uint32_t pages = static_cast<uint32_t>(state.range(0));
+  ScopedSpillDir dir;
+  if (!dir.ok()) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  lw::PageStoreOptions options;
+  options.spill_dir = dir.path();
+  lw::PageStore store(options);
+  if (!store.spill_enabled()) {
+    state.SkipWithError(store.spill_status().ToString().c_str());
+    return;
+  }
+  std::vector<lw::PageRef> refs;
+  uint8_t buf[lw::kPageSize];
+  for (uint32_t i = 0; i < pages; ++i) {
+    FillNoisePage(buf, i);
+    refs.push_back(store.Publish(buf));
+  }
+  store.CompressAllCold();
+  if (store.SpillAllCold() != pages) {
+    state.SkipWithError("initial spill did not take every page");
+    return;
+  }
+  uint64_t faultbacks = 0;
+  for (auto _ : state) {
+    for (const lw::PageRef& ref : refs) {
+      ref.CopyTo(buf);
+      benchmark::DoNotOptimize(buf);
+    }
+    state.PauseTiming();
+    store.SpillAllCold();  // re-spill (record reuse: accounting only, no I/O)
+    faultbacks = store.stats().faultbacks;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+  state.counters["ns/faultback"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * pages),
+      static_cast<benchmark::Counter::Flags>(benchmark::Counter::kIsRate |
+                                             benchmark::Counter::kInvert));
+  state.counters["faultbacks"] = static_cast<double>(faultbacks);
+  store.ReleaseBatch(refs);
+}
+BENCHMARK(BM_SpillFaultback)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// The queens parallel-materialize fixture under a RAM budget tight enough to
+// drive the full evict → compress → spill → drop ladder: the wall-clock
+// overhead of spilling on the park path, against BM_QueensParallelMaterialize
+// as its unbudgeted baseline. Parity (92 solutions) must survive paging parked
+// solutions out to disk.
+void BM_QueensParallelMaterializeSpill(benchmark::State& state) {
+  const uint32_t workers = static_cast<uint32_t>(state.range(0));
+  ScopedSpillDir dir;
+  if (!dir.ok()) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  uint64_t spills = 0;
+  uint64_t faultbacks = 0;
+  uint64_t resident_bytes = 0;
+  bool parity_ok = true;
+  for (auto _ : state) {
+    int n = kQueensN;
+    auto store = std::make_shared<lw::PageStore>([&] {
+      lw::PageStoreOptions store_options;
+      store_options.spill_dir = dir.path();
+      return store_options;
+    }());
+    if (!store->spill_enabled()) {
+      state.SkipWithError(store->spill_status().ToString().c_str());
+      return;
+    }
+    lw::SessionOptions options;
+    options.arena_bytes = 2ull << 20;
+    options.guest_stack_bytes = 256 * 1024;
+    options.snapshot_mode = lw::SnapshotMode::kFullCopy;
+    options.parallel_materialize_workers = workers;
+    options.snapshot_byte_budget = 256 * 1024;  // well under the parked population
+    options.store = store;
+    options.output = [](std::string_view) {};
+    lw::BacktrackSession session(options);
+    if (!session.Run(&QueensGuest, &n).ok()) {
+      state.SkipWithError("queens run failed");
+      return;
+    }
+    parity_ok = parity_ok && session.stats().solutions == kQueensSolutions;
+    spills = store->stats().spills;
+    faultbacks = store->stats().faultbacks;
+    resident_bytes = store->stats().bytes_live();
+  }
+  if (!parity_ok) {
+    state.SkipWithError("parity violated under spilling");
+    return;
+  }
+  state.counters["spills"] = static_cast<double>(spills);
+  state.counters["faultbacks"] = static_cast<double>(faultbacks);
+  state.counters["resident_bytes"] = static_cast<double>(resident_bytes);
+}
+BENCHMARK(BM_QueensParallelMaterializeSpill)
+    ->Arg(1)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();

@@ -31,6 +31,7 @@ std::string SessionStats::ToString() const {
                 "dirty_src=%s mat_by=%llu/%llu/%llu/%llu pagemap_reads=%llu sd_clears=%llu "
                 "adaptive_switches=%llu rst_mprotect=%llu rst_runs=%llu rst_skip=%llu "
                 "rel_batches=%llu rel_blobs=%llu rel_locks=%llu "
+                "spilled=%llu spill_bytes=%llu faultbacks=%llu spill_compactions=%llu "
                 "snap_us=%.1f restore_us=%.1f",
                 static_cast<unsigned long long>(guesses),
                 static_cast<unsigned long long>(snapshots),
@@ -61,6 +62,10 @@ std::string SessionStats::ToString() const {
                 static_cast<unsigned long long>(release_batches),
                 static_cast<unsigned long long>(blobs_recycled_batched),
                 static_cast<unsigned long long>(release_shard_locks),
+                static_cast<unsigned long long>(spilled_blobs),
+                static_cast<unsigned long long>(spill_bytes),
+                static_cast<unsigned long long>(faultbacks),
+                static_cast<unsigned long long>(spill_segments_compacted),
                 static_cast<double>(snapshot_ns) / 1e3, static_cast<double>(restore_ns) / 1e3);
   return buf;
 }
@@ -271,17 +276,7 @@ void BacktrackSession::HandleGuestEvent() {
         strategy_->Push(std::move(ext));
       }
       pending_costs_ = nullptr;
-      engine_->EnforceByteBudget(options_.snapshot_byte_budget, [this] {
-        std::optional<Extension> evicted = strategy_->EvictWorst();
-        if (!evicted.has_value()) {
-          return false;
-        }
-        ++stats_.evictions;
-        // Reclaim through the batch path so eviction storms under a tight
-        // budget pay O(shards touched) lock acquisitions, not O(dying blobs).
-        ReclaimSnapshot(std::move(evicted->snapshot));
-        return true;
-      });
+      EnforceBudget();
       break;
     }
     case GuestEvent::kScopePending: {
@@ -303,6 +298,11 @@ void BacktrackSession::HandleGuestEvent() {
       checkpoints_[snap->id] = snap;
       new_checkpoints_.push_back(snap->id);
       ++stats_.checkpoints;
+      // Parked checkpoints are what a long-running service accumulates; they
+      // must drive the residency ladder too, or a guess-free service would
+      // never spill (checkpoint pages are exactly the cold population the
+      // spill tier exists for).
+      EnforceBudget();
       break;
     }
     case GuestEvent::kFailed:
@@ -356,6 +356,20 @@ SnapshotRef BacktrackSession::NewSnapshotShell(SnapshotKind kind) {
   snap->parent = cur_snapshot_;
   snap->depth = cur_depth_;
   return snap;
+}
+
+void BacktrackSession::EnforceBudget() {
+  engine_->EnforceByteBudget(options_.snapshot_byte_budget, [this] {
+    std::optional<Extension> evicted = strategy_->EvictWorst();
+    if (!evicted.has_value()) {
+      return false;
+    }
+    ++stats_.evictions;
+    // Reclaim through the batch path so eviction storms under a tight
+    // budget pay O(shards touched) lock acquisitions, not O(dying blobs).
+    ReclaimSnapshot(std::move(evicted->snapshot));
+    return true;
+  });
 }
 
 void BacktrackSession::MaterializeInto(const SnapshotRef& snap) {

@@ -88,7 +88,8 @@ struct SessionOptions {
   uint64_t max_extensions = 0;
 
   // SM-A* style byte budget on live snapshot pages (0 = unbounded): after each
-  // guess the ByteBudgetPolicy runs evict → compress → drop until the store
+  // guess and each parked checkpoint the ByteBudgetPolicy runs
+  // evict → compress → spill → drop until the store
   // fits (SnapshotEngine::EnforceByteBudget). Measured against the *whole*
   // store: with an injected shared store this is a fleet-wide residency cap —
   // every sharer's live bytes count, but each session can only evict its own
@@ -240,6 +241,12 @@ class BacktrackSession : public GuessExecutor {
   // options_.batched_release false this is a plain reset (per-ref baseline).
   void ReclaimSnapshot(SnapshotRef snap);
   void HandleGuestEvent();
+  // Runs the evict → compress → spill → drop ladder against
+  // options_.snapshot_byte_budget (no-op when 0). Called after every
+  // materialization that grows the store — guess fan-outs *and* parked
+  // checkpoints, so long-running services with no search frontier still
+  // converge to the cap.
+  void EnforceBudget();
   void MaterializeInto(const SnapshotRef& snap);
   void RestoreTo(const Snapshot& snap);
   void EvaluateExtension(Extension ext);

@@ -18,6 +18,7 @@ CheckpointService::CheckpointService(CheckpointServiceOptions options)
   session_options.snapshot_mode = options_.snapshot_mode;
   session_options.store = options_.store;
   session_options.store_options = options_.store_options;
+  session_options.snapshot_byte_budget = options_.snapshot_byte_budget;
   session_options.parallel_materialize_workers = options_.parallel_materialize_workers;
   session_ = std::make_unique<BacktrackSession>(session_options);
   guest_boot_.mailbox_cap = options_.mailbox_bytes;

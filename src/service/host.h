@@ -53,8 +53,17 @@ struct CheckpointServiceOptions {
 
   // Shared page substrate: services on one store dedup each other's
   // byte-identical pages. Null = private store (see SessionOptions::store).
+  // store_options carries the spill-tier knobs (spill_dir,
+  // spill_segment_bytes) when the service should page cold checkpoints out
+  // to disk.
   std::shared_ptr<PageStore> store;
   PageStoreOptions store_options;
+
+  // Residency cap driving the evict → compress → spill → drop ladder after
+  // each checkpoint (0 = unbounded). See SessionOptions::snapshot_byte_budget
+  // for shared-store semantics (the cap is store-wide, give sharers the same
+  // value).
+  uint64_t snapshot_byte_budget = 0;
 
   // Intra-session parallel materialization: the service's session publishes
   // each parked snapshot's page set from this many threads (0/1 = serial).
@@ -166,6 +175,7 @@ CheckpointServiceOptions MakeHostOptions(const ServiceOptions& options) {
   host_options.snapshot_mode = options.snapshot_mode;
   host_options.store = options.store;
   host_options.store_options = options.store_options;
+  host_options.snapshot_byte_budget = options.snapshot_byte_budget;
   host_options.parallel_materialize_workers = options.parallel_materialize_workers;
   return host_options;
 }

@@ -57,6 +57,10 @@ struct SymxServiceOptions {
   std::shared_ptr<PageStore> store;
   PageStoreOptions store_options;
 
+  // Residency cap for parked checkpoints (0 = unbounded): see
+  // CheckpointServiceOptions::snapshot_byte_budget.
+  uint64_t snapshot_byte_budget = 0;
+
   // Intra-session parallel materialization (0/1 = serial): see
   // CheckpointServiceOptions::parallel_materialize_workers.
   uint32_t parallel_materialize_workers = 0;

@@ -27,10 +27,17 @@ void ByteBudgetPolicy::Enforce(PageStore& store, uint64_t budget,
       break;
     }
   }
-  // Last resort only: when eviction and compression could not bring live bytes
-  // under the budget, the recycled free list is pure overhead — return it to
-  // the host. While the budget is being met, the free list stays (recycling
-  // blobs is what keeps Publish off the allocator).
+  // Spill rung: take cold payloads to disk until resident bytes fit. A no-op
+  // when the store has no spill tier.
+  while (store.stats().bytes_live() > budget) {
+    if (!store.SpillOneCold()) {
+      break;
+    }
+  }
+  // Last resort only: when eviction, compression, and spilling could not bring
+  // live bytes under the budget, the recycled free list is pure overhead —
+  // return it to the host. While the budget is being met, the free list stays
+  // (recycling blobs is what keeps Publish off the allocator).
   if (store.stats().bytes_live() > budget) {
     store.TrimFreeList();
   }

@@ -1,8 +1,8 @@
-// ByteBudgetPolicy: the unified evict → compress → drop policy behind
+// ByteBudgetPolicy: the unified evict → compress → spill → drop ladder behind
 // SnapshotEngine::EnforceByteBudget.
 //
 // Runs after each materialization when SessionOptions::snapshot_byte_budget is
-// set. Stages, in order, while the store's live bytes exceed the budget:
+// set. Rungs, in order, while the store's live bytes exceed the budget:
 //   1. evict   — drop worst frontier entries via the session's callback
 //                (SM-A* semantics: search work is lost, memory is reclaimed;
 //                the session reclaims each evicted snapshot through the
@@ -11,21 +11,30 @@
 //                per dying blob);
 //   2. compress — move the coldest blobs into the store's compressed tier
 //                (lossless: parked snapshots stay restorable, just slower);
-//   3. drop    — when the budget still is not met, release recycled free-list
+//   3. spill   — push the coldest compressed (or incompressible) payloads to
+//                the store's disk tier (PageStoreOptions::spill_dir): still
+//                lossless, still transparently restorable via fault-back, but
+//                the RAM cost drops to a blob header — this is the rung that
+//                lets a parked population's logical bytes dwarf the budget;
+//   4. drop    — when the budget still is not met, release recycled free-list
 //                blobs back to the host allocator (last resort: while the
 //                budget holds, the free list is what keeps Publish cheap).
 //
 // Eviction precedes compression so the lossy stage never runs while the
-// lossless one could still be deferred by freeing evictable work, and so the
+// lossless ones could still be deferred by freeing evictable work, and so the
 // policy reduces exactly to the pre-policy engines when compression is
 // disabled. Note the converse does not hold round over round: once
-// compression has shrunk live bytes mid-search, later Enforce calls evict
-// *fewer* frontier entries than an uncompressed run would — the compressed
-// tier trades byte-for-byte eviction parity for keeping more of the search.
+// compression or spilling has shrunk live bytes mid-search, later Enforce
+// calls evict *fewer* frontier entries than an uncompressed run would — the
+// cold tiers trade byte-for-byte eviction parity for keeping more of the
+// search. Spilling follows compression so disk pays the codec's ratio (and a
+// faulted-back blob re-spills for free: its disk record is retained across
+// fault-back). When the spill tier is disabled the rung is skipped and the
+// ladder behaves exactly as before.
 //
-// On a store with `background_compaction`, stages 2 and 3 move off the
-// critical path: Enforce still evicts synchronously (only the session can
-// drop its own frontier), then enqueues the byte target with
+// On a store with `background_compaction`, rungs 2–4 move off the critical
+// path: Enforce still evicts synchronously (only the session can drop its
+// own frontier), then enqueues the byte target with
 // `PageStore::RequestCompaction` and returns — the store's compactor thread
 // works the cold tails while the search continues. Residency converges to the
 // budget rather than meeting it at every return.

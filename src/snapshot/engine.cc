@@ -135,6 +135,10 @@ void SnapshotEngine::SyncStoreStats() {
   env_.stats->release_batches = store.release_batches;
   env_.stats->blobs_recycled_batched = store.blobs_recycled_batched;
   env_.stats->release_shard_locks = store.release_shard_locks;
+  env_.stats->spilled_blobs = store.spilled_blobs;
+  env_.stats->spill_bytes = store.spill_bytes;
+  env_.stats->faultbacks = store.faultbacks;
+  env_.stats->spill_segments_compacted = store.spill_segments_compacted;
 }
 
 std::unique_ptr<SnapshotEngine> MakeSnapshotEngine(SnapshotMode mode,

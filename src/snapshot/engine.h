@@ -160,6 +160,13 @@ struct SnapshotEngineStats {
   uint64_t release_batches = 0;
   uint64_t blobs_recycled_batched = 0;
   uint64_t release_shard_locks = 0;
+  // Spill-tier provenance (store-wide totals): blobs whose payload currently
+  // lives on disk, their payload bytes, disk → RAM fault-backs, and spill
+  // segment files reclaimed by compaction.
+  uint64_t spilled_blobs = 0;
+  uint64_t spill_bytes = 0;
+  uint64_t faultbacks = 0;
+  uint64_t spill_segments_compacted = 0;
   uint64_t snapshot_ns = 0;
   uint64_t restore_ns = 0;
 };
@@ -224,7 +231,7 @@ class SnapshotEngine {
   virtual size_t StructureBytes() const;
 
   // Post-materialize budget hook: the shared ByteBudgetPolicy runs
-  // evict → compress → drop against the store until live bytes fit `budget`
+  // evict → compress → spill → drop against the store until live bytes fit `budget`
   // (`evict` returns false when nothing is evictable; `budget == 0` means
   // unbounded). Engines may override to weigh structure bytes or dedup
   // savings differently.

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/snapshot/codec.h"
+#include "src/snapshot/spill_tier.h"
 
 namespace lw {
 
@@ -51,6 +52,19 @@ PageStore::PageStore(const PageStoreOptions& options) : options_(options) {
   if (options_.content_dedup) {
     for (Shard& shard : shards_) {
       shard.index.assign(kInitialIndexSlots, nullptr);
+    }
+  }
+  if (!options_.spill_dir.empty()) {
+    SpillTierOptions spill_options;
+    spill_options.dir = options_.spill_dir;
+    spill_options.segment_bytes = options_.spill_segment_bytes;
+    auto tier = SpillTier::Open(spill_options);
+    if (tier.ok()) {
+      spill_ = std::move(*tier);
+    } else {
+      // The store stays usable — the budget ladder just loses its spill rung.
+      // spill_status() carries the reason for callers that want to hard-fail.
+      spill_status_ = tier.status();
     }
   }
   if (options_.background_compaction) {
@@ -106,6 +120,8 @@ PageBlob* PageStore::AcquireBlobLocked(Shard& shard, uint32_t shard_id) {
   // other threads) only under this same shard lock.
   blob->refcount.store(1, std::memory_order_relaxed);
   blob->comp_bytes.store(0, std::memory_order_relaxed);
+  blob->spilled.store(0, std::memory_order_relaxed);
+  blob->spill_rec = nullptr;
   blob->hash = 0;
   blob->owner = 0;
   blob->shard = shard_id;
@@ -140,11 +156,22 @@ void PageStore::RecycleBlobLocked(Shard& shard, PageBlob* blob) {
     IndexRemoveLocked(shard, blob);
   }
   uint32_t comp = blob->comp_bytes.load(std::memory_order_relaxed);
-  if (comp == 0 && (blob->flags & PageBlob::kPinned) == 0) {
+  if ((blob->flags & PageBlob::kSpillCand) != 0) {
+    SpillCandRemoveLocked(shard, blob);
+  } else if (comp == 0 && (blob->flags & PageBlob::kPinned) == 0) {
     LruRemoveLocked(shard, blob);
   }
   counters_.live_bytes.fetch_sub(sizeof(PageBlob) + PayloadBytes(blob),
                                  std::memory_order_relaxed);
+  if (blob->spill_rec != nullptr) {
+    uint64_t spilled_dropped = 0;
+    uint64_t spill_bytes_dropped = 0;
+    DropSpillStateLocked(blob, &spilled_dropped, &spill_bytes_dropped);
+    if (spilled_dropped != 0) {
+      counters_.spilled_blobs.fetch_sub(spilled_dropped, std::memory_order_relaxed);
+      counters_.spill_bytes.fetch_sub(spill_bytes_dropped, std::memory_order_relaxed);
+    }
+  }
   if (comp != 0) {
     // Compressed payloads are odd-sized; recycle the header only and let the
     // next acquire mint a fresh raw payload.
@@ -204,6 +231,8 @@ void PageStore::ReleaseBatch(std::vector<PageRef>& refs) {
   uint64_t live_bytes_freed = 0;
   uint64_t free_bytes_gained = 0;
   uint64_t decompressed_dropped = 0;
+  uint64_t spilled_dropped = 0;
+  uint64_t spill_bytes_dropped = 0;
   for (uint32_t shard_id = 0; shard_id < kPageStoreShards; ++shard_id) {
     PageBlob* blob = doomed[shard_id];
     if (blob == nullptr) {
@@ -220,11 +249,17 @@ void PageStore::ReleaseBatch(std::vector<PageRef>& refs) {
       }
       uint32_t comp = blob->comp_bytes.load(std::memory_order_relaxed);
       live_bytes_freed += sizeof(PageBlob) + PayloadBytes(blob);
-      if (comp == 0) {
-        if ((blob->flags & PageBlob::kPinned) == 0) {
-          LruRemoveLocked(shard, blob);
-        }
-      } else {
+      // A dying spilled blob never faults back: only its disk record and
+      // header go away, the payload bytes are never read again.
+      if (blob->spill_rec != nullptr) {
+        DropSpillStateLocked(blob, &spilled_dropped, &spill_bytes_dropped);
+      }
+      if ((blob->flags & PageBlob::kSpillCand) != 0) {
+        SpillCandRemoveLocked(shard, blob);
+      } else if (comp == 0 && (blob->flags & PageBlob::kPinned) == 0) {
+        LruRemoveLocked(shard, blob);
+      }
+      if (comp != 0) {
         // Compressed payloads are odd-sized; recycle the header only (see
         // RecycleBlobLocked).
         ++decompressed_dropped;
@@ -241,6 +276,10 @@ void PageStore::ReleaseBatch(std::vector<PageRef>& refs) {
   counters_.live_bytes.fetch_sub(live_bytes_freed, std::memory_order_relaxed);
   if (decompressed_dropped != 0) {
     counters_.compressed_blobs.fetch_sub(decompressed_dropped, std::memory_order_relaxed);
+  }
+  if (spilled_dropped != 0) {
+    counters_.spilled_blobs.fetch_sub(spilled_dropped, std::memory_order_relaxed);
+    counters_.spill_bytes.fetch_sub(spill_bytes_dropped, std::memory_order_relaxed);
   }
   counters_.live_blobs.fetch_sub(dying, std::memory_order_release);
   counters_.free_blobs.fetch_add(dying, std::memory_order_relaxed);
@@ -344,11 +383,10 @@ restart:
     if (!acquired) {
       continue;
     }
-    if (cand->comp_bytes.load(std::memory_order_relaxed) != 0) {
-      // Hash matched a cold blob: re-inflate to confirm. A confirmed hit means
-      // this content is being republished, so warming it is the right move.
-      DecompressBlobLocked(cand);
-    }
+    // Hash matched a cold or spilled blob: make it resident to confirm. A
+    // confirmed hit means this content is being republished, so warming it
+    // is the right move.
+    EnsureResidentLocked(cand);
     if (std::memcmp(cand->payload, src, kPageSize) == 0) {
       return cand;  // reference transferred to the caller
     }
@@ -434,9 +472,7 @@ void PageRef::CopyTo(void* dst) const {
   LW_CHECK(blob_ != nullptr);
   PageStore::Shard& shard = blob_->store->shards_[blob_->shard];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (blob_->comp_bytes.load(std::memory_order_relaxed) != 0) {
-    blob_->store->DecompressBlobLocked(blob_);
-  }
+  blob_->store->EnsureResidentLocked(blob_);
   std::memcpy(dst, blob_->payload, kPageSize);
 }
 
@@ -444,9 +480,7 @@ bool PageRef::EqualsPage(const void* src) const {
   LW_CHECK(blob_ != nullptr);
   PageStore::Shard& shard = blob_->store->shards_[blob_->shard];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (blob_->comp_bytes.load(std::memory_order_relaxed) != 0) {
-    blob_->store->DecompressBlobLocked(blob_);
-  }
+  blob_->store->EnsureResidentLocked(blob_);
   return std::memcmp(blob_->payload, src, kPageSize) == 0;
 }
 
@@ -454,9 +488,7 @@ bool PageRef::CopyToIfDifferent(void* dst) const {
   LW_CHECK(blob_ != nullptr);
   PageStore::Shard& shard = blob_->store->shards_[blob_->shard];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (blob_->comp_bytes.load(std::memory_order_relaxed) != 0) {
-    blob_->store->DecompressBlobLocked(blob_);
-  }
+  blob_->store->EnsureResidentLocked(blob_);
   if (std::memcmp(blob_->payload, dst, kPageSize) == 0) {
     return false;
   }
@@ -469,9 +501,7 @@ void PageRef::ReadBytes(size_t offset, void* dst, size_t len) const {
   LW_CHECK(offset + len <= kPageSize);
   PageStore::Shard& shard = blob_->store->shards_[blob_->shard];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (blob_->comp_bytes.load(std::memory_order_relaxed) != 0) {
-    blob_->store->DecompressBlobLocked(blob_);
-  }
+  blob_->store->EnsureResidentLocked(blob_);
   std::memcpy(dst, blob_->payload + offset, len);
 }
 
@@ -516,12 +546,51 @@ void PageStore::LruRemoveLocked(Shard& shard, PageBlob* blob) {
 }
 
 void PageStore::LruTouchLocked(Shard& shard, PageBlob* blob) {
+  if ((blob->flags & PageBlob::kSpillCand) != 0) {
+    // Spill candidates track recency on their own list; the spill rung eats
+    // from its tail, so a republish hit keeps this blob off disk for longer.
+    SpillCandRemoveLocked(shard, blob);
+    SpillCandPushFrontLocked(shard, blob);
+    return;
+  }
   if ((blob->flags & PageBlob::kPinned) != 0 ||
       blob->comp_bytes.load(std::memory_order_relaxed) != 0) {
     return;
   }
   LruRemoveLocked(shard, blob);
   LruPushFrontLocked(shard, blob);
+}
+
+void PageStore::SpillCandPushFrontLocked(Shard& shard, PageBlob* blob) {
+  if (spill_ == nullptr || (blob->flags & PageBlob::kPinned) != 0) {
+    return;
+  }
+  blob->flags |= PageBlob::kSpillCand;
+  blob->lru_prev = nullptr;
+  blob->lru_next = shard.spill_head;
+  if (shard.spill_head != nullptr) {
+    shard.spill_head->lru_prev = blob;
+  }
+  shard.spill_head = blob;
+  if (shard.spill_tail == nullptr) {
+    shard.spill_tail = blob;
+  }
+}
+
+void PageStore::SpillCandRemoveLocked(Shard& shard, PageBlob* blob) {
+  if (blob->lru_prev != nullptr) {
+    blob->lru_prev->lru_next = blob->lru_next;
+  } else if (shard.spill_head == blob) {
+    shard.spill_head = blob->lru_next;
+  }
+  if (blob->lru_next != nullptr) {
+    blob->lru_next->lru_prev = blob->lru_prev;
+  } else if (shard.spill_tail == blob) {
+    shard.spill_tail = blob->lru_prev;
+  }
+  blob->lru_prev = nullptr;
+  blob->lru_next = nullptr;
+  blob->flags &= static_cast<uint8_t>(~PageBlob::kSpillCand);
 }
 
 bool PageStore::CompressBlobLocked(Shard& shard, PageBlob* blob) {
@@ -533,6 +602,9 @@ bool PageStore::CompressBlobLocked(Shard& shard, PageBlob* blob) {
   if (n == 0) {
     blob->flags |= PageBlob::kIncompressible;
     LruRemoveLocked(shard, blob);
+    // The compress rung is done with it, but the spill rung can still take
+    // its raw payload to disk.
+    SpillCandPushFrontLocked(shard, blob);
     return false;
   }
   uint8_t* small = static_cast<uint8_t*>(std::malloc(n));
@@ -542,6 +614,7 @@ bool PageStore::CompressBlobLocked(Shard& shard, PageBlob* blob) {
   blob->payload = small;
   blob->comp_bytes.store(static_cast<uint32_t>(n), std::memory_order_release);
   LruRemoveLocked(shard, blob);
+  SpillCandPushFrontLocked(shard, blob);  // next rung down is disk
   counters_.live_bytes.fetch_sub(kPageSize - n, std::memory_order_relaxed);
   counters_.compressed_blobs.fetch_add(1, std::memory_order_relaxed);
   counters_.compressions.fetch_add(1, std::memory_order_relaxed);
@@ -551,6 +624,11 @@ bool PageStore::CompressBlobLocked(Shard& shard, PageBlob* blob) {
 void PageStore::DecompressBlobLocked(PageBlob* blob) {
   uint32_t comp = blob->comp_bytes.load(std::memory_order_relaxed);
   LW_CHECK(comp != 0);
+  if ((blob->flags & PageBlob::kSpillCand) != 0) {
+    // Re-inflating means the blob is warm again: off the spill-candidate
+    // list, back onto the raw LRU (below).
+    SpillCandRemoveLocked(shards_[blob->shard], blob);
+  }
   uint8_t* raw = static_cast<uint8_t*>(std::malloc(kPageSize));
   LW_CHECK_MSG(raw != nullptr, "host allocation for decompressed payload failed");
   size_t n = Decompress(blob->payload, comp, raw, kPageSize);
@@ -618,6 +696,156 @@ uint64_t PageStore::CompressAllCold() {
 }
 
 // ---------------------------------------------------------------------------
+// Spill tier (fourth budget rung). Helpers run under the blob's shard mutex;
+// SpillTier calls nest its own mutex inside it (shard → tier, never cycles).
+// ---------------------------------------------------------------------------
+
+bool PageStore::SpillBlobLocked(Shard& shard, PageBlob* blob) {
+  uint32_t comp = blob->comp_bytes.load(std::memory_order_relaxed);
+  uint32_t len = comp != 0 ? comp : static_cast<uint32_t>(kPageSize);
+  SpillRecord* rec = blob->spill_rec;
+  if (rec != nullptr && (rec->len != len || rec->comp_bytes != comp)) {
+    // Stale record from a previous residency at a different compression state
+    // (possible only through odd flag churn; the codec itself is
+    // deterministic). Re-append below.
+    spill_->Free(rec);
+    rec = nullptr;
+    blob->spill_rec = nullptr;
+  }
+  if (rec == nullptr) {
+    rec = spill_->Append(blob->hash, blob->payload, len, comp);
+    if (rec == nullptr) {
+      return false;  // disk trouble — leave the blob resident
+    }
+    blob->spill_rec = rec;
+  }
+  // Payload lives on disk now; only the header stays resident.
+  if ((blob->flags & PageBlob::kSpillCand) != 0) {
+    SpillCandRemoveLocked(shard, blob);
+  } else if (comp == 0 && (blob->flags & PageBlob::kPinned) == 0) {
+    LruRemoveLocked(shard, blob);
+  }
+  std::free(blob->payload);
+  blob->payload = nullptr;
+  blob->comp_bytes.store(0, std::memory_order_relaxed);
+  blob->spilled.store(1, std::memory_order_release);
+  counters_.live_bytes.fetch_sub(len, std::memory_order_relaxed);
+  if (comp != 0) {
+    counters_.compressed_blobs.fetch_sub(1, std::memory_order_relaxed);
+  }
+  counters_.spilled_blobs.fetch_add(1, std::memory_order_relaxed);
+  counters_.spill_bytes.fetch_add(len, std::memory_order_relaxed);
+  counters_.spills.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void PageStore::FaultBackBlobLocked(PageBlob* blob) {
+  LW_CHECK(blob->spilled.load(std::memory_order_acquire) != 0);
+  SpillRecord* rec = blob->spill_rec;
+  uint8_t* raw = static_cast<uint8_t*>(std::malloc(kPageSize));
+  LW_CHECK_MSG(raw != nullptr, "host allocation for faulted-back payload failed");
+  if (rec->comp_bytes != 0) {
+    uint8_t tmp[MaxCompressedBytes(kPageSize)];
+    spill_->Read(rec, tmp);
+    size_t n = Decompress(tmp, rec->comp_bytes, raw, kPageSize);
+    LW_CHECK_MSG(n == kPageSize, "spilled blob decompressed to the wrong size");
+  } else {
+    spill_->Read(rec, raw);
+  }
+  blob->payload = raw;
+  blob->spilled.store(0, std::memory_order_release);
+  uint64_t live =
+      counters_.live_bytes.fetch_add(kPageSize, std::memory_order_relaxed) + kPageSize;
+  BumpPeak(counters_.peak_live_bytes, live);
+  counters_.spilled_blobs.fetch_sub(1, std::memory_order_relaxed);
+  counters_.spill_bytes.fetch_sub(rec->len, std::memory_order_relaxed);
+  counters_.faultbacks.fetch_add(1, std::memory_order_relaxed);
+  // The record stays referenced: if this blob goes cold again unchanged (it
+  // must — blobs are immutable), the re-spill is an accounting flip, no I/O.
+  // Warm again: incompressible blobs rejoin the spill candidates directly
+  // (the compress rung would only waste a pass on them), everything else
+  // rejoins the raw LRU and descends the ladder normally.
+  Shard& shard = shards_[blob->shard];
+  if ((blob->flags & PageBlob::kIncompressible) != 0) {
+    SpillCandPushFrontLocked(shard, blob);
+  } else {
+    LruPushFrontLocked(shard, blob);
+  }
+}
+
+void PageStore::FaultBackBlob(PageBlob* blob) {
+  Shard& shard = shards_[blob->shard];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Double-checked: another thread may have faulted it back while we waited.
+  if (blob->spilled.load(std::memory_order_relaxed) != 0) {
+    FaultBackBlobLocked(blob);
+  }
+}
+
+void PageStore::EnsureResidentLocked(PageBlob* blob) {
+  if (blob->spilled.load(std::memory_order_relaxed) != 0) {
+    FaultBackBlobLocked(blob);
+  } else if (blob->comp_bytes.load(std::memory_order_relaxed) != 0) {
+    DecompressBlobLocked(blob);
+  }
+}
+
+void PageStore::DropSpillStateLocked(PageBlob* blob, uint64_t* spilled_dropped,
+                                     uint64_t* spill_bytes_dropped) {
+  SpillRecord* rec = blob->spill_rec;
+  if (blob->spilled.load(std::memory_order_relaxed) != 0) {
+    *spilled_dropped += 1;
+    *spill_bytes_dropped += rec->len;
+    blob->spilled.store(0, std::memory_order_relaxed);
+  }
+  blob->spill_rec = nullptr;
+  spill_->Free(rec);
+}
+
+bool PageStore::SpillOneColdInShard(uint32_t shard_id) {
+  Shard& shard = shards_[shard_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Coldest spill candidate first; when compression is off the candidate
+  // list never fills, so the raw LRU tail is the coldest thing there is.
+  PageBlob* victim = shard.spill_tail;
+  if (victim == nullptr && !options_.compression) {
+    victim = shard.lru_tail;
+  }
+  if (victim == nullptr) {
+    return false;
+  }
+  return SpillBlobLocked(shard, victim);
+}
+
+bool PageStore::SpillOneCold() {
+  if (spill_ == nullptr) {
+    return false;
+  }
+  // Round-robin over shards, mirroring CompressOneCold's approximation of
+  // global cold order.
+  uint32_t start = shard_cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < kPageStoreShards; ++i) {
+    if (SpillOneColdInShard((start + i) & (kPageStoreShards - 1))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t PageStore::SpillAllCold() {
+  if (spill_ == nullptr) {
+    return 0;
+  }
+  uint64_t count = 0;
+  for (uint32_t shard_id = 0; shard_id < kPageStoreShards; ++shard_id) {
+    while (SpillOneColdInShard(shard_id)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
 // Background compactor.
 // ---------------------------------------------------------------------------
 
@@ -662,6 +890,13 @@ void PageStore::CompactorMain() {
         break;
       }
     }
+    // The spill rung, off the critical path too: push cold payloads to disk
+    // until resident bytes fit (no-op when the tier is disabled).
+    while (counters_.live_bytes.load(std::memory_order_relaxed) > target) {
+      if (!SpillOneCold()) {
+        break;
+      }
+    }
     if (counters_.live_bytes.load(std::memory_order_relaxed) > target) {
       // The drop stage of the budget policy, off the critical path too.
       TrimFreeList();
@@ -698,6 +933,15 @@ PageStore::Stats PageStore::stats() const {
   s.release_batches = counters_.release_batches.load(std::memory_order_relaxed);
   s.blobs_recycled_batched = counters_.blobs_recycled_batched.load(std::memory_order_relaxed);
   s.release_shard_locks = counters_.release_shard_locks.load(std::memory_order_relaxed);
+  s.spilled_blobs = counters_.spilled_blobs.load(std::memory_order_relaxed);
+  s.spill_bytes = counters_.spill_bytes.load(std::memory_order_relaxed);
+  s.spills = counters_.spills.load(std::memory_order_relaxed);
+  s.faultbacks = counters_.faultbacks.load(std::memory_order_relaxed);
+  if (spill_ != nullptr) {
+    SpillTier::Stats tier = spill_->stats();
+    s.spill_segments = tier.segments;
+    s.spill_segments_compacted = tier.segments_compacted;
+  }
   return s;
 }
 

@@ -20,6 +20,18 @@
 // through per-shard free lists when the last reference drops (snapshot trees
 // churn pages at high frequency; malloc per page would dominate).
 //
+// Spill tier (opt-in via PageStoreOptions::spill_dir): below the compressed
+// tier sits disk. Blobs the compress rung is done with park on per-shard
+// spill-candidate lists; the byte-budget policy's fourth rung writes their
+// payloads to the SpillTier's append-only, content-hash-keyed segment files
+// and frees the RAM copy (only the blob header stays resident). The same
+// guarded accessors that re-inflate cold blobs fault spilled blobs back
+// transparently — refcounts, dedup identity, and the unique-recycler 1 → 0
+// protocol are oblivious to where the payload lives, so a parked checkpoint
+// population can exceed the RAM budget by orders of magnitude and still
+// restore bit-identically. `ReleaseBatch` dooms spilled blobs without
+// faulting them back (dying payloads never touch RAM again).
+//
 // Concurrency model (PR 3 — the store is internally synchronized):
 //   * The index, free lists, and LRU cold lists are split across
 //     `kPageStoreShards` shards selected by content-hash prefix; each shard has
@@ -64,7 +76,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -89,24 +103,39 @@ constexpr unsigned Log2Const(size_t n) { return n <= 1 ? 0 : 1 + Log2Const(n / 2
 inline constexpr unsigned kPageStoreShardBits = internal::Log2Const(kPageStoreShards);
 
 class PageStore;
+class SpillTier;
+struct SpillRecord;
 
 namespace internal {
 struct PageBlob {
   std::atomic<uint32_t> refcount{0};
   std::atomic<uint32_t> comp_bytes{0};  // 0 = payload holds kPageSize raw bytes
-  uint64_t hash = 0;                    // content hash; valid while indexed
-  uint32_t owner = 0;                   // first publisher (dedup attribution only)
-  uint32_t shard = 0;                   // owning shard (lock, index, free/LRU lists)
+  // 1 = payload is on disk (payload == nullptr, spill_rec locates the bytes).
+  // Guarded accessors fault the blob back under the shard lock; the atomic
+  // exists for the lock-free fast checks in data()/PageRef::spilled().
+  std::atomic<uint8_t> spilled{0};
+  uint64_t hash = 0;  // content hash; valid while indexed
+  uint32_t owner = 0;  // first publisher (dedup attribution only)
+  uint32_t shard = 0;  // owning shard (lock, index, free/LRU lists)
   uint8_t flags = 0;
   bool indexed = false;
   PageStore* store = nullptr;
   PageBlob* next_free = nullptr;  // free-list link, valid only while refcount == 0
   PageBlob* lru_prev = nullptr;   // cold-list links, valid while raw + live + unpinned
-  PageBlob* lru_next = nullptr;
-  uint8_t* payload = nullptr;  // kPageSize raw, or comp_bytes compressed
+  PageBlob* lru_next = nullptr;   // (shared by the spill-candidate list, see kSpillCand)
+  uint8_t* payload = nullptr;  // kPageSize raw, or comp_bytes compressed; null while spilled
+  // Spill-tier record for this blob's payload bytes. Non-null while spilled,
+  // and retained across fault-back so re-spilling unchanged content is free
+  // (the codec is deterministic, so the bytes cannot have changed). Freed when
+  // the blob is recycled.
+  SpillRecord* spill_rec = nullptr;
 
   static constexpr uint8_t kPinned = 1;          // never compressed (canonical zero page)
   static constexpr uint8_t kIncompressible = 2;  // compression attempted, no win
+  // On the shard's spill-candidate list (links via lru_prev/lru_next, distinct
+  // head/tail). The flag disambiguates which list owns the links, so removal
+  // sites fix the right head/tail pointers.
+  static constexpr uint8_t kSpillCand = 4;
 };
 }  // namespace internal
 
@@ -168,6 +197,9 @@ class PageRef {
   bool compressed() const {
     return blob_ != nullptr && blob_->comp_bytes.load(std::memory_order_acquire) != 0;
   }
+  bool spilled() const {
+    return blob_ != nullptr && blob_->spilled.load(std::memory_order_acquire) != 0;
+  }
 
   bool operator==(const PageRef& other) const { return blob_ == other.blob_; }
   bool operator!=(const PageRef& other) const { return blob_ != other.blob_; }
@@ -200,6 +232,15 @@ struct PageStoreOptions {
   // When clear (default), compression stays synchronous and deterministic —
   // the right mode for single-threaded tools and tests.
   bool background_compaction = false;
+  // Non-empty = enable the spill tier (fourth budget rung): cold blobs can be
+  // evicted to append-only segment files under this directory and are faulted
+  // back transparently on access. The directory is created if missing; its
+  // segment files live only as long as the store (deleted on destruction). If
+  // the tier fails to open, the store comes up with spill disabled and
+  // spill_status() carries the error.
+  std::string spill_dir;
+  // Spill segment file size (floor 64 KiB; see SpillTierOptions).
+  uint64_t spill_segment_bytes = 4ull << 20;
 };
 
 class PageStore {
@@ -237,6 +278,21 @@ class PageStore {
   // Useful when a service parks (all checkpoints idle, no search running).
   uint64_t CompressAllCold();
 
+  // Spills one cold blob's payload to the disk tier (per-shard spill-candidate
+  // tails — blobs the compress rung already handled — visited round robin;
+  // falls back to the raw LRU tails when compression is disabled). Returns
+  // false when nothing is left to spill or the tier is disabled/unavailable.
+  bool SpillOneCold();
+
+  // Spills every spillable blob; returns how many were spilled. The disk-tier
+  // analogue of CompressAllCold for a parked service.
+  uint64_t SpillAllCold();
+
+  // True when PageStoreOptions::spill_dir produced a working spill tier.
+  bool spill_enabled() const { return spill_ != nullptr; }
+  // Why the tier is disabled (OK when spill_enabled() or spill never asked for).
+  const Status& spill_status() const { return spill_status_; }
+
   // Background compactor interface (no-ops unless
   // options().background_compaction):
   //   RequestCompaction(target) — enqueue "compress cold blobs until live
@@ -266,9 +322,19 @@ class PageStore {
     uint64_t release_batches = 0;         // non-empty ReleaseBatch calls
     uint64_t blobs_recycled_batched = 0;  // blobs recycled through ReleaseBatch
     uint64_t release_shard_locks = 0;     // shard-lock holds taken by ReleaseBatch
+    uint64_t spilled_blobs = 0;           // blobs whose payload is on disk right now
+    uint64_t spill_bytes = 0;             // payload bytes of those blobs
+    uint64_t spills = 0;                  // lifetime spill-outs
+    uint64_t faultbacks = 0;              // lifetime fault-backs (disk → RAM)
+    uint64_t spill_segments = 0;            // live spill segment files
+    uint64_t spill_segments_compacted = 0;  // lifetime segment compactions
 
     uint64_t bytes_live() const { return live_bytes; }
     uint64_t bytes_resident() const { return live_bytes + free_bytes; }
+    // Live bytes as if nothing were spilled: what the population logically
+    // holds. bytes_logical() / bytes_live() is the over-budget factor the
+    // spill tier buys.
+    uint64_t bytes_logical() const { return live_bytes + spill_bytes; }
   };
   // Consistent-enough snapshot of the atomic counters. Individual counters are
   // exact; relationships between counters may be skewed by in-flight
@@ -317,6 +383,12 @@ class PageStore {
     internal::PageBlob* free_list = nullptr;
     internal::PageBlob* lru_head = nullptr;  // most recently touched
     internal::PageBlob* lru_tail = nullptr;  // coldest
+    // Spill-candidate list: blobs the compress rung is done with (compressed
+    // or proven incompressible), ordered by recency like the LRU list and
+    // sharing the lru_prev/lru_next links (kSpillCand marks which list owns
+    // them). The spill rung eats from the tail.
+    internal::PageBlob* spill_head = nullptr;
+    internal::PageBlob* spill_tail = nullptr;
   };
 
   // Atomic mirror of Stats (stats() flattens this into the POD snapshot).
@@ -338,6 +410,10 @@ class PageStore {
     std::atomic<uint64_t> release_batches{0};
     std::atomic<uint64_t> blobs_recycled_batched{0};
     std::atomic<uint64_t> release_shard_locks{0};
+    std::atomic<uint64_t> spilled_blobs{0};
+    std::atomic<uint64_t> spill_bytes{0};
+    std::atomic<uint64_t> spills{0};
+    std::atomic<uint64_t> faultbacks{0};
   };
 
   // Top hash bits pick the shard (low bits pick the slot within its index).
@@ -362,16 +438,33 @@ class PageStore {
   void LruRemoveLocked(Shard& shard, internal::PageBlob* blob);
   void LruTouchLocked(Shard& shard, internal::PageBlob* blob);
 
+  void SpillCandPushFrontLocked(Shard& shard, internal::PageBlob* blob);
+  void SpillCandRemoveLocked(Shard& shard, internal::PageBlob* blob);
+
   bool CompressBlobLocked(Shard& shard, internal::PageBlob* blob);
   void DecompressBlobLocked(internal::PageBlob* blob);
   void DecompressBlob(internal::PageBlob* blob);  // takes the shard lock itself
   bool CompressOneColdInShard(uint32_t shard_id);
+
+  bool SpillBlobLocked(Shard& shard, internal::PageBlob* blob);
+  void FaultBackBlobLocked(internal::PageBlob* blob);
+  void FaultBackBlob(internal::PageBlob* blob);  // takes the shard lock itself
+  // Fault back and/or decompress so payload holds raw page bytes. The single
+  // entry point the guarded accessors (and index probes) go through.
+  void EnsureResidentLocked(internal::PageBlob* blob);
+  bool SpillOneColdInShard(uint32_t shard_id);
+  // Drops the blob's spill record (if any) and its spilled-byte accounting.
+  // Shared by both recycle paths; never faults the payload back.
+  void DropSpillStateLocked(internal::PageBlob* blob, uint64_t* spilled_dropped,
+                            uint64_t* spill_bytes_dropped);
 
   static void BumpPeak(std::atomic<uint64_t>& peak, uint64_t value);
 
   void CompactorMain();
 
   PageStoreOptions options_;
+  std::unique_ptr<SpillTier> spill_;  // null = spill disabled
+  Status spill_status_;               // why, when spill_dir was set but open failed
   Shard shards_[kPageStoreShards];
   std::atomic<uint32_t> shard_cursor_{0};  // round-robin for non-dedup placement + compaction
   std::once_flag zero_once_;
@@ -407,6 +500,9 @@ inline void PageRef::Release() {
 
 inline const uint8_t* PageRef::data() const {
   LW_CHECK(blob_ != nullptr);
+  if (blob_->spilled.load(std::memory_order_acquire) != 0) {
+    blob_->store->FaultBackBlob(blob_);
+  }
   if (blob_->comp_bytes.load(std::memory_order_acquire) != 0) {
     blob_->store->DecompressBlob(blob_);
   }

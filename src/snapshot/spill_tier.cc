@@ -1,0 +1,435 @@
+#include "src/snapshot/spill_tier.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace lw {
+namespace {
+
+// Same xor-multiply finalizer family as the PageStore's page hash, generalized
+// to arbitrary lengths (spilled payloads are usually compressed, not
+// page-sized).
+uint64_t Fmix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t HashBytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t rest = len;
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ (static_cast<uint64_t>(len) * 0xff51afd7ed558ccdull);
+  while (rest >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = Fmix64(h ^ w);
+    p += 8;
+    rest -= 8;
+  }
+  if (rest > 0) {
+    uint64_t w = 0;
+    std::memcpy(&w, p, rest);
+    h = Fmix64(h ^ w);
+  }
+  return h;
+}
+
+void StoreU32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
+void StoreU64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
+
+uint32_t LoadU32(const uint8_t* src) {
+  uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+std::string SegmentPath(const std::string& dir, uint32_t id) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "/seg-%06u.lwspill", id);
+  return dir + name;
+}
+
+bool IsSegmentName(const char* name) {
+  size_t n = std::strlen(name);
+  static constexpr char kSuffix[] = ".lwspill";
+  return n > sizeof(kSuffix) + 3 && std::strncmp(name, "seg-", 4) == 0 &&
+         std::strcmp(name + n - (sizeof(kSuffix) - 1), kSuffix) == 0;
+}
+
+// Proves a leftover segment file is record-structured end to end. Anything
+// that fails — short file, bad magic, record bounds escaping the file — is a
+// torn/foreign file and surfaces as IoError from Open (the file is left in
+// place as evidence; nothing gets mapped).
+Status ValidateSegmentFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return IoError("cannot open spill segment " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return IoError("cannot stat spill segment " + path);
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size < SpillTier::kSegmentHeaderBytes) {
+    ::close(fd);
+    return IoError("truncated spill segment (no header): " + path);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return IoError("cannot map spill segment " + path);
+  }
+  const uint8_t* base = static_cast<const uint8_t*>(map);
+  Status status = OkStatus();
+  if (LoadU32(base) != SpillTier::kSegmentMagic) {
+    status = IoError("bad segment magic: " + path);
+  } else if (LoadU32(base + 4) != SpillTier::kFormatVersion) {
+    status = IoError("unknown spill format version: " + path);
+  } else if (LoadU64(base + 8) != size) {
+    status = IoError("truncated spill segment: " + path);
+  } else {
+    uint64_t off = SpillTier::kSegmentHeaderBytes;
+    while (off + SpillTier::kRecordHeaderBytes <= size) {
+      uint32_t magic = LoadU32(base + off);
+      if (magic == 0) {
+        break;  // ftruncate zero-fill: end of appended records
+      }
+      uint32_t len = LoadU32(base + off + 8);
+      uint64_t span = (SpillTier::kRecordHeaderBytes + len + 7u) & ~uint64_t{7};
+      if (magic != SpillTier::kRecordMagic || len == 0 || span > size - off) {
+        status = IoError("corrupt spill record: " + path);
+        break;
+      }
+      off += span;
+    }
+  }
+  ::munmap(map, size);
+  return status;
+}
+
+}  // namespace
+
+SpillTier::SpillTier(SpillTierOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<SpillTier>> SpillTier::Open(const SpillTierOptions& options) {
+  if (options.dir.empty()) {
+    return InvalidArgument("SpillTierOptions::dir is empty");
+  }
+  if (options.segment_bytes < kMinSegmentBytes) {
+    return InvalidArgument("SpillTierOptions::segment_bytes below 64 KiB floor");
+  }
+  if (!(options.compact_dead_ratio > 0.0) || options.compact_dead_ratio > 1.0) {
+    return InvalidArgument("SpillTierOptions::compact_dead_ratio must be in (0, 1]");
+  }
+  if (::mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return IoError("cannot create spill directory " + options.dir);
+  }
+  struct stat st;
+  if (::stat(options.dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return IoError("spill path is not a directory: " + options.dir);
+  }
+  // A previous instance that crashed leaves its segments behind; their records'
+  // owning blobs died with that process, so valid leftovers are deleted. A
+  // leftover that fails validation aborts Open instead — never map a torn file.
+  DIR* d = ::opendir(options.dir.c_str());
+  if (d == nullptr) {
+    return IoError("cannot scan spill directory " + options.dir);
+  }
+  while (struct dirent* e = ::readdir(d)) {
+    if (!IsSegmentName(e->d_name)) {
+      continue;
+    }
+    std::string path = options.dir + "/" + e->d_name;
+    Status status = ValidateSegmentFile(path);
+    if (!status.ok()) {
+      ::closedir(d);
+      return status;
+    }
+    ::unlink(path.c_str());
+  }
+  ::closedir(d);
+  return std::unique_ptr<SpillTier>(new SpillTier(options));
+}
+
+SpillTier::~SpillTier() {
+  for (auto& seg : segments_) {
+    if (seg == nullptr) {
+      continue;
+    }
+    ::munmap(seg->map, options_.segment_bytes);
+    ::close(seg->fd);
+    ::unlink(seg->path.c_str());
+  }
+  for (SpillRecord* head : index_) {
+    while (head != nullptr) {
+      SpillRecord* next = head->next_hash;
+      delete head;
+      head = next;
+    }
+  }
+}
+
+SpillRecord* SpillTier::Append(uint64_t hash, const void* payload, uint32_t len,
+                               uint32_t comp_bytes) {
+  LW_CHECK(len > 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  appends_++;
+  if (hash == 0) {
+    hash = HashBytes(payload, len);
+  }
+  if (!index_.empty()) {
+    size_t bucket = hash & (index_.size() - 1);
+    for (SpillRecord* rec = index_[bucket]; rec != nullptr; rec = rec->next_hash) {
+      if (rec->hash == hash && rec->len == len && rec->comp_bytes == comp_bytes &&
+          std::memcmp(segments_[rec->seg]->map + rec->off, payload, len) == 0) {
+        rec->refs++;
+        shared_hits_++;
+        return rec;
+      }
+    }
+  }
+  Segment* seg = TailForAppendLocked(RecordSpan(len));
+  if (seg == nullptr) {
+    return nullptr;
+  }
+  SpillRecord* rec = new SpillRecord;
+  rec->hash = hash;
+  rec->len = len;
+  rec->comp_bytes = comp_bytes;
+  rec->refs = 1;
+  WriteRecordLocked(*seg, *rec, payload);
+  IndexInsertLocked(rec);
+  live_records_++;
+  live_payload_bytes_ += len;
+  return rec;
+}
+
+void SpillTier::Read(const SpillRecord* rec, void* dst) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LW_CHECK(rec != nullptr && rec->refs > 0);
+  const Segment* seg = segments_[rec->seg].get();
+  std::memcpy(dst, seg->map + rec->off, rec->len);
+}
+
+void SpillTier::Free(SpillRecord* rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LW_CHECK(rec != nullptr && rec->refs > 0);
+  if (--rec->refs > 0) {
+    return;
+  }
+  IndexRemoveLocked(rec);
+  Segment* seg = segments_[rec->seg].get();
+  uint64_t span = RecordSpan(rec->len);
+  seg->live_bytes -= span;
+  seg->dead_bytes += span;
+  dead_bytes_ += span;
+  live_records_--;
+  live_payload_bytes_ -= rec->len;
+  uint32_t seg_id = rec->seg;
+  delete rec;
+  MaybeReclaimSealedLocked(seg_id);
+}
+
+SpillTier::Stats SpillTier::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.segments = segments_live_;
+  s.segments_created = segments_created_;
+  s.segments_compacted = segments_compacted_;
+  s.live_records = live_records_;
+  s.live_payload_bytes = live_payload_bytes_;
+  s.dead_bytes = dead_bytes_;
+  s.file_bytes = segments_live_ * options_.segment_bytes;
+  s.appends = appends_;
+  s.shared_hits = shared_hits_;
+  s.records_rewritten = records_rewritten_;
+  return s;
+}
+
+SpillTier::Segment* SpillTier::TailForAppendLocked(uint64_t need) {
+  while (true) {
+    if (tail_ == UINT32_MAX) {
+      if (NewSegmentLocked() == nullptr) {
+        return nullptr;
+      }
+      continue;
+    }
+    Segment* tail = segments_[tail_].get();
+    if (tail->used + need <= options_.segment_bytes) {
+      return tail;
+    }
+    tail->sealed = true;
+    uint32_t old = tail_;
+    tail_ = UINT32_MAX;
+    if (NewSegmentLocked() == nullptr) {
+      return nullptr;
+    }
+    // Sealing may have tipped the old tail over the garbage threshold (frees
+    // accumulate in the tail too). Reclaiming can compact its live records
+    // into the fresh tail, so loop and re-check capacity rather than return.
+    MaybeReclaimSealedLocked(old);
+  }
+}
+
+SpillTier::Segment* SpillTier::NewSegmentLocked() {
+  uint32_t id = static_cast<uint32_t>(segments_.size());
+  auto seg = std::make_unique<Segment>();
+  seg->id = id;
+  seg->path = SegmentPath(options_.dir, id);
+  int fd = ::open(seg->path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    return nullptr;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(options_.segment_bytes)) != 0) {
+    ::close(fd);
+    ::unlink(seg->path.c_str());
+    return nullptr;
+  }
+  void* map = ::mmap(nullptr, options_.segment_bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    ::close(fd);
+    ::unlink(seg->path.c_str());
+    return nullptr;
+  }
+  seg->fd = fd;
+  seg->map = static_cast<uint8_t*>(map);
+  StoreU32(seg->map, kSegmentMagic);
+  StoreU32(seg->map + 4, kFormatVersion);
+  StoreU64(seg->map + 8, options_.segment_bytes);
+  seg->used = kSegmentHeaderBytes;
+  segments_.push_back(std::move(seg));
+  tail_ = id;
+  segments_live_++;
+  segments_created_++;
+  return segments_[id].get();
+}
+
+void SpillTier::WriteRecordLocked(Segment& seg, SpillRecord& rec, const void* payload) {
+  uint64_t span = RecordSpan(rec.len);
+  LW_CHECK(seg.used + span <= options_.segment_bytes);
+  uint8_t* base = seg.map + seg.used;
+  StoreU32(base, kRecordMagic);
+  StoreU32(base + 4, rec.comp_bytes);
+  StoreU32(base + 8, rec.len);
+  StoreU32(base + 12, 0);
+  StoreU64(base + 16, rec.hash);
+  std::memcpy(base + kRecordHeaderBytes, payload, rec.len);
+  rec.seg = seg.id;
+  rec.off = seg.used + kRecordHeaderBytes;
+  seg.used += span;
+  seg.live_bytes += span;
+}
+
+void SpillTier::IndexInsertLocked(SpillRecord* rec) {
+  MaybeGrowIndexLocked();
+  size_t bucket = rec->hash & (index_.size() - 1);
+  rec->next_hash = index_[bucket];
+  index_[bucket] = rec;
+  index_used_++;
+}
+
+void SpillTier::IndexRemoveLocked(SpillRecord* rec) {
+  size_t bucket = rec->hash & (index_.size() - 1);
+  SpillRecord** link = &index_[bucket];
+  while (*link != rec) {
+    link = &(*link)->next_hash;
+  }
+  *link = rec->next_hash;
+  rec->next_hash = nullptr;
+  index_used_--;
+}
+
+void SpillTier::MaybeGrowIndexLocked() {
+  if (index_.empty()) {
+    index_.resize(64, nullptr);
+    return;
+  }
+  if (index_used_ + 1 <= index_.size() - index_.size() / 4) {
+    return;
+  }
+  std::vector<SpillRecord*> grown(index_.size() * 2, nullptr);
+  for (SpillRecord* head : index_) {
+    while (head != nullptr) {
+      SpillRecord* next = head->next_hash;
+      size_t bucket = head->hash & (grown.size() - 1);
+      head->next_hash = grown[bucket];
+      grown[bucket] = head;
+      head = next;
+    }
+  }
+  index_ = std::move(grown);
+}
+
+void SpillTier::MaybeReclaimSealedLocked(uint32_t seg_id) {
+  Segment* seg = segments_[seg_id].get();
+  if (seg == nullptr || !seg->sealed) {
+    return;
+  }
+  if (seg->live_bytes == 0) {
+    DropSegmentLocked(seg_id);
+    return;
+  }
+  uint64_t spanned = seg->live_bytes + seg->dead_bytes;
+  if (seg->dead_bytes > 0 &&
+      static_cast<double>(seg->dead_bytes) / static_cast<double>(spanned) >=
+          options_.compact_dead_ratio) {
+    CompactSegmentLocked(seg_id);
+  }
+}
+
+void SpillTier::CompactSegmentLocked(uint32_t seg_id) {
+  Segment* victim = segments_[seg_id].get();
+  // Collect the victim's live records first: rewrites touch only the records'
+  // location fields, never the hash chains, so the walk-then-move split keeps
+  // the iteration simple and the record pointers held by blobs stay valid.
+  std::vector<SpillRecord*> movers;
+  for (SpillRecord* head : index_) {
+    for (SpillRecord* rec = head; rec != nullptr; rec = rec->next_hash) {
+      if (rec->seg == seg_id) {
+        movers.push_back(rec);
+      }
+    }
+  }
+  for (SpillRecord* rec : movers) {
+    Segment* dst = TailForAppendLocked(RecordSpan(rec->len));
+    if (dst == nullptr) {
+      return;  // disk trouble: abandon, the victim keeps serving its records
+    }
+    const void* src = victim->map + rec->off;
+    victim->live_bytes -= RecordSpan(rec->len);
+    WriteRecordLocked(*dst, *rec, src);
+    records_rewritten_++;
+  }
+  segments_compacted_++;
+  DropSegmentLocked(seg_id);
+}
+
+void SpillTier::DropSegmentLocked(uint32_t seg_id) {
+  Segment* seg = segments_[seg_id].get();
+  LW_CHECK(seg != nullptr && seg->live_bytes == 0 && seg_id != tail_);
+  ::munmap(seg->map, options_.segment_bytes);
+  ::close(seg->fd);
+  ::unlink(seg->path.c_str());
+  dead_bytes_ -= seg->dead_bytes;
+  segments_live_--;
+  segments_[seg_id].reset();
+}
+
+}  // namespace lw

@@ -1,0 +1,171 @@
+// SpillTier: the PageStore's out-of-core rung — append-only, content-hash-keyed
+// spill segments on disk, so parked checkpoint populations can exceed the RAM
+// budget by orders of magnitude (the ROADMAP's "millions of parked checkpoints
+// per host" capacity lever; stubbscroll/SOLVER's disk-swapped BFS is the shape).
+//
+// Layout: payloads are appended to fixed-size, mmap'd segment files
+// (`seg-NNNNNN.lwspill` under the spill directory). Each record is a small
+// header (magic, payload length, compressed length, content hash) followed by
+// the payload bytes, 8-byte aligned. A compact in-memory hash → (segment,
+// offset, len) index fronts the files: appending bytes that already live in a
+// record collapses to that record (content addressing extends to disk), and
+// reads never touch the index — callers hold the SpillRecord* directly.
+//
+// Space reclamation: freeing a record turns its bytes into garbage; once a
+// *sealed* segment's garbage fraction crosses `compact_dead_ratio`, its live
+// records are rewritten to the current tail segment (their SpillRecord nodes
+// are stable — only the location fields move) and the file is deleted.
+//
+// Lifetime and crash model: the tier is a process-lifetime cache, not a
+// persistence format — segment files are deleted on clean destruction, and
+// `Open` deletes *valid* segments left behind by a crashed previous instance
+// (their records' owning blobs died with that process). A segment that fails
+// validation — truncated, bad magic, impossible record bounds — makes Open
+// return a clean IoError instead: the tier never maps bytes it cannot prove
+// are record-structured, so a torn file is an error message, never UB.
+//
+// Concurrency: every public method is internally synchronized by one tier
+// mutex (disk is the slow tier; a single lock does not bound throughput
+// before the I/O does). PageStore calls in with a shard lock held, so the
+// lock order is always shard → tier and never cycles.
+
+#ifndef LWSNAP_SRC_SNAPSHOT_SPILL_TIER_H_
+#define LWSNAP_SRC_SNAPSHOT_SPILL_TIER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+// One spilled payload's location. Nodes are stable for the record's lifetime
+// (PageBlobs hold raw pointers across compactions); the location fields are
+// guarded by the tier mutex, `refs` counts the blobs sharing the record.
+struct SpillRecord {
+  uint64_t hash = 0;        // content hash of the payload bytes (index key)
+  uint64_t off = 0;         // payload offset within its segment
+  uint32_t seg = 0;         // owning segment id
+  uint32_t len = 0;         // payload byte length
+  uint32_t comp_bytes = 0;  // 0 = raw kPageSize page; else codec-compressed length (== len)
+  uint32_t refs = 0;        // sharing blobs; 0 only momentarily inside Free
+  SpillRecord* next_hash = nullptr;  // index chain link
+};
+
+struct SpillTierOptions {
+  std::string dir;  // spill directory (created if missing; parent must exist)
+  // Capacity of each segment file; the tail segment is sealed and a new one
+  // opened when an append would not fit. Floor 64 KiB (validated by Open).
+  uint64_t segment_bytes = 4ull << 20;
+  // A sealed segment whose garbage fraction (dead bytes / appended bytes)
+  // reaches this ratio is compacted: live records move to the tail, the file
+  // is deleted.
+  double compact_dead_ratio = 0.5;
+};
+
+class SpillTier {
+ public:
+  // On-disk format constants (public so tests can forge torn segments).
+  static constexpr uint32_t kSegmentMagic = 0x4c575350u;  // "LWSP"
+  static constexpr uint32_t kRecordMagic = 0x4c575352u;   // "LWSR"
+  static constexpr uint32_t kFormatVersion = 1;
+  static constexpr size_t kSegmentHeaderBytes = 16;  // magic, version, segment_bytes
+  static constexpr size_t kRecordHeaderBytes = 24;   // magic, comp, len, pad, hash
+  static constexpr uint64_t kMinSegmentBytes = 64ull << 10;
+
+  // Opens (creating the directory if needed) and validates the spill
+  // directory. Stale-but-valid segments from a crashed previous instance are
+  // deleted; a segment that fails validation makes Open fail with IoError
+  // (see the crash model above).
+  static Result<std::unique_ptr<SpillTier>> Open(const SpillTierOptions& options);
+  ~SpillTier();
+
+  SpillTier(const SpillTier&) = delete;
+  SpillTier& operator=(const SpillTier&) = delete;
+
+  // Appends `len` payload bytes (comp_bytes == 0 means a raw kPageSize page,
+  // else `len` codec-compressed bytes) and returns a record holding one
+  // reference. `hash` keys the index; pass 0 to have the tier hash the bytes
+  // itself. Byte-identical payloads collapse to one record (refs bumped).
+  // Returns nullptr if a new segment file cannot be created (disk trouble);
+  // callers treat that as "spill unavailable", never as data loss.
+  SpillRecord* Append(uint64_t hash, const void* payload, uint32_t len, uint32_t comp_bytes);
+
+  // Copies the record's `len` payload bytes into dst.
+  void Read(const SpillRecord* rec, void* dst) const;
+
+  // Drops one reference; the last drop deletes the record, turns its bytes
+  // into reclaimable garbage, and may compact the owning (sealed) segment.
+  void Free(SpillRecord* rec);
+
+  struct Stats {
+    uint64_t segments = 0;            // live segment files
+    uint64_t segments_created = 0;    // lifetime
+    uint64_t segments_compacted = 0;  // lifetime
+    uint64_t live_records = 0;
+    uint64_t live_payload_bytes = 0;  // payload bytes of live records
+    uint64_t dead_bytes = 0;          // record+payload bytes awaiting compaction
+    uint64_t file_bytes = 0;          // disk footprint (segments × segment_bytes)
+    uint64_t appends = 0;             // lifetime Append calls
+    uint64_t shared_hits = 0;         // appends collapsed to an existing record
+    uint64_t records_rewritten = 0;   // records moved by compaction
+  };
+  Stats stats() const;
+
+  const SpillTierOptions& options() const { return options_; }
+
+ private:
+  struct Segment {
+    uint32_t id = 0;
+    int fd = -1;
+    uint8_t* map = nullptr;
+    uint64_t used = 0;        // append cursor (8-aligned)
+    uint64_t live_bytes = 0;  // header+payload+pad of live records
+    uint64_t dead_bytes = 0;
+    bool sealed = false;
+    std::string path;
+  };
+
+  explicit SpillTier(SpillTierOptions options);
+
+  Segment* TailForAppendLocked(uint64_t need);
+  Segment* NewSegmentLocked();
+  // Writes one record image at `seg`'s append cursor and points `rec` at it.
+  void WriteRecordLocked(Segment& seg, SpillRecord& rec, const void* payload);
+  void IndexInsertLocked(SpillRecord* rec);
+  void IndexRemoveLocked(SpillRecord* rec);
+  void MaybeGrowIndexLocked();
+  // Drops an empty sealed segment, or compacts one whose garbage fraction
+  // crossed compact_dead_ratio. No-op for the tail or healthy segments.
+  void MaybeReclaimSealedLocked(uint32_t seg_id);
+  void CompactSegmentLocked(uint32_t seg_id);
+  void DropSegmentLocked(uint32_t seg_id);
+  static uint64_t RecordSpan(uint32_t len) {
+    return (kRecordHeaderBytes + len + 7u) & ~uint64_t{7};
+  }
+
+  SpillTierOptions options_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Segment>> segments_;  // index = id; compacted slots go null
+  uint32_t tail_ = UINT32_MAX;                      // current append segment id
+  std::vector<SpillRecord*> index_;                 // hash-chained buckets (power of two)
+  size_t index_used_ = 0;                           // live records in the index
+
+  uint64_t live_records_ = 0;
+  uint64_t live_payload_bytes_ = 0;
+  uint64_t dead_bytes_ = 0;
+  uint64_t segments_live_ = 0;
+  uint64_t segments_created_ = 0;
+  uint64_t segments_compacted_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t shared_hits_ = 0;
+  uint64_t records_rewritten_ = 0;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SNAPSHOT_SPILL_TIER_H_

@@ -58,6 +58,11 @@ struct SolverServiceOptions {
   std::shared_ptr<PageStore> store;
   PageStoreOptions store_options;
 
+  // Residency cap for parked checkpoints (0 = unbounded): drives the store's
+  // evict → compress → spill → drop ladder after each checkpoint. Pair with
+  // store_options.spill_dir to let cold checkpoints page out to disk.
+  uint64_t snapshot_byte_budget = 0;
+
   // Intra-session parallel materialization (0/1 = serial): see
   // CheckpointServiceOptions::parallel_materialize_workers.
   uint32_t parallel_materialize_workers = 0;

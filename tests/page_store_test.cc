@@ -1,7 +1,9 @@
 // Tests for the content-addressed PageStore substrate: the in-tree LZ codec,
 // hash-dedup semantics (identity, refcounts, owner attribution), the
 // cold-compression tier's exact-parity guarantee, and the unified
-// evict → compress → drop ByteBudgetPolicy.
+// evict → compress → spill → drop ByteBudgetPolicy (spill rung covered in
+// spill_tier_test.cc; here the stores have no spill_dir, so the ladder
+// skips that rung and the spill counters must stay exactly zero).
 
 #include <gtest/gtest.h>
 
@@ -233,6 +235,14 @@ TEST(PageStoreCompressionTest, CompressionPreservesExactBytes) {
   }
   EXPECT_EQ(store.stats().compressed_blobs, 0u);
   EXPECT_EQ(store.stats().decompressions, 8u);
+  // No spill_dir was configured: the compress round trip must never have
+  // touched the spill tier, and every spill counter stays exactly zero.
+  EXPECT_FALSE(store.spill_enabled());
+  EXPECT_EQ(store.stats().spills, 0u);
+  EXPECT_EQ(store.stats().spilled_blobs, 0u);
+  EXPECT_EQ(store.stats().spill_bytes, 0u);
+  EXPECT_EQ(store.stats().faultbacks, 0u);
+  EXPECT_EQ(store.stats().spill_segments, 0u);
 }
 
 TEST(PageStoreCompressionTest, IncompressiblePagesStayRaw) {
@@ -279,7 +289,7 @@ TEST(PageStoreCompressionTest, ReleasingColdBlobReclaimsBytes) {
   EXPECT_EQ(store.stats().bytes_resident(), 0u);
 }
 
-// --- ByteBudgetPolicy: evict → compress → drop ------------------------------------
+// --- ByteBudgetPolicy: evict → compress → spill → drop (no spill_dir here) --------
 
 TEST(ByteBudgetPolicyTest, UnboundedBudgetDoesNothing) {
   PageStore store;

@@ -105,6 +105,14 @@ TEST(ReleaseBatchStoreTest, BatchedEndStateMatchesPerRef) {
   EXPECT_EQ(a.release_batches, 0u);
   EXPECT_EQ(b.release_batches, 1u);
   EXPECT_EQ(b.blobs_recycled_batched, 96u - 12u);
+  // Spill is disabled on both stores: neither release path may touch the spill
+  // tier, so every spill counter is exactly zero.
+  EXPECT_EQ(a.spills, 0u);
+  EXPECT_EQ(a.spilled_blobs, 0u);
+  EXPECT_EQ(b.spills, 0u);
+  EXPECT_EQ(b.spilled_blobs, 0u);
+  EXPECT_EQ(b.spill_bytes, 0u);
+  EXPECT_EQ(b.faultbacks, 0u);
 
   // Republish the same content: recycled payloads must serve cleanly.
   for (uint32_t i = 20; i < 40; ++i) {
