@@ -106,7 +106,7 @@ void BM_SnapshotService(benchmark::State& state) {
   uint64_t restores = 0;
   for (auto _ : state) {
     lw::SolverServiceOptions options;
-    options.arena_bytes = 32ull << 20;
+    options.tuning.arena_bytes = 32ull << 20;
     lw::SolverService service(options);
     auto node = service.SolveRoot(w.base);
     if (!node.ok()) {
@@ -138,7 +138,7 @@ void BM_SnapshotBranching(benchmark::State& state) {
   int fanout = static_cast<int>(state.range(0));
   for (auto _ : state) {
     lw::SolverServiceOptions options;
-    options.arena_bytes = 32ull << 20;
+    options.tuning.arena_bytes = 32ull << 20;
     lw::SolverService service(options);
     auto root = service.SolveRoot(w.base);
     if (!root.ok()) {

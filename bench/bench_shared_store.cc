@@ -26,7 +26,8 @@
 #include <vector>
 
 #include "src/core/backtrack.h"
-#include "src/solver/service_pool.h"
+#include "src/service/pool.h"
+#include "src/solver/pool_jobs.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -53,8 +54,8 @@ void RunFleet(benchmark::State& state, bool shared) {
     for (int i = 0; i < num_services; ++i) {
       auto store = shared ? shared_store : std::make_shared<lw::PageStore>();
       lw::SolverServiceOptions options;
-      options.arena_bytes = 16ull << 20;
-      options.store = store;
+      options.tuning.arena_bytes = 16ull << 20;
+      options.tuning.store = store;
       stores.push_back(std::move(store));
       services.push_back(std::make_unique<lw::SolverService>(options));
     }
@@ -196,7 +197,7 @@ void BM_QueensFleetThreaded(benchmark::State& state) {
   state.counters["cross_dedup_hits"] = static_cast<double>(cross_dedup_hits);
 }
 
-// The §3.2 fleet through SolverServicePool: N services = N worker threads over
+// The §3.2 fleet through ServicePool<SolverService>: N services = N worker threads over
 // one shared store (with background compaction), each solving the shared base
 // then branching with a private increment — the threaded twin of
 // BM_SharedStore/N.
@@ -205,22 +206,22 @@ void BM_SolverPool(benchmark::State& state) {
   uint64_t resident_bytes = 0;
   uint64_t cross_dedup_hits = 0;
   for (auto _ : state) {
-    lw::SolverServicePoolOptions options;
+    lw::ServicePoolOptions<lw::SolverService> options;
     options.num_services = services;
-    options.service.arena_bytes = 16ull << 20;
-    lw::SolverServicePool pool(options);
-    std::vector<lw::SolverServicePool::Outcome> roots;
-    lw::Status status = pool.SolveRootEverywhere(BaseProblem(), &roots);
+    options.service.tuning.arena_bytes = 16ull << 20;
+    lw::ServicePool<lw::SolverService> pool(options);
+    std::vector<lw::SolverService::Outcome> roots;
+    lw::Status status = lw::SolveRootEverywhere(pool, BaseProblem(), &roots);
     if (!status.ok()) {
       state.SkipWithError(status.ToString().c_str());
       return;
     }
     lw::Rng rng(7);
-    std::vector<std::future<lw::Result<lw::SolverServicePool::Outcome>>> futures;
+    std::vector<std::future<lw::Result<lw::SolverService::Outcome>>> futures;
     for (int i = 0; i < services; ++i) {
       lw::Cnf q = lw::RandomKSat(&rng, 300, 8, 3);
-      futures.push_back(pool.SubmitExtend(
-          i, roots[static_cast<size_t>(i)].token,
+      futures.push_back(lw::SubmitExtend(
+          pool, i, roots[static_cast<size_t>(i)].token,
           std::vector<std::vector<lw::Lit>>(q.clauses.begin(), q.clauses.end())));
     }
     for (auto& future : futures) {
@@ -230,7 +231,7 @@ void BM_SolverPool(benchmark::State& state) {
         return;
       }
     }
-    lw::SolverServicePool::FleetStats stats = pool.fleet_stats();
+    lw::ServiceFleetStats stats = pool.fleet_stats();
     resident_bytes = stats.resident_bytes;
     cross_dedup_hits = stats.cross_session_dedup_hits;
   }

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
               nodes, edges, base.clause_count());
 
   lw::SolverServiceOptions options;
-  options.arena_bytes = 32ull << 20;
+  options.tuning.arena_bytes = 32ull << 20;
   lw::SolverService service(options);
 
   auto root = service.SolveRoot(base);

@@ -1,4 +1,4 @@
-// The §3.2 solver service as a *threaded fleet*: SolverServicePool runs K
+// The §3.2 solver service as a *threaded fleet*: ServicePool<SolverService> runs K
 // services on K worker threads over one shared, internally-synchronized
 // PageStore. Every service solves the same base graph-coloring problem, then
 // branches divergent what-if constraint sets in parallel — and because the
@@ -19,7 +19,8 @@
 #include <vector>
 
 #include "src/solver/cnf.h"
-#include "src/solver/service_pool.h"
+#include "src/service/pool.h"
+#include "src/solver/pool_jobs.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -29,7 +30,7 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-const char* Verdict(const lw::SolverServicePool::Outcome& outcome) {
+const char* Verdict(const lw::SolverService::Outcome& outcome) {
   return outcome.result.IsTrue() ? "SAT" : outcome.result.IsFalse() ? "UNSAT" : "UNKNOWN";
 }
 
@@ -51,15 +52,15 @@ int main(int argc, char** argv) {
   std::printf("base problem: %d-coloring of a %d-node/%d-edge graph (%zu clauses)\n\n", colors,
               nodes, edges, base.clause_count());
 
-  lw::SolverServicePoolOptions options;
+  lw::ServicePoolOptions<lw::SolverService> options;
   options.num_services = services;
-  options.service.arena_bytes = 32ull << 20;
-  lw::SolverServicePool pool(options);
+  options.service.tuning.arena_bytes = 32ull << 20;
+  lw::ServicePool<lw::SolverService> pool(options);
 
   // Phase 1: every service solves the shared base — in parallel.
   auto start = std::chrono::steady_clock::now();
-  std::vector<lw::SolverServicePool::Outcome> roots;
-  lw::Status status = pool.SolveRootEverywhere(base, &roots);
+  std::vector<lw::SolverService::Outcome> roots;
+  lw::Status status = lw::SolveRootEverywhere(pool, base, &roots);
   if (!status.ok()) {
     std::fprintf(stderr, "root solves failed: %s\n", status.ToString().c_str());
     return 1;
@@ -71,13 +72,13 @@ int main(int argc, char** argv) {
   // Phase 2: branch each root with divergent what-ifs, all in flight at once.
   auto var_of = [colors](int node, int color) { return lw::MakeLit(node * colors + color); };
   start = std::chrono::steady_clock::now();
-  std::vector<std::future<lw::Result<lw::SolverServicePool::Outcome>>> futures;
+  std::vector<std::future<lw::Result<lw::SolverService::Outcome>>> futures;
   for (int i = 0; i < services; ++i) {
     int color = i % colors;
-    futures.push_back(pool.SubmitExtend(i, roots[static_cast<size_t>(i)].token,
-                                        {{var_of(0, color)}}));
-    futures.push_back(pool.SubmitExtend(i, roots[static_cast<size_t>(i)].token,
-                                        {{var_of(1, color)}, {var_of(2, color)}}));
+    futures.push_back(lw::SubmitExtend(pool, i, roots[static_cast<size_t>(i)].token,
+                                         {{var_of(0, color)}}));
+    futures.push_back(lw::SubmitExtend(pool, i, roots[static_cast<size_t>(i)].token,
+                                         {{var_of(1, color)}, {var_of(2, color)}}));
   }
   int branch = 0;
   for (auto& future : futures) {
@@ -98,14 +99,14 @@ int main(int argc, char** argv) {
   // typed handle on its owning worker; a double release would be a typed
   // error, not UB.
   for (int i = 0; i < services; ++i) {
-    if (!pool.SubmitRelease(i, roots[static_cast<size_t>(i)].token).get().ok()) {
+    if (!lw::SubmitRelease(pool, i, roots[static_cast<size_t>(i)].token).get().ok()) {
       std::fprintf(stderr, "release failed\n");
       return 1;
     }
   }
   std::printf("phase 3: all roots released (handles consumed)\n\n");
 
-  lw::SolverServicePool::FleetStats stats = pool.fleet_stats();
+  lw::ServiceFleetStats stats = pool.fleet_stats();
   std::printf("fleet stats: jobs=%llu snapshots=%llu restores=%llu checkpoints=%llu\n",
               static_cast<unsigned long long>(stats.jobs_executed),
               static_cast<unsigned long long>(stats.snapshots),

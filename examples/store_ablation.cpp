@@ -88,8 +88,8 @@ Row FinishRow(lw::PageStore& store) {
 Row RunSatExtend(const lw::PageStoreOptions& store_options) {
   auto store = std::make_shared<lw::PageStore>(store_options);
   lw::SolverServiceOptions options;
-  options.arena_bytes = 16ull << 20;
-  options.store = store;
+  options.tuning.arena_bytes = 16ull << 20;
+  options.tuning.store = store;
   lw::SolverService service(options);
 
   lw::Rng rng(20260730);

@@ -1,0 +1,252 @@
+#include "src/net/client.h"
+
+#include <utility>
+
+#include "src/service/wire.h"
+#include "src/solver/service.h"
+
+namespace lw {
+
+namespace {
+
+void AppendU32(uint32_t v, std::vector<uint8_t>* out) {
+  size_t at = out->size();
+  out->resize(at + 4);
+  WireWriter w(out->data() + at, 4);
+  w.u32(v);
+}
+
+void AppendU64(uint64_t v, std::vector<uint8_t>* out) {
+  size_t at = out->size();
+  out->resize(at + 8);
+  WireWriter w(out->data() + at, 8);
+  w.u64(v);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RemoteCheckpointClient>> RemoteCheckpointClient::ConnectUnix(
+    const std::string& path, RemoteClientOptions options) {
+  auto sock = lw::ConnectUnix(path);
+  if (!sock.ok()) {
+    return sock.status();
+  }
+  return Handshake(*std::move(sock), options);
+}
+
+Result<std::unique_ptr<RemoteCheckpointClient>> RemoteCheckpointClient::ConnectTcp(
+    uint16_t port, RemoteClientOptions options) {
+  auto sock = lw::ConnectTcp(port);
+  if (!sock.ok()) {
+    return sock.status();
+  }
+  return Handshake(*std::move(sock), options);
+}
+
+Result<std::unique_ptr<RemoteCheckpointClient>> RemoteCheckpointClient::Handshake(
+    Socket sock, const RemoteClientOptions& options) {
+  std::unique_ptr<RemoteCheckpointClient> client(
+      new RemoteCheckpointClient(std::move(sock)));
+  std::vector<uint8_t> body;
+  AppendU32(kFabricProtocolVersion, &body);
+  AppendU64(options.budget_bytes, &body);
+  std::vector<uint8_t> response;
+  LW_RETURN_IF_ERROR(client->Call(MsgType::kHello, body, &response));
+  WireReader reader(response.data(), response.size());
+  uint32_t version = 0;
+  if (!reader.u32(&version) || !reader.u64(&client->granted_budget_) ||
+      !reader.u32(&client->max_inflight_) || !reader.u32(&client->max_frame_bytes_)) {
+    return IoError("hello: truncated response body");
+  }
+  if (version != kFabricProtocolVersion) {
+    return Unsupported("hello: daemon speaks a different protocol version");
+  }
+  return client;
+}
+
+Result<uint64_t> RemoteCheckpointClient::SendRequest(MsgType type,
+                                                     const std::vector<uint8_t>& body) {
+  uint64_t request_id = next_request_id_++;
+  std::vector<uint8_t> frame;
+  frame.reserve(1 + 8 + body.size());
+  AppendRequestHeader(type, request_id, &frame);
+  frame.insert(frame.end(), body.begin(), body.end());
+  LW_RETURN_IF_ERROR(WriteFrame(sock_, frame.data(), frame.size(), max_frame_bytes_));
+  return request_id;
+}
+
+Result<std::vector<uint8_t>> RemoteCheckpointClient::WaitResponse(uint64_t request_id) {
+  auto stashed = stashed_.find(request_id);
+  if (stashed != stashed_.end()) {
+    std::vector<uint8_t> frame = std::move(stashed->second);
+    stashed_.erase(stashed);
+    return frame;
+  }
+  while (true) {
+    std::vector<uint8_t> frame;
+    bool clean_eof = false;
+    LW_RETURN_IF_ERROR(ReadFrame(sock_, &frame, max_frame_bytes_, &clean_eof));
+    if (clean_eof) {
+      return IoError("daemon closed the connection");
+    }
+    // Peek the echoed request id (offset 1: after the type byte).
+    WireReader reader(frame.data(), frame.size());
+    uint8_t type_raw = 0;
+    uint64_t echoed = 0;
+    if (!reader.u8(&type_raw) || !reader.u64(&echoed)) {
+      return IoError("response: truncated prefix");
+    }
+    if (echoed == request_id) {
+      return frame;
+    }
+    stashed_[echoed] = std::move(frame);
+  }
+}
+
+Status RemoteCheckpointClient::Call(MsgType type, const std::vector<uint8_t>& body,
+                                    std::vector<uint8_t>* response) {
+  auto request_id = SendRequest(type, body);
+  if (!request_id.ok()) {
+    return request_id.status();
+  }
+  auto frame = WaitResponse(*request_id);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  WireReader reader(frame->data(), frame->size());
+  MsgType echoed_type;
+  uint64_t echoed_id = 0;
+  LW_RETURN_IF_ERROR(ParseResponsePrefix(reader, &echoed_type, &echoed_id));
+  if (response != nullptr) {
+    response->assign(frame->data() + (frame->size() - reader.remaining()),
+                     frame->data() + frame->size());
+  }
+  return OkStatus();
+}
+
+Result<uint32_t> RemoteCheckpointClient::OpenSession() {
+  std::vector<uint8_t> response;
+  LW_RETURN_IF_ERROR(Call(MsgType::kOpenSession, {}, &response));
+  WireReader reader(response.data(), response.size());
+  uint32_t session = 0;
+  if (!reader.u32(&session)) {
+    return IoError("open session: truncated response body");
+  }
+  return session;
+}
+
+Status RemoteCheckpointClient::CloseSession(uint32_t session) {
+  std::vector<uint8_t> body;
+  AppendU32(session, &body);
+  return Call(MsgType::kCloseSession, body, nullptr);
+}
+
+Result<RemoteOutcome> RemoteCheckpointClient::CallSolve(MsgType type,
+                                                        const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> response;
+  LW_RETURN_IF_ERROR(Call(type, body, &response));
+  WireReader reader(response.data(), response.size());
+  RemoteOutcome outcome;
+  LW_RETURN_IF_ERROR(DecodeOutcomeBody(reader, &outcome));
+  return outcome;
+}
+
+Result<RemoteOutcome> RemoteCheckpointClient::SolveRoot(uint32_t session, const Cnf& base) {
+  std::vector<uint8_t> request;
+  LW_RETURN_IF_ERROR(EncodeSolverRequest(base.clauses, 0, &request));
+  return SolveRootEncoded(session, request.data(), request.size());
+}
+
+Result<RemoteOutcome> RemoteCheckpointClient::Extend(
+    uint32_t session, uint64_t parent, const std::vector<std::vector<Lit>>& q) {
+  std::vector<uint8_t> request;
+  LW_RETURN_IF_ERROR(EncodeSolverRequest(q, 0, &request));
+  return ExtendEncoded(session, parent, request.data(), request.size());
+}
+
+Result<RemoteOutcome> RemoteCheckpointClient::SolveRootEncoded(uint32_t session,
+                                                               const void* request,
+                                                               size_t len) {
+  std::vector<uint8_t> body;
+  AppendU32(session, &body);
+  const uint8_t* p = static_cast<const uint8_t*>(request);
+  body.insert(body.end(), p, p + len);
+  return CallSolve(MsgType::kSolveRoot, body);
+}
+
+Result<RemoteOutcome> RemoteCheckpointClient::ExtendEncoded(uint32_t session,
+                                                            uint64_t parent,
+                                                            const void* request,
+                                                            size_t len) {
+  std::vector<uint8_t> body;
+  AppendU32(session, &body);
+  AppendU64(parent, &body);
+  const uint8_t* p = static_cast<const uint8_t*>(request);
+  body.insert(body.end(), p, p + len);
+  return CallSolve(MsgType::kExtend, body);
+}
+
+Result<uint64_t> RemoteCheckpointClient::SendSolveRootEncoded(uint32_t session,
+                                                              const void* request,
+                                                              size_t len) {
+  std::vector<uint8_t> body;
+  AppendU32(session, &body);
+  const uint8_t* p = static_cast<const uint8_t*>(request);
+  body.insert(body.end(), p, p + len);
+  return SendRequest(MsgType::kSolveRoot, body);
+}
+
+Result<uint64_t> RemoteCheckpointClient::SendExtendEncoded(uint32_t session,
+                                                           uint64_t parent,
+                                                           const void* request,
+                                                           size_t len) {
+  std::vector<uint8_t> body;
+  AppendU32(session, &body);
+  AppendU64(parent, &body);
+  const uint8_t* p = static_cast<const uint8_t*>(request);
+  body.insert(body.end(), p, p + len);
+  return SendRequest(MsgType::kExtend, body);
+}
+
+Result<RemoteOutcome> RemoteCheckpointClient::WaitOutcome(uint64_t request_id) {
+  auto frame = WaitResponse(request_id);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  WireReader reader(frame->data(), frame->size());
+  MsgType type;
+  uint64_t echoed = 0;
+  LW_RETURN_IF_ERROR(ParseResponsePrefix(reader, &type, &echoed));
+  RemoteOutcome outcome;
+  LW_RETURN_IF_ERROR(DecodeOutcomeBody(reader, &outcome));
+  return outcome;
+}
+
+Status RemoteCheckpointClient::Release(uint32_t session, uint64_t token) {
+  std::vector<uint8_t> body;
+  AppendU32(session, &body);
+  AppendU64(token, &body);
+  return Call(MsgType::kRelease, body, nullptr);
+}
+
+Result<RemoteTenantStats> RemoteCheckpointClient::TenantStats() {
+  std::vector<uint8_t> response;
+  LW_RETURN_IF_ERROR(Call(MsgType::kTenantStats, {}, &response));
+  WireReader reader(response.data(), response.size());
+  RemoteTenantStats stats;
+  LW_RETURN_IF_ERROR(DecodeTenantStatsBody(reader, &stats));
+  return stats;
+}
+
+bool RemoteCheckpointClient::ModelBit(const RemoteOutcome& outcome, Var v) {
+  if (v < 0 || static_cast<uint32_t>(v) >= outcome.num_vars) {
+    return false;
+  }
+  size_t byte = static_cast<size_t>(v) / 8;
+  if (byte >= outcome.model_bits.size()) {
+    return false;
+  }
+  return (outcome.model_bits[byte] >> (v % 8)) & 1;
+}
+
+}  // namespace lw

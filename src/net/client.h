@@ -1,0 +1,120 @@
+// RemoteCheckpointClient: the tenant side of the remote checkpoint fabric.
+// Connects to a CheckpointDaemon (src/service/daemon.h) over a Unix-domain or
+// TCP loopback socket, performs the Hello handshake, and exposes the solver
+// service vocabulary — OpenSession / SolveRoot / Extend / Release /
+// CloseSession — with opaque u64 tokens standing in for the daemon-side
+// Checkpoint handles.
+//
+// Payload compatibility: SolveRoot/Extend encode clauses with the SAME
+// EncodeSolverRequest the in-process service uses, and the *Encoded variants
+// ship caller-provided bytes verbatim, so a byte string accepted in-process
+// is accepted remotely and produces the identical outcome (the contract the
+// loopback parity tests assert). Because a remote root solve rides the
+// daemon's empty-root snapshot, its variable count is derived from the
+// clauses themselves.
+//
+// Pipelining: Send* fires a request without waiting; Wait* blocks until that
+// request's response arrives (responses to other requests received in the
+// meantime are stashed and matched by id). Keeping several Sends in flight is
+// how a tenant exercises — and observes, via TenantStats — the daemon's
+// per-tenant backpressure.
+//
+// Threading: a client instance is single-threaded (one conversation). Run
+// concurrent tenants as separate connections, one client each.
+
+#ifndef LWSNAP_SRC_NET_CLIENT_H_
+#define LWSNAP_SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
+#include "src/solver/cnf.h"
+#include "src/solver/lit.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+struct RemoteClientOptions {
+  // Snapshot byte budget to request in Hello (0 = take the operator default).
+  uint64_t budget_bytes = 0;
+};
+
+class RemoteCheckpointClient {
+ public:
+  // Connect + Hello. Fails with the daemon's typed status on version or
+  // admission problems.
+  static Result<std::unique_ptr<RemoteCheckpointClient>> ConnectUnix(
+      const std::string& path, RemoteClientOptions options = {});
+  static Result<std::unique_ptr<RemoteCheckpointClient>> ConnectTcp(
+      uint16_t port, RemoteClientOptions options = {});
+
+  RemoteCheckpointClient(const RemoteCheckpointClient&) = delete;
+  RemoteCheckpointClient& operator=(const RemoteCheckpointClient&) = delete;
+
+  // Handshake results.
+  uint64_t granted_budget() const { return granted_budget_; }
+  uint32_t max_inflight() const { return max_inflight_; }
+
+  // Sessions (each pins one daemon-side service until closed).
+  Result<uint32_t> OpenSession();
+  Status CloseSession(uint32_t session);
+
+  // Synchronous solves. SolveRoot solves `base` from the session's pristine
+  // root; Extend solves parent ∧ q. Both return a token for branching.
+  Result<RemoteOutcome> SolveRoot(uint32_t session, const Cnf& base);
+  Result<RemoteOutcome> Extend(uint32_t session, uint64_t parent,
+                               const std::vector<std::vector<Lit>>& q);
+
+  // Byte-level variants: `request` is EncodeSolverRequest output (or any
+  // bytes — the daemon routes them to the hardened guest decoder verbatim).
+  Result<RemoteOutcome> SolveRootEncoded(uint32_t session, const void* request, size_t len);
+  Result<RemoteOutcome> ExtendEncoded(uint32_t session, uint64_t parent,
+                                      const void* request, size_t len);
+
+  // Pipelined solves: returns the request id to Wait on.
+  Result<uint64_t> SendSolveRootEncoded(uint32_t session, const void* request, size_t len);
+  Result<uint64_t> SendExtendEncoded(uint32_t session, uint64_t parent,
+                                     const void* request, size_t len);
+  Result<RemoteOutcome> WaitOutcome(uint64_t request_id);
+
+  // Drops a solved-problem reference; its budget charge is refunded.
+  Status Release(uint32_t session, uint64_t token);
+
+  Result<RemoteTenantStats> TenantStats();
+
+  // Model bit for `v` (true = positive); out-of-range vars are false.
+  static bool ModelBit(const RemoteOutcome& outcome, Var v);
+
+ private:
+  explicit RemoteCheckpointClient(Socket sock) : sock_(std::move(sock)) {}
+
+  static Result<std::unique_ptr<RemoteCheckpointClient>> Handshake(
+      Socket sock, const RemoteClientOptions& options);
+
+  // Sends `u8 type | u64 id | body`; returns the assigned request id.
+  Result<uint64_t> SendRequest(MsgType type, const std::vector<uint8_t>& body);
+  // Reads frames (stashing mismatches) until `request_id`'s response arrives;
+  // returns its frame payload.
+  Result<std::vector<uint8_t>> WaitResponse(uint64_t request_id);
+  // Send + wait + status decode; on OK, `*body` holds a reader over the body.
+  Status Call(MsgType type, const std::vector<uint8_t>& body,
+              std::vector<uint8_t>* response);
+  Result<RemoteOutcome> CallSolve(MsgType type, const std::vector<uint8_t>& body);
+
+  Socket sock_;
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, std::vector<uint8_t>> stashed_;
+  uint64_t granted_budget_ = 0;
+  uint32_t max_inflight_ = 0;
+  uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_NET_CLIENT_H_

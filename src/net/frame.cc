@@ -1,0 +1,42 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+namespace lw {
+
+Status WriteFrame(Socket& sock, const void* payload, size_t len, size_t max_frame_bytes) {
+  if (len > max_frame_bytes) {
+    return InvalidArgument("frame: payload exceeds max frame size");
+  }
+  uint32_t prefix = static_cast<uint32_t>(len);
+  uint8_t header[4];
+  std::memcpy(header, &prefix, sizeof(prefix));
+  LW_RETURN_IF_ERROR(sock.WriteAll(header, sizeof(header)));
+  if (len > 0) {
+    LW_RETURN_IF_ERROR(sock.WriteAll(payload, len));
+  }
+  return OkStatus();
+}
+
+Status ReadFrame(Socket& sock, std::vector<uint8_t>* payload, size_t max_frame_bytes,
+                 bool* clean_eof) {
+  payload->clear();
+  uint8_t header[4];
+  LW_RETURN_IF_ERROR(sock.ReadFull(header, sizeof(header), clean_eof));
+  if (clean_eof != nullptr && *clean_eof) {
+    return OkStatus();
+  }
+  uint32_t len;
+  std::memcpy(&len, header, sizeof(len));
+  if (len > max_frame_bytes) {
+    return InvalidArgument("frame: declared length exceeds max frame size");
+  }
+  payload->resize(len);
+  if (len > 0) {
+    // EOF inside the payload is a truncated frame, never a clean close.
+    LW_RETURN_IF_ERROR(sock.ReadFull(payload->data(), len, nullptr));
+  }
+  return OkStatus();
+}
+
+}  // namespace lw

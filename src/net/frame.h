@@ -1,0 +1,38 @@
+// Length-prefixed framing over a blocking Socket: every message on the wire
+// is `uint32 length (LE) | length payload bytes`. The declared length is
+// validated against a maximum before any payload allocation, so a forged
+// multi-gigabyte prefix costs the daemon a 4-byte read and a typed error, not
+// an allocation. Framing knows nothing about message contents — the payload
+// is the same byte string the in-process codec (src/service/wire.h) speaks.
+
+#ifndef LWSNAP_SRC_NET_FRAME_H_
+#define LWSNAP_SRC_NET_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/socket.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+// Default per-frame cap. Solver requests are clause lists (a few MB covers
+// huge increments); anything larger is a protocol violation, not a workload.
+inline constexpr size_t kDefaultMaxFrameBytes = 8u << 20;
+
+// Writes `len` payload bytes as one frame. Fails with kInvalidArgument when
+// the payload exceeds `max_frame_bytes` (nothing is sent), else propagates
+// socket errors.
+Status WriteFrame(Socket& sock, const void* payload, size_t len, size_t max_frame_bytes);
+
+// Reads one frame into `*payload`. An orderly peer close before the length
+// prefix reports through `*clean_eof` (OK with empty payload); EOF anywhere
+// else is kIoError (truncated frame). A declared length above
+// `max_frame_bytes` is kInvalidArgument — the stream is unsynchronized after
+// that, so callers should drop the connection.
+Status ReadFrame(Socket& sock, std::vector<uint8_t>* payload, size_t max_frame_bytes,
+                 bool* clean_eof);
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_NET_FRAME_H_

@@ -1,0 +1,160 @@
+#include "src/net/protocol.h"
+
+#include <cstring>
+
+namespace lw {
+
+namespace {
+
+// Appends through a WireWriter so every frame the fabric ships goes through
+// the one bounds-checked codec: size the tail exactly, then fill it.
+void AppendU8(uint8_t v, std::vector<uint8_t>* out) {
+  size_t at = out->size();
+  out->resize(at + 1);
+  WireWriter w(out->data() + at, 1);
+  w.u8(v);
+}
+
+void AppendU32(uint32_t v, std::vector<uint8_t>* out) {
+  size_t at = out->size();
+  out->resize(at + 4);
+  WireWriter w(out->data() + at, 4);
+  w.u32(v);
+}
+
+void AppendU64(uint64_t v, std::vector<uint8_t>* out) {
+  size_t at = out->size();
+  out->resize(at + 8);
+  WireWriter w(out->data() + at, 8);
+  w.u64(v);
+}
+
+void AppendBytes(const void* data, size_t n, std::vector<uint8_t>* out) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + n);
+}
+
+}  // namespace
+
+void AppendRequestHeader(MsgType type, uint64_t request_id, std::vector<uint8_t>* out) {
+  AppendU8(static_cast<uint8_t>(type), out);
+  AppendU64(request_id, out);
+}
+
+std::vector<uint8_t> EncodeOkResponse(MsgType type, uint64_t request_id,
+                                      const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + 8 + 1 + 4 + body.size());
+  AppendU8(static_cast<uint8_t>(type), &out);
+  AppendU64(request_id, &out);
+  AppendU8(static_cast<uint8_t>(ErrorCode::kOk), &out);
+  AppendU32(0, &out);  // no message on success
+  AppendBytes(body.data(), body.size(), &out);
+  return out;
+}
+
+std::vector<uint8_t> EncodeErrorResponse(MsgType type, uint64_t request_id,
+                                         const Status& status) {
+  const std::string& msg = status.message();
+  std::vector<uint8_t> out;
+  out.reserve(1 + 8 + 1 + 4 + msg.size());
+  AppendU8(static_cast<uint8_t>(type), &out);
+  AppendU64(request_id, &out);
+  AppendU8(static_cast<uint8_t>(status.code()), &out);
+  AppendU32(static_cast<uint32_t>(msg.size()), &out);
+  AppendBytes(msg.data(), msg.size(), &out);
+  return out;
+}
+
+std::vector<uint8_t> EncodeOutcomeBody(const RemoteOutcome& outcome) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + 8 + 4 + 8 + 4 + outcome.model_bits.size());
+  AppendU8(outcome.result.raw(), &out);
+  AppendU64(outcome.token, &out);
+  AppendU32(outcome.num_vars, &out);
+  AppendU64(outcome.conflicts, &out);
+  AppendU32(static_cast<uint32_t>(outcome.model_bits.size()), &out);
+  AppendBytes(outcome.model_bits.data(), outcome.model_bits.size(), &out);
+  return out;
+}
+
+Status DecodeOutcomeBody(WireReader& reader, RemoteOutcome* out) {
+  uint8_t result_raw = 0;
+  uint32_t model_len = 0;
+  if (!reader.u8(&result_raw) || !reader.u64(&out->token) || !reader.u32(&out->num_vars) ||
+      !reader.u64(&out->conflicts) || !reader.u32(&model_len)) {
+    return IoError("remote outcome: truncated response body");
+  }
+  const uint8_t* bits = nullptr;
+  if (!reader.span(&bits, model_len)) {
+    return IoError("remote outcome: model bytes truncated");
+  }
+  out->result = LBool(result_raw);
+  out->model_bits.assign(bits, bits + model_len);
+  return OkStatus();
+}
+
+std::vector<uint8_t> EncodeTenantStatsBody(const RemoteTenantStats& stats) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + 8 + 4 + 4 + 8 + 8 + 4);
+  AppendU64(stats.budget_bytes, &out);
+  AppendU64(stats.charged_bytes, &out);
+  AppendU32(stats.inflight_limit, &out);
+  AppendU32(stats.max_inflight_observed, &out);
+  AppendU64(stats.budget_rejections, &out);
+  AppendU64(stats.jobs_executed, &out);
+  AppendU32(stats.sessions_open, &out);
+  return out;
+}
+
+Status DecodeTenantStatsBody(WireReader& reader, RemoteTenantStats* out) {
+  if (!reader.u64(&out->budget_bytes) || !reader.u64(&out->charged_bytes) ||
+      !reader.u32(&out->inflight_limit) || !reader.u32(&out->max_inflight_observed) ||
+      !reader.u64(&out->budget_rejections) || !reader.u64(&out->jobs_executed) ||
+      !reader.u32(&out->sessions_open)) {
+    return IoError("tenant stats: truncated response body");
+  }
+  return OkStatus();
+}
+
+Status ParseResponsePrefix(WireReader& reader, MsgType* type, uint64_t* request_id) {
+  uint8_t type_raw = 0;
+  uint8_t code_raw = 0;
+  uint32_t msg_len = 0;
+  if (!reader.u8(&type_raw) || !reader.u64(request_id) || !reader.u8(&code_raw) ||
+      !reader.u32(&msg_len)) {
+    return IoError("response: truncated prefix");
+  }
+  const uint8_t* msg = nullptr;
+  if (!reader.span(&msg, msg_len)) {
+    return IoError("response: truncated status message");
+  }
+  *type = static_cast<MsgType>(type_raw);
+  ErrorCode code = WireStatusCode(code_raw);
+  if (code == ErrorCode::kOk) {
+    return OkStatus();
+  }
+  return Status(code, std::string(reinterpret_cast<const char*>(msg), msg_len));
+}
+
+ErrorCode WireStatusCode(uint8_t raw) {
+  switch (static_cast<ErrorCode>(raw)) {
+    case ErrorCode::kOk:
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kAlreadyExists:
+    case ErrorCode::kOutOfMemory:
+    case ErrorCode::kOutOfRange:
+    case ErrorCode::kPermissionDenied:
+    case ErrorCode::kUnsupported:
+    case ErrorCode::kBadState:
+    case ErrorCode::kIoError:
+    case ErrorCode::kExhausted:
+    case ErrorCode::kResourceExhausted:
+    case ErrorCode::kInternal:
+      return static_cast<ErrorCode>(raw);
+  }
+  return ErrorCode::kInternal;
+}
+
+}  // namespace lw

@@ -1,0 +1,112 @@
+// The remote checkpoint fabric's message vocabulary — the transport-agnostic
+// wire API between a tenant (src/net/client.h) and the daemon
+// (src/service/daemon.h). Every message rides one frame (src/net/frame.h) and
+// is encoded/decoded with the same bounds-checked WireReader/WireWriter the
+// in-process mailbox codec uses (src/service/wire.h).
+//
+// Request frame:   u8 type | u64 request_id | type-specific body
+// Response frame:  u8 type (echo) | u64 request_id (echo) | u8 status code |
+//                  u32 message length | message bytes | body (only when OK)
+//
+// Bodies:
+//   Hello req:        u32 protocol version | u64 requested budget bytes (0 =
+//                     operator default)
+//   Hello resp:       u32 protocol version | u64 granted budget bytes |
+//                     u32 max in-flight per tenant | u32 max frame bytes
+//   OpenSession req:  (empty)      resp: u32 session id
+//   SolveRoot req:    u32 session id | solver request bytes (verbatim
+//                     EncodeSolverRequest output — the daemon routes them to
+//                     the guest decoder unchanged)
+//   Extend req:       u32 session id | u64 parent token | solver request bytes
+//   Solve* resp:      u8 result raw | u64 token | u32 num_vars |
+//                     u64 conflicts | u32 model length | model bytes
+//   Release req:      u32 session id | u64 token          resp: (empty)
+//   CloseSession req: u32 session id                      resp: (empty)
+//   TenantStats req:  (empty)
+//   TenantStats resp: u64 budget bytes | u64 charged bytes |
+//                     u32 in-flight limit | u32 max in-flight observed |
+//                     u64 budget rejections | u64 jobs executed |
+//                     u32 sessions open
+//
+// Error discipline (what the fuzz tests pin down): a frame that violates
+// framing itself (oversized declared length, truncated payload) leaves the
+// byte stream unsynchronized, so the daemon drops that connection. A frame
+// that parses as a frame but carries a malformed message (unknown type, short
+// body, bad session id, forged token) gets a typed error response and the
+// connection stays fully usable.
+
+#ifndef LWSNAP_SRC_NET_PROTOCOL_H_
+#define LWSNAP_SRC_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/service/wire.h"
+#include "src/solver/lit.h"
+#include "src/util/status.h"
+
+namespace lw {
+
+inline constexpr uint32_t kFabricProtocolVersion = 1;
+
+enum class MsgType : uint8_t {
+  kHello = 1,
+  kOpenSession = 2,
+  kSolveRoot = 3,
+  kExtend = 4,
+  kRelease = 5,
+  kCloseSession = 6,
+  kTenantStats = 7,
+};
+
+// A solved-problem outcome as it crosses the wire: the checkpoint handle
+// stays daemon-side, the tenant holds its u64 token.
+struct RemoteOutcome {
+  LBool result = kUndef;
+  uint64_t token = 0;
+  uint32_t num_vars = 0;
+  uint64_t conflicts = 0;
+  std::vector<uint8_t> model_bits;  // packed, LSB-first per byte
+};
+
+struct RemoteTenantStats {
+  uint64_t budget_bytes = 0;    // 0 = unlimited
+  uint64_t charged_bytes = 0;   // settled charges against the budget
+  uint32_t inflight_limit = 0;  // admission cap per tenant
+  uint32_t max_inflight_observed = 0;
+  uint64_t budget_rejections = 0;
+  uint64_t jobs_executed = 0;
+  uint32_t sessions_open = 0;
+};
+
+// Builds the `u8 type | u64 request_id` request prefix into `out` (append).
+void AppendRequestHeader(MsgType type, uint64_t request_id, std::vector<uint8_t>* out);
+
+// Encodes a full response frame payload. Error responses carry no body.
+std::vector<uint8_t> EncodeOkResponse(MsgType type, uint64_t request_id,
+                                      const std::vector<uint8_t>& body);
+std::vector<uint8_t> EncodeErrorResponse(MsgType type, uint64_t request_id,
+                                         const Status& status);
+
+// Outcome body codec (the `Solve* resp` layout above).
+std::vector<uint8_t> EncodeOutcomeBody(const RemoteOutcome& outcome);
+Status DecodeOutcomeBody(WireReader& reader, RemoteOutcome* out);
+
+// Tenant-stats body codec.
+std::vector<uint8_t> EncodeTenantStatsBody(const RemoteTenantStats& stats);
+Status DecodeTenantStatsBody(WireReader& reader, RemoteTenantStats* out);
+
+// Parses a response frame prefix: echoes out the type/request id, decodes the
+// wire status, and leaves `reader` positioned at the body. The returned
+// status is kIoError only for codec-level truncation; otherwise it is the
+// remote call's own status (OK ⇒ read the body).
+Status ParseResponsePrefix(WireReader& reader, MsgType* type, uint64_t* request_id);
+
+// Maps a wire status byte back to a typed ErrorCode (unknown values collapse
+// to kInternal rather than trusting the peer).
+ErrorCode WireStatusCode(uint8_t raw);
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_NET_PROTOCOL_H_

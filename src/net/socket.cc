@@ -1,0 +1,240 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace lw {
+
+namespace {
+
+Status Errno(const char* what) {
+  return IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Socket::WriteAll(const void* data, size_t len) {
+  if (!valid()) {
+    return BadState("socket: write on closed socket");
+  }
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t left = len;
+  while (left > 0) {
+    ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("socket write");
+    }
+    if (n == 0) {
+      return IoError("socket write: peer closed");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status Socket::ReadFull(void* data, size_t len, bool* clean_eof) {
+  if (clean_eof != nullptr) {
+    *clean_eof = false;
+  }
+  if (!valid()) {
+    return BadState("socket: read on closed socket");
+  }
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("socket read");
+    }
+    if (n == 0) {
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return OkStatus();
+      }
+      return IoError("socket read: connection truncated mid-message");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+void Socket::ShutdownBoth() {
+  if (valid()) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void Socket::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("unix socket");
+  }
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("unix connect");
+  }
+  return sock;
+}
+
+Result<Socket> ConnectTcp(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("tcp socket");
+  }
+  Socket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("tcp connect");
+  }
+  return sock;
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Result<Listener> Listener::ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("unix socket");
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  listener.path_ = path;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("unix bind");
+  }
+  if (::listen(fd, 64) != 0) {
+    return Errno("unix listen");
+  }
+  return listener;
+}
+
+Result<Listener> Listener::ListenTcp(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("tcp socket");
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("tcp bind");
+  }
+  if (::listen(fd, 64) != 0) {
+    return Errno("tcp listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    return Errno("tcp getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept() {
+  if (!valid()) {
+    return BadState("listener: accept after shutdown");
+  }
+  while (true) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      return Socket(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // EINVAL is the Linux signature of shutdown(listen_fd): an orderly stop,
+    // not an I/O fault.
+    if (errno == EINVAL) {
+      return BadState("listener: shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+void Listener::Shutdown() {
+  if (valid()) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void Listener::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+    if (!path_.empty()) {
+      ::unlink(path_.c_str());
+      path_.clear();
+    }
+  }
+}
+
+}  // namespace lw

@@ -1,0 +1,98 @@
+// Minimal blocking-socket layer for the remote checkpoint fabric: RAII fds,
+// Unix-domain and TCP loopback listeners, and whole-buffer read/write helpers
+// that loop over partial transfers and EINTR. Everything returns typed
+// lw::Status — no errno leaks past this boundary — and nothing here knows
+// about frames or the wire codec (src/net/frame.h builds on top).
+//
+// Threading: a Socket may be *read* by one thread and *written* by another
+// (the daemon's per-connection reader/writer split), but each direction must
+// stay single-threaded. ShutdownBoth() is safe to call from a third thread to
+// unblock both directions — that is the daemon's cancellation mechanism.
+
+#ifndef LWSNAP_SRC_NET_SOCKET_H_
+#define LWSNAP_SRC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace lw {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Writes all `len` bytes, looping over short writes and EINTR. SIGPIPE is
+  // suppressed (MSG_NOSIGNAL); a closed peer is a clean kIoError.
+  Status WriteAll(const void* data, size_t len);
+
+  // Reads exactly `len` bytes. EOF before the first byte reports through
+  // `*clean_eof` (and returns OK with nothing read) so callers can tell an
+  // orderly close from a truncated transfer; EOF mid-buffer is kIoError.
+  Status ReadFull(void* data, size_t len, bool* clean_eof);
+
+  // Unblocks any reader/writer parked in this socket from another thread.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Connects to a Unix-domain listener at `path`.
+Result<Socket> ConnectUnix(const std::string& path);
+
+// Connects to a TCP listener on 127.0.0.1:`port`.
+Result<Socket> ConnectTcp(uint16_t port);
+
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds and listens on a Unix-domain socket at `path` (any stale socket
+  // file there is unlinked first; the file is unlinked again on Close).
+  static Result<Listener> ListenUnix(const std::string& path);
+
+  // Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned; see port()).
+  static Result<Listener> ListenTcp(uint16_t port);
+
+  // Blocking accept. After Shutdown() (from any thread) it returns kBadState.
+  Result<Socket> Accept();
+
+  // Unblocks a blocked Accept from another thread; subsequent Accepts fail.
+  void Shutdown();
+
+  void Close();
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }          // TCP listeners only
+  const std::string& path() const { return path_; }  // Unix listeners only
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::string path_;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_NET_SOCKET_H_

@@ -10,18 +10,9 @@ namespace lw {
 
 size_t GuestMailbox::Park() { return sys_yield(data_, capacity_); }
 
-CheckpointService::CheckpointService(CheckpointServiceOptions options)
-    : options_(std::move(options)) {
-  SessionOptions session_options;
-  session_options.arena_bytes = options_.arena_bytes;
-  session_options.page_map_kind = options_.page_map_kind;
-  session_options.snapshot_mode = options_.snapshot_mode;
-  session_options.store = options_.store;
-  session_options.store_options = options_.store_options;
-  session_options.snapshot_byte_budget = options_.snapshot_byte_budget;
-  session_options.parallel_materialize_workers = options_.parallel_materialize_workers;
-  session_ = std::make_unique<BacktrackSession>(session_options);
-  guest_boot_.mailbox_cap = options_.mailbox_bytes;
+CheckpointService::CheckpointService(ServiceTuning tuning) : tuning_(std::move(tuning)) {
+  session_ = std::make_unique<BacktrackSession>(MakeSessionOptions(tuning_));
+  guest_boot_.mailbox_cap = tuning_.mailbox_bytes;
 }
 
 CheckpointService::~CheckpointService() = default;
@@ -69,7 +60,7 @@ Result<Checkpoint> CheckpointService::Extend(const Checkpoint& parent, const voi
   if (!booted_) {
     return BadState("checkpoint service: boot the service first");
   }
-  if (len > options_.mailbox_bytes) {
+  if (len > tuning_.mailbox_bytes) {
     return InvalidArgument("checkpoint service: request exceeds mailbox capacity");
   }
   LW_RETURN_IF_ERROR(session_->Resume(parent, request, len));

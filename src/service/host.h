@@ -38,39 +38,16 @@
 #include <vector>
 
 #include "src/core/session.h"
+#include "src/service/tuning.h"
+#include "src/service/wire.h"
 #include "src/util/status.h"
 
 namespace lw {
 
-struct CheckpointServiceOptions {
-  size_t arena_bytes = 64ull << 20;
-  size_t mailbox_bytes = 1ull << 16;
-  PageMapKind page_map_kind = PageMapKind::kRadix;
-  // Any SnapshotMode works here, including kSoftDirty (probe
-  // SoftDirtyTracker::Supported() first) and kAdaptive (works everywhere);
-  // see SessionOptions::snapshot_mode.
-  SnapshotMode snapshot_mode = SnapshotMode::kCow;
-
-  // Shared page substrate: services on one store dedup each other's
-  // byte-identical pages. Null = private store (see SessionOptions::store).
-  // store_options carries the spill-tier knobs (spill_dir,
-  // spill_segment_bytes) when the service should page cold checkpoints out
-  // to disk.
-  std::shared_ptr<PageStore> store;
-  PageStoreOptions store_options;
-
-  // Residency cap driving the evict → compress → spill → drop ladder after
-  // each checkpoint (0 = unbounded). See SessionOptions::snapshot_byte_budget
-  // for shared-store semantics (the cap is store-wide, give sharers the same
-  // value).
-  uint64_t snapshot_byte_budget = 0;
-
-  // Intra-session parallel materialization: the service's session publishes
-  // each parked snapshot's page set from this many threads (0/1 = serial).
-  // See SessionOptions::parallel_materialize_workers; ServicePool<S> fleets
-  // use this to split cores between services and per-service workers.
-  uint32_t parallel_materialize_workers = 0;
-};
+// The host's construction knobs are exactly the shared tuning block every
+// service Options embeds (src/service/tuning.h): services pass
+// `options.tuning` straight through.
+using CheckpointServiceOptions = ServiceTuning;
 
 // Guest-side view of the service mailbox: the one region both sides of the
 // wire protocol read and write. Lives in the arena, so every parked snapshot
@@ -95,98 +72,13 @@ class GuestMailbox {
   GuestHeap* heap_;
 };
 
-// Bounds-checked wire decoding: every read validates against the remaining
-// request bytes, so a forged length field yields ok() == false instead of a
-// truncated read or out-of-bounds pointer arithmetic.
-class WireReader {
- public:
-  WireReader(const uint8_t* data, size_t len) : p_(data), end_(data + len) {}
-
-  bool u8(uint8_t* out) { return Fetch(out, 1); }
-  bool u32(uint32_t* out) { return Fetch(out, 4); }
-  bool u64(uint64_t* out) { return Fetch(out, 8); }
-  bool bytes(void* out, size_t n) { return Fetch(out, n); }
-
-  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
-  bool ok() const { return ok_; }
-
- private:
-  bool Fetch(void* out, size_t n) {
-    if (!ok_ || n > remaining()) {
-      ok_ = false;
-      return false;
-    }
-    if (n > 0) {  // out may be null for an empty span
-      std::memcpy(out, p_, n);
-      p_ += n;
-    }
-    return true;
-  }
-
-  const uint8_t* p_;
-  const uint8_t* end_;
-  bool ok_ = true;
-};
-
-// Bounds-checked wire encoding into a fixed region (the guest response path).
-// Overflow latches: written() stays within capacity and overflowed() reports
-// the truncation so the codec can flag it instead of shipping a partial frame.
-class WireWriter {
- public:
-  WireWriter(uint8_t* data, size_t capacity) : base_(data), cap_(capacity) {}
-
-  bool u8(uint8_t v) { return Append(&v, 1); }
-  bool u32(uint32_t v) { return Append(&v, 4); }
-  bool u64(uint64_t v) { return Append(&v, 8); }
-  bool bytes(const void* data, size_t n) { return Append(data, n); }
-
-  size_t written() const { return used_; }
-  size_t capacity() const { return cap_; }
-  bool overflowed() const { return overflowed_; }
-
- private:
-  bool Append(const void* data, size_t n) {
-    if (overflowed_ || n > cap_ - used_) {
-      overflowed_ = true;
-      return false;
-    }
-    if (n > 0) {  // data may be null for an empty span
-      std::memcpy(base_ + used_, data, n);
-      used_ += n;
-    }
-    return true;
-  }
-
-  uint8_t* base_;
-  size_t cap_;
-  size_t used_ = 0;
-  bool overflowed_ = false;
-};
-
-// Maps a service's Options struct onto the host's — every service Options
-// carries this same field subset (arena/mailbox sizing, engine selection,
-// store injection), so new host fields are threaded through one place.
-template <typename ServiceOptions>
-CheckpointServiceOptions MakeHostOptions(const ServiceOptions& options) {
-  CheckpointServiceOptions host_options;
-  host_options.arena_bytes = options.arena_bytes;
-  host_options.mailbox_bytes = options.mailbox_bytes;
-  host_options.page_map_kind = options.page_map_kind;
-  host_options.snapshot_mode = options.snapshot_mode;
-  host_options.store = options.store;
-  host_options.store_options = options.store_options;
-  host_options.snapshot_byte_budget = options.snapshot_byte_budget;
-  host_options.parallel_materialize_workers = options.parallel_materialize_workers;
-  return host_options;
-}
-
 class CheckpointService {
  public:
   // The guest body supplied by the service codec; runs inside the arena with
   // arena alloc hooks installed. Must loop forever on mailbox.Park().
   using ServeFn = void (*)(GuestMailbox& mailbox, void* boot_arg);
 
-  explicit CheckpointService(CheckpointServiceOptions options);
+  explicit CheckpointService(ServiceTuning tuning);
   ~CheckpointService();
 
   CheckpointService(const CheckpointService&) = delete;
@@ -215,7 +107,7 @@ class CheckpointService {
   Status Release(Checkpoint& checkpoint);
 
   bool booted() const { return booted_; }
-  size_t mailbox_capacity() const { return options_.mailbox_bytes; }
+  size_t mailbox_capacity() const { return tuning_.mailbox_bytes; }
   BacktrackSession& session() { return *session_; }
   const SessionStats& session_stats() const { return session_->stats(); }
   const PageStore& store() const { return session_->store(); }
@@ -230,7 +122,7 @@ class CheckpointService {
   static void GuestMain(void* arg);
   Result<Checkpoint> TakeOneCheckpoint();
 
-  CheckpointServiceOptions options_;
+  ServiceTuning tuning_;
   std::unique_ptr<BacktrackSession> session_;
   GuestBoot guest_boot_;
   bool booted_ = false;

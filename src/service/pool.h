@@ -7,8 +7,9 @@
 // — to any service S (SolverService, PrologService, SymxService, ...).
 //
 // Requirements on S:
-//   * `typename S::Options` with a `std::shared_ptr<PageStore> store` member
-//     (the pool injects the shared store before constructing each service);
+//   * `typename S::Options` with an embedded `ServiceTuning tuning` block
+//     (src/service/tuning.h) — the pool injects the shared store into
+//     `tuning.store` before constructing each service;
 //   * constructible as S(S::Options) on the worker thread;
 //   * `const SessionStats& session_stats() const` for fleet accounting.
 //
@@ -75,16 +76,16 @@ template <typename S>
 struct ServicePoolOptions {
   int num_services = 4;  // one worker thread per service
 
-  // Per-service template. `service.store` is ignored: the pool injects one
-  // shared store into every service (see `store` below). `service.snapshot_mode`
-  // applies to every service in the fleet — kSoftDirty fleets are safe:
-  // concurrent soft-dirty sessions coordinate their process-wide clear_refs
-  // writes through SoftDirtyTracker's arbiter. Core-splitting knob:
-  // `service.parallel_materialize_workers = W` gives every service its own
-  // W-thread materialize team, so a fleet occupies ~num_services × W cores at
-  // snapshot time — size num_services for throughput (independent jobs) and W
-  // for per-job snapshot latency (big parked states), keeping the product
-  // near the core count.
+  // Per-service template. `service.tuning.store` is ignored: the pool injects
+  // one shared store into every service (see `store` below).
+  // `service.tuning.snapshot_mode` applies to every service in the fleet —
+  // kSoftDirty fleets are safe: concurrent soft-dirty sessions coordinate
+  // their process-wide clear_refs writes through SoftDirtyTracker's arbiter.
+  // Core-splitting knob: `service.tuning.parallel_materialize_workers = W`
+  // gives every service its own W-thread materialize team, so a fleet
+  // occupies ~num_services × W cores at snapshot time — size num_services for
+  // throughput (independent jobs) and W for per-job snapshot latency (big
+  // parked states), keeping the product near the core count.
   typename S::Options service;
 
   // The fleet's shared substrate. Null (default): the pool creates a store
@@ -108,7 +109,7 @@ class ServicePool {
       store_options.background_compaction = true;
       store_ = std::make_shared<PageStore>(store_options);
     }
-    options_.service.store = store_;
+    options_.service.tuning.store = store_;
     workers_.reserve(static_cast<size_t>(options_.num_services));
     for (int i = 0; i < options_.num_services; ++i) {
       workers_.push_back(std::make_unique<Worker>());

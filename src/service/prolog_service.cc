@@ -128,7 +128,7 @@ void PrologService::Serve(GuestMailbox& mailbox, void* arg) {
 }
 
 PrologService::PrologService(Options options)
-    : options_(std::move(options)), host_(MakeHostOptions(options_)) {
+    : options_(std::move(options)), host_(options_.tuning) {
   boot_.max_inferences = options_.max_inferences;
   boot_.max_reported_solutions = options_.max_reported_solutions;
 }

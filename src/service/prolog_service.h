@@ -45,28 +45,16 @@
 namespace lw {
 
 struct PrologServiceOptions {
-  size_t arena_bytes = 32ull << 20;
-  size_t mailbox_bytes = 1ull << 16;
+  PrologServiceOptions() { tuning.arena_bytes = 32ull << 20; }
+
+  // The shared service knob block — one struct, one mapping onto the session
+  // (src/service/tuning.h).
+  ServiceTuning tuning;
   // Aborts a proof beyond this many inferences (0 = unbounded) — a runaway
   // extension fails its own node, not the service.
   uint64_t max_inferences = 4ull << 20;
   // Bindings reported per outcome (the solution *count* is always exact).
   uint32_t max_reported_solutions = 8;
-  PageMapKind page_map_kind = PageMapKind::kRadix;
-  // Any SnapshotMode works here, including kSoftDirty (probe
-  // SoftDirtyTracker::Supported() first) and kAdaptive (works everywhere);
-  // see SessionOptions::snapshot_mode.
-  SnapshotMode snapshot_mode = SnapshotMode::kCow;
-  std::shared_ptr<PageStore> store;
-  PageStoreOptions store_options;
-
-  // Residency cap for parked checkpoints (0 = unbounded): see
-  // CheckpointServiceOptions::snapshot_byte_budget.
-  uint64_t snapshot_byte_budget = 0;
-
-  // Intra-session parallel materialization (0/1 = serial): see
-  // CheckpointServiceOptions::parallel_materialize_workers.
-  uint32_t parallel_materialize_workers = 0;
 };
 
 class PrologService {

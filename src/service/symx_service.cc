@@ -182,7 +182,7 @@ void SymxService::Serve(GuestMailbox& mailbox, void* arg) {
 
 SymxService::SymxService(Options options)
     : options_(std::move(options)),
-      host_(MakeHostOptions(options_)),
+      host_(options_.tuning),
       checker_(std::make_unique<PathChecker>(options_.solver_conflict_budget)) {
   boot_.vm = options_.vm;
   boot_.checker = checker_.get();

@@ -43,27 +43,15 @@
 namespace lw {
 
 struct SymxServiceOptions {
-  size_t arena_bytes = 64ull << 20;
-  size_t mailbox_bytes = 1ull << 14;
+  SymxServiceOptions() { tuning.mailbox_bytes = 1ull << 14; }
+
+  // The shared service knob block — one struct, one mapping onto the session
+  // (src/service/tuning.h).
+  ServiceTuning tuning;
   VmConfig vm;
   // Per-feasibility-query solver budget; a budget hit conservatively reports
   // the side feasible.
   uint64_t solver_conflict_budget = 1u << 20;
-  PageMapKind page_map_kind = PageMapKind::kRadix;
-  // Any SnapshotMode works here, including kSoftDirty (probe
-  // SoftDirtyTracker::Supported() first) and kAdaptive (works everywhere);
-  // see SessionOptions::snapshot_mode.
-  SnapshotMode snapshot_mode = SnapshotMode::kCow;
-  std::shared_ptr<PageStore> store;
-  PageStoreOptions store_options;
-
-  // Residency cap for parked checkpoints (0 = unbounded): see
-  // CheckpointServiceOptions::snapshot_byte_budget.
-  uint64_t snapshot_byte_budget = 0;
-
-  // Intra-session parallel materialization (0/1 = serial): see
-  // CheckpointServiceOptions::parallel_materialize_workers.
-  uint32_t parallel_materialize_workers = 0;
 };
 
 class SymxService {

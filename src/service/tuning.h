@@ -1,0 +1,74 @@
+// ServiceTuning: the one knob block every checkpoint service shares.
+//
+// Before this header existed, each service Options struct
+// (SolverServiceOptions, PrologServiceOptions, SymxServiceOptions,
+// CheckpointServiceOptions) carried its own copy of the same eight fields —
+// arena/mailbox sizing, engine selection, store injection, byte budget,
+// materialize workers — and every new knob had to be threaded through four
+// structs plus MakeHostOptions plus the host's SessionOptions mapping. Now
+// the subset lives here once: service Options embed a `ServiceTuning tuning`,
+// the host consumes it directly (CheckpointServiceOptions is an alias), and
+// MakeSessionOptions below is the single mapping onto SessionOptions.
+//
+// The network daemon (src/service/daemon.h) ships the same struct as its
+// per-session template, so an in-process service and a remote session are
+// configured with identical vocabulary.
+
+#ifndef LWSNAP_SRC_SERVICE_TUNING_H_
+#define LWSNAP_SRC_SERVICE_TUNING_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/session.h"
+
+namespace lw {
+
+struct ServiceTuning {
+  size_t arena_bytes = 64ull << 20;
+  size_t mailbox_bytes = 1ull << 16;
+  PageMapKind page_map_kind = PageMapKind::kRadix;
+  // Any SnapshotMode works here, including kSoftDirty (probe
+  // SoftDirtyTracker::Supported() first) and kAdaptive (works everywhere);
+  // see SessionOptions::snapshot_mode.
+  SnapshotMode snapshot_mode = SnapshotMode::kCow;
+
+  // Shared page substrate: services on one store dedup each other's
+  // byte-identical pages. Null = private store (see SessionOptions::store).
+  // store_options carries the spill-tier knobs (spill_dir,
+  // spill_segment_bytes) when the service should page cold checkpoints out
+  // to disk.
+  std::shared_ptr<PageStore> store;
+  PageStoreOptions store_options;
+
+  // Residency cap driving the evict → compress → spill → drop ladder after
+  // each checkpoint (0 = unbounded). See SessionOptions::snapshot_byte_budget
+  // for shared-store semantics (the cap is store-wide, give sharers the same
+  // value).
+  uint64_t snapshot_byte_budget = 0;
+
+  // Intra-session parallel materialization: the service's session publishes
+  // each parked snapshot's page set from this many threads (0/1 = serial).
+  // See SessionOptions::parallel_materialize_workers; ServicePool<S> fleets
+  // use this to split cores between services and per-service workers.
+  uint32_t parallel_materialize_workers = 0;
+};
+
+// The single mapping from service tuning onto session construction. Fields
+// the services do not expose (guest stack size, strategy, max_extensions,
+// batched_release) keep their SessionOptions defaults.
+inline SessionOptions MakeSessionOptions(const ServiceTuning& tuning) {
+  SessionOptions session_options;
+  session_options.arena_bytes = tuning.arena_bytes;
+  session_options.page_map_kind = tuning.page_map_kind;
+  session_options.snapshot_mode = tuning.snapshot_mode;
+  session_options.store = tuning.store;
+  session_options.store_options = tuning.store_options;
+  session_options.snapshot_byte_budget = tuning.snapshot_byte_budget;
+  session_options.parallel_materialize_workers = tuning.parallel_materialize_workers;
+  return session_options;
+}
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SERVICE_TUNING_H_

@@ -1,0 +1,117 @@
+// The transport-neutral wire codec: bounds-checked reading and writing of the
+// byte frames every checkpoint-service codec speaks. Extracted from the
+// in-process host (src/service/host.h) so that both transports consume one
+// codec:
+//
+//   * in-process: the guest mailbox IS the frame — WireWriter fills the
+//     response region the snapshot captures, WireReader decodes the resume
+//     message the host delivered;
+//   * remote: the network daemon (src/service/daemon.h) and its client
+//     library (src/net/client.h) frame the same byte payloads over a socket,
+//     length-prefixed (src/net/frame.h), and pass them to the in-process host
+//     verbatim.
+//
+// Compatibility contract (what "one codec, two transports" means):
+//   * A request byte string accepted by a service's guest decoder in-process
+//     is accepted unchanged when delivered through the daemon, and vice
+//     versa — the daemon never re-encodes payloads, it routes them.
+//   * All integers are little-endian host order (the codec targets
+//     same-architecture fleets; a cross-endian transport would translate at
+//     the frame boundary, not here).
+//   * Every read is validated against the remaining bytes: a forged length
+//     field yields ok() == false, never a truncated read or out-of-bounds
+//     pointer arithmetic. Every write is validated against capacity: overflow
+//     latches instead of shipping a partial frame.
+
+#ifndef LWSNAP_SRC_SERVICE_WIRE_H_
+#define LWSNAP_SRC_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace lw {
+
+// Bounds-checked wire decoding: every read validates against the remaining
+// request bytes, so a forged length field yields ok() == false instead of a
+// truncated read or out-of-bounds pointer arithmetic.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t len) : p_(data), end_(data + len) {}
+
+  bool u8(uint8_t* out) { return Fetch(out, 1); }
+  bool u32(uint32_t* out) { return Fetch(out, 4); }
+  bool u64(uint64_t* out) { return Fetch(out, 8); }
+  bool bytes(void* out, size_t n) { return Fetch(out, n); }
+
+  // Borrows `n` bytes in place (no copy); the pointer aliases the request
+  // buffer and is valid as long as it is. Fails like any other read when
+  // fewer than `n` bytes remain.
+  bool span(const uint8_t** out, size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    *out = p_;
+    p_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Fetch(void* out, size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    if (n > 0) {  // out may be null for an empty span
+      std::memcpy(out, p_, n);
+      p_ += n;
+    }
+    return true;
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool ok_ = true;
+};
+
+// Bounds-checked wire encoding into a fixed region (the guest response path).
+// Overflow latches: written() stays within capacity and overflowed() reports
+// the truncation so the codec can flag it instead of shipping a partial frame.
+class WireWriter {
+ public:
+  WireWriter(uint8_t* data, size_t capacity) : base_(data), cap_(capacity) {}
+
+  bool u8(uint8_t v) { return Append(&v, 1); }
+  bool u32(uint32_t v) { return Append(&v, 4); }
+  bool u64(uint64_t v) { return Append(&v, 8); }
+  bool bytes(const void* data, size_t n) { return Append(data, n); }
+
+  size_t written() const { return used_; }
+  size_t capacity() const { return cap_; }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  bool Append(const void* data, size_t n) {
+    if (overflowed_ || n > cap_ - used_) {
+      overflowed_ = true;
+      return false;
+    }
+    if (n > 0) {  // data may be null for an empty span
+      std::memcpy(base_ + used_, data, n);
+      used_ += n;
+    }
+    return true;
+  }
+
+  uint8_t* base_;
+  size_t cap_;
+  size_t used_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SERVICE_WIRE_H_

@@ -58,7 +58,7 @@
 //     SessionOptions::store / SolverServiceOptions::store (null = the session
 //     creates a private store). Cross-session publishes of identical content
 //     dedup against each other; `cross_session_dedup_hits` counts them. The
-//     sessions may run on distinct threads (SolverServicePool is the packaged
+//     sessions may run on distinct threads (ServicePool<SolverService> is the packaged
 //     form of that fleet).
 //   * Lifetime: the store must outlive every PageRef minted from it (every
 //     session, snapshot, and frontier entry). Sessions hold the store by

@@ -1,0 +1,83 @@
+// Solver-typed job builders for ServicePool<SolverService> — the vocabulary
+// the retired SolverServicePool façade used to provide, as free inline
+// helpers over the one generic pool API (src/service/pool.h). Each helper
+// packages one solver call as a pool job; ownership rules match the service:
+// extends clone the parent handle into the job (the caller keeps branching
+// rights), releases move the handle in (it empties immediately).
+
+#ifndef LWSNAP_SRC_SOLVER_POOL_JOBS_H_
+#define LWSNAP_SRC_SOLVER_POOL_JOBS_H_
+
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/service/pool.h"
+#include "src/solver/service.h"
+
+namespace lw {
+
+// Solves `base` as service `service`'s root problem (call once per service,
+// first). `base` must outlive the returned future's completion.
+inline std::future<Result<SolverService::Outcome>> SubmitSolveRoot(
+    ServicePool<SolverService>& pool, int service, const Cnf* base) {
+  LW_CHECK_MSG(base != nullptr, "solver pool job: null base problem");
+  return pool.Submit(service, [base](SolverService& s) { return s.SolveRoot(*base); });
+}
+
+// Solves parent ∧ q on the service that owns `parent`. The job owns a clone:
+// the caller's handle stays valid for further branching, and the clone's drop
+// (wrong service, failed extend, normal completion) is handled by the handle
+// protocol.
+inline std::future<Result<SolverService::Outcome>> SubmitExtend(
+    ServicePool<SolverService>& pool, int service, const Checkpoint& parent,
+    std::vector<std::vector<Lit>> q) {
+  auto parent_clone = std::make_shared<Checkpoint>(parent.Clone());
+  auto clauses = std::make_shared<std::vector<std::vector<Lit>>>(std::move(q));
+  return pool.Submit(service, [parent_clone, clauses](SolverService& s) {
+    return s.Extend(*parent_clone, *clauses);
+  });
+}
+
+// Releases a solved-problem reference on its owning service; consumes the
+// handle (it becomes empty immediately).
+inline std::future<Status> SubmitRelease(ServicePool<SolverService>& pool, int service,
+                                         Checkpoint& token) {
+  auto moved = std::make_shared<Checkpoint>(std::move(token));
+  return pool.Submit(service, [moved](SolverService& s) { return s.Release(*moved); });
+}
+
+// Convenience for the fleet-of-equals shape (bench_shared_store): every
+// service solves the same base, in parallel; outcomes land by service index.
+// Returns the first error, or OK.
+inline Status SolveRootEverywhere(ServicePool<SolverService>& pool, const Cnf& base,
+                                  std::vector<SolverService::Outcome>* outcomes) {
+  std::vector<std::future<Result<SolverService::Outcome>>> futures;
+  futures.reserve(static_cast<size_t>(pool.num_services()));
+  for (int i = 0; i < pool.num_services(); ++i) {
+    futures.push_back(SubmitSolveRoot(pool, i, &base));
+  }
+  if (outcomes != nullptr) {
+    outcomes->clear();
+    outcomes->resize(static_cast<size_t>(pool.num_services()));
+  }
+  Status first_error = OkStatus();
+  for (int i = 0; i < pool.num_services(); ++i) {
+    Result<SolverService::Outcome> result = futures[static_cast<size_t>(i)].get();
+    if (!result.ok()) {
+      if (first_error.ok()) {
+        first_error = result.status();
+      }
+      continue;
+    }
+    if (outcomes != nullptr) {
+      (*outcomes)[static_cast<size_t>(i)] = *std::move(result);
+    }
+  }
+  return first_error;
+}
+
+}  // namespace lw
+
+#endif  // LWSNAP_SRC_SOLVER_POOL_JOBS_H_

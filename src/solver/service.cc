@@ -170,7 +170,7 @@ void SolverService::Serve(GuestMailbox& mailbox, void* arg) {
 }
 
 SolverService::SolverService(SolverServiceOptions options)
-    : options_(std::move(options)), host_(MakeHostOptions(options_)) {
+    : options_(std::move(options)), host_(options_.tuning) {
   boot_.solver = options_.solver;
 }
 
@@ -215,7 +215,7 @@ Result<SolverService::Outcome> SolverService::Extend(const Checkpoint& parent,
     return BadState("solver service: solve the root first");
   }
   std::vector<uint8_t> msg;
-  LW_RETURN_IF_ERROR(EncodeSolverRequest(q, options_.mailbox_bytes, &msg));
+  LW_RETURN_IF_ERROR(EncodeSolverRequest(q, options_.tuning.mailbox_bytes, &msg));
   return ExtendEncoded(parent, msg.data(), msg.size());
 }
 

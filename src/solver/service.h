@@ -40,32 +40,13 @@
 namespace lw {
 
 struct SolverServiceOptions {
-  size_t arena_bytes = 64ull << 20;
-  size_t mailbox_bytes = 1ull << 16;
+  // The shared service knob block (arena/mailbox sizing, engine selection,
+  // store injection, byte budget, materialize workers) — one struct, one
+  // mapping onto the session (src/service/tuning.h). With a shared
+  // tuning.store, multiple services dedup each other's byte-identical pages:
+  // clause arenas and watch lists of related problems largely coincide.
+  ServiceTuning tuning;
   SolverOptions solver;
-  PageMapKind page_map_kind = PageMapKind::kRadix;
-  // Any SnapshotMode works here, including kSoftDirty (probe
-  // SoftDirtyTracker::Supported() first) and kAdaptive (works everywhere);
-  // see SessionOptions::snapshot_mode.
-  SnapshotMode snapshot_mode = SnapshotMode::kCow;
-
-  // Shared page substrate: multiple services (or plain sessions) on one store
-  // dedup each other's byte-identical pages — clause arenas and watch lists of
-  // related problems largely coincide. The store is internally synchronized,
-  // so the sharing services may live on different worker threads (each
-  // *service* stays affine to one thread — ServicePool<S> packages that).
-  // Null = private store (see SessionOptions::store for the sharing contract).
-  std::shared_ptr<PageStore> store;
-  PageStoreOptions store_options;
-
-  // Residency cap for parked checkpoints (0 = unbounded): drives the store's
-  // evict → compress → spill → drop ladder after each checkpoint. Pair with
-  // store_options.spill_dir to let cold checkpoints page out to disk.
-  uint64_t snapshot_byte_budget = 0;
-
-  // Intra-session parallel materialization (0/1 = serial): see
-  // CheckpointServiceOptions::parallel_materialize_workers.
-  uint32_t parallel_materialize_workers = 0;
 };
 
 class SolverService {

@@ -26,6 +26,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "IO_ERROR";
     case ErrorCode::kExhausted:
       return "EXHAUSTED";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

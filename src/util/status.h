@@ -26,7 +26,8 @@ enum class ErrorCode : int {
   kUnsupported,       // operation not implemented by this engine/backend
   kBadState,          // object not in a state where the call is legal
   kIoError,
-  kExhausted,  // search space / resource budget exhausted
+  kExhausted,           // search space exhausted (strategy frontier drained)
+  kResourceExhausted,   // admission control: tenant budget / in-flight / capacity
   kInternal,
 };
 
@@ -86,6 +87,9 @@ inline Status Unsupported(std::string msg) {
 inline Status BadState(std::string msg) { return Status(ErrorCode::kBadState, std::move(msg)); }
 inline Status IoError(std::string msg) { return Status(ErrorCode::kIoError, std::move(msg)); }
 inline Status Exhausted(std::string msg) { return Status(ErrorCode::kExhausted, std::move(msg)); }
+inline Status ResourceExhausted(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
 inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
 
 // Result<T>: either a value or an error status. Accessing the wrong arm is a bug

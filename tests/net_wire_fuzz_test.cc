@@ -1,0 +1,263 @@
+// Hostile-bytes coverage for the remote fabric's wire path: malformed,
+// truncated, and oversized frames, junk message types, forged session/token
+// ids, and garbage solver payloads must each produce a *typed* error — never
+// a crash — and the daemon must keep serving well-formed tenants afterwards.
+// Framing violations (the stream is unsynchronized) drop that one connection;
+// message-level violations leave the connection fully usable.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/frame.h"
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
+#include "src/service/daemon.h"
+#include "src/service/wire.h"
+#include "src/solver/service.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define __SANITIZE_THREAD__ 1
+#endif
+#endif
+
+namespace lw {
+namespace {
+
+SnapshotMode DaemonSnapshotMode() {
+#ifdef __SANITIZE_THREAD__
+  return SnapshotMode::kIncremental;
+#else
+  return SnapshotMode::kCow;
+#endif
+}
+
+CheckpointDaemonOptions SmallDaemon() {
+  CheckpointDaemonOptions options;
+  options.num_services = 2;
+  options.service.tuning.arena_bytes = 8ull << 20;
+  options.service.tuning.snapshot_mode = DaemonSnapshotMode();
+  return options;
+}
+
+std::string SocketPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/lwsnap_" + name + ".sock";
+}
+
+// Raw-socket request/response helpers (deliberately NOT the client library —
+// the point is crafting bytes the client would refuse to send).
+void AppendU8(uint8_t v, std::vector<uint8_t>* out) { out->push_back(v); }
+
+void AppendU32(uint32_t v, std::vector<uint8_t>* out) {
+  size_t at = out->size();
+  out->resize(at + 4);
+  std::memcpy(out->data() + at, &v, 4);
+}
+
+void AppendU64(uint64_t v, std::vector<uint8_t>* out) {
+  size_t at = out->size();
+  out->resize(at + 8);
+  std::memcpy(out->data() + at, &v, 8);
+}
+
+std::vector<uint8_t> HelloFrame(uint64_t request_id,
+                                uint32_t version = kFabricProtocolVersion) {
+  std::vector<uint8_t> frame;
+  AppendU8(static_cast<uint8_t>(MsgType::kHello), &frame);
+  AppendU64(request_id, &frame);
+  AppendU32(version, &frame);
+  AppendU64(0, &frame);  // budget: operator default
+  return frame;
+}
+
+// Sends one frame and decodes the response's typed status (ignoring the body).
+Status RoundTrip(Socket& sock, const std::vector<uint8_t>& frame) {
+  Status sent = WriteFrame(sock, frame.data(), frame.size(), kDefaultMaxFrameBytes);
+  if (!sent.ok()) {
+    return sent;
+  }
+  std::vector<uint8_t> response;
+  bool clean_eof = false;
+  Status read = ReadFrame(sock, &response, kDefaultMaxFrameBytes, &clean_eof);
+  if (!read.ok()) {
+    return read;
+  }
+  if (clean_eof) {
+    return IoError("daemon closed the connection");
+  }
+  WireReader reader(response.data(), response.size());
+  MsgType type;
+  uint64_t echoed = 0;
+  return ParseResponsePrefix(reader, &type, &echoed);
+}
+
+// The liveness probe every case ends with: a fresh well-formed tenant must
+// still get real service out of the daemon.
+void ExpectDaemonStillServes(const CheckpointDaemon& daemon) {
+  auto client = RemoteCheckpointClient::ConnectUnix(daemon.path());
+  ASSERT_TRUE(client.ok());
+  auto session = (*client)->OpenSession();
+  ASSERT_TRUE(session.ok());
+  Cnf tiny;
+  tiny.AddDimacsClause({1, 2});
+  tiny.AddDimacsClause({-1});
+  auto outcome = (*client)->SolveRoot(*session, tiny);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result.raw(), kTrue.raw());
+  ASSERT_TRUE((*client)->CloseSession(*session).ok());
+}
+
+TEST(NetWireFuzzTest, OversizedDeclaredLengthDropsOnlyThatConnection) {
+  auto daemon = CheckpointDaemon::StartUnix(SocketPath("oversized"), SmallDaemon());
+  ASSERT_TRUE(daemon.ok());
+  auto sock = ConnectUnix((*daemon)->path());
+  ASSERT_TRUE(sock.ok());
+  // A forged prefix claiming a frame far beyond the cap: the daemon must
+  // reject it before allocating and drop the connection.
+  uint32_t forged = 0xFFFFFF00u;
+  ASSERT_TRUE(sock->WriteAll(&forged, sizeof(forged)).ok());
+  std::vector<uint8_t> response;
+  bool clean_eof = false;
+  Status read = ReadFrame(*sock, &response, kDefaultMaxFrameBytes, &clean_eof);
+  EXPECT_TRUE(!read.ok() || clean_eof);  // severed, no reply
+  ExpectDaemonStillServes(**daemon);
+  EXPECT_EQ((*daemon)->stats().connections_dropped, 1u);
+}
+
+TEST(NetWireFuzzTest, TruncatedFrameDropsOnlyThatConnection) {
+  auto daemon = CheckpointDaemon::StartUnix(SocketPath("truncated"), SmallDaemon());
+  ASSERT_TRUE(daemon.ok());
+  {
+    auto sock = ConnectUnix((*daemon)->path());
+    ASSERT_TRUE(sock.ok());
+    // Declare 100 payload bytes, deliver 10, hang up mid-frame.
+    uint32_t declared = 100;
+    ASSERT_TRUE(sock->WriteAll(&declared, sizeof(declared)).ok());
+    uint8_t partial[10] = {0};
+    ASSERT_TRUE(sock->WriteAll(partial, sizeof(partial)).ok());
+  }
+  ExpectDaemonStillServes(**daemon);
+}
+
+TEST(NetWireFuzzTest, HeaderlessAndUnknownTypeFramesGetTypedErrors) {
+  auto daemon = CheckpointDaemon::StartUnix(SocketPath("junktype"), SmallDaemon());
+  ASSERT_TRUE(daemon.ok());
+  auto sock = ConnectUnix((*daemon)->path());
+  ASSERT_TRUE(sock.ok());
+
+  // A frame too short to carry the request header.
+  std::vector<uint8_t> stub = {0x01, 0x02, 0x03};
+  EXPECT_EQ(RoundTrip(*sock, stub).code(), ErrorCode::kInvalidArgument);
+
+  // Well-framed messages before the handshake are refused, typed.
+  std::vector<uint8_t> open;
+  AppendU8(static_cast<uint8_t>(MsgType::kOpenSession), &open);
+  AppendU64(7, &open);
+  EXPECT_EQ(RoundTrip(*sock, open).code(), ErrorCode::kBadState);
+
+  // Version from the future: typed rejection, connection still usable.
+  EXPECT_EQ(RoundTrip(*sock, HelloFrame(8, kFabricProtocolVersion + 1)).code(),
+            ErrorCode::kUnsupported);
+  EXPECT_TRUE(RoundTrip(*sock, HelloFrame(9)).ok());
+
+  // Unknown message type after the handshake.
+  std::vector<uint8_t> junk;
+  AppendU8(0x7F, &junk);
+  AppendU64(10, &junk);
+  junk.insert(junk.end(), 64, 0xAA);
+  EXPECT_EQ(RoundTrip(*sock, junk).code(), ErrorCode::kInvalidArgument);
+
+  // Truncated bodies on every body-carrying type: typed, never fatal.
+  // (OpenSession/TenantStats have empty bodies — nothing to truncate.)
+  for (MsgType type : {MsgType::kSolveRoot, MsgType::kExtend, MsgType::kRelease,
+                       MsgType::kCloseSession}) {
+    std::vector<uint8_t> short_body;
+    AppendU8(static_cast<uint8_t>(type), &short_body);
+    AppendU64(11, &short_body);
+    AppendU8(0xEE, &short_body);  // 1 byte where u32/u64 fields belong
+    Status status = RoundTrip(*sock, short_body);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.code(), ErrorCode::kIoError) << "connection must survive";
+  }
+
+  // The same connection still does real work afterwards.
+  std::vector<uint8_t> open_ok;
+  AppendU8(static_cast<uint8_t>(MsgType::kOpenSession), &open_ok);
+  AppendU64(12, &open_ok);
+  EXPECT_TRUE(RoundTrip(*sock, open_ok).ok());
+  ExpectDaemonStillServes(**daemon);
+  EXPECT_EQ((*daemon)->stats().connections_dropped, 0u);
+}
+
+TEST(NetWireFuzzTest, ForgedSessionAndTokenIdsAreTypedNotFatal) {
+  auto daemon = CheckpointDaemon::StartUnix(SocketPath("forged"), SmallDaemon());
+  ASSERT_TRUE(daemon.ok());
+  auto client = RemoteCheckpointClient::ConnectUnix((*daemon)->path());
+  ASSERT_TRUE(client.ok());
+
+  // Session id never granted.
+  Cnf tiny;
+  tiny.AddDimacsClause({1});
+  auto no_session = (*client)->SolveRoot(999, tiny);
+  EXPECT_EQ(no_session.status().code(), ErrorCode::kNotFound);
+
+  auto session = (*client)->OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  // Forged parent tokens — including the reserved 0 — on a real session.
+  for (uint64_t forged : {uint64_t{0}, uint64_t{42}, ~uint64_t{0}}) {
+    auto extended = (*client)->Extend(*session, forged, {{MakeLit(0)}});
+    EXPECT_EQ(extended.status().code(), ErrorCode::kNotFound);
+  }
+  Status released = (*client)->Release(*session, 42);
+  EXPECT_EQ(released.code(), ErrorCode::kNotFound);
+
+  ExpectDaemonStillServes(**daemon);
+}
+
+TEST(NetWireFuzzTest, GarbageSolverPayloadIsRejectedByTheGuestDecoder) {
+  auto daemon = CheckpointDaemon::StartUnix(SocketPath("payload"), SmallDaemon());
+  ASSERT_TRUE(daemon.ok());
+  auto client = RemoteCheckpointClient::ConnectUnix((*daemon)->path());
+  ASSERT_TRUE(client.ok());
+  auto session = (*client)->OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  // Forged clause count with no clauses behind it: the same hardened guest
+  // decoder that protects the in-process path rejects it here.
+  std::vector<uint8_t> forged_count;
+  AppendU32(0xFFFFFFFFu, &forged_count);
+  auto overflow = (*client)->SolveRootEncoded(*session, forged_count.data(), forged_count.size());
+  EXPECT_EQ(overflow.status().code(), ErrorCode::kInvalidArgument);
+
+  // Random junk bytes.
+  std::vector<uint8_t> junk(257);
+  for (size_t i = 0; i < junk.size(); ++i) {
+    junk[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  auto garbage = (*client)->SolveRootEncoded(*session, junk.data(), junk.size());
+  EXPECT_FALSE(garbage.ok());
+
+  // A literal pointing beyond the wire variable cap.
+  std::vector<uint8_t> big_var;
+  AppendU32(1, &big_var);                          // one clause
+  AppendU32(1, &big_var);                          // one literal
+  AppendU32((kMaxSolverWireVar + 1) << 1, &big_var);  // forged raw literal
+  auto out_of_range = (*client)->SolveRootEncoded(*session, big_var.data(), big_var.size());
+  EXPECT_EQ(out_of_range.status().code(), ErrorCode::kInvalidArgument);
+
+  // The session survived all three rejections.
+  Cnf tiny;
+  tiny.AddDimacsClause({1});
+  auto healthy = (*client)->SolveRoot(*session, tiny);
+  ASSERT_TRUE(healthy.ok());
+  ExpectDaemonStillServes(**daemon);
+}
+
+}  // namespace
+}  // namespace lw

@@ -359,9 +359,9 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, ParallelQueensParityTest,
 
 TEST(ParallelServiceTest, SolverServiceThreadsWorkerOptionThrough) {
   SolverServiceOptions options;
-  options.arena_bytes = 8ull << 20;
-  options.snapshot_mode = SnapshotMode::kIncremental;  // fault-free on any thread
-  options.parallel_materialize_workers = 4;
+  options.tuning.arena_bytes = 8ull << 20;
+  options.tuning.snapshot_mode = SnapshotMode::kIncremental;  // fault-free on any thread
+  options.tuning.parallel_materialize_workers = 4;
   SolverService service(options);
   Cnf base;
   base.num_vars = 3;

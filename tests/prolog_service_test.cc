@@ -26,7 +26,7 @@ ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
 
 PrologServiceOptions SmallOptions() {
   PrologServiceOptions options;
-  options.arena_bytes = 8ull << 20;
+  options.tuning.arena_bytes = 8ull << 20;
   return options;
 }
 
@@ -123,7 +123,7 @@ TEST(PrologServiceTest, FleetThroughGenericServicePool) {
   // free from ServicePool<S> — no Prolog-specific pool code exists.
   ServicePoolOptions<PrologService> options;
   options.num_services = 2;
-  options.service.arena_bytes = 8ull << 20;
+  options.service.tuning.arena_bytes = 8ull << 20;
   ServicePool<PrologService> pool(options);
 
   auto root0 = pool.Submit(0, [](PrologService& s) {

@@ -1,4 +1,4 @@
-// SolverServicePool: K solver services on K worker threads over one shared
+// ServicePool<SolverService>: K solver services on K worker threads over one shared
 // store. Results must match a single-threaded reference service exactly
 // (solver determinism is per-service, so parity is exact), dedup must cross
 // worker threads, and per-service FIFO submission must let a client pipeline a
@@ -10,7 +10,8 @@
 #include <memory>
 #include <vector>
 
-#include "src/solver/service_pool.h"
+#include "src/service/pool.h"
+#include "src/solver/pool_jobs.h"
 #include "src/util/rng.h"
 
 #if defined(__has_feature)
@@ -37,11 +38,11 @@ Cnf BaseProblem() {
   return RandomKSat(&rng, 120, 500, 3);
 }
 
-SolverServicePoolOptions PoolOptions(int services) {
-  SolverServicePoolOptions options;
+ServicePoolOptions<SolverService> PoolOptions(int services) {
+  ServicePoolOptions<SolverService> options;
   options.num_services = services;
-  options.service.arena_bytes = 8ull << 20;
-  options.service.snapshot_mode = PoolSnapshotMode();
+  options.service.tuning.arena_bytes = 8ull << 20;
+  options.service.tuning.snapshot_mode = PoolSnapshotMode();
   return options;
 }
 
@@ -50,16 +51,16 @@ TEST(SolverServicePoolTest, FleetMatchesSingleServiceReference) {
 
   // Reference: one plain service, sequential.
   SolverServiceOptions ref_options;
-  ref_options.arena_bytes = 8ull << 20;
-  ref_options.snapshot_mode = PoolSnapshotMode();
+  ref_options.tuning.arena_bytes = 8ull << 20;
+  ref_options.tuning.snapshot_mode = PoolSnapshotMode();
   SolverService reference(ref_options);
   auto ref_root = reference.SolveRoot(base);
   ASSERT_TRUE(ref_root.ok());
 
   constexpr int kServices = 4;
-  SolverServicePool pool(PoolOptions(kServices));
-  std::vector<SolverServicePool::Outcome> roots;
-  ASSERT_TRUE(pool.SolveRootEverywhere(base, &roots).ok());
+  ServicePool<SolverService> pool(PoolOptions(kServices));
+  std::vector<SolverService::Outcome> roots;
+  ASSERT_TRUE(SolveRootEverywhere(pool, base, &roots).ok());
   ASSERT_EQ(roots.size(), static_cast<size_t>(kServices));
   for (const auto& outcome : roots) {
     EXPECT_EQ(outcome.result.raw(), ref_root->result.raw());
@@ -70,9 +71,9 @@ TEST(SolverServicePoolTest, FleetMatchesSingleServiceReference) {
   std::vector<std::vector<Lit>> unit = {{MakeLit(0)}};
   auto ref_ext = reference.Extend(ref_root->token, unit);
   ASSERT_TRUE(ref_ext.ok());
-  std::vector<std::future<Result<SolverServicePool::Outcome>>> futures;
+  std::vector<std::future<Result<SolverService::Outcome>>> futures;
   for (int i = 0; i < kServices; ++i) {
-    futures.push_back(pool.SubmitExtend(i, roots[static_cast<size_t>(i)].token, unit));
+    futures.push_back(SubmitExtend(pool, i, roots[static_cast<size_t>(i)].token, unit));
   }
   for (auto& future : futures) {
     auto outcome = future.get();
@@ -82,21 +83,21 @@ TEST(SolverServicePoolTest, FleetMatchesSingleServiceReference) {
   }
 
   // The whole point of the shared store: the workers deduped each other.
-  SolverServicePool::FleetStats stats = pool.fleet_stats();
+  ServiceFleetStats stats = pool.fleet_stats();
   EXPECT_GT(stats.cross_session_dedup_hits, 0u);
   EXPECT_EQ(stats.jobs_executed, static_cast<uint64_t>(2 * kServices));
 }
 
 TEST(SolverServicePoolTest, PipelinedSubmissionRunsInOrder) {
   Cnf base = BaseProblem();
-  SolverServicePool pool(PoolOptions(2));
+  ServicePool<SolverService> pool(PoolOptions(2));
 
   // Enqueue root + two dependent extends back-to-back without waiting: the
   // per-service FIFO must sequence them (the extend's parent token comes from
   // the root future only after both are already queued... so instead pipeline
   // divergent extensions of the root once known, interleaved across services).
-  auto root0 = pool.SubmitRoot(0, &base);
-  auto root1 = pool.SubmitRoot(1, &base);
+  auto root0 = SubmitSolveRoot(pool, 0, &base);
+  auto root1 = SubmitSolveRoot(pool, 1, &base);
   auto outcome0 = root0.get();
   auto outcome1 = root1.get();
   ASSERT_TRUE(outcome0.ok());
@@ -105,11 +106,11 @@ TEST(SolverServicePoolTest, PipelinedSubmissionRunsInOrder) {
   // Two divergent branches per service, queued without intermediate waits
   // (SubmitExtend clones the parent handle into each job, so one handle
   // branches any number of in-flight extensions).
-  std::vector<std::future<Result<SolverServicePool::Outcome>>> futures;
+  std::vector<std::future<Result<SolverService::Outcome>>> futures;
   for (int i = 0; i < 2; ++i) {
     const Checkpoint& parent = (i == 0 ? outcome0 : outcome1)->token;
-    futures.push_back(pool.SubmitExtend(i, parent, {{MakeLit(1)}}));
-    futures.push_back(pool.SubmitExtend(i, parent, {{~MakeLit(1)}}));
+    futures.push_back(SubmitExtend(pool, i, parent, {{MakeLit(1)}}));
+    futures.push_back(SubmitExtend(pool, i, parent, {{~MakeLit(1)}}));
   }
   for (auto& future : futures) {
     auto outcome = future.get();
@@ -118,7 +119,7 @@ TEST(SolverServicePoolTest, PipelinedSubmissionRunsInOrder) {
   }
 
   // Both services branched the same parent twice: checkpoints accumulate.
-  SolverServicePool::FleetStats stats = pool.fleet_stats();
+  ServiceFleetStats stats = pool.fleet_stats();
   EXPECT_EQ(stats.checkpoints, 6u);  // (1 root + 2 branches) × 2 services
 }
 
@@ -126,12 +127,12 @@ TEST(SolverServicePoolTest, ReleaseAndShutdownDrainClean) {
   Cnf base = BaseProblem();
   std::shared_ptr<PageStore> store;
   {
-    SolverServicePool pool(PoolOptions(3));
+    ServicePool<SolverService> pool(PoolOptions(3));
     store = pool.store();
-    std::vector<SolverServicePool::Outcome> roots;
-    ASSERT_TRUE(pool.SolveRootEverywhere(base, &roots).ok());
+    std::vector<SolverService::Outcome> roots;
+    ASSERT_TRUE(SolveRootEverywhere(pool, base, &roots).ok());
     for (int i = 0; i < 3; ++i) {
-      EXPECT_TRUE(pool.SubmitRelease(i, roots[static_cast<size_t>(i)].token).get().ok());
+      EXPECT_TRUE(SubmitRelease(pool, i, roots[static_cast<size_t>(i)].token).get().ok());
     }
     // Destructor drains queues and joins workers.
   }
@@ -146,22 +147,22 @@ TEST(SolverServicePoolTest, DrainOnDestructionPropagatesMidQueueFailure) {
   // own future and leave the worker serving the rest of the queue — both
   // while running and during destructor drain.
   Cnf base = BaseProblem();
-  std::future<Result<SolverServicePool::Outcome>> before;
-  std::future<Result<SolverServicePool::Outcome>> failing;
-  std::future<Result<SolverServicePool::Outcome>> after;
+  std::future<Result<SolverService::Outcome>> before;
+  std::future<Result<SolverService::Outcome>> failing;
+  std::future<Result<SolverService::Outcome>> after;
   std::future<Status> released;
   {
-    SolverServicePool pool(PoolOptions(1));
-    auto root = pool.SubmitRoot(0, &base).get();
+    ServicePool<SolverService> pool(PoolOptions(1));
+    auto root = SubmitSolveRoot(pool, 0, &base).get();
     ASSERT_TRUE(root.ok());
 
     // Queue: good extend → failing extend (empty handle) → good extend →
     // release, then destroy the pool immediately: the destructor drains all
     // four in order.
-    before = pool.SubmitExtend(0, root->token, {{MakeLit(0)}});
-    failing = pool.SubmitExtend(0, Checkpoint(), {{MakeLit(1)}});
-    after = pool.SubmitExtend(0, root->token, {{~MakeLit(0)}});
-    released = pool.SubmitRelease(0, root->token);
+    before = SubmitExtend(pool, 0, root->token, {{MakeLit(0)}});
+    failing = SubmitExtend(pool, 0, Checkpoint(), {{MakeLit(1)}});
+    after = SubmitExtend(pool, 0, root->token, {{~MakeLit(0)}});
+    released = SubmitRelease(pool, 0, root->token);
   }
   auto ok_before = before.get();
   ASSERT_TRUE(ok_before.ok());
@@ -175,16 +176,16 @@ TEST(SolverServicePoolTest, DrainOnDestructionPropagatesMidQueueFailure) {
 
 TEST(SolverServicePoolTest, WrongServiceHandleFailsThroughFuture) {
   Cnf base = BaseProblem();
-  SolverServicePool pool(PoolOptions(2));
-  auto root0 = pool.SubmitRoot(0, &base).get();
-  auto root1 = pool.SubmitRoot(1, &base).get();
+  ServicePool<SolverService> pool(PoolOptions(2));
+  auto root0 = SubmitSolveRoot(pool, 0, &base).get();
+  auto root1 = SubmitSolveRoot(pool, 1, &base).get();
   ASSERT_TRUE(root0.ok());
   ASSERT_TRUE(root1.ok());
   // Service 1 rejects service 0's handle; both services stay healthy.
-  auto wrong = pool.SubmitExtend(1, root0->token, {{MakeLit(0)}}).get();
+  auto wrong = SubmitExtend(pool, 1, root0->token, {{MakeLit(0)}}).get();
   EXPECT_EQ(wrong.status().code(), ErrorCode::kInvalidArgument);
-  EXPECT_TRUE(pool.SubmitExtend(0, root0->token, {{MakeLit(0)}}).get().ok());
-  EXPECT_TRUE(pool.SubmitExtend(1, root1->token, {{MakeLit(0)}}).get().ok());
+  EXPECT_TRUE(SubmitExtend(pool, 0, root0->token, {{MakeLit(0)}}).get().ok());
+  EXPECT_TRUE(SubmitExtend(pool, 1, root1->token, {{MakeLit(0)}}).get().ok());
 }
 
 }  // namespace

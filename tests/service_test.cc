@@ -15,7 +15,7 @@ namespace {
 
 SolverServiceOptions SmallArena() {
   SolverServiceOptions options;
-  options.arena_bytes = 16ull << 20;
+  options.tuning.arena_bytes = 16ull << 20;
   return options;
 }
 
@@ -130,7 +130,7 @@ TEST(SolverServiceTest, ReleaseDropsStoreLiveBytes) {
   Cnf base = RandomKSat(&rng, 60, 200, 3);
   auto store = std::make_shared<PageStore>();
   SolverServiceOptions options = SmallArena();
-  options.store = store;
+  options.tuning.store = store;
   SolverService service(options);
   auto root = service.SolveRoot(base);
   ASSERT_TRUE(root.ok());
@@ -254,7 +254,7 @@ TEST(SolverServiceTest, MalformedEncodedRequestIsRejectedCleanly) {
 
 TEST(SolverServiceTest, EncoderRejectsOversizedIncrements) {
   SolverServiceOptions options = SmallArena();
-  options.mailbox_bytes = 256;
+  options.tuning.mailbox_bytes = 256;
   SolverService service(options);
   Cnf base;
   base.AddDimacsClause({1});
@@ -265,7 +265,7 @@ TEST(SolverServiceTest, EncoderRejectsOversizedIncrements) {
   // 100 clauses * 8 bytes > 256-byte mailbox: the encoder refuses up front.
   std::vector<std::vector<Lit>> big(100, std::vector<Lit>{MakeLit(1)});
   std::vector<uint8_t> encoded;
-  EXPECT_EQ(EncodeSolverRequest(big, options.mailbox_bytes, &encoded).code(),
+  EXPECT_EQ(EncodeSolverRequest(big, options.tuning.mailbox_bytes, &encoded).code(),
             ErrorCode::kInvalidArgument);
   // Unbounded encode works and reports the true size.
   ASSERT_TRUE(EncodeSolverRequest(big, 0, &encoded).ok());
@@ -299,8 +299,8 @@ TEST(SolverServiceTest, TwoServicesShareOneStore) {
   Cnf base = RandomKSat(&rng, 300, 1200, 3);
   auto store = std::make_shared<PageStore>();
   SolverServiceOptions options;
-  options.arena_bytes = 16ull << 20;
-  options.store = store;
+  options.tuning.arena_bytes = 16ull << 20;
+  options.tuning.store = store;
   SolverService first(options);
   SolverService second(options);
 

@@ -20,7 +20,7 @@ namespace {
 
 SymxServiceOptions SmallOptions() {
   SymxServiceOptions options;
-  options.arena_bytes = 16ull << 20;
+  options.tuning.arena_bytes = 16ull << 20;
   return options;
 }
 
@@ -158,7 +158,7 @@ TEST(SymxServiceTest, ChecksumWitnessThroughPool) {
   Program tree = BranchTreeProgram(3, 4);
   ServicePoolOptions<SymxService> options;
   options.num_services = 2;
-  options.service.arena_bytes = 16ull << 20;
+  options.service.tuning.arena_bytes = 16ull << 20;
   ServicePool<SymxService> pool(options);
 
   auto boot0 = pool.Submit(0, [&checksum](SymxService& s) { return s.BootProgram(checksum); });
